@@ -1,0 +1,156 @@
+//! Per-figure/table smoke benchmarks: one Criterion benchmark per
+//! table/figure of the paper, each running a miniature version of the
+//! corresponding experiment pipeline so `cargo bench` exercises every
+//! regeneration path end to end. The full-size regenerations are the
+//! `src/bin/*` harness binaries (see DESIGN.md §3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use resemble_bench::runner::{run_one, SweepParams};
+use resemble_core::overhead::{LatencyEstimate, StorageEstimate};
+use resemble_core::{ResembleConfig, ResembleMlp, ResembleTabular};
+use resemble_prefetch::{paper_bank, voyager_bank, Prefetcher};
+use resemble_sim::{Engine, PrefetchTiming, SimConfig};
+use resemble_trace::analysis::{pc_grouped_autocorrelation, trace_autocorrelation};
+use resemble_trace::gen::app_by_name;
+
+/// Tiny sweep parameters so each figure path runs in milliseconds.
+fn tiny() -> SweepParams {
+    SweepParams {
+        warmup: 300,
+        measure: 1500,
+        sim: SimConfig::test_small(),
+        threads: 1,
+        ..Default::default()
+    }
+}
+
+fn small_cfg() -> ResembleConfig {
+    ResembleConfig {
+        batch_size: 8,
+        hidden_dim: 32,
+        ..ResembleConfig::default()
+    }
+}
+
+fn fig01(c: &mut Criterion) {
+    c.bench_function("figures/fig01_autocorrelation", |b| {
+        let trace = app_by_name("471.omnetpp", 1)
+            .unwrap()
+            .source
+            .collect_n(4000);
+        b.iter(|| {
+            let raw = trace_autocorrelation(&trace, 20);
+            let grouped = pc_grouped_autocorrelation(&trace, 20);
+            black_box((raw.len(), grouped.len()))
+        })
+    });
+}
+
+fn table04(c: &mut Criterion) {
+    c.bench_function("figures/table04_unique_states", |b| {
+        b.iter(|| {
+            let mut ctl = ResembleTabular::new(paper_bank(), small_cfg(), 4, 1);
+            let mut engine = Engine::new(SimConfig::test_small());
+            let mut src = app_by_name("433.milc", 1).unwrap().source;
+            engine.run(&mut *src, Some(&mut ctl as &mut dyn Prefetcher), 0, 1500);
+            black_box(ctl.agent().unique_states())
+        })
+    });
+}
+
+fn table06_fig06_fig07(c: &mut Criterion) {
+    c.bench_function("figures/table06_fig06_fig07_reward_windows", |b| {
+        b.iter(|| {
+            let mut ctl = ResembleMlp::new(paper_bank(), small_cfg(), 1);
+            let mut engine = Engine::new(SimConfig::test_small());
+            let mut src = app_by_name("623.xalancbmk", 1).unwrap().source;
+            engine.run(&mut *src, Some(&mut ctl as &mut dyn Prefetcher), 0, 2000);
+            black_box((
+                ctl.stats.window_rewards.len(),
+                ctl.stats.window_actions.len(),
+            ))
+        })
+    });
+}
+
+fn fig08_10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig08_10");
+    g.sample_size(10);
+    for pf in [
+        "bo",
+        "spp",
+        "isb",
+        "domino",
+        "sbp_e",
+        "resemble_t",
+        "resemble",
+    ] {
+        g.bench_function(pf, |b| {
+            b.iter(|| {
+                let r = run_one("433.milc", pf, &tiny());
+                black_box(r.with_pf.prefetches_issued)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig11_latency");
+    g.sample_size(10);
+    for (latency, tp) in [(0u64, true), (40, true), (40, false)] {
+        g.bench_function(
+            format!("lat{latency}_{}tp", if tp { "high" } else { "low" }),
+            |b| {
+                b.iter(|| {
+                    let mut p = tiny();
+                    p.sim.prefetch_timing = PrefetchTiming {
+                        latency,
+                        high_throughput: tp,
+                    };
+                    let r = run_one("433.milc", "resemble", &p);
+                    black_box(r.with_pf.cycles)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig12_voyager");
+    g.sample_size(10);
+    g.bench_function("resemble_v", |b| {
+        b.iter(|| {
+            let mut ctl = ResembleMlp::new(voyager_bank(1), small_cfg(), 1);
+            let mut engine = Engine::new(SimConfig::test_small());
+            let mut src = app_by_name("471.omnetpp", 1).unwrap().source;
+            let s = engine.run(&mut *src, Some(&mut ctl as &mut dyn Prefetcher), 300, 1500);
+            black_box(s.prefetches_issued)
+        })
+    });
+    g.finish();
+}
+
+fn tables_analytic(c: &mut Criterion) {
+    c.bench_function("figures/table07_08_overhead_models", |b| {
+        b.iter(|| {
+            let cfg = ResembleConfig::default();
+            let l = LatencyEstimate::for_config(&cfg);
+            let s = StorageEstimate::for_config(&cfg);
+            black_box((l.total(), s.total()))
+        })
+    });
+}
+
+criterion_group!(
+    figures,
+    fig01,
+    table04,
+    table06_fig06_fig07,
+    fig08_10,
+    fig11,
+    fig12,
+    tables_analytic
+);
+criterion_main!(figures);

@@ -1,0 +1,136 @@
+//! Criterion micro-benchmarks of the hot components: controller inference
+//! (the Table VII latency path), one training step, preprocessing hashes,
+//! cache/DRAM access, replay operations, and each prefetcher's per-access
+//! throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use resemble_core::preprocess::fold_hash;
+use resemble_core::{ReplayMemory, ResembleConfig};
+use resemble_nn::{Activation, Mlp, Sgd};
+use resemble_prefetch::{
+    BestOffset, Domino, Isb, NextLine, Prefetcher, Spp, StridePrefetcher, Vldp,
+};
+use resemble_sim::{Cache, Dram, DramConfig};
+use resemble_trace::MemAccess;
+
+fn bench_mlp(c: &mut Criterion) {
+    let cfg = ResembleConfig::default();
+    let net = Mlp::new(
+        &[cfg.input_dim(), cfg.hidden_dim, cfg.action_dim],
+        Activation::Relu,
+        1,
+    );
+    let mut scratch = net.make_scratch();
+    let x = [0.1f32, 0.7, 0.3, 0.9];
+    c.bench_function("mlp/inference_4x100x5", |b| {
+        b.iter(|| {
+            let out = net.forward(black_box(&x), &mut scratch);
+            black_box(out[0])
+        })
+    });
+
+    let mut train_net = net.clone();
+    let mut grads = train_net.make_grad_buffer();
+    let mut opt = Sgd::new(0.05);
+    c.bench_function("mlp/train_step_batch32", |b| {
+        b.iter(|| {
+            for _ in 0..32 {
+                let y = train_net.forward(&x, &mut scratch)[2];
+                train_net.backward(&mut scratch, &[0.0, 0.0, y - 1.0, 0.0, 0.0], &mut grads);
+            }
+            train_net.apply_grads(&mut grads, &mut opt);
+        })
+    });
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    c.bench_function("preprocess/fold_hash_16", |b| {
+        b.iter(|| fold_hash(black_box(0xdead_beef_1234_5678), 16))
+    });
+}
+
+fn bench_cache_and_dram(c: &mut Criterion) {
+    let mut cache = Cache::new("llc", 1024 * 1024, 16);
+    let mut i = 0u64;
+    c.bench_function("sim/cache_access_miss_fill", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(64);
+            cache.access(black_box(i), false);
+            cache.fill(i, false, false)
+        })
+    });
+    let mut dram = Dram::new(DramConfig::default());
+    let mut block = 0u64;
+    let mut cycle = 0u64;
+    c.bench_function("sim/dram_access", |b| {
+        b.iter(|| {
+            block = block.wrapping_add(1);
+            cycle += 4;
+            dram.access(black_box(block), cycle)
+        })
+    });
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut replay = ReplayMemory::new(2000, 256);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let mut assigned = Vec::new();
+    let mut i = 0u64;
+    c.bench_function("replay/push_access_cycle", |b| {
+        b.iter(|| {
+            i += 1;
+            replay.on_access(black_box(i % 512), &mut assigned);
+            let id = replay.push(vec![0.1, 0.2, 0.3, 0.4], 0, &[i % 512 + 1]);
+            replay.set_next_state(id, &[0.2, 0.3, 0.4, 0.5]);
+        })
+    });
+    c.bench_function("replay/sample_batch32", |b| {
+        b.iter(|| replay.sample_ids(32, &mut rng))
+    });
+}
+
+fn bench_prefetchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefetcher_on_access");
+    let mk: Vec<(&str, Box<dyn Prefetcher>)> = vec![
+        ("next_line", Box::new(NextLine::new(1))),
+        ("stride", Box::new(StridePrefetcher::default())),
+        ("bo", Box::new(BestOffset::new())),
+        ("spp", Box::new(Spp::new())),
+        ("isb", Box::new(Isb::new())),
+        ("domino", Box::new(Domino::new())),
+        ("vldp", Box::new(Vldp::new())),
+    ];
+    for (name, mut pf) in mk {
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                i += 1;
+                // Mixed stream: mostly sequential with periodic jumps.
+                let addr = if i.is_multiple_of(17) {
+                    (i * 0x9E37) << 8
+                } else {
+                    0x10_0000 + i * 64
+                };
+                out.clear();
+                pf.on_access(
+                    &MemAccess::load(i, 0x400 + (i % 4) * 8, addr),
+                    false,
+                    &mut out,
+                );
+                black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mlp,
+    bench_preprocess,
+    bench_cache_and_dram,
+    bench_replay,
+    bench_prefetchers
+);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! Ablation studies for the design choices DESIGN.md §5 flags: MLP hash
+//! bits, lazy sampling, role switching, replay/batch sizing, the reward
+//! window W, and the ε schedule. Each study varies one knob of the MLP
+//! controller and reports mean window reward plus IPC improvement on a
+//! two-app probe (one spatial-friendly, one temporal-friendly).
+//!
+//! Usage: `cargo run --release -p resemble-bench --bin ablations`
+//! (`--only hashbits|lazy|roleswitch|replay|window|epsilon`).
+
+use resemble_bench::{report, Options};
+use resemble_core::{ResembleConfig, ResembleMlp};
+use resemble_prefetch::{paper_bank, Prefetcher};
+use resemble_sim::{Engine, SimConfig};
+use resemble_stats::{mean, Table};
+use resemble_trace::gen::app_by_name;
+
+const PROBE_APPS: &[&str] = &["433.milc", "623.xalancbmk"];
+
+struct Outcome {
+    reward: f64,
+    ipc_improvement: f64,
+}
+
+fn run_cfg(cfg: ResembleConfig, accesses: usize, seed: u64) -> Outcome {
+    let mut rewards = Vec::new();
+    let mut ipcs = Vec::new();
+    for &app in PROBE_APPS {
+        let baseline = {
+            let mut engine = Engine::new(SimConfig::harness());
+            let mut src = app_by_name(app, seed).expect("known app").source;
+            engine.run(&mut *src, None, accesses / 3, accesses)
+        };
+        let mut ctl = ResembleMlp::new(paper_bank(), cfg, seed);
+        let mut engine = Engine::new(SimConfig::harness());
+        let mut src = app_by_name(app, seed).expect("known app").source;
+        let stats = engine.run(
+            &mut *src,
+            Some(&mut ctl as &mut dyn Prefetcher),
+            accesses / 3,
+            accesses,
+        );
+        rewards.push(ctl.stats.mean_window_reward());
+        ipcs.push(stats.ipc_improvement_over(&baseline));
+    }
+    Outcome {
+        reward: mean(&rewards),
+        ipc_improvement: mean(&ipcs),
+    }
+}
+
+fn study(
+    name: &str,
+    header: &str,
+    variants: Vec<(String, ResembleConfig)>,
+    accesses: usize,
+    seed: u64,
+) {
+    println!("--- ablation: {name} ---");
+    let mut t = Table::new(vec![header, "mean window reward", "IPC improvement"]);
+    for (label, cfg) in variants {
+        let o = run_cfg(cfg, accesses, seed);
+        t.row(vec![
+            label,
+            format!("{:.1}", o.reward),
+            format!("{:.2}%", o.ipc_improvement),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let accesses = opts.usize("accesses", 45_000);
+    let seed = opts.u64("seed", 42);
+    let only = opts.str("only").map(str::to_string);
+    let run = |n: &str| only.is_none() || only.as_deref() == Some(n);
+    report::banner(
+        "Ablations",
+        "One-knob studies of the DESIGN.md §5 design choices",
+    );
+    let base = ResembleConfig::fast();
+
+    if run("hashbits") {
+        study(
+            "MLP preprocessing hash bits",
+            "hash bits",
+            [8u32, 16, 24]
+                .iter()
+                .map(|&b| {
+                    (
+                        format!("{b}"),
+                        ResembleConfig {
+                            hash_bits: b,
+                            ..base
+                        },
+                    )
+                })
+                .collect(),
+            accesses,
+            seed,
+        );
+    }
+    if run("lazy") {
+        // "No lazy sampling" approximated by a 1-access reward window:
+        // rewards finalize almost immediately (usually as −1), so training
+        // consumes unreliable feedback — the failure mode lazy sampling
+        // prevents.
+        study(
+            "lazy sampling (reward window honored) vs immediate finalization",
+            "variant",
+            vec![
+                ("lazy (W=256)".to_string(), base),
+                (
+                    "immediate (W=1)".to_string(),
+                    ResembleConfig { window: 1, ..base },
+                ),
+            ],
+            accesses,
+            seed,
+        );
+    }
+    if run("roleswitch") {
+        study(
+            "target-net role-switch interval I_t",
+            "I_t",
+            [5u64, 20, 100, 1000]
+                .iter()
+                .map(|&it| {
+                    (
+                        format!("{it}"),
+                        ResembleConfig {
+                            target_update_interval: it,
+                            ..base
+                        },
+                    )
+                })
+                .collect(),
+            accesses,
+            seed,
+        );
+    }
+    if run("replay") {
+        study(
+            "replay capacity / batch size",
+            "R / batch",
+            vec![
+                ("R=2000 batch=32 (fast)".to_string(), base),
+                (
+                    "R=2000 batch=256 (paper)".to_string(),
+                    ResembleConfig {
+                        batch_size: 256,
+                        ..base
+                    },
+                ),
+                (
+                    "R=256 batch=32".to_string(),
+                    ResembleConfig {
+                        replay_capacity: 256,
+                        ..base
+                    },
+                ),
+                (
+                    "R=8000 batch=32".to_string(),
+                    ResembleConfig {
+                        replay_capacity: 8000,
+                        ..base
+                    },
+                ),
+            ],
+            accesses,
+            seed,
+        );
+    }
+    if run("window") {
+        study(
+            "reward window W",
+            "W",
+            [32usize, 128, 256, 1024]
+                .iter()
+                .map(|&w| (format!("{w}"), ResembleConfig { window: w, ..base }))
+                .collect(),
+            accesses,
+            seed,
+        );
+    }
+    if run("epsilon") {
+        study(
+            "ε decay constant",
+            "decay",
+            [20.0f64, 80.0, 400.0, 4000.0]
+                .iter()
+                .map(|&d| {
+                    (
+                        format!("{d}"),
+                        ResembleConfig {
+                            eps_decay: d,
+                            ..base
+                        },
+                    )
+                })
+                .collect(),
+            accesses,
+            seed,
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Extension (paper §VIII future work): hardware-implementation study.
+//! Trains the MLP controller online, then quantizes both networks to
+//! n-bit fixed point and freezes them, measuring how inference-only
+//! deployment at each precision affects rewards and IPC. Table VIII
+//! assumes 16-bit weights; this sweep shows how much lower the datapath
+//! could go.
+
+use resemble_bench::{report, Options};
+use resemble_core::{ResembleConfig, ResembleMlp};
+use resemble_prefetch::{paper_bank, Prefetcher};
+use resemble_sim::{Engine, SimConfig};
+use resemble_stats::{mean, Table};
+use resemble_trace::gen::app_by_name;
+
+const APPS: &[&str] = &["433.milc", "623.xalancbmk"];
+
+/// Train for `train` accesses, quantize+freeze at `bits`, then measure.
+/// `bits == 0` means "leave full precision and keep training" (reference).
+fn run(bits: u32, train: usize, measure: usize, seed: u64) -> (f64, f64) {
+    let mut ipcs = Vec::new();
+    let mut rewards = Vec::new();
+    for &app in APPS {
+        let mut engine = Engine::new(SimConfig::harness());
+        let mut src = app_by_name(app, seed).expect("known app").source;
+        let base = engine.run(&mut *src, None, train, measure);
+
+        let mut ctl = ResembleMlp::new(paper_bank(), ResembleConfig::fast(), seed);
+        let mut engine = Engine::new(SimConfig::harness());
+        let mut src = app_by_name(app, seed).expect("known app").source;
+        // Training phase (warmup window).
+        {
+            let pf: &mut dyn Prefetcher = &mut ctl;
+            let _ = engine.run(&mut *src, Some(pf), 0, train);
+        }
+        if bits > 0 {
+            ctl.quantize_and_freeze(bits);
+        }
+        let windows_before = ctl.stats.window_rewards.len();
+        // Measurement phase: engine.run re-marks the boundary itself.
+        let s = {
+            let pf: &mut dyn Prefetcher = &mut ctl;
+            engine.run(&mut *src, Some(pf), 0, measure)
+        };
+        ipcs.push(s.ipc_improvement_over(&base));
+        let late = &ctl.stats.window_rewards[windows_before..];
+        rewards.push(late.iter().sum::<f64>() / late.len().max(1) as f64);
+    }
+    (mean(&ipcs), mean(&rewards))
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let train = opts.usize("warmup", 20_000);
+    let measure = opts.usize("accesses", 40_000);
+    let seed = opts.u64("seed", 42);
+    report::banner(
+        "Extension: controller quantization",
+        "Train online at f32, deploy frozen at n-bit fixed point",
+    );
+
+    let mut t = Table::new(vec!["precision", "mean window reward", "IPC improvement"]);
+    let (ipc_ref, rew_ref) = run(0, train, measure, seed);
+    t.row(vec![
+        "f32 + online training (reference)".to_string(),
+        format!("{rew_ref:.1}"),
+        report::pct(ipc_ref),
+    ]);
+    let mut results = Vec::new();
+    for bits in [16u32, 12, 8, 6, 4] {
+        let (ipc, rew) = run(bits, train, measure, seed);
+        results.push((bits, ipc));
+        t.row(vec![
+            format!("{bits}-bit frozen"),
+            format!("{rew:.1}"),
+            report::pct(ipc),
+        ]);
+    }
+    println!("{}", t.render());
+    let ipc16 = results.iter().find(|(b, _)| *b == 16).unwrap().1;
+    let ipc4 = results.iter().find(|(b, _)| *b == 4).unwrap().1;
+    println!("shape checks:");
+    println!(
+        "  16-bit frozen ≈ full-precision reference (Table VIII's assumption): {}",
+        (ipc16 - ipc_ref).abs() < 0.25 * ipc_ref.abs().max(1.0)
+    );
+    println!(
+        "  precision floor visible by 4 bits: {}",
+        ipc4 <= ipc16 + 1e-9
+    );
+}

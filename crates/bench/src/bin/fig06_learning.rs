@@ -1,0 +1,90 @@
+//! Figure 6 — case study of the online learning process: per-1K-window
+//! reward curves over the first 400K accesses (scaled to the harness trace
+//! length) for the MLP-based controller and the tabular variants, on the
+//! four case-study applications.
+
+use resemble_bench::{report, Options};
+use resemble_core::{ResembleConfig, ResembleMlp, ResembleTabular};
+use resemble_prefetch::{paper_bank, Prefetcher};
+use resemble_sim::{Engine, SimConfig};
+use resemble_stats::{render_series, smooth};
+use serde::Serialize;
+
+const APPS: &[&str] = &["433.lbm", "471.omnetpp", "621.wrf", "623.xalancbmk"];
+
+#[derive(Serialize)]
+struct Curve {
+    app: String,
+    model: String,
+    window_rewards: Vec<f64>,
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let accesses = opts.usize("accesses", 60_000);
+    let seed = opts.u64("seed", 42);
+    report::banner(
+        "Figure 6",
+        "Learning curves: per-1K-window rewards (smoothed by 10)",
+    );
+
+    let mut curves: Vec<Curve> = Vec::new();
+    for &app in APPS {
+        println!("=== {app} ===");
+        for model in ["mlp", "table8", "table4"] {
+            let mut engine = Engine::new(SimConfig::harness());
+            let mut src = resemble_trace::gen::app_by_name(app, seed)
+                .expect("known app")
+                .source;
+            let rewards: Vec<f64> = match model {
+                "mlp" => {
+                    let mut ctl = ResembleMlp::new(paper_bank(), ResembleConfig::fast(), seed);
+                    engine.run(
+                        &mut *src,
+                        Some(&mut ctl as &mut dyn Prefetcher),
+                        0,
+                        accesses,
+                    );
+                    ctl.stats.window_rewards.clone()
+                }
+                "table8" => {
+                    let mut ctl =
+                        ResembleTabular::new(paper_bank(), ResembleConfig::fast(), 8, seed);
+                    engine.run(
+                        &mut *src,
+                        Some(&mut ctl as &mut dyn Prefetcher),
+                        0,
+                        accesses,
+                    );
+                    ctl.stats.window_rewards.clone()
+                }
+                _ => {
+                    let mut ctl =
+                        ResembleTabular::new(paper_bank(), ResembleConfig::fast(), 4, seed);
+                    engine.run(
+                        &mut *src,
+                        Some(&mut ctl as &mut dyn Prefetcher),
+                        0,
+                        accesses,
+                    );
+                    ctl.stats.window_rewards.clone()
+                }
+            };
+            let smoothed = smooth(&rewards, 10);
+            println!("{}", render_series(&format!("{model:7}"), &smoothed, 25));
+            let late = &rewards[rewards.len().saturating_sub(10)..];
+            let late_mean = late.iter().sum::<f64>() / late.len().max(1) as f64;
+            println!("         late mean reward/window: {late_mean:.1}");
+            curves.push(Curve {
+                app: app.to_string(),
+                model: model.to_string(),
+                window_rewards: rewards,
+            });
+        }
+        println!();
+    }
+    println!("paper shape: the MLP curve dominates the tabular curves on the irregular");
+    println!("apps (471.omnetpp, 623.xalancbmk) and is the most stable on 433.lbm;");
+    println!("8-bit tabular beats 4-bit where they differ.");
+    resemble_bench::runner::maybe_write_json(opts.str("json"), &curves);
+}

@@ -1,0 +1,109 @@
+//! Figure 7 — case study of the controllers' actions: per-1K-window action
+//! distributions (which input prefetcher was selected, or NP) for the
+//! MLP-based and tabular controllers.
+
+use resemble_bench::{report, Options};
+use resemble_core::{ResembleConfig, ResembleMlp, ResembleTabular};
+use resemble_prefetch::{paper_bank, Prefetcher};
+use resemble_sim::{Engine, SimConfig};
+use resemble_stats::Table;
+use serde::Serialize;
+
+const APPS: &[&str] = &["433.lbm", "471.omnetpp", "621.wrf", "623.xalancbmk"];
+const ACTIONS: &[&str] = &["BO", "SPP", "ISB", "Domino", "NP"];
+
+#[derive(Serialize)]
+struct ActionLog {
+    app: String,
+    model: String,
+    window_actions: Vec<Vec<u32>>,
+}
+
+fn run(model: &str, app: &str, accesses: usize, seed: u64) -> Vec<Vec<u32>> {
+    let mut engine = Engine::new(SimConfig::harness());
+    let mut src = resemble_trace::gen::app_by_name(app, seed)
+        .expect("known app")
+        .source;
+    if model == "mlp" {
+        let mut ctl = ResembleMlp::new(paper_bank(), ResembleConfig::fast(), seed);
+        engine.run(
+            &mut *src,
+            Some(&mut ctl as &mut dyn Prefetcher),
+            0,
+            accesses,
+        );
+        ctl.stats.window_actions.clone()
+    } else {
+        let mut ctl = ResembleTabular::new(paper_bank(), ResembleConfig::fast(), 8, seed);
+        engine.run(
+            &mut *src,
+            Some(&mut ctl as &mut dyn Prefetcher),
+            0,
+            accesses,
+        );
+        ctl.stats.window_actions.clone()
+    }
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let accesses = opts.usize("accesses", 60_000);
+    let seed = opts.u64("seed", 42);
+    report::banner(
+        "Figure 7",
+        "Per-window action distributions of MLP vs tabular controllers",
+    );
+
+    let mut logs = Vec::new();
+    for &app in APPS {
+        println!("=== {app} ===");
+        for model in ["mlp", "table8"] {
+            let windows = run(model, app, accesses, seed);
+            logs.push(ActionLog {
+                app: app.to_string(),
+                model: model.to_string(),
+                window_actions: windows.clone(),
+            });
+            // Print a handful of windows spread over the run plus the
+            // dominant-action share per phase.
+            let mut t = Table::new(vec![
+                "window", "BO", "SPP", "ISB", "Domino", "NP", "dominant",
+            ]);
+            let n = windows.len();
+            for w in [0, n / 4, n / 2, 3 * n / 4, n.saturating_sub(1)] {
+                if w >= n {
+                    continue;
+                }
+                let row = &windows[w];
+                let dom = row
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(i, _)| ACTIONS[i])
+                    .unwrap_or("-");
+                let mut cells = vec![w.to_string()];
+                cells.extend(row.iter().map(|c| c.to_string()));
+                cells.push(dom.to_string());
+                t.row(cells);
+            }
+            // Late-phase dominant-action share (adaptability metric).
+            let late = &windows[n.saturating_sub(5)..];
+            let mut sums = [0u64; 5];
+            for w in late {
+                for (i, &c) in w.iter().enumerate() {
+                    sums[i] += c as u64;
+                }
+            }
+            let total: u64 = sums.iter().sum();
+            let best = sums.iter().max().copied().unwrap_or(0);
+            println!(
+                "[{model}] late dominant-action share: {:.0}%",
+                100.0 * best as f64 / total.max(1) as f64
+            );
+            println!("{}", t.render());
+        }
+    }
+    println!("paper shape: the MLP selects the per-app optimal prefetcher at a higher");
+    println!("rate within windows and switches faster at phase changes than the table.");
+    resemble_bench::runner::maybe_write_json(opts.str("json"), &logs);
+}

@@ -1,0 +1,124 @@
+//! Figures 8, 9, 10 — the paper's headline comparison: prefetch accuracy,
+//! prefetch coverage, and IPC improvement of BO, SPP, ISB, Domino, SBP(E),
+//! ReSemble-T, and ReSemble across all benchmark apps.
+//!
+//! Usage: `cargo run --release -p resemble-bench --bin fig08_10_main`
+//! (optional: `--accesses N --warmup N --apps a,b --json out.json`).
+
+use resemble_bench::{factory, report, runner, Options};
+use resemble_stats::{mean, Table};
+use resemble_trace::gen::spec_like::APP_NAMES;
+
+fn main() {
+    let opts = Options::from_env();
+    let params = runner::SweepParams {
+        warmup: opts.usize("warmup", 20_000),
+        measure: opts.usize("accesses", 80_000),
+        seed: opts.u64("seed", 42),
+        threads: opts.usize("threads", 0),
+        ..Default::default()
+    };
+    let apps: Vec<String> = opts
+        .list("apps")
+        .unwrap_or_else(|| APP_NAMES.iter().map(|s| s.to_string()).collect());
+    report::banner(
+        "Figures 8-10",
+        "Prefetch accuracy / coverage / IPC improvement, all prefetchers x all apps",
+    );
+    println!(
+        "apps: {} | warmup {} + measure {} accesses | seed {}\n",
+        apps.len(),
+        params.warmup,
+        params.measure,
+        params.seed
+    );
+
+    let results = runner::run_matrix(&apps, factory::MAIN_LINEUP, &params);
+
+    // Per-app tables for each metric.
+    for (metric, value) in [
+        ("Fig 8: prefetch accuracy", 0usize),
+        ("Fig 9: prefetch coverage", 1),
+        ("Fig 10: IPC improvement", 2),
+    ] {
+        println!("--- {metric} ---");
+        let mut header: Vec<String> = vec!["app".into()];
+        header.extend(
+            factory::MAIN_LINEUP
+                .iter()
+                .map(|p| factory::label(p).to_string()),
+        );
+        let mut t = Table::new(header);
+        for app in &apps {
+            let mut row = vec![app.clone()];
+            for &pf in factory::MAIN_LINEUP {
+                let r = results
+                    .iter()
+                    .find(|r| &r.app == app && r.pf == pf)
+                    .expect("matrix complete");
+                let v = match value {
+                    0 => r.accuracy_pct(),
+                    1 => r.coverage_pct(),
+                    _ => r.ipc_improvement_pct(),
+                };
+                row.push(report::pct(v));
+            }
+            t.row(row);
+        }
+        // Averages + paper row.
+        let mut avg_row = vec!["AVG (measured)".to_string()];
+        let mut paper_row = vec!["AVG (paper)".to_string()];
+        for &pf in factory::MAIN_LINEUP {
+            let vals: Vec<f64> = results
+                .iter()
+                .filter(|r| r.pf == pf)
+                .map(|r| match value {
+                    0 => r.accuracy_pct(),
+                    1 => r.coverage_pct(),
+                    _ => r.ipc_improvement_pct(),
+                })
+                .collect();
+            avg_row.push(report::pct(mean(&vals)));
+            let p = report::paper_average(pf).expect("paper values");
+            paper_row.push(report::pct(match value {
+                0 => p.accuracy,
+                1 => p.coverage,
+                _ => p.ipc_improvement,
+            }));
+        }
+        t.row(avg_row);
+        t.row(paper_row);
+        println!("{}", t.render());
+    }
+
+    // Headline ordering checks (the "shape" the paper claims).
+    let avg_ipc = |pf: &str| -> f64 {
+        mean(
+            &results
+                .iter()
+                .filter(|r| r.pf == pf)
+                .map(|r| r.ipc_improvement_pct())
+                .collect::<Vec<_>>(),
+        )
+    };
+    let (re, rt, sbp) = (avg_ipc("resemble"), avg_ipc("resemble_t"), avg_ipc("sbp_e"));
+    let best_ind = factory::MAIN_LINEUP[..4]
+        .iter()
+        .map(|p| avg_ipc(p))
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!("shape checks:");
+    println!(
+        "  ReSemble > SBP(E):           {} ({re:.2} vs {sbp:.2})",
+        re > sbp
+    );
+    println!(
+        "  ReSemble > best individual:  {} ({re:.2} vs {best_ind:.2})",
+        re > best_ind
+    );
+    println!(
+        "  ReSemble-T > best individual:{} ({rt:.2} vs {best_ind:.2})",
+        rt > best_ind
+    );
+
+    runner::maybe_write_json(opts.str("json"), &results);
+}

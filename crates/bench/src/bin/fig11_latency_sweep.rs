@@ -1,0 +1,113 @@
+//! Figure 11 — controller-latency sensitivity: ReSemble's accuracy,
+//! coverage and IPC improvement with inference latency 0–40 cycles, under
+//! a pipelined controller ("High TP", one inference per cycle) and an
+//! unpipelined one ("Low TP", one inference per `latency` cycles).
+
+use resemble_bench::{report, runner, Options};
+use resemble_sim::{PrefetchTiming, SimConfig};
+use resemble_stats::{mean, Table};
+use serde::Serialize;
+
+const APPS: &[&str] = &["433.milc", "471.omnetpp", "621.wrf", "623.xalancbmk"];
+
+#[derive(Serialize)]
+struct SweepPoint {
+    latency: u64,
+    high_tp: bool,
+    accuracy: f64,
+    coverage: f64,
+    ipc_improvement: f64,
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let measure = opts.usize("accesses", 40_000);
+    let warmup = opts.usize("warmup", 20_000);
+    let seed = opts.u64("seed", 42);
+    report::banner(
+        "Figure 11",
+        "ReSemble performance vs controller latency (high/low throughput)",
+    );
+
+    let apps: Vec<String> = APPS.iter().map(|s| s.to_string()).collect();
+    let mut points = Vec::new();
+    let mut t = Table::new(vec![
+        "latency",
+        "TP",
+        "accuracy",
+        "coverage",
+        "IPC improvement",
+    ]);
+    for &high_tp in &[true, false] {
+        for latency in [0u64, 10, 20, 30, 40] {
+            let mut sim = SimConfig::harness();
+            sim.prefetch_timing = PrefetchTiming {
+                latency,
+                high_throughput: high_tp,
+            };
+            let params = runner::SweepParams {
+                warmup,
+                measure,
+                seed,
+                sim,
+                ..Default::default()
+            };
+            let results = runner::run_matrix(&apps, &["resemble"], &params);
+            let acc = mean(&results.iter().map(|r| r.accuracy_pct()).collect::<Vec<_>>());
+            let cov = mean(&results.iter().map(|r| r.coverage_pct()).collect::<Vec<_>>());
+            let ipc = mean(
+                &results
+                    .iter()
+                    .map(|r| r.ipc_improvement_pct())
+                    .collect::<Vec<_>>(),
+            );
+            t.row(vec![
+                format!("{latency} cyc"),
+                if high_tp { "high" } else { "low" }.to_string(),
+                report::pct(acc),
+                report::pct(cov),
+                report::pct(ipc),
+            ]);
+            points.push(SweepPoint {
+                latency,
+                high_tp,
+                accuracy: acc,
+                coverage: cov,
+                ipc_improvement: ipc,
+            });
+        }
+    }
+    println!("{}", t.render());
+
+    // SBP(E) reference at zero latency (the paper's comparison line).
+    let params = runner::SweepParams {
+        warmup,
+        measure,
+        seed,
+        ..Default::default()
+    };
+    let sbp = runner::run_matrix(&apps, &["sbp_e"], &params);
+    let sbp_ipc = mean(
+        &sbp.iter()
+            .map(|r| r.ipc_improvement_pct())
+            .collect::<Vec<_>>(),
+    );
+    println!("SBP(E) reference IPC improvement: {}", report::pct(sbp_ipc));
+
+    let hi: Vec<&SweepPoint> = points.iter().filter(|p| p.high_tp).collect();
+    let lo: Vec<&SweepPoint> = points.iter().filter(|p| !p.high_tp).collect();
+    println!("shape checks:");
+    println!(
+        "  high-TP degrades gently with latency:        {}",
+        hi.last().unwrap().ipc_improvement >= 0.6 * hi[0].ipc_improvement
+    );
+    println!(
+        "  low-TP falls below high-TP at high latency:  {}",
+        lo.last().unwrap().ipc_improvement < hi.last().unwrap().ipc_improvement
+    );
+    println!(
+        "  high-TP at 20 cyc still competitive with SBP: {}",
+        hi[2].ipc_improvement >= sbp_ipc * 0.8
+    );
+    resemble_bench::runner::maybe_write_json(opts.str("json"), &points);
+}

@@ -1,0 +1,109 @@
+//! Figure 12 / §VI-B — incorporating an NN-based prefetcher: Domino is
+//! replaced by the Voyager-like neural temporal prefetcher, and ReSemble
+//! is compared against each input prefetcher alone and against the
+//! Domino-bank ReSemble of the main evaluation. Averages are geometric
+//! means, as in the paper's Fig 12.
+
+use resemble_bench::{factory, report, runner, Options};
+use resemble_stats::{geo_mean, Table};
+use resemble_trace::gen::spec_like::APP_NAMES;
+
+fn main() {
+    let opts = Options::from_env();
+    let params = runner::SweepParams {
+        warmup: opts.usize("warmup", 20_000),
+        measure: opts.usize("accesses", 60_000),
+        seed: opts.u64("seed", 42),
+        ..Default::default()
+    };
+    let apps: Vec<String> = opts.list("apps").unwrap_or_else(|| {
+        // The paper's Fig 12 uses a case subset plus the average.
+        vec![
+            "433.milc",
+            "471.omnetpp",
+            "621.wrf",
+            "623.xalancbmk",
+            "gap.pr",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect()
+    });
+    assert!(
+        apps.iter().all(|a| APP_NAMES.contains(&a.as_str())),
+        "unknown app name"
+    );
+    report::banner(
+        "Figure 12",
+        "ReSemble with the Voyager-like neural prefetcher as input",
+    );
+
+    let results = runner::run_matrix(&apps, factory::VOYAGER_LINEUP, &params);
+
+    let mut t = Table::new({
+        let mut h = vec!["app".to_string()];
+        h.extend(
+            factory::VOYAGER_LINEUP
+                .iter()
+                .map(|p| factory::label(p).to_string()),
+        );
+        h
+    });
+    for app in &apps {
+        let mut row = vec![app.clone()];
+        for &pf in factory::VOYAGER_LINEUP {
+            let r = results
+                .iter()
+                .find(|r| &r.app == app && r.pf == pf)
+                .expect("complete");
+            row.push(report::pct(r.ipc_improvement_pct()));
+        }
+        t.row(row);
+    }
+    // Geometric-mean row over (100% + improvement) factors.
+    let mut avg = vec!["GEO-AVG".to_string()];
+    let mut avg_map = Vec::new();
+    for &pf in factory::VOYAGER_LINEUP {
+        let factors: Vec<f64> = results
+            .iter()
+            .filter(|r| r.pf == pf)
+            .map(|r| 1.0 + r.ipc_improvement_pct() / 100.0)
+            .collect();
+        let g = (geo_mean(&factors) - 1.0) * 100.0;
+        avg.push(report::pct(g));
+        avg_map.push((pf, g));
+    }
+    t.row(avg);
+    println!("{}", t.render());
+    println!("(IPC improvement; paper: ReSemble+Voyager 36.22%, +4.71 over Voyager");
+    println!(" alone, +5.10 over Domino-bank ReSemble)");
+
+    let get = |pf: &str| avg_map.iter().find(|(p, _)| *p == pf).unwrap().1;
+    println!("shape checks:");
+    println!(
+        "  ReSemble+V >= Voyager alone:      {} ({:.2} vs {:.2})",
+        get("resemble_v") >= get("voyager"),
+        get("resemble_v"),
+        get("voyager")
+    );
+    println!(
+        "  ReSemble+V >= Domino-bank ReSemble: {} ({:.2} vs {:.2})",
+        get("resemble_v") >= get("resemble"),
+        get("resemble_v"),
+        get("resemble")
+    );
+    println!(
+        "  Voyager not uniformly best (some app where another pf wins): {}",
+        apps.iter().any(|app| {
+            let v = results
+                .iter()
+                .find(|r| &r.app == app && r.pf == "voyager")
+                .unwrap();
+            results
+                .iter()
+                .filter(|r| &r.app == app && r.pf != "voyager")
+                .any(|r| r.ipc_improvement_pct() > v.ipc_improvement_pct())
+        })
+    );
+    resemble_bench::runner::maybe_write_json(opts.str("json"), &results);
+}

@@ -1,0 +1,79 @@
+//! Table IV — model sizes: the MLP parameter count vs direct-indexed and
+//! tokenized Q-tables at 4- and 8-bit hashing. The tokenized rows use
+//! *measured* unique-state counts from running the tabular controller over
+//! the benchmark suite, exactly as the paper measured its 37.3K / 592K
+//! entries.
+
+use resemble_bench::{report, Options};
+use resemble_core::overhead::{mlp_param_count, table_direct_entries, table_token_entries};
+use resemble_core::{ResembleConfig, ResembleTabular};
+use resemble_prefetch::{paper_bank, Prefetcher};
+use resemble_sim::{Engine, SimConfig};
+use resemble_stats::Table;
+use resemble_trace::gen::app_by_name;
+
+fn measured_unique_states(hash_bits: u32, accesses: usize, seed: u64) -> usize {
+    // Run the tabular controller across a representative app mix and count
+    // the union of tokenized states.
+    let mut total = 0;
+    for app in ["433.milc", "471.omnetpp", "gap.pr"] {
+        let mut ctl = ResembleTabular::new(paper_bank(), ResembleConfig::fast(), hash_bits, seed);
+        let mut engine = Engine::new(SimConfig::harness());
+        let mut src = app_by_name(app, seed).expect("known app").source;
+        let _ = engine.run(
+            &mut *src,
+            Some(&mut ctl as &mut dyn Prefetcher),
+            0,
+            accesses,
+        );
+        total += ctl.agent().unique_states();
+    }
+    total / 3
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let accesses = opts.usize("accesses", 40_000);
+    let seed = opts.u64("seed", 42);
+    report::banner(
+        "Table IV",
+        "Model size: MLP vs direct and tokenized Q-tables",
+    );
+    let cfg = ResembleConfig::default();
+    let (s, h, a) = (cfg.state_dim, cfg.hidden_dim, cfg.action_dim);
+
+    let mut t = Table::new(vec![
+        "Model",
+        "Config",
+        "#Param/Entries (measured)",
+        "paper",
+    ]);
+    t.row(vec![
+        "MLP".to_string(),
+        format!("H={h}"),
+        mlp_param_count(s, h, a).to_string(),
+        "1.05K".into(),
+    ]);
+    for (bits, paper) in [(4u32, "328K"), (8, "21.5G")] {
+        t.row(vec![
+            "Table (direct)".to_string(),
+            format!("B={bits}"),
+            table_direct_entries(bits, s, a).to_string(),
+            paper.into(),
+        ]);
+    }
+    for (bits, paper) in [(4u32, "37.3K"), (8, "592K")] {
+        let unique = measured_unique_states(bits, accesses, seed);
+        t.row(vec![
+            "Table (token)".to_string(),
+            format!("B={bits}, {unique} unique states over {accesses} accesses"),
+            table_token_entries(a, unique).to_string(),
+            paper.into(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("shape: tokenization collapses the direct table by orders of magnitude;");
+    println!("4-bit hashing yields far fewer unique states than 8-bit; the MLP is");
+    println!("smaller than every tabular variant. (The paper's unique-state counts");
+    println!("come from 80M-access traces; ours grow with trace length.)");
+}

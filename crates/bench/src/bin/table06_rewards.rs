@@ -1,0 +1,142 @@
+//! Table VI — average rewards of 1K-access windows for six controller
+//! configurations (tabular 4-bit / 8-bit / MLP, each with and without the
+//! PC feature) across the three benchmark suites.
+
+use resemble_bench::{report, Options};
+use resemble_core::{EnsembleStats, ResembleConfig, ResembleMlp, ResembleTabular};
+use resemble_prefetch::{paper_bank, Prefetcher};
+use resemble_sim::{Engine, SimConfig};
+use resemble_stats::{mean, Table};
+use resemble_trace::gen::suite::SUITES;
+
+/// Run one controller configuration over one app; returns the mean
+/// per-1K-window reward.
+fn run_app(model: &str, with_pc: bool, app: &str, accesses: usize, seed: u64) -> f64 {
+    let cfg = ResembleConfig {
+        with_pc,
+        ..ResembleConfig::fast()
+    };
+    let mut engine = Engine::new(SimConfig::harness());
+    let mut src = resemble_trace::gen::app_by_name(app, seed)
+        .expect("known app")
+        .source;
+    let stats: EnsembleStats = match model {
+        "table4" => {
+            let mut ctl = ResembleTabular::new(paper_bank(), cfg, 4, seed);
+            engine.run(
+                &mut *src,
+                Some(&mut ctl as &mut dyn Prefetcher),
+                0,
+                accesses,
+            );
+            ctl.stats.clone()
+        }
+        "table8" => {
+            let mut ctl = ResembleTabular::new(paper_bank(), cfg, 8, seed);
+            engine.run(
+                &mut *src,
+                Some(&mut ctl as &mut dyn Prefetcher),
+                0,
+                accesses,
+            );
+            ctl.stats.clone()
+        }
+        "mlp" => {
+            let mut ctl = ResembleMlp::new(paper_bank(), cfg, seed);
+            engine.run(
+                &mut *src,
+                Some(&mut ctl as &mut dyn Prefetcher),
+                0,
+                accesses,
+            );
+            ctl.stats.clone()
+        }
+        _ => unreachable!("model"),
+    };
+    stats.mean_window_reward()
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let accesses = opts.usize("accesses", 60_000);
+    let seed = opts.u64("seed", 42);
+    report::banner(
+        "Table VI",
+        "Average rewards of 1K-access windows, six configurations x three suites",
+    );
+    println!("(rewards here credit every issued-prefetch hit; see DESIGN.md §1 on the");
+    println!(" multi-suggestion reward generalization — compare orderings, not magnitudes)\n");
+
+    let mut t = Table::new(vec!["Model", "PC", "SPEC 06", "SPEC 17", "GAP"]);
+    let mut measured: Vec<(String, bool, Vec<f64>)> = Vec::new();
+    for &with_pc in &[false, true] {
+        for model in ["table4", "table8", "mlp"] {
+            let mut row_vals = Vec::new();
+            for suite in SUITES {
+                let vals: Vec<f64> = suite
+                    .apps
+                    .iter()
+                    .map(|app| run_app(model, with_pc, app, accesses, seed))
+                    .collect();
+                row_vals.push(mean(&vals));
+            }
+            let label = match model {
+                "table4" => "Table: 4-bit hash",
+                "table8" => "Table: 8-bit hash",
+                _ => "MLP",
+            };
+            t.row(vec![
+                label.to_string(),
+                if with_pc { "yes" } else { "no" }.to_string(),
+                format!("{:.2}", row_vals[0]),
+                format!("{:.2}", row_vals[1]),
+                format!("{:.2}", row_vals[2]),
+            ]);
+            measured.push((model.to_string(), with_pc, row_vals));
+        }
+    }
+    println!("{}", t.render());
+
+    println!("--- paper values (Table VI) ---");
+    let mut p = Table::new(vec!["Model", "PC", "SPEC 06", "SPEC 17", "GAP"]);
+    for &with_pc in &[false, true] {
+        for model in ["table4", "table8", "mlp"] {
+            let vals: Vec<f64> = resemble_bench::report::PAPER_TABLE_VI
+                .iter()
+                .filter(|(m, pc, _, _)| *m == model && *pc == with_pc)
+                .map(|&(_, _, _, v)| v)
+                .collect();
+            p.row(vec![
+                model.to_string(),
+                if with_pc { "yes" } else { "no" }.to_string(),
+                format!("{:.2}", vals[0]),
+                format!("{:.2}", vals[1]),
+                format!("{:.2}", vals[2]),
+            ]);
+        }
+    }
+    println!("{}", p.render());
+
+    // Shape checks from the paper's three observations.
+    let get = |m: &str, pc: bool| -> &Vec<f64> {
+        &measured
+            .iter()
+            .find(|(mm, mpc, _)| mm == m && *mpc == pc)
+            .unwrap()
+            .2
+    };
+    let mlp = get("mlp", false);
+    let t8 = get("table8", false);
+    let gap_small = mlp[2] < mlp[0] && mlp[2] < mlp[1];
+    println!("shape checks:");
+    println!(
+        "  MLP (no PC) >= 8-bit table on every suite: {}",
+        mlp.iter().zip(t8).all(|(a, b)| a >= b)
+    );
+    println!("  GAP rewards far below SPEC rewards (paper: 58.7 vs 460/589): {gap_small}");
+    runner_json(&opts, &measured);
+}
+
+fn runner_json(opts: &Options, measured: &[(String, bool, Vec<f64>)]) {
+    resemble_bench::runner::maybe_write_json(opts.str("json"), &measured);
+}

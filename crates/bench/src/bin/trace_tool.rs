@@ -1,0 +1,93 @@
+//! Trace utility mirroring the paper artifact's file-based flow: generate
+//! a named workload trace to a text file, analyze a trace file (Fig 1
+//! style), or replay a trace file through the simulator with a chosen
+//! prefetcher.
+//!
+//! ```text
+//! trace_tool --gen 433.milc --accesses 50000 --out milc.trace
+//! trace_tool --analyze milc.trace
+//! trace_tool --replay milc.trace --pf resemble --warmup 10000
+//! ```
+
+use resemble_bench::{factory, Options};
+use resemble_sim::{Engine, SimConfig};
+use resemble_stats::Table;
+use resemble_trace::analysis::{pc_grouped_autocorrelation, summarize_acf, trace_autocorrelation};
+use resemble_trace::gen::{app_by_name, TraceSource, VecSource};
+use resemble_trace::io::{read_trace, write_trace};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn main() {
+    let opts = Options::from_env();
+    let seed = opts.u64("seed", 42);
+
+    if let Some(app) = opts.str("gen") {
+        let accesses = opts.usize("accesses", 50_000);
+        let out = opts.str("out").unwrap_or("trace.txt").to_string();
+        let trace = app_by_name(app, seed)
+            .unwrap_or_else(|| panic!("unknown app '{app}'"))
+            .source
+            .collect_n(accesses);
+        let f = File::create(&out).expect("create output file");
+        write_trace(&mut BufWriter::new(f), &trace).expect("write trace");
+        println!("wrote {} accesses of {app} to {out}", trace.len());
+        return;
+    }
+
+    if let Some(path) = opts.str("analyze") {
+        let f = File::open(path).expect("open trace file");
+        let trace = read_trace(BufReader::new(f)).expect("parse trace");
+        let raw = summarize_acf(&trace_autocorrelation(&trace, 40));
+        let grouped = summarize_acf(&pc_grouped_autocorrelation(&trace, 40));
+        let pcs: std::collections::HashSet<u64> = trace.iter().map(|a| a.pc).collect();
+        let blocks: std::collections::HashSet<u64> = trace.iter().map(|a| a.block()).collect();
+        let mut t = Table::new(vec!["metric", "value"]);
+        t.row(vec!["accesses".to_string(), trace.len().to_string()]);
+        t.row(vec!["unique PCs".to_string(), pcs.len().to_string()]);
+        t.row(vec!["unique blocks".to_string(), blocks.len().to_string()]);
+        t.row(vec![
+            "footprint".to_string(),
+            format!("{:.1} KB", blocks.len() as f64 * 64.0 / 1024.0),
+        ]);
+        t.row(vec![
+            "raw ACF peak".to_string(),
+            format!("{:.3}", raw.peak_abs),
+        ]);
+        t.row(vec![
+            "grouped ACF peak".to_string(),
+            format!("{:.3}", grouped.peak_abs),
+        ]);
+        println!("{}", t.render());
+        return;
+    }
+
+    if let Some(path) = opts.str("replay") {
+        let pf_name = opts.str("pf").unwrap_or("resemble").to_string();
+        let warmup = opts.usize("warmup", 10_000);
+        let f = File::open(path).expect("open trace file");
+        let trace = read_trace(BufReader::new(f)).expect("parse trace");
+        let n = trace.len().saturating_sub(warmup);
+        let baseline = {
+            let mut engine = Engine::new(SimConfig::harness());
+            engine.run(&mut VecSource::new(trace.clone()), None, warmup, n)
+        };
+        let mut pf = factory::make(&pf_name, seed, true);
+        let mut engine = Engine::new(SimConfig::harness());
+        let stats = engine.run(&mut VecSource::new(trace), Some(&mut *pf), warmup, n);
+        println!(
+            "{pf_name}: accuracy {:.1}%  coverage {:.1}%  IPC {:.3} (baseline {:.3}, +{:.1}%)",
+            stats.accuracy() * 100.0,
+            stats.coverage() * 100.0,
+            stats.ipc(),
+            baseline.ipc(),
+            stats.ipc_improvement_over(&baseline)
+        );
+        return;
+    }
+
+    eprintln!("usage: trace_tool --gen <app> [--accesses N --out FILE]");
+    eprintln!("       trace_tool --analyze <FILE>");
+    eprintln!("       trace_tool --replay <FILE> [--pf NAME --warmup N]");
+    std::process::exit(2);
+}

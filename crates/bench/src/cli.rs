@@ -1,0 +1,101 @@
+//! Minimal flag parsing for the harness binaries (no external CLI crate).
+//!
+//! Every figure/table binary accepts:
+//! `--accesses N` (measurement accesses), `--warmup N`, `--seed S`,
+//! `--apps a,b,c` (subset of app names), `--json PATH` (machine-readable
+//! dump), `--threads N`.
+
+use std::collections::HashMap;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    flags: HashMap<String, String>,
+}
+
+impl Options {
+    /// Parse `--key value` pairs from an argument iterator.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut flags = HashMap::new();
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let val = match args.peek() {
+                    Some(v) if !v.starts_with("--") => args.next().unwrap(),
+                    _ => "true".to_string(),
+                };
+                flags.insert(key.to_string(), val);
+            }
+        }
+        Self { flags }
+    }
+
+    /// Parse from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// A `usize` flag with default.
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A `u64` flag with default.
+    pub fn u64(&self, key: &str, default: u64) -> u64 {
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// A string flag.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A comma-separated list flag.
+    pub fn list(&self, key: &str) -> Option<Vec<String>> {
+        self.flags.get(key).map(|v| {
+            v.split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect()
+        })
+    }
+
+    /// A boolean flag (present or `--key true`).
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(
+            self.flags.get(key).map(String::as_str),
+            Some("true") | Some("1")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(s: &str) -> Options {
+        Options::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_kv_pairs_and_defaults() {
+        let o = opts("--accesses 5000 --apps a,b --fast");
+        assert_eq!(o.usize("accesses", 1), 5000);
+        assert_eq!(o.usize("warmup", 7), 7);
+        assert_eq!(o.list("apps"), Some(vec!["a".to_string(), "b".to_string()]));
+        assert!(o.flag("fast"));
+        assert!(!o.flag("slow"));
+    }
+
+    #[test]
+    fn bad_numbers_fall_back() {
+        let o = opts("--accesses nope");
+        assert_eq!(o.usize("accesses", 42), 42);
+    }
+}

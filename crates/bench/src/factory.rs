@@ -1,0 +1,116 @@
+//! Constructors for every prefetcher/controller the evaluation compares.
+
+use resemble_core::{ResembleConfig, ResembleMlp, ResembleTabular, SbpE};
+use resemble_prefetch::{
+    paper_bank, voyager_bank, BestOffset, Domino, GhbDc, Isb, Markov, NeuralTemporalPrefetcher,
+    Prefetcher, Spp, Stems, Stms, Streamer, StridePrefetcher, Vldp,
+};
+
+/// Evaluation order used by Figs 8–10: individual prefetchers, the non-RL
+/// ensemble, then the two ReSemble variants.
+pub const MAIN_LINEUP: &[&str] = &[
+    "bo",
+    "spp",
+    "isb",
+    "domino",
+    "sbp_e",
+    "resemble_t",
+    "resemble",
+];
+
+/// The §VI-B lineup with the Voyager-like neural prefetcher.
+pub const VOYAGER_LINEUP: &[&str] = &[
+    "bo",
+    "spp",
+    "isb",
+    "voyager",
+    "sbp_e_v",
+    "resemble",
+    "resemble_v",
+];
+
+/// Build a prefetcher/controller by name.
+///
+/// `fast` selects the laptop-scale ReSemble training configuration
+/// (batch 32; see `ResembleConfig::fast`). Panics on unknown names.
+pub fn make(name: &str, seed: u64, fast: bool) -> Box<dyn Prefetcher + Send> {
+    let cfg = if fast {
+        ResembleConfig::fast()
+    } else {
+        ResembleConfig::default()
+    };
+    match name {
+        "bo" => Box::new(BestOffset::new()),
+        "spp" => Box::new(Spp::new()),
+        "isb" => Box::new(Isb::new()),
+        "domino" => Box::new(Domino::new()),
+        "stms" => Box::new(Stms::new()),
+        "stems" => Box::new(Stems::new()),
+        "markov" => Box::new(Markov::new()),
+        "ghb_dc" => Box::new(GhbDc::new()),
+        "vldp" => Box::new(Vldp::new()),
+        "stride" => Box::new(StridePrefetcher::default()),
+        "streamer" => Box::new(Streamer::default()),
+        "voyager" => Box::new(NeuralTemporalPrefetcher::new(seed)),
+        "sbp_e" => Box::new(SbpE::from_paper()),
+        "sbp_e_v" => Box::new(SbpE::new(voyager_bank(seed), 256)),
+        "resemble" => Box::new(ResembleMlp::new(paper_bank(), cfg, seed)),
+        "resemble_t" => Box::new(ResembleTabular::new(paper_bank(), cfg, 8, seed)),
+        "resemble_t4" => Box::new(ResembleTabular::new(paper_bank(), cfg, 4, seed)),
+        "resemble_v" => Box::new(ResembleMlp::new(voyager_bank(seed), cfg, seed)),
+        "resemble_pc" => Box::new(ResembleMlp::new(
+            paper_bank(),
+            ResembleConfig {
+                with_pc: true,
+                ..cfg
+            },
+            seed,
+        )),
+        other => panic!("unknown prefetcher '{other}'"),
+    }
+}
+
+/// Display label for a prefetcher name.
+pub fn label(name: &str) -> &'static str {
+    match name {
+        "bo" => "BO",
+        "spp" => "SPP",
+        "isb" => "ISB",
+        "domino" => "Domino",
+        "stms" => "STMS",
+        "stems" => "STeMS",
+        "markov" => "Markov",
+        "ghb_dc" => "GHB-G/DC",
+        "vldp" => "VLDP",
+        "stride" => "Stride",
+        "streamer" => "Streamer",
+        "voyager" => "Voyager*",
+        "sbp_e" | "sbp_e_v" => "SBP(E)",
+        "resemble" => "ReSemble",
+        "resemble_t" => "ReSemble-T",
+        "resemble_t4" => "ReSemble-T4",
+        "resemble_v" => "ReSemble+V",
+        "resemble_pc" => "ReSemble+PC",
+        _ => "?",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lineup_names_construct() {
+        for &n in MAIN_LINEUP.iter().chain(VOYAGER_LINEUP) {
+            let p = make(n, 1, true);
+            assert!(!p.name().is_empty());
+            assert_ne!(label(n), "?");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown prefetcher")]
+    fn unknown_name_panics() {
+        let _ = make("nope", 1, true);
+    }
+}

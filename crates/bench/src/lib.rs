@@ -1,0 +1,16 @@
+//! # resemble-bench
+//!
+//! Benchmark harness regenerating every table and figure of the ReSemble
+//! paper (see DESIGN.md §3 for the experiment index). Each `src/bin/`
+//! binary prints a paper-vs-measured comparison; `benches/` holds the
+//! Criterion micro-benchmarks and per-figure smoke benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod factory;
+pub mod report;
+pub mod runner;
+
+pub use cli::Options;
+pub use runner::{run_matrix, run_one, RunResult, SweepParams};

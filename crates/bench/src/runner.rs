@@ -1,0 +1,213 @@
+//! Parallel sweep runner: (application × prefetcher) simulation jobs over
+//! a scoped thread pool (no rayon — std scoped threads + crossbeam
+//! channels per DESIGN.md §4).
+
+use crate::factory;
+use resemble_sim::{Engine, SimConfig, SimStats};
+use resemble_trace::gen::app_by_name;
+use serde::{Deserialize, Serialize};
+
+/// One (app, prefetcher) measurement with its no-prefetch baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Application name.
+    pub app: String,
+    /// Prefetcher name (factory key).
+    pub pf: String,
+    /// Baseline (no-prefetch) statistics on the identical trace window.
+    pub baseline: SimStats,
+    /// Statistics with the prefetcher active.
+    pub with_pf: SimStats,
+}
+
+impl RunResult {
+    /// Prefetch accuracy (%).
+    pub fn accuracy_pct(&self) -> f64 {
+        self.with_pf.accuracy() * 100.0
+    }
+
+    /// Prefetch coverage (%).
+    pub fn coverage_pct(&self) -> f64 {
+        self.with_pf.coverage() * 100.0
+    }
+
+    /// IPC improvement over the baseline (%).
+    pub fn ipc_improvement_pct(&self) -> f64 {
+        self.with_pf.ipc_improvement_over(&self.baseline)
+    }
+
+    /// MPKI reduction over the baseline (%).
+    pub fn mpki_reduction_pct(&self) -> f64 {
+        self.with_pf.mpki_reduction_over(&self.baseline)
+    }
+}
+
+/// Sweep parameters shared by the harness binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepParams {
+    /// Accesses of warmup (state training, unmeasured).
+    pub warmup: usize,
+    /// Accesses measured.
+    pub measure: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Use the laptop-scale ReSemble training config.
+    pub fast: bool,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for SweepParams {
+    fn default() -> Self {
+        Self {
+            warmup: 20_000,
+            measure: 80_000,
+            seed: 42,
+            fast: true,
+            sim: SimConfig::harness(),
+            threads: 0,
+        }
+    }
+}
+
+impl SweepParams {
+    fn n_threads(&self, jobs: usize) -> usize {
+        let avail = if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        };
+        avail.min(jobs).max(1)
+    }
+}
+
+/// Run one (app, prefetcher) pair: identical traces for baseline and
+/// prefetcher runs.
+pub fn run_one(app: &str, pf: &str, p: &SweepParams) -> RunResult {
+    let baseline = {
+        let mut src = app_by_name(app, p.seed).expect("valid app name").source;
+        let mut engine = Engine::new(p.sim);
+        engine.run(&mut *src, None, p.warmup, p.measure)
+    };
+    let with_pf = {
+        let mut src = app_by_name(app, p.seed).expect("valid app name").source;
+        let mut engine = Engine::new(p.sim);
+        let mut pref = factory::make(pf, p.seed, p.fast);
+        engine.run(&mut *src, Some(&mut *pref), p.warmup, p.measure)
+    };
+    RunResult {
+        app: app.to_string(),
+        pf: pf.to_string(),
+        baseline,
+        with_pf,
+    }
+}
+
+/// Run the full `apps × pfs` matrix in parallel; results are returned in
+/// `(app-major, pf-minor)` order regardless of completion order.
+pub fn run_matrix(apps: &[String], pfs: &[&str], p: &SweepParams) -> Vec<RunResult> {
+    let jobs: Vec<(usize, String, String)> = apps
+        .iter()
+        .flat_map(|a| pfs.iter().map(move |&f| (a.clone(), f.to_string())))
+        .enumerate()
+        .map(|(i, (a, f))| (i, a, f))
+        .collect();
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let n_threads = p.n_threads(jobs.len());
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, String, String)>();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, RunResult)>();
+    for j in jobs.iter().cloned() {
+        job_tx.send(j).expect("queue open");
+    }
+    drop(job_tx);
+    std::thread::scope(|s| {
+        for _ in 0..n_threads {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let p = *p;
+            s.spawn(move || {
+                while let Ok((i, app, pf)) = job_rx.recv() {
+                    let r = run_one(&app, &pf, &p);
+                    res_tx.send((i, r)).expect("result channel open");
+                }
+            });
+        }
+        drop(res_tx);
+        let mut out: Vec<Option<RunResult>> = (0..jobs.len()).map(|_| None).collect();
+        while let Ok((i, r)) = res_rx.recv() {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("all jobs completed"))
+            .collect()
+    })
+}
+
+/// Write results as JSON when `--json PATH` was given.
+pub fn maybe_write_json<T: Serialize>(path: Option<&str>, value: &T) {
+    if let Some(path) = path {
+        match serde_json::to_string_pretty(value) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(path, s) {
+                    eprintln!("warning: could not write {path}: {e}");
+                } else {
+                    eprintln!("wrote {path}");
+                }
+            }
+            Err(e) => eprintln!("warning: JSON serialization failed: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SweepParams {
+        SweepParams {
+            warmup: 500,
+            measure: 2000,
+            sim: SimConfig::test_small(),
+            threads: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_one_produces_consistent_stats() {
+        let r = run_one("433.milc", "bo", &tiny());
+        assert_eq!(r.baseline.demand_accesses, 2000);
+        assert_eq!(r.with_pf.demand_accesses, 2000);
+        assert_eq!(r.baseline.instructions, r.with_pf.instructions);
+        assert!(r.with_pf.prefetches_issued > 0);
+    }
+
+    #[test]
+    fn matrix_preserves_order_and_parallelizes() {
+        let apps = vec!["433.milc".to_string(), "471.omnetpp".to_string()];
+        let rs = run_matrix(&apps, &["bo", "isb"], &tiny());
+        assert_eq!(rs.len(), 4);
+        assert_eq!((rs[0].app.as_str(), rs[0].pf.as_str()), ("433.milc", "bo"));
+        assert_eq!(
+            (rs[3].app.as_str(), rs[3].pf.as_str()),
+            ("471.omnetpp", "isb")
+        );
+    }
+
+    #[test]
+    fn matrix_matches_serial_run() {
+        let apps = vec!["433.milc".to_string()];
+        let par = run_matrix(&apps, &["bo"], &tiny());
+        let ser = run_one("433.milc", "bo", &tiny());
+        assert_eq!(
+            format!("{:?}", par[0].with_pf),
+            format!("{:?}", ser.with_pf)
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! MLP-based DQN ensemble agent (paper §IV-C/E, Algorithm 1).
+//!
+//! Two shallow MLPs approximate the Q-function: the *policy net* trains
+//! online every `I_p` steps on lazily-sampled valid transitions; the
+//! *target net* serves inference and the bootstrap targets (Eq. 10). Every
+//! `I_t` steps the two networks *switch roles* and synchronize — the
+//! paper's trick for avoiding weight-copy stalls in hardware.
+
+use crate::config::ResembleConfig;
+use crate::replay::ReplayMemory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use resemble_nn::{Activation, GradBuffer, Mlp, Scratch, Sgd};
+
+/// DQN agent with decaying ε-greedy action selection.
+pub struct DqnAgent {
+    cfg: ResembleConfig,
+    policy: Mlp,
+    target: Mlp,
+    scratch_p: Scratch,
+    scratch_t: Scratch,
+    grads: GradBuffer,
+    opt: Sgd,
+    rng: StdRng,
+    step: u64,
+    /// training statistics
+    pub train_steps: u64,
+    /// role switches performed
+    pub role_switches: u64,
+    /// when set, `train_tick` is a no-op (frozen inference, used by the
+    /// quantization study)
+    pub frozen: bool,
+}
+
+impl DqnAgent {
+    /// Build an agent for the given configuration.
+    pub fn new(cfg: ResembleConfig, seed: u64) -> Self {
+        let sizes = [cfg.input_dim(), cfg.hidden_dim, cfg.action_dim];
+        let policy = Mlp::new(&sizes, Activation::Relu, seed);
+        let target = policy.clone();
+        let scratch_p = policy.make_scratch();
+        let scratch_t = target.make_scratch();
+        let grads = policy.make_grad_buffer();
+        Self {
+            opt: Sgd::new(cfg.learning_rate),
+            cfg,
+            policy,
+            target,
+            scratch_p,
+            scratch_t,
+            grads,
+            rng: StdRng::seed_from_u64(seed ^ 0x5EED),
+            step: 0,
+            train_steps: 0,
+            role_switches: 0,
+            frozen: false,
+        }
+    }
+
+    /// Quantize both networks to `bits`-bit fixed point (hardware study,
+    /// paper §VIII); returns the RMS parameter error of the inference net.
+    pub fn quantize(&mut self, bits: u32) -> f32 {
+        let (_, rms) = resemble_nn::quantize_mlp(&mut self.target, bits);
+        resemble_nn::quantize_mlp(&mut self.policy, bits);
+        rms
+    }
+
+    /// Current ε under the decay schedule.
+    pub fn epsilon(&self) -> f64 {
+        self.cfg.epsilon(self.step)
+    }
+
+    /// Total parameters across both networks.
+    pub fn param_count(&self) -> usize {
+        self.policy.param_count() + self.target.param_count()
+    }
+
+    /// Q-values of the inference (target) network for a state.
+    pub fn q_values(&mut self, state: &[f32]) -> &[f32] {
+        self.target.forward(state, &mut self.scratch_t)
+    }
+
+    /// ε-greedy action selection on the inference network (Eq. 8 /
+    /// Algorithm 1 lines 10–14). Advances the exploration step counter.
+    pub fn select_action(&mut self, state: &[f32]) -> usize {
+        let eps = self.cfg.epsilon(self.step);
+        self.step += 1;
+        if self.rng.gen_bool(eps) {
+            self.rng.gen_range(0..self.cfg.action_dim)
+        } else {
+            self.target.argmax(state, &mut self.scratch_t)
+        }
+    }
+
+    /// Greedy action (no exploration), for evaluation probes.
+    pub fn greedy_action(&mut self, state: &[f32]) -> usize {
+        self.target.argmax(state, &mut self.scratch_t)
+    }
+
+    /// One online-training tick (Algorithm 1 lines 31–39): every `I_p`
+    /// steps sample a batch of valid transitions and take one SGD step on
+    /// the policy net; every `I_t` steps switch the networks' roles.
+    pub fn train_tick(&mut self, replay: &mut ReplayMemory) {
+        if self.frozen {
+            return;
+        }
+        if self.step.is_multiple_of(self.cfg.policy_update_interval) {
+            self.train_once(replay);
+        }
+        if self.step > 0 && self.step.is_multiple_of(self.cfg.target_update_interval) {
+            self.role_switch();
+        }
+    }
+
+    /// Sample and apply one batch update (Eq. 9–11).
+    fn train_once(&mut self, replay: &mut ReplayMemory) {
+        let ids = replay.sample_ids(self.cfg.batch_size, &mut self.rng);
+        if ids.is_empty() {
+            return;
+        }
+        let gamma = self.cfg.gamma;
+        let a_dim = self.cfg.action_dim;
+        let mut out_grad = vec![0.0f32; a_dim];
+        for id in ids {
+            let Some(t) = replay.get(id) else { continue };
+            let (reward, next) = match (t.reward, t.next_state.as_ref()) {
+                (Some(r), Some(n)) => (r, n),
+                _ => continue,
+            };
+            // y_j = r_j + γ max_a' MLP_t(s_{j+1}, a')
+            let q_next = self.target.forward(next, &mut self.scratch_t);
+            let max_next = q_next.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let y = reward + gamma * max_next;
+            // Gradient of 0.5 (Q(s,a) - y)^2 wrt the selected action only.
+            let q = self.policy.forward(&t.state, &mut self.scratch_p);
+            out_grad.fill(0.0);
+            out_grad[t.action] = q[t.action] - y;
+            let action = t.action;
+            let _ = action;
+            self.policy
+                .backward(&mut self.scratch_p, &out_grad, &mut self.grads);
+        }
+        self.policy.apply_grads(&mut self.grads, &mut self.opt);
+        self.train_steps += 1;
+    }
+
+    /// Swap the roles of policy and target net, then synchronize (the
+    /// paper's stall-free alternative to copying weights into the
+    /// inference net).
+    fn role_switch(&mut self) {
+        std::mem::swap(&mut self.policy, &mut self.target);
+        std::mem::swap(&mut self.scratch_p, &mut self.scratch_t);
+        // Synchronize: the new policy resumes from the freshly-trained
+        // weights now serving inference.
+        self.policy.copy_params_from(&self.target);
+        self.grads.clear();
+        self.role_switches += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg2() -> ResembleConfig {
+        // 2 prefetchers, 3 actions, tiny nets for fast tests.
+        ResembleConfig {
+            state_dim: 2,
+            action_dim: 3,
+            hidden_dim: 16,
+            batch_size: 16,
+            eps_start: 0.9,
+            eps_end: 0.0,
+            eps_decay: 30.0,
+            learning_rate: 0.05,
+            ..ResembleConfig::default()
+        }
+    }
+
+    /// Synthetic environment: action 0 always pays +1, action 1 always −1,
+    /// action 2 (NP) pays 0; state is noise. The agent must learn to pick
+    /// action 0.
+    #[test]
+    fn learns_dominant_action() {
+        let cfg = cfg2();
+        let mut agent = DqnAgent::new(cfg, 7);
+        let mut replay = ReplayMemory::new(cfg.replay_capacity, cfg.window);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut prev: Option<u64> = None;
+        for _ in 0..1500 {
+            let s = vec![rng.gen::<f32>(), rng.gen::<f32>()];
+            if let Some(p) = prev {
+                replay.set_next_state(p, &s);
+            }
+            let a = agent.select_action(&s);
+            let r = match a {
+                0 => 1.0,
+                1 => -1.0,
+                _ => 0.0,
+            };
+            // Deliver the reward synchronously via direct assignment: push
+            // as NP (reward 0) is wrong, so push with a fake block and hit
+            // or expire it — simpler: emulate by pushing prefetch and
+            // immediately accessing/hitting for +1 or letting it expire.
+            let id = if r == 0.0 {
+                replay.push(s.clone(), a, &[])
+            } else {
+                let block = if r > 0.0 { 0xAAA } else { 0xBBB };
+                replay.push(s.clone(), a, &[block])
+            };
+            // +1 rewards hit next access; −1 rewards expire via window.
+            let mut assigned = Vec::new();
+            replay.on_access(0xAAA, &mut assigned);
+            prev = Some(id);
+            agent.train_tick(&mut replay);
+        }
+        // Greedy policy should now prefer action 0.
+        let mut wins = 0;
+        for _ in 0..50 {
+            let s = vec![rng.gen::<f32>(), rng.gen::<f32>()];
+            if agent.greedy_action(&s) == 0 {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 40, "wins={wins}/50");
+        assert!(agent.train_steps > 0);
+    }
+
+    #[test]
+    fn epsilon_decays_with_steps() {
+        let mut agent = DqnAgent::new(cfg2(), 1);
+        let e0 = agent.epsilon();
+        for _ in 0..200 {
+            let _ = agent.select_action(&[0.0, 0.0]);
+        }
+        assert!(agent.epsilon() < e0 / 2.0);
+    }
+
+    #[test]
+    fn role_switch_happens_every_it_steps() {
+        let cfg = cfg2();
+        let mut agent = DqnAgent::new(cfg, 2);
+        let mut replay = ReplayMemory::new(64, 8);
+        for _ in 0..100 {
+            let _ = agent.select_action(&[0.1, 0.2]);
+            agent.train_tick(&mut replay);
+        }
+        assert_eq!(agent.role_switches, 100 / cfg.target_update_interval);
+    }
+
+    #[test]
+    fn networks_agree_after_switch() {
+        let cfg = cfg2();
+        let mut agent = DqnAgent::new(cfg, 5);
+        agent.role_switch();
+        let s = [0.3f32, 0.7];
+        let qp = agent.policy.predict(&s);
+        let qt = agent.target.predict(&s);
+        assert_eq!(qp, qt);
+    }
+
+    #[test]
+    fn param_count_matches_table_iv_for_paper_dims() {
+        let agent = DqnAgent::new(ResembleConfig::default(), 0);
+        // Two nets of 1005 parameters each (Table IV / Table VIII).
+        assert_eq!(agent.param_count(), 2 * 1005);
+    }
+
+    #[test]
+    fn frozen_agent_does_not_train() {
+        let cfg = cfg2();
+        let mut agent = DqnAgent::new(cfg, 3);
+        agent.frozen = true;
+        let mut replay = ReplayMemory::new(64, 8);
+        let id = replay.push(vec![0.0, 0.0], 2, &[]);
+        replay.set_next_state(id, &[0.1, 0.1]);
+        for _ in 0..50 {
+            let _ = agent.select_action(&[0.0, 0.0]);
+            agent.train_tick(&mut replay);
+        }
+        assert_eq!(agent.train_steps, 0);
+        assert_eq!(agent.role_switches, 0);
+    }
+
+    #[test]
+    fn quantize_preserves_behaviour_at_16_bits() {
+        let mut agent = DqnAgent::new(cfg2(), 5);
+        let s = [0.3f32, 0.8];
+        let before = agent.greedy_action(&s);
+        let rms = agent.quantize(16);
+        assert!(rms < 1e-4);
+        assert_eq!(agent.greedy_action(&s), before);
+    }
+
+    #[test]
+    fn train_tick_with_empty_replay_is_safe() {
+        let cfg = cfg2();
+        let mut agent = DqnAgent::new(cfg, 9);
+        let mut replay = ReplayMemory::new(16, 4);
+        for _ in 0..50 {
+            let _ = agent.select_action(&[0.0, 0.0]);
+            agent.train_tick(&mut replay);
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! RL agents: the MLP/DQN controller and the tabular Q-learning variant.
+
+pub mod dqn;
+pub mod tabular;
+
+pub use dqn::DqnAgent;
+pub use tabular::TabularAgent;

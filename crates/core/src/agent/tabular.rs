@@ -1,0 +1,396 @@
+//! Tabular Q-learning ensemble agent (paper §IV-F, Fig 5).
+//!
+//! States are hashed (4- or 8-bit per element, Eq. 12) and *tokenized*:
+//! because the hashed state space is sparse, unique state vectors map to
+//! dense row indices of the Q-table, compressing `2^{BS}·A` theoretical
+//! entries down to `A · #unique-states` (Table IV). Rewards arrive lazily
+//! through a small pending buffer (no replay memory needed: each
+//! transition performs exactly one Q update once its reward and next
+//! state are known, Eq. 13).
+
+use crate::config::ResembleConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use resemble_trace::util::FxHashMap;
+use std::collections::VecDeque;
+
+/// A pending transition awaiting reward and/or next state.
+#[derive(Debug, Clone)]
+struct Pending {
+    id: u64,
+    token: u32,
+    action: usize,
+    prefetch_blocks: Vec<u64>,
+    hits: u32,
+    reward: Option<f32>,
+    next_token: Option<u32>,
+    applied: bool,
+}
+
+/// Tabular Q-learning agent with state tokenization.
+pub struct TabularAgent {
+    cfg: ResembleConfig,
+    /// hash bits per state element (4 or 8 in the paper)
+    hash_bits: u32,
+    /// state-vector key → token
+    tokens: FxHashMap<u64, u32>,
+    /// Q-table: token → per-action values
+    q: Vec<Vec<f32>>,
+    pending: VecDeque<Pending>,
+    by_block: FxHashMap<u64, Vec<u64>>,
+    next_id: u64,
+    rng: StdRng,
+    step: u64,
+    /// Q updates performed
+    pub updates: u64,
+}
+
+impl TabularAgent {
+    /// Build a tabular agent; `hash_bits` is B in Table IV (4 or 8).
+    pub fn new(cfg: ResembleConfig, hash_bits: u32, seed: u64) -> Self {
+        assert!(hash_bits > 0 && hash_bits <= 16);
+        Self {
+            cfg,
+            hash_bits,
+            tokens: FxHashMap::default(),
+            q: Vec::new(),
+            pending: VecDeque::new(),
+            by_block: FxHashMap::default(),
+            next_id: 0,
+            rng: StdRng::seed_from_u64(seed),
+            step: 0,
+            updates: 0,
+        }
+    }
+
+    /// Hash bits per state element.
+    pub fn hash_bits(&self) -> u32 {
+        self.hash_bits
+    }
+
+    /// Number of unique states tokenized so far (Table IV "token" rows).
+    pub fn unique_states(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Q-table entries currently allocated (`A × unique states`).
+    pub fn table_entries(&self) -> usize {
+        self.q.len() * self.cfg.action_dim
+    }
+
+    /// Current ε.
+    pub fn epsilon(&self) -> f64 {
+        self.cfg.epsilon(self.step)
+    }
+
+    /// Map a hashed state vector to its dense token, allocating on first
+    /// sight (the Fig 5 "Mapping" stage).
+    pub fn tokenize(&mut self, state: &[u16]) -> u32 {
+        let mut key = 0xcbf2_9ce4_8422_2325u64;
+        for &e in state {
+            key = (key ^ e as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        match self.tokens.get(&key) {
+            Some(&t) => t,
+            None => {
+                let t = self.q.len() as u32;
+                self.tokens.insert(key, t);
+                self.q.push(vec![0.0; self.cfg.action_dim]);
+                t
+            }
+        }
+    }
+
+    /// ε-greedy action for a token; ties (notably the all-zero rows of
+    /// freshly tokenized states) are broken uniformly at random.
+    pub fn select_action(&mut self, token: u32) -> usize {
+        let eps = self.cfg.epsilon(self.step);
+        self.step += 1;
+        if self.rng.gen_bool(eps) {
+            self.rng.gen_range(0..self.cfg.action_dim)
+        } else {
+            let row = &self.q[token as usize];
+            let best = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let ties = row.iter().filter(|&&v| v == best).count();
+            let mut pick = self.rng.gen_range(0..ties);
+            row.iter()
+                .position(|&v| {
+                    if v == best {
+                        if pick == 0 {
+                            return true;
+                        }
+                        pick -= 1;
+                    }
+                    false
+                })
+                .expect("at least one maximum")
+        }
+    }
+
+    /// Greedy action for a token (deterministic, ties to the lowest index).
+    pub fn greedy_action(&self, token: u32) -> usize {
+        let row = &self.q[token as usize];
+        let mut best = 0;
+        for i in 1..row.len() {
+            if row[i] > row[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Q-value row for a token (for inspection/tests).
+    pub fn q_row(&self, token: u32) -> &[f32] {
+        &self.q[token as usize]
+    }
+
+    /// Record a taken transition; empty `prefetch_blocks` = NP (reward 0).
+    /// Like the replay memory, the reward is the number of issued blocks
+    /// demanded within the window (or −1 when none is).
+    pub fn record(&mut self, token: u32, action: usize, prefetch_blocks: &[u64]) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let reward = if prefetch_blocks.is_empty() {
+            Some(0.0)
+        } else {
+            None
+        };
+        self.pending.push_back(Pending {
+            id,
+            token,
+            action,
+            prefetch_blocks: prefetch_blocks.to_vec(),
+            hits: 0,
+            reward,
+            next_token: None,
+            applied: false,
+        });
+        for &b in prefetch_blocks {
+            self.by_block.entry(b).or_default().push(id);
+        }
+        // Bound the buffer: entries older than the reward window that were
+        // already applied can go.
+        while self.pending.len() > 2 * self.cfg.window {
+            if let Some(front) = self.pending.front() {
+                if front.applied {
+                    self.pending.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Fill in the next-state token for the most recent transition.
+    pub fn set_next_token(&mut self, next_token: u32) {
+        // The most recent pending entry without a next token is the one
+        // recorded at t-1.
+        if let Some(p) = self
+            .pending
+            .iter_mut()
+            .rev()
+            .find(|p| p.next_token.is_none())
+        {
+            p.next_token = Some(next_token);
+        }
+        self.flush_ready();
+    }
+
+    /// Process a demand access: credits hits to pending prefetches of
+    /// `block`, finalizes entries older than the window (+hits or −1) —
+    /// the lazy-sampling analogue.
+    pub fn on_access(&mut self, block: u64, assigned: &mut Vec<f32>) {
+        assigned.clear();
+        if let Some(ids) = self.by_block.remove(&block) {
+            for id in ids {
+                if let Some(p) = self.pending.iter_mut().find(|p| p.id == id) {
+                    if p.reward.is_none() {
+                        p.hits += 1;
+                        assigned.push(1.0);
+                        if p.hits as usize >= p.prefetch_blocks.len() {
+                            p.reward = Some(p.hits as f32);
+                        }
+                    }
+                }
+            }
+        }
+        let horizon = self.next_id.saturating_sub(self.cfg.window as u64);
+        let mut stale: Vec<(u64, Vec<u64>)> = Vec::new();
+        for p in self.pending.iter_mut() {
+            if p.id >= horizon {
+                break;
+            }
+            if p.reward.is_none() {
+                let r = if p.hits > 0 { p.hits as f32 } else { -1.0 };
+                p.reward = Some(r);
+                if p.hits == 0 {
+                    assigned.push(-1.0);
+                }
+                stale.push((p.id, p.prefetch_blocks.clone()));
+            }
+        }
+        for (id, blocks) in stale {
+            for b in blocks {
+                if let Some(ids) = self.by_block.get_mut(&b) {
+                    ids.retain(|&x| x != id);
+                    if ids.is_empty() {
+                        self.by_block.remove(&b);
+                    }
+                }
+            }
+        }
+        self.flush_ready();
+    }
+
+    /// Apply Eq. 13 to every pending transition whose reward and next
+    /// token are both known.
+    fn flush_ready(&mut self) {
+        let alpha = self.cfg.learning_rate;
+        let gamma = self.cfg.gamma;
+        for i in 0..self.pending.len() {
+            let (token, action, reward, next_token) = {
+                let p = &self.pending[i];
+                if p.applied {
+                    continue;
+                }
+                match (p.reward, p.next_token) {
+                    (Some(r), Some(n)) => (p.token, p.action, r, n),
+                    _ => continue,
+                }
+            };
+            let max_next = self.q[next_token as usize]
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max);
+            let qsa = self.q[token as usize][action];
+            self.q[token as usize][action] = qsa + alpha * (reward + gamma * max_next - qsa);
+            self.pending[i].applied = true;
+            self.updates += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ResembleConfig {
+        ResembleConfig {
+            state_dim: 2,
+            action_dim: 3,
+            window: 8,
+            eps_start: 0.5,
+            eps_end: 0.0,
+            eps_decay: 20.0,
+            learning_rate: 0.3,
+            ..ResembleConfig::default()
+        }
+    }
+
+    #[test]
+    fn tokenization_is_stable_and_dense() {
+        let mut a = TabularAgent::new(cfg(), 8, 1);
+        let t1 = a.tokenize(&[3, 200]);
+        let t2 = a.tokenize(&[5, 7]);
+        let t1b = a.tokenize(&[3, 200]);
+        assert_eq!(t1, t1b);
+        assert_ne!(t1, t2);
+        assert_eq!(a.unique_states(), 2);
+        assert_eq!(a.table_entries(), 6);
+    }
+
+    #[test]
+    fn q_update_applies_eq13() {
+        let mut a = TabularAgent::new(cfg(), 8, 1);
+        let s = a.tokenize(&[1, 1]);
+        let s2 = a.tokenize(&[2, 2]);
+        a.record(s, 0, &[0x9]);
+        a.set_next_token(s2);
+        let mut rewards = Vec::new();
+        a.on_access(0x9, &mut rewards); // hit: r = +1
+        assert_eq!(rewards, vec![1.0]);
+        // Q(s,0) = 0 + 0.3 * (1 + 0.9*0 - 0) = 0.3
+        assert!((a.q_row(s)[0] - 0.3).abs() < 1e-6);
+        assert_eq!(a.updates, 1);
+    }
+
+    #[test]
+    fn expiry_gives_negative_reward() {
+        let mut a = TabularAgent::new(cfg(), 8, 1);
+        let s = a.tokenize(&[1, 1]);
+        a.record(s, 1, &[0x42]);
+        a.set_next_token(s);
+        let mut rewards = Vec::new();
+        // Push the horizon past the window with NP records.
+        for _ in 0..10 {
+            a.record(s, 2, &[]);
+            a.set_next_token(s);
+            a.on_access(0x1, &mut rewards);
+        }
+        assert!(a.q_row(s)[1] < 0.0, "q={:?}", a.q_row(s));
+    }
+
+    #[test]
+    fn np_action_rewards_zero() {
+        let mut a = TabularAgent::new(cfg(), 8, 1);
+        let s = a.tokenize(&[1, 1]);
+        a.record(s, 2, &[]);
+        a.set_next_token(s);
+        // r=0, maxQ(s')=0 → Q stays 0.
+        assert_eq!(a.q_row(s)[2], 0.0);
+        assert_eq!(a.updates, 1);
+    }
+
+    #[test]
+    fn learns_dominant_action_greedily() {
+        let mut a = TabularAgent::new(cfg(), 8, 3);
+        let s = a.tokenize(&[7, 7]);
+        let mut rewards = Vec::new();
+        for _ in 0..200 {
+            let act = a.select_action(s);
+            let blocks: &[u64] = match act {
+                0 => &[0xA], // will hit
+                1 => &[0xB], // will expire
+                _ => &[],
+            };
+            a.record(s, act, blocks);
+            a.set_next_token(s);
+            a.on_access(0xA, &mut rewards);
+        }
+        assert_eq!(a.greedy_action(s), 0, "q={:?}", a.q_row(s));
+    }
+
+    #[test]
+    fn pending_buffer_stays_bounded() {
+        let mut a = TabularAgent::new(cfg(), 8, 1);
+        let s = a.tokenize(&[1, 2]);
+        let mut r = Vec::new();
+        for i in 0..1000u64 {
+            a.record(s, 0, &[0x1000 + i]);
+            a.set_next_token(s);
+            a.on_access(0x1, &mut r);
+        }
+        assert!(
+            a.pending.len() <= 2 * cfg().window + 4,
+            "len={}",
+            a.pending.len()
+        );
+    }
+
+    #[test]
+    fn four_bit_hash_yields_fewer_unique_states() {
+        // Same stream of states hashed at 4 vs 8 bits: 4-bit must coarsen.
+        use crate::preprocess::fold_hash;
+        let mut a4 = TabularAgent::new(cfg(), 4, 1);
+        let mut a8 = TabularAgent::new(cfg(), 8, 1);
+        for i in 0..500u64 {
+            let raw = [i * 77, i * 131 + 5];
+            let s4: Vec<u16> = raw.iter().map(|&v| fold_hash(v, 4) as u16).collect();
+            let s8: Vec<u16> = raw.iter().map(|&v| fold_hash(v, 8) as u16).collect();
+            a4.tokenize(&s4);
+            a8.tokenize(&s8);
+        }
+        assert!(a4.unique_states() < a8.unique_states());
+        assert!(a4.unique_states() <= 256); // 2^(4*2)
+    }
+}

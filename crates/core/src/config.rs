@@ -1,0 +1,193 @@
+//! ReSemble framework configuration — Table III of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the ensemble framework (environment + agent columns of
+/// Table III). Defaults are the paper's values.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ResembleConfig {
+    // --- environment / preprocessing ---
+    /// Address width in bits (64).
+    pub address_bits: u32,
+    /// Block offset bits (6).
+    pub block_offset: u32,
+    /// Page offset bits (12).
+    pub page_offset: u32,
+    /// Number of input prefetchers = state dimension S (4).
+    pub state_dim: usize,
+    /// Action dimension A = S + 1 for "no prefetch" (5).
+    pub action_dim: usize,
+    /// Hash bits for MLP preprocessing (16).
+    pub hash_bits: u32,
+    /// Include the hashed PC as an extra state feature (Table VI ablation).
+    pub with_pc: bool,
+
+    // --- agent ---
+    /// Replay memory capacity R (2000).
+    pub replay_capacity: usize,
+    /// Prefetch reward window W in accesses (256).
+    pub window: usize,
+    /// Training batch size (256).
+    pub batch_size: usize,
+    /// ε-greedy start (0.95).
+    pub eps_start: f64,
+    /// ε-greedy end (0.005).
+    pub eps_end: f64,
+    /// ε decay constant (80).
+    pub eps_decay: f64,
+    /// Policy-net update interval I_p in steps (1).
+    pub policy_update_interval: u64,
+    /// Target-net role-switch interval I_t in steps (20).
+    pub target_update_interval: u64,
+    /// Hidden layer width H (100).
+    pub hidden_dim: usize,
+    /// Reward discount factor γ.
+    pub gamma: f32,
+    /// SGD learning rate α.
+    pub learning_rate: f32,
+}
+
+impl Default for ResembleConfig {
+    fn default() -> Self {
+        Self {
+            address_bits: 64,
+            block_offset: 6,
+            page_offset: 12,
+            state_dim: 4,
+            action_dim: 5,
+            hash_bits: 16,
+            with_pc: false,
+            replay_capacity: 2000,
+            window: 256,
+            batch_size: 256,
+            eps_start: 0.95,
+            eps_end: 0.005,
+            eps_decay: 80.0,
+            policy_update_interval: 1,
+            target_update_interval: 20,
+            hidden_dim: 100,
+            gamma: 0.9,
+            learning_rate: 0.05,
+        }
+    }
+}
+
+impl ResembleConfig {
+    /// Configuration for `n` input prefetchers (state dim n, action dim n+1).
+    pub fn for_inputs(n: usize) -> Self {
+        assert!(n >= 1);
+        Self {
+            state_dim: n,
+            action_dim: n + 1,
+            ..Self::default()
+        }
+    }
+
+    /// A cheaper training configuration for laptop-scale harness runs:
+    /// batch 32 instead of 256 (the paper trains the 256-batch on a GPU).
+    /// Ablation `ablation_replay` quantifies the difference.
+    pub fn fast() -> Self {
+        Self {
+            batch_size: 32,
+            ..Self::default()
+        }
+    }
+
+    /// ε at a given step (the paper's exponential decay schedule).
+    pub fn epsilon(&self, step: u64) -> f64 {
+        self.eps_end + (self.eps_start - self.eps_end) * (-(step as f64) / self.eps_decay).exp()
+    }
+
+    /// MLP input dimension: S (+1 when the PC feature is on).
+    pub fn input_dim(&self) -> usize {
+        self.state_dim + usize::from(self.with_pc)
+    }
+
+    /// The "no prefetch" action index.
+    pub fn np_action(&self) -> usize {
+        self.action_dim - 1
+    }
+
+    /// Table III rows for the harness printer: (name, value) pairs.
+    pub fn table_iii_rows(&self) -> Vec<(String, String)> {
+        vec![
+            ("Address bit".into(), self.address_bits.to_string()),
+            ("Block offset".into(), self.block_offset.to_string()),
+            ("Page offset".into(), self.page_offset.to_string()),
+            ("State dimension S".into(), self.state_dim.to_string()),
+            ("Action dimension A".into(), self.action_dim.to_string()),
+            ("Hash bit (for MLP)".into(), self.hash_bits.to_string()),
+            ("Replay memory R".into(), self.replay_capacity.to_string()),
+            ("Prefetch window size W".into(), self.window.to_string()),
+            (
+                "Batch size for training".into(),
+                self.batch_size.to_string(),
+            ),
+            ("eps_start".into(), self.eps_start.to_string()),
+            ("eps_end".into(), self.eps_end.to_string()),
+            ("decay".into(), self.eps_decay.to_string()),
+            (
+                "Policy net update interval I_p".into(),
+                self.policy_update_interval.to_string(),
+            ),
+            (
+                "Target net update interval I_t".into(),
+                self.target_update_interval.to_string(),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_iii() {
+        let c = ResembleConfig::default();
+        assert_eq!(c.address_bits, 64);
+        assert_eq!(c.block_offset, 6);
+        assert_eq!(c.page_offset, 12);
+        assert_eq!(c.state_dim, 4);
+        assert_eq!(c.action_dim, 5);
+        assert_eq!(c.hash_bits, 16);
+        assert_eq!(c.replay_capacity, 2000);
+        assert_eq!(c.window, 256);
+        assert_eq!(c.batch_size, 256);
+        assert_eq!(c.eps_start, 0.95);
+        assert_eq!(c.eps_end, 0.005);
+        assert_eq!(c.eps_decay, 80.0);
+        assert_eq!(c.policy_update_interval, 1);
+        assert_eq!(c.target_update_interval, 20);
+        assert_eq!(c.hidden_dim, 100);
+    }
+
+    #[test]
+    fn epsilon_decays_from_start_to_end() {
+        let c = ResembleConfig::default();
+        assert!((c.epsilon(0) - 0.95).abs() < 1e-9);
+        assert!(c.epsilon(100) < c.epsilon(10));
+        assert!((c.epsilon(1_000_000) - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn input_dim_with_pc() {
+        let mut c = ResembleConfig::default();
+        assert_eq!(c.input_dim(), 4);
+        c.with_pc = true;
+        assert_eq!(c.input_dim(), 5);
+    }
+
+    #[test]
+    fn for_inputs_scales_dims() {
+        let c = ResembleConfig::for_inputs(6);
+        assert_eq!(c.state_dim, 6);
+        assert_eq!(c.action_dim, 7);
+        assert_eq!(c.np_action(), 6);
+    }
+
+    #[test]
+    fn table_iii_renders_14_rows() {
+        assert_eq!(ResembleConfig::default().table_iii_rows().len(), 14);
+    }
+}

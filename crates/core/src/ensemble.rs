@@ -1,0 +1,492 @@
+//! The ReSemble ensemble prefetchers: the MLP/DQN controller
+//! ([`ResembleMlp`]) and the tabular variant ([`ResembleTabular`]), each
+//! wrapping a [`PrefetcherBank`] and implementing [`Prefetcher`] so the
+//! simulator can host them like any hardware prefetcher.
+//!
+//! Each access executes one iteration of Algorithm 1: collect the bank's
+//! suggestions (observation), preprocess to a state vector, update the
+//! previous transition's next-state, deliver lazy rewards from the current
+//! address, select an action ε-greedily, issue the chosen suggestion (or
+//! nothing for NP), and run the online-training tick.
+
+use crate::agent::dqn::DqnAgent;
+use crate::agent::tabular::TabularAgent;
+use crate::config::ResembleConfig;
+use crate::preprocess::{mlp_state, tabular_state};
+use crate::replay::ReplayMemory;
+use resemble_prefetch::{PredictionKind, Prefetcher, PrefetcherBank};
+use resemble_trace::record::block_of;
+use resemble_trace::MemAccess;
+
+/// Online statistics of an ensemble controller: per-action counts and
+/// windowed rewards (the Table VI / Fig 6 / Fig 7 measurements).
+#[derive(Debug, Clone)]
+pub struct EnsembleStats {
+    window: usize,
+    accesses: u64,
+    /// cumulative action counts
+    pub action_counts: Vec<u64>,
+    /// action counts of the current (incomplete) window
+    cur_actions: Vec<u32>,
+    cur_reward: f64,
+    n_in_window: usize,
+    /// per-window action counts (Fig 7)
+    pub window_actions: Vec<Vec<u32>>,
+    /// per-window reward sums (Table VI / Fig 6)
+    pub window_rewards: Vec<f64>,
+    /// total reward collected
+    pub total_reward: f64,
+}
+
+impl EnsembleStats {
+    /// Track windows of `window` accesses over `action_dim` actions.
+    pub fn new(action_dim: usize, window: usize) -> Self {
+        assert!(window > 0);
+        Self {
+            window,
+            accesses: 0,
+            action_counts: vec![0; action_dim],
+            cur_actions: vec![0; action_dim],
+            cur_reward: 0.0,
+            n_in_window: 0,
+            window_actions: Vec::new(),
+            window_rewards: Vec::new(),
+            total_reward: 0.0,
+        }
+    }
+
+    /// Record one access's action and the rewards assigned during it.
+    pub fn record(&mut self, action: usize, reward_sum: f64) {
+        self.accesses += 1;
+        self.action_counts[action] += 1;
+        self.cur_actions[action] += 1;
+        self.cur_reward += reward_sum;
+        self.total_reward += reward_sum;
+        self.n_in_window += 1;
+        if self.n_in_window == self.window {
+            self.window_actions.push(std::mem::replace(
+                &mut self.cur_actions,
+                vec![0; self.action_counts.len()],
+            ));
+            self.window_rewards.push(self.cur_reward);
+            self.cur_reward = 0.0;
+            self.n_in_window = 0;
+        }
+    }
+
+    /// Mean of per-window reward sums (the Table VI statistic).
+    pub fn mean_window_reward(&self) -> f64 {
+        if self.window_rewards.is_empty() {
+            0.0
+        } else {
+            self.window_rewards.iter().sum::<f64>() / self.window_rewards.len() as f64
+        }
+    }
+
+    /// Accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+/// The MLP-based ReSemble ensemble controller.
+pub struct ResembleMlp {
+    bank: PrefetcherBank,
+    kinds: Vec<PredictionKind>,
+    agent: DqnAgent,
+    replay: ReplayMemory,
+    cfg: ResembleConfig,
+    seed: u64,
+    prev_id: Option<u64>,
+    obs_buf: Vec<Option<u64>>,
+    state_buf: Vec<f32>,
+    blocks_buf: Vec<u64>,
+    assigned: Vec<(u64, f32)>,
+    /// online learning statistics (Table VI, Figs 6–7)
+    pub stats: EnsembleStats,
+}
+
+impl ResembleMlp {
+    /// Wrap a bank with an MLP controller. `cfg.state_dim` must equal the
+    /// bank size.
+    pub fn new(bank: PrefetcherBank, cfg: ResembleConfig, seed: u64) -> Self {
+        assert_eq!(bank.len(), cfg.state_dim, "bank size must equal state_dim");
+        let kinds = bank.kinds();
+        Self {
+            kinds,
+            agent: DqnAgent::new(cfg, seed),
+            replay: ReplayMemory::new(cfg.replay_capacity, cfg.window),
+            stats: EnsembleStats::new(cfg.action_dim, 1000),
+            cfg,
+            seed,
+            bank,
+            prev_id: None,
+            obs_buf: Vec::new(),
+            state_buf: Vec::new(),
+            blocks_buf: Vec::new(),
+            assigned: Vec::new(),
+        }
+    }
+
+    /// The paper's default configuration: BO + SPP + ISB + Domino under an
+    /// MLP controller with Table III hyper-parameters.
+    pub fn from_paper(seed: u64) -> Self {
+        Self::new(
+            resemble_prefetch::paper_bank(),
+            ResembleConfig::default(),
+            seed,
+        )
+    }
+
+    /// Access the underlying agent (for probes).
+    pub fn agent(&self) -> &DqnAgent {
+        &self.agent
+    }
+
+    /// Quantize the controller networks to `bits`-bit fixed point and
+    /// freeze training (the §VIII hardware study); returns the RMS
+    /// parameter error.
+    pub fn quantize_and_freeze(&mut self, bits: u32) -> f32 {
+        self.agent.frozen = true;
+        self.agent.quantize(bits)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ResembleConfig {
+        &self.cfg
+    }
+}
+
+impl Prefetcher for ResembleMlp {
+    fn name(&self) -> &'static str {
+        "resemble"
+    }
+
+    fn kind(&self) -> PredictionKind {
+        PredictionKind::Temporal // outputs range over the full address space
+    }
+
+    fn on_access(&mut self, access: &MemAccess, hit: bool, out: &mut Vec<u64>) {
+        let block = block_of(access.addr);
+        // Lazy reward delivery from the current address (Alg 1 lines 24–30).
+        self.replay.on_access(block, &mut self.assigned);
+        let reward_sum: f64 = self.assigned.iter().map(|&(_, r)| r as f64).sum();
+
+        // Observation and state (Eq. 4–6).
+        self.obs_buf.clear();
+        self.obs_buf
+            .extend_from_slice(self.bank.observe(access, hit));
+        mlp_state(
+            &self.obs_buf,
+            &self.kinds,
+            access.addr,
+            access.pc,
+            &self.cfg,
+            &mut self.state_buf,
+        );
+
+        // Complete the previous transition (Alg 1 line 23).
+        if let Some(pid) = self.prev_id {
+            self.replay.set_next_state(pid, &self.state_buf);
+        }
+
+        // Select and execute the action (Alg 1 lines 10–20). The reward
+        // tracks the member's top-1 block; the issued prefetches are the
+        // member's full suggestion list.
+        let action = self.agent.select_action(&self.state_buf);
+        self.blocks_buf.clear();
+        if action < self.bank.len() {
+            let sugg = self.bank.suggestions(action);
+            out.extend_from_slice(sugg);
+            self.blocks_buf.extend(sugg.iter().map(|&p| block_of(p)));
+        }
+        self.prev_id = Some(
+            self.replay
+                .push(self.state_buf.clone(), action, &self.blocks_buf),
+        );
+        self.stats.record(action, reward_sum);
+
+        // Online training tick (Alg 1 lines 31–39).
+        self.agent.train_tick(&mut self.replay);
+    }
+
+    fn on_prefetch_fill(&mut self, addr: u64) {
+        self.bank.on_prefetch_fill(addr);
+    }
+
+    fn on_demand_fill(&mut self, addr: u64) {
+        self.bank.on_demand_fill(addr);
+    }
+
+    fn on_evict(&mut self, addr: u64, unused_prefetch: bool) {
+        self.bank.on_evict(addr, unused_prefetch);
+    }
+
+    fn budget_bytes(&self) -> usize {
+        // Controller storage (Table VIII: two 16-bit MLPs on chip) on top
+        // of the input prefetchers' own budgets.
+        self.bank.budget_bytes() + self.agent.param_count() * 2
+    }
+
+    fn reset(&mut self) {
+        self.bank.reset();
+        self.agent = DqnAgent::new(self.cfg, self.seed);
+        self.replay = ReplayMemory::new(self.cfg.replay_capacity, self.cfg.window);
+        self.stats = EnsembleStats::new(self.cfg.action_dim, 1000);
+        self.prev_id = None;
+    }
+}
+
+/// The tabular (Q-table) ReSemble variant, §IV-F.
+pub struct ResembleTabular {
+    bank: PrefetcherBank,
+    kinds: Vec<PredictionKind>,
+    agent: TabularAgent,
+    cfg: ResembleConfig,
+    hash_bits: u32,
+    seed: u64,
+    obs_buf: Vec<Option<u64>>,
+    state_buf: Vec<u16>,
+    blocks_buf: Vec<u64>,
+    rewards_buf: Vec<f32>,
+    /// online learning statistics (Table VI, Figs 6–7)
+    pub stats: EnsembleStats,
+}
+
+impl ResembleTabular {
+    /// Wrap a bank with a tabular controller using `hash_bits`-bit hashing
+    /// (4 or 8 in the paper).
+    pub fn new(bank: PrefetcherBank, cfg: ResembleConfig, hash_bits: u32, seed: u64) -> Self {
+        assert_eq!(bank.len(), cfg.state_dim, "bank size must equal state_dim");
+        let kinds = bank.kinds();
+        Self {
+            kinds,
+            agent: TabularAgent::new(cfg, hash_bits, seed),
+            stats: EnsembleStats::new(cfg.action_dim, 1000),
+            cfg,
+            hash_bits,
+            seed,
+            bank,
+            obs_buf: Vec::new(),
+            state_buf: Vec::new(),
+            blocks_buf: Vec::new(),
+            rewards_buf: Vec::new(),
+        }
+    }
+
+    /// The paper's ReSemble-T: 8-bit hashing over the Table II bank.
+    pub fn from_paper(seed: u64) -> Self {
+        Self::new(
+            resemble_prefetch::paper_bank(),
+            ResembleConfig::default(),
+            8,
+            seed,
+        )
+    }
+
+    /// The underlying tabular agent (unique-state counts etc.).
+    pub fn agent(&self) -> &TabularAgent {
+        &self.agent
+    }
+}
+
+impl Prefetcher for ResembleTabular {
+    fn name(&self) -> &'static str {
+        "resemble_t"
+    }
+
+    fn kind(&self) -> PredictionKind {
+        PredictionKind::Temporal
+    }
+
+    fn on_access(&mut self, access: &MemAccess, hit: bool, out: &mut Vec<u64>) {
+        let block = block_of(access.addr);
+        self.agent.on_access(block, &mut self.rewards_buf);
+        let reward_sum: f64 = self.rewards_buf.iter().map(|&r| r as f64).sum();
+
+        self.obs_buf.clear();
+        self.obs_buf
+            .extend_from_slice(self.bank.observe(access, hit));
+        tabular_state(
+            &self.obs_buf,
+            &self.kinds,
+            access.addr,
+            access.pc,
+            self.hash_bits,
+            self.cfg.with_pc,
+            &mut self.state_buf,
+        );
+        let token = self.agent.tokenize(&self.state_buf);
+        self.agent.set_next_token(token);
+
+        let action = self.agent.select_action(token);
+        self.blocks_buf.clear();
+        if action < self.bank.len() {
+            let sugg = self.bank.suggestions(action);
+            out.extend_from_slice(sugg);
+            self.blocks_buf.extend(sugg.iter().map(|&p| block_of(p)));
+        }
+        self.agent.record(token, action, &self.blocks_buf);
+        self.stats.record(action, reward_sum);
+    }
+
+    fn on_prefetch_fill(&mut self, addr: u64) {
+        self.bank.on_prefetch_fill(addr);
+    }
+
+    fn on_demand_fill(&mut self, addr: u64) {
+        self.bank.on_demand_fill(addr);
+    }
+
+    fn on_evict(&mut self, addr: u64, unused_prefetch: bool) {
+        self.bank.on_evict(addr, unused_prefetch);
+    }
+
+    fn budget_bytes(&self) -> usize {
+        // Q-table storage grows with tokenized unique states (Table IV).
+        self.bank.budget_bytes() + self.agent.table_entries() * 2
+    }
+
+    fn reset(&mut self) {
+        self.bank.reset();
+        self.agent = TabularAgent::new(self.cfg, self.hash_bits, self.seed);
+        self.stats = EnsembleStats::new(self.cfg.action_dim, 1000);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resemble_prefetch::{NextLine, PrefetcherBank};
+    use resemble_trace::gen::{PointerChaseGen, StreamGen, TraceSource};
+
+    /// A deliberately bad prefetcher: suggests a far-away block that is
+    /// never demanded.
+    struct Junk;
+    impl Prefetcher for Junk {
+        fn name(&self) -> &'static str {
+            "junk"
+        }
+        fn kind(&self) -> PredictionKind {
+            PredictionKind::Temporal
+        }
+        fn on_access(&mut self, a: &MemAccess, _h: bool, out: &mut Vec<u64>) {
+            out.push(a.addr ^ 0x5555_5400_0000);
+        }
+        fn budget_bytes(&self) -> usize {
+            0
+        }
+        fn reset(&mut self) {}
+    }
+
+    fn two_bank() -> PrefetcherBank {
+        PrefetcherBank::new(vec![Box::new(NextLine::new(1)), Box::new(Junk)])
+    }
+
+    fn small_cfg() -> ResembleConfig {
+        ResembleConfig {
+            state_dim: 2,
+            action_dim: 3,
+            hidden_dim: 16,
+            batch_size: 16,
+            window: 64,
+            eps_decay: 200.0,
+            learning_rate: 0.05,
+            ..ResembleConfig::default()
+        }
+    }
+
+    #[test]
+    fn mlp_controller_learns_to_avoid_junk_on_stream() {
+        let mut ctl = ResembleMlp::new(two_bank(), small_cfg(), 42);
+        let mut src = StreamGen::new(1, 1, 1_000_000, 0).with_write_ratio(0.0);
+        let mut out = Vec::new();
+        for _ in 0..30_000 {
+            let a = src.next_access().unwrap();
+            out.clear();
+            ctl.on_access(&a, false, &mut out);
+        }
+        // Late windows: next-line (action 0) should dominate junk (action 1).
+        let n = ctl.stats.window_actions.len();
+        let late = &ctl.stats.window_actions[n - 5..];
+        let a0: u32 = late.iter().map(|w| w[0]).sum();
+        let a1: u32 = late.iter().map(|w| w[1]).sum();
+        assert!(a0 > 3 * a1, "next_line {a0} vs junk {a1}");
+        // Rewards trend positive.
+        let late_r: f64 = ctl.stats.window_rewards[n - 5..].iter().sum::<f64>() / 5.0;
+        assert!(late_r > 0.0, "late mean window reward {late_r}");
+    }
+
+    #[test]
+    fn tabular_controller_learns_too() {
+        let mut ctl = ResembleTabular::new(two_bank(), small_cfg(), 8, 42);
+        let mut src = StreamGen::new(1, 1, 1_000_000, 0).with_write_ratio(0.0);
+        let mut out = Vec::new();
+        for _ in 0..30_000 {
+            let a = src.next_access().unwrap();
+            out.clear();
+            ctl.on_access(&a, false, &mut out);
+        }
+        let n = ctl.stats.window_actions.len();
+        let late = &ctl.stats.window_actions[n - 5..];
+        let a0: u32 = late.iter().map(|w| w[0]).sum();
+        let a1: u32 = late.iter().map(|w| w[1]).sum();
+        assert!(a0 > 2 * a1, "next_line {a0} vs junk {a1}");
+        assert!(ctl.agent().unique_states() > 0);
+    }
+
+    #[test]
+    fn controller_emits_at_most_one_prefetch() {
+        let mut ctl = ResembleMlp::new(two_bank(), small_cfg(), 3);
+        let mut src = PointerChaseGen::new(2, 2, 50, 1);
+        let mut out = Vec::new();
+        for _ in 0..2000 {
+            let a = src.next_access().unwrap();
+            out.clear();
+            ctl.on_access(&a, false, &mut out);
+            assert!(out.len() <= 1);
+        }
+        // All three actions exercised under exploration.
+        assert!(ctl.stats.action_counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn stats_windows_cover_accesses() {
+        let mut ctl = ResembleMlp::new(two_bank(), small_cfg(), 3);
+        let mut src = StreamGen::new(5, 2, 512, 1);
+        let mut out = Vec::new();
+        for _ in 0..3500 {
+            let a = src.next_access().unwrap();
+            out.clear();
+            ctl.on_access(&a, false, &mut out);
+        }
+        assert_eq!(ctl.stats.accesses(), 3500);
+        assert_eq!(ctl.stats.window_rewards.len(), 3); // 1000-access windows
+        assert_eq!(ctl.stats.window_actions.len(), 3);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut ctl = ResembleTabular::new(two_bank(), small_cfg(), 8, 1);
+        let mut src = StreamGen::new(5, 1, 512, 1);
+        let mut out = Vec::new();
+        for _ in 0..500 {
+            let a = src.next_access().unwrap();
+            out.clear();
+            ctl.on_access(&a, false, &mut out);
+        }
+        assert!(ctl.agent().unique_states() > 0);
+        ctl.reset();
+        assert_eq!(ctl.agent().unique_states(), 0);
+        assert_eq!(ctl.stats.accesses(), 0);
+    }
+
+    #[test]
+    fn paper_constructors_have_paper_dims() {
+        let m = ResembleMlp::from_paper(1);
+        assert_eq!(m.config().state_dim, 4);
+        assert_eq!(m.config().action_dim, 5);
+        let t = ResembleTabular::from_paper(1);
+        assert_eq!(t.agent().hash_bits(), 8);
+    }
+}

@@ -1,0 +1,208 @@
+//! Observation preprocessing (paper §IV-B, Eq. 4–6 and Eq. 12).
+//!
+//! The observation is the vector of top-1 predictions from the input
+//! prefetchers, `o_t = [p_1 … p_N]`, spatial first then temporal. Spatial
+//! predictions are encoded as page-normalized deltas from the trigger
+//! address; temporal predictions are compressed with a bit-folding hash
+//! and normalized ("hash and norm"). Missing predictions are zero-padded.
+//! The tabular variant (Eq. 12) hashes both kinds without normalization.
+
+use crate::config::ResembleConfig;
+use resemble_prefetch::PredictionKind;
+
+/// Bit-folding hash: XOR-fold a 64-bit value down to `bits` bits.
+///
+/// This is the paper's hardware-friendly hash (`T_h = ⌈log2⌈64/bits⌉⌉`
+/// XOR stages in Table VII).
+#[inline]
+pub fn fold_hash(value: u64, bits: u32) -> u64 {
+    assert!(bits > 0 && bits <= 64);
+    if bits == 64 {
+        return value;
+    }
+    let mask = (1u64 << bits) - 1;
+    let mut v = value;
+    let mut out = 0u64;
+    while v != 0 {
+        out ^= v & mask;
+        v >>= bits;
+    }
+    out
+}
+
+/// Preprocess one prediction into an MLP state feature (Eq. 6).
+#[inline]
+pub fn mlp_feature(
+    prediction: Option<u64>,
+    kind: PredictionKind,
+    current_addr: u64,
+    cfg: &ResembleConfig,
+) -> f32 {
+    let Some(p) = prediction else { return 0.0 };
+    match kind {
+        PredictionKind::Spatial => {
+            let delta = p.abs_diff(current_addr);
+            delta as f32 / (1u64 << cfg.page_offset) as f32
+        }
+        PredictionKind::Temporal => {
+            fold_hash(p, cfg.hash_bits) as f32 / (1u64 << cfg.hash_bits) as f32
+        }
+    }
+}
+
+/// Build the full MLP state vector from an observation (Eq. 5), appending
+/// the normalized hashed PC when `cfg.with_pc` is set (Table VI ablation).
+pub fn mlp_state(
+    obs: &[Option<u64>],
+    kinds: &[PredictionKind],
+    current_addr: u64,
+    pc: u64,
+    cfg: &ResembleConfig,
+    out: &mut Vec<f32>,
+) {
+    assert_eq!(obs.len(), kinds.len());
+    assert_eq!(
+        obs.len(),
+        cfg.state_dim,
+        "observation size must match state_dim"
+    );
+    out.clear();
+    for (p, k) in obs.iter().zip(kinds) {
+        out.push(mlp_feature(*p, *k, current_addr, cfg));
+    }
+    if cfg.with_pc {
+        out.push(fold_hash(pc, cfg.hash_bits) as f32 / (1u64 << cfg.hash_bits) as f32);
+    }
+}
+
+/// Preprocess one prediction into a tabular state element (Eq. 12): hash
+/// of the delta for spatial predictions, hash of the address for temporal
+/// ones, no normalization. Missing predictions map to 0.
+#[inline]
+pub fn tabular_feature(
+    prediction: Option<u64>,
+    kind: PredictionKind,
+    current_addr: u64,
+    hash_bits: u32,
+) -> u16 {
+    let Some(p) = prediction else { return 0 };
+    let v = match kind {
+        PredictionKind::Spatial => fold_hash(p.abs_diff(current_addr), hash_bits),
+        PredictionKind::Temporal => fold_hash(p, hash_bits),
+    };
+    v as u16
+}
+
+/// Build the tabular state vector (plus optional hashed PC element).
+pub fn tabular_state(
+    obs: &[Option<u64>],
+    kinds: &[PredictionKind],
+    current_addr: u64,
+    pc: u64,
+    hash_bits: u32,
+    with_pc: bool,
+    out: &mut Vec<u16>,
+) {
+    assert_eq!(obs.len(), kinds.len());
+    out.clear();
+    for (p, k) in obs.iter().zip(kinds) {
+        out.push(tabular_feature(*p, *k, current_addr, hash_bits));
+    }
+    if with_pc {
+        out.push(fold_hash(pc, hash_bits) as u16);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_hash_ranges_and_determinism() {
+        for bits in [4u32, 8, 16] {
+            for v in [0u64, 1, 0xdead_beef_1234_5678, u64::MAX] {
+                let h = fold_hash(v, bits);
+                assert!(h < (1 << bits), "{h} out of {bits}-bit range");
+                assert_eq!(h, fold_hash(v, bits));
+            }
+        }
+        assert_eq!(fold_hash(42, 64), 42);
+    }
+
+    #[test]
+    fn fold_hash_distributes() {
+        // Folding must not collapse distinct page-sized strides.
+        use std::collections::HashSet;
+        let hs: HashSet<u64> = (0..256u64).map(|i| fold_hash(i * 4096, 8)).collect();
+        assert!(hs.len() > 100, "too many collisions: {}", hs.len());
+    }
+
+    #[test]
+    fn spatial_features_are_page_normalized() {
+        let cfg = ResembleConfig::default();
+        let cur = 0x1_0000u64;
+        // One block ahead: 64 / 4096.
+        let f = mlp_feature(Some(cur + 64), PredictionKind::Spatial, cur, &cfg);
+        assert!((f - 64.0 / 4096.0).abs() < 1e-6);
+        // Behind works too (absolute delta).
+        let b = mlp_feature(Some(cur - 128), PredictionKind::Spatial, cur, &cfg);
+        assert!((b - 128.0 / 4096.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn temporal_features_are_hash_normalized() {
+        let cfg = ResembleConfig::default();
+        let f = mlp_feature(Some(0xdead_beef), PredictionKind::Temporal, 0, &cfg);
+        assert!((0.0..1.0).contains(&f));
+        let expected = fold_hash(0xdead_beef, 16) as f32 / 65536.0;
+        assert!((f - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_predictions_zero_pad() {
+        let cfg = ResembleConfig::default();
+        assert_eq!(mlp_feature(None, PredictionKind::Spatial, 0, &cfg), 0.0);
+        assert_eq!(tabular_feature(None, PredictionKind::Temporal, 0, 8), 0);
+    }
+
+    #[test]
+    fn full_state_vector_layout() {
+        let mut cfg = ResembleConfig::default();
+        let kinds = [
+            PredictionKind::Spatial,
+            PredictionKind::Spatial,
+            PredictionKind::Temporal,
+            PredictionKind::Temporal,
+        ];
+        let obs = [Some(0x1040), None, Some(0x99_0000), None];
+        let mut s = Vec::new();
+        mlp_state(&obs, &kinds, 0x1000, 0x400, &cfg, &mut s);
+        assert_eq!(s.len(), 4);
+        assert!(s[0] > 0.0 && s[1] == 0.0 && s[2] > 0.0 && s[3] == 0.0);
+        cfg.with_pc = true;
+        mlp_state(&obs, &kinds, 0x1000, 0x400, &cfg, &mut s);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn tabular_state_vector() {
+        let kinds = [PredictionKind::Spatial, PredictionKind::Temporal];
+        let obs = [Some(0x2080u64), Some(0xffff_0000)];
+        let mut s = Vec::new();
+        tabular_state(&obs, &kinds, 0x2000, 0, 8, false, &mut s);
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|&x| x < 256));
+        tabular_state(&obs, &kinds, 0x2000, 0x88, 8, true, &mut s);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn four_bit_hash_compresses_more_than_eight() {
+        use std::collections::HashSet;
+        let addrs: Vec<u64> = (0..4096u64).map(|i| i * 131).collect();
+        let h4: HashSet<u64> = addrs.iter().map(|&a| fold_hash(a, 4)).collect();
+        let h8: HashSet<u64> = addrs.iter().map(|&a| fold_hash(a, 8)).collect();
+        assert!(h4.len() <= 16);
+        assert!(h8.len() > h4.len());
+    }
+}

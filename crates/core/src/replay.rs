@@ -1,0 +1,382 @@
+//! Replay memory with the paper's *lazy sampling* mechanism (§IV-D).
+//!
+//! A transition `(s_t, a_t, p_t, r_t, s_{t+1})` is pushed as soon as the
+//! action is taken, but its reward arrives asynchronously from cache
+//! feedback. The paper's reward is ±1 on the single issued prefetch; since
+//! our ensemble actions issue the selected prefetcher's *full* suggestion
+//! list (see `PrefetcherBank::suggestions`), the reward generalizes to the
+//! number of issued blocks demanded within the window `W` (+k), or −1 when
+//! none is — it degenerates to the paper's ±1 when every member suggests a
+//! single address, and aligns the learning signal with the coverage metric
+//! the evaluation reports. "No prefetch" still rewards 0 immediately.
+//!
+//! Only transitions whose reward *and* next state are known ("valid") may
+//! be sampled for training — invalid transitions stay pended. This is the
+//! paper's answer to the lag of cache feedback.
+
+use resemble_trace::util::FxHashMap;
+use std::collections::VecDeque;
+
+/// One stored transition.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Monotone id; doubles as the access timestamp (one transition per
+    /// access).
+    pub id: u64,
+    /// Preprocessed state vector s_t.
+    pub state: Vec<f32>,
+    /// Action index a_t.
+    pub action: usize,
+    /// Block numbers of the issued prefetches (empty for NP / padding).
+    pub prefetch_blocks: Vec<u64>,
+    /// Hits observed so far among `prefetch_blocks`.
+    pub hits: u32,
+    /// Reward r_t once finalized.
+    pub reward: Option<f32>,
+    /// Next state s_{t+1} once known.
+    pub next_state: Option<Vec<f32>>,
+}
+
+impl Transition {
+    /// Sampleable: reward finalized and next state filled in.
+    pub fn is_valid(&self) -> bool {
+        self.reward.is_some() && self.next_state.is_some()
+    }
+}
+
+/// Ring-buffer replay memory with pending-reward tracking.
+#[derive(Debug)]
+pub struct ReplayMemory {
+    ring: Vec<Option<Transition>>,
+    capacity: usize,
+    next_id: u64,
+    window: u64,
+    /// pending ids in order, awaiting reward finalization
+    pending: VecDeque<u64>,
+    /// block → pending transition ids with that block outstanding
+    by_block: FxHashMap<u64, Vec<u64>>,
+    /// ids believed valid (lazily pruned)
+    valid_ids: Vec<u64>,
+}
+
+impl ReplayMemory {
+    /// Replay of `capacity` transitions with reward window `window`.
+    pub fn new(capacity: usize, window: usize) -> Self {
+        assert!(capacity > 0 && window > 0);
+        Self {
+            ring: (0..capacity).map(|_| None).collect(),
+            capacity,
+            next_id: 0,
+            window: window as u64,
+            pending: VecDeque::new(),
+            by_block: FxHashMap::default(),
+            valid_ids: Vec::new(),
+        }
+    }
+
+    /// Number of transitions currently stored.
+    pub fn len(&self) -> usize {
+        self.ring.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.next_id == 0
+    }
+
+    /// Number of currently-known valid (sampleable) transitions; prunes
+    /// stale bookkeeping as a side effect.
+    pub fn valid_len(&mut self) -> usize {
+        let ring = &self.ring;
+        let cap = self.capacity;
+        self.valid_ids.retain(|&id| {
+            ring[(id % cap as u64) as usize]
+                .as_ref()
+                .map(|t| t.id == id && t.is_valid())
+                .unwrap_or(false)
+        });
+        self.valid_ids.len()
+    }
+
+    #[inline]
+    fn slot(&self, id: u64) -> usize {
+        (id % self.capacity as u64) as usize
+    }
+
+    /// Push a new transition; returns its id. An empty `prefetch_blocks`
+    /// means NP (or a padded selection): the reward is 0 immediately.
+    pub fn push(&mut self, state: Vec<f32>, action: usize, prefetch_blocks: &[u64]) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let reward = if prefetch_blocks.is_empty() {
+            Some(0.0)
+        } else {
+            None
+        };
+        let slot = self.slot(id);
+        self.ring[slot] = Some(Transition {
+            id,
+            state,
+            action,
+            prefetch_blocks: prefetch_blocks.to_vec(),
+            hits: 0,
+            reward,
+            next_state: None,
+        });
+        if !prefetch_blocks.is_empty() {
+            self.pending.push_back(id);
+            for &b in prefetch_blocks {
+                self.by_block.entry(b).or_default().push(id);
+            }
+        }
+        id
+    }
+
+    /// Fill in s_{t+1} for transition `id` (called at t+1 with the fresh
+    /// state).
+    pub fn set_next_state(&mut self, id: u64, next_state: &[f32]) {
+        let slot = self.slot(id);
+        if let Some(t) = self.ring[slot].as_mut() {
+            if t.id == id {
+                t.next_state = Some(next_state.to_vec());
+                if t.is_valid() {
+                    self.valid_ids.push(id);
+                }
+            }
+        }
+    }
+
+    /// Process a demand access to `block`: credits hits to pending
+    /// transitions that prefetched it, and finalizes transitions older
+    /// than the window (+hits, or −1 when none hit). Returns the
+    /// `(id, reward)` pairs finalized or credited this call (hit credits
+    /// are reported as +1 each, matching the paper's per-hit feedback).
+    pub fn on_access(&mut self, block: u64, assigned: &mut Vec<(u64, f32)>) {
+        assigned.clear();
+        // Hits: credit each pending transition that prefetched this block.
+        if let Some(ids) = self.by_block.remove(&block) {
+            for id in ids {
+                let slot = self.slot(id);
+                if let Some(t) = self.ring[slot].as_mut() {
+                    if t.id == id && t.reward.is_none() {
+                        t.hits += 1;
+                        assigned.push((id, 1.0));
+                        // All blocks hit: finalize early.
+                        if t.hits as usize >= t.prefetch_blocks.len() {
+                            let r = t.hits as f32;
+                            t.reward = Some(r);
+                            if t.is_valid() {
+                                self.valid_ids.push(id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Expiry: finalize pending transitions older than `window`.
+        let horizon = self.next_id.saturating_sub(self.window);
+        while let Some(&id) = self.pending.front() {
+            if id >= horizon {
+                break;
+            }
+            self.pending.pop_front();
+            let slot = self.slot(id);
+            let mut leftover: Vec<u64> = Vec::new();
+            if let Some(t) = self.ring[slot].as_mut() {
+                if t.id == id && t.reward.is_none() {
+                    let r = if t.hits > 0 { t.hits as f32 } else { -1.0 };
+                    t.reward = Some(r);
+                    if t.hits == 0 {
+                        assigned.push((id, -1.0));
+                    }
+                    if t.is_valid() {
+                        self.valid_ids.push(id);
+                    }
+                    leftover.clone_from(&t.prefetch_blocks);
+                }
+            }
+            // Drop stale by_block references.
+            for b in leftover {
+                if let Some(ids) = self.by_block.get_mut(&b) {
+                    ids.retain(|&x| x != id);
+                    if ids.is_empty() {
+                        self.by_block.remove(&b);
+                    }
+                }
+            }
+        }
+        // Bound bookkeeping growth.
+        if self.valid_ids.len() > 8 * self.capacity {
+            self.valid_len();
+        }
+    }
+
+    /// Lazy sampling: draw up to `batch` ids uniformly from the valid
+    /// transitions. Returns fewer when fewer are valid.
+    pub fn sample_ids(&mut self, batch: usize, rng: &mut impl rand::Rng) -> Vec<u64> {
+        let n = self.valid_len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let take = batch.min(n);
+        (0..take)
+            .map(|_| self.valid_ids[rng.gen_range(0..n)])
+            .collect()
+    }
+
+    /// Fetch a transition by id (None if overwritten).
+    pub fn get(&self, id: u64) -> Option<&Transition> {
+        self.ring[self.slot(id)].as_ref().filter(|t| t.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn st(v: f32) -> Vec<f32> {
+        vec![v; 4]
+    }
+
+    #[test]
+    fn np_transitions_reward_zero_immediately() {
+        let mut m = ReplayMemory::new(16, 4);
+        let id = m.push(st(0.0), 4, &[]);
+        assert_eq!(m.get(id).unwrap().reward, Some(0.0));
+        assert!(!m.get(id).unwrap().is_valid(), "needs next state too");
+        m.set_next_state(id, &st(1.0));
+        assert!(m.get(id).unwrap().is_valid());
+        assert_eq!(m.valid_len(), 1);
+    }
+
+    #[test]
+    fn single_block_hit_finalizes_plus_one() {
+        let mut m = ReplayMemory::new(16, 4);
+        let id = m.push(st(0.0), 0, &[0x99]);
+        m.set_next_state(id, &st(1.0));
+        let mut assigned = Vec::new();
+        m.push(st(1.0), 4, &[]); // advance time
+        m.on_access(0x99, &mut assigned);
+        assert_eq!(assigned, vec![(id, 1.0)]);
+        assert_eq!(m.get(id).unwrap().reward, Some(1.0));
+    }
+
+    #[test]
+    fn multi_block_hits_accumulate() {
+        let mut m = ReplayMemory::new(64, 8);
+        let id = m.push(st(0.0), 1, &[0x10, 0x11, 0x12]);
+        m.set_next_state(id, &st(0.5));
+        let mut a = Vec::new();
+        m.on_access(0x10, &mut a);
+        assert_eq!(m.get(id).unwrap().hits, 1);
+        assert!(
+            m.get(id).unwrap().reward.is_none(),
+            "not final until all hit or expiry"
+        );
+        m.on_access(0x12, &mut a);
+        m.on_access(0x11, &mut a);
+        assert_eq!(
+            m.get(id).unwrap().reward,
+            Some(3.0),
+            "all blocks hit finalizes at +3"
+        );
+    }
+
+    #[test]
+    fn partial_hits_finalize_at_expiry_with_hit_count() {
+        let mut m = ReplayMemory::new(64, 3);
+        let id = m.push(st(0.0), 1, &[0x10, 0x11]);
+        m.set_next_state(id, &st(0.5));
+        let mut a = Vec::new();
+        m.on_access(0x10, &mut a); // one of two hits
+        for i in 0..5 {
+            m.push(st(i as f32), 4, &[]);
+            m.on_access(0x1000 + i, &mut a);
+        }
+        assert_eq!(m.get(id).unwrap().reward, Some(1.0));
+    }
+
+    #[test]
+    fn expiry_without_hits_rewards_minus_one() {
+        let mut m = ReplayMemory::new(64, 4);
+        let id = m.push(st(0.0), 0, &[0x99]);
+        m.set_next_state(id, &st(1.0));
+        let mut assigned = Vec::new();
+        for i in 0..5 {
+            m.push(st(i as f32), 4, &[]);
+            m.on_access(0x1 + i, &mut assigned);
+        }
+        assert_eq!(m.get(id).unwrap().reward, Some(-1.0));
+    }
+
+    #[test]
+    fn hit_after_expiry_does_not_change_reward() {
+        let mut m = ReplayMemory::new(64, 2);
+        let id = m.push(st(0.0), 0, &[0x42]);
+        let mut a = Vec::new();
+        for i in 0..4 {
+            m.push(st(i as f32), 4, &[]);
+            m.on_access(0x1000 + i, &mut a);
+        }
+        assert_eq!(m.get(id).unwrap().reward, Some(-1.0));
+        m.on_access(0x42, &mut a);
+        assert_eq!(m.get(id).unwrap().reward, Some(-1.0));
+    }
+
+    #[test]
+    fn only_valid_transitions_sampled() {
+        let mut m = ReplayMemory::new(64, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = m.push(st(0.0), 4, &[]);
+        m.set_next_state(v, &st(0.5));
+        let p = m.push(st(1.0), 0, &[0x7]);
+        m.set_next_state(p, &st(1.5));
+        let ids = m.sample_ids(10, &mut rng);
+        assert!(!ids.is_empty());
+        assert!(
+            ids.iter().all(|&i| i == v),
+            "pending transition must not be sampled: {ids:?}"
+        );
+    }
+
+    #[test]
+    fn ring_overwrite_invalidates_old_ids() {
+        let mut m = ReplayMemory::new(4, 2);
+        let first = m.push(st(0.0), 4, &[]);
+        m.set_next_state(first, &st(0.1));
+        for i in 0..8 {
+            let id = m.push(st(i as f32), 4, &[]);
+            m.set_next_state(id, &st(0.2));
+        }
+        assert!(m.get(first).is_none(), "overwritten");
+        let mut rng = StdRng::seed_from_u64(2);
+        let ids = m.sample_ids(16, &mut rng);
+        assert!(ids.iter().all(|&i| m.get(i).is_some()));
+        assert!(m.valid_len() <= 4);
+    }
+
+    #[test]
+    fn multiple_pending_same_block_all_credited() {
+        let mut m = ReplayMemory::new(32, 8);
+        let a = m.push(st(0.0), 0, &[0x5]);
+        let b = m.push(st(1.0), 1, &[0x5]);
+        m.set_next_state(a, &st(0.1));
+        m.set_next_state(b, &st(0.2));
+        let mut assigned = Vec::new();
+        m.on_access(0x5, &mut assigned);
+        assert_eq!(assigned.len(), 2);
+        assert_eq!(m.get(a).unwrap().reward, Some(1.0));
+        assert_eq!(m.get(b).unwrap().reward, Some(1.0));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut m = ReplayMemory::new(8, 4);
+        assert!(m.is_empty());
+        m.push(st(0.0), 0, &[]);
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+    }
+}

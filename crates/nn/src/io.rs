@@ -1,0 +1,137 @@
+//! Model (de)serialization: save and load trained networks as JSON-free
+//! plain text, mirroring the artifact's habit of checkpointing the
+//! controller (`.pkl` files in the original; a simple versioned text
+//! format here to stay inside the approved dependency set).
+//!
+//! Format:
+//! ```text
+//! resemble-mlp v1
+//! sizes: 4 100 5
+//! activation: relu
+//! <one parameter per line, Rust float syntax>
+//! ```
+
+use crate::activation::Activation;
+use crate::mlp::Mlp;
+use std::io::{self, BufRead, Write};
+
+const MAGIC: &str = "resemble-mlp v1";
+
+fn act_name(a: Activation) -> &'static str {
+    match a {
+        Activation::Identity => "identity",
+        Activation::Relu => "relu",
+        Activation::Tanh => "tanh",
+        Activation::Sigmoid => "sigmoid",
+    }
+}
+
+fn act_from(name: &str) -> Option<Activation> {
+    Some(match name {
+        "identity" => Activation::Identity,
+        "relu" => Activation::Relu,
+        "tanh" => Activation::Tanh,
+        "sigmoid" => Activation::Sigmoid,
+        _ => return None,
+    })
+}
+
+/// Write a network (architecture + parameters) to a writer.
+///
+/// `hidden_act` must be the activation the network was constructed with —
+/// [`Mlp`] does not expose it per layer, so the caller supplies it (the
+/// output layer is always linear).
+pub fn save_mlp<W: Write>(w: &mut W, net: &Mlp, hidden_act: Activation) -> io::Result<()> {
+    writeln!(w, "{MAGIC}")?;
+    let sizes: Vec<String> = net.sizes().iter().map(|s| s.to_string()).collect();
+    writeln!(w, "sizes: {}", sizes.join(" "))?;
+    writeln!(w, "activation: {}", act_name(hidden_act))?;
+    for p in net.flat_params() {
+        writeln!(w, "{p}")?;
+    }
+    Ok(())
+}
+
+/// Read a network written by [`save_mlp`].
+pub fn load_mlp<R: BufRead>(r: R) -> io::Result<Mlp> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut lines = r.lines();
+    let magic = lines.next().ok_or_else(|| bad("empty file"))??;
+    if magic.trim() != MAGIC {
+        return Err(bad("not a resemble-mlp v1 file"));
+    }
+    let sizes_line = lines.next().ok_or_else(|| bad("missing sizes"))??;
+    let sizes: Vec<usize> = sizes_line
+        .strip_prefix("sizes:")
+        .ok_or_else(|| bad("missing sizes header"))?
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| bad("bad size")))
+        .collect::<io::Result<_>>()?;
+    if sizes.len() < 2 {
+        return Err(bad("need at least two layer sizes"));
+    }
+    let act_line = lines.next().ok_or_else(|| bad("missing activation"))??;
+    let act = act_from(
+        act_line
+            .strip_prefix("activation:")
+            .ok_or_else(|| bad("missing activation header"))?
+            .trim(),
+    )
+    .ok_or_else(|| bad("unknown activation"))?;
+    let mut net = Mlp::new(&sizes, act, 0);
+    let mut params = Vec::with_capacity(net.param_count());
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        params.push(t.parse::<f32>().map_err(|_| bad("bad parameter"))?);
+    }
+    if params.len() != net.param_count() {
+        return Err(bad("parameter count mismatch"));
+    }
+    net.load_flat(&params);
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_outputs() {
+        let net = Mlp::new(&[4, 10, 5], Activation::Relu, 42);
+        let mut buf = Vec::new();
+        save_mlp(&mut buf, &net, Activation::Relu).unwrap();
+        let back = load_mlp(&buf[..]).unwrap();
+        let x = [0.2f32, 0.9, 0.4, 0.1];
+        assert_eq!(net.predict(&x), back.predict(&x));
+        assert_eq!(back.sizes(), net.sizes());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(load_mlp("nope".as_bytes()).is_err());
+        assert!(
+            load_mlp("resemble-mlp v1\nsizes: 2 2\nactivation: relu\n1.0\n".as_bytes()).is_err()
+        ); // too few params
+        assert!(load_mlp("resemble-mlp v1\nsizes: 2 2\nactivation: cubic\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn all_activations_roundtrip() {
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+        ] {
+            let net = Mlp::new(&[2, 3, 2], act, 1);
+            let mut buf = Vec::new();
+            save_mlp(&mut buf, &net, act).unwrap();
+            let back = load_mlp(&buf[..]).unwrap();
+            assert_eq!(net.predict(&[0.5, -0.5]), back.predict(&[0.5, -0.5]));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Row-major `f32` matrix with the small set of BLAS-like kernels the MLP
+//! needs. Kept dependency-free: the controller network is tiny (4→100→5),
+//! so straightforward loops with preallocated outputs are fast enough and
+//! faithful to a fixed-function hardware datapath.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Build from a flat row-major slice.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat data view.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable data view.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `y = W x` (rows × cols times cols) into a preallocated `y`.
+    pub fn matvec_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length");
+        assert_eq!(y.len(), self.rows, "matvec: y length");
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0f32;
+            for (w, xv) in row.iter().zip(x) {
+                acc += w * xv;
+            }
+            *yr = acc;
+        }
+    }
+
+    /// `y = Wᵀ x` (length-rows `x` to length-cols `y`), used by backprop.
+    pub fn matvec_transpose_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.rows, "matvec_t: x length");
+        assert_eq!(y.len(), self.cols, "matvec_t: y length");
+        y.fill(0.0);
+        for (r, &xv) in x.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (yc, w) in y.iter_mut().zip(row) {
+                *yc += w * xv;
+            }
+        }
+    }
+
+    /// Rank-1 update `self += alpha * a bᵀ`, used to accumulate weight grads.
+    pub fn add_outer(&mut self, alpha: f32, a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), self.rows);
+        assert_eq!(b.len(), self.cols);
+        for (r, &av) in a.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            let s = alpha * av;
+            for (w, &bv) in row.iter_mut().zip(b) {
+                *w += s * bv;
+            }
+        }
+    }
+
+    /// Elementwise `self += alpha * other`.
+    pub fn add_scaled(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Set all elements to zero.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_small() {
+        let w = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut y = [0.0; 2];
+        w.matvec_into(&[1.0, 0.0, -1.0], &mut y);
+        assert_eq!(y, [-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_transpose_small() {
+        let w = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut y = [0.0; 3];
+        w.matvec_transpose_into(&[1.0, 1.0], &mut y);
+        assert_eq!(y, [5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn transpose_consistent_with_forward() {
+        // <Wx, y> == <x, Wᵀy> for random-ish values.
+        let w = Matrix::from_fn(4, 5, |r, c| (r * 5 + c) as f32 * 0.3 - 2.0);
+        let x: Vec<f32> = (0..5).map(|i| i as f32 - 2.0).collect();
+        let y: Vec<f32> = (0..4).map(|i| 0.5 * i as f32 + 1.0).collect();
+        let mut wx = vec![0.0; 4];
+        w.matvec_into(&x, &mut wx);
+        let mut wty = vec![0.0; 5];
+        w.matvec_transpose_into(&y, &mut wty);
+        let lhs: f32 = wx.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(&wty).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn add_outer_accumulates() {
+        let mut g = Matrix::zeros(2, 2);
+        g.add_outer(2.0, &[1.0, 3.0], &[4.0, 5.0]);
+        assert_eq!(g.as_slice(), &[8.0, 10.0, 24.0, 30.0]);
+        g.add_outer(1.0, &[1.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(g.as_slice(), &[9.0, 11.0, 24.0, 30.0]);
+    }
+
+    #[test]
+    fn add_scaled_and_clear() {
+        let mut a = Matrix::zeros(1, 3);
+        let b = Matrix::from_rows(1, 3, vec![1.0, 2.0, 3.0]);
+        a.add_scaled(0.5, &b);
+        assert_eq!(a.as_slice(), &[0.5, 1.0, 1.5]);
+        a.clear();
+        assert_eq!(a.as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_rows_checks_shape() {
+        let _ = Matrix::from_rows(2, 2, vec![1.0; 3]);
+    }
+}

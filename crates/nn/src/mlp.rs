@@ -1,0 +1,417 @@
+//! Shallow multilayer perceptron with manual backprop.
+//!
+//! The paper's ensemble controller is a three-layer MLP (input → one hidden
+//! ReLU layer of H=100 → linear Q-value output). This module implements a
+//! general small MLP with: allocation-free forward via [`Scratch`],
+//! gradient accumulation into a [`GradBuffer`] (so a batch is averaged
+//! before one optimizer step, Eq. 9–11), and flat parameter import/export
+//! used by the DQN target-network synchronization.
+
+use crate::activation::Activation;
+use crate::matrix::Matrix;
+use crate::optim::Optimizer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One fully-connected layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Dense {
+    w: Matrix,
+    b: Vec<f32>,
+    act: Activation,
+}
+
+/// A feedforward MLP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    sizes: Vec<usize>,
+}
+
+/// Reusable forward-pass activations: `acts[0]` is the input, `acts[i]` the
+/// output of layer `i-1`.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    acts: Vec<Vec<f32>>,
+    /// backprop delta buffers, one per layer output
+    deltas: Vec<Vec<f32>>,
+}
+
+/// Accumulated parameter gradients matching an [`Mlp`]'s shape.
+#[derive(Debug, Clone)]
+pub struct GradBuffer {
+    dw: Vec<Matrix>,
+    db: Vec<Vec<f32>>,
+    /// Number of accumulated samples (for averaging).
+    pub samples: usize,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer sizes, e.g. `&[4, 100, 5]`.
+    ///
+    /// Hidden layers use `hidden_act`; the output layer is linear
+    /// (Q-values). Weights use Xavier-uniform init from `seed`.
+    pub fn new(sizes: &[usize], hidden_act: Activation, seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for i in 0..sizes.len() - 1 {
+            let (fan_in, fan_out) = (sizes[i], sizes[i + 1]);
+            let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+            let w = Matrix::from_fn(fan_out, fan_in, |_, _| rng.gen_range(-bound..bound));
+            let act = if i + 2 == sizes.len() {
+                Activation::Identity
+            } else {
+                hidden_act
+            };
+            layers.push(Dense {
+                w,
+                b: vec![0.0; fan_out],
+                act,
+            });
+        }
+        Self {
+            layers,
+            sizes: sizes.to_vec(),
+        }
+    }
+
+    /// Layer sizes (input, hidden..., output).
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.sizes[0]
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        *self.sizes.last().unwrap()
+    }
+
+    /// Total number of parameters (weights + biases), the paper's
+    /// `SH + HA + H + A` for a single hidden layer (Table IV).
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    /// Prepare (or resize) a scratch buffer for this network.
+    pub fn make_scratch(&self) -> Scratch {
+        Scratch {
+            acts: self.sizes.iter().map(|&s| vec![0.0; s]).collect(),
+            deltas: self.sizes[1..].iter().map(|&s| vec![0.0; s]).collect(),
+        }
+    }
+
+    /// Prepare a gradient buffer matching this network.
+    pub fn make_grad_buffer(&self) -> GradBuffer {
+        GradBuffer {
+            dw: self
+                .layers
+                .iter()
+                .map(|l| Matrix::zeros(l.w.rows(), l.w.cols()))
+                .collect(),
+            db: self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+            samples: 0,
+        }
+    }
+
+    /// Allocation-free forward pass; returns the output activations slice.
+    pub fn forward<'s>(&self, x: &[f32], scratch: &'s mut Scratch) -> &'s [f32] {
+        assert_eq!(x.len(), self.sizes[0], "input dimension mismatch");
+        if scratch.acts.len() != self.sizes.len() {
+            *scratch = self.make_scratch();
+        }
+        scratch.acts[0].copy_from_slice(x);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (inp, out) = {
+                let (a, b) = scratch.acts.split_at_mut(i + 1);
+                (&a[i], &mut b[0])
+            };
+            layer.w.matvec_into(inp, out);
+            for (o, bias) in out.iter_mut().zip(&layer.b) {
+                *o += bias;
+            }
+            layer.act.apply(out);
+        }
+        scratch.acts.last().unwrap()
+    }
+
+    /// Convenience allocating forward pass.
+    pub fn predict(&self, x: &[f32]) -> Vec<f32> {
+        let mut s = self.make_scratch();
+        self.forward(x, &mut s).to_vec()
+    }
+
+    /// Index of the maximum output (argmax action), ties broken low.
+    pub fn argmax(&self, x: &[f32], scratch: &mut Scratch) -> usize {
+        let out = self.forward(x, scratch);
+        let mut best = 0;
+        for i in 1..out.len() {
+            if out[i] > out[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Backpropagate `out_grad` = dL/d(output) for the forward pass whose
+    /// activations are in `scratch`, accumulating parameter gradients.
+    pub fn backward(&self, scratch: &mut Scratch, out_grad: &[f32], grads: &mut GradBuffer) {
+        assert_eq!(out_grad.len(), self.output_dim());
+        let n_layers = self.layers.len();
+        // delta for output layer: dL/dy * f'(y)
+        {
+            let y = &scratch.acts[n_layers];
+            let delta = &mut scratch.deltas[n_layers - 1];
+            let act = self.layers[n_layers - 1].act;
+            for i in 0..delta.len() {
+                delta[i] = out_grad[i] * act.derivative_from_output(y[i]);
+            }
+        }
+        for l in (0..n_layers).rev() {
+            // Accumulate dW += delta ⊗ input, db += delta.
+            let (delta, input) = (&scratch.deltas[l], &scratch.acts[l]);
+            grads.dw[l].add_outer(1.0, delta, input);
+            for (g, d) in grads.db[l].iter_mut().zip(delta) {
+                *g += d;
+            }
+            if l > 0 {
+                // delta_{l-1} = (Wᵀ delta) * f'(act_{l-1})
+                let (lower, upper) = scratch.deltas.split_at_mut(l);
+                let prev_delta = &mut lower[l - 1];
+                self.layers[l]
+                    .w
+                    .matvec_transpose_into(&upper[0], prev_delta);
+                let act = self.layers[l - 1].act;
+                let y = &scratch.acts[l];
+                debug_assert_eq!(y.len(), scratch.acts[l].len());
+                for (d, &yv) in prev_delta.iter_mut().zip(scratch.acts[l].iter()) {
+                    *d *= act.derivative_from_output(yv);
+                }
+            }
+        }
+        grads.samples += 1;
+    }
+
+    /// Apply the accumulated (averaged) gradients with the optimizer, then
+    /// clear the buffer.
+    pub fn apply_grads(&mut self, grads: &mut GradBuffer, opt: &mut dyn Optimizer) {
+        if grads.samples == 0 {
+            return;
+        }
+        let scale = 1.0 / grads.samples as f32;
+        let n = self.param_count();
+        let mut params = Vec::with_capacity(n);
+        let mut flat_grads = Vec::with_capacity(n);
+        for (l, (dw, db)) in self.layers.iter().zip(grads.dw.iter().zip(&grads.db)) {
+            params.extend_from_slice(l.w.as_slice());
+            params.extend_from_slice(&l.b);
+            flat_grads.extend(dw.as_slice().iter().map(|g| g * scale));
+            flat_grads.extend(db.iter().map(|g| g * scale));
+        }
+        opt.step(&mut params, &flat_grads);
+        self.load_flat(&params);
+        grads.clear();
+    }
+
+    /// Export all parameters as one flat vector (weights then bias, per layer).
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for l in &self.layers {
+            out.extend_from_slice(l.w.as_slice());
+            out.extend_from_slice(&l.b);
+        }
+        out
+    }
+
+    /// Import parameters exported by [`Mlp::flat_params`].
+    pub fn load_flat(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count(), "parameter count mismatch");
+        let mut off = 0;
+        for l in &mut self.layers {
+            let wlen = l.w.len();
+            l.w.as_mut_slice().copy_from_slice(&flat[off..off + wlen]);
+            off += wlen;
+            let blen = l.b.len();
+            l.b.copy_from_slice(&flat[off..off + blen]);
+            off += blen;
+        }
+    }
+
+    /// Copy another network's parameters into this one (target-net sync).
+    pub fn copy_params_from(&mut self, other: &Mlp) {
+        assert_eq!(self.sizes, other.sizes, "network shapes differ");
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            a.w = b.w.clone();
+            a.b.clone_from(&b.b);
+        }
+    }
+}
+
+impl GradBuffer {
+    /// Zero the accumulated gradients.
+    pub fn clear(&mut self) {
+        for m in &mut self.dw {
+            m.clear();
+        }
+        for b in &mut self.db {
+            b.fill(0.0);
+        }
+        self.samples = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Sgd};
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let net = Mlp::new(&[4, 10, 5], Activation::Relu, 1);
+        assert_eq!(net.param_count(), 4 * 10 + 10 * 5 + 10 + 5);
+        let a = net.predict(&[0.1, 0.2, 0.3, 0.4]);
+        let b = net.predict(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        let net2 = Mlp::new(&[4, 10, 5], Activation::Relu, 1);
+        assert_eq!(net.predict(&[1.0; 4]), net2.predict(&[1.0; 4]));
+    }
+
+    #[test]
+    fn gradient_check_finite_difference() {
+        // Loss L = 0.5 * sum((y - t)^2); out_grad = y - t.
+        let mut net = Mlp::new(&[3, 6, 2], Activation::Tanh, 7);
+        let x = [0.3f32, -0.7, 0.5];
+        let t = [0.2f32, -0.1];
+        let mut scratch = net.make_scratch();
+        let mut grads = net.make_grad_buffer();
+        let y = net.forward(&x, &mut scratch).to_vec();
+        let out_grad: Vec<f32> = y.iter().zip(&t).map(|(a, b)| a - b).collect();
+        net.backward(&mut scratch, &out_grad, &mut grads);
+        // Flatten analytic grads in the same order as flat_params.
+        let mut analytic = Vec::new();
+        for (dw, db) in grads.dw.iter().zip(&grads.db) {
+            analytic.extend_from_slice(dw.as_slice());
+            analytic.extend_from_slice(db);
+        }
+        let loss = |net: &Mlp| -> f32 {
+            let y = net.predict(&x);
+            0.5 * y
+                .iter()
+                .zip(&t)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+        };
+        let params = net.flat_params();
+        let eps = 1e-3f32;
+        for i in (0..params.len()).step_by(7) {
+            let mut p = params.clone();
+            p[i] += eps;
+            net.load_flat(&p);
+            let lp = loss(&net);
+            p[i] -= 2.0 * eps;
+            net.load_flat(&p);
+            let lm = loss(&net);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic[i]).abs() < 2e-2 * (1.0 + fd.abs()),
+                "param {i}: fd={fd} analytic={}",
+                analytic[i]
+            );
+        }
+        net.load_flat(&params);
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, 3);
+        let mut opt = Adam::new(0.02);
+        let data = [
+            ([0.0f32, 0.0], 0.0f32),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        let mut scratch = net.make_scratch();
+        let mut grads = net.make_grad_buffer();
+        for _ in 0..2000 {
+            for (x, t) in &data {
+                let y = net.forward(x, &mut scratch)[0];
+                net.backward(&mut scratch, &[y - t], &mut grads);
+            }
+            net.apply_grads(&mut grads, &mut opt);
+        }
+        for (x, t) in &data {
+            let y = net.predict(x)[0];
+            assert!((y - t).abs() < 0.2, "xor({x:?}) = {y}, want {t}");
+        }
+    }
+
+    #[test]
+    fn apply_grads_averages_over_batch() {
+        // Two identical samples must give the same step as one.
+        let net0 = Mlp::new(&[2, 3, 1], Activation::Relu, 5);
+        let x = [0.5f32, -0.5];
+        let run = |reps: usize| -> Vec<f32> {
+            let mut net = net0.clone();
+            let mut scratch = net.make_scratch();
+            let mut grads = net.make_grad_buffer();
+            for _ in 0..reps {
+                let y = net.forward(&x, &mut scratch)[0];
+                net.backward(&mut scratch, &[y - 1.0], &mut grads);
+            }
+            net.apply_grads(&mut grads, &mut Sgd::new(0.1));
+            net.flat_params()
+        };
+        let one = run(1);
+        let four = run(4);
+        for (a, b) in one.iter().zip(&four) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn flat_roundtrip_and_copy() {
+        let net = Mlp::new(&[3, 4, 2], Activation::Relu, 9);
+        let flat = net.flat_params();
+        let mut other = Mlp::new(&[3, 4, 2], Activation::Relu, 10);
+        assert_ne!(net.predict(&[1.0; 3]), other.predict(&[1.0; 3]));
+        other.load_flat(&flat);
+        assert_eq!(net.predict(&[1.0; 3]), other.predict(&[1.0; 3]));
+        let mut third = Mlp::new(&[3, 4, 2], Activation::Relu, 11);
+        third.copy_params_from(&net);
+        assert_eq!(net.predict(&[0.5; 3]), third.predict(&[0.5; 3]));
+    }
+
+    #[test]
+    fn argmax_selects_best() {
+        let net = Mlp::new(&[2, 4, 3], Activation::Relu, 2);
+        let mut s = net.make_scratch();
+        let x = [0.3, 0.8];
+        let out = net.predict(&x);
+        let a = net.argmax(&x, &mut s);
+        assert!(out.iter().all(|&v| v <= out[a]));
+    }
+
+    #[test]
+    fn paper_table_iv_param_count() {
+        // Table IV: S=4, H=100, A=5 → SH + HA + H + A = 1005 ≈ "1.05K".
+        let net = Mlp::new(&[4, 100, 5], Activation::Relu, 0);
+        assert_eq!(net.param_count(), 4 * 100 + 100 * 5 + 100 + 5);
+        assert_eq!(net.param_count(), 1005);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn forward_checks_input_dim() {
+        let net = Mlp::new(&[2, 2], Activation::Relu, 0);
+        let mut s = net.make_scratch();
+        let _ = net.forward(&[1.0; 3], &mut s);
+    }
+}

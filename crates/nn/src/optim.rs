@@ -1,0 +1,157 @@
+//! First-order optimizers applying accumulated gradients to parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// An optimizer updates a flat parameter vector from a flat gradient vector.
+///
+/// MLP parameters are exposed as flat slices (per layer: weights then bias),
+/// so optimizers are shape-agnostic; stateful optimizers (Adam) lazily size
+/// their moment buffers on first use and are keyed to one parameter vector.
+pub trait Optimizer {
+    /// Apply one update step: `params -= f(grads)`.
+    ///
+    /// `grads` holds dL/dθ (already averaged over the batch by the caller).
+    fn step(&mut self, params: &mut [f32], grads: &[f32]);
+
+    /// Learning rate currently in effect.
+    fn learning_rate(&self) -> f32;
+
+    /// Replace the learning rate (supports schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent: `θ -= lr * g`.
+///
+/// This is the update rule in the paper's Eq. 11 and the one a hardware
+/// implementation would use (no per-parameter state).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        for (p, g) in params.iter_mut().zip(grads) {
+            *p -= self.lr * g;
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba), used for the software-side ablations; the
+/// deployable configuration uses [`Sgd`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999) and eps 1e-8.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        // minimize f(x) = (x-3)^2, grad = 2(x-3)
+        let mut x = [0.0f32];
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            let g = [2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x={}", x[0]);
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut x = [0.0f32, 10.0];
+        let mut opt = Adam::new(0.2);
+        for _ in 0..500 {
+            let g = [2.0 * (x[0] - 3.0), 2.0 * (x[1] + 1.0)];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-2);
+        assert!((x[1] + 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn learning_rate_is_settable() {
+        let mut opt = Sgd::new(0.5);
+        assert_eq!(opt.learning_rate(), 0.5);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_lr() {
+        let _ = Sgd::new(0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Fixed-point quantization of MLP parameters.
+//!
+//! Table VIII assumes the deployed controller stores weights as 16-bit
+//! fixed point; the paper leaves "optimization of ReSemble hardware
+//! implementation" as future work. This module provides the tooling for
+//! that study: quantize a trained network to n-bit fixed point (symmetric,
+//! per-tensor scale) and measure the accuracy the datapath would actually
+//! see (`ext_quantization` in the harness runs the end-to-end sweep).
+
+use crate::mlp::Mlp;
+
+/// Quantization description: symmetric fixed point with `bits` total bits
+/// (1 sign bit) and a per-network scale chosen from the parameter range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantSpec {
+    /// Total bits per parameter (including sign). 2..=32.
+    pub bits: u32,
+    /// Scale: real value = q * scale, q ∈ [-(2^(bits-1)-1), 2^(bits-1)-1].
+    pub scale: f32,
+}
+
+impl QuantSpec {
+    /// Choose the scale that covers `max_abs` with the given bit width.
+    pub fn fit(bits: u32, max_abs: f32) -> Self {
+        assert!((2..=32).contains(&bits), "bits must be in 2..=32");
+        let qmax = ((1u64 << (bits - 1)) - 1) as f32;
+        let scale = if max_abs > 0.0 { max_abs / qmax } else { 1.0 };
+        Self { bits, scale }
+    }
+
+    /// Quantize one value (round-to-nearest, saturating).
+    #[inline]
+    pub fn quantize(&self, v: f32) -> f32 {
+        let qmax = ((1u64 << (self.bits - 1)) - 1) as f32;
+        let q = (v / self.scale).round().clamp(-qmax, qmax);
+        q * self.scale
+    }
+}
+
+/// Quantize every parameter of `net` to `bits`-bit fixed point in place;
+/// returns the spec used and the RMS quantization error.
+pub fn quantize_mlp(net: &mut Mlp, bits: u32) -> (QuantSpec, f32) {
+    let params = net.flat_params();
+    let max_abs = params.iter().fold(0.0f32, |m, p| m.max(p.abs()));
+    let spec = QuantSpec::fit(bits, max_abs);
+    let mut err_sq = 0.0f64;
+    let quantized: Vec<f32> = params
+        .iter()
+        .map(|&p| {
+            let q = spec.quantize(p);
+            err_sq += ((q - p) as f64).powi(2);
+            q
+        })
+        .collect();
+    net.load_flat(&quantized);
+    let rms = (err_sq / params.len().max(1) as f64).sqrt() as f32;
+    (spec, rms)
+}
+
+/// Fraction of argmax decisions that change between `reference` and
+/// `quantized` over the given probe states — the metric that matters for
+/// an action-selection network.
+pub fn argmax_agreement(reference: &Mlp, quantized: &Mlp, probes: &[Vec<f32>]) -> f64 {
+    if probes.is_empty() {
+        return 1.0;
+    }
+    let mut s_ref = reference.make_scratch();
+    let mut s_q = quantized.make_scratch();
+    let same = probes
+        .iter()
+        .filter(|x| reference.argmax(x, &mut s_ref) == quantized.argmax(x, &mut s_q))
+        .count();
+    same as f64 / probes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use rand::{Rng, SeedableRng};
+
+    fn probes(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen::<f32>()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn spec_fit_covers_range() {
+        let s = QuantSpec::fit(8, 2.0);
+        assert!((s.quantize(2.0) - 2.0).abs() < s.scale);
+        assert!((s.quantize(-2.0) + 2.0).abs() < s.scale);
+        // Saturation beyond the range.
+        assert!(s.quantize(100.0) <= 2.0 + s.scale);
+    }
+
+    #[test]
+    fn sixteen_bit_is_nearly_lossless() {
+        let mut net = Mlp::new(&[4, 100, 5], Activation::Relu, 1);
+        let reference = net.clone();
+        let (_, rms) = quantize_mlp(&mut net, 16);
+        assert!(rms < 1e-4, "rms={rms}");
+        let agree = argmax_agreement(&reference, &net, &probes(500, 4, 2));
+        assert!(agree > 0.99, "agreement={agree}");
+    }
+
+    #[test]
+    fn lower_bits_increase_error_monotonically() {
+        let base = Mlp::new(&[4, 100, 5], Activation::Relu, 3);
+        let mut last_rms = 0.0;
+        for bits in [16u32, 8, 4, 2] {
+            let mut net = base.clone();
+            let (_, rms) = quantize_mlp(&mut net, bits);
+            assert!(
+                rms >= last_rms,
+                "{bits}-bit rms {rms} < previous {last_rms}"
+            );
+            last_rms = rms;
+        }
+    }
+
+    #[test]
+    fn lower_bits_disturb_more_decisions() {
+        let base = Mlp::new(&[4, 32, 5], Activation::Relu, 4);
+        let ps = probes(500, 4, 5);
+        let agree_at = |bits: u32| {
+            let mut net = base.clone();
+            quantize_mlp(&mut net, bits);
+            argmax_agreement(&base, &net, &ps)
+        };
+        let a16 = agree_at(16);
+        let a2 = agree_at(2);
+        assert!(a16 > 0.99, "16-bit agreement {a16}");
+        assert!(
+            a2 < a16,
+            "2-bit ({a2}) must disagree more than 16-bit ({a16})"
+        );
+        assert!(a2 < 1.0);
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        let mut net = Mlp::new(&[3, 8, 2], Activation::Relu, 7);
+        quantize_mlp(&mut net, 8);
+        let once = net.flat_params();
+        quantize_mlp(&mut net, 8);
+        let twice = net.flat_params();
+        for (a, b) in once.iter().zip(&twice) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Best-Offset (BO) prefetcher — Michaud, HPCA 2016.
+//!
+//! BO maintains a list of candidate offsets and scores them in rounds: for
+//! each access to line `X` it checks whether `X - d` is present in the RR
+//! table of recent requests — i.e. whether offset `d` "has made a hit in
+//! recently requested accesses" (the ReSemble paper's phrasing). Following
+//! Michaud's timeliness design, the RR table is filled at *fill
+//! completion* time with `Y - D` (the base that triggered the fill of
+//! `Y`), so an offset only scores when a prefetch issued with it would
+//! have completed in time. When an offset's score reaches `SCORE_MAX` or
+//! the round limit expires, the best-scoring offset becomes the active
+//! prefetch offset; if even the best score is below `BAD_SCORE`,
+//! prefetching turns off for the next learning phase. Predictions are
+//! constrained within a page.
+//!
+//! Configuration per Table II: 1K-entry RR table, 4 KB total budget.
+
+use crate::traits::{PredictionKind, Prefetcher};
+use resemble_trace::record::{block_of, same_page, BLOCK_SIZE};
+use resemble_trace::MemAccess;
+
+/// Offsets with prime factors in {2, 3, 5} up to 256, per Michaud.
+fn smooth_offsets(max: u64) -> Vec<i64> {
+    let mut v: Vec<i64> = (1..=max)
+        .filter(|&n| {
+            let mut n = n;
+            for p in [2u64, 3, 5] {
+                while n % p == 0 {
+                    n /= p;
+                }
+            }
+            n == 1
+        })
+        .map(|n| n as i64)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Best-Offset prefetcher.
+#[derive(Debug, Clone)]
+pub struct BestOffset {
+    offsets: Vec<i64>,
+    scores: Vec<u32>,
+    /// Direct-mapped RR table of recently requested block numbers.
+    rr: Vec<u64>,
+    test_idx: usize,
+    round: u32,
+    best_offset: i64,
+    prefetch_on: bool,
+    score_max: u32,
+    round_max: u32,
+    bad_score: u32,
+    degree: usize,
+}
+
+impl BestOffset {
+    /// BO with the paper's defaults: 1K-entry RR, SCORE_MAX 31,
+    /// ROUND_MAX 100, BAD_SCORE 10, degree 1.
+    pub fn new() -> Self {
+        Self::with_params(1024, 31, 100, 10, 1)
+    }
+
+    /// Fully parameterized constructor (for ablations).
+    pub fn with_params(
+        rr_entries: usize,
+        score_max: u32,
+        round_max: u32,
+        bad_score: u32,
+        degree: usize,
+    ) -> Self {
+        assert!(rr_entries.is_power_of_two());
+        assert!(degree >= 1);
+        let offsets = smooth_offsets(256);
+        let n = offsets.len();
+        Self {
+            offsets,
+            scores: vec![0; n],
+            rr: vec![u64::MAX; rr_entries],
+            test_idx: 0,
+            round: 0,
+            best_offset: 1,
+            prefetch_on: true,
+            score_max,
+            round_max,
+            bad_score,
+            degree,
+        }
+    }
+
+    /// The currently selected prefetch offset, in blocks.
+    pub fn current_offset(&self) -> i64 {
+        self.best_offset
+    }
+
+    /// Whether the last learning phase turned prefetching on.
+    pub fn is_prefetching(&self) -> bool {
+        self.prefetch_on
+    }
+
+    #[inline]
+    fn rr_slot(&self, block: u64) -> usize {
+        // Fx-style multiply hash, low bits index.
+        ((block.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32) as usize & (self.rr.len() - 1)
+    }
+
+    fn rr_insert(&mut self, block: u64) {
+        let s = self.rr_slot(block);
+        self.rr[s] = block;
+    }
+
+    fn rr_contains(&self, block: u64) -> bool {
+        self.rr[self.rr_slot(block)] == block
+    }
+
+    fn end_phase(&mut self) {
+        let (mut best_i, mut best_s) = (0, 0);
+        for (i, &s) in self.scores.iter().enumerate() {
+            if s > best_s {
+                best_s = s;
+                best_i = i;
+            }
+        }
+        if best_s >= self.bad_score {
+            self.best_offset = self.offsets[best_i];
+            self.prefetch_on = true;
+        } else {
+            self.prefetch_on = false;
+        }
+        self.scores.fill(0);
+        self.round = 0;
+        self.test_idx = 0;
+    }
+}
+
+impl Default for BestOffset {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for BestOffset {
+    fn name(&self) -> &'static str {
+        "bo"
+    }
+
+    fn kind(&self) -> PredictionKind {
+        PredictionKind::Spatial
+    }
+
+    fn on_access(&mut self, access: &MemAccess, _hit: bool, out: &mut Vec<u64>) {
+        let x = block_of(access.addr);
+        // Learning: test one candidate offset per access.
+        let d = self.offsets[self.test_idx];
+        let base = x.wrapping_sub(d as u64);
+        if self.rr_contains(base) {
+            self.scores[self.test_idx] += 1;
+            if self.scores[self.test_idx] >= self.score_max {
+                self.end_phase();
+            }
+        }
+        if self.test_idx + 1 == self.offsets.len() {
+            self.test_idx = 0;
+            self.round += 1;
+            if self.round >= self.round_max {
+                self.end_phase();
+            }
+        } else {
+            self.test_idx += 1;
+        }
+        // Prediction: X + best offset, within the page.
+        if self.prefetch_on {
+            for k in 1..=self.degree as i64 {
+                let target_block = x as i64 + k * self.best_offset;
+                if target_block <= 0 {
+                    continue;
+                }
+                let target = target_block as u64 * BLOCK_SIZE;
+                if same_page(access.addr, target) {
+                    out.push(target);
+                }
+            }
+        }
+    }
+
+    fn on_prefetch_fill(&mut self, addr: u64) {
+        // Timeliness: record Y − D so an offset only scores when a
+        // prefetch issued with it would have been complete by now.
+        let base = block_of(addr).wrapping_sub(self.best_offset as u64);
+        self.rr_insert(base);
+    }
+
+    fn on_demand_fill(&mut self, addr: u64) {
+        // Demand fills record the line itself: `X ∈ RR` at test time means
+        // "X was requested long enough ago that its fill completed", so a
+        // hit on candidate d certifies d as timely without feeding the
+        // active offset back into the scores (which would make it drift).
+        self.rr_insert(block_of(addr));
+    }
+
+    fn budget_bytes(&self) -> usize {
+        // Table II: 1K-entry RR table + prefetch bits ≈ 4KB.
+        4 * 1024
+    }
+
+    fn max_degree(&self) -> usize {
+        self.degree
+    }
+
+    fn reset(&mut self) {
+        self.rr.fill(u64::MAX);
+        self.scores.fill(0);
+        self.test_idx = 0;
+        self.round = 0;
+        self.best_offset = 1;
+        self.prefetch_on = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Drive BO with a fill model: each access misses and its line fills
+    /// `lat` accesses later (≈ memory latency at one access per cycle),
+    /// while issued prefetches fill after the same delay.
+    struct Harness {
+        bo: BestOffset,
+        demand_fills: VecDeque<(u64, u64)>, // (due_step, addr)
+        pf_fills: VecDeque<(u64, u64)>,
+        lat: u64,
+        step: u64,
+    }
+
+    impl Harness {
+        fn new(lat: u64) -> Self {
+            Self {
+                bo: BestOffset::new(),
+                demand_fills: VecDeque::new(),
+                pf_fills: VecDeque::new(),
+                lat,
+                step: 0,
+            }
+        }
+
+        fn access(&mut self, addr: u64) -> Vec<u64> {
+            self.step += 1;
+            while self
+                .demand_fills
+                .front()
+                .map(|&(d, _)| d <= self.step)
+                .unwrap_or(false)
+            {
+                let (_, a) = self.demand_fills.pop_front().unwrap();
+                self.bo.on_demand_fill(a);
+            }
+            while self
+                .pf_fills
+                .front()
+                .map(|&(d, _)| d <= self.step)
+                .unwrap_or(false)
+            {
+                let (_, a) = self.pf_fills.pop_front().unwrap();
+                self.bo.on_prefetch_fill(a);
+            }
+            let mut out = Vec::new();
+            self.bo
+                .on_access(&MemAccess::load(self.step, 0, addr), false, &mut out);
+            self.demand_fills.push_back((self.step + self.lat, addr));
+            for &p in &out {
+                self.pf_fills.push_back((self.step + self.lat, p));
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn offset_list_is_smooth_and_sized() {
+        let offs = smooth_offsets(256);
+        assert_eq!(offs.len(), 52, "Michaud's list has 52 offsets up to 256");
+        assert!(offs.contains(&1) && offs.contains(&256) && !offs.contains(&7));
+    }
+
+    #[test]
+    fn learns_timely_offset_on_stream() {
+        // Unit stream, one access per step, fills land 20 steps later: a
+        // timely offset must be >= 20 blocks; BO should settle on one and
+        // keep prefetching within the page.
+        let mut h = Harness::new(20);
+        let mut predicted = 0u64;
+        for i in 0..60_000u64 {
+            let addr = 0x4000_0000 + i * 64;
+            let out = h.access(addr);
+            if i > 40_000 && !out.is_empty() {
+                predicted += 1;
+            }
+        }
+        assert!(h.bo.is_prefetching(), "offset={}", h.bo.current_offset());
+        assert!(
+            h.bo.current_offset() >= 20,
+            "offset must be timely (>= fill latency): {}",
+            h.bo.current_offset()
+        );
+        assert!(predicted > 10_000, "predicted={predicted}");
+    }
+
+    #[test]
+    fn short_latency_allows_small_offsets() {
+        let mut h = Harness::new(2);
+        for i in 0..60_000u64 {
+            h.access(0x4000_0000 + i * 64);
+        }
+        assert!(h.bo.is_prefetching());
+        assert!(
+            (2..=16).contains(&h.bo.current_offset()),
+            "{}",
+            h.bo.current_offset()
+        );
+    }
+
+    #[test]
+    fn turns_off_on_random_traffic() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut h = Harness::new(20);
+        let mut suggested_late = 0;
+        for i in 0..30_000u64 {
+            let addr: u64 = rng.gen_range(0x10_0000u64..0x40_0000_0000) & !63;
+            let out = h.access(addr);
+            if i > 20_000 && !out.is_empty() {
+                suggested_late += 1;
+            }
+        }
+        assert!(
+            !h.bo.is_prefetching() || suggested_late < 2000,
+            "BO should throttle on random traffic (on={}, late={})",
+            h.bo.is_prefetching(),
+            suggested_late
+        );
+    }
+
+    #[test]
+    fn predictions_stay_in_page() {
+        let mut h = Harness::new(10);
+        for i in 0..20_000u64 {
+            let addr = 0x100_0000 + i * 64;
+            let out = h.access(addr);
+            for &p in &out {
+                assert!(
+                    same_page(addr, p),
+                    "prefetch {p:#x} crosses page from {addr:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restores_defaults() {
+        let mut h = Harness::new(20);
+        for i in 0..50_000u64 {
+            h.access(0x100_0000 + i * 256);
+        }
+        h.bo.reset();
+        assert_eq!(h.bo.current_offset(), 1);
+        assert!(h.bo.is_prefetching());
+    }
+}

@@ -1,0 +1,209 @@
+//! GHB G/DC — Global History Buffer with delta correlation (Nesbit &
+//! Smith, HPCA 2004), reference \[5\] of the paper.
+//!
+//! A circular global history buffer holds recent miss addresses; an index
+//! table keyed by the last *delta pair* points at the most recent
+//! occurrence of that pair in the buffer, and prediction walks forward
+//! from there, emitting the deltas that followed. Bridges the rule-based
+//! stride prefetchers and the table-based temporal ones.
+
+use crate::traits::{PredictionKind, Prefetcher};
+use resemble_trace::record::{block_addr, block_of};
+use resemble_trace::util::FxHashMap;
+use resemble_trace::MemAccess;
+
+/// GHB delta-correlation prefetcher.
+#[derive(Debug, Clone)]
+pub struct GhbDc {
+    /// circular buffer of miss block numbers
+    ghb: Vec<u64>,
+    head: usize,
+    len: usize,
+    /// (delta1, delta2) key → GHB position right after that pair
+    index: FxHashMap<u64, usize>,
+    degree: usize,
+}
+
+#[inline]
+fn pair_key(d1: i64, d2: i64) -> u64 {
+    (d1 as u64).rotate_left(31) ^ (d2 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl GhbDc {
+    /// GHB with 64K entries and degree 4.
+    pub fn new() -> Self {
+        Self::with_params(1 << 16, 4)
+    }
+
+    /// Parameterized constructor.
+    pub fn with_params(ghb_len: usize, degree: usize) -> Self {
+        assert!(ghb_len >= 4 && degree >= 1);
+        Self {
+            ghb: vec![0; ghb_len],
+            head: 0,
+            len: 0,
+            index: FxHashMap::default(),
+            degree,
+        }
+    }
+
+    #[inline]
+    fn at(&self, logical: usize) -> u64 {
+        // logical 0 = oldest retained, len-1 = newest
+        let n = self.ghb.len();
+        let start = (self.head + n - self.len) % n;
+        self.ghb[(start + logical) % n]
+    }
+}
+
+impl Default for GhbDc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for GhbDc {
+    fn name(&self) -> &'static str {
+        "ghb_dc"
+    }
+
+    fn kind(&self) -> PredictionKind {
+        PredictionKind::Temporal
+    }
+
+    fn on_access(&mut self, access: &MemAccess, hit: bool, out: &mut Vec<u64>) {
+        if hit {
+            return;
+        }
+        let b = block_of(access.addr);
+        // Push into the GHB.
+        self.ghb[self.head] = b;
+        self.head = (self.head + 1) % self.ghb.len();
+        self.len = (self.len + 1).min(self.ghb.len());
+        if self.len < 3 {
+            return;
+        }
+        // Current last-two-deltas key; index points at the position of the
+        // newest element so a future match can walk forward from here.
+        let (n2, n1, n0) = (
+            self.at(self.len - 3),
+            self.at(self.len - 2),
+            self.at(self.len - 1),
+        );
+        let d1 = n1 as i64 - n2 as i64;
+        let d2 = n0 as i64 - n1 as i64;
+        let key = pair_key(d1, d2);
+        let prev_pos = self.index.insert(key, self.len - 1);
+        // Predict by replaying the deltas that followed the previous
+        // occurrence of this delta pair.
+        if let Some(pos) = prev_pos {
+            // The buffer may have slid since `pos` was recorded: positions
+            // shrink as old entries fall off. Convert conservatively.
+            let slid = self.len.min(self.ghb.len());
+            if pos < slid {
+                let mut cur = b;
+                for p in pos..pos + self.degree {
+                    if p + 1 >= self.len - 1 {
+                        break;
+                    }
+                    let da = self.at(p + 1) as i64 - self.at(p) as i64;
+                    let next = cur as i64 + da;
+                    if next <= 0 {
+                        break;
+                    }
+                    cur = next as u64;
+                    out.push(block_addr(cur));
+                }
+            }
+        }
+    }
+
+    fn budget_bytes(&self) -> usize {
+        2 * 1024 // on-chip index cache; GHB off-chip
+    }
+
+    fn max_degree(&self) -> usize {
+        self.degree
+    }
+
+    fn reset(&mut self) {
+        self.ghb.fill(0);
+        self.head = 0;
+        self.len = 0;
+        self.index.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(g: &mut GhbDc, addrs: &[u64]) -> Vec<Vec<u64>> {
+        addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let mut out = Vec::new();
+                g.on_access(&MemAccess::load(i as u64, 0, a), false, &mut out);
+                out
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_repeating_delta_pattern() {
+        // Deltas cycle +1, +2, +5 (blocks): after a lap, the pair (d1,d2)
+        // recurs and the following deltas replay.
+        let mut addrs = Vec::new();
+        let mut a = 0x10_0000u64;
+        for _ in 0..30 {
+            for d in [1u64, 2, 5] {
+                a += d * 64;
+                addrs.push(a);
+            }
+        }
+        let mut g = GhbDc::new();
+        let outs = feed(&mut g, &addrs);
+        let n = addrs.len();
+        let mut correct = 0;
+        for i in n - 20..n - 1 {
+            if outs[i].contains(&(addrs[i + 1] & !63)) {
+                correct += 1;
+            }
+        }
+        assert!(correct > 12, "correct={correct}");
+    }
+
+    #[test]
+    fn random_deltas_rarely_predict_usefully() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let addrs: Vec<u64> = (0..5000)
+            .map(|_| rng.gen_range(0x1_0000u64..0x1000_0000) & !63)
+            .collect();
+        let mut g = GhbDc::new();
+        let outs = feed(&mut g, &addrs);
+        let mut correct = 0;
+        for i in 0..addrs.len() - 1 {
+            if outs[i].contains(&(addrs[i + 1] & !63)) {
+                correct += 1;
+            }
+        }
+        assert!(correct < 100, "correct={correct}");
+    }
+
+    #[test]
+    fn needs_three_misses_before_predicting() {
+        let mut g = GhbDc::new();
+        let outs = feed(&mut g, &[0x1000, 0x2000]);
+        assert!(outs.iter().all(|o| o.is_empty()));
+    }
+
+    #[test]
+    fn wraparound_is_safe() {
+        let mut g = GhbDc::with_params(8, 2);
+        let addrs: Vec<u64> = (0..200u64).map(|i| 0x1000 + (i % 7) * 0x940).collect();
+        let outs = feed(&mut g, &addrs);
+        assert_eq!(outs.len(), 200);
+    }
+}

@@ -1,0 +1,101 @@
+//! # resemble-prefetch
+//!
+//! The hardware-prefetcher zoo of the ReSemble reproduction. Implements,
+//! from scratch, every prefetcher the paper uses as ensemble input or
+//! baseline (Table I / Table II):
+//!
+//! * spatial — [`NextLine`], [`StridePrefetcher`], [`Streamer`],
+//!   [`BestOffset`] (BO), [`Spp`] (SPP), [`Vldp`] (VLDP)
+//! * temporal — [`Isb`] (ISB), [`Domino`], [`Stms`] (STMS),
+//!   [`Markov`], [`GhbDc`] (GHB G/DC)
+//! * spatio-temporal — [`Stems`] (STeMS, Table I row 3)
+//! * learned — [`NeuralTemporalPrefetcher`] (Voyager-like, §VI-B)
+//!
+//! All implement the [`Prefetcher`] trait; a [`PrefetcherBank`] runs a set
+//! of them and exposes their top-1 suggestions as the ensemble observation
+//! vector (paper Eq. 4).
+
+#![warn(missing_docs)]
+
+pub mod bo;
+pub mod bounded;
+pub mod domino;
+pub mod ghb;
+pub mod isb;
+pub mod markov;
+pub mod neural;
+pub mod next_line;
+pub mod spp;
+pub mod stems;
+pub mod stms;
+pub mod streamer;
+pub mod stride;
+pub mod traits;
+pub mod vldp;
+
+pub use bo::BestOffset;
+pub use bounded::BoundedMap;
+pub use domino::Domino;
+pub use ghb::GhbDc;
+pub use isb::Isb;
+pub use markov::Markov;
+pub use neural::NeuralTemporalPrefetcher;
+pub use next_line::NextLine;
+pub use spp::Spp;
+pub use stems::Stems;
+pub use stms::Stms;
+pub use streamer::Streamer;
+pub use stride::StridePrefetcher;
+pub use traits::{PredictionKind, Prefetcher, PrefetcherBank};
+pub use vldp::Vldp;
+
+/// The paper's four-prefetcher ensemble input (Table II): BO, SPP, ISB,
+/// Domino — two spatial then two temporal, the order Eq. 4 assumes.
+pub fn paper_bank() -> PrefetcherBank {
+    PrefetcherBank::new(vec![
+        Box::new(BestOffset::new()),
+        Box::new(Spp::new()),
+        Box::new(Isb::new()),
+        Box::new(Domino::new()),
+    ])
+}
+
+/// The §VI-B variant: Domino replaced by the Voyager-like neural
+/// temporal prefetcher.
+pub fn voyager_bank(seed: u64) -> PrefetcherBank {
+    PrefetcherBank::new(vec![
+        Box::new(BestOffset::new()),
+        Box::new(Spp::new()),
+        Box::new(Isb::new()),
+        Box::new(NeuralTemporalPrefetcher::new(seed)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bank_matches_table_ii() {
+        let bank = paper_bank();
+        assert_eq!(bank.names(), vec!["bo", "spp", "isb", "domino"]);
+        assert_eq!(
+            bank.kinds(),
+            vec![
+                PredictionKind::Spatial,
+                PredictionKind::Spatial,
+                PredictionKind::Temporal,
+                PredictionKind::Temporal
+            ]
+        );
+        // Budgets: BO 4KB + SPP 5.3KB + ISB 8KB + Domino 2.4KB ≈ 19.7KB.
+        let total = bank.budget_bytes();
+        assert!((19_000..21_000).contains(&total), "total={total}");
+    }
+
+    #[test]
+    fn voyager_bank_swaps_domino() {
+        let bank = voyager_bank(1);
+        assert_eq!(bank.names(), vec!["bo", "spp", "isb", "voyager"]);
+    }
+}

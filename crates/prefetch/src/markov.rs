@@ -1,0 +1,162 @@
+//! Markov prefetcher — Joseph & Grunwald, ISCA 1997.
+//!
+//! The earliest correlation prefetcher (reference \[4\] of the paper): a
+//! first-order Markov model over the miss stream, keeping up to `k`
+//! weighted successors per miss address and prefetching the most likely
+//! ones. Included as a classic temporal ensemble member for ablations and
+//! as the counted-candidate core that the Voyager-like neural prefetcher
+//! augments with a learned scorer.
+
+use crate::bounded::BoundedMap;
+use crate::traits::{PredictionKind, Prefetcher};
+use resemble_trace::record::{block_addr, block_of};
+use resemble_trace::MemAccess;
+
+const SLOTS: usize = 4;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Succ {
+    block: u64,
+    count: u32,
+}
+
+/// First-order Markov miss-correlation prefetcher.
+#[derive(Debug, Clone)]
+pub struct Markov {
+    table: BoundedMap<[Succ; SLOTS]>,
+    prev: Option<u64>,
+    degree: usize,
+}
+
+impl Markov {
+    /// Markov with 256K transition entries and degree 2.
+    pub fn new() -> Self {
+        Self::with_params(1 << 18, 2)
+    }
+
+    /// Parameterized constructor.
+    pub fn with_params(entries: usize, degree: usize) -> Self {
+        assert!((1..=SLOTS).contains(&degree));
+        Self {
+            table: BoundedMap::new(entries),
+            prev: None,
+            degree,
+        }
+    }
+}
+
+impl Default for Markov {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for Markov {
+    fn name(&self) -> &'static str {
+        "markov"
+    }
+
+    fn kind(&self) -> PredictionKind {
+        PredictionKind::Temporal
+    }
+
+    fn on_access(&mut self, access: &MemAccess, hit: bool, out: &mut Vec<u64>) {
+        let b = block_of(access.addr);
+        if !hit {
+            // Train prev → b.
+            if let Some(p) = self.prev {
+                if p != b {
+                    let mut slots = self.table.get(p).copied().unwrap_or_default();
+                    if let Some(s) = slots.iter_mut().find(|s| s.count > 0 && s.block == b) {
+                        s.count = s.count.saturating_add(1);
+                    } else {
+                        let weakest = slots.iter_mut().min_by_key(|s| s.count).expect("SLOTS > 0");
+                        *weakest = Succ { block: b, count: 1 };
+                    }
+                    self.table.insert(p, slots);
+                }
+            }
+            self.prev = Some(b);
+        }
+        // Predict: most-counted successors of the current block.
+        if let Some(slots) = self.table.get(b) {
+            let mut ranked: Vec<&Succ> = slots.iter().filter(|s| s.count > 0).collect();
+            ranked.sort_by(|a, c| c.count.cmp(&a.count).then(a.block.cmp(&c.block)));
+            for s in ranked.into_iter().take(self.degree) {
+                out.push(block_addr(s.block));
+            }
+        }
+    }
+
+    fn budget_bytes(&self) -> usize {
+        4 * 1024 // on-chip successor cache; full table off-chip
+    }
+
+    fn max_degree(&self) -> usize {
+        self.degree
+    }
+
+    fn reset(&mut self) {
+        self.table.clear();
+        self.prev = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(m: &mut Markov, addrs: &[u64]) -> Vec<Vec<u64>> {
+        addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let mut out = Vec::new();
+                m.on_access(&MemAccess::load(i as u64, 0, a), false, &mut out);
+                out
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_deterministic_chain() {
+        let ring = [0x1_000u64, 0x8_000, 0x3_000];
+        let seq: Vec<u64> = (0..30).map(|i| ring[i % 3]).collect();
+        let mut m = Markov::new();
+        let outs = feed(&mut m, &seq);
+        for i in 6..29 {
+            assert_eq!(
+                outs[i].first(),
+                Some(&block_addr(block_of(seq[i + 1]))),
+                "at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn ranks_successors_by_frequency() {
+        // A followed by B twice as often as C.
+        let (a, b, c) = (0x1_000u64, 0x2_000, 0x3_000);
+        let mut seq = Vec::new();
+        for i in 0..30 {
+            seq.push(a);
+            seq.push(if i % 3 == 0 { c } else { b });
+        }
+        let mut m = Markov::with_params(1024, 2);
+        let outs = feed(&mut m, &seq);
+        let last_a = seq.len() - 2;
+        assert_eq!(
+            outs[last_a][0],
+            block_addr(block_of(b)),
+            "B must rank first"
+        );
+        assert_eq!(outs[last_a][1], block_addr(block_of(c)));
+    }
+
+    #[test]
+    fn cold_addresses_predict_nothing() {
+        let mut m = Markov::new();
+        let outs = feed(&mut m, &[0x10_000, 0x20_000, 0x30_000]);
+        assert!(outs.iter().all(|o| o.is_empty()));
+    }
+}

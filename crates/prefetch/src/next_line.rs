@@ -1,0 +1,74 @@
+//! Next-line prefetcher: the simplest spatial baseline.
+
+use crate::traits::{PredictionKind, Prefetcher};
+use resemble_trace::record::{block_align, BLOCK_SIZE};
+use resemble_trace::MemAccess;
+
+/// Prefetches the `degree` blocks following every access.
+#[derive(Debug, Clone)]
+pub struct NextLine {
+    degree: usize,
+}
+
+impl NextLine {
+    /// Next-line prefetcher with the given degree (suggestions per access).
+    pub fn new(degree: usize) -> Self {
+        assert!(degree >= 1);
+        Self { degree }
+    }
+}
+
+impl Default for NextLine {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Prefetcher for NextLine {
+    fn name(&self) -> &'static str {
+        "next_line"
+    }
+
+    fn kind(&self) -> PredictionKind {
+        PredictionKind::Spatial
+    }
+
+    fn on_access(&mut self, access: &MemAccess, _hit: bool, out: &mut Vec<u64>) {
+        let base = block_align(access.addr);
+        for d in 1..=self.degree as u64 {
+            out.push(base + d * BLOCK_SIZE);
+        }
+    }
+
+    fn budget_bytes(&self) -> usize {
+        0 // stateless
+    }
+
+    fn max_degree(&self) -> usize {
+        self.degree
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suggests_following_blocks() {
+        let mut p = NextLine::new(2);
+        let mut out = Vec::new();
+        p.on_access(&MemAccess::load(0, 0, 0x1010), false, &mut out);
+        assert_eq!(out, vec![0x1040, 0x1080]);
+    }
+
+    #[test]
+    fn default_degree_one() {
+        let mut p = NextLine::default();
+        let mut out = Vec::new();
+        p.on_access(&MemAccess::load(0, 0, 0x0), true, &mut out);
+        assert_eq!(out, vec![0x40]);
+        assert_eq!(p.max_degree(), 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! STeMS — Spatio-Temporal Memory Streaming (Somogyi et al., ISCA 2009).
+//!
+//! The third row of the paper's Table I taxonomy. STeMS couples the two
+//! localities: a *spatial* component records, per (PC, trigger-offset),
+//! the bit pattern of blocks touched inside a region generation (as in
+//! SMS), and a *temporal* component records the sequence of region
+//! triggers so that on a recorded trigger the stream of upcoming regions
+//! can be reconstructed — each expanded with its recorded spatial
+//! pattern. The paper notes STeMS "suffers from low prefetching coverage
+//! and high start-up latency"; this implementation reproduces those
+//! characteristics (patterns only become available after a generation
+//! closes).
+
+use crate::bounded::BoundedMap;
+use crate::traits::{PredictionKind, Prefetcher};
+use resemble_trace::record::{BLOCKS_PER_PAGE, BLOCK_BITS, BLOCK_SIZE, PAGE_BITS};
+use resemble_trace::MemAccess;
+use std::collections::VecDeque;
+
+/// An open region generation being recorded.
+#[derive(Debug, Clone, Copy)]
+struct Generation {
+    page: u64,
+    key: u64,
+    /// bit i set = block offset i touched during this generation
+    pattern: u64,
+}
+
+/// STeMS prefetcher.
+#[derive(Debug, Clone)]
+pub struct Stems {
+    /// (pc, trigger offset) → recorded footprint bitmap
+    patterns: BoundedMap<u64>,
+    /// trigger block → next generation's trigger block (temporal sequence)
+    successors: BoundedMap<u64>,
+    /// open generations, oldest first (fixed small capacity, like the
+    /// original's active generation table)
+    active: VecDeque<Generation>,
+    last_trigger: Option<u64>,
+    active_cap: usize,
+    /// max prefetches per trigger
+    degree: usize,
+    /// how many future regions to reconstruct
+    lookahead_regions: usize,
+}
+
+#[inline]
+fn pattern_key(pc: u64, trigger_offset: u64) -> u64 {
+    (pc.rotate_left(7) ^ trigger_offset).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl Stems {
+    /// STeMS with 64K pattern/successor entries, 16 active generations,
+    /// degree 8, two-region reconstruction.
+    pub fn new() -> Self {
+        Self::with_params(1 << 16, 16, 8, 2)
+    }
+
+    /// Parameterized constructor.
+    pub fn with_params(
+        table_entries: usize,
+        active_cap: usize,
+        degree: usize,
+        lookahead_regions: usize,
+    ) -> Self {
+        assert!(active_cap > 0 && degree >= 1 && lookahead_regions >= 1);
+        Self {
+            patterns: BoundedMap::new(table_entries),
+            successors: BoundedMap::new(table_entries),
+            active: VecDeque::with_capacity(active_cap),
+            last_trigger: None,
+            active_cap,
+            degree,
+            lookahead_regions,
+        }
+    }
+
+    /// Close a generation: persist its footprint pattern.
+    fn close(&mut self, g: Generation) {
+        self.patterns.insert(g.key, g.pattern);
+    }
+
+    /// Emit prefetches for a recorded pattern around `page`, skipping the
+    /// trigger offset itself.
+    fn expand(
+        &self,
+        page: u64,
+        pattern: u64,
+        skip_offset: u64,
+        out: &mut Vec<u64>,
+        budget: &mut usize,
+    ) {
+        for off in 0..BLOCKS_PER_PAGE {
+            if *budget == 0 {
+                return;
+            }
+            if off != skip_offset && pattern & (1 << off) != 0 {
+                out.push((page << PAGE_BITS) + off * BLOCK_SIZE);
+                *budget -= 1;
+            }
+        }
+    }
+}
+
+impl Default for Stems {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for Stems {
+    fn name(&self) -> &'static str {
+        "stems"
+    }
+
+    fn kind(&self) -> PredictionKind {
+        PredictionKind::Temporal // reconstructed streams roam the address space
+    }
+
+    fn on_access(&mut self, access: &MemAccess, _hit: bool, out: &mut Vec<u64>) {
+        let page = access.addr >> PAGE_BITS;
+        let offset = (access.addr >> BLOCK_BITS) & (BLOCKS_PER_PAGE - 1);
+        let block = access.addr >> BLOCK_BITS;
+
+        // Record into an open generation, if any.
+        if let Some(g) = self.active.iter_mut().find(|g| g.page == page) {
+            g.pattern |= 1 << offset;
+            return; // not a trigger
+        }
+
+        // Trigger: new region generation.
+        let key = pattern_key(access.pc, offset);
+        if self.active.len() == self.active_cap {
+            if let Some(old) = self.active.pop_front() {
+                self.close(old);
+            }
+        }
+        self.active.push_back(Generation {
+            page,
+            key,
+            pattern: 1 << offset,
+        });
+        // Temporal link from the previous trigger.
+        if let Some(prev) = self.last_trigger {
+            if prev != block {
+                self.successors.insert(prev, block);
+            }
+        }
+        self.last_trigger = Some(block);
+
+        // Reconstruct: this region's recorded pattern, then follow the
+        // temporal successor chain for upcoming regions.
+        let mut budget = self.degree;
+        if let Some(&pat) = self.patterns.get(key) {
+            self.expand(page, pat, offset, out, &mut budget);
+        }
+        let mut cur = block;
+        for _ in 1..self.lookahead_regions {
+            let Some(&next_trigger) = self.successors.get(cur) else {
+                break;
+            };
+            if budget == 0 {
+                break;
+            }
+            out.push(next_trigger << BLOCK_BITS);
+            budget = budget.saturating_sub(1);
+            let npage = next_trigger >> (PAGE_BITS - BLOCK_BITS);
+            let noff = next_trigger & (BLOCKS_PER_PAGE - 1);
+            if let Some(&pat) = self.patterns.get(pattern_key(access.pc, noff)) {
+                self.expand(npage, pat, noff, out, &mut budget);
+            }
+            cur = next_trigger;
+        }
+    }
+
+    fn budget_bytes(&self) -> usize {
+        // On-chip AGT + reconstruction buffers; tables off-chip per paper.
+        12 * 1024
+    }
+
+    fn max_degree(&self) -> usize {
+        self.degree
+    }
+
+    fn reset(&mut self) {
+        self.patterns.clear();
+        self.successors.clear();
+        self.active.clear();
+        self.last_trigger = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(p: &mut Stems, seq: &[(u64, u64)]) -> Vec<Vec<u64>> {
+        seq.iter()
+            .enumerate()
+            .map(|(i, &(pc, a))| {
+                let mut out = Vec::new();
+                p.on_access(&MemAccess::load(i as u64, pc, a), false, &mut out);
+                out
+            })
+            .collect()
+    }
+
+    /// Visit regions with a fixed in-region footprint, repeatedly.
+    fn footprint_walk(pages: &[u64], offsets: &[u64], laps: usize, pc: u64) -> Vec<(u64, u64)> {
+        let mut seq = Vec::new();
+        for _ in 0..laps {
+            for &p in pages {
+                for &o in offsets {
+                    seq.push((pc, p * 4096 + o * 64));
+                }
+            }
+        }
+        seq
+    }
+
+    #[test]
+    fn replays_spatial_footprint_on_retrigger() {
+        // 20 pages so generations close (active cap 16), same footprint.
+        let pages: Vec<u64> = (0x100..0x114).collect();
+        let seq = footprint_walk(&pages, &[0, 3, 9, 17], 3, 0x40);
+        let mut st = Stems::new();
+        let outs = feed(&mut st, &seq);
+        // In the final lap, the trigger access of each region should
+        // prefetch the recorded offsets 3, 9, 17.
+        let last_lap = &outs[2 * seq.len() / 3..];
+        let triggers: Vec<&Vec<u64>> = last_lap.iter().step_by(4).collect(); // every 4th access is a trigger
+        let mut good = 0;
+        for t in &triggers {
+            let offs: Vec<u64> = t.iter().map(|a| (a >> 6) & 63).collect();
+            if offs.contains(&3) && offs.contains(&9) && offs.contains(&17) {
+                good += 1;
+            }
+        }
+        assert!(good >= triggers.len() / 2, "good={good}/{}", triggers.len());
+    }
+
+    #[test]
+    fn temporal_chain_predicts_next_region() {
+        let pages: Vec<u64> = (0x200..0x214).collect();
+        let seq = footprint_walk(&pages, &[0, 5], 3, 0x41);
+        let mut st = Stems::new();
+        let outs = feed(&mut st, &seq);
+        // Late triggers should include the NEXT region's trigger block.
+        let n = seq.len();
+        let mut chained = 0;
+        for i in (2 * n / 3..n - 2).step_by(2) {
+            let next_trigger_addr = seq[i + 2].1 & !63;
+            if outs[i].contains(&next_trigger_addr) {
+                chained += 1;
+            }
+        }
+        assert!(chained > 0, "temporal reconstruction never fired");
+    }
+
+    #[test]
+    fn cold_start_produces_nothing() {
+        let mut st = Stems::new();
+        let seq = footprint_walk(&[0x300, 0x301], &[0, 1, 2], 1, 0x42);
+        let outs = feed(&mut st, &seq);
+        assert!(
+            outs.iter().all(|o| o.is_empty()),
+            "first generation has no recorded patterns (the start-up latency)"
+        );
+    }
+
+    #[test]
+    fn degree_budget_respected() {
+        let pages: Vec<u64> = (0x400..0x420).collect();
+        let offsets: Vec<u64> = (0..32).collect(); // dense footprint
+        let seq = footprint_walk(&pages, &offsets, 2, 0x43);
+        let mut st = Stems::with_params(1 << 12, 8, 4, 2);
+        let outs = feed(&mut st, &seq);
+        assert!(outs.iter().all(|o| o.len() <= 4));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let pages: Vec<u64> = (0x500..0x514).collect();
+        let seq = footprint_walk(&pages, &[0, 7], 2, 0x44);
+        let mut st = Stems::new();
+        feed(&mut st, &seq);
+        st.reset();
+        let outs = feed(&mut st, &seq[..8]);
+        assert!(outs.iter().all(|o| o.is_empty()));
+    }
+}

@@ -1,0 +1,168 @@
+//! Stream prefetcher: detects monotone access runs within regions and runs
+//! ahead of them (the classic L2 streamer; another reference ensemble
+//! member for ablations).
+
+use crate::traits::{PredictionKind, Prefetcher};
+use resemble_trace::record::{block_of, page_of, BLOCK_SIZE};
+use resemble_trace::MemAccess;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StreamEntry {
+    page: u64,
+    last_block: u64,
+    /// +1 forward, -1 backward, 0 untrained.
+    dir: i8,
+    /// consecutive accesses confirming the direction
+    confirmations: u8,
+    valid: bool,
+}
+
+/// Region-based stream detector with direction confirmation.
+#[derive(Debug, Clone)]
+pub struct Streamer {
+    entries: Vec<StreamEntry>,
+    degree: usize,
+    next_victim: usize,
+}
+
+impl Streamer {
+    /// Track up to `n_streams` concurrent regions, prefetching `degree`
+    /// blocks ahead once a direction is confirmed twice.
+    pub fn new(n_streams: usize, degree: usize) -> Self {
+        assert!(n_streams > 0 && degree >= 1);
+        Self {
+            entries: vec![StreamEntry::default(); n_streams],
+            degree,
+            next_victim: 0,
+        }
+    }
+}
+
+impl Default for Streamer {
+    fn default() -> Self {
+        Self::new(16, 2)
+    }
+}
+
+impl Prefetcher for Streamer {
+    fn name(&self) -> &'static str {
+        "streamer"
+    }
+
+    fn kind(&self) -> PredictionKind {
+        PredictionKind::Spatial
+    }
+
+    fn on_access(&mut self, access: &MemAccess, _hit: bool, out: &mut Vec<u64>) {
+        let page = page_of(access.addr);
+        let block = block_of(access.addr);
+        let slot = self.entries.iter().position(|e| e.valid && e.page == page);
+        let slot = match slot {
+            Some(s) => s,
+            None => {
+                let v = self.next_victim;
+                self.next_victim = (self.next_victim + 1) % self.entries.len();
+                self.entries[v] = StreamEntry {
+                    page,
+                    last_block: block,
+                    dir: 0,
+                    confirmations: 0,
+                    valid: true,
+                };
+                return;
+            }
+        };
+        let e = &mut self.entries[slot];
+        let delta = block as i64 - e.last_block as i64;
+        if delta == 0 {
+            return;
+        }
+        let dir: i8 = if delta > 0 { 1 } else { -1 };
+        if dir == e.dir {
+            e.confirmations = e.confirmations.saturating_add(1);
+        } else {
+            e.dir = dir;
+            e.confirmations = 0;
+        }
+        e.last_block = block;
+        if e.confirmations >= 1 {
+            for d in 1..=self.degree as i64 {
+                let target = block as i64 + d * e.dir as i64;
+                // Stay within the page (stream tables are page-bounded).
+                if target >= 0 && page_of((target as u64) * BLOCK_SIZE) == page {
+                    out.push(target as u64 * BLOCK_SIZE);
+                }
+            }
+        }
+    }
+
+    fn budget_bytes(&self) -> usize {
+        self.entries.len() * 18
+    }
+
+    fn max_degree(&self) -> usize {
+        self.degree
+    }
+
+    fn reset(&mut self) {
+        self.entries.fill(StreamEntry::default());
+        self.next_victim = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resemble_trace::record::BLOCKS_PER_PAGE;
+
+    #[test]
+    fn detects_forward_stream() {
+        let mut p = Streamer::new(4, 2);
+        let mut out = Vec::new();
+        for i in 0..5u64 {
+            out.clear();
+            p.on_access(&MemAccess::load(i, 0, 0x10_0000 + i * 64), false, &mut out);
+        }
+        assert_eq!(out, vec![0x10_0000 + 5 * 64, 0x10_0000 + 6 * 64]);
+    }
+
+    #[test]
+    fn detects_backward_stream() {
+        let mut p = Streamer::new(4, 1);
+        let mut out = Vec::new();
+        for i in 0..5u64 {
+            out.clear();
+            p.on_access(&MemAccess::load(i, 0, 0x10_0fc0 - i * 64), false, &mut out);
+        }
+        assert_eq!(out, vec![0x10_0fc0 - 5 * 64]);
+    }
+
+    #[test]
+    fn stays_within_page() {
+        let mut p = Streamer::new(4, 4);
+        let mut out = Vec::new();
+        // Walk to the last blocks of a page.
+        let page_base = 0x20_0000u64;
+        let last = page_base + (BLOCKS_PER_PAGE - 1) * 64;
+        for (i, a) in [last - 128, last - 64, last].iter().enumerate() {
+            out.clear();
+            p.on_access(&MemAccess::load(i as u64, 0, *a), false, &mut out);
+        }
+        assert!(out.is_empty(), "no cross-page suggestions, got {out:?}");
+    }
+
+    #[test]
+    fn random_page_hopping_trains_nothing() {
+        let mut p = Streamer::new(2, 2);
+        let mut out = Vec::new();
+        for i in 0..20u64 {
+            out.clear();
+            p.on_access(
+                &MemAccess::load(i, 0, (i * 7919) << 13), // new page each time
+                false,
+                &mut out,
+            );
+            assert!(out.is_empty());
+        }
+    }
+}

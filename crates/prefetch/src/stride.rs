@@ -1,0 +1,199 @@
+//! Classic PC-indexed stride prefetcher (reference point / ensemble member
+//! beyond the paper's four, useful for ablations).
+
+use crate::traits::{PredictionKind, Prefetcher};
+use resemble_trace::record::{block_align, block_of, BLOCK_SIZE};
+use resemble_trace::MemAccess;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    tag: u64,
+    last_block: u64,
+    stride: i64,
+    confidence: u8,
+    valid: bool,
+}
+
+/// Stride prefetcher with a direct-mapped PC table and 2-bit confidence.
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    table: Vec<Entry>,
+    degree: usize,
+    threshold: u8,
+}
+
+impl StridePrefetcher {
+    /// `table_size` entries (power of two), prefetch `degree` strides ahead.
+    pub fn new(table_size: usize, degree: usize) -> Self {
+        assert!(table_size.is_power_of_two() && table_size > 0);
+        assert!(degree >= 1);
+        Self {
+            table: vec![Entry::default(); table_size],
+            degree,
+            threshold: 2,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as usize & (self.table.len() - 1)
+    }
+}
+
+impl Default for StridePrefetcher {
+    fn default() -> Self {
+        Self::new(256, 2)
+    }
+}
+
+impl Prefetcher for StridePrefetcher {
+    fn name(&self) -> &'static str {
+        "stride"
+    }
+
+    fn kind(&self) -> PredictionKind {
+        PredictionKind::Spatial
+    }
+
+    fn on_access(&mut self, access: &MemAccess, _hit: bool, out: &mut Vec<u64>) {
+        let idx = self.index(access.pc);
+        let block = block_of(access.addr);
+        let e = &mut self.table[idx];
+        if !e.valid || e.tag != access.pc {
+            *e = Entry {
+                tag: access.pc,
+                last_block: block,
+                stride: 0,
+                confidence: 0,
+                valid: true,
+            };
+            return;
+        }
+        let stride = block as i64 - e.last_block as i64;
+        if stride == 0 {
+            return; // same-block re-reference carries no stride signal
+        }
+        let matched = stride == e.stride;
+        if matched {
+            e.confidence = (e.confidence + 1).min(3);
+        } else {
+            if e.confidence > 0 {
+                e.confidence -= 1;
+            }
+            if e.confidence == 0 {
+                e.stride = stride;
+            }
+        }
+        e.last_block = block;
+        // Predict only when this access itself confirmed the stride: a
+        // mismatching access is a break, and prefetching through it wastes
+        // bandwidth even if confidence is still warm.
+        if matched && e.confidence >= self.threshold && e.stride != 0 {
+            let base = block_align(access.addr);
+            for d in 1..=self.degree as i64 {
+                let target = base as i64 + d * e.stride * BLOCK_SIZE as i64;
+                if target > 0 {
+                    out.push(target as u64);
+                }
+            }
+        }
+    }
+
+    fn budget_bytes(&self) -> usize {
+        // tag(8) + last(8) + stride(8) + conf(1) per entry, rounded.
+        self.table.len() * 25
+    }
+
+    fn max_degree(&self) -> usize {
+        self.degree
+    }
+
+    fn reset(&mut self) {
+        self.table.fill(Entry::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(p: &mut StridePrefetcher, pc: u64, addrs: &[u64]) -> Vec<Vec<u64>> {
+        let mut all = Vec::new();
+        for (i, &a) in addrs.iter().enumerate() {
+            let mut out = Vec::new();
+            p.on_access(&MemAccess::load(i as u64, pc, a), false, &mut out);
+            all.push(out);
+        }
+        all
+    }
+
+    #[test]
+    fn learns_constant_stride() {
+        let mut p = StridePrefetcher::new(64, 1);
+        let addrs: Vec<u64> = (0..6).map(|i| 0x10000 + i * 128).collect(); // stride 2 blocks
+        let outs = run(&mut p, 0x400, &addrs);
+        // After warmup (alloc + 2 confirms) predictions appear.
+        assert!(outs[..3].iter().all(|o| o.is_empty()));
+        let last = outs.last().unwrap();
+        assert_eq!(last, &vec![0x10000 + 5 * 128 + 128]);
+    }
+
+    #[test]
+    fn confidence_resets_on_stride_change() {
+        let mut p = StridePrefetcher::new(64, 1);
+        let mut addrs: Vec<u64> = (0..5).map(|i| 0x20000 + i * 64).collect(); // stride 1
+        addrs.push(0x90000); // break
+        addrs.push(0x90100); // stride 4 now
+        addrs.push(0x90200);
+        let outs = run(&mut p, 0x500, &addrs);
+        assert!(!outs[4].is_empty(), "trained before break");
+        assert!(outs[5].is_empty(), "the break access must not prefetch");
+        assert!(
+            outs[6].is_empty() && outs[7].is_empty(),
+            "must retrain after break"
+        );
+    }
+
+    #[test]
+    fn distinct_pcs_distinct_streams() {
+        let mut p = StridePrefetcher::new(64, 1);
+        // Interleave two PCs with different strides; both should train.
+        let mut trained = [false, false];
+        for i in 0..20u64 {
+            let (pc, addr, which) = if i % 2 == 0 {
+                (0x400, 0x10000 + (i / 2) * 64, 0)
+            } else {
+                (0x600, 0x80000 + (i / 2) * 256, 1)
+            };
+            let mut out = Vec::new();
+            p.on_access(&MemAccess::load(i, pc, addr), false, &mut out);
+            if !out.is_empty() {
+                trained[which] = true;
+            }
+        }
+        assert!(trained[0] && trained[1]);
+    }
+
+    #[test]
+    fn negative_stride_supported() {
+        let mut p = StridePrefetcher::new(64, 1);
+        let addrs: Vec<u64> = (0..6).map(|i| 0x50000 - i * 64).collect();
+        let outs = run(&mut p, 0x700, &addrs);
+        let last = outs.last().unwrap();
+        assert_eq!(last, &vec![0x50000 - 5 * 64 - 64]);
+    }
+
+    #[test]
+    fn reset_clears_training() {
+        let mut p = StridePrefetcher::new(64, 1);
+        let addrs: Vec<u64> = (0..6).map(|i| 0x10000 + i * 64).collect();
+        run(&mut p, 0x400, &addrs);
+        p.reset();
+        let mut out = Vec::new();
+        p.on_access(
+            &MemAccess::load(99, 0x400, 0x10000 + 6 * 64),
+            false,
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! The prefetcher interface shared by the zoo, the simulator, and the
+//! ensemble framework.
+
+use resemble_trace::MemAccess;
+use serde::{Deserialize, Serialize};
+
+/// Classification of a prefetcher's *output range*, which is what ReSemble's
+/// preprocessing keys on (paper §IV-B): spatial predictions stay within a
+/// page of the trigger and are encoded as normalized deltas; temporal
+/// predictions range over the whole address space and are hashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictionKind {
+    /// Predictions within a spatial region (page) of the trigger access.
+    Spatial,
+    /// Predictions anywhere in the address space.
+    Temporal,
+}
+
+/// A hardware prefetcher observing the LLC access stream.
+///
+/// `on_access` is invoked for every demand access reaching the level the
+/// prefetcher is attached to (the LLC in the paper's configuration),
+/// with `hit` telling whether the access hit in that cache. Suggested
+/// prefetch addresses are pushed into `out` (block-aligned byte addresses,
+/// most-confident first); the caller clears `out` beforehand.
+pub trait Prefetcher {
+    /// Human-readable name ("bo", "spp", ...).
+    fn name(&self) -> &'static str;
+
+    /// Output-range classification used by ensemble preprocessing.
+    fn kind(&self) -> PredictionKind;
+
+    /// Observe a demand access and append prefetch suggestions to `out`.
+    fn on_access(&mut self, access: &MemAccess, hit: bool, out: &mut Vec<u64>);
+
+    /// A prefetched line arrived in the cache.
+    fn on_prefetch_fill(&mut self, _addr: u64) {}
+
+    /// A demand-missed line arrived in the cache (fill completion). BO
+    /// uses fill completions to score offset *timeliness*.
+    fn on_demand_fill(&mut self, _addr: u64) {}
+
+    /// A line was evicted; `unused_prefetch` marks a prefetched line that
+    /// was never demanded (a wasted prefetch).
+    fn on_evict(&mut self, _addr: u64, _unused_prefetch: bool) {}
+
+    /// Hardware storage budget in bytes (Table II).
+    fn budget_bytes(&self) -> usize;
+
+    /// Maximum number of suggestions per access this prefetcher emits.
+    fn max_degree(&self) -> usize {
+        1
+    }
+
+    /// Clear all learned state.
+    fn reset(&mut self);
+}
+
+/// A bank of prefetchers feeding the ensemble: runs each member on every
+/// access and exposes their top-1 suggestions as the observation vector
+/// `o_t = [p_1(t), ..., p_N(t)]` (paper Eq. 4).
+pub struct PrefetcherBank {
+    members: Vec<Box<dyn Prefetcher + Send>>,
+    all: Vec<Vec<u64>>,
+    top: Vec<Option<u64>>,
+}
+
+impl PrefetcherBank {
+    /// Build a bank from its member prefetchers.
+    pub fn new(members: Vec<Box<dyn Prefetcher + Send>>) -> Self {
+        assert!(!members.is_empty(), "bank needs at least one prefetcher");
+        let n = members.len();
+        Self {
+            members,
+            all: vec![Vec::new(); n],
+            top: vec![None; n],
+        }
+    }
+
+    /// Number of member prefetchers (the observation dimension N).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the bank has no members (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Member access.
+    pub fn member(&self, i: usize) -> &(dyn Prefetcher + Send) {
+        &*self.members[i]
+    }
+
+    /// Kinds of all members, in order.
+    pub fn kinds(&self) -> Vec<PredictionKind> {
+        self.members.iter().map(|m| m.kind()).collect()
+    }
+
+    /// Names of all members, in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.members.iter().map(|m| m.name()).collect()
+    }
+
+    /// Run every member on the access; returns the per-member top-1
+    /// suggestions (`None` where a member had no prediction). The full
+    /// per-member suggestion lists are kept and readable through
+    /// [`PrefetcherBank::suggestions`] until the next `observe`.
+    pub fn observe(&mut self, access: &MemAccess, hit: bool) -> &[Option<u64>] {
+        for (i, m) in self.members.iter_mut().enumerate() {
+            self.all[i].clear();
+            m.on_access(access, hit, &mut self.all[i]);
+            self.top[i] = self.all[i].first().copied();
+        }
+        &self.top
+    }
+
+    /// Full suggestion list of member `i` from the last `observe` call.
+    ///
+    /// The ensemble's *observation* is the top-1 vector (Eq. 4), but the
+    /// selected *action* issues the chosen prefetcher's complete
+    /// suggestion list — selecting SPP means running SPP's whole lookahead
+    /// path, exactly as SPP standalone would.
+    pub fn suggestions(&self, i: usize) -> &[u64] {
+        &self.all[i]
+    }
+
+    /// Forward a prefetch-fill notification to every member.
+    pub fn on_prefetch_fill(&mut self, addr: u64) {
+        for m in &mut self.members {
+            m.on_prefetch_fill(addr);
+        }
+    }
+
+    /// Forward a demand-fill notification to every member.
+    pub fn on_demand_fill(&mut self, addr: u64) {
+        for m in &mut self.members {
+            m.on_demand_fill(addr);
+        }
+    }
+
+    /// Forward an eviction notification to every member.
+    pub fn on_evict(&mut self, addr: u64, unused_prefetch: bool) {
+        for m in &mut self.members {
+            m.on_evict(addr, unused_prefetch);
+        }
+    }
+
+    /// Total hardware budget of the bank.
+    pub fn budget_bytes(&self) -> usize {
+        self.members.iter().map(|m| m.budget_bytes()).sum()
+    }
+
+    /// Reset all members.
+    pub fn reset(&mut self) {
+        for m in &mut self.members {
+            m.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Always suggests the next block.
+    struct Fixed(u64);
+    impl Prefetcher for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn kind(&self) -> PredictionKind {
+            PredictionKind::Spatial
+        }
+        fn on_access(&mut self, access: &MemAccess, _hit: bool, out: &mut Vec<u64>) {
+            out.push(access.addr.wrapping_add(self.0));
+        }
+        fn budget_bytes(&self) -> usize {
+            0
+        }
+        fn reset(&mut self) {}
+    }
+
+    /// Never suggests.
+    struct Mute;
+    impl Prefetcher for Mute {
+        fn name(&self) -> &'static str {
+            "mute"
+        }
+        fn kind(&self) -> PredictionKind {
+            PredictionKind::Temporal
+        }
+        fn on_access(&mut self, _: &MemAccess, _: bool, _: &mut Vec<u64>) {}
+        fn budget_bytes(&self) -> usize {
+            0
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn bank_collects_top1_with_padding() {
+        let mut bank = PrefetcherBank::new(vec![Box::new(Fixed(64)), Box::new(Mute)]);
+        let a = MemAccess::load(0, 0x1, 0x1000);
+        let obs = bank.observe(&a, false);
+        assert_eq!(obs, &[Some(0x1040), None]);
+        assert_eq!(bank.len(), 2);
+        assert_eq!(
+            bank.kinds(),
+            vec![PredictionKind::Spatial, PredictionKind::Temporal]
+        );
+        assert_eq!(bank.names(), vec!["fixed", "mute"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_bank_rejected() {
+        let _ = PrefetcherBank::new(vec![]);
+    }
+}

@@ -1,0 +1,580 @@
+//! Trace-driven timing engine: a simplified 4-wide OoO core in front of the
+//! L1D/L2/LLC hierarchy and DRAM, with prefetching at the LLC.
+//!
+//! The core model is the standard analytic OoO approximation used in
+//! prefetching studies: instructions fetch at `width` per cycle, a load
+//! issues once its ROB slot is available (the instruction `rob_size`
+//! earlier has retired) and completes after its memory latency, and
+//! retirement is in order at `width` per cycle. Memory-level parallelism
+//! emerges naturally — independent misses overlap until the ROB or the LLC
+//! MSHRs fill. Prefetches share MSHRs with demands, are dropped when MSHRs
+//! are exhausted, and can be delayed by a controller-latency model
+//! ([`crate::config::PrefetchTiming`], the Fig 11 study).
+
+use crate::cache::{Cache, Lookup};
+use crate::config::SimConfig;
+use crate::dram::Dram;
+use crate::stats::SimStats;
+use resemble_prefetch::Prefetcher;
+use resemble_trace::record::{block_addr, block_of};
+use resemble_trace::util::{FxHashMap, FxHashSet};
+use resemble_trace::{MemAccess, TraceSource};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// The simulation engine. One engine simulates one core.
+pub struct Engine {
+    cfg: SimConfig,
+    l1d: Cache,
+    l2: Cache,
+    llc: Cache,
+    dram: Dram,
+    /// retirement time in 1/width-cycle slots
+    retire_slots: u64,
+    prev_instr: Option<u64>,
+    first_instr: Option<u64>,
+    rob_window: VecDeque<(u64, u64)>,
+    rob_gate: u64,
+    /// completion cycles of requests occupying LLC MSHRs
+    outstanding: BinaryHeap<Reverse<u64>>,
+    inflight_prefetch: FxHashMap<u64, u64>,
+    /// in-flight prefetches issued before the measurement boundary: their
+    /// fills and uses carry no prefetch attribution
+    unattributed_prefetch: FxHashSet<u64>,
+    pf_heap: BinaryHeap<Reverse<(u64, u64)>>,
+    inflight_demand: FxHashMap<u64, u64>,
+    demand_heap: BinaryHeap<Reverse<(u64, u64)>>,
+    controller_busy_until: u64,
+    stats: SimStats,
+    sugg: Vec<u64>,
+}
+
+impl Engine {
+    /// Build an engine from a configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        Self {
+            l1d: Cache::new("l1d", cfg.l1d_size, cfg.l1d_ways),
+            l2: Cache::new("l2", cfg.l2_size, cfg.l2_ways),
+            llc: Cache::with_policy("llc", cfg.llc_size, cfg.llc_ways, cfg.llc_replacement),
+            dram: Dram::new(cfg.dram),
+            cfg,
+            retire_slots: 0,
+            prev_instr: None,
+            first_instr: None,
+            rob_window: VecDeque::with_capacity(512),
+            rob_gate: 0,
+            outstanding: BinaryHeap::with_capacity(128),
+            inflight_prefetch: FxHashMap::default(),
+            unattributed_prefetch: FxHashSet::default(),
+            pf_heap: BinaryHeap::with_capacity(128),
+            inflight_demand: FxHashMap::default(),
+            demand_heap: BinaryHeap::with_capacity(128),
+            controller_busy_until: 0,
+            stats: SimStats::default(),
+            sugg: Vec::with_capacity(16),
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current cycle (retirement frontier).
+    pub fn cycle(&self) -> u64 {
+        self.retire_slots / self.cfg.width
+    }
+
+    /// Cumulative raw statistics since construction/reset.
+    pub fn raw_stats(&self) -> SimStats {
+        let mut s = self.stats;
+        s.cycles = self.cycle();
+        s.instructions = match (self.first_instr, self.prev_instr) {
+            (Some(f), Some(l)) => l - f + 1,
+            _ => 0,
+        };
+        s.dram_row_hits = self.dram.row_hits;
+        s.dram_row_misses = self.dram.row_misses;
+        s
+    }
+
+    /// Clear all state (caches, timing, statistics).
+    pub fn reset(&mut self) {
+        *self = Engine::new(self.cfg);
+    }
+
+    /// Mark the warmup → measurement boundary: prefetches issued before
+    /// this point no longer count as useful/unused, so the measured
+    /// accuracy reflects only measured-window prefetches.
+    pub fn begin_measurement(&mut self) {
+        self.llc.clear_prefetch_marks();
+        self.unattributed_prefetch = self.inflight_prefetch.keys().copied().collect();
+    }
+
+    /// Release prefetch fills that have completed by `now`.
+    fn drain_prefetch_fills<'a, 'b>(
+        &mut self,
+        now: u64,
+        prefetcher: &mut Option<&'b mut (dyn Prefetcher + 'a)>,
+    ) {
+        while let Some(&Reverse((ready, block))) = self.pf_heap.peek() {
+            if ready > now {
+                break;
+            }
+            self.pf_heap.pop();
+            if self.inflight_prefetch.remove(&block).is_none() {
+                continue; // consumed by a late demand
+            }
+            let attributed = !self.unattributed_prefetch.remove(&block);
+            let addr = block_addr(block);
+            if let Some(ev) = self.llc.fill(addr, false, attributed) {
+                if ev.unused_prefetch {
+                    self.stats.prefetches_unused_evicted += 1;
+                }
+                if let Some(pf) = prefetcher.as_deref_mut() {
+                    pf.on_evict(block_addr(ev.block), ev.unused_prefetch);
+                }
+            }
+            if let Some(pf) = prefetcher.as_deref_mut() {
+                pf.on_prefetch_fill(addr);
+            }
+        }
+        while let Some(&Reverse((ready, block))) = self.demand_heap.peek() {
+            if ready > now {
+                break;
+            }
+            self.demand_heap.pop();
+            self.inflight_demand.remove(&block);
+            if let Some(pf) = prefetcher.as_deref_mut() {
+                pf.on_demand_fill(block_addr(block));
+            }
+        }
+    }
+
+    /// Free MSHR slots whose requests completed by `now`; returns the
+    /// earliest completion if the MSHRs are still full (caller must wait
+    /// or drop).
+    fn mshr_admit(&mut self, now: u64) -> Result<(), u64> {
+        while let Some(&Reverse(c)) = self.outstanding.peek() {
+            if c <= now {
+                self.outstanding.pop();
+            } else {
+                break;
+            }
+        }
+        if self.outstanding.len() < self.cfg.llc_mshrs {
+            Ok(())
+        } else {
+            Err(self.outstanding.peek().map(|r| r.0).unwrap_or(now))
+        }
+    }
+
+    /// Simulate one demand access; returns its completion cycle.
+    fn simulate_access<'a, 'b>(
+        &mut self,
+        a: &MemAccess,
+        issue: u64,
+        prefetcher: &mut Option<&'b mut (dyn Prefetcher + 'a)>,
+    ) -> u64 {
+        let cfg = self.cfg;
+        self.stats.demand_accesses += 1;
+        let l1_lat = cfg.l1d_latency;
+        if matches!(self.l1d.access(a.addr, a.is_write), Lookup::Hit { .. }) {
+            return issue + l1_lat;
+        }
+        self.stats.l1d_misses += 1;
+        let l2_t = issue + l1_lat + cfg.l2_latency;
+        if matches!(self.l2.access(a.addr, a.is_write), Lookup::Hit { .. }) {
+            self.l1d.fill(a.addr, a.is_write, false);
+            return l2_t;
+        }
+        self.stats.l2_misses += 1;
+
+        // --- The access reaches the LLC: this is the stream the paper's
+        // prefetchers observe. ---
+        let block = block_of(a.addr);
+        let llc_t = l2_t + cfg.llc_latency;
+        let lookup = self.llc.access(a.addr, a.is_write);
+        let llc_hit = matches!(lookup, Lookup::Hit { .. });
+        let complete = match lookup {
+            Lookup::Hit {
+                first_use_of_prefetch,
+            } => {
+                self.stats.llc_demand_hits += 1;
+                if first_use_of_prefetch {
+                    self.stats.prefetches_useful += 1;
+                }
+                self.l2.fill(a.addr, a.is_write, false);
+                self.l1d.fill(a.addr, a.is_write, false);
+                llc_t
+            }
+            Lookup::Miss => {
+                if let Some(ready) = self.inflight_prefetch.remove(&block) {
+                    // Late prefetch: the line is on its way; the demand
+                    // waits out the residual latency. A useful prefetch by
+                    // the paper's definition (referenced before replaced),
+                    // and — as in ChampSim — a prefetch *hit*, not a demand
+                    // miss, for MPKI purposes.
+                    self.stats.llc_demand_hits += 1;
+                    if !self.unattributed_prefetch.remove(&block) {
+                        self.stats.prefetches_useful += 1;
+                        self.stats.prefetches_late += 1;
+                    }
+                    self.fill_all(a, false);
+                    llc_t.max(ready)
+                } else if let Some(&ready) = self.inflight_demand.get(&block) {
+                    // MSHR merge with an outstanding demand miss.
+                    llc_t.max(ready)
+                } else {
+                    self.stats.llc_demand_misses += 1;
+                    let start = match self.mshr_admit(issue) {
+                        Ok(()) => llc_t,
+                        Err(free_at) => {
+                            free_at.max(issue) + cfg.l1d_latency + cfg.l2_latency + cfg.llc_latency
+                        }
+                    };
+                    let done = self.dram.access(block, start);
+                    self.outstanding.push(Reverse(done));
+                    self.inflight_demand.insert(block, done);
+                    self.demand_heap.push(Reverse((done, block)));
+                    self.fill_all(a, false);
+                    done
+                }
+            }
+        };
+
+        // --- Prefetcher hook. ---
+        if let Some(pf) = prefetcher.as_deref_mut() {
+            self.sugg.clear();
+            pf.on_access(a, llc_hit, &mut self.sugg);
+            let timing = cfg.prefetch_timing;
+            let mut can_issue = true;
+            if !timing.high_throughput && timing.latency > 0 && self.controller_busy_until > issue {
+                can_issue = false; // controller still busy with an earlier inference
+            }
+            if can_issue {
+                if !timing.high_throughput && timing.latency > 0 {
+                    self.controller_busy_until = issue + timing.latency;
+                }
+                let ready_base = issue + timing.latency;
+                for i in 0..self.sugg.len() {
+                    let s = self.sugg[i];
+                    let sb = block_of(s);
+                    if self.llc.contains(s)
+                        || self.inflight_prefetch.contains_key(&sb)
+                        || self.inflight_demand.contains_key(&sb)
+                    {
+                        continue;
+                    }
+                    if self.mshr_admit(ready_base).is_err() {
+                        break; // prefetches are droppable
+                    }
+                    let done = self.dram.access(sb, ready_base + cfg.llc_latency);
+                    self.outstanding.push(Reverse(done));
+                    self.inflight_prefetch.insert(sb, done);
+                    self.pf_heap.push(Reverse((done, sb)));
+                    self.stats.prefetches_issued += 1;
+                }
+            }
+        }
+
+        if a.is_write {
+            // Stores retire without waiting for the fill (write buffer).
+            issue + 1
+        } else {
+            complete
+        }
+    }
+
+    /// Fill the whole hierarchy for a demand miss, accounting LLC
+    /// prefetch-pollution evictions.
+    fn fill_all(&mut self, a: &MemAccess, is_prefetch: bool) {
+        if let Some(ev) = self.llc.fill(a.addr, a.is_write, is_prefetch) {
+            if ev.unused_prefetch {
+                self.stats.prefetches_unused_evicted += 1;
+            }
+        }
+        self.l2.fill(a.addr, a.is_write, false);
+        self.l1d.fill(a.addr, a.is_write, false);
+    }
+
+    /// Advance the machine over one access, returning its retire cycle.
+    pub fn step<'a>(
+        &mut self,
+        a: &MemAccess,
+        mut prefetcher: Option<&mut (dyn Prefetcher + 'a)>,
+    ) -> u64 {
+        let cfg = self.cfg;
+        if self.first_instr.is_none() {
+            self.first_instr = Some(a.instr_id);
+        }
+        // Non-memory instructions since the previous access retire at
+        // `width` per cycle: one slot each.
+        let gap = match self.prev_instr {
+            Some(p) => a.instr_id.saturating_sub(p + 1),
+            None => 0,
+        };
+        self.prev_instr = Some(a.instr_id);
+        let fetch_cycle = a.instr_id / cfg.width;
+
+        // ROB gate: this instruction needs the slot of the instruction
+        // rob_size earlier, which must have retired.
+        while let Some(&(id, retire)) = self.rob_window.front() {
+            if id + cfg.rob_size <= a.instr_id {
+                self.rob_gate = self.rob_gate.max(retire);
+                self.rob_window.pop_front();
+            } else {
+                break;
+            }
+        }
+        let issue = fetch_cycle.max(self.rob_gate);
+
+        self.drain_prefetch_fills(issue, &mut prefetcher);
+        let complete = self.simulate_access(a, issue, &mut prefetcher);
+
+        // In-order retirement at `width` per cycle.
+        self.retire_slots = (self.retire_slots + gap + 1).max(complete.saturating_mul(cfg.width));
+        let retire_cycle = self.retire_slots / cfg.width;
+        self.rob_window.push_back((a.instr_id, retire_cycle));
+        retire_cycle
+    }
+
+    /// Run `warmup` accesses (state training, no statistics), then
+    /// `measure` accesses with statistics; returns the measured stats.
+    pub fn run<'a>(
+        &mut self,
+        src: &mut dyn TraceSource,
+        mut prefetcher: Option<&mut (dyn Prefetcher + 'a)>,
+        warmup: usize,
+        measure: usize,
+    ) -> SimStats {
+        for _ in 0..warmup {
+            let Some(a) = src.next_access() else { break };
+            self.step(&a, prefetcher.as_deref_mut());
+        }
+        self.begin_measurement();
+        let before = self.raw_stats();
+        for _ in 0..measure {
+            let Some(a) = src.next_access() else { break };
+            self.step(&a, prefetcher.as_deref_mut());
+        }
+        let after = self.raw_stats();
+        diff_stats(&after, &before)
+    }
+}
+
+/// Per-field subtraction of monotone counters (measurement windowing).
+fn diff_stats(after: &SimStats, before: &SimStats) -> SimStats {
+    SimStats {
+        instructions: after.instructions - before.instructions,
+        cycles: after.cycles - before.cycles,
+        demand_accesses: after.demand_accesses - before.demand_accesses,
+        l1d_misses: after.l1d_misses - before.l1d_misses,
+        l2_misses: after.l2_misses - before.l2_misses,
+        llc_demand_hits: after.llc_demand_hits - before.llc_demand_hits,
+        llc_demand_misses: after.llc_demand_misses - before.llc_demand_misses,
+        prefetches_issued: after.prefetches_issued - before.prefetches_issued,
+        prefetches_useful: after.prefetches_useful - before.prefetches_useful,
+        prefetches_late: after.prefetches_late - before.prefetches_late,
+        prefetches_unused_evicted: after.prefetches_unused_evicted
+            - before.prefetches_unused_evicted,
+        dram_row_hits: after.dram_row_hits - before.dram_row_hits,
+        dram_row_misses: after.dram_row_misses - before.dram_row_misses,
+    }
+}
+
+/// Convenience: simulate a trace with and without a prefetcher (identical
+/// warmup/measure windows) and return `(baseline, with_prefetcher)`.
+///
+/// The two runs replay the same accesses: `make_src` is called twice and
+/// must return identically seeded sources.
+pub fn run_pair(
+    cfg: SimConfig,
+    mut make_src: impl FnMut() -> Box<dyn TraceSource + Send>,
+    prefetcher: &mut dyn Prefetcher,
+    warmup: usize,
+    measure: usize,
+) -> (SimStats, SimStats) {
+    let mut base_engine = Engine::new(cfg);
+    let mut base_src = make_src();
+    let base = base_engine.run(&mut *base_src, None, warmup, measure);
+    let mut pf_engine = Engine::new(cfg);
+    let mut pf_src = make_src();
+    let with_pf = pf_engine.run(&mut *pf_src, Some(prefetcher), warmup, measure);
+    (base, with_pf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrefetchTiming;
+    use resemble_prefetch::NextLine;
+    use resemble_trace::gen::{StreamGen, VecSource};
+
+    fn stream_src(seed: u64) -> Box<dyn TraceSource + Send> {
+        Box::new(StreamGen::new(seed, 2, 100_000, 3).with_write_ratio(0.0))
+    }
+
+    #[test]
+    fn ipc_bounded_by_width_and_positive() {
+        let mut e = Engine::new(SimConfig::test_small());
+        let mut src = stream_src(1);
+        let s = e.run(&mut *src, None, 1000, 10_000);
+        assert!(s.instructions > 0 && s.cycles > 0);
+        assert!(s.ipc() <= 4.0 + 1e-9, "ipc={}", s.ipc());
+        assert!(s.ipc() > 0.05, "ipc={}", s.ipc());
+    }
+
+    #[test]
+    fn repeated_working_set_hits_cache() {
+        // A small ring fits in L1: after warmup, no LLC misses.
+        let ring: Vec<MemAccess> = (0..32)
+            .cycle()
+            .take(5000)
+            .enumerate()
+            .map(|(i, b)| MemAccess::load(i as u64 * 2, 0x4, 0x10_0000 + b * 64))
+            .collect();
+        let mut e = Engine::new(SimConfig::test_small());
+        let s = e.run(&mut VecSource::new(ring), None, 1000, 4000);
+        assert_eq!(s.llc_demand_misses, 0, "{s:?}");
+        assert_eq!(s.l1d_misses, 0);
+    }
+
+    #[test]
+    fn streaming_misses_and_prefetcher_reduces_them() {
+        let cfg = SimConfig::test_small();
+        let mut nl = NextLine::new(4);
+        let (base, pf) = run_pair(cfg, || stream_src(7), &mut nl, 2000, 30_000);
+        assert!(
+            base.llc_demand_misses > 1000,
+            "baseline must miss: {base:?}"
+        );
+        assert!(
+            (pf.llc_demand_misses as f64) < 0.7 * base.llc_demand_misses as f64,
+            "prefetcher should cut misses: base={} pf={}",
+            base.llc_demand_misses,
+            pf.llc_demand_misses
+        );
+        assert!(
+            pf.ipc() > base.ipc(),
+            "IPC should improve: {} vs {}",
+            pf.ipc(),
+            base.ipc()
+        );
+        assert!(
+            pf.accuracy() > 0.5,
+            "next-line on a stream is accurate: {}",
+            pf.accuracy()
+        );
+        assert!(pf.coverage() > 0.3, "coverage={}", pf.coverage());
+    }
+
+    #[test]
+    fn prefetch_latency_degrades_performance() {
+        let mut cfg = SimConfig::test_small();
+        cfg.prefetch_timing = PrefetchTiming {
+            latency: 0,
+            high_throughput: true,
+        };
+        let mut nl0 = NextLine::new(2);
+        let (_, fast) = run_pair(cfg, || stream_src(9), &mut nl0, 2000, 30_000);
+        cfg.prefetch_timing = PrefetchTiming {
+            latency: 200,
+            high_throughput: false,
+        };
+        let mut nl1 = NextLine::new(2);
+        let (_, slow) = run_pair(cfg, || stream_src(9), &mut nl1, 2000, 30_000);
+        assert!(
+            slow.ipc() <= fast.ipc() + 1e-9,
+            "high latency low TP must not beat ideal: {} vs {}",
+            slow.ipc(),
+            fast.ipc()
+        );
+        assert!(slow.prefetches_issued < fast.prefetches_issued);
+    }
+
+    #[test]
+    fn useless_prefetches_hurt_accuracy_not_correctness() {
+        // Prefetcher that always fetches a far-away, never-used block.
+        struct Junk;
+        impl Prefetcher for Junk {
+            fn name(&self) -> &'static str {
+                "junk"
+            }
+            fn kind(&self) -> resemble_prefetch::PredictionKind {
+                resemble_prefetch::PredictionKind::Spatial
+            }
+            fn on_access(&mut self, a: &MemAccess, _h: bool, out: &mut Vec<u64>) {
+                out.push(a.addr.wrapping_add(0x4000_0000));
+            }
+            fn budget_bytes(&self) -> usize {
+                0
+            }
+            fn reset(&mut self) {}
+        }
+        let mut junk = Junk;
+        let (base, pf) = run_pair(
+            SimConfig::test_small(),
+            || stream_src(11),
+            &mut junk,
+            2000,
+            20_000,
+        );
+        assert!(pf.prefetches_issued > 0);
+        assert!(pf.accuracy() < 0.05, "junk accuracy={}", pf.accuracy());
+        // Misses should not improve (pollution may make them worse).
+        assert!(pf.llc_demand_misses as f64 >= 0.9 * base.llc_demand_misses as f64);
+    }
+
+    #[test]
+    fn warmup_excluded_from_stats() {
+        let mut e = Engine::new(SimConfig::test_small());
+        let mut src = stream_src(3);
+        let s = e.run(&mut *src, None, 5000, 5000);
+        let mut e2 = Engine::new(SimConfig::test_small());
+        let mut src2 = stream_src(3);
+        let s2 = e2.run(&mut *src2, None, 0, 10_000);
+        assert!(s.demand_accesses == 5000);
+        assert!(s2.demand_accesses == 10_000);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut e = Engine::new(SimConfig::test_small());
+            let mut src = stream_src(42);
+            let mut nl = NextLine::new(2);
+            e.run(&mut *src, Some(&mut nl), 1000, 10_000)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn mshr_pressure_limits_overlap() {
+        // Random far-apart loads: with 1 MSHR, cycles should be much higher
+        // than with 64 (no overlap possible).
+        use rand::{Rng, SeedableRng};
+        let mk = || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            let v: Vec<MemAccess> = (0..20_000u64)
+                .map(|i| MemAccess::load(i * 2, 0x4, (rng.gen_range(0x1000u64..0x80_0000)) * 4096))
+                .collect();
+            VecSource::new(v)
+        };
+        let mut cfg = SimConfig::test_small();
+        cfg.llc_mshrs = 64;
+        let mut e = Engine::new(cfg);
+        let wide = e.run(&mut mk(), None, 0, 20_000);
+        cfg.llc_mshrs = 1;
+        let mut e = Engine::new(cfg);
+        let narrow = e.run(&mut mk(), None, 0, 20_000);
+        assert!(
+            narrow.cycles > wide.cycles,
+            "1 MSHR must be slower: {} vs {}",
+            narrow.cycles,
+            wide.cycles
+        );
+    }
+}

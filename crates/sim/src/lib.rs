@@ -1,0 +1,36 @@
+//! # resemble-sim
+//!
+//! ChampSim-like trace-driven simulation substrate for the ReSemble
+//! reproduction: a set-associative L1D/L2/LLC hierarchy with LRU
+//! replacement and per-line prefetch accounting, an open-row DRAM timing
+//! model, MSHR-limited memory-level parallelism, a simplified 4-wide OoO
+//! core, and LLC prefetching with a controller latency/throughput model
+//! (the paper's Fig 11 study). Parameters default to Table V.
+//!
+//! ```
+//! use resemble_sim::{Engine, SimConfig};
+//! use resemble_trace::gen::{StreamGen, TraceSource};
+//! use resemble_prefetch::NextLine;
+//!
+//! let mut engine = Engine::new(SimConfig::test_small());
+//! let mut src = StreamGen::new(1, 2, 1000, 3);
+//! let mut pf = NextLine::new(2);
+//! let stats = engine.run(&mut src, Some(&mut pf), 1_000, 5_000);
+//! assert!(stats.ipc() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod engine;
+pub mod multicore;
+pub mod stats;
+
+pub use cache::{Cache, Eviction, Lookup, Replacement};
+pub use config::{PrefetchTiming, SimConfig};
+pub use dram::{Dram, DramConfig};
+pub use engine::{run_pair, Engine};
+pub use multicore::MultiCoreEngine;
+pub use stats::SimStats;

@@ -1,0 +1,143 @@
+//! Simulation statistics and the paper's evaluation metrics (§V-A2):
+//! prefetch accuracy, prefetch coverage, MPKI, and IPC.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters collected by one simulation run (measurement window only).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Instructions retired in the measurement window.
+    pub instructions: u64,
+    /// Cycles elapsed in the measurement window.
+    pub cycles: u64,
+    /// Demand memory accesses simulated.
+    pub demand_accesses: u64,
+    /// Demand accesses that missed L1D.
+    pub l1d_misses: u64,
+    /// Demand accesses that missed L2.
+    pub l2_misses: u64,
+    /// Demand accesses that reached the LLC and hit.
+    pub llc_demand_hits: u64,
+    /// Demand accesses that reached the LLC and truly missed (a demand
+    /// that catches a still-in-flight prefetch counts as a hit — the
+    /// prefetch is recorded in `prefetches_late` instead).
+    pub llc_demand_misses: u64,
+    /// Prefetch requests issued to memory.
+    pub prefetches_issued: u64,
+    /// Prefetched lines referenced by demand before replacement
+    /// ("useful prefetch", the paper's definition).
+    pub prefetches_useful: u64,
+    /// Useful prefetches that were still in flight when demanded.
+    pub prefetches_late: u64,
+    /// Prefetched lines evicted without ever being referenced.
+    pub prefetches_unused_evicted: u64,
+    /// DRAM row-buffer hits.
+    pub dram_row_hits: u64,
+    /// DRAM row-buffer misses.
+    pub dram_row_misses: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// LLC demand misses per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.llc_demand_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Prefetch accuracy: useful / issued (§V-A2).
+    pub fn accuracy(&self) -> f64 {
+        if self.prefetches_issued == 0 {
+            0.0
+        } else {
+            self.prefetches_useful as f64 / self.prefetches_issued as f64
+        }
+    }
+
+    /// Prefetch coverage: useful prefetches over the misses the
+    /// no-prefetch execution would have had, approximated as
+    /// `useful / (useful + remaining demand misses)` (§V-A2).
+    pub fn coverage(&self) -> f64 {
+        let denom = self.prefetches_useful + self.llc_demand_misses;
+        if denom == 0 {
+            0.0
+        } else {
+            self.prefetches_useful as f64 / denom as f64
+        }
+    }
+
+    /// IPC improvement of `self` over a `baseline` run, in percent.
+    pub fn ipc_improvement_over(&self, baseline: &SimStats) -> f64 {
+        let b = baseline.ipc();
+        if b == 0.0 {
+            0.0
+        } else {
+            (self.ipc() / b - 1.0) * 100.0
+        }
+    }
+
+    /// MPKI reduction versus a baseline, in percent.
+    pub fn mpki_reduction_over(&self, baseline: &SimStats) -> f64 {
+        let b = baseline.mpki();
+        if b == 0.0 {
+            0.0
+        } else {
+            (1.0 - self.mpki() / b) * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(instr: u64, cycles: u64, miss: u64, issued: u64, useful: u64) -> SimStats {
+        SimStats {
+            instructions: instr,
+            cycles,
+            llc_demand_misses: miss,
+            prefetches_issued: issued,
+            prefetches_useful: useful,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn metric_formulas() {
+        let st = s(1000, 500, 100, 80, 60);
+        assert!((st.ipc() - 2.0).abs() < 1e-12);
+        assert!((st.mpki() - 100.0).abs() < 1e-12);
+        assert!((st.accuracy() - 0.75).abs() < 1e-12);
+        assert!((st.coverage() - 60.0 / 160.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_over_baseline() {
+        let base = s(1000, 1000, 200, 0, 0);
+        let pf = s(1000, 800, 100, 100, 90);
+        assert!((pf.ipc_improvement_over(&base) - 25.0).abs() < 1e-9);
+        assert!((pf.mpki_reduction_over(&base) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let z = SimStats::default();
+        assert_eq!(z.ipc(), 0.0);
+        assert_eq!(z.mpki(), 0.0);
+        assert_eq!(z.accuracy(), 0.0);
+        assert_eq!(z.coverage(), 0.0);
+        assert_eq!(z.ipc_improvement_over(&z), 0.0);
+        assert_eq!(z.mpki_reduction_over(&z), 0.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Scalar summaries: arithmetic and geometric means, percent formatting.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean of positive values (Fig 12 reports geometric means);
+/// non-positive inputs are clamped to a small epsilon so a single zero
+/// does not annihilate the summary.
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.max(1e-12).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Format a ratio as a percent string with one decimal ("85.3%").
+pub fn percent(ratio: f64) -> String {
+    format!("{:.1}%", ratio * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geo_mean_basic() {
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geo_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geo_mean_survives_zero() {
+        let g = geo_mean(&[0.0, 4.0]);
+        assert!(g >= 0.0 && g.is_finite());
+    }
+
+    #[test]
+    fn percent_formats() {
+        assert_eq!(percent(0.8527), "85.3%");
+        assert_eq!(percent(0.0), "0.0%");
+    }
+}

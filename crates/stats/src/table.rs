@@ -1,0 +1,124 @@
+//! Plain-text table and series rendering for harness output.
+//!
+//! Every figure/table binary prints a column-aligned ASCII table (the
+//! paper row next to the measured row) plus, for figures, numeric series
+//! the reader can plot.
+
+/// Column-aligned ASCII table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; short rows are padded with empty cells.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        let all = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |row: &[String]| -> String {
+            let mut s = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                s.push_str(cell);
+                if i + 1 < ncols {
+                    s.push_str(&" ".repeat(width.saturating_sub(cell.chars().count()) + 2));
+                }
+            }
+            s.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1))));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render a numeric series as `label: v0 v1 v2 ...` with fixed precision,
+/// sub-sampled to at most `max_points` points for readability.
+pub fn render_series(label: &str, xs: &[f64], max_points: usize) -> String {
+    assert!(max_points > 0);
+    let step = (xs.len() / max_points).max(1);
+    let vals: Vec<String> = xs.iter().step_by(step).map(|v| format!("{v:.2}")).collect();
+    format!("{label}: {}", vals.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["longer", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        // The "value" column starts at the same offset in all rows.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[3][col..col + 2], "22");
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["x"]);
+        let s = t.render();
+        assert!(s.contains('x'));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn series_subsamples() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = render_series("r", &xs, 10);
+        let n = s.split_whitespace().count() - 1;
+        assert!(n <= 11, "{s}");
+        assert!(s.starts_with("r:"));
+    }
+}

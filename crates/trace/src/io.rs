@@ -1,0 +1,121 @@
+//! Plain-text trace serialization.
+//!
+//! The paper's artifact exchanges traces as text files between ChampSim and
+//! the Python RL code. We keep a compatible spirit: one access per line,
+//! `instr_id pc addr rw`, hex for pc/addr. Useful for archiving generated
+//! workloads and replaying identical traces across harness runs.
+
+use crate::gen::VecSource;
+use crate::record::MemAccess;
+use std::io::{self, BufRead, Write};
+
+/// Write a trace in the line format `instr_id pc addr rw`.
+pub fn write_trace<W: Write>(w: &mut W, trace: &[MemAccess]) -> io::Result<()> {
+    for a in trace {
+        writeln!(
+            w,
+            "{} {:#x} {:#x} {}",
+            a.instr_id,
+            a.pc,
+            a.addr,
+            if a.is_write { "W" } else { "R" }
+        )?;
+    }
+    Ok(())
+}
+
+/// Parse a trace written by [`write_trace`]. Lines that are empty or start
+/// with `#` are skipped; malformed lines produce an error naming the line.
+pub fn read_trace<R: BufRead>(r: R) -> io::Result<Vec<MemAccess>> {
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse_err = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("trace line {}: bad {}", lineno + 1, what),
+            )
+        };
+        let instr_id: u64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("instr_id"))?;
+        let pc = it
+            .next()
+            .and_then(parse_hex)
+            .ok_or_else(|| parse_err("pc"))?;
+        let addr = it
+            .next()
+            .and_then(parse_hex)
+            .ok_or_else(|| parse_err("addr"))?;
+        let is_write = match it.next() {
+            Some("R") => false,
+            Some("W") => true,
+            _ => return Err(parse_err("rw flag")),
+        };
+        out.push(MemAccess {
+            instr_id,
+            pc,
+            addr,
+            is_write,
+        });
+    }
+    Ok(out)
+}
+
+fn parse_hex(s: &str) -> Option<u64> {
+    let s = s
+        .strip_prefix("0x")
+        .or_else(|| s.strip_prefix("0X"))
+        .unwrap_or(s);
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// Read a trace into a replayable [`VecSource`].
+pub fn read_trace_source<R: BufRead>(r: R) -> io::Result<VecSource> {
+    Ok(VecSource::new(read_trace(r)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = vec![
+            MemAccess::load(0, 0x400, 0x1234_5678),
+            MemAccess::store(5, 0x404, 0xdead_bee0),
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\n1 0x10 0x40 R\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].pc, 0x10);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(read_trace("1 0x10 R".as_bytes()).is_err());
+        assert!(read_trace("x 0x10 0x40 R".as_bytes()).is_err());
+        assert!(read_trace("1 0x10 0x40 Q".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn accepts_bare_hex() {
+        let t = read_trace("1 10 40 W".as_bytes()).unwrap();
+        assert_eq!(t[0].pc, 0x10);
+        assert!(t[0].is_write);
+    }
+}

@@ -1,0 +1,28 @@
+//! # resemble-trace
+//!
+//! Memory-trace substrate for the ReSemble reproduction: trace record
+//! types, synthetic workload generators standing in for SPEC CPU 2006/2017
+//! and GAP (see DESIGN.md §1 for the substitution rationale), trace
+//! analysis (autocorrelation, the Fig 1 motivation study), and plain-text
+//! trace IO.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use resemble_trace::gen::{app_by_name, TraceSource};
+//!
+//! let mut app = app_by_name("433.milc", 42).unwrap();
+//! let trace = app.source.collect_n(1000);
+//! assert_eq!(trace.len(), 1000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod gen;
+pub mod io;
+pub mod record;
+pub mod util;
+
+pub use gen::TraceSource;
+pub use record::{MemAccess, BLOCK_BITS, BLOCK_SIZE, PAGE_BITS, PAGE_SIZE};

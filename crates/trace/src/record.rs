@@ -1,0 +1,159 @@
+//! Core trace record types and address arithmetic helpers.
+//!
+//! A memory trace is a sequence of [`MemAccess`] records, one per retired
+//! memory instruction. Addresses are byte addresses in a 64-bit virtual
+//! address space; the cache hierarchy operates on 64-byte blocks
+//! ([`BLOCK_BITS`]) and spatial prefetchers reason within 4 KiB pages
+//! ([`PAGE_BITS`]), matching Table III of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// log2 of the cache block (line) size in bytes: 64-byte blocks.
+pub const BLOCK_BITS: u32 = 6;
+/// log2 of the page size in bytes: 4 KiB pages.
+pub const PAGE_BITS: u32 = 12;
+/// Number of bits of a 64-bit address.
+pub const ADDR_BITS: u32 = 64;
+/// Cache block size in bytes.
+pub const BLOCK_SIZE: u64 = 1 << BLOCK_BITS;
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_BITS;
+/// Number of cache blocks per page.
+pub const BLOCKS_PER_PAGE: u64 = 1 << (PAGE_BITS - BLOCK_BITS);
+
+/// A single memory access as seen by the cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Monotonically increasing id of the instruction issuing this access.
+    /// Non-memory instructions between two accesses are captured by gaps in
+    /// `instr_id`, which the timing simulator charges as single-cycle work.
+    pub instr_id: u64,
+    /// Program counter of the load/store instruction.
+    pub pc: u64,
+    /// Byte address referenced.
+    pub addr: u64,
+    /// `true` for stores, `false` for loads.
+    pub is_write: bool,
+}
+
+impl MemAccess {
+    /// Create a load access.
+    pub fn load(instr_id: u64, pc: u64, addr: u64) -> Self {
+        Self {
+            instr_id,
+            pc,
+            addr,
+            is_write: false,
+        }
+    }
+
+    /// Create a store access.
+    pub fn store(instr_id: u64, pc: u64, addr: u64) -> Self {
+        Self {
+            instr_id,
+            pc,
+            addr,
+            is_write: true,
+        }
+    }
+
+    /// Cache-block number of the referenced address.
+    #[inline]
+    pub fn block(&self) -> u64 {
+        block_of(self.addr)
+    }
+
+    /// Page number of the referenced address.
+    #[inline]
+    pub fn page(&self) -> u64 {
+        page_of(self.addr)
+    }
+
+    /// Block offset within the page, in blocks (0..64 for 4K pages / 64B blocks).
+    #[inline]
+    pub fn page_block_offset(&self) -> u64 {
+        (self.addr >> BLOCK_BITS) & (BLOCKS_PER_PAGE - 1)
+    }
+}
+
+/// Cache-block number (address >> BLOCK_BITS) of a byte address.
+#[inline]
+pub fn block_of(addr: u64) -> u64 {
+    addr >> BLOCK_BITS
+}
+
+/// Byte address of the first byte of a cache block number.
+#[inline]
+pub fn block_addr(block: u64) -> u64 {
+    block << BLOCK_BITS
+}
+
+/// Page number (address >> PAGE_BITS) of a byte address.
+#[inline]
+pub fn page_of(addr: u64) -> u64 {
+    addr >> PAGE_BITS
+}
+
+/// Align a byte address down to its cache-block base address.
+#[inline]
+pub fn block_align(addr: u64) -> u64 {
+    addr & !(BLOCK_SIZE - 1)
+}
+
+/// `true` when two byte addresses fall in the same page.
+#[inline]
+pub fn same_page(a: u64, b: u64) -> bool {
+    page_of(a) == page_of(b)
+}
+
+/// Signed distance between two byte addresses, measured in cache blocks.
+#[inline]
+pub fn block_delta(from: u64, to: u64) -> i64 {
+    (block_of(to) as i64).wrapping_sub(block_of(from) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_and_page_arithmetic() {
+        let a = 0x1234_5678u64;
+        assert_eq!(block_of(a), a >> 6);
+        assert_eq!(page_of(a), a >> 12);
+        assert_eq!(block_addr(block_of(a)), block_align(a));
+        assert_eq!(block_align(a) % BLOCK_SIZE, 0);
+    }
+
+    #[test]
+    fn same_page_detects_page_crossing() {
+        assert!(same_page(0x1000, 0x1fff));
+        assert!(!same_page(0x1fff, 0x2000));
+    }
+
+    #[test]
+    fn block_delta_signed() {
+        assert_eq!(block_delta(0x1000, 0x1040), 1);
+        assert_eq!(block_delta(0x1040, 0x1000), -1);
+        assert_eq!(block_delta(0x1000, 0x1000), 0);
+        // Sub-block distances round to the same block.
+        assert_eq!(block_delta(0x1000, 0x103f), 0);
+    }
+
+    #[test]
+    fn access_constructors() {
+        let l = MemAccess::load(7, 0x400, 0x8000);
+        assert!(!l.is_write);
+        let s = MemAccess::store(8, 0x404, 0x8040);
+        assert!(s.is_write);
+        assert_eq!(s.block(), l.block() + 1);
+        assert_eq!(l.page(), s.page());
+        assert_eq!(l.page_block_offset(), 0);
+        assert_eq!(s.page_block_offset(), 1);
+    }
+
+    #[test]
+    fn blocks_per_page_consistent() {
+        assert_eq!(BLOCKS_PER_PAGE, PAGE_SIZE / BLOCK_SIZE);
+    }
+}

@@ -1,0 +1,110 @@
+//! Small shared utilities: a fast integer hasher for simulator-side maps.
+//!
+//! The perf guide notes SipHash (std's default) is slow for integer keys;
+//! hot simulator and prefetcher tables are keyed by block numbers, pages,
+//! and PCs, so we use an Fx-style multiply-xor hasher (the rustc algorithm)
+//! implemented locally to keep the dependency set to the approved list.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fx-style hasher: `state = (state rotl 5 ^ word) * SEED` per 8-byte word.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Multiply-based states have weak low bits, but hash tables index
+        // buckets with them — fold the high half down.
+        self.state ^ (self.state >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_works_with_integer_keys() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 64, i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(500 * 64)), Some(&500));
+    }
+
+    #[test]
+    fn hasher_distributes_sequential_keys() {
+        // Sequential block addresses must not collide to a few buckets.
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let bh: BuildHasherDefault<FxHasher> = Default::default();
+        let mut buckets = [0usize; 64];
+        for i in 0..64_000u64 {
+            let mut h = bh.build_hasher();
+            h.write_u64(i * 64);
+            buckets[(h.finish() % 64) as usize] += 1;
+        }
+        let min = *buckets.iter().min().unwrap();
+        let max = *buckets.iter().max().unwrap();
+        assert!(
+            max < 3 * min.max(1),
+            "poor distribution: min={min} max={max}"
+        );
+    }
+
+    #[test]
+    fn bytes_and_u64_paths_agree_on_8_bytes() {
+        let mut a = FxHasher::default();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = FxHasher::default();
+        b.write(&0x0102_0304_0506_0708u64.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+}

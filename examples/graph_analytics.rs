@@ -1,0 +1,59 @@
+//! Graph-analytics demo: run the three GAP-like kernels (BFS, PageRank,
+//! Connected Components) over a synthetic power-law graph and compare how
+//! the individual prefetchers and ReSemble handle the characteristic mix
+//! of sequential CSR scans and data-dependent property gathers.
+//!
+//! Run with: `cargo run --release --example graph_analytics`
+
+use resemble::prelude::*;
+use resemble::trace::gen::{GraphGen, GraphKernel};
+
+fn kernel_source(kernel: GraphKernel, seed: u64) -> GraphGen {
+    GraphGen::new(seed, 300_000, 12, kernel, 4)
+}
+
+fn main() {
+    let seed = 11;
+    let (warmup, measure) = (15_000, 50_000);
+    println!("GAP-like kernels over a 300K-vertex synthetic power-law graph\n");
+    for (name, kernel) in [
+        ("bfs", GraphKernel::Bfs),
+        ("pagerank", GraphKernel::PageRank),
+        ("cc", GraphKernel::ConnectedComponents),
+    ] {
+        let mut engine = Engine::new(SimConfig::harness());
+        let mut src = kernel_source(kernel, seed);
+        let baseline = engine.run(&mut src, None, warmup, measure);
+
+        println!(
+            "[{name}] baseline IPC {:.3}, MPKI {:.1}",
+            baseline.ipc(),
+            baseline.mpki()
+        );
+        println!(
+            "  {:<10} {:>9} {:>9} {:>12}",
+            "prefetcher", "accuracy", "coverage", "IPC improve"
+        );
+        let run_pf = |label: &str, pf: &mut dyn Prefetcher| {
+            let mut engine = Engine::new(SimConfig::harness());
+            let mut src = kernel_source(kernel, seed);
+            let s = engine.run(&mut src, Some(pf), warmup, measure);
+            println!(
+                "  {:<10} {:>8.1}% {:>8.1}% {:>11.1}%",
+                label,
+                s.accuracy() * 100.0,
+                s.coverage() * 100.0,
+                s.ipc_improvement_over(&baseline)
+            );
+        };
+        run_pf("bo", &mut BestOffset::new());
+        run_pf("spp", &mut Spp::new());
+        run_pf("isb", &mut Isb::new());
+        let mut ensemble = ResembleMlp::new(paper_bank(), ResembleConfig::fast(), seed);
+        run_pf("resemble", &mut ensemble);
+        println!();
+    }
+    println!("Expected: spatial prefetchers (BO/SPP) cover the offsets/edges scans;");
+    println!("the property gathers remain hard (the paper's GAP rewards in Table VI");
+    println!("are an order of magnitude below SPEC); ReSemble tracks the best member.");
+}

@@ -1,0 +1,51 @@
+//! Quickstart: build the paper's ReSemble ensemble (BO + SPP + ISB +
+//! Domino under the MLP controller), run it through the timing simulator
+//! on a synthetic SPEC-like workload, and print the three evaluation
+//! metrics next to a no-prefetch baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use resemble::prelude::*;
+
+fn main() {
+    let app = "433.milc";
+    let seed = 42;
+    let (warmup, measure) = (20_000, 60_000);
+
+    // Baseline: no prefetching.
+    let mut engine = Engine::new(SimConfig::harness());
+    let mut src = app_by_name(app, seed).expect("known app").source;
+    let baseline = engine.run(&mut *src, None, warmup, measure);
+
+    // The paper's ensemble: four prefetchers + MLP/DQN controller.
+    let mut resemble = ResembleMlp::new(paper_bank(), ResembleConfig::fast(), seed);
+    let mut engine = Engine::new(SimConfig::harness());
+    let mut src = app_by_name(app, seed).expect("known app").source;
+    let stats = engine.run(&mut *src, Some(&mut resemble), warmup, measure);
+
+    println!("app: {app} ({measure} measured accesses after {warmup} warmup)");
+    println!(
+        "baseline:  IPC {:.3}, LLC MPKI {:.2}",
+        baseline.ipc(),
+        baseline.mpki()
+    );
+    println!(
+        "resemble:  IPC {:.3}, LLC MPKI {:.2}",
+        stats.ipc(),
+        stats.mpki()
+    );
+    println!();
+    println!("prefetch accuracy:   {:.1}%", stats.accuracy() * 100.0);
+    println!("prefetch coverage:   {:.1}%", stats.coverage() * 100.0);
+    println!(
+        "IPC improvement:     {:.1}%",
+        stats.ipc_improvement_over(&baseline)
+    );
+    println!();
+    println!(
+        "controller: {} accesses seen, mean reward/1K-window {:.1}, actions {:?} (BO/SPP/ISB/Domino/NP)",
+        resemble.stats.accesses(),
+        resemble.stats.mean_window_reward(),
+        resemble.stats.action_counts,
+    );
+}

@@ -1,0 +1,172 @@
+//! Integration tests asserting the specific qualitative properties each
+//! paper figure/table claims, at reduced scale.
+
+use resemble::core::baselines::SbpE;
+use resemble::core::overhead::{
+    mlp_param_count, table_direct_entries, table_token_entries, LatencyEstimate, StorageEstimate,
+};
+use resemble::prelude::*;
+use resemble::trace::analysis::{pc_grouped_autocorrelation, summarize_acf, trace_autocorrelation};
+
+/// Fig 1a/1b: streaming apps autocorrelate; irregular apps only per-PC.
+#[test]
+fn fig1_autocorrelation_shapes() {
+    let milc = app_by_name("433.milc", 3).unwrap().source.collect_n(20_000);
+    let omnet = app_by_name("471.omnetpp", 3)
+        .unwrap()
+        .source
+        .collect_n(20_000);
+    let m_raw = summarize_acf(&trace_autocorrelation(&milc, 40));
+    let o_raw = summarize_acf(&trace_autocorrelation(&omnet, 40));
+    let o_grp = summarize_acf(&pc_grouped_autocorrelation(&omnet, 40));
+    assert!(m_raw.peak_abs > 0.5, "milc raw {}", m_raw.peak_abs);
+    assert!(o_raw.peak_abs < 0.2, "omnetpp raw {}", o_raw.peak_abs);
+    assert!(o_grp.peak_abs > 0.3, "omnetpp grouped {}", o_grp.peak_abs);
+}
+
+/// Fig 11 mechanism: low-throughput controllers issue fewer prefetches and
+/// cannot beat the idealized configuration.
+#[test]
+fn fig11_latency_hurts_low_throughput_more() {
+    let run = |latency: u64, high_tp: bool| -> SimStats {
+        let mut cfg = SimConfig::harness();
+        cfg.prefetch_timing = PrefetchTiming {
+            latency,
+            high_throughput: high_tp,
+        };
+        let mut ctl = ResembleMlp::new(paper_bank(), ResembleConfig::fast(), 42);
+        let mut engine = Engine::new(cfg);
+        let mut src = app_by_name("433.milc", 42).unwrap().source;
+        engine.run(&mut *src, Some(&mut ctl), 10_000, 30_000)
+    };
+    let ideal = run(0, true);
+    let hi40 = run(40, true);
+    let lo40 = run(40, false);
+    assert!(lo40.prefetches_issued < hi40.prefetches_issued);
+    assert!(lo40.ipc() <= ideal.ipc() + 1e-9);
+    assert!(hi40.ipc() <= ideal.ipc() + 1e-9);
+}
+
+/// §V-C1: SBP(E) exhibits response lag after a phase change while the
+/// per-access controller re-decides each access.
+#[test]
+fn sbp_switches_slower_than_per_access_selection() {
+    use resemble::trace::gen::{PhasedGen, PointerChaseGen, StreamGen};
+    let mk = || -> Box<dyn TraceSource + Send> {
+        Box::new(PhasedGen::new(
+            vec![
+                Box::new(StreamGen::new(5, 2, 4096, 8)),
+                Box::new(PointerChaseGen::new(6, 6, 2500, 8)),
+            ],
+            12_000,
+            8,
+        ))
+    };
+    let mut sbp = SbpE::from_paper();
+    let mut engine = Engine::new(SimConfig::harness());
+    let mut src = mk();
+    engine.run(&mut *src, Some(&mut sbp as &mut dyn Prefetcher), 0, 48_000);
+    // The sandbox selector must have switched at least once per phase
+    // boundary but orders of magnitude less often than per-access.
+    assert!(sbp.switches >= 2, "switches={}", sbp.switches);
+    assert!(
+        sbp.switches < 2_000,
+        "greedy selector thrashing: {}",
+        sbp.switches
+    );
+    // More than one member must have been selected for meaningful spans.
+    let used = sbp.selections.iter().filter(|&&c| c > 1_000).count();
+    assert!(used >= 2, "selections={:?}", sbp.selections);
+}
+
+/// Table II budgets match the paper.
+#[test]
+fn table2_budgets() {
+    let bank = paper_bank();
+    let budgets: Vec<usize> = (0..bank.len())
+        .map(|i| bank.member(i).budget_bytes())
+        .collect();
+    assert_eq!(budgets[0], 4 * 1024); // BO 4KB
+    assert!((5_300..5_500).contains(&budgets[1])); // SPP 5.3KB
+    assert_eq!(budgets[2], 8 * 1024); // ISB 8KB
+    assert!((2_400..2_500).contains(&budgets[3])); // Domino 2.4KB
+}
+
+/// Table IV: the size relationships the paper reports.
+#[test]
+fn table4_model_size_relationships() {
+    let (s, h, a) = (4, 100, 5);
+    let mlp = mlp_param_count(s, h, a);
+    assert_eq!(mlp, 1005);
+    let direct4 = table_direct_entries(4, s, a);
+    let direct8 = table_direct_entries(8, s, a);
+    assert!(direct8 > direct4);
+    assert!(direct4 as usize > table_token_entries(a, 3730));
+    assert!((mlp as u128) < direct4);
+}
+
+/// Table VII/VIII: latency and storage in the paper's ballpark.
+#[test]
+fn table7_and_8_overheads() {
+    let cfg = ResembleConfig::default();
+    let lat = LatencyEstimate::for_config(&cfg);
+    assert!(
+        (15..=25).contains(&lat.total()),
+        "total latency {}",
+        lat.total()
+    );
+    let st = StorageEstimate::for_config(&cfg);
+    assert_eq!(st.mlp_bytes, 4020); // ≈ paper's 4.2KB
+    assert!((33_000..36_500).contains(&st.replay_bytes)); // ≈ 34.8KB
+}
+
+/// Table VI direction: the MLP's windowed rewards beat the tabular
+/// variant's on an irregular app (the paper's first observation).
+#[test]
+fn table6_mlp_beats_tabular_on_irregular_app() {
+    let run_mlp = || {
+        let mut ctl = ResembleMlp::new(paper_bank(), ResembleConfig::fast(), 42);
+        let mut engine = Engine::new(SimConfig::harness());
+        let mut src = app_by_name("623.xalancbmk", 42).unwrap().source;
+        engine.run(&mut *src, Some(&mut ctl as &mut dyn Prefetcher), 0, 50_000);
+        ctl.stats.mean_window_reward()
+    };
+    let run_tab = || {
+        let mut ctl = ResembleTabular::new(paper_bank(), ResembleConfig::fast(), 8, 42);
+        let mut engine = Engine::new(SimConfig::harness());
+        let mut src = app_by_name("623.xalancbmk", 42).unwrap().source;
+        engine.run(&mut *src, Some(&mut ctl as &mut dyn Prefetcher), 0, 50_000);
+        ctl.stats.mean_window_reward()
+    };
+    let (mlp, tab) = (run_mlp(), run_tab());
+    assert!(
+        mlp > tab,
+        "MLP reward {mlp:.1} should beat tabular {tab:.1}"
+    );
+}
+
+/// Fig 12 direction: the Voyager-like neural prefetcher is strong on
+/// irregular traces but not uniformly best.
+#[test]
+fn fig12_voyager_profile() {
+    let run = |app: &str, pf: &mut dyn Prefetcher| -> (SimStats, SimStats) {
+        let mut engine = Engine::new(SimConfig::harness());
+        let mut src = app_by_name(app, 42).unwrap().source;
+        let base = engine.run(&mut *src, None, 15_000, 40_000);
+        let mut engine = Engine::new(SimConfig::harness());
+        let mut src = app_by_name(app, 42).unwrap().source;
+        let s = engine.run(&mut *src, Some(pf), 15_000, 40_000);
+        (base, s)
+    };
+    // Strong on the irregular app...
+    let (base, v) = run("471.omnetpp", &mut NeuralTemporalPrefetcher::new(42));
+    let v_irr = v.ipc_improvement_over(&base);
+    assert!(v_irr > 5.0, "voyager on omnetpp: {v_irr:.1}%");
+    // ...but beaten by a spatial prefetcher on the streaming app.
+    let (base_m, vm) = run("433.milc", &mut NeuralTemporalPrefetcher::new(42));
+    let (_, sm) = run("433.milc", &mut Spp::new());
+    assert!(
+        sm.ipc_improvement_over(&base_m) > vm.ipc_improvement_over(&base_m),
+        "SPP should beat Voyager on milc"
+    );
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the core data-structure invariants (proptest).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use resemble::core::preprocess::fold_hash;
+use resemble::core::ReplayMemory;
+use resemble::nn::{Activation, Mlp};
+use resemble::prelude::*;
+use resemble::sim::{Cache, Lookup};
+use resemble::trace::gen::VecSource;
+use resemble::trace::io::{read_trace, write_trace};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// fold_hash stays in range and is deterministic for any input.
+    #[test]
+    fn fold_hash_in_range(v in any::<u64>(), bits in 1u32..=32) {
+        let h = fold_hash(v, bits);
+        prop_assert!(h < (1u64 << bits));
+        prop_assert_eq!(h, fold_hash(v, bits));
+    }
+
+    /// A cache never reports more lines than its capacity, and a filled
+    /// block is immediately visible until evicted.
+    #[test]
+    fn cache_capacity_and_visibility(addrs in vec(any::<u64>(), 1..300)) {
+        let mut cache = Cache::new("t", 8 * 4 * 64, 4); // 8 sets x 4 ways
+        for &a in &addrs {
+            cache.fill(a, false, false);
+            prop_assert!(cache.contains(a), "just-filled block must be present");
+            let hit = matches!(cache.access(a, false), Lookup::Hit { .. });
+            prop_assert!(hit, "access to just-filled block must hit");
+        }
+    }
+
+    /// Replay rewards are always 0 (NP), −1 (expired), or +k with
+    /// 1 ≤ k ≤ number of issued blocks; valid transitions always carry a
+    /// next state.
+    #[test]
+    fn replay_reward_invariants(
+        ops in vec((any::<u8>(), any::<u8>()), 10..400),
+        window in 2usize..32,
+    ) {
+        let mut m = ReplayMemory::new(64, window);
+        let mut assigned = Vec::new();
+        let mut prev: Option<u64> = None;
+        let mut ids = Vec::new();
+        for (sel, blk) in ops {
+            let blocks: Vec<u64> = match sel % 4 {
+                0 => vec![],
+                1 => vec![blk as u64],
+                2 => vec![blk as u64, blk as u64 ^ 0x80],
+                _ => vec![blk as u64, (blk as u64) + 300, (blk as u64) + 600],
+            };
+            let id = m.push(vec![0.5; 4], (sel % 5) as usize, &blocks);
+            if let Some(p) = prev {
+                m.set_next_state(p, &[0.1; 4]);
+            }
+            prev = Some(id);
+            ids.push((id, blocks.len()));
+            m.on_access(blk as u64, &mut assigned);
+        }
+        for (id, n_blocks) in ids {
+            if let Some(t) = m.get(id) {
+                if let Some(r) = t.reward {
+                    let ok = r == 0.0 || r == -1.0 || (r >= 1.0 && r <= n_blocks as f32);
+                    prop_assert!(ok, "reward {r} for {n_blocks} blocks");
+                }
+                if t.is_valid() {
+                    prop_assert!(t.next_state.is_some());
+                }
+            }
+        }
+    }
+
+    /// The engine never panics, retires all instructions, and IPC stays in
+    /// (0, width] for arbitrary short traces.
+    #[test]
+    fn engine_total_and_ipc_bounds(
+        raw in vec((any::<u16>(), any::<u32>(), any::<bool>()), 20..200),
+    ) {
+        let trace: Vec<MemAccess> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(pc, addr, w))| MemAccess {
+                instr_id: (i as u64) * 3,
+                pc: pc as u64,
+                addr: (addr as u64) << 6,
+                is_write: w,
+            })
+            .collect();
+        let n = trace.len();
+        let mut engine = Engine::new(SimConfig::test_small());
+        let stats = engine.run(&mut VecSource::new(trace), None, 0, n);
+        prop_assert_eq!(stats.demand_accesses, n as u64);
+        prop_assert!(stats.ipc() > 0.0);
+        prop_assert!(stats.ipc() <= 4.0 + 1e-9);
+        prop_assert!(stats.llc_demand_hits + stats.llc_demand_misses <= stats.l2_misses);
+    }
+
+    /// Trace IO round-trips arbitrary access sequences.
+    #[test]
+    fn trace_io_roundtrip(raw in vec((any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()), 0..100)) {
+        let mut trace: Vec<MemAccess> = raw
+            .iter()
+            .map(|&(i, pc, addr, w)| MemAccess { instr_id: i, pc, addr, is_write: w })
+            .collect();
+        trace.sort_by_key(|a| a.instr_id);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+
+    /// MLP forward never produces NaN for finite inputs in [0, 1].
+    #[test]
+    fn mlp_forward_finite(xs in vec(0.0f32..1.0, 4), seed in any::<u64>()) {
+        let net = Mlp::new(&[4, 16, 5], Activation::Relu, seed);
+        let out = net.predict(&xs);
+        prop_assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    /// The ensemble controller issues at most the selected member's
+    /// suggestion list and never panics on random access streams.
+    #[test]
+    fn controller_never_overissues(raw in vec((any::<u16>(), any::<u32>()), 50..300)) {
+        let mut ctl = ResembleMlp::new(
+            paper_bank(),
+            ResembleConfig { batch_size: 4, ..ResembleConfig::default() },
+            1,
+        );
+        let mut out = Vec::new();
+        for (i, &(pc, addr)) in raw.iter().enumerate() {
+            out.clear();
+            let a = MemAccess::load(i as u64, pc as u64, (addr as u64) << 6);
+            ctl.on_access(&a, false, &mut out);
+            // Bank max degrees: BO 1, SPP 4, ISB 2, Domino 2.
+            prop_assert!(out.len() <= 4, "issued {} suggestions", out.len());
+        }
+    }
+}
