@@ -4,13 +4,15 @@
 //! throughput.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use resemble_bench::factory;
 use resemble_core::preprocess::fold_hash;
 use resemble_core::{ReplayMemory, ResembleConfig};
 use resemble_nn::{Activation, Mlp, Sgd};
 use resemble_prefetch::{
     BestOffset, Domino, Isb, NextLine, Prefetcher, Spp, StridePrefetcher, Vldp,
 };
-use resemble_sim::{Cache, Dram, DramConfig};
+use resemble_sim::{Cache, Dram, DramConfig, Engine, ReferenceEngine, SimConfig};
+use resemble_trace::gen::{app_by_name, StreamGen};
 use resemble_trace::MemAccess;
 
 fn bench_mlp(c: &mut Criterion) {
@@ -57,6 +59,19 @@ fn bench_cache_and_dram(c: &mut Criterion) {
             i = i.wrapping_add(64);
             cache.access(black_box(i), false);
             cache.fill(i, false, false)
+        })
+    });
+    // Hit path over a resident ring: the dominant probe in the engine's
+    // hot loop (L1 hits are the bulk of every trace).
+    let mut hit_cache = Cache::new("l1d", 64 * 1024, 12); // 85 sets: non-pow2 indexing
+    for w in 0..128u64 {
+        hit_cache.fill(0x10_0000 + w * 64, false, false);
+    }
+    let mut j = 0u64;
+    c.bench_function("sim/cache_access_hit_85sets", |b| {
+        b.iter(|| {
+            j = (j + 1) % 128;
+            black_box(hit_cache.access(0x10_0000 + j * 64, false))
         })
     });
     let mut dram = Dram::new(DramConfig::default());
@@ -125,12 +140,66 @@ fn bench_prefetchers(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine(c: &mut Criterion) {
+    // Whole-engine throughput on a streaming workload, optimized vs seed
+    // reference — the micro view of what perf_gate measures end to end.
+    let mut group = c.benchmark_group("engine_run");
+    group.sample_size(10);
+    let cfg = SimConfig::harness();
+    const N: usize = 20_000;
+    group.bench_function("optimized_stream_20k", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(cfg);
+            let mut src = StreamGen::new(1, 4, 4096, 10);
+            black_box(e.run(&mut src, None, 0, N))
+        })
+    });
+    group.bench_function("reference_stream_20k", |b| {
+        b.iter(|| {
+            let mut e = ReferenceEngine::new(cfg);
+            let mut src = StreamGen::new(1, 4, 4096, 10);
+            black_box(e.run(&mut src, None, 0, N))
+        })
+    });
+    // An irregular app stresses the MSHR/event-queue paths harder.
+    group.bench_function("optimized_mcf_20k", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(cfg);
+            let mut src = app_by_name("429.mcf", 1).expect("app").source;
+            black_box(e.run(&mut *src, None, 0, N))
+        })
+    });
+    group.finish();
+}
+
+fn bench_ensemble(c: &mut Criterion) {
+    // Full ensemble controllers on the engine: the per-access cost of the
+    // RL machinery (bank observation + inference + replay + training).
+    let mut group = c.benchmark_group("ensemble_on_engine");
+    group.sample_size(10);
+    let cfg = SimConfig::harness();
+    const N: usize = 10_000;
+    for name in ["sbp_e", "resemble_t", "resemble"] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut e = Engine::new(cfg);
+                let mut src = app_by_name("433.milc", 1).expect("app").source;
+                let mut pf = factory::make(name, 1, true);
+                black_box(e.run(&mut *src, Some(&mut *pf), 0, N))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_mlp,
     bench_preprocess,
     bench_cache_and_dram,
     bench_replay,
-    bench_prefetchers
+    bench_prefetchers,
+    bench_engine,
+    bench_ensemble
 );
 criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Parallel sweep runner: (application × prefetcher) simulation jobs over
-//! a scoped thread pool (no rayon — std scoped threads + crossbeam
-//! channels per DESIGN.md §4).
+//! a scoped thread pool (no rayon — std scoped threads, an atomic work
+//! index, and `std::sync::mpsc` for result collection per DESIGN.md §4).
 
 use crate::factory;
 use resemble_sim::{Engine, SimConfig, SimStats};
@@ -120,22 +120,23 @@ pub fn run_matrix(apps: &[String], pfs: &[&str], p: &SweepParams) -> Vec<RunResu
         return Vec::new();
     }
     let n_threads = p.n_threads(jobs.len());
-    let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, String, String)>();
-    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, RunResult)>();
-    for j in jobs.iter().cloned() {
-        job_tx.send(j).expect("queue open");
-    }
-    drop(job_tx);
+    // mpsc receivers are not cloneable, so workers claim jobs through a
+    // shared atomic cursor over the job list instead of a job channel.
+    let next_job = std::sync::atomic::AtomicUsize::new(0);
+    let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, RunResult)>();
     std::thread::scope(|s| {
         for _ in 0..n_threads {
-            let job_rx = job_rx.clone();
             let res_tx = res_tx.clone();
+            let jobs = &jobs;
+            let next_job = &next_job;
             let p = *p;
-            s.spawn(move || {
-                while let Ok((i, app, pf)) = job_rx.recv() {
-                    let r = run_one(&app, &pf, &p);
-                    res_tx.send((i, r)).expect("result channel open");
-                }
+            s.spawn(move || loop {
+                let k = next_job.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some((i, app, pf)) = jobs.get(k) else {
+                    break;
+                };
+                let r = run_one(app, pf, &p);
+                res_tx.send((*i, r)).expect("result channel open");
             });
         }
         drop(res_tx);

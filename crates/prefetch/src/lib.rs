@@ -46,7 +46,7 @@ pub use stems::Stems;
 pub use stms::Stms;
 pub use streamer::Streamer;
 pub use stride::StridePrefetcher;
-pub use traits::{PredictionKind, Prefetcher, PrefetcherBank};
+pub use traits::{CacheEvent, PredictionKind, Prefetcher, PrefetcherBank};
 pub use vldp::Vldp;
 
 /// The paper's four-prefetcher ensemble input (Table II): BO, SPP, ISB,

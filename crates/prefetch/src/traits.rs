@@ -16,6 +16,35 @@ pub enum PredictionKind {
     Temporal,
 }
 
+/// A cache-state change the simulator reports back to prefetchers:
+/// fill completions and evictions at the prefetched level.
+///
+/// The simulator accumulates these per drain and delivers them in
+/// occurrence order through [`Prefetcher::on_cache_events`], so a bank of
+/// N members costs one virtual dispatch per member per batch instead of
+/// one per member per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// A prefetched line arrived in the cache.
+    PrefetchFill {
+        /// Block-aligned byte address of the filled line.
+        addr: u64,
+    },
+    /// A demand-missed line arrived in the cache (fill completion).
+    DemandFill {
+        /// Block-aligned byte address of the filled line.
+        addr: u64,
+    },
+    /// A line was evicted to make room for a fill.
+    Evict {
+        /// Block-aligned byte address of the victim line.
+        addr: u64,
+        /// The victim was prefetched and never demanded (a wasted
+        /// prefetch).
+        unused_prefetch: bool,
+    },
+}
+
 /// A hardware prefetcher observing the LLC access stream.
 ///
 /// `on_access` is invoked for every demand access reaching the level the
@@ -23,6 +52,11 @@ pub enum PredictionKind {
 /// with `hit` telling whether the access hit in that cache. Suggested
 /// prefetch addresses are pushed into `out` (block-aligned byte addresses,
 /// most-confident first); the caller clears `out` beforehand.
+///
+/// Fill/evict notifications arrive batched via
+/// [`Prefetcher::on_cache_events`]; the default implementation fans each
+/// batch out to the per-event hooks, so simple prefetchers only implement
+/// those.
 pub trait Prefetcher {
     /// Human-readable name ("bo", "spp", ...).
     fn name(&self) -> &'static str;
@@ -43,6 +77,26 @@ pub trait Prefetcher {
     /// A line was evicted; `unused_prefetch` marks a prefetched line that
     /// was never demanded (a wasted prefetch).
     fn on_evict(&mut self, _addr: u64, _unused_prefetch: bool) {}
+
+    /// Batched delivery of fill/evict notifications in occurrence order.
+    ///
+    /// The simulator calls this once per fill-drain instead of invoking
+    /// the per-event hooks directly. Override to process a whole batch at
+    /// once (see [`PrefetcherBank::on_cache_events`]); the default simply
+    /// dispatches each event to the matching per-event hook, preserving
+    /// the exact call sequence a per-event simulator would produce.
+    fn on_cache_events(&mut self, events: &[CacheEvent]) {
+        for e in events {
+            match *e {
+                CacheEvent::PrefetchFill { addr } => self.on_prefetch_fill(addr),
+                CacheEvent::DemandFill { addr } => self.on_demand_fill(addr),
+                CacheEvent::Evict {
+                    addr,
+                    unused_prefetch,
+                } => self.on_evict(addr, unused_prefetch),
+            }
+        }
+    }
 
     /// Hardware storage budget in bytes (Table II).
     fn budget_bytes(&self) -> usize;
@@ -143,6 +197,15 @@ impl PrefetcherBank {
     pub fn on_evict(&mut self, addr: u64, unused_prefetch: bool) {
         for m in &mut self.members {
             m.on_evict(addr, unused_prefetch);
+        }
+    }
+
+    /// Forward a batch of cache events to every member: one dispatch per
+    /// member per batch. Each member still observes the events in
+    /// occurrence order.
+    pub fn on_cache_events(&mut self, events: &[CacheEvent]) {
+        for m in &mut self.members {
+            m.on_cache_events(events);
         }
     }
 

@@ -2,6 +2,15 @@
 //! bookkeeping (needed for the paper's "useful prefetch" accounting: a
 //! prefetch is useful iff the prefetched line is referenced before it is
 //! replaced).
+//!
+//! Storage layout is optimized for the simulator's hot path: block tags
+//! live in one contiguous `Vec<u64>` (a set's tags span at most two cache
+//! lines of the host machine), while the replacement/bookkeeping metadata
+//! sits in a parallel array that is only touched on the hit way or during
+//! victim selection. Set indexing is strength-reduced: a mask for
+//! power-of-two set counts and a Lemire multiply-shift remainder for the
+//! non-power-of-two geometries Table V produces (e.g. 85 L1D sets).
+//! Lookups never allocate.
 
 use resemble_trace::record::block_of;
 use serde::{Deserialize, Serialize};
@@ -43,20 +52,20 @@ pub struct Eviction {
     pub dirty: bool,
 }
 
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
-struct Line {
-    block: u64,
-    valid: bool,
-    dirty: bool,
-    /// brought in by prefetch
-    prefetched: bool,
-    /// prefetched line that has been demanded at least once
-    used: bool,
-    /// LRU timestamp (higher = more recent)
-    lru: u64,
-    /// insertion timestamp (FIFO replacement)
-    inserted: u64,
-}
+/// Tag value marking an empty way. Real tags are block numbers
+/// (`addr >> 6`), so `u64::MAX` is unreachable.
+const INVALID_TAG: u64 = u64::MAX;
+
+/// Per-line metadata packed into one `u64`: bits 0..=60 hold the LRU
+/// timestamp (the simulator issues two ticks per access/fill, so 2^61
+/// outlasts any run), bit 61 `dirty`, bit 62 `prefetched`, bit 63 `used`.
+/// One word per line keeps a whole 16-way set's metadata inside two host
+/// cache lines, so hit updates are a single read-modify-write and victim
+/// scans stream contiguous words.
+const META_DIRTY: u64 = 1 << 61;
+const META_PREFETCHED: u64 = 1 << 62;
+const META_USED: u64 = 1 << 63;
+const META_LRU_MASK: u64 = META_DIRTY - 1;
 
 /// A single cache level.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -64,10 +73,31 @@ pub struct Cache {
     name: &'static str,
     sets: usize,
     ways: usize,
-    lines: Vec<Line>,
+    /// `INVALID_TAG` marks an empty way; otherwise the resident block.
+    tags: Vec<u64>,
+    /// Packed per-line metadata (see `META_*`), parallel to `tags`.
+    meta: Vec<u64>,
+    /// Insertion timestamps, written and read only under
+    /// `Replacement::Fifo` (cold for the paper's LRU configuration).
+    inserted: Vec<u64>,
     tick: u64,
     policy: Replacement,
     rng_state: u64,
+    /// `sets - 1` when `sets` is a power of two, else `u64::MAX` to select
+    /// the multiply-shift path.
+    set_mask: u64,
+    /// Lemire fastmod constant `⌈2^64 / sets⌉` (32-bit operand variant).
+    fastmod_m: u64,
+    /// `2^32 mod sets`, used to fold the high half of a 64-bit block.
+    fold_r: u64,
+}
+
+/// Exact `n mod d` for 32-bit `n` via Lemire's multiply-shift
+/// (`m = ⌈2^64 / d⌉`); proven exact for all `n, d < 2^32`.
+#[inline]
+fn fastmod32(n: u32, d: u64, m: u64) -> u64 {
+    let low = m.wrapping_mul(n as u64);
+    ((low as u128 * d as u128) >> 64) as u64
 }
 
 impl Cache {
@@ -88,14 +118,26 @@ impl Cache {
         assert!(ways > 0);
         let sets = size_bytes / (64 * ways);
         assert!(sets > 0, "cache too small: {size_bytes} bytes, {ways} ways");
+        let set_mask = if sets.is_power_of_two() {
+            sets as u64 - 1
+        } else {
+            u64::MAX
+        };
         Self {
             name,
             sets,
             ways,
-            lines: vec![Line::default(); sets * ways],
+            tags: vec![INVALID_TAG; sets * ways],
+            meta: vec![0; sets * ways],
+            inserted: vec![0; sets * ways],
             tick: 0,
             policy,
             rng_state: 0x243F_6A88_85A3_08D3,
+            set_mask,
+            // ⌈2^64/sets⌉; wraps to 0 for sets == 1, where the pow2 mask
+            // path is taken and this value is never read.
+            fastmod_m: (u64::MAX / sets as u64).wrapping_add(1),
+            fold_r: (1u64 << 32) % sets as u64,
         }
     }
 
@@ -126,44 +168,81 @@ impl Cache {
 
     #[inline]
     fn set_of(&self, block: u64) -> usize {
-        (block % self.sets as u64) as usize
+        if self.set_mask != u64::MAX {
+            return (block & self.set_mask) as usize;
+        }
+        let d = self.sets as u64;
+        if d < (1 << 16) {
+            // Fold the 64-bit block through 2^32 ≡ fold_r (mod d); the
+            // folded operand is < d² < 2^32, so both reductions stay in
+            // the proven-exact 32-bit fastmod domain.
+            let hi = fastmod32((block >> 32) as u32, d, self.fastmod_m);
+            let lo = fastmod32(block as u32, d, self.fastmod_m);
+            fastmod32((hi * self.fold_r + lo) as u32, d, self.fastmod_m) as usize
+        } else {
+            // Enormous non-power-of-two set counts: fall back to hardware
+            // division rather than widen the folding chain.
+            (block % d) as usize
+        }
     }
 
+    /// Index of `block`'s way within its set, if resident.
+    ///
+    /// The common associativities (Table V and the harness scale: 8, 12,
+    /// 16 ways) dispatch to fixed-length branchless scans the compiler can
+    /// vectorize; tags are unique within a set, so scan order is moot.
     #[inline]
-    fn set_lines(&mut self, set: usize) -> &mut [Line] {
-        &mut self.lines[set * self.ways..(set + 1) * self.ways]
+    fn probe(&self, base: usize, block: u64) -> Option<usize> {
+        #[inline]
+        fn scan<const N: usize>(tags: &[u64], block: u64) -> Option<usize> {
+            let tags: &[u64; N] = tags.try_into().expect("slice length is N");
+            let mut found = None;
+            let mut i = 0;
+            while i < N {
+                if tags[i] == block {
+                    found = Some(i);
+                }
+                i += 1;
+            }
+            found
+        }
+        let tags = &self.tags[base..base + self.ways];
+        match self.ways {
+            8 => scan::<8>(tags, block),
+            12 => scan::<12>(tags, block),
+            16 => scan::<16>(tags, block),
+            _ => tags.iter().position(|&t| t == block),
+        }
     }
 
     /// Demand lookup: updates LRU and prefetch-use state on hit.
     pub fn access(&mut self, addr: u64, is_write: bool) -> Lookup {
         let block = block_of(addr);
-        let set = self.set_of(block);
+        let base = self.set_of(block) * self.ways;
         self.tick += 1;
-        let tick = self.tick;
-        for line in self.set_lines(set) {
-            if line.valid && line.block == block {
-                line.lru = tick;
+        match self.probe(base, block) {
+            Some(w) => {
+                let m = &mut self.meta[base + w];
+                let first_use = *m & (META_PREFETCHED | META_USED) == META_PREFETCHED;
+                let mut v = (*m & (META_DIRTY | META_PREFETCHED)) | META_USED | self.tick;
                 if is_write {
-                    line.dirty = true;
+                    v |= META_DIRTY;
                 }
-                let first_use = line.prefetched && !line.used;
-                line.used = true;
-                return Lookup::Hit {
+                *m = v;
+                Lookup::Hit {
                     first_use_of_prefetch: first_use,
-                };
+                }
             }
+            None => Lookup::Miss,
         }
-        Lookup::Miss
     }
 
     /// Probe without disturbing any state (used by the engine to test
     /// presence and by prefetch-drop filtering).
     pub fn contains(&self, addr: u64) -> bool {
         let block = block_of(addr);
-        let set = self.set_of(block);
-        self.lines[set * self.ways..(set + 1) * self.ways]
-            .iter()
-            .any(|l| l.valid && l.block == block)
+        let base = self.set_of(block) * self.ways;
+        self.probe(base, block).is_some()
     }
 
     /// Insert a block (demand fill or prefetch fill), evicting the LRU
@@ -173,68 +252,142 @@ impl Cache {
     /// demand-fill over a prefetched line as used).
     pub fn fill(&mut self, addr: u64, is_write: bool, is_prefetch: bool) -> Option<Eviction> {
         let block = block_of(addr);
-        let set = self.set_of(block);
+        let base = self.set_of(block) * self.ways;
         self.tick += 1;
         let tick = self.tick;
-        let lines = self.set_lines(set);
         // Already present?
-        if let Some(line) = lines.iter_mut().find(|l| l.valid && l.block == block) {
-            line.lru = tick;
+        if let Some(w) = self.probe(base, block) {
+            let m = &mut self.meta[base + w];
+            let mut v = (*m & (META_DIRTY | META_PREFETCHED | META_USED)) | tick;
             if is_write {
-                line.dirty = true;
+                v |= META_DIRTY;
             }
             if !is_prefetch {
-                line.used = true;
+                v |= META_USED;
             }
+            *m = v;
             return None;
         }
-        // Free way?
-        let policy = self.policy;
+        Some(self.insert(base, block, is_write, is_prefetch, tick)).flatten()
+    }
+
+    /// [`Cache::fill`] for a block the caller has just probed absent (the
+    /// engine's demand-miss path: `access` returned `Miss` and nothing
+    /// touched the set since). Skips the presence probe; all state
+    /// transitions, including the tick, are identical to `fill`.
+    pub fn fill_known_miss(
+        &mut self,
+        addr: u64,
+        is_write: bool,
+        is_prefetch: bool,
+    ) -> Option<Eviction> {
+        let block = block_of(addr);
+        let base = self.set_of(block) * self.ways;
+        self.tick += 1;
+        debug_assert!(self.probe(base, block).is_none(), "block resident");
+        let tick = self.tick;
+        self.insert(base, block, is_write, is_prefetch, tick)
+    }
+
+    /// Place `block` in its set, evicting per policy if no way is free.
+    #[inline]
+    fn insert(
+        &mut self,
+        base: usize,
+        block: u64,
+        is_write: bool,
+        is_prefetch: bool,
+        tick: u64,
+    ) -> Option<Eviction> {
         let ways = self.ways;
-        let rng = &mut self.rng_state;
-        let lines = &mut self.lines[set * ways..(set + 1) * ways];
-        let victim_idx = match lines.iter().position(|l| !l.valid) {
-            Some(i) => i,
-            None => match policy {
-                Replacement::Lru => lines
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.lru)
-                    .map(|(i, _)| i)
-                    .expect("ways > 0"),
-                Replacement::Fifo => lines
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.inserted)
-                    .map(|(i, _)| i)
-                    .expect("ways > 0"),
-                Replacement::Random => {
-                    *rng ^= *rng << 13;
-                    *rng ^= *rng >> 7;
-                    *rng ^= *rng << 17;
-                    (*rng % ways as u64) as usize
+        // No separate free-way scan for LRU/FIFO: an empty way carries
+        // metadata 0 (live ticks start at 1), so the victim min-scan lands
+        // on the first free way whenever one exists — one pass instead of
+        // two per insert.
+        let victim_idx = match self.policy {
+            Replacement::Lru => {
+                #[inline]
+                fn lru_min<const N: usize>(metas: &[u64]) -> usize {
+                    let metas: &[u64; N] = metas.try_into().expect("slice length is N");
+                    let mut best = 0usize;
+                    let mut best_lru = metas[0] & META_LRU_MASK;
+                    let mut i = 1;
+                    while i < N {
+                        let lru = metas[i] & META_LRU_MASK;
+                        if lru < best_lru {
+                            best = i;
+                            best_lru = lru;
+                        }
+                        i += 1;
+                    }
+                    best
                 }
-            },
+                let metas = &self.meta[base..base + ways];
+                match ways {
+                    8 => lru_min::<8>(metas),
+                    12 => lru_min::<12>(metas),
+                    16 => lru_min::<16>(metas),
+                    _ => {
+                        let mut best = 0usize;
+                        let mut best_lru = metas[0] & META_LRU_MASK;
+                        for (i, &m) in metas.iter().enumerate().skip(1) {
+                            let lru = m & META_LRU_MASK;
+                            if lru < best_lru {
+                                best = i;
+                                best_lru = lru;
+                            }
+                        }
+                        best
+                    }
+                }
+            }
+            Replacement::Fifo => {
+                let ins = &self.inserted[base..base + ways];
+                ins.iter()
+                    .enumerate()
+                    .min_by_key(|(_, &t)| t)
+                    .map(|(i, _)| i)
+                    .expect("ways > 0")
+            }
+            Replacement::Random => {
+                let tags = &self.tags[base..base + ways];
+                match tags.iter().position(|&t| t == INVALID_TAG) {
+                    Some(i) => i,
+                    None => {
+                        let rng = &mut self.rng_state;
+                        *rng ^= *rng << 13;
+                        *rng ^= *rng >> 7;
+                        *rng ^= *rng << 17;
+                        (*rng % ways as u64) as usize
+                    }
+                }
+            }
         };
-        let victim = lines[victim_idx];
-        let evicted = if victim.valid {
+        let victim_tag = self.tags[base + victim_idx];
+        let victim_meta = self.meta[base + victim_idx];
+        let evicted = if victim_tag != INVALID_TAG {
             Some(Eviction {
-                block: victim.block,
-                unused_prefetch: victim.prefetched && !victim.used,
-                dirty: victim.dirty,
+                block: victim_tag,
+                unused_prefetch: victim_meta & (META_PREFETCHED | META_USED) == META_PREFETCHED,
+                dirty: victim_meta & META_DIRTY != 0,
             })
         } else {
             None
         };
-        lines[victim_idx] = Line {
-            block,
-            valid: true,
-            dirty: is_write,
-            prefetched: is_prefetch,
-            used: !is_prefetch,
-            lru: tick,
-            inserted: tick,
-        };
+        self.tags[base + victim_idx] = block;
+        let mut v = tick;
+        if is_write {
+            v |= META_DIRTY;
+        }
+        if is_prefetch {
+            v |= META_PREFETCHED;
+        } else {
+            v |= META_USED;
+        }
+        self.meta[base + victim_idx] = v;
+        if self.policy == Replacement::Fifo {
+            self.inserted[base + victim_idx] = tick;
+        }
         evicted
     }
 
@@ -242,19 +395,25 @@ impl Cache {
     /// present.
     pub fn invalidate(&mut self, addr: u64) -> bool {
         let block = block_of(addr);
-        let set = self.set_of(block);
-        for line in self.set_lines(set) {
-            if line.valid && line.block == block {
-                line.valid = false;
-                return true;
+        let base = self.set_of(block) * self.ways;
+        match self.probe(base, block) {
+            Some(w) => {
+                self.tags[base + w] = INVALID_TAG;
+                // Zeroed bookkeeping makes the freed way the next victim
+                // under LRU and FIFO alike.
+                self.meta[base + w] = 0;
+                self.inserted[base + w] = 0;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Drop all contents.
     pub fn clear(&mut self) {
-        self.lines.fill(Line::default());
+        self.tags.fill(INVALID_TAG);
+        self.meta.fill(0);
+        self.inserted.fill(0);
         self.tick = 0;
     }
 
@@ -263,10 +422,9 @@ impl Cache {
     /// unused-on-eviction). Used at the warmup/measurement boundary so
     /// accuracy only credits prefetches issued inside the measured window.
     pub fn clear_prefetch_marks(&mut self) {
-        for line in &mut self.lines {
-            if line.valid && line.prefetched {
-                line.prefetched = false;
-                line.used = true;
+        for (t, m) in self.tags.iter().zip(self.meta.iter_mut()) {
+            if *t != INVALID_TAG && *m & META_PREFETCHED != 0 {
+                *m = (*m & !META_PREFETCHED) | META_USED;
             }
         }
     }
@@ -288,6 +446,32 @@ mod tests {
         assert_eq!(c.capacity_bytes(), 8 * 1024 * 1024);
         let c = Cache::new("l1d", 64 * 1024, 12);
         assert_eq!(c.num_sets(), 85); // non-power-of-two per Table V
+    }
+
+    #[test]
+    fn set_index_matches_modulo() {
+        // The strength-reduced index must agree with `%` for every
+        // geometry class: power-of-two, small non-power-of-two (the
+        // fastmod path), including blocks with high bits set.
+        for ways in [1usize, 2, 3, 12, 16] {
+            for sets in [1usize, 2, 3, 5, 64, 85, 170, 341, 8192, 65535] {
+                let c = Cache::new("t", sets * ways * 64, ways);
+                assert_eq!(c.num_sets(), sets);
+                let mut x = 0x9E37_79B9_7F4A_7C15u64;
+                for i in 0..2000u64 {
+                    // xorshift over the full 64-bit range plus boundary blocks
+                    x ^= x << 7;
+                    x ^= x >> 9;
+                    for block in [x, i, u64::MAX - i, (1u64 << 32) + i] {
+                        assert_eq!(
+                            c.set_of(block),
+                            (block % sets as u64) as usize,
+                            "sets={sets} block={block:#x}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -361,12 +545,13 @@ mod tests {
         let mut c = small();
         c.fill(0x40, false, true);
         assert!(c.fill(0x40, false, false).is_none());
-        // The demand refill marks the prefetched line used.
-        let ev_check = {
-            c.fill(2 * 64 + 0x40 - 0x40, false, false); // fills set of block 0? keep simple
-            true
-        };
-        assert!(ev_check);
+        // The demand refill marked the prefetched line used: evict it and
+        // check it no longer counts as an unused prefetch.
+        c.fill(0x40 + 2 * 64, false, false);
+        c.access(0x40 + 2 * 64, false);
+        let ev = c.fill(0x40 + 4 * 64, false, false).unwrap();
+        assert_eq!(ev.block, 1);
+        assert!(!ev.unused_prefetch);
     }
 
     #[test]

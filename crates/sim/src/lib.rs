@@ -26,6 +26,8 @@ pub mod config;
 pub mod dram;
 pub mod engine;
 pub mod multicore;
+mod queue;
+pub mod reference;
 pub mod stats;
 
 pub use cache::{Cache, Eviction, Lookup, Replacement};
@@ -33,4 +35,5 @@ pub use config::{PrefetchTiming, SimConfig};
 pub use dram::{Dram, DramConfig};
 pub use engine::{run_pair, Engine};
 pub use multicore::MultiCoreEngine;
+pub use reference::ReferenceEngine;
 pub use stats::SimStats;

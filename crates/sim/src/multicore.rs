@@ -13,13 +13,13 @@
 use crate::cache::{Cache, Lookup};
 use crate::config::SimConfig;
 use crate::dram::Dram;
+use crate::queue::TimeQueue;
 use crate::stats::SimStats;
-use resemble_prefetch::Prefetcher;
+use resemble_prefetch::{CacheEvent, Prefetcher};
 use resemble_trace::record::{block_addr, block_of};
 use resemble_trace::util::{FxHashMap, FxHashSet};
 use resemble_trace::{MemAccess, TraceSource};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// Per-core private state.
 struct Core {
@@ -34,9 +34,9 @@ struct Core {
     /// prefetches in flight issued by this core
     inflight_prefetch: FxHashMap<u64, u64>,
     unattributed: FxHashSet<u64>,
-    pf_heap: BinaryHeap<Reverse<(u64, u64)>>,
+    pf_queue: TimeQueue<(u64, u64)>,
     inflight_demand: FxHashMap<u64, u64>,
-    demand_heap: BinaryHeap<Reverse<(u64, u64)>>,
+    demand_queue: TimeQueue<(u64, u64)>,
     sugg: Vec<u64>,
 }
 
@@ -53,9 +53,9 @@ impl Core {
             stats: SimStats::default(),
             inflight_prefetch: FxHashMap::default(),
             unattributed: FxHashSet::default(),
-            pf_heap: BinaryHeap::new(),
+            pf_queue: TimeQueue::with_capacity(64),
             inflight_demand: FxHashMap::default(),
-            demand_heap: BinaryHeap::new(),
+            demand_queue: TimeQueue::with_capacity(64),
             sugg: Vec::new(),
         }
     }
@@ -78,7 +78,9 @@ pub struct MultiCoreEngine {
     llc: Cache,
     dram: Dram,
     /// shared LLC MSHR occupancy (completion cycles)
-    outstanding: BinaryHeap<Reverse<u64>>,
+    outstanding: TimeQueue<u64>,
+    /// reusable batch buffer for prefetcher fill/evict notifications
+    events: Vec<CacheEvent>,
 }
 
 impl MultiCoreEngine {
@@ -97,7 +99,8 @@ impl MultiCoreEngine {
             cores: (0..n_cores).map(|_| Core::new(&cfg)).collect(),
             llc: Cache::with_policy("llc", cfg.llc_size, cfg.llc_ways, cfg.llc_replacement),
             dram: Dram::new(dram_cfg),
-            outstanding: BinaryHeap::new(),
+            outstanding: TimeQueue::with_capacity(128),
+            events: Vec::with_capacity(32),
             cfg: shared_cfg,
         }
     }
@@ -113,7 +116,7 @@ impl MultiCoreEngine {
     }
 
     fn mshr_admit(&mut self, now: u64) -> Result<(), u64> {
-        while let Some(&Reverse(c)) = self.outstanding.peek() {
+        while let Some(&c) = self.outstanding.peek() {
             if c <= now {
                 self.outstanding.pop();
             } else {
@@ -123,7 +126,7 @@ impl MultiCoreEngine {
         if self.outstanding.len() < self.cfg.llc_mshrs {
             Ok(())
         } else {
-            Err(self.outstanding.peek().map(|r| r.0).unwrap_or(now))
+            Err(self.outstanding.peek().copied().unwrap_or(now))
         }
     }
 
@@ -133,15 +136,16 @@ impl MultiCoreEngine {
         now: u64,
         pf: &mut Option<&mut (dyn Prefetcher + '_)>,
     ) {
+        let notify = pf.is_some();
         loop {
             let core = &mut self.cores[core_idx];
-            let Some(&Reverse((ready, block))) = core.pf_heap.peek() else {
+            let Some(&(ready, block)) = core.pf_queue.peek() else {
                 break;
             };
             if ready > now {
                 break;
             }
-            core.pf_heap.pop();
+            core.pf_queue.pop();
             if core.inflight_prefetch.remove(&block).is_none() {
                 continue;
             }
@@ -150,24 +154,37 @@ impl MultiCoreEngine {
                 if ev.unused_prefetch {
                     self.cores[core_idx].stats.prefetches_unused_evicted += 1;
                 }
-                if let Some(p) = pf.as_deref_mut() {
-                    p.on_evict(block_addr(ev.block), ev.unused_prefetch);
+                if notify {
+                    self.events.push(CacheEvent::Evict {
+                        addr: block_addr(ev.block),
+                        unused_prefetch: ev.unused_prefetch,
+                    });
                 }
             }
-            if let Some(p) = pf.as_deref_mut() {
-                p.on_prefetch_fill(block_addr(block));
+            if notify {
+                self.events.push(CacheEvent::PrefetchFill {
+                    addr: block_addr(block),
+                });
             }
         }
         let core = &mut self.cores[core_idx];
-        while let Some(&Reverse((ready, block))) = core.demand_heap.peek() {
+        while let Some(&(ready, block)) = core.demand_queue.peek() {
             if ready > now {
                 break;
             }
-            core.demand_heap.pop();
+            core.demand_queue.pop();
             core.inflight_demand.remove(&block);
-            if let Some(p) = pf.as_deref_mut() {
-                p.on_demand_fill(block_addr(block));
+            if notify {
+                self.events.push(CacheEvent::DemandFill {
+                    addr: block_addr(block),
+                });
             }
+        }
+        if !self.events.is_empty() {
+            if let Some(p) = pf.as_deref_mut() {
+                p.on_cache_events(&self.events);
+            }
+            self.events.clear();
         }
     }
 
@@ -211,7 +228,7 @@ impl MultiCoreEngine {
                 core.stats.l1d_misses += 1;
                 let l2_t = issue + cfg.l1d_latency + cfg.l2_latency;
                 if matches!(core.l2.access(a.addr, a.is_write), Lookup::Hit { .. }) {
-                    core.l1d.fill(a.addr, a.is_write, false);
+                    core.l1d.fill_known_miss(a.addr, a.is_write, false);
                     l2_t
                 } else {
                     core.stats.l2_misses += 1;
@@ -227,8 +244,8 @@ impl MultiCoreEngine {
                             if first_use_of_prefetch {
                                 core.stats.prefetches_useful += 1;
                             }
-                            core.l2.fill(a.addr, a.is_write, false);
-                            core.l1d.fill(a.addr, a.is_write, false);
+                            core.l2.fill_known_miss(a.addr, a.is_write, false);
+                            core.l1d.fill_known_miss(a.addr, a.is_write, false);
                             llc_t
                         }
                         Lookup::Miss => {
@@ -238,13 +255,15 @@ impl MultiCoreEngine {
                                     core.stats.prefetches_useful += 1;
                                     core.stats.prefetches_late += 1;
                                 }
-                                if let Some(ev) = self.llc.fill(a.addr, a.is_write, false) {
+                                if let Some(ev) =
+                                    self.llc.fill_known_miss(a.addr, a.is_write, false)
+                                {
                                     if ev.unused_prefetch {
                                         core.stats.prefetches_unused_evicted += 1;
                                     }
                                 }
-                                core.l2.fill(a.addr, a.is_write, false);
-                                core.l1d.fill(a.addr, a.is_write, false);
+                                core.l2.fill_known_miss(a.addr, a.is_write, false);
+                                core.l1d.fill_known_miss(a.addr, a.is_write, false);
                                 llc_t.max(ready)
                             } else if let Some(&ready) = core.inflight_demand.get(&block) {
                                 llc_t.max(ready)
@@ -253,7 +272,7 @@ impl MultiCoreEngine {
                                 // Shared MSHRs.
                                 let start = {
                                     // inline admit over self.outstanding
-                                    while let Some(&Reverse(c)) = self.outstanding.peek() {
+                                    while let Some(&c) = self.outstanding.peek() {
                                         if c <= issue {
                                             self.outstanding.pop();
                                         } else {
@@ -263,25 +282,28 @@ impl MultiCoreEngine {
                                     if self.outstanding.len() < cfg.llc_mshrs {
                                         llc_t
                                     } else {
-                                        let free_at =
-                                            self.outstanding.peek().map(|r| r.0).unwrap_or(issue);
-                                        free_at.max(issue)
-                                            + cfg.l1d_latency
-                                            + cfg.l2_latency
-                                            + cfg.llc_latency
+                                        // MSHRs full: wait only the residual
+                                        // time until the earliest entry
+                                        // frees (the hierarchy traversal is
+                                        // already inside llc_t) and take
+                                        // over the freed slot.
+                                        let free_at = self.outstanding.pop().unwrap_or(issue);
+                                        llc_t.max(free_at)
                                     }
                                 };
                                 let done = self.dram.access(block, start);
-                                self.outstanding.push(Reverse(done));
+                                self.outstanding.push(done);
                                 core.inflight_demand.insert(block, done);
-                                core.demand_heap.push(Reverse((done, block)));
-                                if let Some(ev) = self.llc.fill(a.addr, a.is_write, false) {
+                                core.demand_queue.push((done, block));
+                                if let Some(ev) =
+                                    self.llc.fill_known_miss(a.addr, a.is_write, false)
+                                {
                                     if ev.unused_prefetch {
                                         core.stats.prefetches_unused_evicted += 1;
                                     }
                                 }
-                                core.l2.fill(a.addr, a.is_write, false);
-                                core.l1d.fill(a.addr, a.is_write, false);
+                                core.l2.fill_known_miss(a.addr, a.is_write, false);
+                                core.l1d.fill_known_miss(a.addr, a.is_write, false);
                                 done
                             }
                         }
@@ -308,10 +330,10 @@ impl MultiCoreEngine {
                                 break;
                             }
                             let done = self.dram.access(sb, ready_base + cfg.llc_latency);
-                            self.outstanding.push(Reverse(done));
+                            self.outstanding.push(done);
                             let core = &mut self.cores[core_idx];
                             core.inflight_prefetch.insert(sb, done);
-                            core.pf_heap.push(Reverse((done, sb)));
+                            core.pf_queue.push((done, sb));
                             core.stats.prefetches_issued += 1;
                         }
                         self.cores[core_idx].sugg = sugg;

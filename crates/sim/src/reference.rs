@@ -1,0 +1,472 @@
+//! Reference timing engine: the seed implementation, kept verbatim as the
+//! correctness and performance baseline for the optimized [`crate::Engine`].
+//!
+//! This is the original `BinaryHeap`-based event handling and the original
+//! array-of-structs cache with modulo indexing, exactly as the repository
+//! first shipped them — except for one deliberate divergence: the MSHR
+//! stall-accounting bugfix (a demand miss that finds the MSHRs full waits
+//! only the *residual* time until an entry frees, `llc_t.max(free_at)`,
+//! and takes over the freed slot so occupancy stays bounded by the MSHR
+//! count; the seed recharged the full L1+L2+LLC traversal on top of
+//! `free_at`, double-counting latencies the request had already paid, and
+//! left the dead entry in place). The fix is
+//! applied here too so `ReferenceEngine` and `Engine` are required to
+//! produce **bit-identical `SimStats`** on any trace — property-tested in
+//! `tests/proptest_invariants.rs` — which is what makes the perf gate's
+//! speedup ratio meaningful.
+//!
+//! Do not optimize this module; its value is being the fixed yardstick.
+
+use crate::config::SimConfig;
+use crate::dram::Dram;
+use crate::stats::SimStats;
+use resemble_prefetch::Prefetcher;
+use resemble_trace::record::{block_addr, block_of};
+use resemble_trace::util::{FxHashMap, FxHashSet};
+use resemble_trace::{MemAccess, TraceSource};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Seed cache line: array-of-structs layout, scanned linearly per probe.
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    block: u64,
+    valid: bool,
+    dirty: bool,
+    prefetched: bool,
+    used: bool,
+    lru: u64,
+    /// kept (unread) so the line layout — and thus the memory traffic of
+    /// the seed AoS probe loop — matches the seed exactly
+    #[allow(dead_code)]
+    inserted: u64,
+}
+
+/// Seed cache: LRU only (the reference baseline never runs the FIFO and
+/// Random sensitivity policies), modulo set indexing, per-probe scans.
+struct RefCache {
+    sets: usize,
+    ways: usize,
+    lines: Vec<Line>,
+    tick: u64,
+}
+
+/// Hit outcome mirroring [`crate::cache::Lookup`].
+enum RefLookup {
+    Hit { first_use_of_prefetch: bool },
+    Miss,
+}
+
+struct RefEviction {
+    block: u64,
+    unused_prefetch: bool,
+}
+
+impl RefCache {
+    fn new(size_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0);
+        let sets = size_bytes / (64 * ways);
+        assert!(sets > 0);
+        Self {
+            sets,
+            ways,
+            lines: vec![Line::default(); sets * ways],
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, block: u64) -> usize {
+        (block % self.sets as u64) as usize
+    }
+
+    fn access(&mut self, addr: u64, is_write: bool) -> RefLookup {
+        let block = block_of(addr);
+        let set = self.set_of(block);
+        self.tick += 1;
+        let tick = self.tick;
+        for line in &mut self.lines[set * self.ways..(set + 1) * self.ways] {
+            if line.valid && line.block == block {
+                line.lru = tick;
+                if is_write {
+                    line.dirty = true;
+                }
+                let first_use = line.prefetched && !line.used;
+                line.used = true;
+                return RefLookup::Hit {
+                    first_use_of_prefetch: first_use,
+                };
+            }
+        }
+        RefLookup::Miss
+    }
+
+    fn contains(&self, addr: u64) -> bool {
+        let block = block_of(addr);
+        let set = self.set_of(block);
+        self.lines[set * self.ways..(set + 1) * self.ways]
+            .iter()
+            .any(|l| l.valid && l.block == block)
+    }
+
+    fn fill(&mut self, addr: u64, is_write: bool, is_prefetch: bool) -> Option<RefEviction> {
+        let block = block_of(addr);
+        let set = self.set_of(block);
+        self.tick += 1;
+        let tick = self.tick;
+        let lines = &mut self.lines[set * self.ways..(set + 1) * self.ways];
+        if let Some(line) = lines.iter_mut().find(|l| l.valid && l.block == block) {
+            line.lru = tick;
+            if is_write {
+                line.dirty = true;
+            }
+            if !is_prefetch {
+                line.used = true;
+            }
+            return None;
+        }
+        let victim_idx = match lines.iter().position(|l| !l.valid) {
+            Some(i) => i,
+            None => lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("ways > 0"),
+        };
+        let victim = lines[victim_idx];
+        let evicted = if victim.valid {
+            Some(RefEviction {
+                block: victim.block,
+                unused_prefetch: victim.prefetched && !victim.used,
+            })
+        } else {
+            None
+        };
+        lines[victim_idx] = Line {
+            block,
+            valid: true,
+            dirty: is_write,
+            prefetched: is_prefetch,
+            used: !is_prefetch,
+            lru: tick,
+            inserted: tick,
+        };
+        evicted
+    }
+
+    fn clear_prefetch_marks(&mut self) {
+        for line in &mut self.lines {
+            if line.valid && line.prefetched {
+                line.prefetched = false;
+                line.used = true;
+            }
+        }
+    }
+}
+
+/// The seed simulation engine (see module docs). One engine, one core.
+pub struct ReferenceEngine {
+    cfg: SimConfig,
+    l1d: RefCache,
+    l2: RefCache,
+    llc: RefCache,
+    dram: Dram,
+    retire_slots: u64,
+    prev_instr: Option<u64>,
+    first_instr: Option<u64>,
+    rob_window: VecDeque<(u64, u64)>,
+    rob_gate: u64,
+    outstanding: BinaryHeap<Reverse<u64>>,
+    inflight_prefetch: FxHashMap<u64, u64>,
+    unattributed_prefetch: FxHashSet<u64>,
+    pf_heap: BinaryHeap<Reverse<(u64, u64)>>,
+    inflight_demand: FxHashMap<u64, u64>,
+    demand_heap: BinaryHeap<Reverse<(u64, u64)>>,
+    controller_busy_until: u64,
+    stats: SimStats,
+    sugg: Vec<u64>,
+}
+
+impl ReferenceEngine {
+    /// Build a reference engine from a configuration. The LLC replacement
+    /// policy must be LRU (the only policy the baseline implements).
+    pub fn new(cfg: SimConfig) -> Self {
+        assert!(
+            cfg.llc_replacement == crate::cache::Replacement::Lru,
+            "ReferenceEngine implements only the paper's LRU configuration"
+        );
+        Self {
+            l1d: RefCache::new(cfg.l1d_size, cfg.l1d_ways),
+            l2: RefCache::new(cfg.l2_size, cfg.l2_ways),
+            llc: RefCache::new(cfg.llc_size, cfg.llc_ways),
+            dram: Dram::new(cfg.dram),
+            cfg,
+            retire_slots: 0,
+            prev_instr: None,
+            first_instr: None,
+            rob_window: VecDeque::with_capacity(512),
+            rob_gate: 0,
+            outstanding: BinaryHeap::with_capacity(128),
+            inflight_prefetch: FxHashMap::default(),
+            unattributed_prefetch: FxHashSet::default(),
+            pf_heap: BinaryHeap::with_capacity(128),
+            inflight_demand: FxHashMap::default(),
+            demand_heap: BinaryHeap::with_capacity(128),
+            controller_busy_until: 0,
+            stats: SimStats::default(),
+            sugg: Vec::with_capacity(16),
+        }
+    }
+
+    /// Cumulative raw statistics since construction.
+    pub fn raw_stats(&self) -> SimStats {
+        let mut s = self.stats;
+        s.cycles = self.retire_slots / self.cfg.width;
+        s.instructions = match (self.first_instr, self.prev_instr) {
+            (Some(f), Some(l)) => l - f + 1,
+            _ => 0,
+        };
+        s.dram_row_hits = self.dram.row_hits;
+        s.dram_row_misses = self.dram.row_misses;
+        s
+    }
+
+    /// Mark the warmup → measurement boundary (see `Engine`).
+    pub fn begin_measurement(&mut self) {
+        self.llc.clear_prefetch_marks();
+        self.unattributed_prefetch = self.inflight_prefetch.keys().copied().collect();
+    }
+
+    fn drain_prefetch_fills<'a, 'b>(
+        &mut self,
+        now: u64,
+        prefetcher: &mut Option<&'b mut (dyn Prefetcher + 'a)>,
+    ) {
+        while let Some(&Reverse((ready, block))) = self.pf_heap.peek() {
+            if ready > now {
+                break;
+            }
+            self.pf_heap.pop();
+            if self.inflight_prefetch.remove(&block).is_none() {
+                continue; // consumed by a late demand
+            }
+            let attributed = !self.unattributed_prefetch.remove(&block);
+            let addr = block_addr(block);
+            if let Some(ev) = self.llc.fill(addr, false, attributed) {
+                if ev.unused_prefetch {
+                    self.stats.prefetches_unused_evicted += 1;
+                }
+                if let Some(pf) = prefetcher.as_deref_mut() {
+                    pf.on_evict(block_addr(ev.block), ev.unused_prefetch);
+                }
+            }
+            if let Some(pf) = prefetcher.as_deref_mut() {
+                pf.on_prefetch_fill(addr);
+            }
+        }
+        while let Some(&Reverse((ready, block))) = self.demand_heap.peek() {
+            if ready > now {
+                break;
+            }
+            self.demand_heap.pop();
+            self.inflight_demand.remove(&block);
+            if let Some(pf) = prefetcher.as_deref_mut() {
+                pf.on_demand_fill(block_addr(block));
+            }
+        }
+    }
+
+    fn mshr_admit(&mut self, now: u64) -> Result<(), u64> {
+        while let Some(&Reverse(c)) = self.outstanding.peek() {
+            if c <= now {
+                self.outstanding.pop();
+            } else {
+                break;
+            }
+        }
+        if self.outstanding.len() < self.cfg.llc_mshrs {
+            Ok(())
+        } else {
+            Err(self.outstanding.peek().map(|r| r.0).unwrap_or(now))
+        }
+    }
+
+    fn simulate_access<'a, 'b>(
+        &mut self,
+        a: &MemAccess,
+        issue: u64,
+        prefetcher: &mut Option<&'b mut (dyn Prefetcher + 'a)>,
+    ) -> u64 {
+        let cfg = self.cfg;
+        self.stats.demand_accesses += 1;
+        let l1_lat = cfg.l1d_latency;
+        if matches!(self.l1d.access(a.addr, a.is_write), RefLookup::Hit { .. }) {
+            return issue + l1_lat;
+        }
+        self.stats.l1d_misses += 1;
+        let l2_t = issue + l1_lat + cfg.l2_latency;
+        if matches!(self.l2.access(a.addr, a.is_write), RefLookup::Hit { .. }) {
+            self.l1d.fill(a.addr, a.is_write, false);
+            return l2_t;
+        }
+        self.stats.l2_misses += 1;
+
+        let block = block_of(a.addr);
+        let llc_t = l2_t + cfg.llc_latency;
+        let lookup = self.llc.access(a.addr, a.is_write);
+        let llc_hit = matches!(lookup, RefLookup::Hit { .. });
+        let complete = match lookup {
+            RefLookup::Hit {
+                first_use_of_prefetch,
+            } => {
+                self.stats.llc_demand_hits += 1;
+                if first_use_of_prefetch {
+                    self.stats.prefetches_useful += 1;
+                }
+                self.l2.fill(a.addr, a.is_write, false);
+                self.l1d.fill(a.addr, a.is_write, false);
+                llc_t
+            }
+            RefLookup::Miss => {
+                if let Some(ready) = self.inflight_prefetch.remove(&block) {
+                    self.stats.llc_demand_hits += 1;
+                    if !self.unattributed_prefetch.remove(&block) {
+                        self.stats.prefetches_useful += 1;
+                        self.stats.prefetches_late += 1;
+                    }
+                    self.fill_all(a, false);
+                    llc_t.max(ready)
+                } else if let Some(&ready) = self.inflight_demand.get(&block) {
+                    llc_t.max(ready)
+                } else {
+                    self.stats.llc_demand_misses += 1;
+                    let start = match self.mshr_admit(issue) {
+                        Ok(()) => llc_t,
+                        // MSHR-full bugfix (see module docs): wait only the
+                        // residual time until a slot frees, and take over
+                        // that slot.
+                        Err(free_at) => {
+                            self.outstanding.pop();
+                            llc_t.max(free_at)
+                        }
+                    };
+                    let done = self.dram.access(block, start);
+                    self.outstanding.push(Reverse(done));
+                    self.inflight_demand.insert(block, done);
+                    self.demand_heap.push(Reverse((done, block)));
+                    self.fill_all(a, false);
+                    done
+                }
+            }
+        };
+
+        if let Some(pf) = prefetcher.as_deref_mut() {
+            self.sugg.clear();
+            pf.on_access(a, llc_hit, &mut self.sugg);
+            let timing = cfg.prefetch_timing;
+            let mut can_issue = true;
+            if !timing.high_throughput && timing.latency > 0 && self.controller_busy_until > issue {
+                can_issue = false;
+            }
+            if can_issue {
+                if !timing.high_throughput && timing.latency > 0 {
+                    self.controller_busy_until = issue + timing.latency;
+                }
+                let ready_base = issue + timing.latency;
+                for i in 0..self.sugg.len() {
+                    let s = self.sugg[i];
+                    let sb = block_of(s);
+                    if self.llc.contains(s)
+                        || self.inflight_prefetch.contains_key(&sb)
+                        || self.inflight_demand.contains_key(&sb)
+                    {
+                        continue;
+                    }
+                    if self.mshr_admit(ready_base).is_err() {
+                        break;
+                    }
+                    let done = self.dram.access(sb, ready_base + cfg.llc_latency);
+                    self.outstanding.push(Reverse(done));
+                    self.inflight_prefetch.insert(sb, done);
+                    self.pf_heap.push(Reverse((done, sb)));
+                    self.stats.prefetches_issued += 1;
+                }
+            }
+        }
+
+        if a.is_write {
+            issue + 1
+        } else {
+            complete
+        }
+    }
+
+    fn fill_all(&mut self, a: &MemAccess, is_prefetch: bool) {
+        if let Some(ev) = self.llc.fill(a.addr, a.is_write, is_prefetch) {
+            if ev.unused_prefetch {
+                self.stats.prefetches_unused_evicted += 1;
+            }
+        }
+        self.l2.fill(a.addr, a.is_write, false);
+        self.l1d.fill(a.addr, a.is_write, false);
+    }
+
+    /// Advance the machine over one access, returning its retire cycle.
+    pub fn step<'a>(
+        &mut self,
+        a: &MemAccess,
+        mut prefetcher: Option<&mut (dyn Prefetcher + 'a)>,
+    ) -> u64 {
+        let cfg = self.cfg;
+        if self.first_instr.is_none() {
+            self.first_instr = Some(a.instr_id);
+        }
+        let gap = match self.prev_instr {
+            Some(p) => a.instr_id.saturating_sub(p + 1),
+            None => 0,
+        };
+        self.prev_instr = Some(a.instr_id);
+        let fetch_cycle = a.instr_id / cfg.width;
+        while let Some(&(id, retire)) = self.rob_window.front() {
+            if id + cfg.rob_size <= a.instr_id {
+                self.rob_gate = self.rob_gate.max(retire);
+                self.rob_window.pop_front();
+            } else {
+                break;
+            }
+        }
+        let issue = fetch_cycle.max(self.rob_gate);
+
+        self.drain_prefetch_fills(issue, &mut prefetcher);
+        let complete = self.simulate_access(a, issue, &mut prefetcher);
+
+        self.retire_slots = (self.retire_slots + gap + 1).max(complete.saturating_mul(cfg.width));
+        let retire_cycle = self.retire_slots / cfg.width;
+        self.rob_window.push_back((a.instr_id, retire_cycle));
+        retire_cycle
+    }
+
+    /// Run `warmup` accesses (state training, no statistics), then
+    /// `measure` accesses with statistics; returns the measured stats.
+    pub fn run<'a>(
+        &mut self,
+        src: &mut dyn TraceSource,
+        mut prefetcher: Option<&mut (dyn Prefetcher + 'a)>,
+        warmup: usize,
+        measure: usize,
+    ) -> SimStats {
+        for _ in 0..warmup {
+            let Some(a) = src.next_access() else { break };
+            self.step(&a, prefetcher.as_deref_mut());
+        }
+        self.begin_measurement();
+        let before = self.raw_stats();
+        for _ in 0..measure {
+            let Some(a) = src.next_access() else { break };
+            self.step(&a, prefetcher.as_deref_mut());
+        }
+        let after = self.raw_stats();
+        crate::engine::diff_stats(&after, &before)
+    }
+}

@@ -41,15 +41,24 @@ pub trait TraceSource {
     /// Produce the next access, or `None` if the source is exhausted.
     fn next_access(&mut self) -> Option<MemAccess>;
 
+    /// Append up to `n` accesses to `out`, returning how many were
+    /// produced. One virtual call covers a whole batch, so hot consumers
+    /// (the simulation engines) are not paying dynamic dispatch per
+    /// access; replayable sources can override it with a bulk copy.
+    fn next_batch(&mut self, out: &mut Vec<MemAccess>, n: usize) -> usize {
+        for i in 0..n {
+            match self.next_access() {
+                Some(a) => out.push(a),
+                None => return i,
+            }
+        }
+        n
+    }
+
     /// Collect up to `n` accesses into a vector.
     fn collect_n(&mut self, n: usize) -> Vec<MemAccess> {
         let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            match self.next_access() {
-                Some(a) => out.push(a),
-                None => break,
-            }
-        }
+        self.next_batch(&mut out, n);
         out
     }
 }
@@ -57,6 +66,10 @@ pub trait TraceSource {
 impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
     fn next_access(&mut self) -> Option<MemAccess> {
         (**self).next_access()
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<MemAccess>, n: usize) -> usize {
+        (**self).next_batch(out, n)
     }
 }
 
@@ -91,6 +104,13 @@ impl TraceSource for VecSource {
             self.pos += 1;
         }
         a
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<MemAccess>, n: usize) -> usize {
+        let take = n.min(self.trace.len() - self.pos);
+        out.extend_from_slice(&self.trace[self.pos..self.pos + take]);
+        self.pos += take;
+        take
     }
 }
 

@@ -5,8 +5,9 @@ use proptest::prelude::*;
 use resemble::core::preprocess::fold_hash;
 use resemble::core::ReplayMemory;
 use resemble::nn::{Activation, Mlp};
+use resemble::prefetch::NextLine;
 use resemble::prelude::*;
-use resemble::sim::{Cache, Lookup};
+use resemble::sim::{Cache, Lookup, ReferenceEngine};
 use resemble::trace::gen::VecSource;
 use resemble::trace::io::{read_trace, write_trace};
 
@@ -97,6 +98,62 @@ proptest! {
         prop_assert!(stats.ipc() > 0.0);
         prop_assert!(stats.ipc() <= 4.0 + 1e-9);
         prop_assert!(stats.llc_demand_hits + stats.llc_demand_misses <= stats.l2_misses);
+    }
+
+    /// The optimized engine (flat event queues, flat cache, batched
+    /// prefetcher callbacks) produces bit-identical `SimStats` to the
+    /// heap-based seed implementation (`ReferenceEngine`) on arbitrary
+    /// short traces — without a prefetcher and with one, and across the
+    /// warmup/measurement boundary.
+    #[test]
+    fn engine_matches_reference_bit_for_bit(
+        raw in vec((any::<u16>(), any::<u32>(), any::<bool>()), 20..250),
+        gap in 1u64..6,
+        warmup_pct in 0u64..60,
+        mshrs in 1usize..6,
+        with_pf in any::<bool>(),
+    ) {
+        let trace: Vec<MemAccess> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(pc, addr, w))| MemAccess {
+                instr_id: (i as u64) * gap,
+                pc: pc as u64,
+                // Narrow the block range so sets collide and MSHRs fill.
+                addr: ((addr as u64) % 0x4000) << 6,
+                is_write: w,
+            })
+            .collect();
+        let n = trace.len();
+        let warmup = n * warmup_pct as usize / 100;
+        let mut cfg = SimConfig::test_small();
+        cfg.llc_mshrs = mshrs;
+        let mut engine = Engine::new(cfg);
+        let mut reference = ReferenceEngine::new(cfg);
+        let (fast, slow) = if with_pf {
+            let mut pf_a = NextLine::new(3);
+            let mut pf_b = NextLine::new(3);
+            (
+                engine.run(
+                    &mut VecSource::new(trace.clone()),
+                    Some(&mut pf_a),
+                    warmup,
+                    n - warmup,
+                ),
+                reference.run(
+                    &mut VecSource::new(trace),
+                    Some(&mut pf_b),
+                    warmup,
+                    n - warmup,
+                ),
+            )
+        } else {
+            (
+                engine.run(&mut VecSource::new(trace.clone()), None, warmup, n - warmup),
+                reference.run(&mut VecSource::new(trace), None, warmup, n - warmup),
+            )
+        };
+        prop_assert_eq!(format!("{fast:?}"), format!("{slow:?}"));
     }
 
     /// Trace IO round-trips arbitrary access sequences.

@@ -1,0 +1,292 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's `harness = false` benches use
+//! — [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — backed by a simple wall-clock measurement
+//! loop: a short calibration pass picks an iteration count per sample,
+//! then the median over samples is reported as ns/iter. Understands the
+//! harness flags cargo passes (`--test` runs every benchmark once so
+//! `cargo test --benches` stays fast; `--quick` shrinks measurement time
+//! for CI smoke runs; `--bench` and filter strings work as upstream).
+
+use std::time::{Duration, Instant};
+
+/// Identity function the optimizer cannot see through.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How a run was invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (`cargo bench`).
+    Bench,
+    /// Reduced measurement (`--quick`).
+    Quick,
+    /// One iteration per benchmark (`cargo test` over harness=false).
+    Test,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Bench;
+        let mut filter = None;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--test" => mode = Mode::Test,
+                "--quick" => mode = Mode::Quick,
+                // Harness flags cargo/criterion accept; no-ops here.
+                "--bench" | "--nocapture" | "--verbose" | "-v" | "--noplot" => {}
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Self {
+            mode,
+            filter,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkName, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_benchmark_name();
+        self.run_one(&name, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: &mut F) {
+        self.run_sized(name, self.default_sample_size, f);
+    }
+
+    fn run_sized<F: FnMut(&mut Bencher)>(&mut self, name: &str, samples: usize, f: &mut F) {
+        if let Some(flt) = &self.filter {
+            if !name.contains(flt.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            mode: self.mode,
+            samples: match self.mode {
+                Mode::Bench => samples.max(5),
+                Mode::Quick => 5,
+                Mode::Test => 1,
+            },
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        match self.mode {
+            Mode::Test => println!("test {name} ... ok"),
+            _ => println!("{name}  time: {:>12.1} ns/iter", b.ns_per_iter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measurement samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Set the target measurement time (accepted for API compatibility;
+    /// the stand-in sizes runs by sample count).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkName, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_name());
+        let samples = self.sample_size.unwrap_or(self.c.default_sample_size);
+        self.c.run_sized(&name, samples, &mut f);
+        self
+    }
+
+    /// Run one benchmark with an input value (upstream
+    /// `bench_with_input`).
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    samples: usize,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly; records median ns per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Test {
+            black_box(f());
+            return;
+        }
+        // Calibrate: how many iterations fit in ~1ms?
+        let start = Instant::now();
+        let mut calib_iters = 0u64;
+        while start.elapsed() < Duration::from_millis(1) {
+            black_box(f());
+            calib_iters += 1;
+        }
+        let per_sample = calib_iters.max(1);
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.ns_per_iter = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+/// Parameterized benchmark identifier.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form (inside a group).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Things usable as a benchmark name.
+pub trait IntoBenchmarkName {
+    /// Render the display name.
+    fn into_benchmark_name(self) -> String;
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_benchmark_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_benchmark_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_benchmark_name(self) -> String {
+        self.name
+    }
+}
+
+/// Bundle benchmark functions under one group runner, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("t/add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5);
+        g.bench_function(BenchmarkId::from_parameter("x"), |b| b.iter(|| 3u64));
+        g.bench_with_input(BenchmarkId::new("with", 7), &7u64, |b, &i| b.iter(|| i * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn runs_in_test_mode_quickly() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            filter: None,
+            default_sample_size: 20,
+        };
+        let t = Instant::now();
+        sample_bench(&mut c);
+        assert!(t.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn measures_in_quick_mode() {
+        let mut c = Criterion {
+            mode: Mode::Quick,
+            filter: Some("t/add".into()),
+            default_sample_size: 20,
+        };
+        sample_bench(&mut c);
+    }
+}

@@ -1,0 +1,161 @@
+//! Derive macros for the offline serde stand-in.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (no syn/quote — the
+//! build environment cannot download crates). Supports exactly the shapes
+//! this workspace derives on: non-generic structs with named fields and
+//! non-generic enums with unit variants. Anything else panics at compile
+//! time with a clear message so the gap is visible immediately.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed derive input: the type name and its shape.
+enum Shape {
+    /// Named-field struct with its field identifiers.
+    Struct(Vec<String>),
+    /// Enum with its unit-variant identifiers.
+    Enum(Vec<String>),
+}
+
+/// Walk the derive input and extract (type name, shape).
+fn parse(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut body: Option<TokenStream> = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the following [...] group.
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        // Consume an optional (crate)/(super) restriction.
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => kind = Some(s),
+                    _ if kind.is_some() && name.is_none() => name = Some(s),
+                    _ => {}
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' && name.is_some() => {
+                panic!("serde stand-in derive: generic types are not supported")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace && name.is_some() => {
+                body = Some(g.stream());
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && name.is_some() => {
+                panic!("serde stand-in derive: tuple structs are not supported")
+            }
+            _ => {}
+        }
+    }
+    let kind = kind.expect("derive input must be a struct or enum");
+    let name = name.expect("derive input must name a type");
+    let body = body.expect("derive input must have a braced body");
+    let items = top_level_idents(body, kind == "enum");
+    if kind == "struct" {
+        (name, Shape::Struct(items))
+    } else {
+        (name, Shape::Enum(items))
+    }
+}
+
+/// First identifier of each comma-separated chunk of `body`, skipping
+/// attributes and visibility — i.e. field names, or enum variant names.
+/// Commas nested in angle brackets (`HashMap<K, V>`) don't split chunks.
+fn top_level_idents(body: TokenStream, is_enum: bool) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut angle_depth: i32 = 0;
+    let mut want_ident = true;
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '#' if want_ident => {
+                    iter.next(); // attribute group
+                }
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => want_ident = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) if want_ident => {
+                let s = id.to_string();
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                } else {
+                    out.push(s);
+                    want_ident = false;
+                }
+            }
+            TokenTree::Group(g) if !want_ident && is_enum => {
+                if matches!(g.delimiter(), Delimiter::Parenthesis | Delimiter::Brace) {
+                    panic!("serde stand-in derive: enum variants with data are not supported")
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `#[derive(Serialize)]`: emit a JSON writer for the type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    let mut code = String::new();
+    code.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n fn serialize_json(&self, out: &mut ::std::string::String) {{\n"
+    ));
+    match shape {
+        Shape::Struct(fields) => {
+            code.push_str(" out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    code.push_str(" out.push(',');\n");
+                }
+                code.push_str(&format!(
+                    " out.push_str(\"\\\"{f}\\\":\");\n ::serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            code.push_str(" out.push('}');\n");
+        }
+        Shape::Enum(variants) => {
+            assert!(
+                !variants.is_empty(),
+                "serde stand-in derive: cannot serialize an empty enum"
+            );
+            code.push_str(" match self {\n");
+            for v in &variants {
+                code.push_str(&format!(" {name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"));
+            }
+            code.push_str(" }\n");
+        }
+    }
+    code.push_str(" }\n}\n");
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+/// `#[derive(Deserialize)]`: emit the marker impl.
+///
+/// Nothing in the workspace deserializes into typed structs (JSON is read
+/// back through `serde_json::Value`), so the trait is a marker here.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _shape) = parse(input);
+    format!("impl ::serde::Deserialize for {name} {{}}\n")
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
