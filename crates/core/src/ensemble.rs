@@ -143,6 +143,12 @@ impl ResembleMlp {
         &self.agent
     }
 
+    /// Mutable agent access, for probes that run inference (Q-value reads
+    /// reuse the forward-pass scratch buffers, hence `&mut`).
+    pub fn agent_mut(&mut self) -> &mut DqnAgent {
+        &mut self.agent
+    }
+
     /// Quantize the controller networks to `bits`-bit fixed point and
     /// freeze training (the §VIII hardware study); returns the RMS
     /// parameter error.

@@ -132,8 +132,8 @@ mod tests {
     #[test]
     fn fold_hash_distributes() {
         // Folding must not collapse distinct page-sized strides.
-        use std::collections::HashSet;
-        let hs: HashSet<u64> = (0..256u64).map(|i| fold_hash(i * 4096, 8)).collect();
+        use std::collections::BTreeSet;
+        let hs: BTreeSet<u64> = (0..256u64).map(|i| fold_hash(i * 4096, 8)).collect();
         assert!(hs.len() > 100, "too many collisions: {}", hs.len());
     }
 
@@ -198,10 +198,10 @@ mod tests {
 
     #[test]
     fn four_bit_hash_compresses_more_than_eight() {
-        use std::collections::HashSet;
+        use std::collections::BTreeSet;
         let addrs: Vec<u64> = (0..4096u64).map(|i| i * 131).collect();
-        let h4: HashSet<u64> = addrs.iter().map(|&a| fold_hash(a, 4)).collect();
-        let h8: HashSet<u64> = addrs.iter().map(|&a| fold_hash(a, 8)).collect();
+        let h4: BTreeSet<u64> = addrs.iter().map(|&a| fold_hash(a, 4)).collect();
+        let h8: BTreeSet<u64> = addrs.iter().map(|&a| fold_hash(a, 8)).collect();
         assert!(h4.len() <= 16);
         assert!(h8.len() > h4.len());
     }

@@ -1,0 +1,255 @@
+//! `lint.toml` loading and validation.
+//!
+//! The parser is a deliberate TOML subset — `[section]`, `[[array]]`,
+//! `key = "string"` / `key = integer`, `#` comments — which is all the
+//! checked-in config uses. Unknown syntax is a hard error so config typos
+//! cannot silently disable a rule. Validation is loud: an allowlist entry
+//! pointing at a deleted file is an error, not a stale no-op.
+
+use crate::diag::Diagnostic;
+use std::path::Path;
+
+/// One file-level allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule the entry suppresses.
+    pub rule: String,
+    /// Workspace-relative path it applies to.
+    pub path: String,
+    /// Why the exemption exists (required).
+    pub reason: String,
+    /// Line in lint.toml (for diagnostics).
+    pub line: u32,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Default)]
+pub struct LintConfig {
+    /// Path of the frozen reference file.
+    pub reference_file: String,
+    /// Its committed SHA-256.
+    pub reference_sha256: String,
+    /// File-level rule exemptions.
+    pub allows: Vec<AllowEntry>,
+}
+
+/// Strip a trailing `#` comment that is outside any string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_escape = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_escape => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_escape = c == '\\' && !prev_escape;
+    }
+    line
+}
+
+/// Parse a `key = value` line; values are quoted strings or bare integers.
+fn parse_kv(line: &str) -> Option<(String, String)> {
+    let (k, v) = line.split_once('=')?;
+    let k = k.trim().to_string();
+    let v = v.trim();
+    let v = if let Some(stripped) = v.strip_prefix('"') {
+        stripped.strip_suffix('"')?.to_string()
+    } else {
+        // Bare value: accept integers only.
+        if !v.chars().all(|c| c.is_ascii_digit()) || v.is_empty() {
+            return None;
+        }
+        v.to_string()
+    };
+    Some((k, v))
+}
+
+impl LintConfig {
+    /// Parse config text. Returns the config or a list of parse errors
+    /// (attributed to `path` for display).
+    pub fn parse(text: &str, path: &str) -> Result<LintConfig, Vec<Diagnostic>> {
+        let mut cfg = LintConfig::default();
+        let mut errors = Vec::new();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                section = format!("[[{}]]", name.trim());
+                if name.trim() == "allow" {
+                    cfg.allows.push(AllowEntry {
+                        rule: String::new(),
+                        path: String::new(),
+                        reason: String::new(),
+                        line: line_no,
+                    });
+                }
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((k, v)) = parse_kv(line) else {
+                errors.push(Diagnostic::error(
+                    "lint-config",
+                    path,
+                    line_no,
+                    format!("unparseable line: `{}`", raw.trim()),
+                ));
+                continue;
+            };
+            match (section.as_str(), k.as_str()) {
+                ("reference-engine-frozen", "file") => cfg.reference_file = v,
+                ("reference-engine-frozen", "sha256") => cfg.reference_sha256 = v,
+                ("[[allow]]", _) => {
+                    let Some(entry) = cfg.allows.last_mut() else {
+                        continue;
+                    };
+                    match k.as_str() {
+                        "rule" => entry.rule = v,
+                        "path" => entry.path = v,
+                        "reason" => entry.reason = v,
+                        other => errors.push(Diagnostic::error(
+                            "lint-config",
+                            path,
+                            line_no,
+                            format!("unknown [[allow]] key `{other}`"),
+                        )),
+                    }
+                }
+                ("", "schema_version") => {}
+                (sec, key) => errors.push(Diagnostic::error(
+                    "lint-config",
+                    path,
+                    line_no,
+                    format!("unknown key `{key}` in section `{sec}`"),
+                )),
+            }
+        }
+        if errors.is_empty() {
+            Ok(cfg)
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Validate the config against the workspace: allowlist entries must
+    /// be complete and point at files that still exist, and the frozen
+    /// reference file must be configured. Failures are loud errors so a
+    /// refactor cannot leave dead exemptions behind.
+    pub fn validate(&self, root: &Path, config_path: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        if self.reference_file.is_empty() || self.reference_sha256.is_empty() {
+            out.push(Diagnostic::error(
+                "lint-config",
+                config_path,
+                0,
+                "missing [reference-engine-frozen] file/sha256".to_string(),
+            ));
+        }
+        for a in &self.allows {
+            if a.rule.is_empty() || a.path.is_empty() || a.reason.is_empty() {
+                out.push(Diagnostic::error(
+                    "lint-config",
+                    config_path,
+                    a.line,
+                    "[[allow]] entries need rule, path, and reason".to_string(),
+                ));
+                continue;
+            }
+            if !root.join(&a.path).is_file() {
+                out.push(Diagnostic::error(
+                    "lint-config",
+                    config_path,
+                    a.line,
+                    format!(
+                        "stale allowlist entry: `{}` does not exist (rule `{}`) — \
+                         remove the entry or fix the path",
+                        a.path, a.rule
+                    ),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Whether a file-level allow suppresses `rule` for `path`.
+    pub fn allows_file(&self, rule: &str, path: &str) -> bool {
+        self.allows.iter().any(|a| a.rule == rule && a.path == path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn repo_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .to_path_buf()
+    }
+
+    #[test]
+    fn parses_reference_and_allows() {
+        let text = "schema_version = 1\n\
+                    [reference-engine-frozen]\n\
+                    file = \"crates/sim/src/reference.rs\"\n\
+                    sha256 = \"abc123\" # committed hash\n\
+                    [[allow]]\n\
+                    rule = \"float-eq\"\n\
+                    path = \"crates/nn/src/matrix.rs\"\n\
+                    reason = \"exact sparsity sentinel\"\n";
+        let cfg = LintConfig::parse(text, "lint.toml").unwrap();
+        assert_eq!(cfg.reference_file, "crates/sim/src/reference.rs");
+        assert_eq!(cfg.reference_sha256, "abc123");
+        assert_eq!(cfg.allows.len(), 1);
+        assert!(cfg.allows_file("float-eq", "crates/nn/src/matrix.rs"));
+        assert!(!cfg.allows_file("float-eq", "crates/nn/src/mlp.rs"));
+    }
+
+    #[test]
+    fn unknown_keys_are_errors() {
+        let err = LintConfig::parse("[reference-engine-frozen]\nsha512 = \"x\"\n", "lint.toml")
+            .unwrap_err();
+        assert!(err[0].message.contains("unknown key"));
+    }
+
+    #[test]
+    fn stale_allow_path_fails_loudly() {
+        let text = "[reference-engine-frozen]\n\
+                    file = \"crates/sim/src/reference.rs\"\n\
+                    sha256 = \"abc\"\n\
+                    [[allow]]\n\
+                    rule = \"float-eq\"\n\
+                    path = \"crates/nn/src/deleted_module.rs\"\n\
+                    reason = \"left behind by a refactor\"\n";
+        let cfg = LintConfig::parse(text, "lint.toml").unwrap();
+        let diags = cfg.validate(&repo_root(), "lint.toml");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("stale allowlist entry"));
+        assert!(diags[0].message.contains("deleted_module.rs"));
+    }
+
+    #[test]
+    fn incomplete_allow_entry_is_an_error() {
+        let text = "[reference-engine-frozen]\n\
+                    file = \"crates/sim/src/reference.rs\"\n\
+                    sha256 = \"abc\"\n\
+                    [[allow]]\n\
+                    rule = \"float-eq\"\n";
+        let cfg = LintConfig::parse(text, "lint.toml").unwrap();
+        let diags = cfg.validate(&repo_root(), "lint.toml");
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("need rule, path, and reason")));
+    }
+}

@@ -1,0 +1,89 @@
+//! Diagnostics: severity, rendering, and stable ordering.
+
+use std::fmt;
+
+/// Diagnostic severity. `Error` fails `--check`; `Warn` is advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: printed, never fails the gate.
+    Warn,
+    /// Violation: fails `--check`.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warn => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding, anchored to `file:line`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule name (`nondeterministic-iteration`, …).
+    pub rule: &'static str,
+    /// Severity of this finding.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line (0 for whole-file findings such as hash mismatches).
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build an error diagnostic.
+    pub fn error(rule: &'static str, path: &str, line: u32, message: String) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            path: path.to_string(),
+            line,
+            message,
+        }
+    }
+
+    /// Build a warning diagnostic.
+    pub fn warn(rule: &'static str, path: &str, line: u32, message: String) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Warn,
+            path: path.to_string(),
+            line,
+            message,
+        }
+    }
+
+    /// Stable sort key: path, line, rule.
+    pub fn sort_key(&self) -> (String, u32, &'static str) {
+        (self.path.clone(), self.line, self.rule)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}:{}: {}",
+            self.severity, self.rule, self.path, self.line, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_file_line_parsable() {
+        let d = Diagnostic::error("float-eq", "crates/nn/src/matrix.rs", 107, "msg".into());
+        assert_eq!(
+            d.to_string(),
+            "error[float-eq]: crates/nn/src/matrix.rs:107: msg"
+        );
+    }
+}

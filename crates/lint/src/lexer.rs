@@ -1,0 +1,558 @@
+//! A hand-rolled Rust lexer — just enough fidelity for repo-local static
+//! analysis. It produces a token stream with line numbers plus a separate
+//! comment list (comments carry the `// lint:allow(...)` escapes), and it
+//! never allocates for punctuation.
+//!
+//! Fidelity notes: raw strings (`r#"…"#`), byte strings, char literals,
+//! lifetimes, nested block comments, and numeric literals (with suffix and
+//! exponent forms, so float literals can be told apart from integers) are
+//! all handled. Anything the rules never look inside — macro bodies,
+//! attribute grammar — is simply lexed as ordinary tokens.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers are unescaped: `r#fn` → `fn`).
+    Ident(String),
+    /// Lifetime such as `'a` (name without the quote).
+    Lifetime(String),
+    /// Integer literal (any base, any suffix).
+    Int,
+    /// Float literal (`1.0`, `1.`, `1e-3`, `2f32`, …).
+    Float,
+    /// String, raw string, byte string, byte, or char literal.
+    Literal,
+    /// Punctuation, longest-match (`::`, `==`, `..=`, `>>`, single chars).
+    Punct(&'static str),
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// `true` when the token is the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.kind, TokKind::Punct(q) if *q == p)
+    }
+
+    /// `true` when the token is the given identifier/keyword.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(s) if s == name)
+    }
+}
+
+/// A comment with position info, used for `lint:allow` escapes.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus all comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character punctuation, longest first. Everything else is lexed as
+/// a single-character `Punct`.
+const PUNCTS: &[&str] = &[
+    "..=", "<<=", ">>=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Single-character punctuation interned as `&'static str`.
+fn single(c: char) -> &'static str {
+    match c {
+        '(' => "(",
+        ')' => ")",
+        '{' => "{",
+        '}' => "}",
+        '[' => "[",
+        ']' => "]",
+        '<' => "<",
+        '>' => ">",
+        ',' => ",",
+        ';' => ";",
+        ':' => ":",
+        '.' => ".",
+        '=' => "=",
+        '+' => "+",
+        '-' => "-",
+        '*' => "*",
+        '/' => "/",
+        '%' => "%",
+        '!' => "!",
+        '&' => "&",
+        '|' => "|",
+        '^' => "^",
+        '~' => "~",
+        '#' => "#",
+        '?' => "?",
+        '@' => "@",
+        '$' => "$",
+        _ => "\u{0}", // unknown byte: emitted but matched by nothing
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated literals
+/// consume to end-of-file (the real compiler will reject such files long
+/// before the linter matters).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    macro_rules! bump_lines {
+        ($s:expr, $e:expr) => {
+            for k in $s..$e {
+                if b[k] == '\n' {
+                    line += 1;
+                }
+            }
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                text: b[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start_line = line;
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if b[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            out.comments.push(Comment {
+                text: b[i + 2..j.saturating_sub(2).max(i + 2)].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Raw strings and raw identifiers: r"…", r#"…"#, r#ident, br#"…"#.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            // b'…' byte char / b"…" byte string are handled by the generic
+            // quote paths below after skipping the prefix.
+            let mut j = i;
+            let mut raw = false;
+            if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
+                j += 2;
+                raw = true;
+            } else if b[j] == 'r' {
+                j += 1;
+                raw = true;
+            }
+            if raw {
+                let mut hashes = 0;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == '"' {
+                    // Raw (byte) string: scan for `"` followed by `hashes` #s.
+                    let tok_line = line;
+                    let mut k = j + 1;
+                    'scan: while k < n {
+                        if b[k] == '\n' {
+                            line += 1;
+                        }
+                        if b[k] == '"' {
+                            let mut h = 0;
+                            while h < hashes && k + 1 + h < n && b[k + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                k += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        k += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        line: tok_line,
+                    });
+                    i = k;
+                    continue;
+                }
+                if hashes > 0 && j < n && is_ident_start(b[j]) && b[i] == 'r' && hashes == 1 {
+                    // Raw identifier r#foo: lex the ident, drop the escape.
+                    let mut k = j;
+                    while k < n && is_ident_continue(b[k]) {
+                        k += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Ident(b[j..k].iter().collect()),
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+                // Not actually raw syntax — fall through to ident lexing.
+            }
+        }
+        // Byte char/string prefix: skip the `b`, let the quote path run.
+        if c == 'b' && i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '\'') {
+            i += 1;
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let tok_line = line;
+            let mut j = i + 1;
+            while j < n {
+                match b[j] {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                line: tok_line,
+            });
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not followed by a closing quote.
+            if i + 1 < n && is_ident_start(b[i + 1]) {
+                let mut j = i + 1;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' && j == i + 2 {
+                    // 'x' — a char literal.
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        line,
+                    });
+                    i = j + 1;
+                    continue;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime(b[i + 1..j].iter().collect()),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Escaped or symbolic char literal: scan to the closing quote.
+            let mut j = i + 1;
+            while j < n {
+                match b[j] {
+                    '\\' => j += 2,
+                    '\'' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Literal,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            let mut float = false;
+            if c == '0' && j + 1 < n && matches!(b[j + 1], 'x' | 'o' | 'b') {
+                j += 2;
+                while j < n && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+            } else {
+                while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                    j += 1;
+                }
+                // Fraction: a '.' followed by a digit, or by nothing
+                // ident-like (so `1.max(…)` stays an integer).
+                if j < n && b[j] == '.' {
+                    let next = b.get(j + 1).copied();
+                    let method_or_range =
+                        matches!(next, Some(c2) if is_ident_start(c2)) || next == Some('.');
+                    if !method_or_range {
+                        float = true;
+                        j += 1;
+                        while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                            j += 1;
+                        }
+                    }
+                }
+                // Exponent.
+                if j < n && matches!(b[j], 'e' | 'E') {
+                    let mut k = j + 1;
+                    if k < n && matches!(b[k], '+' | '-') {
+                        k += 1;
+                    }
+                    if k < n && b[k].is_ascii_digit() {
+                        float = true;
+                        j = k;
+                        while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                            j += 1;
+                        }
+                    }
+                }
+                // Suffix (u64, f32, …): a float suffix forces float.
+                if j < n && is_ident_start(b[j]) {
+                    let s = j;
+                    while j < n && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    let suffix: String = b[s..j].iter().collect();
+                    if suffix == "f32" || suffix == "f64" {
+                        float = true;
+                    }
+                }
+            }
+            let _ = start;
+            out.tokens.push(Token {
+                kind: if float { TokKind::Float } else { TokKind::Int },
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let mut j = i;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident(b[i..j].iter().collect()),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Punctuation, longest match first.
+        let mut matched = false;
+        for p in PUNCTS {
+            let pc: Vec<char> = p.chars().collect();
+            if i + pc.len() <= n && b[i..i + pc.len()] == pc[..] {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct(p),
+                    line,
+                });
+                bump_lines!(i, i + pc.len());
+                i += pc.len();
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        out.tokens.push(Token {
+            kind: TokKind::Punct(single(c)),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let l = lex("fn main() {\n    let x = 1;\n}\n");
+        assert!(l.tokens[0].is_ident("fn"));
+        assert_eq!(l.tokens[0].line, 1);
+        let x = l.tokens.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!(x.line, 2);
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let l = lex("let a = 1; // trailing note\n/* block\nspan */ let b = 2;\n");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].text.trim(), "trailing note");
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+        // `b` is on line 3 (block comment spanned a newline).
+        let b = l.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // Banned-looking names inside literals must not produce idents.
+        let l = lex(r#"let s = "HashMap::new() unwrap"; let c = 'H';"#);
+        assert!(!idents(r#"let s = "HashMap::new() unwrap";"#)
+            .iter()
+            .any(|i| i == "HashMap" || i == "unwrap"));
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let l = lex(r##"let s = r#"quote " inside"#; let r#fn = 1;"##);
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Literal)
+                .count(),
+            1
+        );
+        assert!(l.tokens.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn float_vs_int_classification() {
+        let l = lex("1.0 2 3e4 5f32 6u64 7.max(8) 0x1f 9.");
+        let kinds: Vec<&TokKind> = l
+            .tokens
+            .iter()
+            .map(|t| &t.kind)
+            .filter(|k| matches!(k, TokKind::Float | TokKind::Int))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                &TokKind::Float, // 1.0
+                &TokKind::Int,   // 2
+                &TokKind::Float, // 3e4
+                &TokKind::Float, // 5f32
+                &TokKind::Int,   // 6u64
+                &TokKind::Int,   // 7 (method call)
+                &TokKind::Int,   // 8
+                &TokKind::Int,   // 0x1f
+                &TokKind::Float, // 9.
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'a'; let nl = '\\n'; }");
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| matches!(t.kind, TokKind::Lifetime(_)))
+                .count(),
+            2
+        );
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn multichar_punct_longest_match() {
+        let l = lex("a == b != c :: d ..= e >> f");
+        let puncts: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Punct(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "..=", ">>"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.tokens.iter().any(|t| t.is_ident("x")));
+    }
+}

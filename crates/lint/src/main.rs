@@ -1,0 +1,83 @@
+//! CLI for `resemble-lint`.
+//!
+//! Usage:
+//!   cargo run -p resemble-lint -- --check
+//!   cargo run -p resemble-lint -- --root /path/to/workspace
+//!   cargo run -p resemble-lint -- --list-rules
+//!
+//! Exit status: 0 when no error-severity diagnostics, 1 when any rule
+//! fires at error severity, 2 on usage errors. `--check` is the explicit
+//! gate spelling used by CI; it is also the default behaviour.
+
+use resemble_lint::{lint_workspace, rules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: resemble-lint [--check] [--root <dir>] [--list-rules]\n\
+                     \n\
+                     --check        gate mode (default): exit 1 on any error diagnostic\n\
+                     --root <dir>   workspace root (default: walk up from cwd to lint.toml)\n\
+                     --list-rules   print the rule set and exit";
+
+/// Walk up from `start` to the directory holding `lint.toml`.
+fn find_root(start: PathBuf) -> PathBuf {
+    let mut dir = start.clone();
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return start; // fall through: lint_workspace reports the miss
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {}
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("error: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                root = Some(PathBuf::from(dir));
+            }
+            "--list-rules" => {
+                for (name, desc) in rules::RULES {
+                    println!("{name}\n    {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(|| {
+        find_root(std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")))
+    });
+    let report = lint_workspace(&root);
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    println!(
+        "resemble-lint: scanned {} files: {} error(s), {} warning(s)",
+        report.files_scanned,
+        report.errors(),
+        report.warnings()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,123 @@
+//! `float-eq`: `==` / `!=` with floating-point operands in learning code
+//! (`crates/nn` and `crates/core/src/agent/`).
+//!
+//! Exact float comparison in gradient/Q-value math is almost always a
+//! rounding-or-NaN trap. The rule fires when either side of an
+//! equality operator is a float literal or an identifier whose declared
+//! type annotation in this file is `f32`/`f64`. Intentional exact
+//! comparisons (e.g. a `== 0.0` sparsity sentinel on values that are
+//! assigned exactly) carry a `lint:allow` escape. Test regions exempt.
+
+use super::float_eq_in_scope;
+use crate::diag::Diagnostic;
+use crate::lexer::{TokKind, Token};
+use crate::scanner::FileCtx;
+use std::collections::BTreeSet;
+
+/// Rule name.
+pub const RULE: &str = "float-eq";
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if !float_eq_in_scope(ctx) {
+        return;
+    }
+    let toks = &ctx.tokens;
+    let float_idents = declared_floats(toks);
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !(t.is_punct("==") || t.is_punct("!=")) || ctx.in_test(t.line) {
+            continue;
+        }
+        let lhs_float = i >= 1 && is_float_operand(&toks[i - 1], &float_idents);
+        let rhs_float = toks
+            .get(i + 1)
+            .is_some_and(|n| is_float_operand(n, &float_idents));
+        if lhs_float || rhs_float {
+            let op = if t.is_punct("==") { "==" } else { "!=" };
+            out.push(Diagnostic::error(
+                RULE,
+                &ctx.path,
+                t.line,
+                format!(
+                    "`{op}` on f32/f64 in learning code: exact float comparison is a \
+                     rounding/NaN trap — compare |a - b| < eps, or add a lint:allow \
+                     escape if the values are assigned exactly"
+                ),
+            ));
+        }
+    }
+}
+
+/// Identifiers annotated `: f32` / `: f64` anywhere in the file
+/// (parameters, fields, lets). A per-file over-approximation is fine: a
+/// name float-typed anywhere in a module is float-typed where compared.
+fn declared_floats(toks: &[Token]) -> BTreeSet<&str> {
+    let mut set = BTreeSet::new();
+    for w in toks.windows(3) {
+        if w[1].is_punct(":") && w[2].ident().is_some_and(|t| t == "f32" || t == "f64") {
+            if let Some(name) = w[0].ident() {
+                set.insert(name);
+            }
+        }
+    }
+    set
+}
+
+fn is_float_operand(t: &Token, float_idents: &BTreeSet<&str>) -> bool {
+    match &t.kind {
+        TokKind::Float => true,
+        TokKind::Ident(n) => float_idents.contains(n.as_str()),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::FileCtx;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let ctx = FileCtx::new(path, src);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn positive_literal_comparison() {
+        let src = "fn f(x: f32) -> bool { x == 0.0 }\n";
+        let d = run("crates/nn/src/matrix.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("=="));
+    }
+
+    #[test]
+    fn positive_declared_float_ident_and_ne() {
+        let src = "fn f(reward: f64, target: f64) -> bool { reward != target }\n";
+        let d = run("crates/core/src/agent/dqn.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("!="));
+    }
+
+    #[test]
+    fn negative_int_comparison_and_epsilon() {
+        let src = "fn f(a: u64, b: u64, x: f32, y: f32) -> bool {\n\
+                       a == b && (x - y).abs() < 1e-6\n\
+                   }\n";
+        assert!(run("crates/nn/src/mlp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn negative_out_of_scope_paths() {
+        let src = "fn f(x: f32) -> bool { x == 0.0 }\n";
+        assert!(run("crates/core/src/replay.rs", src).is_empty());
+        assert!(run("crates/sim/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn negative_test_region_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t(){ assert!(1.0 == 1.0); }\n}\n";
+        assert!(run("crates/nn/src/matrix.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! The rule set. Each rule is a pure function from a [`FileCtx`] to
+//! diagnostics; suppression (inline `lint:allow` escapes and `lint.toml`
+//! file-level entries) is applied by the driver in `lib.rs`, so rules stay
+//! side-effect free and individually testable on fixture snippets.
+//!
+//! Scope tables live here so CONTRIBUTING.md has one place to mirror.
+
+use crate::diag::Diagnostic;
+use crate::scanner::FileCtx;
+
+pub mod float_eq;
+pub mod lossy_cast;
+pub mod nondet_iteration;
+pub mod panic_hot_path;
+pub mod reference_frozen;
+pub mod wall_clock;
+
+/// Crates whose code feeds simulated statistics, action selection, or
+/// eviction order: nondeterministic iteration here can silently change
+/// paper figures.
+pub const DETERMINISM_CRATES: &[&str] = &["sim", "prefetch", "core", "stats"];
+
+/// The simulator hot path: files where a panic aborts a multi-hour run
+/// and a lossy cast corrupts an address or cycle count.
+pub const HOT_FILES: &[&str] = &[
+    "crates/sim/src/engine.rs",
+    "crates/sim/src/cache.rs",
+    "crates/sim/src/queue.rs",
+    "crates/sim/src/multicore.rs",
+    "crates/sim/src/dram.rs",
+];
+
+/// The sanctioned narrowing-conversion boundary: lossy casts are migrated
+/// to the checked helpers defined here, so the module itself is exempt.
+pub const CONVERT_FILE: &str = "crates/sim/src/convert.rs";
+
+/// The only crate allowed to read wall-clock time (it measures the host).
+pub const WALL_CLOCK_CRATE: &str = "bench";
+
+/// Paths where `==`/`!=` on floats is flagged (learning math: silent
+/// NaN/rounding surprises change Q-values).
+pub fn float_eq_in_scope(ctx: &FileCtx) -> bool {
+    ctx.crate_name == "nn" || ctx.path.starts_with("crates/core/src/agent/")
+}
+
+/// Names and one-line descriptions of every rule, for `--list-rules` and
+/// the docs.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "nondeterministic-iteration",
+        "std HashMap/HashSet (randomized hasher) in determinism-critical crates; use FxHashMap/FxHashSet or BTreeMap/BTreeSet",
+    ),
+    (
+        "wall-clock-in-sim",
+        "std::time::{Instant, SystemTime} outside crates/bench; simulated time must come from the engine",
+    ),
+    (
+        "panic-in-hot-path",
+        "unwrap/expect/panic!/unreachable!/literal indexing in the simulator hot path",
+    ),
+    (
+        "lossy-cast",
+        "narrowing `as` casts on the hot path; use the checked helpers in crates/sim/src/convert.rs",
+    ),
+    (
+        "float-eq",
+        "`==`/`!=` on f32/f64 in learning code; compare against an epsilon or restructure",
+    ),
+    (
+        "reference-engine-frozen",
+        "SHA-256 of crates/sim/src/reference.rs must match the hash committed in lint.toml",
+    ),
+];
+
+/// Run every per-file rule over one file.
+pub fn check_file(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    nondet_iteration::check(ctx, out);
+    wall_clock::check(ctx, out);
+    panic_hot_path::check(ctx, out);
+    lossy_cast::check(ctx, out);
+    float_eq::check(ctx, out);
+}

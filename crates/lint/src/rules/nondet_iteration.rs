@@ -1,0 +1,245 @@
+//! `nondeterministic-iteration`: `std::collections::HashMap`/`HashSet`
+//! with the default `RandomState` hasher in determinism-critical crates.
+//!
+//! The whole evaluation methodology rests on bit-identical reruns; a map
+//! with a randomized hasher makes iteration order differ between
+//! *processes*, so any stats, action-selection, or eviction path that
+//! iterates one produces irreproducible figures. Two kinds of findings:
+//!
+//! 1. any mention of the std type with a default hasher (imports, type
+//!    positions, constructors) — the type itself is the hazard;
+//! 2. iteration calls (`.iter()`, `.keys()`, `.values()`, `.drain()`,
+//!    `.into_iter()`, `for … in`) on bindings declared with such a type.
+//!
+//! `FxHashMap`/`FxHashSet` (seeded deterministic hasher, declared in
+//! `resemble_trace::util`) and the BTree collections satisfy the rule; so
+//! does a std map with an explicit `BuildHasherDefault<…>` parameter.
+
+use super::DETERMINISM_CRATES;
+use crate::diag::Diagnostic;
+use crate::scanner::FileCtx;
+
+/// Rule name.
+pub const RULE: &str = "nondeterministic-iteration";
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if !DETERMINISM_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let toks = &ctx.tokens;
+    for i in 0..toks.len() {
+        // Finding kind 1: the std type itself, unless an explicit hasher
+        // parameter makes it deterministic.
+        if let Some(name) = ctx.std_map_type_at(toks, i) {
+            let needed = if name == "HashMap" { 3 } else { 2 };
+            let explicit_hasher = toks.get(i + 1).is_some_and(|t| t.is_punct("<"))
+                && generic_args(toks, i + 1) >= needed;
+            if !explicit_hasher {
+                out.push(Diagnostic::error(
+                    RULE,
+                    &ctx.path,
+                    toks[i].line,
+                    format!(
+                        "std::collections::{name} uses a randomized hasher; iteration \
+                         order differs between runs — use resemble_trace::util::Fx{name} \
+                         (seeded deterministic hasher) or BTree{}",
+                        if name == "HashMap" { "Map" } else { "Set" },
+                    ),
+                ));
+            }
+        }
+        // Finding kind 2a: iteration method calls on tracked bindings.
+        if i >= 2
+            && toks[i].is_punct("(")
+            && toks[i - 2].is_punct(".")
+            && toks[i - 1]
+                .ident()
+                .is_some_and(|m| ITER_METHODS.contains(&m))
+        {
+            // Receiver: `<ident>.m()` or `self.<field>.m()`.
+            let recv = toks.get(i.wrapping_sub(3)).and_then(|t| t.ident());
+            if let Some(r) = recv {
+                if ctx.std_map_bindings.contains(r) {
+                    let method = toks[i - 1].ident().unwrap_or_default();
+                    out.push(Diagnostic::error(
+                        RULE,
+                        &ctx.path,
+                        toks[i - 1].line,
+                        format!(
+                            "`.{method}()` on `{r}` (std HashMap/HashSet with randomized \
+                             hasher): iteration order is nondeterministic across runs"
+                        ),
+                    ));
+                }
+            }
+        }
+        // Finding kind 2b: `for … in [&][mut][self.]<binding> {`.
+        if toks[i].is_ident("for") {
+            if let Some((name, line)) = for_loop_receiver(toks, i) {
+                if ctx.std_map_bindings.contains(name) {
+                    out.push(Diagnostic::error(
+                        RULE,
+                        &ctx.path,
+                        line,
+                        format!(
+                            "for-loop over `{name}` (std HashMap/HashSet with randomized \
+                             hasher): order is nondeterministic across runs"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Top-level generic-argument count for `toks[i] == '<'`.
+fn generic_args(toks: &[crate::lexer::Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut args = 1usize;
+    for t in &toks[i..] {
+        if t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(">") {
+            depth -= 1;
+            if depth == 0 {
+                return args;
+            }
+        } else if t.is_punct(">>") {
+            depth -= 2;
+            if depth <= 0 {
+                return args;
+            }
+        } else if t.is_punct(",") && depth == 1 {
+            args += 1;
+        } else if t.is_punct(";") || t.is_punct("{") {
+            break;
+        }
+    }
+    0
+}
+
+/// If `toks[i] == for` heads a `for pat in expr {` whose expr is a plain
+/// (optionally borrowed / `self.`-qualified) identifier, return it.
+fn for_loop_receiver(toks: &[crate::lexer::Token], i: usize) -> Option<(&str, u32)> {
+    // Find `in` before the body `{`, skipping the pattern.
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if t.is_ident("in") && depth == 0 {
+            break;
+        } else if t.is_punct("{") {
+            return None;
+        }
+        j += 1;
+    }
+    // Expr tokens between `in` and `{`.
+    let start = j + 1;
+    let mut k = start;
+    while k < toks.len() && !toks[k].is_punct("{") {
+        k += 1;
+    }
+    let expr = &toks[start..k];
+    let mut e = 0;
+    while e < expr.len() && (expr[e].is_punct("&") || expr[e].is_ident("mut")) {
+        e += 1;
+    }
+    if e + 2 < expr.len() && expr[e].is_ident("self") && expr[e + 1].is_punct(".") {
+        e += 2;
+    }
+    if e + 1 == expr.len() {
+        return expr[e].ident().map(|s| (s, expr[e].line));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::FileCtx;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let ctx = FileCtx::new(path, src);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn positive_import_and_iteration_flagged() {
+        let src = "use std::collections::HashMap;\n\
+                   struct S { m: HashMap<u64, u64> }\n\
+                   impl S {\n\
+                       fn f(&self) -> u64 { self.m.keys().sum() }\n\
+                   }\n";
+        let d = run("crates/core/src/x.rs", src);
+        // Import line, field type, and the .keys() iteration all fire.
+        assert!(d.len() >= 3, "{d:?}");
+        assert!(d.iter().any(|x| x.line == 1));
+        assert!(d.iter().any(|x| x.line == 4 && x.message.contains("keys")));
+    }
+
+    #[test]
+    fn positive_for_loop_over_std_set() {
+        let src = "use std::collections::HashSet;\n\
+                   fn f() {\n\
+                       let s: HashSet<u64> = HashSet::new();\n\
+                       for v in &s { drop(v); }\n\
+                   }\n";
+        let d = run("crates/stats/src/x.rs", src);
+        assert!(
+            d.iter()
+                .any(|x| x.line == 4 && x.message.contains("for-loop")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn negative_fx_and_btree_pass() {
+        let src = "use resemble_trace::util::{FxHashMap, FxHashSet};\n\
+                   use std::collections::BTreeMap;\n\
+                   struct S { m: FxHashMap<u64, u64>, b: BTreeMap<u64, u64> }\n\
+                   impl S { fn f(&self) -> u64 { self.m.keys().chain(self.b.keys()).sum() } }\n";
+        assert!(run("crates/prefetch/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn negative_explicit_hasher_passes() {
+        let src = "use std::collections::HashMap;\n\
+                   use std::hash::BuildHasherDefault;\n\
+                   type Fx<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;\n";
+        let d = run("crates/sim/src/x.rs", src);
+        // The bare import still fires (line 1); the aliased type with an
+        // explicit hasher does not (line 3).
+        assert!(d.iter().all(|x| x.line == 1), "{d:?}");
+    }
+
+    #[test]
+    fn negative_out_of_scope_crate() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u64, u64> = HashMap::new(); }\n";
+        assert!(run("crates/trace/src/x.rs", src).is_empty());
+        assert!(run("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unrelated_hashmap_named_type_not_flagged() {
+        // A local type that merely shares the name must not fire.
+        let src = "struct HashMap;\nfn f() { let _ = HashMap; }\n";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+}

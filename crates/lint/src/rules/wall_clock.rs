@@ -1,0 +1,125 @@
+//! `wall-clock-in-sim`: `std::time::Instant` / `SystemTime` anywhere
+//! outside `crates/bench`.
+//!
+//! The simulator has exactly one notion of time — the engine's cycle
+//! counter. Wall-clock reads in simulation, learning, or stats code are
+//! either dead weight or, worse, leak host timing into results (e.g. a
+//! time-boxed training loop), which destroys reproducibility. Host-side
+//! measurement belongs in `crates/bench`, the one exempt crate.
+
+use super::WALL_CLOCK_CRATE;
+use crate::diag::Diagnostic;
+use crate::scanner::FileCtx;
+
+/// Rule name.
+pub const RULE: &str = "wall-clock-in-sim";
+
+const BANNED: &[&str] = &["Instant", "SystemTime"];
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if ctx.crate_name == WALL_CLOCK_CRATE {
+        return;
+    }
+    let toks = &ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if !BANNED.contains(&name) {
+            continue;
+        }
+        let resolved: Option<String> = if i >= 2 && toks[i - 1].is_punct("::") {
+            // Qualified: resolve the path head (`std::time::Instant`,
+            // `time::Instant` under `use std::time`), then append the
+            // remaining segments.
+            let mut head = i - 2;
+            while head >= 2 && toks[head - 1].is_punct("::") {
+                head -= 2;
+            }
+            toks[head].ident().map(|h| {
+                let mut full = ctx.resolve(h).unwrap_or(h).to_string();
+                let mut k = head + 2;
+                while k < i {
+                    if let Some(s) = toks[k].ident() {
+                        full.push_str("::");
+                        full.push_str(s);
+                    }
+                    k += 2;
+                }
+                full.push_str("::");
+                full.push_str(name);
+                full
+            })
+        } else {
+            // Bare: resolve through an import or a `use std::time::*` glob.
+            ctx.resolve(name).map(str::to_string).or_else(|| {
+                ctx.uses
+                    .iter()
+                    .any(|(k, v)| k.starts_with('*') && v == "std::time")
+                    .then(|| format!("std::time::{name}"))
+            })
+        };
+        if resolved.as_deref() == Some(format!("std::time::{name}").as_str()) {
+            out.push(Diagnostic::error(
+                RULE,
+                &ctx.path,
+                t.line,
+                format!(
+                    "std::time::{name} outside crates/bench: simulated time must come \
+                     from the engine's cycle counter, and host timing belongs in bench"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::FileCtx;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let ctx = FileCtx::new(path, src);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn positive_imported_instant() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); drop(t); }\n";
+        let d = run("crates/sim/src/x.rs", src);
+        // Fires on the import and the use site.
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[1].line, 2);
+    }
+
+    #[test]
+    fn positive_fully_qualified_systemtime() {
+        let src = "fn f() { let _ = std::time::SystemTime::now(); }\n";
+        let d = run("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("SystemTime"));
+    }
+
+    #[test]
+    fn positive_module_alias() {
+        let src = "use std::time;\nfn f() { let _ = time::Instant::now(); }\n";
+        let d = run("crates/stats/src/x.rs", src);
+        assert!(d.iter().any(|x| x.line == 2), "{d:?}");
+    }
+
+    #[test]
+    fn negative_bench_is_exempt() {
+        let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n";
+        assert!(run("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn negative_duration_and_unrelated_instant() {
+        // Duration is fine (it is a plain value type), and a local type
+        // named Instant is not std's.
+        let src = "use std::time::Duration;\nstruct Instant;\nfn f() -> Instant { Instant }\n";
+        assert!(run("crates/sim/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,557 @@
+//! Per-file analysis context built on top of the lexer: import
+//! resolution, `#[cfg(test)]` region detection, `lint:allow` escape
+//! parsing, and a lightweight scan for bindings declared with
+//! `std::collections` map types. Rules consume a [`FileCtx`] and emit
+//! diagnostics; everything here is shared between rules.
+
+use crate::lexer::{lex, Lexed, TokKind, Token};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::RangeInclusive;
+
+/// One parsed `lint:allow` escape.
+#[derive(Debug)]
+pub struct AllowEscape {
+    /// Rules the escape names.
+    pub rules: Vec<String>,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Whether any diagnostic consulted (and was suppressed by) it.
+    pub used: RefCell<bool>,
+}
+
+/// Analysis context for one source file.
+pub struct FileCtx {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Crate directory name: `sim`, `core`, … (`root` for the top-level
+    /// package's `src/`, `tests/`, `examples/`).
+    pub crate_name: String,
+    /// Whole file is test/bench/example code by location.
+    pub test_path: bool,
+    /// Token stream.
+    pub tokens: Vec<Token>,
+    /// `lint:allow` escapes found in comments.
+    pub allows: Vec<AllowEscape>,
+    /// Line ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<RangeInclusive<u32>>,
+    /// Local name → fully-qualified path, from `use` declarations.
+    pub uses: BTreeMap<String, String>,
+    /// Identifiers declared with a `std::collections::HashMap`/`HashSet`
+    /// type that uses the default (randomized) hasher.
+    pub std_map_bindings: BTreeSet<String>,
+}
+
+/// Classify a workspace-relative path into its crate directory name.
+pub fn crate_of(rel: &str) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some((name, _)) = rest.split_once('/') {
+            return name.to_string();
+        }
+    }
+    "root".to_string()
+}
+
+/// Whether the path is test/bench/example code by location alone.
+pub fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.starts_with("benches/")
+        || rel.starts_with("examples/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+}
+
+impl FileCtx {
+    /// Lex and scan one file.
+    pub fn new(rel_path: &str, src: &str) -> Self {
+        let lexed = lex(src);
+        let mut ctx = FileCtx {
+            path: rel_path.to_string(),
+            crate_name: crate_of(rel_path),
+            test_path: is_test_path(rel_path),
+            tokens: Vec::new(),
+            allows: Vec::new(),
+            test_regions: Vec::new(),
+            uses: BTreeMap::new(),
+            std_map_bindings: BTreeSet::new(),
+        };
+        ctx.scan_allows(&lexed);
+        ctx.tokens = lexed.tokens;
+        ctx.scan_test_regions();
+        ctx.scan_uses();
+        ctx.scan_std_map_bindings();
+        ctx
+    }
+
+    /// Whether `line` is inside test code (by path or `cfg(test)` region).
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_path || self.test_regions.iter().any(|r| r.contains(&line))
+    }
+
+    /// Resolve a bare identifier through the file's imports. Returns the
+    /// fully-qualified path when imported, else `None`.
+    pub fn resolve(&self, name: &str) -> Option<&str> {
+        self.uses.get(name).map(String::as_str)
+    }
+
+    /// Does a diagnostic for `rule` at `line` hit a `lint:allow` escape?
+    /// An escape applies to its own line (trailing comment) and the line
+    /// directly below it (comment-above style). Marks the escape used.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        for a in &self.allows {
+            if (a.line == line || a.line + 1 == line) && a.rules.iter().any(|r| r == rule) {
+                *a.used.borrow_mut() = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Parse `lint:allow(rule_a, rule_b): reason` escapes out of comments.
+    /// A missing or empty reason invalidates the escape (rules that hit it
+    /// will still fire; the config loader reports it separately).
+    fn scan_allows(&mut self, lexed: &Lexed) {
+        for c in &lexed.comments {
+            // Anchored to the comment start (after doc-comment markers) so
+            // prose that merely *mentions* the syntax is not an escape.
+            let trimmed = c.text.trim_start_matches(['/', '!', '*', ' ', '\t']);
+            let Some(rest) = trimmed.strip_prefix("lint:allow(") else {
+                continue;
+            };
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            let rules: Vec<String> = rest[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            let after = rest[close + 1..].trim_start();
+            let reason_ok = after.starts_with(':') && !after[1..].trim().is_empty();
+            if rules.is_empty() || !reason_ok {
+                // Malformed escape: treat as absent so the underlying
+                // diagnostic still fires (loud beats silent).
+                continue;
+            }
+            self.allows.push(AllowEscape {
+                rules,
+                line: c.line,
+                used: RefCell::new(false),
+            });
+        }
+    }
+
+    /// Find items annotated `#[cfg(test)]` / `#[test]` (or any attribute
+    /// mentioning `test`, covering `cfg(all(test, …))`) and record the line
+    /// span of the item body.
+    fn scan_test_regions(&mut self) {
+        let toks = &self.tokens;
+        let n = toks.len();
+        let mut i = 0;
+        while i < n {
+            if !(toks[i].is_punct("#") && i + 1 < n && toks[i + 1].is_punct("[")) {
+                i += 1;
+                continue;
+            }
+            let attr_line = toks[i].line;
+            // Collect the attribute, tracking bracket depth.
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            let mut mentions_test = false;
+            while j < n {
+                if toks[j].is_punct("[") {
+                    depth += 1;
+                } else if toks[j].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                } else if toks[j].is_ident("test") {
+                    mentions_test = true;
+                }
+                j += 1;
+            }
+            if !mentions_test {
+                i = j;
+                continue;
+            }
+            // Skip any further attributes before the item.
+            while j + 1 < n && toks[j].is_punct("#") && toks[j + 1].is_punct("[") {
+                let mut d = 0i32;
+                j += 1;
+                while j < n {
+                    if toks[j].is_punct("[") {
+                        d += 1;
+                    } else if toks[j].is_punct("]") {
+                        d -= 1;
+                        if d == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            // The item body is the first `{` (a `;` first means no body).
+            let mut body = None;
+            let mut k = j;
+            while k < n {
+                if toks[k].is_punct("{") {
+                    body = Some(k);
+                    break;
+                }
+                if toks[k].is_punct(";") {
+                    break;
+                }
+                k += 1;
+            }
+            let Some(open) = body else {
+                self.test_regions.push(attr_line..=toks[j.min(n - 1)].line);
+                i = k.max(j);
+                continue;
+            };
+            // Match braces to find the end of the item.
+            let mut d = 0i32;
+            let mut end = open;
+            for (idx, t) in toks.iter().enumerate().skip(open) {
+                if t.is_punct("{") {
+                    d += 1;
+                } else if t.is_punct("}") {
+                    d -= 1;
+                    if d == 0 {
+                        end = idx;
+                        break;
+                    }
+                }
+            }
+            self.test_regions.push(attr_line..=toks[end].line);
+            i = end + 1;
+        }
+    }
+
+    /// Parse `use` declarations into the local-name → full-path map.
+    /// Handles groups, renames, globs (recorded as `prefix::*` under the
+    /// reserved key `*N`), and `self` in groups.
+    fn scan_uses(&mut self) {
+        let toks = self.tokens.clone();
+        let n = toks.len();
+        let mut i = 0;
+        while i < n {
+            if !toks[i].is_ident("use") {
+                i += 1;
+                continue;
+            }
+            // Parse one use-tree up to the terminating `;`.
+            let mut end = i + 1;
+            let mut depth = 0i32;
+            while end < n {
+                if toks[end].is_punct("{") {
+                    depth += 1;
+                } else if toks[end].is_punct("}") {
+                    depth -= 1;
+                } else if toks[end].is_punct(";") && depth == 0 {
+                    break;
+                }
+                end += 1;
+            }
+            let tree = &toks[i + 1..end.min(n)];
+            self.parse_use_tree(tree, String::new());
+            i = end + 1;
+        }
+    }
+
+    /// Recursive use-tree parse: `tree` is the token slice after `use` (or
+    /// inside a group), `prefix` the accumulated path so far.
+    fn parse_use_tree(&mut self, tree: &[Token], prefix: String) {
+        // Split the tree at top-level commas (only inside groups).
+        let mut parts: Vec<&[Token]> = Vec::new();
+        let mut depth = 0i32;
+        let mut start = 0usize;
+        for (idx, t) in tree.iter().enumerate() {
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+            } else if t.is_punct(",") && depth == 0 {
+                parts.push(&tree[start..idx]);
+                start = idx + 1;
+            }
+        }
+        parts.push(&tree[start..]);
+
+        for part in parts {
+            if part.is_empty() {
+                continue;
+            }
+            let mut path = prefix.clone();
+            let mut j = 0;
+            let mut last_seg = String::new();
+            while j < part.len() {
+                match &part[j].kind {
+                    TokKind::Ident(s) if s == "as" => {
+                        // Rename: next ident is the local name.
+                        if let Some(local) = part.get(j + 1).and_then(Token::ident) {
+                            self.uses.insert(local.to_string(), path.clone());
+                        }
+                        j = part.len();
+                    }
+                    TokKind::Ident(s) if s == "self" && !path.is_empty() => {
+                        // `self` in a group: binds the prefix's last segment.
+                        if let Some(seg) = path.rsplit("::").next() {
+                            self.uses.insert(seg.to_string(), path.clone());
+                        }
+                        last_seg.clear();
+                        j += 1;
+                    }
+                    TokKind::Ident(s) => {
+                        if !path.is_empty() {
+                            path.push_str("::");
+                        }
+                        path.push_str(s);
+                        last_seg = s.clone();
+                        j += 1;
+                    }
+                    TokKind::Punct("::") => {
+                        j += 1;
+                    }
+                    TokKind::Punct("*") => {
+                        // Glob: remember the prefix under a reserved key.
+                        let key = format!("*{}", self.uses.len());
+                        self.uses.insert(key, path.clone());
+                        last_seg.clear();
+                        j += 1;
+                    }
+                    TokKind::Punct("{") => {
+                        // Group: recurse over its contents.
+                        let mut d = 0i32;
+                        let mut close = j;
+                        for (idx, t) in part.iter().enumerate().skip(j) {
+                            if t.is_punct("{") {
+                                d += 1;
+                            } else if t.is_punct("}") {
+                                d -= 1;
+                                if d == 0 {
+                                    close = idx;
+                                    break;
+                                }
+                            }
+                        }
+                        self.parse_use_tree(&part[j + 1..close], path.clone());
+                        last_seg.clear();
+                        j = close + 1;
+                    }
+                    _ => {
+                        j += 1;
+                    }
+                }
+            }
+            if !last_seg.is_empty() {
+                self.uses.insert(last_seg, path);
+            }
+        }
+    }
+
+    /// Record identifiers bound to `std::collections::HashMap`/`HashSet`
+    /// with the default hasher: annotated bindings (`x: HashMap<K, V>`)
+    /// and constructor bindings (`let x = HashMap::new()`).
+    fn scan_std_map_bindings(&mut self) {
+        let toks = self.tokens.clone();
+        let n = toks.len();
+        for i in 0..n {
+            let Some(name) = self.std_map_type_at(&toks, i) else {
+                continue;
+            };
+            // Generic-argument count decides whether a hasher is explicit.
+            let needed = if name == "HashMap" { 3 } else { 2 };
+            let args = generic_arg_count(&toks, i + 1);
+            if args >= needed {
+                continue; // explicit hasher: deterministic by construction
+            }
+            // Annotated binding: `<ident> : [path::]Type`.
+            let mut k = i;
+            while k > 0
+                && (toks[k - 1].is_punct("::")
+                    || toks[k - 1]
+                        .ident()
+                        .is_some_and(|s| s == "std" || s == "collections"))
+            {
+                k -= 1;
+            }
+            if k >= 2 && toks[k - 1].is_punct(":") {
+                if let Some(id) = toks[k - 2].ident() {
+                    self.std_map_bindings.insert(id.to_string());
+                }
+            }
+            // Constructor binding: `let [mut] <ident> = Type::new(…)`.
+            if toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|t| {
+                    t.ident()
+                        .is_some_and(|s| s == "new" || s == "default" || s == "with_capacity")
+                })
+                && k >= 2
+                && toks[k - 1].is_punct("=")
+            {
+                let mut b = k - 2;
+                if toks[b].is_ident("mut") && b > 0 {
+                    b -= 1;
+                }
+                if let Some(id) = toks[b].ident() {
+                    self.std_map_bindings.insert(id.to_string());
+                }
+            }
+        }
+    }
+
+    /// If the token at `i` names `std::collections::HashMap`/`HashSet`
+    /// (bare-imported, glob-imported from std::collections, or written as
+    /// a full path ending here), return the type name.
+    pub fn std_map_type_at(&self, toks: &[Token], i: usize) -> Option<&'static str> {
+        let name = toks[i].ident()?;
+        let canonical: &'static str = match name {
+            "HashMap" => "HashMap",
+            "HashSet" => "HashSet",
+            _ => {
+                // Renamed import: resolve the alias.
+                let full = self.resolve(name)?;
+                if full == "std::collections::HashMap" {
+                    "HashMap"
+                } else if full == "std::collections::HashSet" {
+                    "HashSet"
+                } else {
+                    return None;
+                }
+            }
+        };
+        if name == "HashMap" || name == "HashSet" {
+            // Bare name: must resolve through an import, a glob of
+            // std::collections, or be part of a literal full path.
+            let via_import = self
+                .resolve(name)
+                .is_some_and(|p| p == format!("std::collections::{name}"));
+            let via_glob = self
+                .uses
+                .iter()
+                .any(|(k, v)| k.starts_with('*') && v == "std::collections");
+            let via_path = i >= 4
+                && toks[i - 1].is_punct("::")
+                && toks[i - 2].is_ident("collections")
+                && toks[i - 3].is_punct("::")
+                && toks[i - 4].is_ident("std");
+            if !(via_import || via_glob || via_path) {
+                return None;
+            }
+        }
+        Some(canonical)
+    }
+}
+
+/// Count top-level generic arguments of a `<…>` list starting at `toks[i]`
+/// (which must be `<`); returns 0 when `toks[i]` is not `<`. `>>` closes
+/// two levels.
+fn generic_arg_count(toks: &[Token], i: usize) -> usize {
+    if toks.get(i).map(|t| t.is_punct("<")) != Some(true) {
+        return 0;
+    }
+    let mut depth = 1i32;
+    let mut args = 1usize;
+    let mut j = i + 1;
+    while j < toks.len() && depth > 0 {
+        let t = &toks[j];
+        if t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(">") {
+            depth -= 1;
+        } else if t.is_punct(">>") {
+            depth -= 2;
+        } else if t.is_punct("(") || t.is_punct("[") {
+            depth += 1; // tuple/array types nest commas too
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if t.is_punct(",") && depth == 1 {
+            args += 1;
+        } else if t.is_punct(";") || t.is_punct("{") {
+            break; // runaway: `<` was a comparison, not generics
+        }
+        j += 1;
+    }
+    if depth > 0 {
+        0 // not a generic list after all
+    } else {
+        args
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_classification() {
+        assert_eq!(crate_of("crates/sim/src/engine.rs"), "sim");
+        assert_eq!(crate_of("src/lib.rs"), "root");
+        assert_eq!(crate_of("tests/end_to_end.rs"), "root");
+        assert!(is_test_path("tests/end_to_end.rs"));
+        assert!(is_test_path("crates/bench/benches/micro.rs"));
+        assert!(!is_test_path("crates/sim/src/engine.rs"));
+    }
+
+    #[test]
+    fn use_map_groups_renames_and_globs() {
+        let ctx = FileCtx::new(
+            "crates/sim/src/x.rs",
+            "use std::collections::{HashMap as Map, HashSet, VecDeque};\n\
+             use std::time::Instant;\n\
+             use std::collections::*;\n",
+        );
+        assert_eq!(ctx.resolve("Map").unwrap(), "std::collections::HashMap");
+        assert_eq!(ctx.resolve("HashSet").unwrap(), "std::collections::HashSet");
+        assert_eq!(ctx.resolve("Instant").unwrap(), "std::time::Instant");
+        assert!(ctx
+            .uses
+            .iter()
+            .any(|(k, v)| k.starts_with('*') && v == "std::collections"));
+    }
+
+    #[test]
+    fn cfg_test_region_spans_module() {
+        let src = "pub fn live() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { assert!(true); }\n\
+                   }\n";
+        let ctx = FileCtx::new("crates/sim/src/x.rs", src);
+        assert!(!ctx.in_test(1));
+        assert!(ctx.in_test(3));
+        assert!(ctx.in_test(5));
+    }
+
+    #[test]
+    fn allow_escape_requires_reason() {
+        let src = "// lint:allow(float-eq): exact sentinel comparison\n\
+                   let a = 1.0 == b;\n\
+                   // lint:allow(float-eq)\n\
+                   let c = 2.0 == d;\n";
+        let ctx = FileCtx::new("crates/nn/src/x.rs", src);
+        assert_eq!(ctx.allows.len(), 1, "reasonless escape is ignored");
+        assert!(ctx.allowed("float-eq", 2));
+        assert!(!ctx.allowed("float-eq", 4));
+    }
+
+    #[test]
+    fn std_map_bindings_tracked_unless_hasher_explicit() {
+        let src = "use std::collections::HashMap;\n\
+                   use std::hash::BuildHasherDefault;\n\
+                   struct S {\n\
+                       bad: HashMap<u64, u64>,\n\
+                       good: HashMap<u64, u64, BuildHasherDefault<MyHasher>>,\n\
+                   }\n\
+                   fn f() { let m = HashMap::new(); }\n";
+        let ctx = FileCtx::new("crates/core/src/x.rs", src);
+        assert!(ctx.std_map_bindings.contains("bad"));
+        assert!(ctx.std_map_bindings.contains("m"));
+        assert!(!ctx.std_map_bindings.contains("good"));
+    }
+}

@@ -104,6 +104,7 @@ impl Matrix {
         assert_eq!(y.len(), self.cols, "matvec_t: y length");
         y.fill(0.0);
         for (r, &xv) in x.iter().enumerate() {
+            // lint:allow(float-eq): exact-zero sparsity skip; activations are assigned 0.0 exactly, and a false negative only costs speed
             if xv == 0.0 {
                 continue;
             }
@@ -119,6 +120,7 @@ impl Matrix {
         assert_eq!(a.len(), self.rows);
         assert_eq!(b.len(), self.cols);
         for (r, &av) in a.iter().enumerate() {
+            // lint:allow(float-eq): exact-zero sparsity skip; ReLU outputs are assigned 0.0 exactly, and a false negative only costs speed
             if av == 0.0 {
                 continue;
             }

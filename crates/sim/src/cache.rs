@@ -12,6 +12,7 @@
 //! non-power-of-two geometries Table V produces (e.g. 85 L1D sets).
 //! Lookups never allocate.
 
+use crate::convert;
 use resemble_trace::record::block_of;
 use serde::{Deserialize, Serialize};
 
@@ -169,20 +170,24 @@ impl Cache {
     #[inline]
     fn set_of(&self, block: u64) -> usize {
         if self.set_mask != u64::MAX {
-            return (block & self.set_mask) as usize;
+            return convert::to_index(block & self.set_mask);
         }
         let d = self.sets as u64;
         if d < (1 << 16) {
             // Fold the 64-bit block through 2^32 ≡ fold_r (mod d); the
             // folded operand is < d² < 2^32, so both reductions stay in
             // the proven-exact 32-bit fastmod domain.
-            let hi = fastmod32((block >> 32) as u32, d, self.fastmod_m);
-            let lo = fastmod32(block as u32, d, self.fastmod_m);
-            fastmod32((hi * self.fold_r + lo) as u32, d, self.fastmod_m) as usize
+            let hi = fastmod32(convert::to_u32(block >> 32), d, self.fastmod_m);
+            let lo = fastmod32(convert::low32(block), d, self.fastmod_m);
+            convert::to_index(fastmod32(
+                convert::to_u32(hi * self.fold_r + lo),
+                d,
+                self.fastmod_m,
+            ))
         } else {
             // Enormous non-power-of-two set counts: fall back to hardware
             // division rather than widen the folding chain.
-            (block % d) as usize
+            convert::to_index(block % d)
         }
     }
 
@@ -195,6 +200,7 @@ impl Cache {
     fn probe(&self, base: usize, block: u64) -> Option<usize> {
         #[inline]
         fn scan<const N: usize>(tags: &[u64], block: u64) -> Option<usize> {
+            // lint:allow(panic-in-hot-path): the ways-dispatch match below only calls scan::<N> with an N-length slice
             let tags: &[u64; N] = tags.try_into().expect("slice length is N");
             let mut found = None;
             let mut i = 0;
@@ -308,10 +314,14 @@ impl Cache {
             Replacement::Lru => {
                 #[inline]
                 fn lru_min<const N: usize>(metas: &[u64]) -> usize {
+                    // lint:allow(panic-in-hot-path): the ways-dispatch match below only calls lru_min::<N> with an N-length slice
                     let metas: &[u64; N] = metas.try_into().expect("slice length is N");
+                    // Seeding with u64::MAX (> META_LRU_MASK, so iteration 0
+                    // always wins) lets the scan start at 0 with no front
+                    // element access.
                     let mut best = 0usize;
-                    let mut best_lru = metas[0] & META_LRU_MASK;
-                    let mut i = 1;
+                    let mut best_lru = u64::MAX;
+                    let mut i = 0;
                     while i < N {
                         let lru = metas[i] & META_LRU_MASK;
                         if lru < best_lru {
@@ -329,8 +339,8 @@ impl Cache {
                     16 => lru_min::<16>(metas),
                     _ => {
                         let mut best = 0usize;
-                        let mut best_lru = metas[0] & META_LRU_MASK;
-                        for (i, &m) in metas.iter().enumerate().skip(1) {
+                        let mut best_lru = u64::MAX;
+                        for (i, &m) in metas.iter().enumerate() {
                             let lru = m & META_LRU_MASK;
                             if lru < best_lru {
                                 best = i;
@@ -342,12 +352,18 @@ impl Cache {
                 }
             }
             Replacement::Fifo => {
+                // First-minimum scan, matching min_by_key's tie-breaking,
+                // without the impossible-empty-slice expect.
                 let ins = &self.inserted[base..base + ways];
-                ins.iter()
-                    .enumerate()
-                    .min_by_key(|(_, &t)| t)
-                    .map(|(i, _)| i)
-                    .expect("ways > 0")
+                let mut best = 0usize;
+                let mut best_t = u64::MAX;
+                for (i, &t) in ins.iter().enumerate() {
+                    if t < best_t {
+                        best = i;
+                        best_t = t;
+                    }
+                }
+                best
             }
             Replacement::Random => {
                 let tags = &self.tags[base..base + ways];
@@ -358,7 +374,7 @@ impl Cache {
                         *rng ^= *rng << 13;
                         *rng ^= *rng >> 7;
                         *rng ^= *rng << 17;
-                        (*rng % ways as u64) as usize
+                        convert::to_index(*rng % ways as u64)
                     }
                 }
             }

@@ -1,0 +1,103 @@
+//! Checked narrowing conversions — the sanctioned cast boundary for the
+//! simulator hot path.
+//!
+//! Addresses, block numbers, and cycle counts live in `u64`; table
+//! indices live in `usize` and the fastmod folding chain in `u32`. A raw
+//! `as` cast at each site truncates silently when an invariant breaks,
+//! which is why the `lossy-cast` lint bans them on the hot files. These
+//! helpers make every narrowing either *checked* (debug builds assert the
+//! value fits; release builds compile to the same bare cast, so the hot
+//! path pays nothing) or *explicitly lossy* with the truncation in the
+//! name ([`low32`]).
+
+/// Narrow a value to a table index.
+///
+/// Debug builds assert the value fits in `usize`; release builds are a
+/// plain cast. Use for set/way/bank indices that are bounded by a modulo
+/// or mask just upstream.
+#[inline(always)]
+pub fn to_index(x: u64) -> usize {
+    debug_assert!(
+        usize::try_from(x).is_ok(),
+        "index {x} does not fit in usize"
+    );
+    x as usize
+}
+
+/// Narrow a value known to fit in 32 bits (e.g. the fastmod folding
+/// chain, whose operands are proven `< 2^32`).
+///
+/// Debug builds assert the bound; release builds are a plain cast.
+#[inline(always)]
+pub fn to_u32(x: u64) -> u32 {
+    debug_assert!(x <= u64::from(u32::MAX), "value {x} does not fit in u32");
+    x as u32
+}
+
+/// The low 32 bits of `x` — *intentional* truncation, e.g. splitting a
+/// 64-bit block number into halves for folding. The loss is the point,
+/// so no assertion.
+#[inline(always)]
+pub fn low32(x: u64) -> u32 {
+    (x & 0xffff_ffff) as u32
+}
+
+/// Cache-line (block) address of a byte address. Lossless; mirrors
+/// `resemble_trace::record::block_of` so sim-internal code does not need
+/// the trace crate for address arithmetic.
+#[inline(always)]
+pub fn to_line_addr(addr: u64) -> u64 {
+    addr >> 6
+}
+
+/// Narrow an aggregate cycle quantity (e.g. a `u128` product of latency
+/// and count) back to the engine's `u64` cycle domain, checked in debug
+/// builds.
+#[inline(always)]
+pub fn to_cycle(x: u128) -> u64 {
+    debug_assert!(
+        u64::try_from(x).is_ok(),
+        "cycle quantity {x} does not fit in u64"
+    );
+    x as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_round_trip() {
+        assert_eq!(to_index(0), 0);
+        assert_eq!(to_index(4095), 4095);
+        assert_eq!(to_u32(u64::from(u32::MAX)), u32::MAX);
+        assert_eq!(to_cycle(12_345u128), 12_345u64);
+    }
+
+    #[test]
+    fn low32_truncates_by_design() {
+        assert_eq!(low32(0xdead_beef_cafe_f00d), 0xcafe_f00d);
+        assert_eq!(low32(0x1_0000_0000), 0);
+    }
+
+    #[test]
+    fn line_addr_matches_trace_block_of() {
+        for addr in [0u64, 63, 64, 4095, 0xdead_beef_cafe] {
+            assert_eq!(to_line_addr(addr), resemble_trace::record::block_of(addr));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit in u32")]
+    #[cfg(debug_assertions)]
+    fn to_u32_asserts_in_debug() {
+        let _ = to_u32(1 << 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit in u64")]
+    #[cfg(debug_assertions)]
+    fn to_cycle_asserts_in_debug() {
+        let _ = to_cycle(u128::from(u64::MAX) + 1);
+    }
+}

@@ -88,7 +88,7 @@ impl Dram {
     #[inline]
     fn map(&self, block: u64) -> (usize, u64) {
         let stripe = block / BLOCKS_PER_STRIPE;
-        let bank = (stripe % self.cfg.banks as u64) as usize;
+        let bank = crate::convert::to_index(stripe % self.cfg.banks as u64);
         let row = (stripe / self.cfg.banks as u64) % self.cfg.rows;
         (bank, row)
     }

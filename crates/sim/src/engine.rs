@@ -287,6 +287,11 @@ impl Engine {
                     };
                     let done = self.dram.access(block, start);
                     self.outstanding.push(done);
+                    debug_assert!(
+                        self.outstanding.len() <= llc_mshrs,
+                        "MSHR occupancy {} exceeds capacity {llc_mshrs} after demand miss",
+                        self.outstanding.len()
+                    );
                     self.inflight_demand.insert(block, done);
                     self.demand_queue.push((done, block));
                     self.fill_all(a, false);
@@ -330,6 +335,11 @@ impl Engine {
                     let done = self.dram.access(sb, ready_base + llc_lat);
                     self.outstanding.push(done);
                     occupancy += 1;
+                    debug_assert!(
+                        self.outstanding.len() <= llc_mshrs,
+                        "MSHR occupancy {} exceeds capacity {llc_mshrs} after prefetch issue",
+                        self.outstanding.len()
+                    );
                     self.inflight_prefetch.insert(sb, done);
                     self.pf_queue.push((done, sb));
                     self.stats.prefetches_issued += 1;

@@ -23,6 +23,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod convert;
 pub mod dram;
 pub mod engine;
 pub mod multicore;

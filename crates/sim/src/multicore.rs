@@ -293,6 +293,12 @@ impl MultiCoreEngine {
                                 };
                                 let done = self.dram.access(block, start);
                                 self.outstanding.push(done);
+                                debug_assert!(
+                                    self.outstanding.len() <= cfg.llc_mshrs,
+                                    "shared MSHR occupancy {} exceeds capacity {} after demand miss",
+                                    self.outstanding.len(),
+                                    cfg.llc_mshrs
+                                );
                                 core.inflight_demand.insert(block, done);
                                 core.demand_queue.push((done, block));
                                 if let Some(ev) =
@@ -331,6 +337,12 @@ impl MultiCoreEngine {
                             }
                             let done = self.dram.access(sb, ready_base + cfg.llc_latency);
                             self.outstanding.push(done);
+                            debug_assert!(
+                                self.outstanding.len() <= cfg.llc_mshrs,
+                                "shared MSHR occupancy {} exceeds capacity {} after prefetch issue",
+                                self.outstanding.len(),
+                                cfg.llc_mshrs
+                            );
                             let core = &mut self.cores[core_idx];
                             core.inflight_prefetch.insert(sb, done);
                             core.pf_queue.push((done, sb));

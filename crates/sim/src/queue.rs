@@ -50,6 +50,12 @@ impl<T: Ord + Copy> TimeQueue<T> {
     #[inline]
     pub fn pop(&mut self) -> Option<T> {
         let v = *self.buf.get(self.head)?;
+        // O(1) monotonicity invariant: the live window stays sorted, so
+        // the element behind the head can never be smaller.
+        debug_assert!(
+            self.buf.get(self.head + 1).is_none_or(|next| v <= *next),
+            "TimeQueue live window out of order at pop"
+        );
         self.head += 1;
         if self.head == self.buf.len() {
             // Queue drained: recycle the whole buffer for free.
@@ -69,6 +75,13 @@ impl<T: Ord + Copy> TimeQueue<T> {
         }
         let i = self.head + self.buf[self.head..].partition_point(|x| *x <= v);
         self.buf.insert(i, v);
+        // O(1) monotonicity invariant: the insert lands between its
+        // neighbors, keeping the live window sorted.
+        debug_assert!(
+            (i == self.head || self.buf[i - 1] <= v)
+                && self.buf.get(i + 1).is_none_or(|next| v <= *next),
+            "TimeQueue insert broke live-window ordering"
+        );
         // Bound the dead prefix so out-of-order inserts stay cheap and the
         // buffer doesn't grow without limit across a long run.
         if self.head > 64 && self.head >= self.buf.len() / 2 {
