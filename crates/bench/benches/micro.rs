@@ -6,8 +6,8 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use resemble_bench::factory;
 use resemble_core::preprocess::fold_hash;
-use resemble_core::{ReplayMemory, ResembleConfig};
-use resemble_nn::{Activation, Mlp, Sgd};
+use resemble_core::{Datapath, DqnAgent, ReplayMemory, ResembleConfig};
+use resemble_nn::{Activation, Matrix, Mlp, Sgd};
 use resemble_prefetch::{
     BestOffset, Domino, Isb, NextLine, Prefetcher, Spp, StridePrefetcher, Vldp,
 };
@@ -43,6 +43,88 @@ fn bench_mlp(c: &mut Criterion) {
             train_net.apply_grads(&mut grads, &mut opt);
         })
     });
+}
+
+fn bench_controller(c: &mut Criterion) {
+    // The minibatch-GEMM datapath vs the scalar per-sample datapath, at
+    // kernel level (forward over a 32-row batch) and at training-step
+    // level (DqnAgent::train_once on a fully-valid replay, batch 256).
+    let mut group = c.benchmark_group("controller");
+    let cfg = ResembleConfig::default();
+    let net = Mlp::new(
+        &[cfg.input_dim(), cfg.hidden_dim, cfg.action_dim],
+        Activation::Relu,
+        1,
+    );
+    const B: usize = 32;
+    let xs = Matrix::from_fn(B, cfg.input_dim(), |r, col| {
+        ((r * 7 + col) as f32 * 0.13).sin()
+    });
+    let mut scratch = net.make_scratch();
+    group.bench_function("forward32_per_sample", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for r in 0..B {
+                acc += net.forward(xs.row(r), &mut scratch)[0];
+            }
+            black_box(acc)
+        })
+    });
+    let mut bscratch = net.make_batch_scratch(B);
+    group.bench_function("forward32_batched", |b| {
+        b.iter(|| {
+            let out = net.forward_batch(black_box(&xs), &mut bscratch);
+            black_box(out.get(0, 0))
+        })
+    });
+    // Full training batch: the two GEMM passes of one SGD step.
+    const TB: usize = 256;
+    let txs = Matrix::from_fn(TB, cfg.input_dim(), |r, col| {
+        ((r * 7 + col) as f32 * 0.13).sin()
+    });
+    let mut tscratch = net.make_batch_scratch(TB);
+    group.bench_function("forward256_batched", |b| {
+        b.iter(|| {
+            let out = net.forward_batch(black_box(&txs), &mut tscratch);
+            black_box(out.get(0, 0))
+        })
+    });
+    let mut tnet = net.clone();
+    let mut tgrads = tnet.make_grad_buffer();
+    let og = Matrix::from_fn(
+        TB,
+        cfg.action_dim,
+        |r, col| {
+            if col == r % 5 {
+                0.3
+            } else {
+                0.0
+            }
+        },
+    );
+    tnet.forward_batch(&txs, &mut tscratch);
+    group.bench_function("backward256_batched", |b| {
+        b.iter(|| {
+            tnet.backward_batch(&mut tscratch, black_box(&og), &mut tgrads);
+            black_box(tgrads.samples)
+        })
+    });
+    for (label, dp) in [
+        ("train_once_batched", Datapath::Batched),
+        ("train_once_per_sample", Datapath::PerSample),
+    ] {
+        let mut agent = DqnAgent::new(cfg, 1);
+        agent.set_datapath(dp);
+        let mut replay = ReplayMemory::new(cfg.replay_capacity, cfg.window, cfg.input_dim());
+        for i in 0..cfg.replay_capacity as u64 {
+            let v = (i as f32 * 0.37).sin();
+            let s = [v, 1.0 - v, v * v, 0.5];
+            let id = replay.push(&s, (i % 5) as usize, &[]);
+            replay.set_next_state(id, &s);
+        }
+        group.bench_function(label, |b| b.iter(|| agent.train_once(&replay)));
+    }
+    group.finish();
 }
 
 fn bench_preprocess(c: &mut Criterion) {
@@ -87,7 +169,7 @@ fn bench_cache_and_dram(c: &mut Criterion) {
 }
 
 fn bench_replay(c: &mut Criterion) {
-    let mut replay = ReplayMemory::new(2000, 256);
+    let mut replay = ReplayMemory::new(2000, 256, 4);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
     let mut assigned = Vec::new();
     let mut i = 0u64;
@@ -95,12 +177,16 @@ fn bench_replay(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             replay.on_access(black_box(i % 512), &mut assigned);
-            let id = replay.push(vec![0.1, 0.2, 0.3, 0.4], 0, &[i % 512 + 1]);
+            let id = replay.push(&[0.1, 0.2, 0.3, 0.4], 0, &[i % 512 + 1]);
             replay.set_next_state(id, &[0.2, 0.3, 0.4, 0.5]);
         })
     });
+    let mut ids = Vec::new();
     c.bench_function("replay/sample_batch32", |b| {
-        b.iter(|| replay.sample_ids(32, &mut rng))
+        b.iter(|| {
+            replay.sample_into(32, &mut rng, &mut ids);
+            black_box(ids.len())
+        })
     });
 }
 
@@ -195,6 +281,7 @@ fn bench_ensemble(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_mlp,
+    bench_controller,
     bench_preprocess,
     bench_cache_and_dram,
     bench_replay,

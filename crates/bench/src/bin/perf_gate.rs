@@ -7,30 +7,47 @@
 //! accesses/sec for each engine, verifies the two produce bit-identical
 //! `SimStats`, and writes the whole report to `BENCH_sim.json`.
 //!
+//! After the matrix, a **controller-throughput** section times the full
+//! ReSemble MLP configuration (batch 256, Table III) end-to-end through
+//! the optimized engine twice — once per DQN [`Datapath`]: the batched
+//! minibatch-GEMM datapath vs the scalar per-sample reference — on a
+//! small app subset, verifying the two produce bit-identical `SimStats`
+//! (the datapaths are bit-identical by construction, so any divergence is
+//! a kernel bug).
+//!
 //! Modes:
-//! * default — measure, print the table, write `--json` (default
+//! * default — measure, print the tables, write `--json` (default
 //!   `BENCH_sim.json`).
 //! * `--write-baseline` — additionally write the committed baseline file
 //!   (`crates/bench/perf_baseline.json`) from this run's speedups.
 //! * `--check` — compare against the committed baseline and exit non-zero
-//!   if the engine-core speedup regressed more than 10% below it, or fell
-//!   under `--min-speedup` (default 1.5), or any job's stats diverged.
+//!   if either gated speedup regressed more than 10% below its baseline,
+//!   or fell under its minimum (`--min-speedup`, default 1.5, for the
+//!   engine core; `--min-controller-speedup`, default 2.0, for the
+//!   controller), or any job's stats diverged.
 //!
-//! The gate compares *speedup over the in-process reference engine*, not
-//! absolute accesses/sec, so the committed baseline is portable across
-//! machines: both engines see the same hardware and the ratio isolates
+//! The gate compares *speedup over an in-process reference*, not absolute
+//! accesses/sec, so the committed baseline is portable across machines:
+//! both sides of each ratio see the same hardware and the ratio isolates
 //! the code, not the host.
 //!
-//! The **gated** metric is the geo-mean speedup of the no-prefetcher
-//! ("none") jobs — single-core accesses/sec of the simulator itself vs
-//! the seed engine. Jobs with RL ensemble controllers spend most of
-//! their wall time in prefetcher code that is byte-identical in both
-//! engines, so their ratios hover near 1x regardless of how fast the
-//! simulator is; they are reported (and stats-checked) but not gated.
+//! Two metrics are **gated**:
+//! * `engine_core_speedup` — geo-mean speedup of the no-prefetcher
+//!   ("none") jobs, optimized [`Engine`] vs seed [`ReferenceEngine`]:
+//!   single-core accesses/sec of the simulator itself. RL-controller
+//!   matrix jobs spend their wall time in prefetcher code byte-identical
+//!   in both engines, so they are reported (and stats-checked) but not
+//!   gated.
+//! * `controller_speedup` — geo-mean accesses/sec ratio of the batched
+//!   DQN datapath over the per-sample reference datapath on the
+//!   controller jobs: the RL-controller hot path itself.
 //!
 //! Usage: `cargo run --release -p resemble-bench --bin perf_gate --
 //! [--check] [--write-baseline] [--accesses N] [--warmup N] [--reps N]
-//! [--apps a,b] [--json PATH] [--baseline PATH] [--min-speedup X]`
+//! [--apps a,b] [--json PATH] [--baseline PATH] [--min-speedup X]
+//! [--controller-apps a,b] [--controller-warmup N]
+//! [--controller-accesses N] [--min-controller-speedup X]
+//! [--no-controller]`
 
 use resemble_bench::{factory, report, Options};
 use resemble_sim::{Engine, ReferenceEngine, SimConfig, SimStats};
@@ -55,6 +72,21 @@ struct JobReport {
     stats_match: bool,
 }
 
+/// Timing of one controller job: the batched DQN datapath vs the scalar
+/// per-sample reference, both through the optimized engine on the full
+/// ReSemble MLP configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ControllerJobReport {
+    app: String,
+    accesses: usize,
+    batched_secs: f64,
+    per_sample_secs: f64,
+    batched_aps: f64,
+    per_sample_aps: f64,
+    speedup: f64,
+    stats_match: bool,
+}
+
 /// The full machine-readable report (`BENCH_sim.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct GateReport {
@@ -69,15 +101,25 @@ struct GateReport {
     /// total work / total time, both engines, whole matrix.
     aggregate_speedup: f64,
     geo_mean_speedup: f64,
-    /// Geo-mean speedup of the no-prefetcher jobs: the gated headline
+    /// Geo-mean speedup of the no-prefetcher jobs: the first gated metric
     /// ("single-core accesses/sec of the simulator vs the seed engine").
     engine_core_speedup: f64,
+    /// Controller-path jobs (full ReSemble MLP config, batched vs
+    /// per-sample DQN datapath). Empty under `--no-controller`.
+    controller_jobs: Vec<ControllerJobReport>,
+    /// Geo-mean controller-path speedup: the second gated metric
+    /// ("RL-controller accesses/sec, batched GEMM datapath vs the scalar
+    /// per-sample reference"). 0.0 under `--no-controller`.
+    controller_speedup: f64,
+    /// Geo-mean controller-path accesses/sec on the batched datapath.
+    controller_aps: f64,
 }
 
 /// The committed regression baseline (speedups only: machine-portable).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Baseline {
     engine_core_speedup: f64,
+    controller_speedup: f64,
     aggregate_speedup: f64,
     geo_mean_speedup: f64,
 }
@@ -116,6 +158,19 @@ fn main() {
         .str("min-speedup")
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(1.5);
+    let min_controller_speedup = opts
+        .str("min-controller-speedup")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(2.0);
+    let controller_warmup = opts.usize("controller-warmup", 1_000);
+    let controller_measure = opts.usize("controller-accesses", 5_000);
+    let no_controller = opts.flag("no-controller");
+    let controller_apps: Vec<String> = opts.list("controller-apps").unwrap_or_else(|| {
+        ["433.milc", "471.omnetpp", "gap.pr"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    });
     let check = opts.flag("check");
     let write_baseline = opts.flag("write-baseline");
     let json_path = opts.str("json").unwrap_or("BENCH_sim.json").to_string();
@@ -135,7 +190,7 @@ fn main() {
 
     // Validate names up front: a typo should produce a usage error, not
     // a panic mid-matrix.
-    for app in &apps {
+    for app in apps.iter().chain(&controller_apps) {
         if !APP_NAMES.contains(&app.as_str()) {
             eprintln!(
                 "error: unknown app '{app}' (valid: {})",
@@ -244,6 +299,62 @@ fn main() {
         }
     }
 
+    // Controller-throughput section: the full ReSemble MLP configuration
+    // (batch 256) through the optimized engine, batched vs per-sample DQN
+    // datapath. Reps alternate datapaths so host-speed drift cancels out
+    // of the best-of ratio, exactly like the matrix above.
+    let mut controller_jobs: Vec<ControllerJobReport> = Vec::new();
+    if !no_controller {
+        let cn = controller_warmup + controller_measure;
+        let controller_reps = reps.max(3);
+        for app in &controller_apps {
+            let trace = materialize(app, seed, cn);
+            let mut batched_secs = f64::INFINITY;
+            let mut per_sample_secs = f64::INFINITY;
+            let mut batched_stats = SimStats::default();
+            let mut per_sample_stats = SimStats::default();
+            for _ in 0..controller_reps {
+                let (bs, bstats) = time_run(&trace, |mut src| {
+                    let mut e = Engine::new(cfg);
+                    let mut p = factory::make("resemble", seed, false);
+                    let s = e.run(
+                        &mut src,
+                        Some(&mut *p),
+                        controller_warmup,
+                        controller_measure,
+                    );
+                    (e, s)
+                });
+                let (rs, rstats) = time_run(&trace, |mut src| {
+                    let mut e = Engine::new(cfg);
+                    let mut p = factory::make("resemble_ref", seed, false);
+                    let s = e.run(
+                        &mut src,
+                        Some(&mut *p),
+                        controller_warmup,
+                        controller_measure,
+                    );
+                    (e, s)
+                });
+                batched_secs = batched_secs.min(bs);
+                per_sample_secs = per_sample_secs.min(rs);
+                batched_stats = bstats;
+                per_sample_stats = rstats;
+            }
+            let stats_match = format!("{batched_stats:?}") == format!("{per_sample_stats:?}");
+            controller_jobs.push(ControllerJobReport {
+                app: app.clone(),
+                accesses: cn,
+                batched_secs,
+                per_sample_secs,
+                batched_aps: cn as f64 / batched_secs,
+                per_sample_aps: cn as f64 / per_sample_secs,
+                speedup: per_sample_secs / batched_secs,
+                stats_match,
+            });
+        }
+    }
+
     let total_accesses: usize = jobs.iter().map(|j| j.accesses).sum();
     let engine_secs: f64 = jobs.iter().map(|j| j.engine_secs).sum();
     let reference_secs: f64 = jobs.iter().map(|j| j.reference_secs).sum();
@@ -257,6 +368,8 @@ fn main() {
         // `--pfs` without "none": gate on whatever was measured.
         core_speedups = speedups.clone();
     }
+    let controller_speedups: Vec<f64> = controller_jobs.iter().map(|j| j.speedup).collect();
+    let controller_apses: Vec<f64> = controller_jobs.iter().map(|j| j.batched_aps).collect();
     let rep = GateReport {
         warmup,
         measure,
@@ -268,6 +381,17 @@ fn main() {
         aggregate_speedup: reference_secs / engine_secs,
         geo_mean_speedup: geo_mean(&speedups),
         engine_core_speedup: geo_mean(&core_speedups),
+        controller_speedup: if controller_speedups.is_empty() {
+            0.0
+        } else {
+            geo_mean(&controller_speedups)
+        },
+        controller_aps: if controller_apses.is_empty() {
+            0.0
+        } else {
+            geo_mean(&controller_apses)
+        },
+        controller_jobs,
         jobs,
     };
 
@@ -326,6 +450,36 @@ fn main() {
         rep.aggregate_speedup, rep.geo_mean_speedup
     );
 
+    if !rep.controller_jobs.is_empty() {
+        let mut ct = Table::new(vec![
+            "app",
+            "kacc/s batched",
+            "kacc/s per-sample",
+            "speedup",
+        ]);
+        for j in &rep.controller_jobs {
+            ct.row(vec![
+                j.app.clone(),
+                format!("{:.1}", j.batched_aps / 1e3),
+                format!("{:.1}", j.per_sample_aps / 1e3),
+                format!(
+                    "{:.2}{}",
+                    j.speedup,
+                    if j.stats_match { "" } else { " !STATS" }
+                ),
+            ]);
+        }
+        println!("\ncontroller path (ReSemble MLP, batch 256, batched vs per-sample datapath):");
+        println!("{}", ct.render());
+        println!(
+            "controller speedup (gated): {:.2}x geo-mean over {} apps (target >= {:.2}x), {:.1} kacc/s batched",
+            rep.controller_speedup,
+            rep.controller_jobs.len(),
+            min_controller_speedup,
+            rep.controller_aps / 1e3
+        );
+    }
+
     if let Err(e) = std::fs::write(
         &json_path,
         serde_json::to_string_pretty(&rep).expect("report serializes"),
@@ -348,10 +502,27 @@ fn main() {
             mismatches.join(", ")
         ));
     }
+    let dp_mismatches: Vec<String> = rep
+        .controller_jobs
+        .iter()
+        .filter(|j| !j.stats_match)
+        .map(|j| j.app.clone())
+        .collect();
+    if !dp_mismatches.is_empty() {
+        failures.push(format!(
+            "SimStats diverged between DQN datapaths on: {} (the batch kernels must be bit-identical)",
+            dp_mismatches.join(", ")
+        ));
+    }
 
     if write_baseline {
+        if rep.controller_jobs.is_empty() {
+            eprintln!("error: cannot write a baseline from a --no-controller run");
+            std::process::exit(2);
+        }
         let b = Baseline {
             engine_core_speedup: rep.engine_core_speedup,
+            controller_speedup: rep.controller_speedup,
             aggregate_speedup: rep.aggregate_speedup,
             geo_mean_speedup: rep.geo_mean_speedup,
         };
@@ -365,31 +536,58 @@ fn main() {
 
     if check {
         // The vendored serde_json deserializes into a dynamic Value.
-        match std::fs::read_to_string(&baseline_path)
+        let baseline: Option<serde_json::Value> = std::fs::read_to_string(&baseline_path)
             .ok()
-            .and_then(|s| serde_json::from_str(&s).ok())
-            .and_then(|v| v.get("engine_core_speedup").and_then(|x| x.as_f64()))
-        {
-            Some(baseline_speedup) => {
-                let floor = baseline_speedup * 0.9;
-                println!(
-                    "check: baseline {:.2}x, 10% floor {:.2}x, measured {:.2}x",
-                    baseline_speedup, floor, rep.engine_core_speedup
-                );
-                if rep.engine_core_speedup < floor {
-                    failures.push(format!(
-                        "throughput regressed >10% vs baseline: {:.2}x < {:.2}x",
-                        rep.engine_core_speedup, floor
-                    ));
-                }
-                if rep.engine_core_speedup < min_speedup {
-                    failures.push(format!(
-                        "engine-core speedup {:.2}x below required {min_speedup:.2}x",
-                        rep.engine_core_speedup
-                    ));
-                }
+            .and_then(|s| serde_json::from_str(&s).ok());
+        // (metric label, baseline key, measured value, required minimum,
+        //  measured?) — each gated metric fails independently on either a
+        // >10% drop below its committed baseline or its absolute minimum.
+        let gated = [
+            (
+                "engine-core",
+                "engine_core_speedup",
+                rep.engine_core_speedup,
+                min_speedup,
+                true,
+            ),
+            (
+                "controller",
+                "controller_speedup",
+                rep.controller_speedup,
+                min_controller_speedup,
+                !no_controller,
+            ),
+        ];
+        for (label, key, measured, min_required, was_measured) in gated {
+            if !was_measured {
+                eprintln!("warning: {label} speedup not measured (--no-controller); not gated");
+                continue;
             }
-            None => failures.push(format!("missing or unreadable baseline {baseline_path}")),
+            match baseline
+                .as_ref()
+                .and_then(|v| v.get(key))
+                .and_then(|x| x.as_f64())
+            {
+                Some(baseline_speedup) => {
+                    let floor = baseline_speedup * 0.9;
+                    println!(
+                        "check [{label}]: baseline {baseline_speedup:.2}x, 10% floor {floor:.2}x, measured {measured:.2}x"
+                    );
+                    if measured < floor {
+                        failures.push(format!(
+                            "{label} throughput regressed >10% vs baseline: {measured:.2}x < {floor:.2}x"
+                        ));
+                    }
+                    if measured < min_required {
+                        failures.push(format!(
+                            "{label} speedup {measured:.2}x below required {min_required:.2}x"
+                        ));
+                    }
+                }
+                None => failures.push(format!(
+                    "missing '{key}' in baseline {baseline_path} (regenerate with --write-baseline)"
+                )),
+            }
         }
     }
 

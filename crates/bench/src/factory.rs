@@ -55,6 +55,14 @@ pub fn make(name: &str, seed: u64, fast: bool) -> Box<dyn Prefetcher + Send> {
         "sbp_e" => Box::new(SbpE::from_paper()),
         "sbp_e_v" => Box::new(SbpE::new(voyager_bank(seed), 256)),
         "resemble" => Box::new(ResembleMlp::new(paper_bank(), cfg, seed)),
+        "resemble_ref" => {
+            // The scalar per-sample DQN datapath: the measurement baseline
+            // for the controller-throughput perf gate. Bit-identical
+            // behaviour to "resemble", slower training.
+            let mut m = ResembleMlp::new(paper_bank(), cfg, seed);
+            m.set_datapath(resemble_core::Datapath::PerSample);
+            Box::new(m)
+        }
         "resemble_t" => Box::new(ResembleTabular::new(paper_bank(), cfg, 8, seed)),
         "resemble_t4" => Box::new(ResembleTabular::new(paper_bank(), cfg, 4, seed)),
         "resemble_v" => Box::new(ResembleMlp::new(voyager_bank(seed), cfg, seed)),
@@ -87,6 +95,7 @@ pub fn label(name: &str) -> &'static str {
         "voyager" => "Voyager*",
         "sbp_e" | "sbp_e_v" => "SBP(E)",
         "resemble" => "ReSemble",
+        "resemble_ref" => "ReSemble(ref)",
         "resemble_t" => "ReSemble-T",
         "resemble_t4" => "ReSemble-T4",
         "resemble_v" => "ReSemble+V",
@@ -112,5 +121,12 @@ mod tests {
     #[should_panic(expected = "unknown prefetcher")]
     fn unknown_name_panics() {
         let _ = make("nope", 1, true);
+    }
+
+    #[test]
+    fn reference_datapath_controller_constructs() {
+        let p = make("resemble_ref", 1, true);
+        assert_eq!(p.name(), "resemble_ref");
+        assert_eq!(label("resemble_ref"), "ReSemble(ref)");
     }
 }

@@ -5,12 +5,34 @@
 //! *target net* serves inference and the bootstrap targets (Eq. 10). Every
 //! `I_t` steps the two networks *switch roles* and synchronize — the
 //! paper's trick for avoiding weight-copy stalls in hardware.
+//!
+//! Training runs through one of two [`Datapath`]s: the default **batched**
+//! path gathers the sampled minibatch into flat matrices and takes one
+//! GEMM forward per network plus one GEMM backward per SGD step, while the
+//! **per-sample** reference path loops scalar forward/backward passes like
+//! the original implementation. The batch kernels preserve per-element
+//! accumulation order, so both datapaths produce bit-identical networks —
+//! a property the perf gate checks end-to-end by comparing simulator
+//! statistics across datapaths.
 
 use crate::config::ResembleConfig;
 use crate::replay::ReplayMemory;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use resemble_nn::{Activation, GradBuffer, Mlp, Scratch, Sgd};
+use resemble_nn::{Activation, BatchScratch, GradBuffer, Matrix, Mlp, Scratch, Sgd};
+
+/// Which `train_once` implementation the agent runs. Both produce
+/// bit-identical networks; `PerSample` exists as the measurement reference
+/// for the controller-throughput perf gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Datapath {
+    /// Minibatch GEMM datapath: one batched target-forward, one batched
+    /// policy-forward, one batched backward per SGD step.
+    #[default]
+    Batched,
+    /// Scalar reference datapath: per-sample forward/backward loops.
+    PerSample,
+}
 
 /// DQN agent with decaying ε-greedy action selection.
 pub struct DqnAgent {
@@ -19,10 +41,21 @@ pub struct DqnAgent {
     target: Mlp,
     scratch_p: Scratch,
     scratch_t: Scratch,
+    batch_scratch_p: BatchScratch,
+    batch_scratch_t: BatchScratch,
     grads: GradBuffer,
     opt: Sgd,
     rng: StdRng,
     step: u64,
+    datapath: Datapath,
+    // --- reusable minibatch gather buffers (allocation-free steady state) ---
+    ids_buf: Vec<u64>,
+    batch_ids: Vec<u64>,
+    actions_buf: Vec<usize>,
+    targets_buf: Vec<f32>,
+    batch_states: Matrix,
+    batch_next: Matrix,
+    out_grads: Matrix,
     /// training statistics
     pub train_steps: u64,
     /// role switches performed
@@ -40,6 +73,8 @@ impl DqnAgent {
         let target = policy.clone();
         let scratch_p = policy.make_scratch();
         let scratch_t = target.make_scratch();
+        let batch_scratch_p = policy.make_batch_scratch(cfg.batch_size);
+        let batch_scratch_t = target.make_batch_scratch(cfg.batch_size);
         let grads = policy.make_grad_buffer();
         Self {
             opt: Sgd::new(cfg.learning_rate),
@@ -48,13 +83,34 @@ impl DqnAgent {
             target,
             scratch_p,
             scratch_t,
+            batch_scratch_p,
+            batch_scratch_t,
             grads,
             rng: StdRng::seed_from_u64(seed ^ 0x5EED),
             step: 0,
+            datapath: Datapath::default(),
+            ids_buf: Vec::new(),
+            batch_ids: Vec::new(),
+            actions_buf: Vec::new(),
+            targets_buf: Vec::new(),
+            batch_states: Matrix::default(),
+            batch_next: Matrix::default(),
+            out_grads: Matrix::default(),
             train_steps: 0,
             role_switches: 0,
             frozen: false,
         }
+    }
+
+    /// The training datapath in use.
+    pub fn datapath(&self) -> Datapath {
+        self.datapath
+    }
+
+    /// Select the training datapath. Switching never changes results —
+    /// both paths are bit-identical — only throughput.
+    pub fn set_datapath(&mut self, dp: Datapath) {
+        self.datapath = dp;
     }
 
     /// Quantize both networks to `bits`-bit fixed point (hardware study,
@@ -112,18 +168,94 @@ impl DqnAgent {
         }
     }
 
-    /// Sample and apply one batch update (Eq. 9–11).
-    fn train_once(&mut self, replay: &mut ReplayMemory) {
-        let ids = replay.sample_ids(self.cfg.batch_size, &mut self.rng);
-        if ids.is_empty() {
+    /// Sample and apply one batch update (Eq. 9–11) through the selected
+    /// [`Datapath`]. Public so the micro-benchmarks can drive a training
+    /// step directly.
+    pub fn train_once(&mut self, replay: &ReplayMemory) {
+        // Both datapaths draw the same ids from the same RNG stream.
+        let (rng, ids) = (&mut self.rng, &mut self.ids_buf);
+        replay.sample_into(self.cfg.batch_size, rng, ids);
+        if self.ids_buf.is_empty() {
             return;
         }
+        match self.datapath {
+            Datapath::Batched => self.train_once_batched(replay),
+            Datapath::PerSample => self.train_once_per_sample(replay),
+        }
+    }
+
+    /// Batched datapath: gather the sampled transitions into flat
+    /// minibatch matrices, then one target [`Mlp::forward_batch`] for the
+    /// bootstrap targets, one policy `forward_batch`, and one
+    /// [`Mlp::backward_batch`] accumulate every gradient of the SGD step.
+    fn train_once_batched(&mut self, replay: &ReplayMemory) {
+        let gamma = self.cfg.gamma;
+        let a_dim = self.cfg.action_dim;
+        let dim = replay.state_dim();
+        // Gather the valid sampled transitions, preserving draw order so
+        // gradient accumulation matches the per-sample reference exactly.
+        self.batch_ids.clear();
+        self.actions_buf.clear();
+        self.targets_buf.clear();
+        for i in 0..self.ids_buf.len() {
+            let id = self.ids_buf[i];
+            let Some(t) = replay.get(id) else { continue };
+            if let (Some(r), Some(_)) = (t.reward, t.next_state) {
+                self.batch_ids.push(id);
+                self.actions_buf.push(t.action);
+                self.targets_buf.push(r);
+            }
+        }
+        let b = self.batch_ids.len();
+        self.batch_states.resize(b, dim);
+        self.batch_next.resize(b, dim);
+        for (i, &id) in self.batch_ids.iter().enumerate() {
+            let t = replay.get(id).expect("gathered id is live");
+            self.batch_states.row_mut(i).copy_from_slice(t.state);
+            self.batch_next
+                .row_mut(i)
+                .copy_from_slice(t.next_state.expect("gathered id is valid"));
+        }
+        // y_j = r_j + γ max_a' MLP_t(s_{j+1}, a'), one batched forward.
+        let q_next = self
+            .target
+            .forward_batch(&self.batch_next, &mut self.batch_scratch_t);
+        for (i, y) in self.targets_buf.iter_mut().enumerate() {
+            let max_next = q_next
+                .row(i)
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max);
+            *y += gamma * max_next;
+        }
+        // Gradient of 0.5 (Q(s,a) - y)^2 wrt the selected actions only:
+        // one batched policy forward, a sparse out-grad matrix, one
+        // batched backward.
+        self.out_grads.resize(b, a_dim);
+        self.out_grads.clear();
+        let q = self
+            .policy
+            .forward_batch(&self.batch_states, &mut self.batch_scratch_p);
+        for i in 0..b {
+            let a = self.actions_buf[i];
+            *self.out_grads.get_mut(i, a) = q.get(i, a) - self.targets_buf[i];
+        }
+        self.policy
+            .backward_batch(&mut self.batch_scratch_p, &self.out_grads, &mut self.grads);
+        self.policy.apply_grads(&mut self.grads, &mut self.opt);
+        self.train_steps += 1;
+    }
+
+    /// Scalar reference datapath: the original per-sample loop, kept as
+    /// the measurement baseline for the controller perf gate.
+    fn train_once_per_sample(&mut self, replay: &ReplayMemory) {
         let gamma = self.cfg.gamma;
         let a_dim = self.cfg.action_dim;
         let mut out_grad = vec![0.0f32; a_dim];
-        for id in ids {
+        for i in 0..self.ids_buf.len() {
+            let id = self.ids_buf[i];
             let Some(t) = replay.get(id) else { continue };
-            let (reward, next) = match (t.reward, t.next_state.as_ref()) {
+            let (reward, next) = match (t.reward, t.next_state) {
                 (Some(r), Some(n)) => (r, n),
                 _ => continue,
             };
@@ -132,11 +264,9 @@ impl DqnAgent {
             let max_next = q_next.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let y = reward + gamma * max_next;
             // Gradient of 0.5 (Q(s,a) - y)^2 wrt the selected action only.
-            let q = self.policy.forward(&t.state, &mut self.scratch_p);
+            let q = self.policy.forward(t.state, &mut self.scratch_p);
             out_grad.fill(0.0);
             out_grad[t.action] = q[t.action] - y;
-            let action = t.action;
-            let _ = action;
             self.policy
                 .backward(&mut self.scratch_p, &out_grad, &mut self.grads);
         }
@@ -150,6 +280,7 @@ impl DqnAgent {
     fn role_switch(&mut self) {
         std::mem::swap(&mut self.policy, &mut self.target);
         std::mem::swap(&mut self.scratch_p, &mut self.scratch_t);
+        std::mem::swap(&mut self.batch_scratch_p, &mut self.batch_scratch_t);
         // Synchronize: the new policy resumes from the freshly-trained
         // weights now serving inference.
         self.policy.copy_params_from(&self.target);
@@ -178,17 +309,18 @@ mod tests {
     }
 
     /// Synthetic environment: action 0 always pays +1, action 1 always −1,
-    /// action 2 (NP) pays 0; state is noise. The agent must learn to pick
-    /// action 0.
-    #[test]
-    fn learns_dominant_action() {
+    /// action 2 (NP) pays 0; state is noise. Drives `steps` iterations of
+    /// select/push/train against a replay and returns the agent.
+    fn run_synthetic(datapath: Datapath, steps: usize, seed: u64) -> DqnAgent {
         let cfg = cfg2();
-        let mut agent = DqnAgent::new(cfg, 7);
-        let mut replay = ReplayMemory::new(cfg.replay_capacity, cfg.window);
+        let mut agent = DqnAgent::new(cfg, seed);
+        agent.set_datapath(datapath);
+        let mut replay = ReplayMemory::new(cfg.replay_capacity, cfg.window, 2);
         let mut rng = StdRng::seed_from_u64(3);
         let mut prev: Option<u64> = None;
-        for _ in 0..1500 {
-            let s = vec![rng.gen::<f32>(), rng.gen::<f32>()];
+        let mut assigned = Vec::new();
+        for _ in 0..steps {
+            let s = [rng.gen::<f32>(), rng.gen::<f32>()];
             if let Some(p) = prev {
                 replay.set_next_state(p, &s);
             }
@@ -198,32 +330,53 @@ mod tests {
                 1 => -1.0,
                 _ => 0.0,
             };
-            // Deliver the reward synchronously via direct assignment: push
-            // as NP (reward 0) is wrong, so push with a fake block and hit
-            // or expire it — simpler: emulate by pushing prefetch and
-            // immediately accessing/hitting for +1 or letting it expire.
+            // Deliver the reward synchronously: +1 rewards hit on the next
+            // access; −1 rewards expire via the window.
             let id = if r == 0.0 {
-                replay.push(s.clone(), a, &[])
+                replay.push(&s, a, &[])
             } else {
                 let block = if r > 0.0 { 0xAAA } else { 0xBBB };
-                replay.push(s.clone(), a, &[block])
+                replay.push(&s, a, &[block])
             };
-            // +1 rewards hit next access; −1 rewards expire via window.
-            let mut assigned = Vec::new();
             replay.on_access(0xAAA, &mut assigned);
             prev = Some(id);
             agent.train_tick(&mut replay);
         }
+        agent
+    }
+
+    #[test]
+    fn learns_dominant_action() {
+        let mut agent = run_synthetic(Datapath::Batched, 1500, 7);
         // Greedy policy should now prefer action 0.
+        let mut rng = StdRng::seed_from_u64(77);
         let mut wins = 0;
         for _ in 0..50 {
-            let s = vec![rng.gen::<f32>(), rng.gen::<f32>()];
+            let s = [rng.gen::<f32>(), rng.gen::<f32>()];
             if agent.greedy_action(&s) == 0 {
                 wins += 1;
             }
         }
         assert!(wins >= 40, "wins={wins}/50");
         assert!(agent.train_steps > 0);
+    }
+
+    #[test]
+    fn datapaths_produce_bit_identical_networks() {
+        // Same seeds, same environment, different datapaths: the batch
+        // kernels preserve accumulation order, so the trained parameters
+        // must agree to the bit.
+        let a = run_synthetic(Datapath::Batched, 600, 11);
+        let b = run_synthetic(Datapath::PerSample, 600, 11);
+        assert_eq!(a.train_steps, b.train_steps);
+        let bits = |m: &Mlp| {
+            m.flat_params()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&a.policy), bits(&b.policy));
+        assert_eq!(bits(&a.target), bits(&b.target));
     }
 
     #[test]
@@ -240,7 +393,7 @@ mod tests {
     fn role_switch_happens_every_it_steps() {
         let cfg = cfg2();
         let mut agent = DqnAgent::new(cfg, 2);
-        let mut replay = ReplayMemory::new(64, 8);
+        let mut replay = ReplayMemory::new(64, 8, 2);
         for _ in 0..100 {
             let _ = agent.select_action(&[0.1, 0.2]);
             agent.train_tick(&mut replay);
@@ -271,8 +424,8 @@ mod tests {
         let cfg = cfg2();
         let mut agent = DqnAgent::new(cfg, 3);
         agent.frozen = true;
-        let mut replay = ReplayMemory::new(64, 8);
-        let id = replay.push(vec![0.0, 0.0], 2, &[]);
+        let mut replay = ReplayMemory::new(64, 8, 2);
+        let id = replay.push(&[0.0, 0.0], 2, &[]);
         replay.set_next_state(id, &[0.1, 0.1]);
         for _ in 0..50 {
             let _ = agent.select_action(&[0.0, 0.0]);
@@ -294,12 +447,15 @@ mod tests {
 
     #[test]
     fn train_tick_with_empty_replay_is_safe() {
-        let cfg = cfg2();
-        let mut agent = DqnAgent::new(cfg, 9);
-        let mut replay = ReplayMemory::new(16, 4);
-        for _ in 0..50 {
-            let _ = agent.select_action(&[0.0, 0.0]);
-            agent.train_tick(&mut replay);
+        for dp in [Datapath::Batched, Datapath::PerSample] {
+            let cfg = cfg2();
+            let mut agent = DqnAgent::new(cfg, 9);
+            agent.set_datapath(dp);
+            let mut replay = ReplayMemory::new(16, 4, 2);
+            for _ in 0..50 {
+                let _ = agent.select_action(&[0.0, 0.0]);
+                agent.train_tick(&mut replay);
+            }
         }
     }
 }

@@ -3,5 +3,5 @@
 pub mod dqn;
 pub mod tabular;
 
-pub use dqn::DqnAgent;
+pub use dqn::{Datapath, DqnAgent};
 pub use tabular::TabularAgent;

@@ -9,12 +9,12 @@
 //! address, select an action ε-greedily, issue the chosen suggestion (or
 //! nothing for NP), and run the online-training tick.
 
-use crate::agent::dqn::DqnAgent;
+use crate::agent::dqn::{Datapath, DqnAgent};
 use crate::agent::tabular::TabularAgent;
 use crate::config::ResembleConfig;
 use crate::preprocess::{mlp_state, tabular_state};
 use crate::replay::ReplayMemory;
-use resemble_prefetch::{PredictionKind, Prefetcher, PrefetcherBank};
+use resemble_prefetch::{CacheEvent, PredictionKind, Prefetcher, PrefetcherBank};
 use resemble_trace::record::block_of;
 use resemble_trace::MemAccess;
 
@@ -97,6 +97,7 @@ pub struct ResembleMlp {
     replay: ReplayMemory,
     cfg: ResembleConfig,
     seed: u64,
+    datapath: Datapath,
     prev_id: Option<u64>,
     obs_buf: Vec<Option<u64>>,
     state_buf: Vec<f32>,
@@ -115,11 +116,12 @@ impl ResembleMlp {
         Self {
             kinds,
             agent: DqnAgent::new(cfg, seed),
-            replay: ReplayMemory::new(cfg.replay_capacity, cfg.window),
+            replay: ReplayMemory::new(cfg.replay_capacity, cfg.window, cfg.input_dim()),
             stats: EnsembleStats::new(cfg.action_dim, 1000),
             cfg,
             seed,
             bank,
+            datapath: Datapath::default(),
             prev_id: None,
             obs_buf: Vec::new(),
             state_buf: Vec::new(),
@@ -161,11 +163,28 @@ impl ResembleMlp {
     pub fn config(&self) -> &ResembleConfig {
         &self.cfg
     }
+
+    /// Select the DQN training [`Datapath`] (batched GEMM vs the scalar
+    /// reference). Results are bit-identical either way; the setting
+    /// survives [`Prefetcher::reset`] so perf comparisons can reset
+    /// between reps without losing it.
+    pub fn set_datapath(&mut self, dp: Datapath) {
+        self.datapath = dp;
+        self.agent.set_datapath(dp);
+    }
+
+    /// The training datapath in use.
+    pub fn datapath(&self) -> Datapath {
+        self.datapath
+    }
 }
 
 impl Prefetcher for ResembleMlp {
     fn name(&self) -> &'static str {
-        "resemble"
+        match self.datapath {
+            Datapath::Batched => "resemble",
+            Datapath::PerSample => "resemble_ref",
+        }
     }
 
     fn kind(&self) -> PredictionKind {
@@ -206,10 +225,7 @@ impl Prefetcher for ResembleMlp {
             out.extend_from_slice(sugg);
             self.blocks_buf.extend(sugg.iter().map(|&p| block_of(p)));
         }
-        self.prev_id = Some(
-            self.replay
-                .push(self.state_buf.clone(), action, &self.blocks_buf),
-        );
+        self.prev_id = Some(self.replay.push(&self.state_buf, action, &self.blocks_buf));
         self.stats.record(action, reward_sum);
 
         // Online training tick (Alg 1 lines 31–39).
@@ -228,6 +244,13 @@ impl Prefetcher for ResembleMlp {
         self.bank.on_evict(addr, unused_prefetch);
     }
 
+    fn on_cache_events(&mut self, events: &[CacheEvent]) {
+        // One virtual dispatch per bank member per drained batch, instead
+        // of the default per-event fan-out through the hooks above. Each
+        // member still sees the events in occurrence order.
+        self.bank.on_cache_events(events);
+    }
+
     fn budget_bytes(&self) -> usize {
         // Controller storage (Table VIII: two 16-bit MLPs on chip) on top
         // of the input prefetchers' own budgets.
@@ -237,7 +260,12 @@ impl Prefetcher for ResembleMlp {
     fn reset(&mut self) {
         self.bank.reset();
         self.agent = DqnAgent::new(self.cfg, self.seed);
-        self.replay = ReplayMemory::new(self.cfg.replay_capacity, self.cfg.window);
+        self.agent.set_datapath(self.datapath);
+        self.replay = ReplayMemory::new(
+            self.cfg.replay_capacity,
+            self.cfg.window,
+            self.cfg.input_dim(),
+        );
         self.stats = EnsembleStats::new(self.cfg.action_dim, 1000);
         self.prev_id = None;
     }
@@ -346,6 +374,12 @@ impl Prefetcher for ResembleTabular {
 
     fn on_evict(&mut self, addr: u64, unused_prefetch: bool) {
         self.bank.on_evict(addr, unused_prefetch);
+    }
+
+    fn on_cache_events(&mut self, events: &[CacheEvent]) {
+        // One virtual dispatch per bank member per drained batch (see
+        // `ResembleMlp::on_cache_events`).
+        self.bank.on_cache_events(events);
     }
 
     fn budget_bytes(&self) -> usize {

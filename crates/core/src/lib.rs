@@ -38,9 +38,9 @@ pub mod overhead;
 pub mod preprocess;
 pub mod replay;
 
-pub use agent::{DqnAgent, TabularAgent};
+pub use agent::{Datapath, DqnAgent, TabularAgent};
 pub use baselines::{RoundRobinSelect, SbpE, StaticSelect};
 pub use config::ResembleConfig;
 pub use ensemble::{EnsembleStats, ResembleMlp, ResembleTabular};
 pub use oracle::{oracle_selection, OracleReport};
-pub use replay::{ReplayMemory, Transition};
+pub use replay::{ReplayMemory, TransitionView};

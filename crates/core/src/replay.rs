@@ -13,70 +13,117 @@
 //! Only transitions whose reward *and* next state are known ("valid") may
 //! be sampled for training — invalid transitions stay pended. This is the
 //! paper's answer to the lag of cache feedback.
+//!
+//! **Storage layout.** States and next-states live in two flat `f32` ring
+//! arrays (`capacity × state_dim`), not per-transition `Vec`s: a push is a
+//! `copy_from_slice` into the ring (no allocation per access), and the DQN
+//! minibatch gather reads contiguous rows straight out of the arrays. The
+//! sampleable set is maintained incrementally (swap-remove indexed by an
+//! `FxHashMap`) so drawing a batch is O(batch), not an O(live) prune per
+//! training step.
 
 use resemble_trace::util::FxHashMap;
 use std::collections::VecDeque;
 
-/// One stored transition.
-#[derive(Debug, Clone)]
-pub struct Transition {
+/// Per-slot transition bookkeeping; the state vectors live in the flat
+/// rings owned by [`ReplayMemory`].
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    /// Monotone id of the occupant; doubles as the access timestamp.
+    id: u64,
+    occupied: bool,
+    /// Action index a_t.
+    action: usize,
+    /// Block numbers of the issued prefetches (allocation reused across
+    /// ring laps; empty for NP / padding).
+    blocks: Vec<u64>,
+    /// Hits observed so far among `blocks`.
+    hits: u32,
+    /// Reward r_t once finalized.
+    reward: Option<f32>,
+    /// `true` once s_{t+1} has been written to the next-state ring.
+    has_next: bool,
+}
+
+/// Borrowed view of one stored transition: state slices point into the
+/// replay's flat rings.
+#[derive(Debug, Clone, Copy)]
+pub struct TransitionView<'a> {
     /// Monotone id; doubles as the access timestamp (one transition per
     /// access).
     pub id: u64,
     /// Preprocessed state vector s_t.
-    pub state: Vec<f32>,
+    pub state: &'a [f32],
     /// Action index a_t.
     pub action: usize,
     /// Block numbers of the issued prefetches (empty for NP / padding).
-    pub prefetch_blocks: Vec<u64>,
+    pub prefetch_blocks: &'a [u64],
     /// Hits observed so far among `prefetch_blocks`.
     pub hits: u32,
     /// Reward r_t once finalized.
     pub reward: Option<f32>,
     /// Next state s_{t+1} once known.
-    pub next_state: Option<Vec<f32>>,
+    pub next_state: Option<&'a [f32]>,
 }
 
-impl Transition {
+impl TransitionView<'_> {
     /// Sampleable: reward finalized and next state filled in.
     pub fn is_valid(&self) -> bool {
         self.reward.is_some() && self.next_state.is_some()
     }
 }
 
-/// Ring-buffer replay memory with pending-reward tracking.
+/// Ring-buffer replay memory with pending-reward tracking and flat state
+/// storage.
 #[derive(Debug)]
 pub struct ReplayMemory {
-    ring: Vec<Option<Transition>>,
     capacity: usize,
+    state_dim: usize,
     next_id: u64,
     window: u64,
+    /// flat `capacity × state_dim` ring of states s_t
+    states: Vec<f32>,
+    /// flat `capacity × state_dim` ring of next states s_{t+1}
+    next_states: Vec<f32>,
+    slots: Vec<Slot>,
     /// pending ids in order, awaiting reward finalization
     pending: VecDeque<u64>,
     /// block → pending transition ids with that block outstanding
     by_block: FxHashMap<u64, Vec<u64>>,
-    /// ids believed valid (lazily pruned)
+    /// currently-valid (sampleable) ids, maintained incrementally
     valid_ids: Vec<u64>,
+    /// id → index into `valid_ids`, for O(1) swap-removal
+    valid_pos: FxHashMap<u64, usize>,
 }
 
 impl ReplayMemory {
-    /// Replay of `capacity` transitions with reward window `window`.
-    pub fn new(capacity: usize, window: usize) -> Self {
-        assert!(capacity > 0 && window > 0);
+    /// Replay of `capacity` transitions of `state_dim`-float states with
+    /// reward window `window`.
+    pub fn new(capacity: usize, window: usize, state_dim: usize) -> Self {
+        assert!(capacity > 0 && window > 0 && state_dim > 0);
         Self {
-            ring: (0..capacity).map(|_| None).collect(),
             capacity,
+            state_dim,
             next_id: 0,
             window: window as u64,
+            states: vec![0.0; capacity * state_dim],
+            next_states: vec![0.0; capacity * state_dim],
+            slots: vec![Slot::default(); capacity],
             pending: VecDeque::new(),
             by_block: FxHashMap::default(),
             valid_ids: Vec::new(),
+            valid_pos: FxHashMap::default(),
         }
+    }
+
+    /// State vector width every pushed transition must match.
+    pub fn state_dim(&self) -> usize {
+        self.state_dim
     }
 
     /// Number of transitions currently stored.
     pub fn len(&self) -> usize {
-        self.ring.iter().filter(|t| t.is_some()).count()
+        self.slots.iter().filter(|s| s.occupied).count()
     }
 
     /// `true` when nothing is stored.
@@ -84,45 +131,65 @@ impl ReplayMemory {
         self.next_id == 0
     }
 
-    /// Number of currently-known valid (sampleable) transitions; prunes
-    /// stale bookkeeping as a side effect.
-    pub fn valid_len(&mut self) -> usize {
-        let ring = &self.ring;
-        let cap = self.capacity;
-        self.valid_ids.retain(|&id| {
-            ring[(id % cap as u64) as usize]
-                .as_ref()
-                .map(|t| t.id == id && t.is_valid())
-                .unwrap_or(false)
-        });
+    /// Number of currently-valid (sampleable) transitions.
+    pub fn valid_len(&self) -> usize {
         self.valid_ids.len()
     }
 
     #[inline]
-    fn slot(&self, id: u64) -> usize {
+    fn slot_of(&self, id: u64) -> usize {
         (id % self.capacity as u64) as usize
+    }
+
+    /// Mark `id` sampleable.
+    fn mark_valid(&mut self, id: u64) {
+        debug_assert!(!self.valid_pos.contains_key(&id));
+        self.valid_pos.insert(id, self.valid_ids.len());
+        self.valid_ids.push(id);
+    }
+
+    /// Drop `id` from the sampleable set (no-op when absent): O(1)
+    /// swap-remove keeping `valid_pos` consistent.
+    fn unmark_valid(&mut self, id: u64) {
+        if let Some(pos) = self.valid_pos.remove(&id) {
+            let last = self.valid_ids.len() - 1;
+            self.valid_ids.swap_remove(pos);
+            if pos <= last {
+                if let Some(&moved) = self.valid_ids.get(pos) {
+                    self.valid_pos.insert(moved, pos);
+                }
+            }
+        }
     }
 
     /// Push a new transition; returns its id. An empty `prefetch_blocks`
     /// means NP (or a padded selection): the reward is 0 immediately.
-    pub fn push(&mut self, state: Vec<f32>, action: usize, prefetch_blocks: &[u64]) -> u64 {
+    pub fn push(&mut self, state: &[f32], action: usize, prefetch_blocks: &[u64]) -> u64 {
+        assert_eq!(state.len(), self.state_dim, "state width mismatch");
         let id = self.next_id;
         self.next_id += 1;
-        let reward = if prefetch_blocks.is_empty() {
+        let slot = self.slot_of(id);
+        // Ring lap: the previous occupant (if any) leaves the sampleable
+        // set before its storage is reused. Stale `pending`/`by_block`
+        // references are filtered by the id check at their use sites.
+        if self.slots[slot].occupied {
+            let old = self.slots[slot].id;
+            self.unmark_valid(old);
+        }
+        self.states[slot * self.state_dim..(slot + 1) * self.state_dim].copy_from_slice(state);
+        let s = &mut self.slots[slot];
+        s.id = id;
+        s.occupied = true;
+        s.action = action;
+        s.blocks.clear();
+        s.blocks.extend_from_slice(prefetch_blocks);
+        s.hits = 0;
+        s.reward = if prefetch_blocks.is_empty() {
             Some(0.0)
         } else {
             None
         };
-        let slot = self.slot(id);
-        self.ring[slot] = Some(Transition {
-            id,
-            state,
-            action,
-            prefetch_blocks: prefetch_blocks.to_vec(),
-            hits: 0,
-            reward,
-            next_state: None,
-        });
+        s.has_next = false;
         if !prefetch_blocks.is_empty() {
             self.pending.push_back(id);
             for &b in prefetch_blocks {
@@ -135,13 +202,16 @@ impl ReplayMemory {
     /// Fill in s_{t+1} for transition `id` (called at t+1 with the fresh
     /// state).
     pub fn set_next_state(&mut self, id: u64, next_state: &[f32]) {
-        let slot = self.slot(id);
-        if let Some(t) = self.ring[slot].as_mut() {
-            if t.id == id {
-                t.next_state = Some(next_state.to_vec());
-                if t.is_valid() {
-                    self.valid_ids.push(id);
-                }
+        assert_eq!(next_state.len(), self.state_dim, "state width mismatch");
+        let slot = self.slot_of(id);
+        if self.slots[slot].occupied && self.slots[slot].id == id {
+            self.next_states[slot * self.state_dim..(slot + 1) * self.state_dim]
+                .copy_from_slice(next_state);
+            let s = &mut self.slots[slot];
+            let newly_valid = !s.has_next && s.reward.is_some();
+            s.has_next = true;
+            if newly_valid {
+                self.mark_valid(id);
             }
         }
     }
@@ -156,18 +226,16 @@ impl ReplayMemory {
         // Hits: credit each pending transition that prefetched this block.
         if let Some(ids) = self.by_block.remove(&block) {
             for id in ids {
-                let slot = self.slot(id);
-                if let Some(t) = self.ring[slot].as_mut() {
-                    if t.id == id && t.reward.is_none() {
-                        t.hits += 1;
-                        assigned.push((id, 1.0));
-                        // All blocks hit: finalize early.
-                        if t.hits as usize >= t.prefetch_blocks.len() {
-                            let r = t.hits as f32;
-                            t.reward = Some(r);
-                            if t.is_valid() {
-                                self.valid_ids.push(id);
-                            }
+                let slot = self.slot_of(id);
+                let s = &mut self.slots[slot];
+                if s.occupied && s.id == id && s.reward.is_none() {
+                    s.hits += 1;
+                    assigned.push((id, 1.0));
+                    // All blocks hit: finalize early.
+                    if s.hits as usize >= s.blocks.len() {
+                        s.reward = Some(s.hits as f32);
+                        if s.has_next {
+                            self.mark_valid(id);
                         }
                     }
                 }
@@ -180,23 +248,20 @@ impl ReplayMemory {
                 break;
             }
             self.pending.pop_front();
-            let slot = self.slot(id);
-            let mut leftover: Vec<u64> = Vec::new();
-            if let Some(t) = self.ring[slot].as_mut() {
-                if t.id == id && t.reward.is_none() {
-                    let r = if t.hits > 0 { t.hits as f32 } else { -1.0 };
-                    t.reward = Some(r);
-                    if t.hits == 0 {
-                        assigned.push((id, -1.0));
-                    }
-                    if t.is_valid() {
-                        self.valid_ids.push(id);
-                    }
-                    leftover.clone_from(&t.prefetch_blocks);
-                }
+            let slot = self.slot_of(id);
+            let s = &mut self.slots[slot];
+            if !(s.occupied && s.id == id && s.reward.is_none()) {
+                continue;
             }
-            // Drop stale by_block references.
-            for b in leftover {
+            let r = if s.hits > 0 { s.hits as f32 } else { -1.0 };
+            s.reward = Some(r);
+            if s.hits == 0 {
+                assigned.push((id, -1.0));
+            }
+            let finalize_valid = s.has_next;
+            // Drop stale by_block references (borrow of `s` ends here).
+            let blocks = std::mem::take(&mut self.slots[slot].blocks);
+            for &b in &blocks {
                 if let Some(ids) = self.by_block.get_mut(&b) {
                     ids.retain(|&x| x != id);
                     if ids.is_empty() {
@@ -204,29 +269,54 @@ impl ReplayMemory {
                     }
                 }
             }
-        }
-        // Bound bookkeeping growth.
-        if self.valid_ids.len() > 8 * self.capacity {
-            self.valid_len();
+            self.slots[slot].blocks = blocks;
+            if finalize_valid {
+                self.mark_valid(id);
+            }
         }
     }
 
-    /// Lazy sampling: draw up to `batch` ids uniformly from the valid
-    /// transitions. Returns fewer when fewer are valid.
-    pub fn sample_ids(&mut self, batch: usize, rng: &mut impl rand::Rng) -> Vec<u64> {
-        let n = self.valid_len();
+    /// Lazy sampling: draw up to `batch` ids uniformly (with replacement)
+    /// from the valid transitions into `out`, reusing its allocation.
+    /// Leaves fewer than `batch` when fewer are valid.
+    pub fn sample_into(&self, batch: usize, rng: &mut impl rand::Rng, out: &mut Vec<u64>) {
+        out.clear();
+        let n = self.valid_ids.len();
         if n == 0 {
-            return Vec::new();
+            return;
         }
         let take = batch.min(n);
-        (0..take)
-            .map(|_| self.valid_ids[rng.gen_range(0..n)])
-            .collect()
+        out.extend((0..take).map(|_| self.valid_ids[rng.gen_range(0..n)]));
     }
 
-    /// Fetch a transition by id (None if overwritten).
-    pub fn get(&self, id: u64) -> Option<&Transition> {
-        self.ring[self.slot(id)].as_ref().filter(|t| t.id == id)
+    /// Allocating convenience wrapper around [`ReplayMemory::sample_into`].
+    pub fn sample_ids(&self, batch: usize, rng: &mut impl rand::Rng) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.sample_into(batch, rng, &mut out);
+        out
+    }
+
+    /// Fetch a transition view by id (None if overwritten).
+    pub fn get(&self, id: u64) -> Option<TransitionView<'_>> {
+        let slot = self.slot_of(id);
+        let s = &self.slots[slot];
+        if !(s.occupied && s.id == id) {
+            return None;
+        }
+        let range = slot * self.state_dim..(slot + 1) * self.state_dim;
+        Some(TransitionView {
+            id,
+            state: &self.states[range.clone()],
+            action: s.action,
+            prefetch_blocks: &s.blocks,
+            hits: s.hits,
+            reward: s.reward,
+            next_state: if s.has_next {
+                Some(&self.next_states[range])
+            } else {
+                None
+            },
+        })
     }
 }
 
@@ -242,8 +332,8 @@ mod tests {
 
     #[test]
     fn np_transitions_reward_zero_immediately() {
-        let mut m = ReplayMemory::new(16, 4);
-        let id = m.push(st(0.0), 4, &[]);
+        let mut m = ReplayMemory::new(16, 4, 4);
+        let id = m.push(&st(0.0), 4, &[]);
         assert_eq!(m.get(id).unwrap().reward, Some(0.0));
         assert!(!m.get(id).unwrap().is_valid(), "needs next state too");
         m.set_next_state(id, &st(1.0));
@@ -253,11 +343,11 @@ mod tests {
 
     #[test]
     fn single_block_hit_finalizes_plus_one() {
-        let mut m = ReplayMemory::new(16, 4);
-        let id = m.push(st(0.0), 0, &[0x99]);
+        let mut m = ReplayMemory::new(16, 4, 4);
+        let id = m.push(&st(0.0), 0, &[0x99]);
         m.set_next_state(id, &st(1.0));
         let mut assigned = Vec::new();
-        m.push(st(1.0), 4, &[]); // advance time
+        m.push(&st(1.0), 4, &[]); // advance time
         m.on_access(0x99, &mut assigned);
         assert_eq!(assigned, vec![(id, 1.0)]);
         assert_eq!(m.get(id).unwrap().reward, Some(1.0));
@@ -265,8 +355,8 @@ mod tests {
 
     #[test]
     fn multi_block_hits_accumulate() {
-        let mut m = ReplayMemory::new(64, 8);
-        let id = m.push(st(0.0), 1, &[0x10, 0x11, 0x12]);
+        let mut m = ReplayMemory::new(64, 8, 4);
+        let id = m.push(&st(0.0), 1, &[0x10, 0x11, 0x12]);
         m.set_next_state(id, &st(0.5));
         let mut a = Vec::new();
         m.on_access(0x10, &mut a);
@@ -286,13 +376,13 @@ mod tests {
 
     #[test]
     fn partial_hits_finalize_at_expiry_with_hit_count() {
-        let mut m = ReplayMemory::new(64, 3);
-        let id = m.push(st(0.0), 1, &[0x10, 0x11]);
+        let mut m = ReplayMemory::new(64, 3, 4);
+        let id = m.push(&st(0.0), 1, &[0x10, 0x11]);
         m.set_next_state(id, &st(0.5));
         let mut a = Vec::new();
         m.on_access(0x10, &mut a); // one of two hits
         for i in 0..5 {
-            m.push(st(i as f32), 4, &[]);
+            m.push(&st(i as f32), 4, &[]);
             m.on_access(0x1000 + i, &mut a);
         }
         assert_eq!(m.get(id).unwrap().reward, Some(1.0));
@@ -300,12 +390,12 @@ mod tests {
 
     #[test]
     fn expiry_without_hits_rewards_minus_one() {
-        let mut m = ReplayMemory::new(64, 4);
-        let id = m.push(st(0.0), 0, &[0x99]);
+        let mut m = ReplayMemory::new(64, 4, 4);
+        let id = m.push(&st(0.0), 0, &[0x99]);
         m.set_next_state(id, &st(1.0));
         let mut assigned = Vec::new();
         for i in 0..5 {
-            m.push(st(i as f32), 4, &[]);
+            m.push(&st(i as f32), 4, &[]);
             m.on_access(0x1 + i, &mut assigned);
         }
         assert_eq!(m.get(id).unwrap().reward, Some(-1.0));
@@ -313,11 +403,11 @@ mod tests {
 
     #[test]
     fn hit_after_expiry_does_not_change_reward() {
-        let mut m = ReplayMemory::new(64, 2);
-        let id = m.push(st(0.0), 0, &[0x42]);
+        let mut m = ReplayMemory::new(64, 2, 4);
+        let id = m.push(&st(0.0), 0, &[0x42]);
         let mut a = Vec::new();
         for i in 0..4 {
-            m.push(st(i as f32), 4, &[]);
+            m.push(&st(i as f32), 4, &[]);
             m.on_access(0x1000 + i, &mut a);
         }
         assert_eq!(m.get(id).unwrap().reward, Some(-1.0));
@@ -327,11 +417,11 @@ mod tests {
 
     #[test]
     fn only_valid_transitions_sampled() {
-        let mut m = ReplayMemory::new(64, 8);
+        let mut m = ReplayMemory::new(64, 8, 4);
         let mut rng = StdRng::seed_from_u64(1);
-        let v = m.push(st(0.0), 4, &[]);
+        let v = m.push(&st(0.0), 4, &[]);
         m.set_next_state(v, &st(0.5));
-        let p = m.push(st(1.0), 0, &[0x7]);
+        let p = m.push(&st(1.0), 0, &[0x7]);
         m.set_next_state(p, &st(1.5));
         let ids = m.sample_ids(10, &mut rng);
         assert!(!ids.is_empty());
@@ -343,11 +433,11 @@ mod tests {
 
     #[test]
     fn ring_overwrite_invalidates_old_ids() {
-        let mut m = ReplayMemory::new(4, 2);
-        let first = m.push(st(0.0), 4, &[]);
+        let mut m = ReplayMemory::new(4, 2, 4);
+        let first = m.push(&st(0.0), 4, &[]);
         m.set_next_state(first, &st(0.1));
         for i in 0..8 {
-            let id = m.push(st(i as f32), 4, &[]);
+            let id = m.push(&st(i as f32), 4, &[]);
             m.set_next_state(id, &st(0.2));
         }
         assert!(m.get(first).is_none(), "overwritten");
@@ -359,9 +449,9 @@ mod tests {
 
     #[test]
     fn multiple_pending_same_block_all_credited() {
-        let mut m = ReplayMemory::new(32, 8);
-        let a = m.push(st(0.0), 0, &[0x5]);
-        let b = m.push(st(1.0), 1, &[0x5]);
+        let mut m = ReplayMemory::new(32, 8, 4);
+        let a = m.push(&st(0.0), 0, &[0x5]);
+        let b = m.push(&st(1.0), 1, &[0x5]);
         m.set_next_state(a, &st(0.1));
         m.set_next_state(b, &st(0.2));
         let mut assigned = Vec::new();
@@ -373,10 +463,67 @@ mod tests {
 
     #[test]
     fn len_and_is_empty() {
-        let mut m = ReplayMemory::new(8, 4);
+        let mut m = ReplayMemory::new(8, 4, 4);
         assert!(m.is_empty());
-        m.push(st(0.0), 0, &[]);
+        m.push(&st(0.0), 0, &[]);
         assert_eq!(m.len(), 1);
         assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn flat_ring_state_roundtrip_and_views() {
+        let mut m = ReplayMemory::new(8, 4, 3);
+        assert_eq!(m.state_dim(), 3);
+        let id = m.push(&[0.1, 0.2, 0.3], 2, &[0x9]);
+        let t = m.get(id).unwrap();
+        assert_eq!(t.state, &[0.1, 0.2, 0.3]);
+        assert_eq!(t.action, 2);
+        assert_eq!(t.prefetch_blocks, &[0x9]);
+        assert!(t.next_state.is_none());
+        m.set_next_state(id, &[0.4, 0.5, 0.6]);
+        assert_eq!(m.get(id).unwrap().next_state, Some(&[0.4, 0.5, 0.6][..]));
+    }
+
+    #[test]
+    fn sample_into_reuses_buffer_without_allocation_growth() {
+        let mut m = ReplayMemory::new(64, 4, 2);
+        for i in 0..32 {
+            let id = m.push(&[i as f32, 0.0], 2, &[]);
+            m.set_next_state(id, &[0.0, 0.0]);
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = Vec::new();
+        m.sample_into(16, &mut rng, &mut buf);
+        assert_eq!(buf.len(), 16);
+        let cap = buf.capacity();
+        for _ in 0..100 {
+            m.sample_into(16, &mut rng, &mut buf);
+        }
+        assert_eq!(buf.capacity(), cap, "steady-state sampling must not grow");
+        assert!(buf.iter().all(|&id| m.get(id).unwrap().is_valid()));
+    }
+
+    #[test]
+    fn valid_set_stays_consistent_under_ring_churn() {
+        let mut m = ReplayMemory::new(8, 3, 2);
+        let mut assigned = Vec::new();
+        for i in 0..200u64 {
+            let blocks = if i % 3 == 0 { vec![i % 16] } else { vec![] };
+            let id = m.push(&[i as f32, 1.0], (i % 3) as usize, &blocks);
+            m.set_next_state(id, &[0.5, 0.5]);
+            m.on_access(i % 16, &mut assigned);
+            assert!(m.valid_len() <= 8);
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        for id in m.sample_ids(64, &mut rng) {
+            assert!(m.get(id).unwrap().is_valid());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "state width mismatch")]
+    fn push_checks_state_width() {
+        let mut m = ReplayMemory::new(8, 4, 4);
+        let _ = m.push(&[0.0; 3], 0, &[]);
     }
 }

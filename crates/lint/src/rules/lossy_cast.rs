@@ -1,16 +1,19 @@
-//! `lossy-cast`: narrowing `as` casts in the simulator hot files.
+//! `lossy-cast`: narrowing `as` casts in the simulator hot files and the
+//! batched controller kernels.
 //!
 //! Addresses and cycle counts live in `u64`. An `as usize` / `as u32`
 //! silently truncates on overflow — exactly the class of bug that turns
 //! a trace above 4 GiB into quietly wrong set indices. The hot path uses
 //! checked helpers in `crates/sim/src/convert.rs` (`to_index`, `to_u32`,
 //! `to_line_addr`, `to_cycle`, and the documented-truncation `low32`);
-//! that module is the one sanctioned cast boundary and is exempt.
+//! that module is the one sanctioned cast boundary and is exempt. The nn
+//! batch kernels (`NN_KERNEL_FILES`) compute matrix and batch offsets
+//! from the same class of integers, so they are in scope as well.
 //!
 //! Widening casts (`as u64`, `as u128`, `as f64`) are lossless for the
 //! types this codebase uses and are not flagged. Test regions are exempt.
 
-use super::{CONVERT_FILE, HOT_FILES};
+use super::{CONVERT_FILE, HOT_FILES, NN_KERNEL_FILES};
 use crate::diag::Diagnostic;
 use crate::scanner::FileCtx;
 
@@ -23,7 +26,9 @@ const NARROW: &[&str] = &[
 
 /// Run the rule over one file.
 pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
-    if !HOT_FILES.contains(&ctx.path.as_str()) || ctx.path == CONVERT_FILE {
+    let in_scope =
+        HOT_FILES.contains(&ctx.path.as_str()) || NN_KERNEL_FILES.contains(&ctx.path.as_str());
+    if !in_scope || ctx.path == CONVERT_FILE {
         return;
     }
     let toks = &ctx.tokens;
@@ -68,6 +73,17 @@ mod tests {
         assert_eq!(d.len(), 2, "{d:?}");
         assert!(d[0].message.contains("as usize"));
         assert!(d[1].message.contains("as u32"));
+    }
+
+    #[test]
+    fn positive_nn_kernel_files_in_scope() {
+        let src = "fn f(off: u64) -> usize { off as usize }\n";
+        for path in super::NN_KERNEL_FILES {
+            let d = run(path, src);
+            assert_eq!(d.len(), 1, "{path}: {d:?}");
+        }
+        // Other nn files stay out of scope.
+        assert!(run("crates/nn/src/optim.rs", src).is_empty());
     }
 
     #[test]

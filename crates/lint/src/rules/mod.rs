@@ -30,6 +30,17 @@ pub const HOT_FILES: &[&str] = &[
     "crates/sim/src/dram.rs",
 ];
 
+/// The batched controller kernels: lossy casts here corrupt matrix
+/// indices and batch offsets just as silently as on the simulator hot
+/// path, so `lossy-cast` covers them too. Kept separate from
+/// [`HOT_FILES`] because `panic-in-hot-path` does *not* apply — shape
+/// assertions in the kernels are the contract, not a liability.
+pub const NN_KERNEL_FILES: &[&str] = &[
+    "crates/nn/src/matrix.rs",
+    "crates/nn/src/mlp.rs",
+    "crates/nn/src/activation.rs",
+];
+
 /// The sanctioned narrowing-conversion boundary: lossy casts are migrated
 /// to the checked helpers defined here, so the module itself is exempt.
 pub const CONVERT_FILE: &str = "crates/sim/src/convert.rs";
@@ -60,7 +71,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "lossy-cast",
-        "narrowing `as` casts on the hot path; use the checked helpers in crates/sim/src/convert.rs",
+        "narrowing `as` casts on the hot path or in the nn batch kernels; use the checked helpers in crates/sim/src/convert.rs",
     ),
     (
         "float-eq",

@@ -1,5 +1,6 @@
 //! Activation functions with their derivatives.
 
+use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// Supported activation functions.
@@ -41,6 +42,35 @@ impl Activation {
         }
     }
 
+    /// Apply the activation to a whole minibatch of layer outputs (one
+    /// row per sample) in a single pass over the flat row-major storage.
+    ///
+    /// Activations are elementwise, so the flat sweep computes exactly
+    /// the same unary operation per element as per-row [`Activation::apply`]
+    /// calls — bit-identical, but one loop instead of `B`.
+    pub fn apply_batch(self, xs: &mut Matrix) {
+        self.apply(xs.as_mut_slice());
+    }
+
+    /// Batched in-place chain-rule step: `deltas[i] *= f'(ys[i])`, the
+    /// hidden-layer masking of minibatch backprop.
+    ///
+    /// Per element this performs exactly the multiply the per-sample path
+    /// performs (`d *= derivative_from_output(y)`), so results are
+    /// bit-identical — including `d * 0.0 = ±0.0` keeping `d`'s sign for
+    /// masked ReLU lanes. Identity skips the `* 1.0` sweep, which is
+    /// exact for every value f32 arithmetic can produce. The per-variant
+    /// helpers give the optimizer disjoint slices, so the sweeps
+    /// vectorize.
+    pub fn mul_derivative_batch(self, deltas: &mut [f32], ys: &[f32]) {
+        match self {
+            Activation::Identity => {}
+            Activation::Relu => relu_mask(deltas, ys),
+            Activation::Tanh => tanh_mask(deltas, ys),
+            Activation::Sigmoid => sigmoid_mask(deltas, ys),
+        }
+    }
+
     /// Derivative evaluated from the *activated* output `y = f(x)`.
     ///
     /// All supported activations admit this form (ReLU's derivative at the
@@ -60,6 +90,31 @@ impl Activation {
             Activation::Tanh => 1.0 - y * y,
             Activation::Sigmoid => y * (1.0 - y),
         }
+    }
+}
+
+// `#[inline(never)]` keeps the noalias parameter guarantees through
+// codegen (callers reach both buffers through one scratch struct, where
+// the optimizer cannot prove disjointness); the select-then-multiply
+// form compiles branchless.
+#[inline(never)]
+fn relu_mask(deltas: &mut [f32], ys: &[f32]) {
+    for (d, &y) in deltas.iter_mut().zip(ys) {
+        *d *= if y > 0.0 { 1.0 } else { 0.0 };
+    }
+}
+
+#[inline(never)]
+fn tanh_mask(deltas: &mut [f32], ys: &[f32]) {
+    for (d, &y) in deltas.iter_mut().zip(ys) {
+        *d *= 1.0 - y * y;
+    }
+}
+
+#[inline(never)]
+fn sigmoid_mask(deltas: &mut [f32], ys: &[f32]) {
+    for (d, &y) in deltas.iter_mut().zip(ys) {
+        *d *= y * (1.0 - y);
     }
 }
 
@@ -103,6 +158,47 @@ mod tests {
                     (fd - an).abs() < 1e-2,
                     "{act:?} at {x}: fd={fd} analytic={an}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_batch_matches_per_row_bitwise() {
+        for act in [
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Identity,
+        ] {
+            let mut batch = Matrix::from_fn(3, 4, |r, c| (r as f32 - 1.0) * (c as f32 + 0.3));
+            let rows: Vec<Vec<f32>> = (0..3).map(|r| batch.row(r).to_vec()).collect();
+            act.apply_batch(&mut batch);
+            for (r, mut row) in rows.into_iter().enumerate() {
+                act.apply(&mut row);
+                for (a, e) in batch.row(r).iter().zip(&row) {
+                    assert_eq!(a.to_bits(), e.to_bits(), "{act:?} row {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_derivative_batch_matches_scalar_bitwise() {
+        for act in [
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Identity,
+        ] {
+            let ys: Vec<f32> = vec![-2.0, -0.5, -0.0, 0.0, 0.3, 1.7, 42.0];
+            let mut batched: Vec<f32> = vec![-3.0, -1.0, -0.0, 0.0, 0.5, 2.0, -7.5];
+            let mut scalar = batched.clone();
+            act.mul_derivative_batch(&mut batched, &ys);
+            for (d, &y) in scalar.iter_mut().zip(&ys) {
+                *d *= act.derivative_from_output(y);
+            }
+            for (i, (b, s)) in batched.iter().zip(&scalar).enumerate() {
+                assert_eq!(b.to_bits(), s.to_bits(), "{act:?} elem {i}");
             }
         }
     }

@@ -27,6 +27,6 @@ pub mod quant;
 pub use activation::Activation;
 pub use io::{load_mlp, save_mlp};
 pub use matrix::Matrix;
-pub use mlp::{GradBuffer, Mlp, Scratch};
+pub use mlp::{BatchScratch, GradBuffer, Mlp, Scratch};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use quant::{argmax_agreement, quantize_mlp, QuantSpec};

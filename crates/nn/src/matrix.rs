@@ -5,8 +5,127 @@
 
 use serde::{Deserialize, Serialize};
 
+/// `acc[i] += w * xs[i]` over the overlapping prefix.
+///
+/// Each lane is an independent accumulator, so vectorizing across `i`
+/// never reorders any per-element sum.
+#[inline]
+fn axpy(acc: &mut [f32], xs: &[f32], w: f32) {
+    for (a, &v) in acc.iter_mut().zip(xs) {
+        *a += w * v;
+    }
+}
+
+/// Two fused axpy passes: `acc[i] = (acc[i] + w0·x0[i]) + w1·x1[i]` —
+/// per element, the identical two sequential f32 adds of two [`axpy`]
+/// calls, with half the accumulator load/store traffic.
+#[inline]
+fn axpy2(acc: &mut [f32], x0: &[f32], w0: f32, x1: &[f32], w1: f32) {
+    for ((a, &v0), &v1) in acc.iter_mut().zip(x0).zip(x1) {
+        *a = (*a + w0 * v0) + w1 * v1;
+    }
+}
+
+/// Batch-lane dot sweep: `acc[b] += Σ_k wrow[k] · xt[k·tl + b]` with `k`
+/// strictly ascending per lane, `tl = acc.len()`.
+///
+/// `#[inline(never)]` is load-bearing here and on the helpers below: the
+/// staging buffers come from a thread-local `RefCell`, where the
+/// optimizer cannot prove disjointness and emits scalar code — and a
+/// plain `#[inline]` boundary is erased by MIR inlining before its
+/// noalias parameter guarantees reach codegen. A real call boundary
+/// keeps them, and the lane loops vectorize.
+#[inline(never)]
+fn gemm_lanes(acc: &mut [f32], wrow: &[f32], xt: &[f32]) {
+    let tl = acc.len();
+    if tl == 0 {
+        return;
+    }
+    let mut ws = wrow.chunks_exact(2);
+    let mut cols = xt.chunks_exact(2 * tl);
+    for (wp, cp) in ws.by_ref().zip(cols.by_ref()) {
+        let (c0, c1) = cp.split_at(tl);
+        axpy2(acc, c0, wp[0], c1, wp[1]);
+    }
+    for (&w, col) in ws.remainder().iter().zip(cols.remainder().chunks_exact(tl)) {
+        axpy(acc, col, w);
+    }
+}
+
+/// Output-major matvec against a transposed weight stage: `y[r] = Σ_k
+/// wt[k·r_dim + r] · x[k]`, `k` ascending per element — the exact
+/// accumulation sequence of [`Matrix::matvec_into`] (which starts each
+/// element at `0.0` and adds), vectorized across the output dimension.
+#[inline(never)]
+fn matvec_lanes(y: &mut [f32], wt: &[f32], x: &[f32]) {
+    let r_dim = y.len();
+    if r_dim == 0 {
+        return;
+    }
+    y.fill(0.0);
+    let mut xs = x.chunks_exact(2);
+    let mut ws = wt.chunks_exact(2 * r_dim);
+    for (xp, wp) in xs.by_ref().zip(ws.by_ref()) {
+        let (w0, w1) = wp.split_at(r_dim);
+        axpy2(y, w0, xp[0], w1, xp[1]);
+    }
+    for (&xv, wrow) in xs
+        .remainder()
+        .iter()
+        .zip(ws.remainder().chunks_exact(r_dim))
+    {
+        axpy(y, wrow, xv);
+    }
+}
+
+/// One sample of `dw += alpha · a ⊗ b`, row-major with the exact-zero
+/// delta skip — the body of [`Matrix::add_outer`] behind a noalias
+/// boundary.
+#[inline(never)]
+fn outer_rows_sample(dw: &mut [f32], a_row: &[f32], b_row: &[f32], alpha: f32) {
+    let cols = b_row.len();
+    if cols == 0 {
+        return;
+    }
+    for (&av, row) in a_row.iter().zip(dw.chunks_exact_mut(cols)) {
+        // lint:allow(float-eq): exact-zero sparsity skip; ReLU masks and single-action TD errors assign 0.0 exactly, and a false negative only costs speed
+        if av == 0.0 {
+            continue;
+        }
+        axpy(row, b_row, alpha * av);
+    }
+}
+
+/// One sample of `dwt += alpha · b ⊗ a` into a *transposed* gradient
+/// stage (`dwt[c][r] += alpha · b[c] · a[r]`), vectorized across the
+/// `a` dimension. Used when rows ≫ cols, where the row-major form
+/// degenerates into thousands of tiny, branch-mispredicting sweeps.
+///
+/// Bit-identity: element `(r, c)` receives the identical f32 add
+/// sequence as the row-major form — one contribution per sample in
+/// sample order; where it is *stored* during accumulation does not
+/// change rounding. Skipping `b[c] == 0` terms (or not skipping
+/// `a[r] == 0` terms, unlike [`Matrix::add_outer`]) is also exact:
+/// the skipped/added terms are `±0.0` products of finite operands, and
+/// `x + ±0.0 == x` bitwise for every `x` an accumulation starting at
+/// `+0.0` can reach (`-0.0` is unreachable through f32 addition).
+#[inline(never)]
+fn outer_lanes_sample(dwt: &mut [f32], a_row: &[f32], b_row: &[f32], alpha: f32) {
+    let rows = a_row.len();
+    if rows == 0 {
+        return;
+    }
+    for (&bv, drow) in b_row.iter().zip(dwt.chunks_exact_mut(rows)) {
+        // lint:allow(float-eq): exact-zero sparsity skip, proven bit-identical above
+        if bv == 0.0 {
+            continue;
+        }
+        axpy(drow, a_row, alpha * bv);
+    }
+}
+
 /// Dense row-major matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -72,6 +191,12 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Flat data view.
     #[inline]
     pub fn as_slice(&self) -> &[f32] {
@@ -130,6 +255,171 @@ impl Matrix {
                 *w += s * bv;
             }
         }
+    }
+
+    /// Reshape in place, reusing the existing allocation. New elements are
+    /// zero; surviving elements are *not* preserved meaningfully (callers
+    /// overwrite the whole matrix after a resize). Steady-state callers
+    /// that resize to the same shape pay nothing.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Minibatch forward GEMM: `ys = xs · selfᵀ`, i.e. row `b` of `ys` is
+    /// `self · xs_b` — one call replaces `B` [`Matrix::matvec_into`] calls.
+    ///
+    /// Every output element keeps one accumulator running the inner
+    /// dimension `k` in ascending order, so the result is
+    /// **bit-identical** to per-sample `matvec_into` (the determinism
+    /// contract the DQN batched datapath relies on): SIMD across
+    /// independent elements never reassociates a per-element sum, and
+    /// Rust does not contract `a += w * x` into an FMA. Two
+    /// shape-dependent strategies, both preserving that order:
+    ///
+    /// - **Wide output** (`rows ≥ 16`, e.g. the 4→100 layer): stage the
+    ///   weights transposed once and sweep each sample output-major —
+    ///   `y += x[k] · wtᵏ` — long contiguous axpy rows, no strided
+    ///   scatter.
+    /// - **Narrow output** (e.g. the 100→5 layer): stage the inputs
+    ///   transposed in batch tiles and sweep batch-lane-major —
+    ///   `acc[b] += w[k] · xt[k][b]` — the batch itself is the vector.
+    ///   Tiles keep the stage and the output scatter L1-resident.
+    pub fn matmul_into(&self, xs: &Matrix, ys: &mut Matrix) {
+        assert_eq!(xs.cols, self.cols, "matmul: inner dimension");
+        assert_eq!(ys.rows, xs.rows, "matmul: batch rows");
+        assert_eq!(ys.cols, self.rows, "matmul: output cols");
+        let (c, r_dim, batch) = (self.cols, self.rows, xs.rows);
+        if batch == 0 || r_dim == 0 {
+            return;
+        }
+        if c == 0 {
+            ys.data.fill(0.0);
+            return;
+        }
+        const TILE: usize = 64;
+        const WIDE_OUT: usize = 16;
+        thread_local! {
+            static STAGE: std::cell::RefCell<(Vec<f32>, Vec<f32>)> =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+        }
+        STAGE.with(|stage| {
+            let (buf, acc) = &mut *stage.borrow_mut();
+            // Steady-state callers pay no allocation.
+            if r_dim >= WIDE_OUT {
+                // wt[k][r] = self[r][k], staged once per call.
+                buf.clear();
+                buf.resize(c * r_dim, 0.0);
+                for (r, row) in self.data.chunks_exact(c).enumerate() {
+                    for (k, &v) in row.iter().enumerate() {
+                        buf[k * r_dim + r] = v;
+                    }
+                }
+                for (xrow, yrow) in xs.data.chunks_exact(c).zip(ys.data.chunks_exact_mut(r_dim)) {
+                    matvec_lanes(yrow, buf, xrow);
+                }
+                return;
+            }
+            acc.clear();
+            acc.resize(TILE.min(batch), 0.0);
+            let mut t0 = 0;
+            while t0 < batch {
+                let tl = TILE.min(batch - t0);
+                // xt[k][b] = xs[t0 + b][k] within the tile.
+                buf.clear();
+                buf.resize(c * tl, 0.0);
+                for b in 0..tl {
+                    let row = &xs.data[(t0 + b) * c..(t0 + b + 1) * c];
+                    for (k, &v) in row.iter().enumerate() {
+                        buf[k * tl + b] = v;
+                    }
+                }
+                for r in 0..r_dim {
+                    let wrow = &self.data[r * c..(r + 1) * c];
+                    let acc = &mut acc[..tl];
+                    acc.fill(0.0);
+                    gemm_lanes(acc, wrow, &buf[..c * tl]);
+                    for (b, &a) in acc.iter().enumerate() {
+                        ys.data[(t0 + b) * r_dim + r] = a;
+                    }
+                }
+                t0 += tl;
+            }
+        });
+    }
+
+    /// Minibatch transposed GEMM: row `b` of `ys` is `selfᵀ · xs_b` — the
+    /// backprop delta propagation for a whole batch in one call.
+    ///
+    /// Delegates row-by-row to [`Matrix::matvec_transpose_into`] so the
+    /// exact-zero sparsity skip (backprop deltas are mostly zero after
+    /// ReLU masking and single-action TD errors) and the per-element
+    /// accumulation order are identical to the per-sample path.
+    pub fn matmul_transposed_into(&self, xs: &Matrix, ys: &mut Matrix) {
+        assert_eq!(xs.cols, self.rows, "matmul_t: inner dimension");
+        assert_eq!(ys.rows, xs.rows, "matmul_t: batch rows");
+        assert_eq!(ys.cols, self.cols, "matmul_t: output cols");
+        let (r_dim, c) = (self.rows, self.cols);
+        for s in 0..xs.rows {
+            let x = &xs.data[s * r_dim..(s + 1) * r_dim];
+            let y = &mut ys.data[s * c..(s + 1) * c];
+            self.matvec_transpose_into(x, y);
+        }
+    }
+
+    /// Batched gradient accumulation `self += alpha · aᵀ b`: the
+    /// `deltaᵀ · acts` GEMM of a minibatch backward pass. Each element
+    /// receives its contributions in ascending sample order, so the
+    /// result is bit-identical to `B` sequential [`Matrix::add_outer`]
+    /// calls. Two shape-dependent strategies:
+    ///
+    /// - **Wide rows** (`cols ≥ 16`, e.g. the 5×100 output-layer
+    ///   gradient): per sample, sweep the delta entries row-major with
+    ///   the exact-zero skip — identical traversal to `add_outer`.
+    /// - **Narrow rows** (e.g. the 100×4 input-layer gradient):
+    ///   accumulate into a transposed stage so each sample becomes a few
+    ///   long axpy sweeps across the delta dimension instead of ~rows
+    ///   tiny branch-mispredicting ones; see [`outer_lanes_sample`] for
+    ///   why the store layout and the moved sparsity skip are exact.
+    pub fn add_outer_batch(&mut self, alpha: f32, a: &Matrix, b: &Matrix) {
+        assert_eq!(a.rows, b.rows, "add_outer_batch: batch rows");
+        assert_eq!(a.cols, self.rows, "add_outer_batch: rows");
+        assert_eq!(b.cols, self.cols, "add_outer_batch: cols");
+        let (rows, cols, batch) = (self.rows, self.cols, a.rows);
+        if batch == 0 || rows == 0 || cols == 0 {
+            return;
+        }
+        const WIDE_ROW: usize = 16;
+        if cols >= WIDE_ROW {
+            for (a_row, b_row) in a.data.chunks_exact(rows).zip(b.data.chunks_exact(cols)) {
+                outer_rows_sample(&mut self.data, a_row, b_row, alpha);
+            }
+            return;
+        }
+        thread_local! {
+            static STAGE: std::cell::RefCell<Vec<f32>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        STAGE.with(|stage| {
+            let dwt = &mut *stage.borrow_mut();
+            dwt.clear();
+            dwt.resize(rows * cols, 0.0);
+            // dwt[c][r] = self[r][c]
+            for (r, row) in self.data.chunks_exact(cols).enumerate() {
+                for (c, &v) in row.iter().enumerate() {
+                    dwt[c * rows + r] = v;
+                }
+            }
+            for (a_row, b_row) in a.data.chunks_exact(rows).zip(b.data.chunks_exact(cols)) {
+                outer_lanes_sample(dwt, a_row, b_row, alpha);
+            }
+            for (r, row) in self.data.chunks_exact_mut(cols).enumerate() {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = dwt[c * rows + r];
+                }
+            }
+        });
     }
 
     /// Elementwise `self += alpha * other`.
@@ -217,5 +507,75 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn from_rows_checks_shape() {
         let _ = Matrix::from_rows(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matmul_matches_per_sample_matvec_bitwise() {
+        // 7 batch rows exercises both the 4-wide block and the remainder.
+        let w = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) as f32).sin());
+        let xs = Matrix::from_fn(7, 3, |r, c| ((r * 7 + c) as f32 * 0.37).cos());
+        let mut batched = Matrix::zeros(7, 5);
+        w.matmul_into(&xs, &mut batched);
+        let mut single = vec![0.0f32; 5];
+        for b in 0..7 {
+            w.matvec_into(xs.row(b), &mut single);
+            for (a, e) in batched.row(b).iter().zip(&single) {
+                assert_eq!(a.to_bits(), e.to_bits(), "row {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_transposed_matches_per_sample_bitwise() {
+        let w = Matrix::from_fn(4, 6, |r, c| (r as f32 - c as f32) * 0.21);
+        // Include exact zeros to exercise the sparsity skip.
+        let xs = Matrix::from_fn(5, 4, |r, c| if (r + c) % 3 == 0 { 0.0 } else { 0.3 });
+        let mut batched = Matrix::zeros(5, 6);
+        w.matmul_transposed_into(&xs, &mut batched);
+        let mut single = vec![0.0f32; 6];
+        for b in 0..5 {
+            w.matvec_transpose_into(xs.row(b), &mut single);
+            for (a, e) in batched.row(b).iter().zip(&single) {
+                assert_eq!(a.to_bits(), e.to_bits(), "row {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_outer_batch_matches_sequential_bitwise() {
+        let a = Matrix::from_fn(6, 3, |r, c| if c == r % 3 { 0.7 - r as f32 } else { 0.0 });
+        let b = Matrix::from_fn(6, 4, |r, c| (r * 4 + c) as f32 * 0.11 - 1.0);
+        let mut batched = Matrix::zeros(3, 4);
+        batched.add_outer_batch(0.5, &a, &b);
+        let mut seq = Matrix::zeros(3, 4);
+        for s in 0..6 {
+            seq.add_outer(0.5, a.row(s), b.row(s));
+        }
+        let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&batched), bits(&seq));
+    }
+
+    #[test]
+    fn matmul_handles_empty_batch() {
+        let w = Matrix::from_rows(2, 3, vec![1.0; 6]);
+        let xs = Matrix::zeros(0, 3);
+        let mut ys = Matrix::zeros(0, 2);
+        w.matmul_into(&xs, &mut ys);
+        let mut yt = Matrix::zeros(0, 3);
+        let xt = Matrix::zeros(0, 2);
+        w.matmul_transposed_into(&xt, &mut yt);
+        assert!(ys.is_empty() && yt.is_empty());
+    }
+
+    #[test]
+    fn resize_reuses_and_rezeroes_len() {
+        let mut m = Matrix::zeros(2, 2);
+        *m.get_mut(1, 1) = 5.0;
+        m.resize(3, 2);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.len(), 6);
+        m.resize(1, 2);
+        assert_eq!(m.len(), 2);
     }
 }

@@ -38,6 +38,58 @@ pub struct Scratch {
     deltas: Vec<Vec<f32>>,
 }
 
+impl Scratch {
+    /// `true` when this scratch matches `net`'s layer shapes.
+    pub fn matches(&self, net: &Mlp) -> bool {
+        self.acts.len() == net.sizes.len()
+            && self.acts.iter().zip(&net.sizes).all(|(a, &s)| a.len() == s)
+    }
+
+    /// Resize this scratch to `net`'s shapes (no-op when already sized).
+    ///
+    /// [`Mlp::forward`] deliberately does *not* do this: a shape mismatch
+    /// there is a wiring bug (wrong scratch passed for the net), and
+    /// silently rebuilding would mask it. Callers that reuse one scratch
+    /// across nets of different shapes opt in explicitly here.
+    pub fn ensure_shape(&mut self, net: &Mlp) {
+        if !self.matches(net) {
+            *self = net.make_scratch();
+        }
+    }
+}
+
+/// Reusable minibatch forward/backward buffers: `acts[0]` is the input
+/// batch (one row per sample), `acts[i]` the batched output of layer
+/// `i-1`; `deltas` mirror `acts[1..]` for backprop.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    acts: Vec<Matrix>,
+    deltas: Vec<Matrix>,
+    batch: usize,
+}
+
+impl BatchScratch {
+    /// Resize for `net` at `batch` rows, reusing allocations; steady-state
+    /// callers with a fixed batch size pay nothing after the first call.
+    pub fn ensure_shape(&mut self, net: &Mlp, batch: usize) {
+        let n = net.sizes.len();
+        self.acts.resize_with(n, Matrix::default);
+        self.deltas.resize_with(n - 1, Matrix::default);
+        for (a, &s) in self.acts.iter_mut().zip(&net.sizes) {
+            a.resize(batch, s);
+        }
+        for (d, &s) in self.deltas.iter_mut().zip(&net.sizes[1..]) {
+            d.resize(batch, s);
+        }
+        self.batch = batch;
+    }
+
+    /// Batch rows currently allocated.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+}
+
 /// Accumulated parameter gradients matching an [`Mlp`]'s shape.
 #[derive(Debug, Clone)]
 pub struct GradBuffer {
@@ -45,6 +97,9 @@ pub struct GradBuffer {
     db: Vec<Vec<f32>>,
     /// Number of accumulated samples (for averaging).
     pub samples: usize,
+    /// reusable flat parameter/gradient staging for `apply_grads`
+    params_buf: Vec<f32>,
+    grads_buf: Vec<f32>,
 }
 
 impl Mlp {
@@ -117,15 +172,30 @@ impl Mlp {
                 .collect(),
             db: self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
             samples: 0,
+            params_buf: Vec::new(),
+            grads_buf: Vec::new(),
         }
     }
 
+    /// Prepare a minibatch scratch for this network at `batch` rows.
+    pub fn make_batch_scratch(&self, batch: usize) -> BatchScratch {
+        let mut s = BatchScratch::default();
+        s.ensure_shape(self, batch);
+        s
+    }
+
     /// Allocation-free forward pass; returns the output activations slice.
+    ///
+    /// The scratch must already match this network's shapes (build it with
+    /// [`Mlp::make_scratch`], or call [`Scratch::ensure_shape`]); a stale
+    /// scratch is a wiring bug, reported by `debug_assert` rather than
+    /// silently rebuilt.
     pub fn forward<'s>(&self, x: &[f32], scratch: &'s mut Scratch) -> &'s [f32] {
         assert_eq!(x.len(), self.sizes[0], "input dimension mismatch");
-        if scratch.acts.len() != self.sizes.len() {
-            *scratch = self.make_scratch();
-        }
+        debug_assert!(
+            scratch.matches(self),
+            "scratch shape does not match the network: call make_scratch/ensure_shape"
+        );
         scratch.acts[0].copy_from_slice(x);
         for (i, layer) in self.layers.iter().enumerate() {
             let (inp, out) = {
@@ -141,10 +211,45 @@ impl Mlp {
         scratch.acts.last().unwrap()
     }
 
-    /// Convenience allocating forward pass.
+    /// Convenience forward pass allocating only the returned vector.
+    ///
+    /// Routes through a thread-local scratch (explicitly re-shaped per
+    /// call via [`Scratch::ensure_shape`]), so repeated predictions on
+    /// same-shaped networks build no intermediate buffers.
     pub fn predict(&self, x: &[f32]) -> Vec<f32> {
-        let mut s = self.make_scratch();
-        self.forward(x, &mut s).to_vec()
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<Scratch> =
+                std::cell::RefCell::new(Scratch::default());
+        }
+        SCRATCH.with(|s| {
+            let mut s = s.borrow_mut();
+            s.ensure_shape(self);
+            self.forward(x, &mut s).to_vec()
+        })
+    }
+
+    /// Minibatch forward pass: `xs` holds one input row per sample; the
+    /// returned matrix holds one Q-row per sample. One GEMM + one bias
+    /// sweep + one activation sweep per layer replaces `B` scalar
+    /// forwards, and every element is **bit-identical** to running
+    /// [`Mlp::forward`] on the corresponding row (the kernels preserve
+    /// per-element accumulation order).
+    pub fn forward_batch<'s>(&self, xs: &Matrix, scratch: &'s mut BatchScratch) -> &'s Matrix {
+        assert_eq!(xs.cols(), self.sizes[0], "input dimension mismatch");
+        scratch.ensure_shape(self, xs.rows());
+        scratch.acts[0]
+            .as_mut_slice()
+            .copy_from_slice(xs.as_slice());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (inp, out) = {
+                let (a, b) = scratch.acts.split_at_mut(i + 1);
+                (&a[i], &mut b[0])
+            };
+            layer.w.matmul_into(inp, out);
+            add_bias_rows(out.as_mut_slice(), &layer.b);
+            layer.act.apply_batch(out);
+        }
+        scratch.acts.last().expect("network has layers")
     }
 
     /// Index of the maximum output (argmax action), ties broken low.
@@ -198,6 +303,59 @@ impl Mlp {
         grads.samples += 1;
     }
 
+    /// Minibatch backprop for the forward pass whose activations are in
+    /// `scratch`: `out_grads` holds one dL/d(output) row per sample.
+    ///
+    /// Per layer this takes one `deltaᵀ·acts` GEMM for the weight
+    /// gradients, one bias-column sweep, and one transposed GEMM for the
+    /// delta propagation — replacing `B` scalar backward passes while
+    /// accumulating every gradient element in sample order, so the
+    /// resulting [`GradBuffer`] is **bit-identical** to sequential
+    /// [`Mlp::backward`] calls over the same rows.
+    pub fn backward_batch(
+        &self,
+        scratch: &mut BatchScratch,
+        out_grads: &Matrix,
+        grads: &mut GradBuffer,
+    ) {
+        let batch = scratch.batch;
+        assert_eq!(out_grads.rows(), batch, "out_grads batch rows");
+        assert_eq!(out_grads.cols(), self.output_dim(), "out_grads width");
+        let n_layers = self.layers.len();
+        // Output-layer delta: dL/dy * f'(y), elementwise over the batch.
+        {
+            let y = &scratch.acts[n_layers];
+            let delta = &mut scratch.deltas[n_layers - 1];
+            let act = self.layers[n_layers - 1].act;
+            for (d, (&g, &yv)) in delta
+                .as_mut_slice()
+                .iter_mut()
+                .zip(out_grads.as_slice().iter().zip(y.as_slice()))
+            {
+                *d = g * act.derivative_from_output(yv);
+            }
+        }
+        for l in (0..n_layers).rev() {
+            // dW += deltaᵀ · acts, db += column sums of delta — both
+            // accumulated sample-major like the per-sample path.
+            let (delta, input) = (&scratch.deltas[l], &scratch.acts[l]);
+            grads.dw[l].add_outer_batch(1.0, delta, input);
+            sum_rows(&mut grads.db[l], delta.as_slice());
+            if l > 0 {
+                // delta_{l-1} = (Wᵀ delta) * f'(act_{l-1}), batched.
+                let (lower, upper) = scratch.deltas.split_at_mut(l);
+                let prev_delta = &mut lower[l - 1];
+                self.layers[l]
+                    .w
+                    .matmul_transposed_into(&upper[0], prev_delta);
+                self.layers[l - 1]
+                    .act
+                    .mul_derivative_batch(prev_delta.as_mut_slice(), scratch.acts[l].as_slice());
+            }
+        }
+        grads.samples += batch;
+    }
+
     /// Apply the accumulated (averaged) gradients with the optimizer, then
     /// clear the buffer.
     pub fn apply_grads(&mut self, grads: &mut GradBuffer, opt: &mut dyn Optimizer) {
@@ -205,9 +363,15 @@ impl Mlp {
             return;
         }
         let scale = 1.0 / grads.samples as f32;
-        let n = self.param_count();
-        let mut params = Vec::with_capacity(n);
-        let mut flat_grads = Vec::with_capacity(n);
+        // Stage through the grad buffer's reusable flat vectors: this runs
+        // once per SGD step on the controller hot path, so it must not
+        // allocate in steady state.
+        let mut params = std::mem::take(&mut grads.params_buf);
+        let mut flat_grads = std::mem::take(&mut grads.grads_buf);
+        params.clear();
+        flat_grads.clear();
+        params.reserve(self.param_count());
+        flat_grads.reserve(self.param_count());
         for (l, (dw, db)) in self.layers.iter().zip(grads.dw.iter().zip(&grads.db)) {
             params.extend_from_slice(l.w.as_slice());
             params.extend_from_slice(&l.b);
@@ -216,6 +380,8 @@ impl Mlp {
         }
         opt.step(&mut params, &flat_grads);
         self.load_flat(&params);
+        grads.params_buf = params;
+        grads.grads_buf = flat_grads;
         grads.clear();
     }
 
@@ -253,6 +419,41 @@ impl Mlp {
     }
 }
 
+/// `out[s·n + i] += bias[i]` for every sample row `s` — the batched bias
+/// add of a dense layer, same per-element add as the per-sample path.
+///
+/// `#[inline(never)]` keeps the noalias parameter guarantees through
+/// codegen (the caller reaches `out` through the scratch struct, where
+/// the optimizer cannot prove disjointness from `bias`), so the row
+/// sweeps vectorize.
+#[inline(never)]
+fn add_bias_rows(out: &mut [f32], bias: &[f32]) {
+    if bias.is_empty() {
+        return;
+    }
+    for row in out.chunks_exact_mut(bias.len()) {
+        for (o, &bv) in row.iter_mut().zip(bias) {
+            *o += bv;
+        }
+    }
+}
+
+/// `acc[i] += Σ_s rows[s·n + i]`, sample-major — the batched bias-gradient
+/// column sums, accumulating each element in sample order exactly like
+/// sequential per-sample sweeps. Same `#[inline(never)]` rationale as
+/// [`add_bias_rows`].
+#[inline(never)]
+fn sum_rows(acc: &mut [f32], rows: &[f32]) {
+    if acc.is_empty() {
+        return;
+    }
+    for row in rows.chunks_exact(acc.len()) {
+        for (g, &d) in acc.iter_mut().zip(row) {
+            *g += d;
+        }
+    }
+}
+
 impl GradBuffer {
     /// Zero the accumulated gradients.
     pub fn clear(&mut self) {
@@ -263,6 +464,18 @@ impl GradBuffer {
             b.fill(0.0);
         }
         self.samples = 0;
+    }
+
+    /// Flatten the accumulated (unscaled) gradient sums in parameter order
+    /// (per layer: weights then bias) — the layout of [`Mlp::flat_params`].
+    /// Used by tests comparing batched and per-sample accumulation.
+    pub fn flat_sums(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for (dw, db) in self.dw.iter().zip(&self.db) {
+            out.extend_from_slice(dw.as_slice());
+            out.extend_from_slice(db);
+        }
+        out
     }
 }
 
@@ -413,5 +626,113 @@ mod tests {
         let net = Mlp::new(&[2, 2], Activation::Relu, 0);
         let mut s = net.make_scratch();
         let _ = net.forward(&[1.0; 3], &mut s);
+    }
+
+    #[test]
+    fn scratch_ensure_shape_adapts_across_nets() {
+        let small = Mlp::new(&[2, 3, 1], Activation::Relu, 0);
+        let big = Mlp::new(&[4, 8, 2], Activation::Relu, 0);
+        let mut s = Scratch::default();
+        assert!(!s.matches(&small));
+        s.ensure_shape(&small);
+        assert!(s.matches(&small));
+        let _ = small.forward(&[0.1, 0.2], &mut s);
+        s.ensure_shape(&big);
+        assert!(s.matches(&big) && !s.matches(&small));
+        let _ = big.forward(&[0.1; 4], &mut s);
+    }
+
+    #[test]
+    fn forward_batch_matches_per_sample_bitwise() {
+        let net = Mlp::new(&[4, 10, 5], Activation::Relu, 11);
+        let xs = Matrix::from_fn(9, 4, |r, c| ((r * 4 + c) as f32 * 0.17).sin());
+        let mut bs = net.make_batch_scratch(9);
+        let out = net.forward_batch(&xs, &mut bs);
+        let mut s = net.make_scratch();
+        for b in 0..9 {
+            let row = net.forward(xs.row(b), &mut s);
+            for (a, e) in out.row(b).iter().zip(row) {
+                assert_eq!(a.to_bits(), e.to_bits(), "sample {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_batch_handles_batch_sizes_zero_and_one() {
+        let net = Mlp::new(&[3, 6, 2], Activation::Tanh, 4);
+        let mut bs = BatchScratch::default();
+        let empty = Matrix::zeros(0, 3);
+        let out = net.forward_batch(&empty, &mut bs);
+        assert_eq!(out.rows(), 0);
+        let one = Matrix::from_rows(1, 3, vec![0.2, -0.4, 0.9]);
+        let out = net.forward_batch(&one, &mut bs);
+        assert_eq!(out.row(0), net.predict(&[0.2, -0.4, 0.9]).as_slice());
+    }
+
+    #[test]
+    fn backward_batch_matches_sequential_backward_bitwise() {
+        let net = Mlp::new(&[3, 7, 4], Activation::Relu, 8);
+        let xs = Matrix::from_fn(6, 3, |r, c| ((r + c) as f32 * 0.31).cos());
+        let ts = Matrix::from_fn(6, 4, |r, c| (r as f32 - c as f32) * 0.1);
+        // Per-sample reference.
+        let mut s = net.make_scratch();
+        let mut ref_grads = net.make_grad_buffer();
+        for b in 0..6 {
+            let y = net.forward(xs.row(b), &mut s).to_vec();
+            let og: Vec<f32> = y.iter().zip(ts.row(b)).map(|(a, t)| a - t).collect();
+            net.backward(&mut s, &og, &mut ref_grads);
+        }
+        // Batched.
+        let mut bs = net.make_batch_scratch(6);
+        let out = net.forward_batch(&xs, &mut bs);
+        let mut og = Matrix::zeros(6, 4);
+        for b in 0..6 {
+            for c in 0..4 {
+                *og.get_mut(b, c) = out.get(b, c) - ts.get(b, c);
+            }
+        }
+        let mut batch_grads = net.make_grad_buffer();
+        net.backward_batch(&mut bs, &og, &mut batch_grads);
+        assert_eq!(batch_grads.samples, ref_grads.samples);
+        let bits = |g: &GradBuffer| {
+            g.flat_sums()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&batch_grads), bits(&ref_grads));
+    }
+
+    #[test]
+    fn batched_training_step_equals_per_sample_step() {
+        // One SGD step through each datapath must land on identical nets.
+        let net0 = Mlp::new(&[2, 5, 3], Activation::Relu, 21);
+        let xs = Matrix::from_fn(4, 2, |r, c| (r as f32 + 1.0) * 0.2 - c as f32 * 0.3);
+        let step_ref = {
+            let mut net = net0.clone();
+            let mut s = net.make_scratch();
+            let mut g = net.make_grad_buffer();
+            for b in 0..4 {
+                let y = net.forward(xs.row(b), &mut s)[1];
+                net.backward(&mut s, &[0.0, y - 0.5, 0.0], &mut g);
+            }
+            net.apply_grads(&mut g, &mut Sgd::new(0.1));
+            net.flat_params()
+        };
+        let step_batch = {
+            let mut net = net0.clone();
+            let mut bs = net.make_batch_scratch(4);
+            let mut g = net.make_grad_buffer();
+            let mut og = Matrix::zeros(4, 3);
+            let out = net.forward_batch(&xs, &mut bs);
+            for b in 0..4 {
+                *og.get_mut(b, 1) = out.get(b, 1) - 0.5;
+            }
+            net.backward_batch(&mut bs, &og, &mut g);
+            net.apply_grads(&mut g, &mut Sgd::new(0.1));
+            net.flat_params()
+        };
+        let bits = |p: &[f32]| p.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&step_batch), bits(&step_ref));
     }
 }

@@ -4,7 +4,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use resemble::core::preprocess::fold_hash;
 use resemble::core::ReplayMemory;
-use resemble::nn::{Activation, Mlp};
+use resemble::nn::{Activation, Matrix, Mlp};
 use resemble::prefetch::NextLine;
 use resemble::prelude::*;
 use resemble::sim::{Cache, Lookup, ReferenceEngine};
@@ -43,7 +43,7 @@ proptest! {
         ops in vec((any::<u8>(), any::<u8>()), 10..400),
         window in 2usize..32,
     ) {
-        let mut m = ReplayMemory::new(64, window);
+        let mut m = ReplayMemory::new(64, window, 4);
         let mut assigned = Vec::new();
         let mut prev: Option<u64> = None;
         let mut ids = Vec::new();
@@ -54,7 +54,7 @@ proptest! {
                 2 => vec![blk as u64, blk as u64 ^ 0x80],
                 _ => vec![blk as u64, (blk as u64) + 300, (blk as u64) + 600],
             };
-            let id = m.push(vec![0.5; 4], (sel % 5) as usize, &blocks);
+            let id = m.push(&[0.5; 4], (sel % 5) as usize, &blocks);
             if let Some(p) = prev {
                 m.set_next_state(p, &[0.1; 4]);
             }
@@ -176,6 +176,72 @@ proptest! {
         let net = Mlp::new(&[4, 16, 5], Activation::Relu, seed);
         let out = net.predict(&xs);
         prop_assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    /// The minibatch GEMM forward is bit-identical to looping the
+    /// per-sample forward over the same rows, across random layer
+    /// shapes, batch sizes (including 0 and 1), and activations — the
+    /// determinism contract of the batched DQN datapath.
+    #[test]
+    fn forward_batch_bit_identical_to_per_sample(
+        in_dim in 1usize..6,
+        hidden in 1usize..40,
+        out_dim in 1usize..6,
+        batch in 0usize..5,
+        act_sel in 0usize..4,
+        seed in any::<u64>(),
+        xs_raw in vec(-2.0f32..2.0, 5 * 6),
+    ) {
+        let act = [Activation::Relu, Activation::Tanh, Activation::Sigmoid, Activation::Identity][act_sel];
+        let net = Mlp::new(&[in_dim, hidden, out_dim], act, seed);
+        let xs = Matrix::from_fn(batch, in_dim, |r, c| xs_raw[r * in_dim + c]);
+        let mut bs = net.make_batch_scratch(batch);
+        let out = net.forward_batch(&xs, &mut bs);
+        prop_assert_eq!(out.rows(), batch);
+        let mut scratch = net.make_scratch();
+        for r in 0..batch {
+            let expect = net.forward(xs.row(r), &mut scratch);
+            for (c, (&b, &e)) in out.row(r).iter().zip(expect.iter()).enumerate() {
+                prop_assert_eq!(b.to_bits(), e.to_bits(), "row {} col {}", r, c);
+            }
+        }
+    }
+
+    /// The minibatch backward pass accumulates gradient sums bit-identical
+    /// to sequential per-sample backward calls over the same rows.
+    #[test]
+    fn backward_batch_bit_identical_to_per_sample(
+        in_dim in 1usize..6,
+        hidden in 1usize..40,
+        out_dim in 1usize..6,
+        batch in 0usize..5,
+        act_sel in 0usize..4,
+        seed in any::<u64>(),
+        xs_raw in vec(-2.0f32..2.0, 5 * 6),
+        og_raw in vec(-1.5f32..1.5, 5 * 6),
+    ) {
+        let act = [Activation::Relu, Activation::Tanh, Activation::Sigmoid, Activation::Identity][act_sel];
+        let net = Mlp::new(&[in_dim, hidden, out_dim], act, seed);
+        let xs = Matrix::from_fn(batch, in_dim, |r, c| xs_raw[r * in_dim + c]);
+        // Sparse TD-style rows (one live action) and dense rows both occur.
+        let og = Matrix::from_fn(batch, out_dim, |r, c| {
+            if r % 2 == 0 && c != r % out_dim { 0.0 } else { og_raw[r * out_dim + c] }
+        });
+        let mut bs = net.make_batch_scratch(batch);
+        net.forward_batch(&xs, &mut bs);
+        let mut batch_grads = net.make_grad_buffer();
+        net.backward_batch(&mut bs, &og, &mut batch_grads);
+        let mut scratch = net.make_scratch();
+        let mut seq_grads = net.make_grad_buffer();
+        for r in 0..batch {
+            net.forward(xs.row(r), &mut scratch);
+            net.backward(&mut scratch, og.row(r), &mut seq_grads);
+        }
+        let (bsums, ssums) = (batch_grads.flat_sums(), seq_grads.flat_sums());
+        prop_assert_eq!(bsums.len(), ssums.len());
+        for (i, (b, s)) in bsums.iter().zip(&ssums).enumerate() {
+            prop_assert_eq!(b.to_bits(), s.to_bits(), "grad elem {}", i);
+        }
     }
 
     /// The ensemble controller issues at most the selected member's
