@@ -89,7 +89,7 @@ fn bench_controller(c: &mut Criterion) {
             black_box(out.get(0, 0))
         })
     });
-    let mut tnet = net.clone();
+    let tnet = net.clone();
     let mut tgrads = tnet.make_grad_buffer();
     let og = Matrix::from_fn(
         TB,

@@ -69,7 +69,7 @@ fn study(
 }
 
 fn main() {
-    let opts = Options::from_env();
+    let opts = Options::from_env_checked(&["only"]);
     let accesses = opts.usize("accesses", 45_000);
     let seed = opts.u64("seed", 42);
     let only = opts.str("only").map(str::to_string);

@@ -33,7 +33,7 @@ fn run(
 }
 
 fn main() {
-    let opts = Options::from_env();
+    let opts = Options::from_env_checked(&[]);
     let warmup = opts.usize("warmup", 15_000);
     let measure = opts.usize("accesses", 40_000);
     let seed = opts.u64("seed", 42);

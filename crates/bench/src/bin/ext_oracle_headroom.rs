@@ -22,7 +22,7 @@ const APPS: &[&str] = &[
 ];
 
 fn main() {
-    let opts = Options::from_env();
+    let opts = Options::from_env_checked(&["window"]);
     let accesses = opts.usize("accesses", 50_000);
     let seed = opts.u64("seed", 42);
     let window = opts.usize("window", 256);

@@ -49,7 +49,7 @@ fn run(bits: u32, train: usize, measure: usize, seed: u64) -> (f64, f64) {
 }
 
 fn main() {
-    let opts = Options::from_env();
+    let opts = Options::from_env_checked(&[]);
     let train = opts.usize("warmup", 20_000);
     let measure = opts.usize("accesses", 40_000);
     let seed = opts.u64("seed", 42);

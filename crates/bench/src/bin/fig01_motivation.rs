@@ -11,7 +11,7 @@ use resemble_trace::gen::app_by_name;
 const APPS: &[&str] = &["433.milc", "471.omnetpp", "621.wrf", "623.xalancbmk"];
 
 fn main() {
-    let opts = Options::from_env();
+    let opts = Options::from_env_checked(&[]);
     let accesses = opts.usize("accesses", 40_000);
     let seed = opts.u64("seed", 42);
     report::banner(

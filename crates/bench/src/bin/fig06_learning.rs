@@ -20,7 +20,7 @@ struct Curve {
 }
 
 fn main() {
-    let opts = Options::from_env();
+    let opts = Options::from_env_checked(&[]);
     let accesses = opts.usize("accesses", 60_000);
     let seed = opts.u64("seed", 42);
     report::banner(

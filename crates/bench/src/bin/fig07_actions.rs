@@ -46,7 +46,7 @@ fn run(model: &str, app: &str, accesses: usize, seed: u64) -> Vec<Vec<u32>> {
 }
 
 fn main() {
-    let opts = Options::from_env();
+    let opts = Options::from_env_checked(&[]);
     let accesses = opts.usize("accesses", 60_000);
     let seed = opts.u64("seed", 42);
     report::banner(

@@ -10,7 +10,7 @@ use resemble_stats::{mean, Table};
 use resemble_trace::gen::spec_like::APP_NAMES;
 
 fn main() {
-    let opts = Options::from_env();
+    let opts = Options::from_env_checked(&[]);
     let params = runner::SweepParams {
         warmup: opts.usize("warmup", 20_000),
         measure: opts.usize("accesses", 80_000),

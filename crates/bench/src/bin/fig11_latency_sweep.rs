@@ -20,7 +20,7 @@ struct SweepPoint {
 }
 
 fn main() {
-    let opts = Options::from_env();
+    let opts = Options::from_env_checked(&[]);
     let measure = opts.usize("accesses", 40_000);
     let warmup = opts.usize("warmup", 20_000);
     let seed = opts.u64("seed", 42);

@@ -149,7 +149,19 @@ where
 }
 
 fn main() {
-    let opts = Options::from_env();
+    let opts = Options::from_env_checked(&[
+        "check",
+        "no-controller",
+        "write-baseline",
+        "controller-apps",
+        "pfs",
+        "baseline",
+        "min-controller-speedup",
+        "min-speedup",
+        "controller-accesses",
+        "controller-warmup",
+        "reps",
+    ]);
     let warmup = opts.usize("warmup", 10_000);
     let measure = opts.usize("accesses", 40_000);
     let seed = opts.u64("seed", 42);

@@ -1,0 +1,191 @@
+//! Serving throughput benchmark: replay synthetic access streams from
+//! concurrent loopback clients against an in-process `resemble-serve`
+//! instance, once microbatched and once with the batch window forced to 1,
+//! and report the decision throughput, latency percentiles, and speedup.
+//!
+//! ```text
+//! serve_bench --sessions 8 --accesses 4000 --model resemble_frozen \
+//!             --json BENCH_serve.json
+//! ```
+//!
+//! The default model is `resemble_frozen` (inference-only serving, the
+//! deployment configuration): its decision windows are unbounded, so the
+//! microbatched phase exercises the full `forward_batch` datapath that the
+//! batch-of-1 phase pays per decision. Decisions are bit-identical across
+//! the two phases (and to an offline run) — the loopback tests pin that;
+//! this binary measures what the batching buys.
+
+use resemble_bench::cli::Options;
+use resemble_bench::runner::maybe_write_json;
+use resemble_serve::{Reply, ServeClient, ServeConfig, Server, SessionModel, TelemetrySnapshot};
+use resemble_trace::gen::stream::StreamGen;
+use resemble_trace::gen::TraceSource;
+use resemble_trace::MemAccess;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured serving phase.
+#[derive(Debug, Serialize)]
+struct PhaseReport {
+    max_batch: usize,
+    elapsed_s: f64,
+    decisions_per_s: f64,
+    snapshot: TelemetrySnapshot,
+}
+
+/// The full benchmark output (`BENCH_serve.json`).
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    model: String,
+    sessions: usize,
+    accesses_per_session: usize,
+    shards: usize,
+    seed: u64,
+    microbatched: PhaseReport,
+    batch_of_1: PhaseReport,
+    /// Microbatched ÷ batch-of-1 decision throughput.
+    speedup: f64,
+}
+
+fn session_trace(seed: u64, n: usize) -> Vec<(MemAccess, bool)> {
+    let mut gen = StreamGen::new(seed, 4, 1024, 0).with_write_ratio(0.2);
+    gen.collect_n(n)
+        .into_iter()
+        .enumerate()
+        .map(|(i, a)| (a, i % 3 == 0))
+        .collect()
+}
+
+/// Drive one client session to completion with `window` requests in
+/// flight, returning the number of decisions received.
+fn drive_session(
+    addr: std::net::SocketAddr,
+    model: &str,
+    seed: u64,
+    trace: &[(MemAccess, bool)],
+    window: usize,
+) -> u64 {
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client.hello(model, seed, true).expect("hello accepted");
+    let (mut next, mut awaiting, mut decisions) = (0usize, 0usize, 0u64);
+    while next < trace.len() || awaiting > 0 {
+        while next < trace.len() && awaiting < window {
+            let (access, hit) = trace[next];
+            client.queue_access(next as u32, 0, access, hit);
+            next += 1;
+            awaiting += 1;
+        }
+        client.flush().expect("flush");
+        match client.recv().expect("recv").expect("reply before EOF") {
+            Reply::Decision { .. } => {
+                decisions += 1;
+                awaiting -= 1;
+            }
+            Reply::Busy { .. } => awaiting -= 1,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    client.queue_bye();
+    client.flush().expect("flush bye");
+    while let Some(reply) = client.recv().expect("recv goodbye") {
+        if matches!(reply, Reply::Goodbye { .. }) {
+            break;
+        }
+    }
+    decisions
+}
+
+fn run_phase(
+    model: &str,
+    sessions: usize,
+    accesses: usize,
+    shards: usize,
+    seed: u64,
+    max_batch: usize,
+) -> PhaseReport {
+    let server = Server::start(
+        ServeConfig {
+            shards,
+            max_batch,
+            queue_cap: 256,
+            ..ServeConfig::default()
+        },
+        SessionModel::default_builder(),
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+    let start = Instant::now();
+    let served: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|i| {
+                s.spawn(move || {
+                    let trace = session_trace(seed + i as u64, accesses);
+                    drive_session(addr, model, seed + i as u64, &trace, 64)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let snapshot = server.shutdown();
+    assert_eq!(
+        snapshot.decisions, served,
+        "telemetry vs client decision count"
+    );
+    PhaseReport {
+        max_batch,
+        elapsed_s: elapsed,
+        decisions_per_s: served as f64 / elapsed.max(1e-9),
+        snapshot,
+    }
+}
+
+fn main() {
+    let opts = Options::from_env_checked(&["sessions", "model", "shards", "check"]);
+    let sessions = opts.usize("sessions", 8);
+    let accesses = opts.usize("accesses", 4000);
+    let shards = opts.usize("shards", 2);
+    let seed = opts.u64("seed", 42);
+    let model = opts.str("model").unwrap_or("resemble_frozen").to_string();
+    let json = opts.str("json").map(str::to_string);
+
+    eprintln!("serve_bench: model={model} sessions={sessions} accesses={accesses} shards={shards}");
+    let microbatched = run_phase(&model, sessions, accesses, shards, seed, 64);
+    let batch_of_1 = run_phase(&model, sessions, accesses, shards, seed, 1);
+    let speedup = microbatched.decisions_per_s / batch_of_1.decisions_per_s.max(1e-9);
+
+    println!(
+        "microbatched : {:>10.0} decisions/s  (mean batch {:.1}, p50/p95/p99 = {}/{}/{} us)",
+        microbatched.decisions_per_s,
+        microbatched.snapshot.mean_batch,
+        microbatched.snapshot.latency_us_p50,
+        microbatched.snapshot.latency_us_p95,
+        microbatched.snapshot.latency_us_p99,
+    );
+    println!(
+        "batch-of-1   : {:>10.0} decisions/s  (mean batch {:.1}, p50/p95/p99 = {}/{}/{} us)",
+        batch_of_1.decisions_per_s,
+        batch_of_1.snapshot.mean_batch,
+        batch_of_1.snapshot.latency_us_p50,
+        batch_of_1.snapshot.latency_us_p95,
+        batch_of_1.snapshot.latency_us_p99,
+    );
+    println!("speedup      : {speedup:.2}x");
+
+    let report = BenchReport {
+        model,
+        sessions,
+        accesses_per_session: accesses,
+        shards,
+        seed,
+        microbatched,
+        batch_of_1,
+        speedup,
+    };
+    maybe_write_json(json.as_deref(), &report);
+
+    if opts.flag("check") && speedup < 1.5 {
+        eprintln!("FAIL: microbatch speedup {speedup:.2}x is below the 1.5x floor");
+        std::process::exit(1);
+    }
+}

@@ -32,7 +32,7 @@ fn measured_unique_states(hash_bits: u32, accesses: usize, seed: u64) -> usize {
 }
 
 fn main() {
-    let opts = Options::from_env();
+    let opts = Options::from_env_checked(&[]);
     let accesses = opts.usize("accesses", 40_000);
     let seed = opts.u64("seed", 42);
     report::banner(

@@ -57,7 +57,7 @@ fn run_app(model: &str, with_pc: bool, app: &str, accesses: usize, seed: u64) ->
 }
 
 fn main() {
-    let opts = Options::from_env();
+    let opts = Options::from_env_checked(&[]);
     let accesses = opts.usize("accesses", 60_000);
     let seed = opts.u64("seed", 42);
     report::banner(

@@ -131,7 +131,7 @@ fn table08() {
 }
 
 fn main() {
-    let opts = Options::from_env();
+    let opts = Options::from_env_checked(&["only"]);
     report::banner(
         "Tables II / III / V / VII / VIII",
         "Configuration and analytic-overhead tables",

@@ -19,7 +19,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 fn main() {
-    let opts = Options::from_env();
+    let opts = Options::from_env_checked(&["analyze", "gen", "out", "pf", "replay"]);
     let seed = opts.u64("seed", 42);
 
     if let Some(app) = opts.str("gen") {

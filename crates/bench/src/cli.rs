@@ -7,6 +7,11 @@
 
 use std::collections::HashMap;
 
+/// Flags every harness binary understands (see the module docs). Binaries
+/// with extra flags pass them to [`Options::from_env_checked`] /
+/// [`Options::warn_unknown`] on top of this set.
+pub const COMMON_FLAGS: &[&str] = &["accesses", "warmup", "seed", "apps", "json", "threads"];
+
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
 pub struct Options {
@@ -33,6 +38,39 @@ impl Options {
     /// Parse from the process arguments.
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from the process arguments and warn (to stderr) about any
+    /// `--key` outside [`COMMON_FLAGS`] ∪ `extra` — a typo like
+    /// `--acesses` otherwise silently runs with the default value.
+    pub fn from_env_checked(extra: &[&str]) -> Self {
+        let o = Self::from_env();
+        o.warn_unknown(extra);
+        o
+    }
+
+    /// The parsed keys not in [`COMMON_FLAGS`] ∪ `extra`, sorted. Each one
+    /// gets a stderr warning; callers mostly use the returned list in tests.
+    pub fn warn_unknown(&self, extra: &[&str]) -> Vec<String> {
+        let mut unknown: Vec<String> = self
+            .flags
+            .keys()
+            .filter(|k| !COMMON_FLAGS.contains(&k.as_str()) && !extra.contains(&k.as_str()))
+            .cloned()
+            .collect();
+        unknown.sort();
+        for k in &unknown {
+            eprintln!(
+                "warning: unrecognized flag --{k} (known: {})",
+                COMMON_FLAGS
+                    .iter()
+                    .chain(extra)
+                    .map(|f| format!("--{f}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+        }
+        unknown
     }
 
     /// A `usize` flag with default.
@@ -97,5 +135,15 @@ mod tests {
     fn bad_numbers_fall_back() {
         let o = opts("--accesses nope");
         assert_eq!(o.usize("accesses", 42), 42);
+    }
+
+    #[test]
+    fn unknown_flags_are_reported() {
+        let o = opts("--accesses 100 --acesses 200 --only bo");
+        assert_eq!(o.warn_unknown(&[]), vec!["acesses", "only"]);
+        // A binary that documents --only sees just the typo.
+        assert_eq!(o.warn_unknown(&["only"]), vec!["acesses"]);
+        // All-known leaves nothing to report.
+        assert!(opts("--seed 1 --json x.json").warn_unknown(&[]).is_empty());
     }
 }

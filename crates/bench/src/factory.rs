@@ -32,14 +32,25 @@ pub const VOYAGER_LINEUP: &[&str] = &[
 /// Build a prefetcher/controller by name.
 ///
 /// `fast` selects the laptop-scale ReSemble training configuration
-/// (batch 32; see `ResembleConfig::fast`). Panics on unknown names.
+/// (batch 32; see `ResembleConfig::fast`). Panics on unknown names; use
+/// [`try_make`] where an unknown name is recoverable (e.g. the serve
+/// registry rejecting a client's Hello).
 pub fn make(name: &str, seed: u64, fast: bool) -> Box<dyn Prefetcher + Send> {
+    match try_make(name, seed, fast) {
+        Some(p) => p,
+        None => panic!("unknown prefetcher '{name}'"),
+    }
+}
+
+/// Build a prefetcher/controller by name, or `None` if the name is not in
+/// the registry.
+pub fn try_make(name: &str, seed: u64, fast: bool) -> Option<Box<dyn Prefetcher + Send>> {
     let cfg = if fast {
         ResembleConfig::fast()
     } else {
         ResembleConfig::default()
     };
-    match name {
+    Some(match name {
         "bo" => Box::new(BestOffset::new()),
         "spp" => Box::new(Spp::new()),
         "isb" => Box::new(Isb::new()),
@@ -74,8 +85,8 @@ pub fn make(name: &str, seed: u64, fast: bool) -> Box<dyn Prefetcher + Send> {
             },
             seed,
         )),
-        other => panic!("unknown prefetcher '{other}'"),
-    }
+        _ => return None,
+    })
 }
 
 /// Display label for a prefetcher name.
@@ -121,6 +132,12 @@ mod tests {
     #[should_panic(expected = "unknown prefetcher")]
     fn unknown_name_panics() {
         let _ = make("nope", 1, true);
+    }
+
+    #[test]
+    fn try_make_distinguishes_known_from_unknown() {
+        assert!(try_make("bo", 1, true).is_some());
+        assert!(try_make("nope", 1, true).is_none());
     }
 
     #[test]

@@ -144,9 +144,26 @@ pub fn run_matrix(apps: &[String], pfs: &[&str], p: &SweepParams) -> Vec<RunResu
         while let Ok((i, r)) = res_rx.recv() {
             out[i] = Some(r);
         }
-        out.into_iter()
-            .map(|r| r.expect("all jobs completed"))
-            .collect()
+        // A worker that panicked drops its sender without reporting its
+        // claimed job; name the missing (app, pf) pairs instead of dying
+        // on an anonymous unwrap.
+        let mut results = Vec::with_capacity(jobs.len());
+        let mut dead: Vec<String> = Vec::new();
+        for (r, (_, app, pf)) in out.into_iter().zip(&jobs) {
+            match r {
+                Some(r) => results.push(r),
+                None => dead.push(format!("({app}, {pf})")),
+            }
+        }
+        if !dead.is_empty() {
+            panic!(
+                "sweep worker panicked; no result for {} of {} jobs: {}",
+                dead.len(),
+                jobs.len(),
+                dead.join(", ")
+            );
+        }
+        results
     })
 }
 
@@ -199,6 +216,13 @@ mod tests {
             (rs[3].app.as_str(), rs[3].pf.as_str()),
             ("471.omnetpp", "isb")
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "no result for 1 of 1 jobs: (no_such_app, bo)")]
+    fn matrix_names_the_job_that_killed_its_worker() {
+        let apps = vec!["no_such_app".to_string()];
+        let _ = run_matrix(&apps, &["bo"], &tiny());
     }
 
     #[test]

@@ -131,6 +131,17 @@ impl DqnAgent {
         self.policy.param_count() + self.target.param_count()
     }
 
+    /// Bit patterns of every parameter (policy net, then target net) —
+    /// the bit-identity probe used by determinism and serving tests.
+    pub fn param_bits(&self) -> Vec<u32> {
+        self.policy
+            .flat_params()
+            .iter()
+            .chain(self.target.flat_params().iter())
+            .map(|v| v.to_bits())
+            .collect()
+    }
+
     /// Q-values of the inference (target) network for a state.
     pub fn q_values(&mut self, state: &[f32]) -> &[f32] {
         self.target.forward(state, &mut self.scratch_t)
@@ -151,6 +162,54 @@ impl DqnAgent {
     /// Greedy action (no exploration), for evaluation probes.
     pub fn greedy_action(&mut self, state: &[f32]) -> usize {
         self.target.argmax(state, &mut self.scratch_t)
+    }
+
+    /// Upper bound on how many consecutive decisions can be served off a
+    /// *constant* inference network: the steps remaining until the next
+    /// role switch. Training between switches updates only the policy
+    /// net, so up to this many states may be pushed through one
+    /// [`Mlp::forward_batch`] call (see [`DqnAgent::q_batch_into`]) and
+    /// still match per-step [`DqnAgent::select_action`] bit-for-bit.
+    /// Frozen agents never switch, so their bound is unlimited.
+    pub fn decision_window_bound(&self) -> usize {
+        if self.frozen {
+            return usize::MAX;
+        }
+        let it = self.cfg.target_update_interval.max(1);
+        usize::try_from(it - (self.step % it)).unwrap_or(usize::MAX)
+    }
+
+    /// Batched Q-values of the inference (target) network, one row per
+    /// row of `states`, copied into `out`. Each row is bit-identical to
+    /// [`DqnAgent::q_values`] on that state (the batch kernels preserve
+    /// per-element accumulation order), so callers may argmax rows in
+    /// place of per-state forwards.
+    pub fn q_batch_into(&mut self, states: &Matrix, out: &mut Matrix) {
+        let q = self.target.forward_batch(states, &mut self.batch_scratch_t);
+        out.resize(q.rows(), q.cols());
+        out.as_mut_slice().copy_from_slice(q.as_slice());
+    }
+
+    /// ε-greedy selection from a precomputed Q row, advancing the
+    /// exploration step counter. Bit-identical to
+    /// [`DqnAgent::select_action`] whenever `q_row` equals the target
+    /// network's forward output for the state: the ε draw, the explore
+    /// branch, and the ties-broken-low argmax all match.
+    pub fn select_action_from_q(&mut self, q_row: &[f32]) -> usize {
+        debug_assert_eq!(q_row.len(), self.cfg.action_dim, "Q row width");
+        let eps = self.cfg.epsilon(self.step);
+        self.step += 1;
+        if self.rng.gen_bool(eps) {
+            self.rng.gen_range(0..self.cfg.action_dim)
+        } else {
+            let mut best = 0;
+            for i in 1..q_row.len() {
+                if q_row[i] > q_row[best] {
+                    best = i;
+                }
+            }
+            best
+        }
     }
 
     /// One online-training tick (Algorithm 1 lines 31–39): every `I_p`
@@ -443,6 +502,63 @@ mod tests {
         let rms = agent.quantize(16);
         assert!(rms < 1e-4);
         assert_eq!(agent.greedy_action(&s), before);
+    }
+
+    #[test]
+    fn select_action_from_q_matches_select_action() {
+        // Two agents with identical seeds: one selects from states, the
+        // other from precomputed Q rows. Actions and exploration state
+        // must stay in lockstep.
+        let cfg = cfg2();
+        let mut a = DqnAgent::new(cfg, 13);
+        let mut b = DqnAgent::new(cfg, 13);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..300 {
+            let s = [rng.gen::<f32>(), rng.gen::<f32>()];
+            let q: Vec<f32> = b.q_values(&s).to_vec();
+            assert_eq!(a.select_action(&s), b.select_action_from_q(&q));
+        }
+        assert_eq!(a.epsilon(), b.epsilon());
+    }
+
+    #[test]
+    fn q_batch_rows_match_per_state_q_values() {
+        let cfg = cfg2();
+        let mut agent = DqnAgent::new(cfg, 21);
+        let states = Matrix::from_fn(7, 2, |r, c| ((r * 2 + c) as f32 * 0.23).sin());
+        let mut q = Matrix::default();
+        agent.q_batch_into(&states, &mut q);
+        for r in 0..7 {
+            let expect: Vec<u32> = agent
+                .q_values(states.row(r))
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let got: Vec<u32> = q.row(r).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, expect, "row {r}");
+        }
+    }
+
+    #[test]
+    fn decision_window_bound_tracks_role_switches() {
+        let cfg = cfg2();
+        let it = cfg.target_update_interval as usize;
+        let mut agent = DqnAgent::new(cfg, 2);
+        let mut replay = ReplayMemory::new(64, 8, 2);
+        assert_eq!(agent.decision_window_bound(), it);
+        for k in 0..(2 * it) {
+            let _ = agent.select_action(&[0.1, 0.2]);
+            agent.train_tick(&mut replay);
+            let expect = it - ((k + 1) % it);
+            assert_eq!(
+                agent.decision_window_bound(),
+                expect,
+                "after step {}",
+                k + 1
+            );
+        }
+        agent.frozen = true;
+        assert_eq!(agent.decision_window_bound(), usize::MAX);
     }
 
     #[test]

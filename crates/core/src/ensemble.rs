@@ -14,6 +14,7 @@ use crate::agent::tabular::TabularAgent;
 use crate::config::ResembleConfig;
 use crate::preprocess::{mlp_state, tabular_state};
 use crate::replay::ReplayMemory;
+use resemble_nn::Matrix;
 use resemble_prefetch::{CacheEvent, PredictionKind, Prefetcher, PrefetcherBank};
 use resemble_trace::record::block_of;
 use resemble_trace::MemAccess;
@@ -103,6 +104,11 @@ pub struct ResembleMlp {
     state_buf: Vec<f32>,
     blocks_buf: Vec<u64>,
     assigned: Vec<(u64, f32)>,
+    // --- reusable decision-window buffers (allocation-free steady state) ---
+    win_states: Matrix,
+    win_q: Matrix,
+    win_sugg: Vec<u64>,
+    win_spans: Vec<(usize, usize)>,
     /// online learning statistics (Table VI, Figs 6–7)
     pub stats: EnsembleStats,
 }
@@ -127,6 +133,10 @@ impl ResembleMlp {
             state_buf: Vec::new(),
             blocks_buf: Vec::new(),
             assigned: Vec::new(),
+            win_states: Matrix::default(),
+            win_q: Matrix::default(),
+            win_sugg: Vec::new(),
+            win_spans: Vec::new(),
         }
     }
 
@@ -176,6 +186,103 @@ impl ResembleMlp {
     /// The training datapath in use.
     pub fn datapath(&self) -> Datapath {
         self.datapath
+    }
+
+    /// Process a run of consecutive accesses in batched decision windows,
+    /// calling `emit(index, issued_prefetches)` once per access in order.
+    ///
+    /// **Bit-identical** to calling [`Prefetcher::on_access`] once per
+    /// access: the run is split at role-switch boundaries (the inference
+    /// network is constant in between — training touches only the policy
+    /// net), each window takes *one* [`resemble_nn::Mlp::forward_batch`]
+    /// over all window states, and the per-access bookkeeping (reward
+    /// delivery, ε-greedy RNG draws, replay pushes, training ticks) then
+    /// replays sequentially in the exact per-access order. This is the
+    /// serving hot path of `resemble-serve`, pinned by the
+    /// `window_decisions_bit_identical_to_sequential` test below.
+    pub fn on_access_window(
+        &mut self,
+        accesses: &[(MemAccess, bool)],
+        mut emit: impl FnMut(usize, &[u64]),
+    ) {
+        let mut start = 0;
+        while start < accesses.len() {
+            let bound = self.agent.decision_window_bound().max(1);
+            let m = (accesses.len() - start).min(bound);
+            self.window_chunk(start, &accesses[start..start + m], &mut emit);
+            start += m;
+        }
+    }
+
+    /// One decision window: the inference network is constant across the
+    /// whole chunk (the caller bounded it by
+    /// [`DqnAgent::decision_window_bound`]).
+    fn window_chunk(
+        &mut self,
+        base: usize,
+        chunk: &[(MemAccess, bool)],
+        emit: &mut impl FnMut(usize, &[u64]),
+    ) {
+        let m = chunk.len();
+        let members = self.bank.len();
+        self.win_states.resize(m, self.cfg.input_dim());
+        self.win_sugg.clear();
+        self.win_spans.clear();
+        // Phase A — per access, in order: bank observation (members see
+        // every access exactly as in the sequential path), capture of each
+        // member's full suggestion list (the bank only retains the latest
+        // access's lists), and the preprocessed state row. None of this
+        // depends on the actions still to be chosen.
+        for (k, (access, hit)) in chunk.iter().enumerate() {
+            self.obs_buf.clear();
+            self.obs_buf
+                .extend_from_slice(self.bank.observe(access, *hit));
+            for j in 0..members {
+                let sugg = self.bank.suggestions(j);
+                let off = self.win_sugg.len();
+                self.win_sugg.extend_from_slice(sugg);
+                self.win_spans.push((off, sugg.len()));
+            }
+            mlp_state(
+                &self.obs_buf,
+                &self.kinds,
+                access.addr,
+                access.pc,
+                &self.cfg,
+                &mut self.state_buf,
+            );
+            self.win_states.row_mut(k).copy_from_slice(&self.state_buf);
+        }
+        // Phase B — one batched forward through the (constant) inference
+        // network for every state in the window.
+        self.agent.q_batch_into(&self.win_states, &mut self.win_q);
+        // Phase C — sequential bookkeeping in the exact per-access order:
+        // lazy rewards, next-state completion, ε-greedy selection off the
+        // precomputed Q row (same RNG draw order as the sequential path,
+        // since phase A/B draw nothing), replay push, and training tick.
+        for (k, (access, _)) in chunk.iter().enumerate() {
+            let block = block_of(access.addr);
+            self.replay.on_access(block, &mut self.assigned);
+            let reward_sum: f64 = self.assigned.iter().map(|&(_, r)| r as f64).sum();
+            if let Some(pid) = self.prev_id {
+                self.replay.set_next_state(pid, self.win_states.row(k));
+            }
+            let action = self.agent.select_action_from_q(self.win_q.row(k));
+            self.blocks_buf.clear();
+            let mut issued: &[u64] = &[];
+            if action < members {
+                let (off, len) = self.win_spans[k * members + action];
+                issued = &self.win_sugg[off..off + len];
+                self.blocks_buf.extend(issued.iter().map(|&p| block_of(p)));
+            }
+            self.prev_id = Some(
+                self.replay
+                    .push(self.win_states.row(k), action, &self.blocks_buf),
+            );
+            self.stats.record(action, reward_sum);
+            self.agent.train_tick(&mut self.replay);
+            emit(base + k, issued);
+        }
     }
 }
 
@@ -488,6 +595,62 @@ mod tests {
         }
         // All three actions exercised under exploration.
         assert!(ctl.stats.action_counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn window_decisions_bit_identical_to_sequential() {
+        // The serving hot path: chunked on_access_window (batched target
+        // forwards) must match per-access on_access exactly — decisions,
+        // learned parameters, and stats. Chunk sizes deliberately cross
+        // role-switch boundaries (I_t = 20) and include batch-of-1.
+        let mut seq = ResembleMlp::new(two_bank(), small_cfg(), 42);
+        let mut win = ResembleMlp::new(two_bank(), small_cfg(), 42);
+        let mut src = StreamGen::new(3, 2, 4096, 0).with_write_ratio(0.1);
+        let accesses: Vec<(MemAccess, bool)> = (0..3000)
+            .map(|i| (src.next_access().unwrap(), i % 3 == 0))
+            .collect();
+
+        let mut seq_out: Vec<Vec<u64>> = Vec::new();
+        let mut buf = Vec::new();
+        for (a, hit) in &accesses {
+            buf.clear();
+            seq.on_access(a, *hit, &mut buf);
+            seq_out.push(buf.clone());
+        }
+
+        let mut win_out: Vec<Vec<u64>> = vec![Vec::new(); accesses.len()];
+        let chunk_sizes = [1usize, 7, 64, 3, 20, 41, 2, 128];
+        let mut pos = 0;
+        let mut ci = 0;
+        while pos < accesses.len() {
+            let m = chunk_sizes[ci % chunk_sizes.len()].min(accesses.len() - pos);
+            win.on_access_window(&accesses[pos..pos + m], |k, issued| {
+                win_out[pos + k] = issued.to_vec();
+            });
+            pos += m;
+            ci += 1;
+        }
+
+        assert_eq!(seq_out, win_out, "issued prefetches diverged");
+        assert_eq!(
+            seq.agent().param_bits(),
+            win.agent().param_bits(),
+            "trained parameters diverged"
+        );
+        assert_eq!(seq.stats.accesses(), win.stats.accesses());
+        assert_eq!(seq.stats.action_counts, win.stats.action_counts);
+        assert_eq!(
+            seq.stats
+                .window_rewards
+                .iter()
+                .map(|r| r.to_bits())
+                .collect::<Vec<_>>(),
+            win.stats
+                .window_rewards
+                .iter()
+                .map(|r| r.to_bits())
+                .collect::<Vec<_>>(),
+        );
     }
 
     #[test]

@@ -41,12 +41,23 @@ pub const NN_KERNEL_FILES: &[&str] = &[
     "crates/nn/src/activation.rs",
 ];
 
+/// The serving datapath: files every decision request crosses. A panic
+/// here takes down the whole server, not just one session, so
+/// `panic-in-hot-path` covers them alongside [`HOT_FILES`].
+pub const SERVE_HOT_FILES: &[&str] = &[
+    "crates/serve/src/shard.rs",
+    "crates/serve/src/batcher.rs",
+    "crates/serve/src/telemetry.rs",
+];
+
 /// The sanctioned narrowing-conversion boundary: lossy casts are migrated
 /// to the checked helpers defined here, so the module itself is exempt.
 pub const CONVERT_FILE: &str = "crates/sim/src/convert.rs";
 
-/// The only crate allowed to read wall-clock time (it measures the host).
-pub const WALL_CLOCK_CRATE: &str = "bench";
+/// The crates allowed to read wall-clock time: `bench` measures the host,
+/// and `serve` handles real deadlines and latency telemetry for live
+/// clients. Neither feeds simulated statistics.
+pub const WALL_CLOCK_CRATES: &[&str] = &["bench", "serve"];
 
 /// Paths where `==`/`!=` on floats is flagged (learning math: silent
 /// NaN/rounding surprises change Q-values).
@@ -63,11 +74,11 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "wall-clock-in-sim",
-        "std::time::{Instant, SystemTime} outside crates/bench; simulated time must come from the engine",
+        "std::time::{Instant, SystemTime} outside crates/bench and crates/serve; simulated time must come from the engine",
     ),
     (
         "panic-in-hot-path",
-        "unwrap/expect/panic!/unreachable!/literal indexing in the simulator hot path",
+        "unwrap/expect/panic!/unreachable!/literal indexing in the simulator hot path or the serve datapath",
     ),
     (
         "lossy-cast",

@@ -1,17 +1,18 @@
 //! `panic-in-hot-path`: `unwrap()` / `expect()` / `panic!` /
 //! `unreachable!` / `todo!` / `unimplemented!` / literal indexing in the
-//! simulator hot files.
+//! simulator hot files and the serve datapath files.
 //!
 //! A panic half-way through a multi-billion-access trace throws away the
-//! whole run. The hot path must either handle the case or carry a
-//! `lint:allow` escape whose reason explains why the invariant is
-//! guaranteed (e.g. a `try_into` on a slice whose length the type system
-//! cannot see but the surrounding code pins).
+//! whole run; a panic in a shard worker or telemetry recorder takes down
+//! every session on a live server. Both hot paths must either handle the
+//! case or carry a `lint:allow` escape whose reason explains why the
+//! invariant is guaranteed (e.g. a `try_into` on a slice whose length the
+//! type system cannot see but the surrounding code pins).
 //!
 //! Test regions (`#[test]` fns, `#[cfg(test)]` modules) are exempt:
 //! panicking is how tests fail.
 
-use super::HOT_FILES;
+use super::{HOT_FILES, SERVE_HOT_FILES};
 use crate::diag::Diagnostic;
 use crate::lexer::TokKind;
 use crate::scanner::FileCtx;
@@ -23,7 +24,8 @@ const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"]
 
 /// Run the rule over one file.
 pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
-    if !HOT_FILES.contains(&ctx.path.as_str()) {
+    let path = ctx.path.as_str();
+    if !HOT_FILES.contains(&path) && !SERVE_HOT_FILES.contains(&path) {
         return;
     }
     let toks = &ctx.tokens;
@@ -159,6 +161,28 @@ mod tests {
     #[test]
     fn negative_other_files_out_of_scope() {
         let ctx = FileCtx::new("crates/core/src/replay.rs", "fn f() { panic!(\"x\") }\n");
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn positive_serve_datapath_in_scope() {
+        // A shard-worker panic takes down every session on the server.
+        let ctx = FileCtx::new(
+            "crates/serve/src/shard.rs",
+            "fn f(v: Option<u64>) -> u64 { v.unwrap() }\n",
+        );
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains(".unwrap()"));
+        // The non-datapath serve files (protocol setup, handshake) stay
+        // out of scope: errors there surface as per-connection replies.
+        let ctx = FileCtx::new(
+            "crates/serve/src/server.rs",
+            "fn f(v: Option<u64>) -> u64 { v.unwrap() }\n",
+        );
         let mut out = Vec::new();
         check(&ctx, &mut out);
         assert!(out.is_empty());

@@ -1,13 +1,17 @@
 //! `wall-clock-in-sim`: `std::time::Instant` / `SystemTime` anywhere
-//! outside `crates/bench`.
+//! outside the exempt crates (`bench`, `serve`).
 //!
 //! The simulator has exactly one notion of time — the engine's cycle
 //! counter. Wall-clock reads in simulation, learning, or stats code are
 //! either dead weight or, worse, leak host timing into results (e.g. a
-//! time-boxed training loop), which destroys reproducibility. Host-side
-//! measurement belongs in `crates/bench`, the one exempt crate.
+//! time-boxed training loop), which destroys reproducibility. Host time
+//! legitimately exists in exactly two places: `crates/bench` measures the
+//! host, and `crates/serve` tracks real request deadlines and latency
+//! telemetry for live clients. Neither feeds simulated statistics, and
+//! the serve bit-identity tests pin that wall time never reaches a model
+//! decision.
 
-use super::WALL_CLOCK_CRATE;
+use super::WALL_CLOCK_CRATES;
 use crate::diag::Diagnostic;
 use crate::scanner::FileCtx;
 
@@ -18,7 +22,7 @@ const BANNED: &[&str] = &["Instant", "SystemTime"];
 
 /// Run the rule over one file.
 pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
-    if ctx.crate_name == WALL_CLOCK_CRATE {
+    if WALL_CLOCK_CRATES.contains(&ctx.crate_name.as_str()) {
         return;
     }
     let toks = &ctx.tokens;
@@ -64,8 +68,9 @@ pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
                 &ctx.path,
                 t.line,
                 format!(
-                    "std::time::{name} outside crates/bench: simulated time must come \
-                     from the engine's cycle counter, and host timing belongs in bench"
+                    "std::time::{name} outside crates/bench and crates/serve: simulated \
+                     time must come from the engine's cycle counter; host timing belongs \
+                     in bench (measurement) or serve (deadlines/telemetry)"
                 ),
             ));
         }
@@ -113,6 +118,14 @@ mod tests {
     fn negative_bench_is_exempt() {
         let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n";
         assert!(run("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn negative_serve_is_exempt() {
+        // The serving crate handles real deadlines and latency telemetry.
+        let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n";
+        assert!(run("crates/serve/src/shard.rs", src).is_empty());
+        assert!(run("crates/serve/src/server.rs", src).is_empty());
     }
 
     #[test]

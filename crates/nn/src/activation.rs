@@ -170,7 +170,13 @@ mod tests {
             Activation::Sigmoid,
             Activation::Identity,
         ] {
-            let mut batch = Matrix::from_fn(3, 4, |r, c| (r as f32 - 1.0) * (c as f32 + 0.3));
+            // black_box: the claim is that both paths perform the same
+            // runtime operation per element; constant inputs would let the
+            // compiler fold one path's libm calls at build time, which can
+            // differ from the runtime call by 1 ulp.
+            let mut batch = Matrix::from_fn(3, 4, |r, c| {
+                std::hint::black_box((r as f32 - 1.0) * (c as f32 + 0.3))
+            });
             let rows: Vec<Vec<f32>> = (0..3).map(|r| batch.row(r).to_vec()).collect();
             act.apply_batch(&mut batch);
             for (r, mut row) in rows.into_iter().enumerate() {

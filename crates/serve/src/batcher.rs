@@ -1,0 +1,261 @@
+//! Microbatch formation: turning a session's queued commands into a
+//! drain plan of decision runs, events, and expired requests.
+//!
+//! A shard worker calls [`drain_session`] under the shard lock (it only
+//! moves queue entries — no model work, no I/O), then executes the plan
+//! with the lock released. The plan preserves the queue's stream order
+//! exactly: consecutive accesses coalesce into *runs* (each run becomes
+//! one batched decision window), cache events split runs because they
+//! must be applied to the model between the accesses they arrived
+//! between, and requests whose deadline already passed are pulled out for
+//! `TimedOut` replies without touching the model. This file is on the
+//! decision hot path (`panic-in-hot-path` scope): no panics, no literal
+//! indexing.
+
+use crate::protocol::EventKind;
+use resemble_trace::MemAccess;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// A queued decision request.
+#[derive(Debug, Clone)]
+pub struct AccessReq {
+    /// Client correlation id, echoed in the reply.
+    pub req_id: u32,
+    /// The access to decide on.
+    pub access: MemAccess,
+    /// Whether it hit in the client's cache.
+    pub hit: bool,
+    /// When the reader enqueued it (latency measurement origin).
+    pub enqueued: Instant,
+    /// Absolute expiry; `None` means no deadline.
+    pub deadline: Option<Instant>,
+}
+
+/// One queued command of a session, in stream order.
+#[derive(Debug, Clone)]
+pub enum SessionCmd {
+    /// A decision request.
+    Access(AccessReq),
+    /// Cache feedback to apply between accesses.
+    Event {
+        /// What happened.
+        kind: EventKind,
+        /// Block-aligned byte address.
+        addr: u64,
+    },
+    /// End of session: flush, reply Goodbye, drop the model.
+    Bye,
+}
+
+/// One step of a drain plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanOp {
+    /// Decide `plan.run[start..start + len]` in one batched window.
+    Run {
+        /// First index into [`DrainPlan::run`].
+        start: usize,
+        /// Number of consecutive accesses in the window.
+        len: usize,
+    },
+    /// Apply one cache event to the model.
+    Event {
+        /// What happened.
+        kind: EventKind,
+        /// Block-aligned byte address.
+        addr: u64,
+    },
+}
+
+/// The result of draining one session's queue: ordered ops over the
+/// accesses collected in `run`, plus the expired requests and whether the
+/// session said goodbye. Reused across drains (all `Vec`s are cleared,
+/// capacity kept).
+#[derive(Debug, Default)]
+pub struct DrainPlan {
+    /// Ordered steps referencing `run` by range.
+    pub ops: Vec<PlanOp>,
+    /// Backing storage for every live access drained, in stream order.
+    pub run: Vec<AccessReq>,
+    /// Requests whose deadline passed while queued (never reach the model).
+    pub timed_out: Vec<AccessReq>,
+    /// The session's `Bye` was reached.
+    pub saw_bye: bool,
+}
+
+impl DrainPlan {
+    /// An empty reusable plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset for the next drain, keeping allocations.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.run.clear();
+        self.timed_out.clear();
+        self.saw_bye = false;
+    }
+
+    /// Nothing was drained.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty() && self.timed_out.is_empty() && !self.saw_bye
+    }
+}
+
+/// Drain up to `max_accesses` live decision requests (plus any number of
+/// interleaved events) from the front of `queue` into `plan`. Entries
+/// past the cutoff stay queued for the next visit; everything up to and
+/// including a `Bye` is consumed when one is reached first.
+pub fn drain_session(
+    queue: &mut VecDeque<SessionCmd>,
+    max_accesses: usize,
+    now: Instant,
+    plan: &mut DrainPlan,
+) {
+    plan.clear();
+    let max = max_accesses.max(1);
+    let mut run_start = 0usize;
+    loop {
+        if plan.run.len() >= max {
+            break;
+        }
+        let Some(cmd) = queue.pop_front() else { break };
+        match cmd {
+            SessionCmd::Access(req) => {
+                if req.deadline.is_some_and(|d| d <= now) {
+                    plan.timed_out.push(req);
+                } else {
+                    plan.run.push(req);
+                }
+            }
+            SessionCmd::Event { kind, addr } => {
+                if plan.run.len() > run_start {
+                    plan.ops.push(PlanOp::Run {
+                        start: run_start,
+                        len: plan.run.len() - run_start,
+                    });
+                    run_start = plan.run.len();
+                }
+                plan.ops.push(PlanOp::Event { kind, addr });
+            }
+            SessionCmd::Bye => {
+                plan.saw_bye = true;
+                break;
+            }
+        }
+    }
+    if plan.run.len() > run_start {
+        plan.ops.push(PlanOp::Run {
+            start: run_start,
+            len: plan.run.len() - run_start,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn req(id: u32, deadline: Option<Instant>) -> SessionCmd {
+        SessionCmd::Access(AccessReq {
+            req_id: id,
+            access: MemAccess::load(u64::from(id), 0x400, 0x1000 + u64::from(id) * 64),
+            hit: false,
+            enqueued: Instant::now(),
+            deadline,
+        })
+    }
+
+    fn run_ids(plan: &DrainPlan) -> Vec<u32> {
+        plan.run.iter().map(|r| r.req_id).collect()
+    }
+
+    #[test]
+    fn coalesces_consecutive_accesses_into_one_run() {
+        let mut q: VecDeque<SessionCmd> = (0..5).map(|i| req(i, None)).collect();
+        let mut plan = DrainPlan::new();
+        drain_session(&mut q, 64, Instant::now(), &mut plan);
+        assert_eq!(plan.ops, vec![PlanOp::Run { start: 0, len: 5 }]);
+        assert_eq!(run_ids(&plan), vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+        assert!(!plan.saw_bye);
+    }
+
+    #[test]
+    fn respects_max_accesses_and_leaves_the_rest() {
+        let mut q: VecDeque<SessionCmd> = (0..10).map(|i| req(i, None)).collect();
+        let mut plan = DrainPlan::new();
+        drain_session(&mut q, 4, Instant::now(), &mut plan);
+        assert_eq!(run_ids(&plan), vec![0, 1, 2, 3]);
+        assert_eq!(q.len(), 6);
+        drain_session(&mut q, 4, Instant::now(), &mut plan);
+        assert_eq!(run_ids(&plan), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn events_split_runs_in_stream_order() {
+        let mut q = VecDeque::new();
+        q.push_back(req(0, None));
+        q.push_back(req(1, None));
+        q.push_back(SessionCmd::Event {
+            kind: EventKind::DemandFill,
+            addr: 0x40,
+        });
+        q.push_back(req(2, None));
+        let mut plan = DrainPlan::new();
+        drain_session(&mut q, 64, Instant::now(), &mut plan);
+        assert_eq!(
+            plan.ops,
+            vec![
+                PlanOp::Run { start: 0, len: 2 },
+                PlanOp::Event {
+                    kind: EventKind::DemandFill,
+                    addr: 0x40
+                },
+                PlanOp::Run { start: 2, len: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn expired_requests_are_pulled_without_breaking_the_run() {
+        let now = Instant::now();
+        let past = now.checked_sub(Duration::from_millis(5));
+        let future = now.checked_add(Duration::from_secs(60));
+        let mut q = VecDeque::new();
+        q.push_back(req(0, future));
+        q.push_back(req(1, past)); // expired in queue
+        q.push_back(req(2, None));
+        let mut plan = DrainPlan::new();
+        drain_session(&mut q, 64, now, &mut plan);
+        assert_eq!(run_ids(&plan), vec![0, 2]);
+        assert_eq!(
+            plan.timed_out.iter().map(|r| r.req_id).collect::<Vec<_>>(),
+            vec![1]
+        );
+        // The two live accesses still batch as one contiguous run.
+        assert_eq!(plan.ops, vec![PlanOp::Run { start: 0, len: 2 }]);
+    }
+
+    #[test]
+    fn bye_terminates_the_drain() {
+        let mut q = VecDeque::new();
+        q.push_back(req(0, None));
+        q.push_back(SessionCmd::Bye);
+        let mut plan = DrainPlan::new();
+        drain_session(&mut q, 64, Instant::now(), &mut plan);
+        assert!(plan.saw_bye);
+        assert_eq!(plan.ops, vec![PlanOp::Run { start: 0, len: 1 }]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_drains_to_empty_plan() {
+        let mut q = VecDeque::new();
+        let mut plan = DrainPlan::new();
+        drain_session(&mut q, 8, Instant::now(), &mut plan);
+        assert!(plan.is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! A small blocking client for the serve protocol, used by the loopback
+//! tests and the `serve_bench` load generator.
+//!
+//! Requests are encoded into a local buffer and only hit the socket on
+//! [`ServeClient::flush`], so a caller can pipeline a window of accesses
+//! in one write and then collect the replies.
+
+use crate::protocol::{read_frame, write_all, EventKind, Reply, Request};
+use resemble_trace::MemAccess;
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Blocking protocol client.
+pub struct ServeClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    w_buf: Vec<u8>,
+    payload: Vec<u8>,
+}
+
+impl ServeClient {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(ServeClient {
+            writer,
+            reader,
+            w_buf: Vec::new(),
+            payload: Vec::new(),
+        })
+    }
+
+    /// Open a session; returns the server-assigned session id.
+    pub fn hello(&mut self, model: &str, seed: u64, fast: bool) -> io::Result<u64> {
+        Request::Hello {
+            model: model.to_string(),
+            seed,
+            fast,
+        }
+        .encode_into(&mut self.w_buf);
+        self.flush()?;
+        match self.recv()? {
+            Some(Reply::Accepted { session_id }) => Ok(session_id),
+            Some(Reply::Error { message }) => Err(io::Error::other(message)),
+            other => Err(io::Error::other(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Queue a decision request (sent on the next [`ServeClient::flush`]).
+    pub fn queue_access(&mut self, req_id: u32, deadline_us: u32, access: MemAccess, hit: bool) {
+        Request::Access {
+            req_id,
+            deadline_us,
+            access,
+            hit,
+        }
+        .encode_into(&mut self.w_buf);
+    }
+
+    /// Queue a cache-feedback event.
+    pub fn queue_event(&mut self, kind: EventKind, addr: u64) {
+        Request::Event { kind, addr }.encode_into(&mut self.w_buf);
+    }
+
+    /// Queue the session goodbye.
+    pub fn queue_bye(&mut self) {
+        Request::Bye.encode_into(&mut self.w_buf);
+    }
+
+    /// Write everything queued in one socket write.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.w_buf.is_empty() {
+            return Ok(());
+        }
+        write_all(&mut self.writer, &self.w_buf)?;
+        self.w_buf.clear();
+        Ok(())
+    }
+
+    /// Read the next reply; `None` on clean EOF.
+    pub fn recv(&mut self) -> io::Result<Option<Reply>> {
+        match read_frame(&mut self.reader, &mut self.payload)? {
+            Some(ty) => Reply::decode(ty, &self.payload).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Convenience: send one access and block for its reply.
+    pub fn request_decision(
+        &mut self,
+        req_id: u32,
+        deadline_us: u32,
+        access: MemAccess,
+        hit: bool,
+    ) -> io::Result<Reply> {
+        self.queue_access(req_id, deadline_us, access, hit);
+        self.flush()?;
+        match self.recv()? {
+            Some(reply) => Ok(reply),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before replying",
+            )),
+        }
+    }
+}

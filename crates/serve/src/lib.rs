@@ -1,0 +1,47 @@
+//! # resemble-serve
+//!
+//! An online, batched prefetch-decision service over the ReSemble
+//! ensemble — the serving layer for the ROADMAP's production north star.
+//! Clients stream memory accesses over a length-prefixed binary protocol
+//! on plain TCP ([`protocol`]); each connection is one session with its
+//! own ensemble/prefetcher state ([`session`]), pinned to a sharded
+//! worker thread ([`shard`]). Workers microbatch whatever a session has
+//! queued — up to `max_batch` — into single `Mlp::forward_batch` decision
+//! windows ([`batcher`], `ResembleMlp::on_access_window`), which keeps
+//! the PR-3 GEMM kernels on the serving hot path while staying
+//! **bit-identical** to an offline sequential run of the same stream, no
+//! matter how sessions interleave.
+//!
+//! The production envelope: bounded per-session queues with explicit
+//! `Busy` backpressure, per-request deadlines answered with `TimedOut`,
+//! graceful drain on shutdown (every queued request gets a reply before
+//! exit), and lock-free latency/batch-size telemetry snapshotted as JSONL
+//! ([`telemetry`]).
+//!
+//! ```no_run
+//! use resemble_serve::{ServeClient, ServeConfig, Server, SessionModel};
+//! use resemble_trace::MemAccess;
+//!
+//! let server = Server::start(ServeConfig::default(), SessionModel::default_builder())?;
+//! let mut client = ServeClient::connect(server.local_addr())?;
+//! client.hello("resemble", 42, true)?;
+//! let reply = client.request_decision(0, 0, MemAccess::load(0, 0x400, 0x1000), false)?;
+//! println!("{reply:?}");
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod shard;
+pub mod telemetry;
+
+pub use client::ServeClient;
+pub use protocol::{EventKind, Reply, Request};
+pub use server::{signal, ServeConfig, Server};
+pub use session::{offline_decisions, ModelBuilder, SessionModel};
+pub use telemetry::{Telemetry, TelemetrySnapshot};

@@ -1,0 +1,455 @@
+//! The server: accept loop, per-connection reader threads, shard worker
+//! threads, periodic telemetry snapshots, and graceful drain.
+//!
+//! Thread model (DESIGN.md §8): one acceptor polls a non-blocking
+//! listener; each connection gets a blocking reader thread that parses
+//! frames and enqueues commands onto the session's shard; one worker per
+//! shard executes batched decision windows. Shutdown is a drain, not an
+//! abort: stop accepting, unblock every reader (`shutdown(SHUT_RD)` on
+//! the sockets), let readers enqueue a final `Bye` per session, then let
+//! workers flush every queue — every in-flight request gets a `Decision`
+//! or `TimedOut` reply before the process exits with a final snapshot.
+
+use crate::batcher::{AccessReq, SessionCmd};
+use crate::protocol::{read_frame, Reply, Request};
+use crate::session::ModelBuilder;
+use crate::shard::{Conn, Enqueue, Shard};
+use crate::telemetry::{Telemetry, TelemetrySnapshot};
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests/bench).
+    pub addr: String,
+    /// Shard (worker thread) count.
+    pub shards: usize,
+    /// Maximum decision requests drained per session visit — the upper
+    /// bound of the microbatch window. 1 forces batch-of-1 serving.
+    pub max_batch: usize,
+    /// Bounded per-session queue capacity (commands). Accesses beyond it
+    /// answer `Busy`; events beyond it are dropped.
+    pub queue_cap: usize,
+    /// Where periodic JSONL telemetry snapshots go (`None` disables).
+    pub snapshot_path: Option<PathBuf>,
+    /// Interval between periodic snapshots.
+    pub snapshot_every: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 2,
+            max_batch: 64,
+            queue_cap: 256,
+            snapshot_path: None,
+            snapshot_every: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// aborts the threads without a drain; call `shutdown` for the graceful
+/// path.
+pub struct Server {
+    addr: SocketAddr,
+    cfg: ServeConfig,
+    shutdown: Arc<AtomicBool>,
+    input_closed: Arc<AtomicBool>,
+    snap_stop: Arc<AtomicBool>,
+    telemetry: Arc<Telemetry>,
+    shards: Vec<Arc<Shard>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    snapshotter: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start all threads. `builder` maps a Hello's model name to
+    /// a [`SessionModel`](crate::SessionModel) (see [`SessionModel::default_builder`](crate::SessionModel::default_builder)).
+    pub fn start(cfg: ServeConfig, builder: ModelBuilder) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let telemetry = Arc::new(Telemetry::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let input_closed = Arc::new(AtomicBool::new(false));
+        let snap_stop = Arc::new(AtomicBool::new(false));
+        let n_shards = cfg.shards.max(1);
+        let shards: Vec<Arc<Shard>> = (0..n_shards).map(|_| Shard::new()).collect();
+
+        let workers = shards
+            .iter()
+            .map(|shard| {
+                let shard = Arc::clone(shard);
+                let input_closed = Arc::clone(&input_closed);
+                let telemetry = Arc::clone(&telemetry);
+                let max_batch = cfg.max_batch.max(1);
+                std::thread::spawn(move || shard.worker_loop(&input_closed, &telemetry, max_batch))
+            })
+            .collect();
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let telemetry = Arc::clone(&telemetry);
+            let shards = shards.clone();
+            let queue_cap = cfg.queue_cap.max(1);
+            std::thread::spawn(move || {
+                accept_loop(listener, shutdown, shards, builder, telemetry, queue_cap);
+            })
+        };
+
+        let snapshotter = cfg.snapshot_path.clone().map(|path| {
+            let telemetry = Arc::clone(&telemetry);
+            let stop = Arc::clone(&snap_stop);
+            let every = cfg.snapshot_every;
+            std::thread::spawn(move || snapshot_loop(&path, &telemetry, &stop, every))
+        });
+
+        Ok(Server {
+            addr,
+            cfg,
+            shutdown,
+            input_closed,
+            snap_stop,
+            telemetry,
+            shards,
+            acceptor: Some(acceptor),
+            workers,
+            snapshotter,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live telemetry.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Request shutdown from another thread (e.g. a signal handler watcher)
+    /// without consuming the server.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// `true` once shutdown has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Graceful drain: stop accepting, unblock and join the readers (each
+    /// enqueues a final `Bye` for its session), flush every shard queue,
+    /// stop the snapshotter, and return the final telemetry snapshot
+    /// (also appended to the JSONL file when one is configured).
+    pub fn shutdown(mut self) -> TelemetrySnapshot {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // All readers are gone: no more enqueues. Workers drain to empty.
+        self.input_closed.store(true, Ordering::Release);
+        for shard in &self.shards {
+            shard.notify();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.snap_stop.store(true, Ordering::Release);
+        if let Some(h) = self.snapshotter.take() {
+            let _ = h.join();
+        }
+        let snap = self.telemetry.snapshot();
+        if let Some(path) = &self.cfg.snapshot_path {
+            append_snapshot(path, &snap);
+        }
+        snap
+    }
+}
+
+/// Accept connections until shutdown; then unblock every reader and join
+/// them so no enqueue can happen after the acceptor returns.
+fn accept_loop(
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    shards: Vec<Arc<Shard>>,
+    builder: ModelBuilder,
+    telemetry: Arc<Telemetry>,
+    queue_cap: usize,
+) {
+    let next_session = Arc::new(AtomicU64::new(1));
+    let live_streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                if let Ok(clone) = stream.try_clone() {
+                    live_streams
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(clone);
+                }
+                let shards = shards.clone();
+                let builder = Arc::clone(&builder);
+                let telemetry = Arc::clone(&telemetry);
+                let next_session = Arc::clone(&next_session);
+                readers.push(std::thread::spawn(move || {
+                    reader_loop(
+                        stream,
+                        &shards,
+                        &builder,
+                        &telemetry,
+                        &next_session,
+                        queue_cap,
+                    );
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    // Unblock readers stuck in read(2): half-close the read side. Their
+    // next read sees EOF, they enqueue a final Bye, and exit.
+    for s in live_streams
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+    {
+        let _ = s.shutdown(Shutdown::Read);
+    }
+    for h in readers {
+        let _ = h.join();
+    }
+}
+
+/// One connection: Hello handshake, then frames → session commands until
+/// Bye/EOF/error. Always enqueues a final `Bye` so the worker flushes and
+/// retires the session.
+fn reader_loop(
+    stream: TcpStream,
+    shards: &[Arc<Shard>],
+    builder: &ModelBuilder,
+    telemetry: &Telemetry,
+    next_session: &AtomicU64,
+    queue_cap: usize,
+) {
+    let conn = match stream.try_clone() {
+        Ok(w) => Conn::new(w),
+        Err(_) => return,
+    };
+    let mut r = BufReader::new(stream);
+    let mut payload: Vec<u8> = Vec::new();
+    let mut reply_buf: Vec<u8> = Vec::new();
+
+    // Handshake: the first frame must be Hello.
+    let (session_id, shard) = match read_frame(&mut r, &mut payload) {
+        Ok(Some(ty)) => match Request::decode(ty, &payload) {
+            Ok(Request::Hello { model, seed, fast }) => match builder(&model, seed, fast) {
+                Ok(m) => {
+                    let id = next_session.fetch_add(1, Ordering::Relaxed);
+                    let shard =
+                        match shards.get(usize::try_from(id % shards.len() as u64).unwrap_or(0)) {
+                            Some(s) => s,
+                            None => return,
+                        };
+                    shard.register(id, m, Arc::clone(&conn));
+                    telemetry.session_opened();
+                    send_reply(&conn, &mut reply_buf, &Reply::Accepted { session_id: id });
+                    (id, shard)
+                }
+                Err(message) => {
+                    telemetry.protocol_error();
+                    send_reply(&conn, &mut reply_buf, &Reply::Error { message });
+                    return;
+                }
+            },
+            Ok(_) | Err(_) => {
+                telemetry.protocol_error();
+                send_reply(
+                    &conn,
+                    &mut reply_buf,
+                    &Reply::Error {
+                        message: "expected Hello".to_string(),
+                    },
+                );
+                return;
+            }
+        },
+        _ => return,
+    };
+
+    loop {
+        match read_frame(&mut r, &mut payload) {
+            Ok(Some(ty)) => match Request::decode(ty, &payload) {
+                Ok(Request::Access {
+                    req_id,
+                    deadline_us,
+                    access,
+                    hit,
+                }) => {
+                    let enqueued = Instant::now();
+                    let deadline = (deadline_us > 0)
+                        .then(|| enqueued + Duration::from_micros(u64::from(deadline_us)));
+                    let cmd = SessionCmd::Access(AccessReq {
+                        req_id,
+                        access,
+                        hit,
+                        enqueued,
+                        deadline,
+                    });
+                    match shard.enqueue(session_id, cmd, queue_cap) {
+                        Enqueue::Busy => {
+                            telemetry.busy();
+                            send_reply(&conn, &mut reply_buf, &Reply::Busy { req_id });
+                        }
+                        Enqueue::SessionGone => break,
+                        _ => {}
+                    }
+                }
+                Ok(Request::Event { kind, addr }) => {
+                    match shard.enqueue(session_id, SessionCmd::Event { kind, addr }, queue_cap) {
+                        Enqueue::Dropped => telemetry.event_dropped(),
+                        Enqueue::SessionGone => break,
+                        _ => {}
+                    }
+                }
+                Ok(Request::Bye) => {
+                    let _ = shard.enqueue(session_id, SessionCmd::Bye, queue_cap);
+                    return; // Bye already enqueued: worker will flush + Goodbye.
+                }
+                Ok(Request::Hello { .. }) | Err(_) => {
+                    telemetry.protocol_error();
+                    send_reply(
+                        &conn,
+                        &mut reply_buf,
+                        &Reply::Error {
+                            message: "unexpected frame".to_string(),
+                        },
+                    );
+                    break;
+                }
+            },
+            Ok(None) => break, // clean EOF (client closed, or drain half-closed us)
+            Err(_) => {
+                telemetry.protocol_error();
+                break;
+            }
+        }
+    }
+    // Connection ended without an explicit Bye: flush and retire anyway.
+    let _ = shard.enqueue(session_id, SessionCmd::Bye, queue_cap);
+}
+
+fn send_reply(conn: &Conn, buf: &mut Vec<u8>, reply: &Reply) {
+    buf.clear();
+    reply.encode_into(buf);
+    let _ = conn.send(buf);
+}
+
+/// Append periodic snapshots to a JSONL file until told to stop.
+fn snapshot_loop(path: &PathBuf, telemetry: &Telemetry, stop: &AtomicBool, every: Duration) {
+    let mut last = Instant::now();
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(25));
+        if last.elapsed() >= every {
+            append_snapshot(path, &telemetry.snapshot());
+            last = Instant::now();
+        }
+    }
+}
+
+fn append_snapshot(path: &PathBuf, snap: &TelemetrySnapshot) {
+    let Ok(line) = serde_json::to_string(snap) else {
+        return;
+    };
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path);
+    if let Ok(mut f) = file {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+/// Process-wide SIGINT/SIGTERM latch for the serve binaries: `install`
+/// registers a minimal async-signal-safe handler (one atomic store);
+/// `triggered` is polled by the binary's main loop, which then calls
+/// [`Server::shutdown`] for the graceful drain. Tests drive `shutdown`
+/// directly and never touch this.
+pub mod signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_sig: i32) {
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    /// Register the handler for SIGINT (2) and SIGTERM (15).
+    pub fn install() {
+        // No libc crate in the vendored workspace: declare signal(2)
+        // directly. The handler only stores an atomic flag, which is
+        // async-signal-safe.
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+        }
+        unsafe {
+            signal(2, on_signal);
+            signal(15, on_signal);
+        }
+    }
+
+    /// `true` once a registered signal has fired.
+    pub fn triggered() -> bool {
+        TRIGGERED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionModel;
+
+    #[test]
+    fn server_starts_and_drains_with_no_clients() {
+        let server =
+            Server::start(ServeConfig::default(), SessionModel::default_builder()).expect("starts");
+        assert_ne!(server.local_addr().port(), 0);
+        let snap = server.shutdown();
+        assert_eq!(snap.sessions_opened, 0);
+        assert_eq!(snap.decisions, 0);
+    }
+
+    #[test]
+    fn final_snapshot_lands_in_jsonl() {
+        let dir = std::env::temp_dir().join(format!("resemble_serve_test_{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("telemetry.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let cfg = ServeConfig {
+            snapshot_path: Some(path.clone()),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg, SessionModel::default_builder()).expect("starts");
+        let _ = server.shutdown();
+        let text = std::fs::read_to_string(&path).expect("snapshot file exists");
+        let last = text.lines().last().expect("at least one line");
+        let snap = serde_json::from_str(last).expect("valid JSON");
+        assert_eq!(snap.get("decisions").and_then(|v| v.as_u64()), Some(0));
+        let _ = std::fs::remove_file(&path);
+    }
+}

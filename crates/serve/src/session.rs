@@ -1,0 +1,197 @@
+//! Per-session model state: what a connected client's access stream is
+//! served by, and how a drained run of requests is applied to it.
+//!
+//! One connection is one session is one model instance — sessions never
+//! share learned state, which is what makes served decisions bit-identical
+//! to an offline run of the same stream no matter how the scheduler
+//! interleaves sessions. The [`ResembleMlp`] controller gets the batched
+//! decision-window path ([`ResembleMlp::on_access_window`], one
+//! `forward_batch` per window); every other prefetcher runs its ordinary
+//! sequential `on_access` loop.
+
+use crate::protocol::EventKind;
+use resemble_core::{ResembleConfig, ResembleMlp};
+use resemble_prefetch::{paper_bank, BestOffset, Prefetcher, Spp, Streamer, StridePrefetcher};
+use resemble_trace::MemAccess;
+use std::sync::Arc;
+
+/// The model a session's requests are applied to.
+pub enum SessionModel {
+    /// The DQN ensemble controller, served through the batched
+    /// decision-window path.
+    Mlp(Box<ResembleMlp>),
+    /// Any other prefetcher, served sequentially.
+    Boxed(Box<dyn Prefetcher + Send>),
+}
+
+/// Builds a [`SessionModel`] from a Hello's `(model, seed, fast)` triple.
+/// The server takes one of these so binaries can widen the registry (the
+/// bench `serve` bin plugs in the full factory) without this crate
+/// depending on them.
+pub type ModelBuilder = Arc<dyn Fn(&str, u64, bool) -> Result<SessionModel, String> + Send + Sync>;
+
+impl SessionModel {
+    /// The built-in registry: the two ReSemble serving configurations plus
+    /// a few cheap classical prefetchers for tests and load generation.
+    pub fn build(model: &str, seed: u64, fast: bool) -> Result<SessionModel, String> {
+        let cfg = if fast {
+            ResembleConfig::fast()
+        } else {
+            ResembleConfig::default()
+        };
+        Ok(match model {
+            "resemble" => SessionModel::Mlp(Box::new(ResembleMlp::new(paper_bank(), cfg, seed))),
+            "resemble_frozen" => {
+                // Deployment-style serving: inference only, no online
+                // training, so decision windows are unbounded.
+                let mut m = ResembleMlp::new(paper_bank(), cfg, seed);
+                m.agent_mut().frozen = true;
+                SessionModel::Mlp(Box::new(m))
+            }
+            "bo" => SessionModel::Boxed(Box::new(BestOffset::new())),
+            "spp" => SessionModel::Boxed(Box::new(Spp::new())),
+            "stride" => SessionModel::Boxed(Box::new(StridePrefetcher::default())),
+            "streamer" => SessionModel::Boxed(Box::new(Streamer::default())),
+            other => return Err(format!("unknown model '{other}'")),
+        })
+    }
+
+    /// The default [`ModelBuilder`] wrapping [`SessionModel::build`].
+    pub fn default_builder() -> ModelBuilder {
+        Arc::new(SessionModel::build)
+    }
+
+    fn prefetcher_mut(&mut self) -> &mut (dyn Prefetcher + Send) {
+        match self {
+            SessionModel::Mlp(m) => &mut **m,
+            SessionModel::Boxed(b) => &mut **b,
+        }
+    }
+
+    /// Apply a run of consecutive accesses, calling
+    /// `emit(index_in_run, issued_prefetches)` once per access in order.
+    pub fn on_run(&mut self, accesses: &[(MemAccess, bool)], mut emit: impl FnMut(usize, &[u64])) {
+        match self {
+            SessionModel::Mlp(m) => m.on_access_window(accesses, emit),
+            SessionModel::Boxed(b) => {
+                let mut out = Vec::new();
+                for (k, (access, hit)) in accesses.iter().enumerate() {
+                    out.clear();
+                    b.on_access(access, *hit, &mut out);
+                    emit(k, &out);
+                }
+            }
+        }
+    }
+
+    /// Apply one cache-feedback event in stream order.
+    pub fn on_event(&mut self, kind: EventKind, addr: u64) {
+        let p = self.prefetcher_mut();
+        match kind {
+            EventKind::PrefetchFill => p.on_prefetch_fill(addr),
+            EventKind::DemandFill => p.on_demand_fill(addr),
+            EventKind::Evict { unused_prefetch } => p.on_evict(addr, unused_prefetch),
+        }
+    }
+
+    /// Bit patterns of the controller's network parameters, if this model
+    /// has any (the determinism tests compare these across serving paths).
+    pub fn param_bits(&self) -> Option<Vec<u32>> {
+        match self {
+            SessionModel::Mlp(m) => Some(m.agent().param_bits()),
+            SessionModel::Boxed(_) => None,
+        }
+    }
+}
+
+/// Offline reference run: the plain sequential `Prefetcher::on_access`
+/// loop over a trace, returning the issued prefetches per access. This is
+/// the ground truth the loopback bit-identity tests compare served
+/// decisions against.
+pub fn offline_decisions(model: &mut SessionModel, trace: &[(MemAccess, bool)]) -> Vec<Vec<u64>> {
+    let p = model.prefetcher_mut();
+    let mut out = Vec::new();
+    let mut decisions = Vec::with_capacity(trace.len());
+    for (access, hit) in trace {
+        out.clear();
+        p.on_access(access, *hit, &mut out);
+        decisions.push(out.clone());
+    }
+    decisions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(n: u64) -> Vec<(MemAccess, bool)> {
+        (0..n)
+            .map(|i| {
+                (
+                    MemAccess::load(i, 0x400 + (i % 7) * 4, 0x10_0000 + i * 64),
+                    i % 3 == 0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn registry_builds_known_models_and_rejects_unknown() {
+        for name in [
+            "resemble",
+            "resemble_frozen",
+            "bo",
+            "spp",
+            "stride",
+            "streamer",
+        ] {
+            assert!(SessionModel::build(name, 1, true).is_ok(), "{name}");
+        }
+        let err = SessionModel::build("nope", 1, true).err().expect("unknown");
+        assert!(err.contains("nope"));
+    }
+
+    #[test]
+    fn run_matches_offline_for_boxed_models() {
+        let t = trace(200);
+        let mut offline = SessionModel::build("bo", 7, true).expect("builds");
+        let expect = offline_decisions(&mut offline, &t);
+        let mut served = SessionModel::build("bo", 7, true).expect("builds");
+        let mut got: Vec<Vec<u64>> = Vec::new();
+        for chunk in t.chunks(13) {
+            served.on_run(chunk, |_, issued| got.push(issued.to_vec()));
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn run_matches_offline_for_mlp_models() {
+        let t = trace(300);
+        let mut offline = SessionModel::build("resemble", 11, true).expect("builds");
+        let expect = offline_decisions(&mut offline, &t);
+        let mut served = SessionModel::build("resemble", 11, true).expect("builds");
+        let mut got: Vec<Vec<u64>> = Vec::new();
+        for chunk in t.chunks(37) {
+            served.on_run(chunk, |_, issued| got.push(issued.to_vec()));
+        }
+        assert_eq!(got, expect);
+        assert_eq!(served.param_bits(), offline.param_bits());
+        assert!(served.param_bits().is_some());
+    }
+
+    #[test]
+    fn events_dispatch_without_error() {
+        let mut m = SessionModel::build("resemble", 3, true).expect("builds");
+        m.on_event(EventKind::PrefetchFill, 0x1000);
+        m.on_event(EventKind::DemandFill, 0x1040);
+        m.on_event(
+            EventKind::Evict {
+                unused_prefetch: true,
+            },
+            0x1000,
+        );
+        let mut issued = 0usize;
+        m.on_run(&trace(5), |_, p| issued += p.len());
+        let _ = issued;
+    }
+}

@@ -1,0 +1,341 @@
+//! Sharded session workers: per-session bounded queues, round-robin
+//! scheduling, and the decision loop that executes drain plans.
+//!
+//! Sessions are assigned to a shard by `session_id % n_shards`; each
+//! shard has exactly one worker thread, which is what serializes all
+//! model access for a session (replies go out in stream order, no model
+//! locking). Reader threads enqueue commands under the shard lock and
+//! wake the worker; the worker drains up to `max_batch` requests per
+//! session visit, releases the lock, runs the batched decision windows,
+//! and writes all replies of the visit with a single socket write. This
+//! file is on the decision hot path (`panic-in-hot-path` scope): no
+//! panics, no literal indexing; poisoned locks are re-entered because a
+//! panicked peer thread must not take the server down.
+
+use crate::batcher::{drain_session, DrainPlan, PlanOp, SessionCmd};
+use crate::protocol::{encode_decision_into, Reply};
+use crate::session::SessionModel;
+use crate::telemetry::Telemetry;
+use resemble_trace::MemAccess;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// The write half of a client connection, shared between the reader
+/// thread (Accepted/Busy/Error replies) and the shard worker (Decision/
+/// TimedOut/Goodbye replies). Each `send` is one `write(2)` of a batch of
+/// pre-encoded frames, so reply syscalls amortize across a whole drain.
+pub struct Conn {
+    stream: Mutex<TcpStream>,
+}
+
+impl Conn {
+    /// Wrap a connected stream.
+    pub fn new(stream: TcpStream) -> Arc<Conn> {
+        Arc::new(Conn {
+            stream: Mutex::new(stream),
+        })
+    }
+
+    /// Write a batch of pre-encoded frames atomically with respect to
+    /// other senders on this connection.
+    pub fn send(&self, bytes: &[u8]) -> io::Result<()> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let mut g = self.stream.lock().unwrap_or_else(PoisonError::into_inner);
+        g.write_all(bytes)
+    }
+}
+
+/// Outcome of enqueueing a command onto a session's bounded queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueue {
+    /// Queued; the worker was notified.
+    Accepted,
+    /// Queue full: the request must be answered with `Busy`.
+    Busy,
+    /// Queue full: the event was dropped (events carry no reply).
+    Dropped,
+    /// No such session (already said goodbye).
+    SessionGone,
+}
+
+struct Slot {
+    id: u64,
+    /// `None` while the worker has the model checked out.
+    model: Option<SessionModel>,
+    queue: VecDeque<SessionCmd>,
+    conn: Arc<Conn>,
+    decisions: u64,
+}
+
+struct Inner {
+    slots: Vec<Slot>,
+    cursor: usize,
+}
+
+/// One shard: its sessions, their queues, and the condvar its worker
+/// sleeps on.
+pub struct Shard {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl Shard {
+    /// An empty shard.
+    pub fn new() -> Arc<Shard> {
+        Arc::new(Shard {
+            inner: Mutex::new(Inner {
+                slots: Vec::new(),
+                cursor: 0,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Add a session to this shard.
+    pub fn register(&self, id: u64, model: SessionModel, conn: Arc<Conn>) {
+        let mut g = self.lock();
+        g.slots.push(Slot {
+            id,
+            model: Some(model),
+            queue: VecDeque::new(),
+            conn,
+            decisions: 0,
+        });
+        drop(g);
+        self.cv.notify_one();
+    }
+
+    /// Enqueue a command for a session, enforcing the bounded queue: at
+    /// `cap` queued commands, accesses bounce with [`Enqueue::Busy`] and
+    /// events are dropped; `Bye` is always accepted so a session can
+    /// always terminate.
+    pub fn enqueue(&self, id: u64, cmd: SessionCmd, cap: usize) -> Enqueue {
+        let mut g = self.lock();
+        let Some(slot) = g.slots.iter_mut().find(|s| s.id == id) else {
+            return Enqueue::SessionGone;
+        };
+        let full = slot.queue.len() >= cap.max(1);
+        let verdict = match cmd {
+            SessionCmd::Access(_) if full => Enqueue::Busy,
+            SessionCmd::Event { .. } if full => Enqueue::Dropped,
+            cmd => {
+                slot.queue.push_back(cmd);
+                Enqueue::Accepted
+            }
+        };
+        drop(g);
+        if verdict == Enqueue::Accepted {
+            self.cv.notify_one();
+        }
+        verdict
+    }
+
+    /// Wake the worker (used during shutdown to re-check exit conditions).
+    pub fn notify(&self) {
+        self.cv.notify_all();
+    }
+
+    /// The shard worker loop: runs until `input_closed` is set *and* every
+    /// queue is drained. Readers guarantee a `Bye` is enqueued for every
+    /// session before `input_closed`, so by exit all sessions have been
+    /// flushed and answered.
+    pub fn worker_loop(
+        self: &Arc<Self>,
+        input_closed: &AtomicBool,
+        telemetry: &Telemetry,
+        max_batch: usize,
+    ) {
+        let mut plan = DrainPlan::new();
+        let mut acc_buf: Vec<(MemAccess, bool)> = Vec::new();
+        let mut counts: Vec<usize> = Vec::new();
+        let mut out_buf: Vec<u8> = Vec::new();
+        loop {
+            // Pick the next session with queued work (round-robin) and
+            // drain its queue under the lock; all model work and socket
+            // I/O happen with the lock released.
+            let mut g = self.lock();
+            let n = g.slots.len();
+            let mut picked = None;
+            for off in 0..n {
+                let i = (g.cursor + off) % n;
+                let has_work = g
+                    .slots
+                    .get(i)
+                    .is_some_and(|s| s.model.is_some() && !s.queue.is_empty());
+                if has_work {
+                    picked = Some(i);
+                    break;
+                }
+            }
+            let Some(i) = picked else {
+                let idle = g.slots.iter().all(|s| s.queue.is_empty());
+                if idle && input_closed.load(Ordering::Acquire) {
+                    return;
+                }
+                let (g, _) = match self.cv.wait_timeout(g, Duration::from_millis(20)) {
+                    Ok(pair) => pair,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                drop(g);
+                continue;
+            };
+            g.cursor = (i + 1) % n;
+            let Some(slot) = g.slots.get_mut(i) else {
+                continue;
+            };
+            let Some(mut model) = slot.model.take() else {
+                continue;
+            };
+            drain_session(&mut slot.queue, max_batch, Instant::now(), &mut plan);
+            let id = slot.id;
+            let conn = Arc::clone(&slot.conn);
+            let prior = slot.decisions;
+            drop(g);
+
+            // Execute the plan: runs become batched decision windows,
+            // events apply in stream order, expired requests answer
+            // TimedOut. Replies accumulate into one buffer.
+            out_buf.clear();
+            let mut served = 0u64;
+            for op in &plan.ops {
+                match *op {
+                    PlanOp::Event { kind, addr } => {
+                        model.on_event(kind, addr);
+                        telemetry.event();
+                    }
+                    PlanOp::Run { start, len } => {
+                        let reqs = plan.run.get(start..start + len).unwrap_or(&[]);
+                        acc_buf.clear();
+                        acc_buf.extend(reqs.iter().map(|r| (r.access, r.hit)));
+                        counts.clear();
+                        model.on_run(&acc_buf, |k, issued| {
+                            if let Some(r) = reqs.get(k) {
+                                encode_decision_into(&mut out_buf, r.req_id, issued);
+                            }
+                            counts.push(issued.len());
+                        });
+                        let done = Instant::now();
+                        for (r, c) in reqs.iter().zip(counts.iter()) {
+                            let us = done.saturating_duration_since(r.enqueued).as_micros();
+                            telemetry.decision(u64::try_from(us).unwrap_or(u64::MAX), *c);
+                        }
+                        telemetry.batch(reqs.len());
+                        served += reqs.len() as u64;
+                    }
+                }
+            }
+            for r in &plan.timed_out {
+                Reply::TimedOut { req_id: r.req_id }.encode_into(&mut out_buf);
+                telemetry.timeout();
+            }
+            if plan.saw_bye {
+                Reply::Goodbye {
+                    decisions: prior + served,
+                }
+                .encode_into(&mut out_buf);
+            }
+            // One socket write for the whole visit; a vanished client is
+            // the client's problem, the session still drains.
+            let _ = conn.send(&out_buf);
+
+            // Return the model (or retire the session on Bye).
+            let mut g = self.lock();
+            let at = if g.slots.get(i).is_some_and(|s| s.id == id) {
+                Some(i)
+            } else {
+                g.slots.iter().position(|s| s.id == id)
+            };
+            if let Some(at) = at {
+                if plan.saw_bye {
+                    g.slots.swap_remove(at);
+                    telemetry.session_closed();
+                } else if let Some(slot) = g.slots.get_mut(at) {
+                    slot.model = Some(model);
+                    slot.decisions = prior + served;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::AccessReq;
+    use std::net::{TcpListener, TcpStream};
+
+    fn loopback_conn() -> (Arc<Conn>, TcpStream) {
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = l.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server_side, _) = l.accept().expect("accept");
+        (Conn::new(server_side), client)
+    }
+
+    fn access(id: u32) -> SessionCmd {
+        SessionCmd::Access(AccessReq {
+            req_id: id,
+            access: MemAccess::load(u64::from(id), 0x400, 0x2000 + u64::from(id) * 64),
+            hit: false,
+            enqueued: Instant::now(),
+            deadline: None,
+        })
+    }
+
+    #[test]
+    fn bounded_queue_bounces_accesses_and_drops_events() {
+        let shard = Shard::new();
+        let (conn, _client) = loopback_conn();
+        let model = SessionModel::build("stride", 1, true).expect("builds");
+        shard.register(9, model, conn);
+        for i in 0..4 {
+            assert_eq!(shard.enqueue(9, access(i), 4), Enqueue::Accepted);
+        }
+        assert_eq!(shard.enqueue(9, access(99), 4), Enqueue::Busy);
+        assert_eq!(
+            shard.enqueue(
+                9,
+                SessionCmd::Event {
+                    kind: crate::protocol::EventKind::DemandFill,
+                    addr: 0x40
+                },
+                4
+            ),
+            Enqueue::Dropped
+        );
+        // Bye is always accepted so the session can terminate.
+        assert_eq!(shard.enqueue(9, SessionCmd::Bye, 4), Enqueue::Accepted);
+        assert_eq!(shard.enqueue(77, access(0), 4), Enqueue::SessionGone);
+    }
+
+    #[test]
+    fn worker_drains_to_exit_after_input_closed() {
+        let shard = Shard::new();
+        let (conn, client) = loopback_conn();
+        let model = SessionModel::build("stride", 2, true).expect("builds");
+        shard.register(1, model, conn);
+        for i in 0..10 {
+            assert_eq!(shard.enqueue(1, access(i), 64), Enqueue::Accepted);
+        }
+        assert_eq!(shard.enqueue(1, SessionCmd::Bye, 64), Enqueue::Accepted);
+        let telemetry = Telemetry::new();
+        let input_closed = AtomicBool::new(true);
+        // Runs on this thread: must terminate once the queue is flushed.
+        shard.worker_loop(&input_closed, &telemetry, 4);
+        let s = telemetry.snapshot();
+        assert_eq!(s.decisions, 10);
+        assert_eq!(s.sessions_closed, 1);
+        assert!(s.batches >= 3, "max_batch=4 over 10 requests");
+        drop(client);
+    }
+}

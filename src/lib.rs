@@ -14,6 +14,8 @@
 //! * [`core`] — the ReSemble RL ensemble framework itself (DQN and
 //!   tabular controllers, lazy sampling, SBP(E) baseline)
 //! * [`stats`] — metrics and reporting helpers
+//! * [`serve`] — online prefetch-decision service (length-prefixed TCP
+//!   protocol, sharded microbatching workers, latency telemetry)
 //!
 //! ```
 //! use resemble::prelude::*;
@@ -26,6 +28,7 @@
 pub use resemble_core as core;
 pub use resemble_nn as nn;
 pub use resemble_prefetch as prefetch;
+pub use resemble_serve as serve;
 pub use resemble_sim as sim;
 pub use resemble_stats as stats;
 pub use resemble_trace as trace;

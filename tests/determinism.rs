@@ -90,6 +90,59 @@ fn tabular_controller_runs_are_bit_identical() {
 }
 
 #[test]
+fn served_session_is_bit_identical_to_offline_run() {
+    // Serving the same access stream over the socket — microbatched by the
+    // shard worker — must leave the controller in the same state and issue
+    // the same prefetches as the plain sequential run, including the final
+    // network parameters bit for bit.
+    use resemble::serve::{offline_decisions, ServeClient, ServeConfig, Server, SessionModel};
+
+    let trace: Vec<(MemAccess, bool)> = {
+        let mut app = app_by_name(APP, SEED).expect("known app");
+        app.source
+            .collect_n(2_000)
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| (a, i % 4 != 0))
+            .collect()
+    };
+
+    let mut offline_model = SessionModel::build("resemble", SEED, true).expect("model builds");
+    let offline = offline_decisions(&mut offline_model, &trace);
+
+    let server = Server::start(ServeConfig::default(), SessionModel::default_builder())
+        .expect("server starts");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    client.hello("resemble", SEED, true).expect("hello");
+    let mut served: Vec<Vec<u64>> = vec![Vec::new(); trace.len()];
+    let mut next_id = 0u32;
+    for chunk in trace.chunks(32) {
+        for (access, hit) in chunk {
+            client.queue_access(next_id, 0, *access, *hit);
+            next_id += 1;
+        }
+        client.flush().expect("flush");
+        for _ in 0..chunk.len() {
+            match client.recv().expect("recv").expect("reply") {
+                resemble::serve::Reply::Decision { req_id, prefetches } => {
+                    served[req_id as usize] = prefetches;
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+    }
+    client.queue_bye();
+    client.flush().expect("flush bye");
+    let _ = client.recv();
+    let _ = server.shutdown();
+
+    assert_eq!(
+        served, offline,
+        "served decisions diverged from offline run"
+    );
+}
+
+#[test]
 fn baseline_engine_runs_are_bit_identical() {
     // No controller in the loop: the engine + generator alone must also
     // reproduce exactly (catches nondeterminism below the ensemble layer).
