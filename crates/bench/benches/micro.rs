@@ -7,6 +7,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use resemble_bench::factory;
 use resemble_core::preprocess::fold_hash;
 use resemble_core::{Datapath, DqnAgent, ReplayMemory, ResembleConfig};
+use resemble_nn::simd;
 use resemble_nn::{Activation, Matrix, Mlp, Sgd};
 use resemble_prefetch::{
     BestOffset, Domino, Isb, NextLine, Prefetcher, Spp, StridePrefetcher, Vldp,
@@ -109,6 +110,26 @@ fn bench_controller(c: &mut Criterion) {
             black_box(tgrads.samples)
         })
     });
+    // Per-backend variants of the two full-training-batch kernels: each
+    // available SIMD backend is forced for the measurement's duration so
+    // the report attributes GEMM throughput to an ISA (the unsuffixed
+    // names above measure whatever runtime dispatch selected).
+    for &be in simd::available() {
+        group.bench_function(format!("forward256_batched_{be}"), |b| {
+            let _guard = simd::force(be);
+            b.iter(|| {
+                let out = net.forward_batch(black_box(&txs), &mut tscratch);
+                black_box(out.get(0, 0))
+            })
+        });
+        group.bench_function(format!("backward256_batched_{be}"), |b| {
+            let _guard = simd::force(be);
+            b.iter(|| {
+                tnet.backward_batch(&mut tscratch, black_box(&og), &mut tgrads);
+                black_box(tgrads.samples)
+            })
+        });
+    }
     for (label, dp) in [
         ("train_once_batched", Datapath::Batched),
         ("train_once_per_sample", Datapath::PerSample),

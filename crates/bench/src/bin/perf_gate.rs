@@ -15,6 +15,13 @@
 //! (the datapaths are bit-identical by construction, so any divergence is
 //! a kernel bug).
 //!
+//! After the controller section, a **kernel-throughput** section times
+//! the raw batched kernel path (forward + backward minibatch on the
+//! controller-shaped `[4, 100, 5]` MLP at batch 256) once per SIMD
+//! backend available on the host, forced via `resemble_nn::simd::force`.
+//! The gated ratio is dispatched-backend steps/s over scalar steps/s —
+//! the direct measure of what the runtime-dispatched kernels buy.
+//!
 //! Modes:
 //! * default — measure, print the tables, write `--json` (default
 //!   `BENCH_sim.json`).
@@ -41,15 +48,22 @@
 //! * `controller_speedup` — geo-mean accesses/sec ratio of the batched
 //!   DQN datapath over the per-sample reference datapath on the
 //!   controller jobs: the RL-controller hot path itself.
+//! * `kernel_speedup` — dispatched-backend over scalar-backend steps/s
+//!   on the raw batched kernel path (`--min-kernel-speedup`, default
+//!   1.3). Gated only when the dispatched backend is not already
+//!   scalar, so the gate stays green on hosts without SSE2/AVX2 and
+//!   under `RESEMBLE_SIMD=scalar`.
 //!
 //! Usage: `cargo run --release -p resemble-bench --bin perf_gate --
 //! [--check] [--write-baseline] [--accesses N] [--warmup N] [--reps N]
 //! [--apps a,b] [--json PATH] [--baseline PATH] [--min-speedup X]
 //! [--controller-apps a,b] [--controller-warmup N]
 //! [--controller-accesses N] [--min-controller-speedup X]
-//! [--no-controller]`
+//! [--no-controller] [--kernel-steps N] [--min-kernel-speedup X]`
 
 use resemble_bench::{factory, report, Options};
+use resemble_nn::simd;
+use resemble_nn::{Activation, Matrix, Mlp};
 use resemble_sim::{Engine, ReferenceEngine, SimConfig, SimStats};
 use resemble_stats::{geo_mean, Table};
 use resemble_trace::gen::spec_like::APP_NAMES;
@@ -87,6 +101,28 @@ struct ControllerJobReport {
     stats_match: bool,
 }
 
+/// Throughput of the raw batched kernel path under one forced backend.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KernelBackendReport {
+    backend: String,
+    steps_per_sec: f64,
+}
+
+/// The kernel-throughput section: every backend available on this host,
+/// measured on the same controller-shaped minibatch workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KernelReport {
+    /// Backend runtime dispatch selected (after `RESEMBLE_SIMD`).
+    dispatched: String,
+    sizes: Vec<usize>,
+    batch: usize,
+    steps: usize,
+    backends: Vec<KernelBackendReport>,
+    /// Dispatched-backend steps/s over scalar steps/s; 1.0 by definition
+    /// when scalar *is* the dispatched backend.
+    speedup: f64,
+}
+
 /// The full machine-readable report (`BENCH_sim.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct GateReport {
@@ -113,6 +149,10 @@ struct GateReport {
     controller_speedup: f64,
     /// Geo-mean controller-path accesses/sec on the batched datapath.
     controller_aps: f64,
+    /// Per-backend kernel throughput; `kernel.speedup` is the third
+    /// gated metric ("dispatched SIMD backend vs scalar on the raw
+    /// batched kernel path").
+    kernel: KernelReport,
 }
 
 /// The committed regression baseline (speedups only: machine-portable).
@@ -120,6 +160,7 @@ struct GateReport {
 struct Baseline {
     engine_core_speedup: f64,
     controller_speedup: f64,
+    kernel_speedup: f64,
     aggregate_speedup: f64,
     geo_mean_speedup: f64,
 }
@@ -148,6 +189,83 @@ where
     (t0.elapsed().as_secs_f64(), s)
 }
 
+/// Time the raw batched kernel path once per available SIMD backend:
+/// one step = `forward_batch` + `backward_batch` on the
+/// controller-shaped `[4, 100, 5]` MLP at batch 256. Each backend is
+/// forced via [`simd::force`] on the same warm host, so the
+/// dispatched/scalar ratio isolates the kernel code generation —
+/// the outputs are bit-identical across backends by construction
+/// (enforced by the nn crate's backend-sweep tests, not re-checked
+/// here).
+fn measure_kernels(reps: usize, steps: usize) -> KernelReport {
+    let sizes = vec![4usize, 100, 5];
+    let batch = 256usize;
+    let net = Mlp::new(&sizes, Activation::Relu, 42);
+    let xs = Matrix::from_fn(batch, sizes[0], |r, c| {
+        ((r * 7 + c * 13) % 31) as f32 / 8.0 - 1.9
+    });
+    let out_grads = Matrix::from_fn(batch, sizes[2], |r, c| {
+        ((r * 5 + c * 3) % 17) as f32 / 8.0 - 1.0
+    });
+    // Interleave backends within each rep (rather than timing all reps of
+    // one backend back-to-back): a slow phase on a shared host then hits
+    // every backend, and best-of over reps keeps the *ratios* stable even
+    // when the absolute rates wobble.
+    let avail = simd::available();
+    let mut best = vec![f64::INFINITY; avail.len()];
+    let mut states: Vec<_> = avail
+        .iter()
+        .map(|_| (net.make_batch_scratch(batch), net.make_grad_buffer()))
+        .collect();
+    // Rep 0 is an untimed warm-up (allocation, frequency ramp).
+    for rep in 0..=reps.max(5) {
+        for (i, &be) in avail.iter().enumerate() {
+            let _guard = simd::force(be);
+            let (scratch, grads) = &mut states[i];
+            let t0 = Instant::now();
+            for _ in 0..steps {
+                let _ = net.forward_batch(&xs, scratch);
+                net.backward_batch(scratch, &out_grads, grads);
+                grads.clear();
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            if rep > 0 {
+                best[i] = best[i].min(dt);
+            }
+        }
+    }
+    let backends: Vec<KernelBackendReport> = avail
+        .iter()
+        .zip(&best)
+        .map(|(be, dt)| KernelBackendReport {
+            backend: be.name().to_string(),
+            steps_per_sec: steps as f64 / dt,
+        })
+        .collect();
+    let rate = |name: &str| {
+        backends
+            .iter()
+            .find(|b| b.backend == name)
+            .map(|b| b.steps_per_sec)
+            .unwrap_or(0.0)
+    };
+    let dispatched = simd::dispatched().name().to_string();
+    let scalar_rate = rate("scalar");
+    let speedup = if scalar_rate > 0.0 {
+        rate(&dispatched) / scalar_rate
+    } else {
+        0.0
+    };
+    KernelReport {
+        dispatched,
+        sizes,
+        batch,
+        steps,
+        backends,
+        speedup,
+    }
+}
+
 fn main() {
     let opts = Options::from_env_checked(&[
         "check",
@@ -161,6 +279,8 @@ fn main() {
         "controller-accesses",
         "controller-warmup",
         "reps",
+        "kernel-steps",
+        "min-kernel-speedup",
     ]);
     let warmup = opts.usize("warmup", 10_000);
     let measure = opts.usize("accesses", 40_000);
@@ -174,6 +294,11 @@ fn main() {
         .str("min-controller-speedup")
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(2.0);
+    let min_kernel_speedup = opts
+        .str("min-kernel-speedup")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.3);
+    let kernel_steps = opts.usize("kernel-steps", 200).max(1);
     let controller_warmup = opts.usize("controller-warmup", 1_000);
     let controller_measure = opts.usize("controller-accesses", 5_000);
     let no_controller = opts.flag("no-controller");
@@ -367,6 +492,10 @@ fn main() {
         }
     }
 
+    // Kernel-throughput section: the raw batched kernel path, once per
+    // available backend, on the now-warm host.
+    let kernel = measure_kernels(reps, kernel_steps);
+
     let total_accesses: usize = jobs.iter().map(|j| j.accesses).sum();
     let engine_secs: f64 = jobs.iter().map(|j| j.engine_secs).sum();
     let reference_secs: f64 = jobs.iter().map(|j| j.reference_secs).sum();
@@ -405,6 +534,7 @@ fn main() {
         },
         controller_jobs,
         jobs,
+        kernel,
     };
 
     // Per-app table: accesses/sec (engine), speedup per prefetcher column.
@@ -492,6 +622,45 @@ fn main() {
         );
     }
 
+    {
+        let mut kt = Table::new(vec!["backend", "steps/s", "x scalar"]);
+        let scalar_rate = rep
+            .kernel
+            .backends
+            .iter()
+            .find(|b| b.backend == "scalar")
+            .map(|b| b.steps_per_sec)
+            .unwrap_or(0.0);
+        for b in &rep.kernel.backends {
+            kt.row(vec![
+                format!(
+                    "{}{}",
+                    b.backend,
+                    if b.backend == rep.kernel.dispatched {
+                        " (dispatched)"
+                    } else {
+                        ""
+                    }
+                ),
+                format!("{:.0}", b.steps_per_sec),
+                if scalar_rate > 0.0 {
+                    format!("{:.2}", b.steps_per_sec / scalar_rate)
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
+        println!(
+            "\nkernel path ({:?} MLP, batch {}, forward+backward per step):",
+            rep.kernel.sizes, rep.kernel.batch
+        );
+        println!("{}", kt.render());
+        println!(
+            "kernel speedup (gated when dispatched != scalar): {:.2}x dispatched ({}) vs scalar (target >= {min_kernel_speedup:.2}x)",
+            rep.kernel.speedup, rep.kernel.dispatched
+        );
+    }
+
     if let Err(e) = std::fs::write(
         &json_path,
         serde_json::to_string_pretty(&rep).expect("report serializes"),
@@ -532,9 +701,18 @@ fn main() {
             eprintln!("error: cannot write a baseline from a --no-controller run");
             std::process::exit(2);
         }
+        if rep.kernel.dispatched == "scalar" {
+            eprintln!(
+                "error: cannot write a baseline from a scalar-dispatched run \
+                 (RESEMBLE_SIMD=scalar or a host without SSE2): kernel_speedup \
+                 would freeze at 1.0"
+            );
+            std::process::exit(2);
+        }
         let b = Baseline {
             engine_core_speedup: rep.engine_core_speedup,
             controller_speedup: rep.controller_speedup,
+            kernel_speedup: rep.kernel.speedup,
             aggregate_speedup: rep.aggregate_speedup,
             geo_mean_speedup: rep.geo_mean_speedup,
         };
@@ -569,10 +747,20 @@ fn main() {
                 min_controller_speedup,
                 !no_controller,
             ),
+            (
+                "kernel",
+                "kernel_speedup",
+                rep.kernel.speedup,
+                min_kernel_speedup,
+                rep.kernel.dispatched != "scalar",
+            ),
         ];
         for (label, key, measured, min_required, was_measured) in gated {
             if !was_measured {
-                eprintln!("warning: {label} speedup not measured (--no-controller); not gated");
+                eprintln!(
+                    "warning: {label} speedup not measured (--no-controller or \
+                     scalar-dispatched kernels); not gated"
+                );
                 continue;
             }
             match baseline

@@ -57,7 +57,11 @@ fn main() {
             std::process::exit(1);
         }
     };
-    eprintln!("resemble-serve listening on {}", server.local_addr());
+    eprintln!(
+        "resemble-serve listening on {} (kernel backend: {})",
+        server.local_addr(),
+        resemble_nn::simd::dispatched()
+    );
     while !signal::triggered() && !server.shutdown_requested() {
         std::thread::sleep(Duration::from_millis(100));
     }

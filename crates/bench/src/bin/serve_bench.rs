@@ -36,6 +36,9 @@ struct PhaseReport {
 /// The full benchmark output (`BENCH_serve.json`).
 #[derive(Debug, Serialize)]
 struct BenchReport {
+    /// SIMD kernel backend runtime dispatch selected (also present in
+    /// each phase snapshot), so the numbers are attributable to an ISA.
+    kernel_backend: String,
     model: String,
     sessions: usize,
     accesses_per_session: usize,
@@ -149,7 +152,10 @@ fn main() {
     let model = opts.str("model").unwrap_or("resemble_frozen").to_string();
     let json = opts.str("json").map(str::to_string);
 
-    eprintln!("serve_bench: model={model} sessions={sessions} accesses={accesses} shards={shards}");
+    let kernel_backend = resemble_nn::simd::dispatched().name().to_string();
+    eprintln!(
+        "serve_bench: model={model} sessions={sessions} accesses={accesses} shards={shards} kernel={kernel_backend}"
+    );
     let microbatched = run_phase(&model, sessions, accesses, shards, seed, 64);
     let batch_of_1 = run_phase(&model, sessions, accesses, shards, seed, 1);
     let speedup = microbatched.decisions_per_s / batch_of_1.decisions_per_s.max(1e-9);
@@ -173,6 +179,7 @@ fn main() {
     println!("speedup      : {speedup:.2}x");
 
     let report = BenchReport {
+        kernel_backend,
         model,
         sessions,
         accesses_per_session: accesses,

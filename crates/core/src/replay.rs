@@ -22,6 +22,7 @@
 //! `FxHashMap`) so drawing a batch is O(batch), not an O(live) prune per
 //! training step.
 
+use resemble_nn::AlignedVec;
 use resemble_trace::util::FxHashMap;
 use std::collections::VecDeque;
 
@@ -81,10 +82,11 @@ pub struct ReplayMemory {
     state_dim: usize,
     next_id: u64,
     window: u64,
-    /// flat `capacity × state_dim` ring of states s_t
-    states: Vec<f32>,
+    /// flat `capacity × state_dim` ring of states s_t, 64-byte aligned
+    /// for the SIMD minibatch gather
+    states: AlignedVec,
     /// flat `capacity × state_dim` ring of next states s_{t+1}
-    next_states: Vec<f32>,
+    next_states: AlignedVec,
     slots: Vec<Slot>,
     /// pending ids in order, awaiting reward finalization
     pending: VecDeque<u64>,
@@ -106,8 +108,8 @@ impl ReplayMemory {
             state_dim,
             next_id: 0,
             window: window as u64,
-            states: vec![0.0; capacity * state_dim],
-            next_states: vec![0.0; capacity * state_dim],
+            states: AlignedVec::zeroed(capacity * state_dim),
+            next_states: AlignedVec::zeroed(capacity * state_dim),
             slots: vec![Slot::default(); capacity],
             pending: VecDeque::new(),
             by_block: FxHashMap::default(),

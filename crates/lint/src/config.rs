@@ -29,6 +29,10 @@ pub struct LintConfig {
     pub reference_file: String,
     /// Its committed SHA-256.
     pub reference_sha256: String,
+    /// Sanctioned SIMD kernel module for `simd-outside-kernel` (optional;
+    /// documents the exemption — the rule's scope table is authoritative,
+    /// and validation flags a mismatch between the two).
+    pub simd_kernel_file: String,
     /// File-level rule exemptions.
     pub allows: Vec<AllowEntry>,
 }
@@ -106,6 +110,7 @@ impl LintConfig {
             match (section.as_str(), k.as_str()) {
                 ("reference-engine-frozen", "file") => cfg.reference_file = v,
                 ("reference-engine-frozen", "sha256") => cfg.reference_sha256 = v,
+                ("simd-outside-kernel", "file") => cfg.simd_kernel_file = v,
                 ("[[allow]]", _) => {
                     let Some(entry) = cfg.allows.last_mut() else {
                         continue;
@@ -151,6 +156,31 @@ impl LintConfig {
                 0,
                 "missing [reference-engine-frozen] file/sha256".to_string(),
             ));
+        }
+        if !self.simd_kernel_file.is_empty() {
+            if !root.join(&self.simd_kernel_file).is_file() {
+                out.push(Diagnostic::error(
+                    "lint-config",
+                    config_path,
+                    0,
+                    format!(
+                        "[simd-outside-kernel] file `{}` does not exist",
+                        self.simd_kernel_file
+                    ),
+                ));
+            }
+            if !crate::rules::SIMD_KERNEL_FILES.contains(&self.simd_kernel_file.as_str()) {
+                out.push(Diagnostic::error(
+                    "lint-config",
+                    config_path,
+                    0,
+                    format!(
+                        "[simd-outside-kernel] file `{}` disagrees with the rule's scope \
+                         table (rules::SIMD_KERNEL_FILES) — update both in the same change",
+                        self.simd_kernel_file
+                    ),
+                ));
+            }
         }
         for a in &self.allows {
             if a.rule.is_empty() || a.path.is_empty() || a.reason.is_empty() {
@@ -214,6 +244,34 @@ mod tests {
         assert_eq!(cfg.allows.len(), 1);
         assert!(cfg.allows_file("float-eq", "crates/nn/src/matrix.rs"));
         assert!(!cfg.allows_file("float-eq", "crates/nn/src/mlp.rs"));
+    }
+
+    #[test]
+    fn simd_kernel_section_is_optional_but_checked() {
+        // Absent: fine (scratch workspaces in the driver tests omit it).
+        let base = "[reference-engine-frozen]\n\
+                    file = \"crates/sim/src/reference.rs\"\n\
+                    sha256 = \"abc\"\n";
+        let cfg = LintConfig::parse(base, "lint.toml").unwrap();
+        assert!(cfg.simd_kernel_file.is_empty());
+
+        // Present and matching the rule's scope table: no findings.
+        let good = format!("{base}[simd-outside-kernel]\nfile = \"crates/nn/src/simd.rs\"\n");
+        let cfg = LintConfig::parse(&good, "lint.toml").unwrap();
+        assert!(cfg
+            .validate(&repo_root(), "lint.toml")
+            .iter()
+            .all(|d| !d.message.contains("simd-outside-kernel")));
+
+        // Present but pointing somewhere else: loud on the mismatch (and
+        // on nonexistence when the path is also stale).
+        let bad = format!("{base}[simd-outside-kernel]\nfile = \"crates/nn/src/matrix.rs\"\n");
+        let cfg = LintConfig::parse(&bad, "lint.toml").unwrap();
+        let diags = cfg.validate(&repo_root(), "lint.toml");
+        assert!(
+            diags.iter().any(|d| d.message.contains("disagrees")),
+            "{diags:?}"
+        );
     }
 
     #[test]

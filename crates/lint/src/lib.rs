@@ -6,7 +6,8 @@
 //!
 //! Rules (see [`rules::RULES`] and CONTRIBUTING.md):
 //! `nondeterministic-iteration`, `wall-clock-in-sim`, `panic-in-hot-path`,
-//! `lossy-cast`, `float-eq`, `reference-engine-frozen`.
+//! `lossy-cast`, `float-eq`, `reference-engine-frozen`,
+//! `simd-outside-kernel`.
 //!
 //! Suppression happens in two places, both loud when stale:
 //! - inline `// lint:allow(rule): reason` escapes (reason required; an

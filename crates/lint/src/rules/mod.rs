@@ -13,6 +13,7 @@ pub mod lossy_cast;
 pub mod nondet_iteration;
 pub mod panic_hot_path;
 pub mod reference_frozen;
+pub mod simd_kernel;
 pub mod wall_clock;
 
 /// Crates whose code feeds simulated statistics, action selection, or
@@ -39,7 +40,15 @@ pub const NN_KERNEL_FILES: &[&str] = &[
     "crates/nn/src/matrix.rs",
     "crates/nn/src/mlp.rs",
     "crates/nn/src/activation.rs",
+    "crates/nn/src/simd.rs",
 ];
+
+/// The one module allowed to contain `std::arch`/`core::arch` intrinsics
+/// and `target_feature` dispatch: every vectorized loop lives here, next
+/// to its scalar twin and the bitwise tests, behind the runtime-selected
+/// `KernelBackend`. Everything else goes through the safe wrappers
+/// (`simd-outside-kernel`).
+pub const SIMD_KERNEL_FILES: &[&str] = &["crates/nn/src/simd.rs"];
 
 /// The serving datapath: files every decision request crosses. A panic
 /// here takes down the whole server, not just one session, so
@@ -92,6 +101,10 @@ pub const RULES: &[(&str, &str)] = &[
         "reference-engine-frozen",
         "SHA-256 of crates/sim/src/reference.rs must match the hash committed in lint.toml",
     ),
+    (
+        "simd-outside-kernel",
+        "std::arch/core::arch intrinsics, target_feature, or is_x86_feature_detected! outside crates/nn/src/simd.rs; use the resemble_nn::simd wrappers",
+    ),
 ];
 
 /// Run every per-file rule over one file.
@@ -101,4 +114,5 @@ pub fn check_file(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     panic_hot_path::check(ctx, out);
     lossy_cast::check(ctx, out);
     float_eq::check(ctx, out);
+    simd_kernel::check(ctx, out);
 }

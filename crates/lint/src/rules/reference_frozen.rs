@@ -70,6 +70,7 @@ mod tests {
         LintConfig {
             reference_file: file.to_string(),
             reference_sha256: sha.to_string(),
+            simd_kernel_file: String::new(),
             allows: Vec::new(),
         }
     }

@@ -1,0 +1,158 @@
+//! `simd-outside-kernel`: `std::arch`/`core::arch` intrinsics,
+//! `target_feature` attributes/cfgs, and `is_x86_feature_detected!`
+//! probes anywhere except the sanctioned kernel module
+//! (`crates/nn/src/simd.rs`).
+//!
+//! The workspace's bit-identity story depends on every vectorized loop
+//! living in one file, next to its scalar twin and its bitwise tests,
+//! behind the single runtime-dispatched `KernelBackend`. An intrinsic
+//! call in any other file is either dead (it bypasses dispatch, so
+//! `RESEMBLE_SIMD=scalar` no longer covers it) or a second dispatch
+//! point whose rounding the backend-sweep tests never compare. Callers
+//! use the safe wrappers in `resemble_nn::simd`; new kernels are added
+//! inside `simd.rs` (see CONTRIBUTING.md).
+
+use super::SIMD_KERNEL_FILES;
+use crate::diag::Diagnostic;
+use crate::scanner::FileCtx;
+
+/// Rule name.
+pub const RULE: &str = "simd-outside-kernel";
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if SIMD_KERNEL_FILES.contains(&ctx.path.as_str()) {
+        return;
+    }
+    let glob_of_arch = ctx.uses.iter().any(|(k, v)| {
+        k.starts_with('*') && (v.starts_with("std::arch") || v.starts_with("core::arch"))
+    });
+    let toks = &ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        let after_path_sep = i >= 1 && toks[i - 1].is_punct("::");
+        let what: Option<String> = if name == "target_feature" {
+            Some("`target_feature` attribute/cfg".to_string())
+        } else if name == "is_x86_feature_detected" {
+            Some("`is_x86_feature_detected!` probe".to_string())
+        } else if name == "arch"
+            && after_path_sep
+            && i >= 2
+            && toks[i - 2]
+                .ident()
+                .is_some_and(|h| h == "std" || h == "core")
+        {
+            toks[i - 2].ident().map(|h| format!("`{h}::arch` path"))
+        } else if !after_path_sep {
+            // Bare use of an imported intrinsic (`use std::arch::…::_mm_add_ps`
+            // then `_mm_add_ps(…)`), or any `_mm*` name pulled in by a glob of
+            // the arch module. Qualified spellings are caught at `arch` above.
+            ctx.resolve(name)
+                .filter(|p| p.starts_with("std::arch") || p.starts_with("core::arch"))
+                .map(|p| format!("`{p}` (imported intrinsic)"))
+                .or_else(|| {
+                    (glob_of_arch && name.starts_with("_mm"))
+                        .then(|| format!("`{name}` (glob-imported intrinsic)"))
+                })
+        } else {
+            None
+        };
+        if let Some(what) = what {
+            out.push(Diagnostic::error(
+                RULE,
+                &ctx.path,
+                t.line,
+                format!(
+                    "{what} outside crates/nn/src/simd.rs: SIMD intrinsics and feature \
+                     dispatch live only in the kernel module, behind the runtime-selected \
+                     KernelBackend — call the safe wrappers in resemble_nn::simd instead"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::FileCtx;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let ctx = FileCtx::new(path, src);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn positive_qualified_intrinsic_path() {
+        let src = "pub fn f(a: f32) -> f32 {\n    unsafe { std::arch::x86_64::_mm_cvtss_f32(std::arch::x86_64::_mm_set1_ps(a)) }\n}\n";
+        let d = run("crates/nn/src/matrix.rs", src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("std::arch"));
+    }
+
+    #[test]
+    fn positive_core_arch_and_import() {
+        let src = "use core::arch::x86_64::_mm_add_ps;\nfn f() { let _ = _mm_add_ps; }\n";
+        let d = run("crates/sim/src/cache.rs", src);
+        // Fires on the `core::arch` path in the use and the bare use site.
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[1].line, 2);
+        assert!(d[1].message.contains("imported intrinsic"));
+    }
+
+    #[test]
+    fn positive_glob_imported_intrinsic() {
+        let src = "use std::arch::x86_64::*;\nfn f() { unsafe { let _ = _mm256_setzero_ps(); } }\n";
+        let d = run("crates/core/src/replay.rs", src);
+        assert!(d.iter().any(|x| x.line == 1), "{d:?}");
+        assert!(
+            d.iter()
+                .any(|x| x.line == 2 && x.message.contains("glob-imported")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn positive_target_feature_and_detect() {
+        let src = "#[target_feature(enable = \"avx2\")]\nunsafe fn g() {}\nfn h() -> bool { std::arch::is_x86_feature_detected!(\"avx2\") }\n";
+        let d = run("crates/nn/src/mlp.rs", src);
+        assert!(
+            d.iter()
+                .any(|x| x.line == 1 && x.message.contains("target_feature")),
+            "{d:?}"
+        );
+        assert!(
+            d.iter()
+                .any(|x| x.line == 3 && x.message.contains("is_x86_feature_detected")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn positive_even_in_test_code() {
+        // Bit-identity tests compare backends through the dispatch API;
+        // raw intrinsics in a test would dodge exactly that comparison.
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _ = std::arch::x86_64::_mm_setzero_ps as usize; }\n}\n";
+        let d = run("crates/nn/tests/backend_sweep.rs", src);
+        assert!(!d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn negative_kernel_module_is_exempt() {
+        let src = "use std::arch::x86_64::*;\n#[target_feature(enable = \"avx2\")]\nunsafe fn k() { let _ = _mm256_setzero_ps(); }\n";
+        assert!(run("crates/nn/src/simd.rs", src).is_empty());
+    }
+
+    #[test]
+    fn negative_unrelated_arch_idents() {
+        // A local module named `arch`, or prose-y identifiers, are not
+        // std::arch; the safe dispatch API is also fine everywhere.
+        let src = "mod arch { pub fn width() -> usize { 8 } }\n\
+                   fn f() -> usize { arch::width() }\n\
+                   fn g() { let _ = resemble_nn::simd::active(); }\n";
+        assert!(run("crates/sim/src/engine.rs", src).is_empty());
+    }
+}

@@ -96,6 +96,11 @@ fn every_rule_catches_an_injected_violation() {
             "crates/nn/src/injected.rs",
             "pub fn f(x: f32) -> bool { x != 0.5 }\n",
         ),
+        (
+            "simd-outside-kernel",
+            "crates/nn/src/matrix.rs",
+            "pub unsafe fn f() -> std::arch::x86_64::__m128 { std::arch::x86_64::_mm_setzero_ps() }\n",
+        ),
     ];
     for (rule, rel, body) in cases {
         let root = scratch_with_reference(rule);
@@ -138,6 +143,7 @@ fn rule_registry_matches_the_rule_modules() {
         rules::lossy_cast::RULE,
         rules::float_eq::RULE,
         rules::reference_frozen::RULE,
+        rules::simd_kernel::RULE,
     ] {
         assert!(
             names.contains(&expected),

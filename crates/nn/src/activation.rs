@@ -1,6 +1,7 @@
 //! Activation functions with their derivatives.
 
 use crate::matrix::Matrix;
+use crate::simd;
 use serde::{Deserialize, Serialize};
 
 /// Supported activation functions.
@@ -47,9 +48,16 @@ impl Activation {
     ///
     /// Activations are elementwise, so the flat sweep computes exactly
     /// the same unary operation per element as per-row [`Activation::apply`]
-    /// calls — bit-identical, but one loop instead of `B`.
+    /// calls — bit-identical, but one loop instead of `B`. ReLU (the
+    /// paper's hidden-layer activation, i.e. the batched hot path)
+    /// dispatches to the [`crate::simd`] clamp kernel, which preserves
+    /// `-0.0`/NaN bit patterns exactly like the scalar branch; the libm
+    /// activations stay scalar.
     pub fn apply_batch(self, xs: &mut Matrix) {
-        self.apply(xs.as_mut_slice());
+        match self {
+            Activation::Relu => simd::relu(simd::active(), xs.as_mut_slice()),
+            _ => self.apply(xs.as_mut_slice()),
+        }
     }
 
     /// Batched in-place chain-rule step: `deltas[i] *= f'(ys[i])`, the
@@ -60,14 +68,14 @@ impl Activation {
     /// bit-identical — including `d * 0.0 = ±0.0` keeping `d`'s sign for
     /// masked ReLU lanes. Identity skips the `* 1.0` sweep, which is
     /// exact for every value f32 arithmetic can produce. The per-variant
-    /// helpers give the optimizer disjoint slices, so the sweeps
-    /// vectorize.
+    /// kernels live in [`crate::simd`] and dispatch to the selected
+    /// backend.
     pub fn mul_derivative_batch(self, deltas: &mut [f32], ys: &[f32]) {
         match self {
             Activation::Identity => {}
-            Activation::Relu => relu_mask(deltas, ys),
-            Activation::Tanh => tanh_mask(deltas, ys),
-            Activation::Sigmoid => sigmoid_mask(deltas, ys),
+            Activation::Relu => simd::relu_mask(simd::active(), deltas, ys),
+            Activation::Tanh => simd::tanh_mask(simd::active(), deltas, ys),
+            Activation::Sigmoid => simd::sigmoid_mask(simd::active(), deltas, ys),
         }
     }
 
@@ -90,31 +98,6 @@ impl Activation {
             Activation::Tanh => 1.0 - y * y,
             Activation::Sigmoid => y * (1.0 - y),
         }
-    }
-}
-
-// `#[inline(never)]` keeps the noalias parameter guarantees through
-// codegen (callers reach both buffers through one scratch struct, where
-// the optimizer cannot prove disjointness); the select-then-multiply
-// form compiles branchless.
-#[inline(never)]
-fn relu_mask(deltas: &mut [f32], ys: &[f32]) {
-    for (d, &y) in deltas.iter_mut().zip(ys) {
-        *d *= if y > 0.0 { 1.0 } else { 0.0 };
-    }
-}
-
-#[inline(never)]
-fn tanh_mask(deltas: &mut [f32], ys: &[f32]) {
-    for (d, &y) in deltas.iter_mut().zip(ys) {
-        *d *= 1.0 - y * y;
-    }
-}
-
-#[inline(never)]
-fn sigmoid_mask(deltas: &mut [f32], ys: &[f32]) {
-    for (d, &y) in deltas.iter_mut().zip(ys) {
-        *d *= y * (1.0 - y);
     }
 }
 

@@ -1,0 +1,273 @@
+//! Cache-line-aligned flat `f32` storage for the batched kernels.
+//!
+//! [`AlignedVec`] is the backing store of [`crate::Matrix`] (and, through
+//! it, of every `BatchScratch` buffer) plus the replay-memory state rings:
+//! a grow-only `f32` buffer whose allocation is always 64-byte aligned, so
+//! every matrix row 16 elements apart starts on a cache-line boundary and
+//! aligned SIMD loads of the buffer head are always legal. The kernels in
+//! [`crate::simd`] still issue unaligned loads (row offsets inside a
+//! buffer are not generally 64-byte multiples), but alignment keeps rows
+//! from straddling an extra line and makes the layout predictable for
+//! profiling.
+//!
+//! Only the small `Vec` subset the kernels need is implemented: zero-fill
+//! construction, grow-only `resize`, `clear`, and slice views (via
+//! `Deref`). Capacity never shrinks, so steady-state callers that resize
+//! to the same shapes pay no allocation — the same contract the scratch
+//! buffers already rely on.
+
+use serde::{Deserialize, Serialize};
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// Alignment of every allocation, in bytes (one x86 cache line).
+pub const BUFFER_ALIGN: usize = 64;
+
+/// A 64-byte-aligned, grow-only `f32` buffer.
+pub struct AlignedVec {
+    ptr: NonNull<f32>,
+    len: usize,
+    cap: usize,
+}
+
+// SAFETY: AlignedVec owns its allocation exclusively (no interior
+// sharing), exactly like Vec<f32>.
+unsafe impl Send for AlignedVec {}
+unsafe impl Sync for AlignedVec {}
+
+impl AlignedVec {
+    /// An empty buffer with no allocation.
+    pub const fn new() -> Self {
+        Self {
+            ptr: NonNull::dangling(),
+            len: 0,
+            cap: 0,
+        }
+    }
+
+    /// A zero-filled buffer of `len` elements.
+    pub fn zeroed(len: usize) -> Self {
+        let mut v = Self::new();
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// A buffer holding a copy of `data`.
+    pub fn from_slice(data: &[f32]) -> Self {
+        let mut v = Self::new();
+        v.grow_to(data.len());
+        // SAFETY: grow_to allocated capacity for data.len() elements.
+        unsafe {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), v.ptr.as_ptr(), data.len());
+        }
+        v.len = data.len();
+        v
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current capacity in elements (never shrinks).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Immutable slice view.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        // SAFETY: ptr is valid for len elements (dangling only when len==0).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Mutable slice view.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        // SAFETY: ptr is valid for len elements and uniquely owned.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Set the length to zero (capacity is retained).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Resize to `new_len` elements; elements past the old length are set
+    /// to `value`. Capacity only grows.
+    pub fn resize(&mut self, new_len: usize, value: f32) {
+        if new_len > self.cap {
+            self.grow_to(new_len);
+        }
+        if new_len > self.len {
+            // SAFETY: capacity covers new_len; the gap is uninitialized or
+            // stale, and f32 has no invalid bit patterns to worry about.
+            unsafe {
+                let gap = std::slice::from_raw_parts_mut(
+                    self.ptr.as_ptr().add(self.len),
+                    new_len - self.len,
+                );
+                gap.fill(value);
+            }
+        }
+        self.len = new_len;
+    }
+
+    /// Reallocate to hold at least `min_cap` elements (aligned, grow-only,
+    /// at least doubling so repeated growth is amortized).
+    fn grow_to(&mut self, min_cap: usize) {
+        debug_assert!(min_cap > self.cap);
+        // Round up to a whole number of cache lines (16 f32 per line).
+        let new_cap = min_cap
+            .max(self.cap * 2)
+            .checked_next_multiple_of(BUFFER_ALIGN / std::mem::size_of::<f32>())
+            .expect("AlignedVec capacity overflow");
+        let bytes = new_cap
+            .checked_mul(std::mem::size_of::<f32>())
+            .expect("AlignedVec capacity overflow");
+        let layout =
+            Layout::from_size_align(bytes, BUFFER_ALIGN).expect("AlignedVec layout invalid");
+        // SAFETY: layout has non-zero size (new_cap >= 16 when min_cap > 0;
+        // min_cap == 0 never reaches here because cap starts at 0).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(new_ptr) = NonNull::new(raw.cast::<f32>()) else {
+            handle_alloc_error(layout)
+        };
+        if self.cap > 0 {
+            // SAFETY: both allocations are live and cover self.len elements.
+            unsafe {
+                std::ptr::copy_nonoverlapping(self.ptr.as_ptr(), new_ptr.as_ptr(), self.len);
+                self.dealloc_current();
+            }
+        }
+        self.ptr = new_ptr;
+        self.cap = new_cap;
+    }
+
+    /// SAFETY: caller must ensure `self.cap > 0` and that the allocation is
+    /// no longer referenced afterwards.
+    unsafe fn dealloc_current(&mut self) {
+        let layout = Layout::from_size_align(self.cap * std::mem::size_of::<f32>(), BUFFER_ALIGN)
+            .expect("AlignedVec layout invalid");
+        dealloc(self.ptr.as_ptr().cast(), layout);
+    }
+}
+
+impl Drop for AlignedVec {
+    fn drop(&mut self) {
+        if self.cap > 0 {
+            // SAFETY: the allocation is live and owned; nothing references
+            // it after drop.
+            unsafe { self.dealloc_current() };
+        }
+    }
+}
+
+impl Default for AlignedVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for AlignedVec {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl std::fmt::Debug for AlignedVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for AlignedVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Deref for AlignedVec {
+    type Target = [f32];
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for AlignedVec {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f32] {
+        self.as_mut_slice()
+    }
+}
+
+impl Serialize for AlignedVec {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl Deserialize for AlignedVec {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_cache_line_aligned() {
+        for n in [1usize, 15, 16, 17, 1000] {
+            let v = AlignedVec::zeroed(n);
+            assert_eq!(v.as_slice().as_ptr() as usize % BUFFER_ALIGN, 0, "len {n}");
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn resize_grows_zero_fills_and_keeps_capacity() {
+        let mut v = AlignedVec::zeroed(4);
+        v.as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        v.resize(8, 0.5);
+        assert_eq!(&v[..4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(&v[4..], &[0.5; 4]);
+        let cap = v.capacity();
+        v.clear();
+        assert!(v.is_empty());
+        v.resize(6, 0.0);
+        assert_eq!(v.capacity(), cap, "shrinking resize must not reallocate");
+        // clear() + resize() re-fills the whole range, like the scratch
+        // buffers rely on.
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn clone_eq_debug_and_serialize() {
+        let v = AlignedVec::from_slice(&[1.5, -2.0, 0.0]);
+        let w = v.clone();
+        assert_eq!(v, w);
+        assert_ne!(v, AlignedVec::zeroed(3));
+        assert_eq!(format!("{v:?}"), "[1.5, -2.0, 0.0]");
+        let mut out = String::new();
+        v.serialize_json(&mut out);
+        assert_eq!(out, "[1.5,-2,0]");
+    }
+
+    #[test]
+    fn empty_buffer_has_no_allocation() {
+        let v = AlignedVec::new();
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.capacity(), 0);
+        assert!(v.as_slice().is_empty());
+    }
+}

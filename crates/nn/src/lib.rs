@@ -7,6 +7,10 @@
 //! paths over generality: row-major matrices, manual backprop, SGD (the
 //! hardware-faithful rule of Eq. 11) plus Adam for software ablations.
 //!
+//! The batched kernels dispatch through [`simd`] to runtime-detected
+//! AVX2/SSE2 implementations (overridable with `RESEMBLE_SIMD`), all
+//! bit-identical to the scalar fallback by construction.
+//!
 //! ```
 //! use resemble_nn::{Activation, Mlp};
 //!
@@ -18,15 +22,19 @@
 #![warn(missing_docs)]
 
 pub mod activation;
+pub mod align;
 pub mod io;
 pub mod matrix;
 pub mod mlp;
 pub mod optim;
 pub mod quant;
+pub mod simd;
 
 pub use activation::Activation;
+pub use align::AlignedVec;
 pub use io::{load_mlp, save_mlp};
 pub use matrix::Matrix;
 pub use mlp::{BatchScratch, GradBuffer, Mlp, Scratch};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use quant::{argmax_agreement, quantize_mlp, QuantSpec};
+pub use simd::KernelBackend;

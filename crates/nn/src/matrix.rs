@@ -3,133 +3,24 @@
 //! so straightforward loops with preallocated outputs are fast enough and
 //! faithful to a fixed-function hardware datapath.
 
+use crate::align::AlignedVec;
+use crate::simd;
 use serde::{Deserialize, Serialize};
 
-/// `acc[i] += w * xs[i]` over the overlapping prefix.
-///
-/// Each lane is an independent accumulator, so vectorizing across `i`
-/// never reorders any per-element sum.
-#[inline]
-fn axpy(acc: &mut [f32], xs: &[f32], w: f32) {
-    for (a, &v) in acc.iter_mut().zip(xs) {
-        *a += w * v;
-    }
-}
-
-/// Two fused axpy passes: `acc[i] = (acc[i] + w0·x0[i]) + w1·x1[i]` —
-/// per element, the identical two sequential f32 adds of two [`axpy`]
-/// calls, with half the accumulator load/store traffic.
-#[inline]
-fn axpy2(acc: &mut [f32], x0: &[f32], w0: f32, x1: &[f32], w1: f32) {
-    for ((a, &v0), &v1) in acc.iter_mut().zip(x0).zip(x1) {
-        *a = (*a + w0 * v0) + w1 * v1;
-    }
-}
-
-/// Batch-lane dot sweep: `acc[b] += Σ_k wrow[k] · xt[k·tl + b]` with `k`
-/// strictly ascending per lane, `tl = acc.len()`.
-///
-/// `#[inline(never)]` is load-bearing here and on the helpers below: the
-/// staging buffers come from a thread-local `RefCell`, where the
-/// optimizer cannot prove disjointness and emits scalar code — and a
-/// plain `#[inline]` boundary is erased by MIR inlining before its
-/// noalias parameter guarantees reach codegen. A real call boundary
-/// keeps them, and the lane loops vectorize.
-#[inline(never)]
-fn gemm_lanes(acc: &mut [f32], wrow: &[f32], xt: &[f32]) {
-    let tl = acc.len();
-    if tl == 0 {
-        return;
-    }
-    let mut ws = wrow.chunks_exact(2);
-    let mut cols = xt.chunks_exact(2 * tl);
-    for (wp, cp) in ws.by_ref().zip(cols.by_ref()) {
-        let (c0, c1) = cp.split_at(tl);
-        axpy2(acc, c0, wp[0], c1, wp[1]);
-    }
-    for (&w, col) in ws.remainder().iter().zip(cols.remainder().chunks_exact(tl)) {
-        axpy(acc, col, w);
-    }
-}
-
-/// Output-major matvec against a transposed weight stage: `y[r] = Σ_k
-/// wt[k·r_dim + r] · x[k]`, `k` ascending per element — the exact
-/// accumulation sequence of [`Matrix::matvec_into`] (which starts each
-/// element at `0.0` and adds), vectorized across the output dimension.
-#[inline(never)]
-fn matvec_lanes(y: &mut [f32], wt: &[f32], x: &[f32]) {
-    let r_dim = y.len();
-    if r_dim == 0 {
-        return;
-    }
-    y.fill(0.0);
-    let mut xs = x.chunks_exact(2);
-    let mut ws = wt.chunks_exact(2 * r_dim);
-    for (xp, wp) in xs.by_ref().zip(ws.by_ref()) {
-        let (w0, w1) = wp.split_at(r_dim);
-        axpy2(y, w0, xp[0], w1, xp[1]);
-    }
-    for (&xv, wrow) in xs
-        .remainder()
-        .iter()
-        .zip(ws.remainder().chunks_exact(r_dim))
-    {
-        axpy(y, wrow, xv);
-    }
-}
-
-/// One sample of `dw += alpha · a ⊗ b`, row-major with the exact-zero
-/// delta skip — the body of [`Matrix::add_outer`] behind a noalias
-/// boundary.
-#[inline(never)]
-fn outer_rows_sample(dw: &mut [f32], a_row: &[f32], b_row: &[f32], alpha: f32) {
-    let cols = b_row.len();
-    if cols == 0 {
-        return;
-    }
-    for (&av, row) in a_row.iter().zip(dw.chunks_exact_mut(cols)) {
-        // lint:allow(float-eq): exact-zero sparsity skip; ReLU masks and single-action TD errors assign 0.0 exactly, and a false negative only costs speed
-        if av == 0.0 {
-            continue;
-        }
-        axpy(row, b_row, alpha * av);
-    }
-}
-
-/// One sample of `dwt += alpha · b ⊗ a` into a *transposed* gradient
-/// stage (`dwt[c][r] += alpha · b[c] · a[r]`), vectorized across the
-/// `a` dimension. Used when rows ≫ cols, where the row-major form
-/// degenerates into thousands of tiny, branch-mispredicting sweeps.
-///
-/// Bit-identity: element `(r, c)` receives the identical f32 add
-/// sequence as the row-major form — one contribution per sample in
-/// sample order; where it is *stored* during accumulation does not
-/// change rounding. Skipping `b[c] == 0` terms (or not skipping
-/// `a[r] == 0` terms, unlike [`Matrix::add_outer`]) is also exact:
-/// the skipped/added terms are `±0.0` products of finite operands, and
-/// `x + ±0.0 == x` bitwise for every `x` an accumulation starting at
-/// `+0.0` can reach (`-0.0` is unreachable through f32 addition).
-#[inline(never)]
-fn outer_lanes_sample(dwt: &mut [f32], a_row: &[f32], b_row: &[f32], alpha: f32) {
-    let rows = a_row.len();
-    if rows == 0 {
-        return;
-    }
-    for (&bv, drow) in b_row.iter().zip(dwt.chunks_exact_mut(rows)) {
-        // lint:allow(float-eq): exact-zero sparsity skip, proven bit-identical above
-        if bv == 0.0 {
-            continue;
-        }
-        axpy(drow, a_row, alpha * bv);
-    }
-}
-
 /// Dense row-major matrix.
+///
+/// Storage is an [`AlignedVec`], so the flat buffer (and with it every
+/// `BatchScratch` matrix) starts on a 64-byte boundary. The batched
+/// kernels (`matmul_into`, `matmul_transposed_into`, `add_outer_batch`)
+/// dispatch through [`crate::simd`] to the backend selected at startup;
+/// the per-sample methods (`matvec_into`, `matvec_transpose_into`,
+/// `add_outer`) deliberately stay scalar — they are the reference
+/// semantics the batched paths are measured and bit-checked against.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data: AlignedVec,
 }
 
 impl Matrix {
@@ -138,25 +29,29 @@ impl Matrix {
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: AlignedVec::zeroed(rows * cols),
         }
     }
 
     /// Build from a function of (row, col).
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut m = Self::zeros(rows, cols);
         for r in 0..rows {
             for c in 0..cols {
-                data.push(f(r, c));
+                m.data[r * cols + c] = f(r, c);
             }
         }
-        Self { rows, cols, data }
+        m
     }
 
     /// Build from a flat row-major slice.
     pub fn from_rows(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), rows * cols, "shape mismatch");
-        Self { rows, cols, data }
+        Self {
+            rows,
+            cols,
+            data: AlignedVec::from_slice(&data),
+        }
     }
 
     /// Number of rows.
@@ -300,9 +195,10 @@ impl Matrix {
         }
         const TILE: usize = 64;
         const WIDE_OUT: usize = 16;
+        let be = simd::active();
         thread_local! {
-            static STAGE: std::cell::RefCell<(Vec<f32>, Vec<f32>)> =
-                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+            static STAGE: std::cell::RefCell<(AlignedVec, AlignedVec)> =
+                const { std::cell::RefCell::new((AlignedVec::new(), AlignedVec::new())) };
         }
         STAGE.with(|stage| {
             let (buf, acc) = &mut *stage.borrow_mut();
@@ -317,7 +213,7 @@ impl Matrix {
                     }
                 }
                 for (xrow, yrow) in xs.data.chunks_exact(c).zip(ys.data.chunks_exact_mut(r_dim)) {
-                    matvec_lanes(yrow, buf, xrow);
+                    simd::matvec_lanes(be, yrow, buf, xrow);
                 }
                 return;
             }
@@ -339,7 +235,7 @@ impl Matrix {
                     let wrow = &self.data[r * c..(r + 1) * c];
                     let acc = &mut acc[..tl];
                     acc.fill(0.0);
-                    gemm_lanes(acc, wrow, &buf[..c * tl]);
+                    simd::gemm_lanes(be, acc, wrow, &buf[..c * tl]);
                     for (b, &a) in acc.iter().enumerate() {
                         ys.data[(t0 + b) * r_dim + r] = a;
                     }
@@ -352,19 +248,23 @@ impl Matrix {
     /// Minibatch transposed GEMM: row `b` of `ys` is `selfᵀ · xs_b` — the
     /// backprop delta propagation for a whole batch in one call.
     ///
-    /// Delegates row-by-row to [`Matrix::matvec_transpose_into`] so the
-    /// exact-zero sparsity skip (backprop deltas are mostly zero after
-    /// ReLU masking and single-action TD errors) and the per-element
-    /// accumulation order are identical to the per-sample path.
+    /// Runs the dispatched per-sample-row kernel
+    /// ([`crate::simd::matvec_t_sample`]), which keeps the exact-zero
+    /// sparsity skip (backprop deltas are mostly zero after ReLU masking
+    /// and single-action TD errors) and the per-element accumulation
+    /// order identical to [`Matrix::matvec_transpose_into`] — the vector
+    /// backends only spread each delta row's axpy across the independent
+    /// output columns.
     pub fn matmul_transposed_into(&self, xs: &Matrix, ys: &mut Matrix) {
         assert_eq!(xs.cols, self.rows, "matmul_t: inner dimension");
         assert_eq!(ys.rows, xs.rows, "matmul_t: batch rows");
         assert_eq!(ys.cols, self.cols, "matmul_t: output cols");
         let (r_dim, c) = (self.rows, self.cols);
+        let be = simd::active();
         for s in 0..xs.rows {
             let x = &xs.data[s * r_dim..(s + 1) * r_dim];
             let y = &mut ys.data[s * c..(s + 1) * c];
-            self.matvec_transpose_into(x, y);
+            simd::matvec_t_sample(be, y, &self.data, x);
         }
     }
 
@@ -380,8 +280,8 @@ impl Matrix {
     /// - **Narrow rows** (e.g. the 100×4 input-layer gradient):
     ///   accumulate into a transposed stage so each sample becomes a few
     ///   long axpy sweeps across the delta dimension instead of ~rows
-    ///   tiny branch-mispredicting ones; see [`outer_lanes_sample`] for
-    ///   why the store layout and the moved sparsity skip are exact.
+    ///   tiny branch-mispredicting ones; see `simd::outer_lanes_sample`
+    ///   for why the store layout and the moved sparsity skip are exact.
     pub fn add_outer_batch(&mut self, alpha: f32, a: &Matrix, b: &Matrix) {
         assert_eq!(a.rows, b.rows, "add_outer_batch: batch rows");
         assert_eq!(a.cols, self.rows, "add_outer_batch: rows");
@@ -391,15 +291,16 @@ impl Matrix {
             return;
         }
         const WIDE_ROW: usize = 16;
+        let be = simd::active();
         if cols >= WIDE_ROW {
             for (a_row, b_row) in a.data.chunks_exact(rows).zip(b.data.chunks_exact(cols)) {
-                outer_rows_sample(&mut self.data, a_row, b_row, alpha);
+                simd::outer_rows_sample(be, &mut self.data, a_row, b_row, alpha);
             }
             return;
         }
         thread_local! {
-            static STAGE: std::cell::RefCell<Vec<f32>> =
-                const { std::cell::RefCell::new(Vec::new()) };
+            static STAGE: std::cell::RefCell<AlignedVec> =
+                const { std::cell::RefCell::new(AlignedVec::new()) };
         }
         STAGE.with(|stage| {
             let dwt = &mut *stage.borrow_mut();
@@ -412,7 +313,7 @@ impl Matrix {
                 }
             }
             for (a_row, b_row) in a.data.chunks_exact(rows).zip(b.data.chunks_exact(cols)) {
-                outer_lanes_sample(dwt, a_row, b_row, alpha);
+                simd::outer_lanes_sample(be, dwt, a_row, b_row, alpha);
             }
             for (r, row) in self.data.chunks_exact_mut(cols).enumerate() {
                 for (c, v) in row.iter_mut().enumerate() {
@@ -426,7 +327,7 @@ impl Matrix {
     pub fn add_scaled(&mut self, alpha: f32, other: &Matrix) {
         assert_eq!(self.rows, other.rows);
         assert_eq!(self.cols, other.cols);
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += alpha * b;
         }
     }

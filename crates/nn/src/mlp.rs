@@ -10,6 +10,7 @@
 use crate::activation::Activation;
 use crate::matrix::Matrix;
 use crate::optim::Optimizer;
+use crate::simd;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -240,13 +241,14 @@ impl Mlp {
         scratch.acts[0]
             .as_mut_slice()
             .copy_from_slice(xs.as_slice());
+        let be = simd::active();
         for (i, layer) in self.layers.iter().enumerate() {
             let (inp, out) = {
                 let (a, b) = scratch.acts.split_at_mut(i + 1);
                 (&a[i], &mut b[0])
             };
             layer.w.matmul_into(inp, out);
-            add_bias_rows(out.as_mut_slice(), &layer.b);
+            simd::add_bias_rows(be, out.as_mut_slice(), &layer.b);
             layer.act.apply_batch(out);
         }
         scratch.acts.last().expect("network has layers")
@@ -335,12 +337,13 @@ impl Mlp {
                 *d = g * act.derivative_from_output(yv);
             }
         }
+        let be = simd::active();
         for l in (0..n_layers).rev() {
             // dW += deltaᵀ · acts, db += column sums of delta — both
             // accumulated sample-major like the per-sample path.
             let (delta, input) = (&scratch.deltas[l], &scratch.acts[l]);
             grads.dw[l].add_outer_batch(1.0, delta, input);
-            sum_rows(&mut grads.db[l], delta.as_slice());
+            simd::sum_rows(be, &mut grads.db[l], delta.as_slice());
             if l > 0 {
                 // delta_{l-1} = (Wᵀ delta) * f'(act_{l-1}), batched.
                 let (lower, upper) = scratch.deltas.split_at_mut(l);
@@ -410,46 +413,21 @@ impl Mlp {
     }
 
     /// Copy another network's parameters into this one (target-net sync).
+    ///
+    /// Copies into the preallocated weight/bias buffers rather than
+    /// cloning `other`'s matrices: the DQN target sync runs this every
+    /// `target_sync` steps, and per-sync allocation was visible as
+    /// allocator noise in the `controller` bench group. Shapes are fixed
+    /// at construction, so after the top-level size check the per-layer
+    /// shape equalities are `debug_assert`s.
     pub fn copy_params_from(&mut self, other: &Mlp) {
         assert_eq!(self.sizes, other.sizes, "network shapes differ");
         for (a, b) in self.layers.iter_mut().zip(&other.layers) {
-            a.w = b.w.clone();
-            a.b.clone_from(&b.b);
-        }
-    }
-}
-
-/// `out[s·n + i] += bias[i]` for every sample row `s` — the batched bias
-/// add of a dense layer, same per-element add as the per-sample path.
-///
-/// `#[inline(never)]` keeps the noalias parameter guarantees through
-/// codegen (the caller reaches `out` through the scratch struct, where
-/// the optimizer cannot prove disjointness from `bias`), so the row
-/// sweeps vectorize.
-#[inline(never)]
-fn add_bias_rows(out: &mut [f32], bias: &[f32]) {
-    if bias.is_empty() {
-        return;
-    }
-    for row in out.chunks_exact_mut(bias.len()) {
-        for (o, &bv) in row.iter_mut().zip(bias) {
-            *o += bv;
-        }
-    }
-}
-
-/// `acc[i] += Σ_s rows[s·n + i]`, sample-major — the batched bias-gradient
-/// column sums, accumulating each element in sample order exactly like
-/// sequential per-sample sweeps. Same `#[inline(never)]` rationale as
-/// [`add_bias_rows`].
-#[inline(never)]
-fn sum_rows(acc: &mut [f32], rows: &[f32]) {
-    if acc.is_empty() {
-        return;
-    }
-    for row in rows.chunks_exact(acc.len()) {
-        for (g, &d) in acc.iter_mut().zip(row) {
-            *g += d;
+            debug_assert_eq!(a.w.rows(), b.w.rows(), "weight rows changed across syncs");
+            debug_assert_eq!(a.w.cols(), b.w.cols(), "weight cols changed across syncs");
+            debug_assert_eq!(a.b.len(), b.b.len(), "bias length changed across syncs");
+            a.w.as_mut_slice().copy_from_slice(b.w.as_slice());
+            a.b.copy_from_slice(&b.b);
         }
     }
 }

@@ -1,0 +1,1049 @@
+//! Runtime-dispatched SIMD kernels for the batched controller datapath,
+//! bit-identical across backends *by construction*.
+//!
+//! Every batched kernel in this crate funnels through this module. Three
+//! backends implement each kernel: explicit AVX2 and SSE2 `std::arch`
+//! intrinsics, and the portable scalar code (the former `matrix.rs` /
+//! `mlp.rs` / `activation.rs` loops, moved here verbatim). The backend is
+//! chosen once at startup by [`dispatched`] via
+//! `is_x86_feature_detected!`, overridable with
+//! `RESEMBLE_SIMD={avx2,sse2,scalar}`; tests and benches can pin a
+//! backend per thread with [`force`].
+//!
+//! # Bit-identity by construction
+//!
+//! The repo's determinism gates compare f32 results bitwise, so the
+//! vector paths must produce *byte-identical* output to the scalar
+//! fallback — not merely close. That is guaranteed structurally, never
+//! by tolerance:
+//!
+//! - **One accumulator per output element.** Vectorization is only
+//!   across independent output elements / batch lanes; no per-element
+//!   sum is ever split across vector lanes, so there are no horizontal
+//!   reductions and no reassociation.
+//! - **Inner dimension in ascending scalar order per lane.** Each lane
+//!   walks `k = 0, 1, 2, …` exactly like the scalar loop.
+//! - **Non-fused `mul` + `add` only.** No FMA intrinsics anywhere (and
+//!   Rust never contracts `a + w * x` on its own), so each lane performs
+//!   the same two IEEE-754 rounding steps as the scalar code, in the
+//!   same operand order.
+//! - **Scalar tails run the identical per-element expressions.** Slice
+//!   lengths that are not a multiple of the vector width fall through to
+//!   the same scalar statements the fallback uses.
+//! - **Compares and selects are bit-exact.** ReLU clamps through
+//!   `andnot(x < 0, x)` rather than `max(0, x)`, preserving `-0.0` and
+//!   NaN exactly like the scalar `if *x < 0.0 { *x = 0.0 }`; derivative
+//!   masks multiply by an `and`-selected `{0.0, 1.0}`, reproducing the
+//!   scalar `d * 0.0` / `d * 1.0` including the sign of a `±0.0` result.
+//!
+//! Consequently AVX2, SSE2, and scalar agree bit-for-bit on every input,
+//! which the backend-sweep proptest (`crates/nn/tests/backend_sweep.rs`)
+//! and this module's unit tests pin.
+//!
+//! The `simd-outside-kernel` lint rule keeps all `std::arch` usage inside
+//! this file; add new kernels here (see CONTRIBUTING.md).
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Environment variable that overrides backend selection
+/// (`avx2`/`sse2`/`scalar`); unavailable or unknown values fall back to
+/// the best detected backend with a warning on stderr.
+pub const BACKEND_ENV: &str = "RESEMBLE_SIMD";
+
+/// A kernel implementation the dispatcher can route to.
+///
+/// Safety invariant: `Avx2`/`Sse2` values are only handed to the kernel
+/// wrappers after the corresponding ISA was confirmed present —
+/// [`dispatched`] detects before selecting, [`force`] asserts
+/// [`KernelBackend::is_available`], and [`available`] lists only detected
+/// backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelBackend {
+    /// 8-lane f32 vectors via AVX2 intrinsics.
+    Avx2,
+    /// 4-lane f32 vectors via SSE2 intrinsics (x86-64 baseline).
+    Sse2,
+    /// The portable scalar fallback (always available).
+    Scalar,
+}
+
+impl KernelBackend {
+    /// Stable lowercase name, as accepted by [`BACKEND_ENV`] and reported
+    /// in benchmark/telemetry output.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Avx2 => "avx2",
+            KernelBackend::Sse2 => "sse2",
+            KernelBackend::Scalar => "scalar",
+        }
+    }
+
+    /// Parse a [`KernelBackend::name`] string (ASCII case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        [
+            KernelBackend::Avx2,
+            KernelBackend::Sse2,
+            KernelBackend::Scalar,
+        ]
+        .into_iter()
+        .find(|b| s.eq_ignore_ascii_case(b.name()))
+    }
+
+    /// Whether this backend's ISA is present on the current host.
+    pub fn is_available(self) -> bool {
+        match self {
+            KernelBackend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Sse2 => std::arch::is_x86_feature_detected!("sse2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Best backend the host supports, ignoring the environment override.
+fn detect_best() -> KernelBackend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if KernelBackend::Avx2.is_available() {
+            return KernelBackend::Avx2;
+        }
+        if KernelBackend::Sse2.is_available() {
+            return KernelBackend::Sse2;
+        }
+    }
+    KernelBackend::Scalar
+}
+
+/// All backends available on this host, best first (scalar is always
+/// last). Use this to sweep backends in tests and benchmarks.
+pub fn available() -> &'static [KernelBackend] {
+    static LIST: OnceLock<Vec<KernelBackend>> = OnceLock::new();
+    LIST.get_or_init(|| {
+        [
+            KernelBackend::Avx2,
+            KernelBackend::Sse2,
+            KernelBackend::Scalar,
+        ]
+        .into_iter()
+        .filter(|b| b.is_available())
+        .collect()
+    })
+}
+
+/// The process-wide backend, chosen once on first use: the best detected
+/// ISA, unless [`BACKEND_ENV`] requests another *available* backend.
+pub fn dispatched() -> KernelBackend {
+    static CHOSEN: OnceLock<KernelBackend> = OnceLock::new();
+    *CHOSEN.get_or_init(|| {
+        let best = detect_best();
+        let Ok(req) = std::env::var(BACKEND_ENV) else {
+            return best;
+        };
+        match KernelBackend::parse(&req) {
+            Some(b) if b.is_available() => b,
+            Some(b) => {
+                eprintln!(
+                    "resemble-nn: {BACKEND_ENV}={} is not available on this host; using {}",
+                    b.name(),
+                    best.name()
+                );
+                best
+            }
+            None => {
+                eprintln!(
+                    "resemble-nn: unrecognized {BACKEND_ENV} value {req:?} \
+                     (expected avx2|sse2|scalar); using {}",
+                    best.name()
+                );
+                best
+            }
+        }
+    })
+}
+
+thread_local! {
+    static FORCED: Cell<Option<KernelBackend>> = const { Cell::new(None) };
+}
+
+/// The backend the kernels on this thread currently use: the innermost
+/// [`force`] override, or else the process-wide [`dispatched`] choice.
+/// Never panics.
+pub fn active() -> KernelBackend {
+    FORCED.with(Cell::get).unwrap_or_else(dispatched)
+}
+
+/// Pin `backend` as this thread's active backend until the returned
+/// guard drops (restoring the previous state). Panics if the backend is
+/// not available on this host — the availability check is what keeps the
+/// unsafe ISA dispatch sound.
+#[must_use = "the override ends when the guard is dropped"]
+pub fn force(backend: KernelBackend) -> BackendGuard {
+    assert!(
+        backend.is_available(),
+        "kernel backend {} is not available on this host",
+        backend.name()
+    );
+    let prev = FORCED.with(|f| f.replace(Some(backend)));
+    BackendGuard { prev }
+}
+
+/// RAII guard returned by [`force`]; restores the previous per-thread
+/// backend override on drop.
+pub struct BackendGuard {
+    prev: Option<KernelBackend>,
+}
+
+impl Drop for BackendGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        FORCED.with(|f| f.set(prev));
+    }
+}
+
+/// Route one kernel call to the backend's implementation.
+///
+/// SAFETY: the `Avx2`/`Sse2` arms call `#[target_feature]` functions;
+/// this is sound because of the module invariant that those variants only
+/// reach the wrappers after runtime detection (see [`KernelBackend`]).
+macro_rules! dispatch {
+    ($be:expr, $name:ident ( $($arg:expr),* $(,)? )) => {
+        match $be {
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Avx2 => unsafe { avx2::$name($($arg),*) },
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Sse2 => unsafe { sse2::$name($($arg),*) },
+            _ => scalar::$name($($arg),*),
+        }
+    };
+}
+
+/// Batch-lane dot sweep: `acc[b] += Σ_k wrow[k] · xt[k·tl + b]` with `k`
+/// strictly ascending per lane, `tl = acc.len()`.
+pub(crate) fn gemm_lanes(be: KernelBackend, acc: &mut [f32], wrow: &[f32], xt: &[f32]) {
+    dispatch!(be, gemm_lanes(acc, wrow, xt));
+}
+
+/// Output-major matvec against a transposed weight stage: `y[r] = Σ_k
+/// wt[k·r_dim + r] · x[k]`, `k` ascending per element — the exact
+/// accumulation sequence of `Matrix::matvec_into`, vectorized across the
+/// output dimension.
+pub(crate) fn matvec_lanes(be: KernelBackend, y: &mut [f32], wt: &[f32], x: &[f32]) {
+    dispatch!(be, matvec_lanes(y, wt, x));
+}
+
+/// One sample of the transposed matvec `y[c] = Σ_r w[r·cols + c] · x[r]`
+/// with the exact-zero `x[r]` skip — the body of
+/// `Matrix::matvec_transpose_into`, vectorized across the output columns.
+pub(crate) fn matvec_t_sample(be: KernelBackend, y: &mut [f32], w: &[f32], x: &[f32]) {
+    dispatch!(be, matvec_t_sample(y, w, x));
+}
+
+/// One sample of `dw += alpha · a ⊗ b`, row-major with the exact-zero
+/// delta skip — the body of `Matrix::add_outer`.
+pub(crate) fn outer_rows_sample(
+    be: KernelBackend,
+    dw: &mut [f32],
+    a_row: &[f32],
+    b_row: &[f32],
+    alpha: f32,
+) {
+    dispatch!(be, outer_rows_sample(dw, a_row, b_row, alpha));
+}
+
+/// One sample of `dwt += alpha · b ⊗ a` into a *transposed* gradient
+/// stage, vectorized across the `a` dimension (see
+/// `Matrix::add_outer_batch` for the bit-identity argument).
+pub(crate) fn outer_lanes_sample(
+    be: KernelBackend,
+    dwt: &mut [f32],
+    a_row: &[f32],
+    b_row: &[f32],
+    alpha: f32,
+) {
+    dispatch!(be, outer_lanes_sample(dwt, a_row, b_row, alpha));
+}
+
+/// `out[s·n + i] += bias[i]` for every sample row `s` — the batched bias
+/// add of a dense layer.
+pub(crate) fn add_bias_rows(be: KernelBackend, out: &mut [f32], bias: &[f32]) {
+    dispatch!(be, add_bias_rows(out, bias));
+}
+
+/// `acc[i] += Σ_s rows[s·n + i]`, sample-major — the batched
+/// bias-gradient column sums, accumulating each element in sample order.
+pub(crate) fn sum_rows(be: KernelBackend, acc: &mut [f32], rows: &[f32]) {
+    dispatch!(be, sum_rows(acc, rows));
+}
+
+/// In-place ReLU over a flat batch: `x = if x < 0.0 { 0.0 } else { x }`,
+/// preserving `-0.0` and NaN exactly like the scalar clamp.
+pub(crate) fn relu(be: KernelBackend, xs: &mut [f32]) {
+    dispatch!(be, relu(xs));
+}
+
+/// Batched ReLU chain-rule mask: `d *= if y > 0.0 { 1.0 } else { 0.0 }`.
+pub(crate) fn relu_mask(be: KernelBackend, deltas: &mut [f32], ys: &[f32]) {
+    dispatch!(be, relu_mask(deltas, ys));
+}
+
+/// Batched tanh chain-rule step: `d *= 1.0 - y·y`.
+pub(crate) fn tanh_mask(be: KernelBackend, deltas: &mut [f32], ys: &[f32]) {
+    dispatch!(be, tanh_mask(deltas, ys));
+}
+
+/// Batched sigmoid chain-rule step: `d *= y · (1.0 - y)`.
+pub(crate) fn sigmoid_mask(be: KernelBackend, deltas: &mut [f32], ys: &[f32]) {
+    dispatch!(be, sigmoid_mask(deltas, ys));
+}
+
+/// The portable fallback: the original scalar kernels, moved here
+/// verbatim from `matrix.rs`, `mlp.rs`, and `activation.rs`. These are
+/// the reference semantics every vector backend must reproduce bitwise.
+mod scalar {
+    /// `acc[i] += w * xs[i]` over the overlapping prefix.
+    ///
+    /// Each lane is an independent accumulator, so vectorizing across `i`
+    /// never reorders any per-element sum.
+    #[inline]
+    pub(super) fn axpy(acc: &mut [f32], xs: &[f32], w: f32) {
+        for (a, &v) in acc.iter_mut().zip(xs) {
+            *a += w * v;
+        }
+    }
+
+    /// Two fused axpy passes: `acc[i] = (acc[i] + w0·x0[i]) + w1·x1[i]` —
+    /// per element, the identical two sequential f32 adds of two [`axpy`]
+    /// calls, with half the accumulator load/store traffic.
+    #[inline]
+    pub(super) fn axpy2(acc: &mut [f32], x0: &[f32], w0: f32, x1: &[f32], w1: f32) {
+        for ((a, &v0), &v1) in acc.iter_mut().zip(x0).zip(x1) {
+            *a = (*a + w0 * v0) + w1 * v1;
+        }
+    }
+
+    /// See [`super::gemm_lanes`].
+    ///
+    /// `#[inline(never)]` is load-bearing here and on the helpers below:
+    /// the staging buffers come from a thread-local `RefCell`, where the
+    /// optimizer cannot prove disjointness and emits scalar code — and a
+    /// plain `#[inline]` boundary is erased by MIR inlining before its
+    /// noalias parameter guarantees reach codegen. A real call boundary
+    /// keeps them, and the lane loops autovectorize.
+    #[inline(never)]
+    pub(super) fn gemm_lanes(acc: &mut [f32], wrow: &[f32], xt: &[f32]) {
+        let tl = acc.len();
+        if tl == 0 {
+            return;
+        }
+        let mut ws = wrow.chunks_exact(2);
+        let mut cols = xt.chunks_exact(2 * tl);
+        for (wp, cp) in ws.by_ref().zip(cols.by_ref()) {
+            let (c0, c1) = cp.split_at(tl);
+            axpy2(acc, c0, wp[0], c1, wp[1]);
+        }
+        for (&w, col) in ws.remainder().iter().zip(cols.remainder().chunks_exact(tl)) {
+            axpy(acc, col, w);
+        }
+    }
+
+    /// See [`super::matvec_lanes`].
+    #[inline(never)]
+    pub(super) fn matvec_lanes(y: &mut [f32], wt: &[f32], x: &[f32]) {
+        let r_dim = y.len();
+        if r_dim == 0 {
+            return;
+        }
+        y.fill(0.0);
+        let mut xs = x.chunks_exact(2);
+        let mut ws = wt.chunks_exact(2 * r_dim);
+        for (xp, wp) in xs.by_ref().zip(ws.by_ref()) {
+            let (w0, w1) = wp.split_at(r_dim);
+            axpy2(y, w0, xp[0], w1, xp[1]);
+        }
+        for (&xv, wrow) in xs
+            .remainder()
+            .iter()
+            .zip(ws.remainder().chunks_exact(r_dim))
+        {
+            axpy(y, wrow, xv);
+        }
+    }
+
+    /// See [`super::matvec_t_sample`] — the loop body of
+    /// `Matrix::matvec_transpose_into`, per sample.
+    #[inline(never)]
+    pub(super) fn matvec_t_sample(y: &mut [f32], w: &[f32], x: &[f32]) {
+        y.fill(0.0);
+        let cols = y.len();
+        if cols == 0 {
+            return;
+        }
+        for (&xv, row) in x.iter().zip(w.chunks_exact(cols)) {
+            // lint:allow(float-eq): exact-zero sparsity skip; backprop deltas are assigned 0.0 exactly, and a false negative only costs speed
+            if xv == 0.0 {
+                continue;
+            }
+            for (yc, wv) in y.iter_mut().zip(row) {
+                *yc += wv * xv;
+            }
+        }
+    }
+
+    /// See [`super::outer_rows_sample`].
+    #[inline(never)]
+    pub(super) fn outer_rows_sample(dw: &mut [f32], a_row: &[f32], b_row: &[f32], alpha: f32) {
+        let cols = b_row.len();
+        if cols == 0 {
+            return;
+        }
+        for (&av, row) in a_row.iter().zip(dw.chunks_exact_mut(cols)) {
+            // lint:allow(float-eq): exact-zero sparsity skip; ReLU masks and single-action TD errors assign 0.0 exactly, and a false negative only costs speed
+            if av == 0.0 {
+                continue;
+            }
+            axpy(row, b_row, alpha * av);
+        }
+    }
+
+    /// See [`super::outer_lanes_sample`]. Bit-identity of the transposed
+    /// store layout and the moved sparsity skip: element `(r, c)`
+    /// receives the identical f32 add sequence as the row-major form —
+    /// one contribution per sample in sample order; where it is *stored*
+    /// during accumulation does not change rounding, and skipped/added
+    /// `±0.0` products of finite operands satisfy `x + ±0.0 == x` bitwise
+    /// for every `x` an accumulation starting at `+0.0` can reach.
+    #[inline(never)]
+    pub(super) fn outer_lanes_sample(dwt: &mut [f32], a_row: &[f32], b_row: &[f32], alpha: f32) {
+        let rows = a_row.len();
+        if rows == 0 {
+            return;
+        }
+        for (&bv, drow) in b_row.iter().zip(dwt.chunks_exact_mut(rows)) {
+            // lint:allow(float-eq): exact-zero sparsity skip, proven bit-identical above
+            if bv == 0.0 {
+                continue;
+            }
+            axpy(drow, a_row, alpha * bv);
+        }
+    }
+
+    /// See [`super::add_bias_rows`].
+    #[inline(never)]
+    pub(super) fn add_bias_rows(out: &mut [f32], bias: &[f32]) {
+        if bias.is_empty() {
+            return;
+        }
+        for row in out.chunks_exact_mut(bias.len()) {
+            for (o, &bv) in row.iter_mut().zip(bias) {
+                *o += bv;
+            }
+        }
+    }
+
+    /// See [`super::sum_rows`].
+    #[inline(never)]
+    pub(super) fn sum_rows(acc: &mut [f32], rows: &[f32]) {
+        if acc.is_empty() {
+            return;
+        }
+        for row in rows.chunks_exact(acc.len()) {
+            for (g, &d) in acc.iter_mut().zip(row) {
+                *g += d;
+            }
+        }
+    }
+
+    /// See [`super::relu`] — the `Activation::Relu` clamp over a flat
+    /// batch.
+    #[inline(never)]
+    pub(super) fn relu(xs: &mut [f32]) {
+        for x in xs {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+        }
+    }
+
+    /// See [`super::relu_mask`]. The select-then-multiply form compiles
+    /// branchless, and `d * 0.0 = ±0.0` keeps `d`'s sign exactly like
+    /// the per-sample chain rule.
+    #[inline(never)]
+    pub(super) fn relu_mask(deltas: &mut [f32], ys: &[f32]) {
+        for (d, &y) in deltas.iter_mut().zip(ys) {
+            *d *= if y > 0.0 { 1.0 } else { 0.0 };
+        }
+    }
+
+    /// See [`super::tanh_mask`].
+    #[inline(never)]
+    pub(super) fn tanh_mask(deltas: &mut [f32], ys: &[f32]) {
+        for (d, &y) in deltas.iter_mut().zip(ys) {
+            *d *= 1.0 - y * y;
+        }
+    }
+
+    /// See [`super::sigmoid_mask`].
+    #[inline(never)]
+    pub(super) fn sigmoid_mask(deltas: &mut [f32], ys: &[f32]) {
+        for (d, &y) in deltas.iter_mut().zip(ys) {
+            *d *= y * (1.0 - y);
+        }
+    }
+}
+
+/// AVX `_mm256_cmp_ps` takes its predicate as a const generic, unlike the
+/// fixed-predicate SSE compare intrinsics; these wrappers give both ISAs
+/// the same two-argument shape for the kernel-set macro. `_OQ` (ordered,
+/// quiet) predicates match scalar `<` / `>`: false on NaN.
+#[cfg(target_arch = "x86_64")]
+mod cmp256 {
+    use core::arch::x86_64::*;
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gt(a: __m256, b: __m256) -> __m256 {
+        _mm256_cmp_ps::<_CMP_GT_OQ>(a, b)
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn lt(a: __m256, b: __m256) -> __m256 {
+        _mm256_cmp_ps::<_CMP_LT_OQ>(a, b)
+    }
+}
+
+/// One vector backend. Each kernel mirrors its scalar counterpart
+/// statement for statement: the vector body processes `$w`-wide groups of
+/// *independent lanes* with non-fused `$mul` + `$add`, and the remainder
+/// falls through to the identical scalar expressions, so results are
+/// byte-identical to `mod scalar` (see the module docs for the full
+/// argument).
+///
+/// SAFETY: every function is `#[target_feature(enable = $feature)]` and
+/// only reachable through `dispatch!`, which routes to this module solely
+/// for backend values that passed runtime detection. Raw pointer
+/// arithmetic stays within `i + $w <= len` bounds established on the
+/// zipped slice prefix.
+#[cfg(target_arch = "x86_64")]
+macro_rules! x86_kernel_set {
+    ($modname:ident, $feature:literal, $w:literal,
+     $loadu:ident, $storeu:ident, $set1:ident, $add:ident, $mul:ident, $sub:ident,
+     $and:ident, $andnot:ident, $cmpgt:path, $cmplt:path) => {
+        mod $modname {
+            #[allow(unused_imports)]
+            use core::arch::x86_64::*;
+
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn axpy(acc: &mut [f32], xs: &[f32], w: f32) {
+                let n = acc.len().min(xs.len());
+                let wv = $set1(w);
+                let mut i = 0usize;
+                while i + $w <= n {
+                    let x = $loadu(xs.as_ptr().add(i));
+                    let a = $loadu(acc.as_ptr().add(i));
+                    $storeu(acc.as_mut_ptr().add(i), $add(a, $mul(wv, x)));
+                    i += $w;
+                }
+                for (a, &v) in acc[i..n].iter_mut().zip(&xs[i..n]) {
+                    *a += w * v;
+                }
+            }
+
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn axpy2(acc: &mut [f32], x0: &[f32], w0: f32, x1: &[f32], w1: f32) {
+                let n = acc.len().min(x0.len()).min(x1.len());
+                let w0v = $set1(w0);
+                let w1v = $set1(w1);
+                let mut i = 0usize;
+                while i + $w <= n {
+                    let a = $loadu(acc.as_ptr().add(i));
+                    let v0 = $loadu(x0.as_ptr().add(i));
+                    let v1 = $loadu(x1.as_ptr().add(i));
+                    $storeu(
+                        acc.as_mut_ptr().add(i),
+                        $add($add(a, $mul(w0v, v0)), $mul(w1v, v1)),
+                    );
+                    i += $w;
+                }
+                for ((a, &v0), &v1) in acc[i..n].iter_mut().zip(&x0[i..n]).zip(&x1[i..n]) {
+                    *a = (*a + w0 * v0) + w1 * v1;
+                }
+            }
+
+            /// `y[i] += ws[i] · x` — weight vector times splatted scalar;
+            /// operand order matches `matvec_transpose_into`'s
+            /// `*yc += wv * xv`.
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn axpy_wx(y: &mut [f32], ws: &[f32], x: f32) {
+                let n = y.len().min(ws.len());
+                let xv = $set1(x);
+                let mut i = 0usize;
+                while i + $w <= n {
+                    let wv = $loadu(ws.as_ptr().add(i));
+                    let a = $loadu(y.as_ptr().add(i));
+                    $storeu(y.as_mut_ptr().add(i), $add(a, $mul(wv, xv)));
+                    i += $w;
+                }
+                for (a, &wv) in y[i..n].iter_mut().zip(&ws[i..n]) {
+                    *a += wv * x;
+                }
+            }
+
+            /// `acc[i] += xs[i]` over the overlapping prefix.
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn add_assign(acc: &mut [f32], xs: &[f32]) {
+                let n = acc.len().min(xs.len());
+                let mut i = 0usize;
+                while i + $w <= n {
+                    let a = $loadu(acc.as_ptr().add(i));
+                    let x = $loadu(xs.as_ptr().add(i));
+                    $storeu(acc.as_mut_ptr().add(i), $add(a, x));
+                    i += $w;
+                }
+                for (a, &v) in acc[i..n].iter_mut().zip(&xs[i..n]) {
+                    *a += v;
+                }
+            }
+
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn gemm_lanes(acc: &mut [f32], wrow: &[f32], xt: &[f32]) {
+                let tl = acc.len();
+                if tl == 0 {
+                    return;
+                }
+                let mut ws = wrow.chunks_exact(2);
+                let mut cols = xt.chunks_exact(2 * tl);
+                for (wp, cp) in ws.by_ref().zip(cols.by_ref()) {
+                    let (c0, c1) = cp.split_at(tl);
+                    axpy2(acc, c0, wp[0], c1, wp[1]);
+                }
+                for (&w, col) in ws.remainder().iter().zip(cols.remainder().chunks_exact(tl)) {
+                    axpy(acc, col, w);
+                }
+            }
+
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn matvec_lanes(y: &mut [f32], wt: &[f32], x: &[f32]) {
+                let r_dim = y.len();
+                if r_dim == 0 {
+                    return;
+                }
+                y.fill(0.0);
+                let mut xs = x.chunks_exact(2);
+                let mut ws = wt.chunks_exact(2 * r_dim);
+                for (xp, wp) in xs.by_ref().zip(ws.by_ref()) {
+                    let (w0, w1) = wp.split_at(r_dim);
+                    axpy2(y, w0, xp[0], w1, xp[1]);
+                }
+                for (&xv, wrow) in xs
+                    .remainder()
+                    .iter()
+                    .zip(ws.remainder().chunks_exact(r_dim))
+                {
+                    axpy(y, wrow, xv);
+                }
+            }
+
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn matvec_t_sample(y: &mut [f32], w: &[f32], x: &[f32]) {
+                y.fill(0.0);
+                let cols = y.len();
+                if cols == 0 {
+                    return;
+                }
+                for (&xv, row) in x.iter().zip(w.chunks_exact(cols)) {
+                    // lint:allow(float-eq): exact-zero sparsity skip, identical to the scalar kernel
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    axpy_wx(y, row, xv);
+                }
+            }
+
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn outer_rows_sample(
+                dw: &mut [f32],
+                a_row: &[f32],
+                b_row: &[f32],
+                alpha: f32,
+            ) {
+                let cols = b_row.len();
+                if cols == 0 {
+                    return;
+                }
+                for (&av, row) in a_row.iter().zip(dw.chunks_exact_mut(cols)) {
+                    // lint:allow(float-eq): exact-zero sparsity skip, identical to the scalar kernel
+                    if av == 0.0 {
+                        continue;
+                    }
+                    axpy(row, b_row, alpha * av);
+                }
+            }
+
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn outer_lanes_sample(
+                dwt: &mut [f32],
+                a_row: &[f32],
+                b_row: &[f32],
+                alpha: f32,
+            ) {
+                let rows = a_row.len();
+                if rows == 0 {
+                    return;
+                }
+                for (&bv, drow) in b_row.iter().zip(dwt.chunks_exact_mut(rows)) {
+                    // lint:allow(float-eq): exact-zero sparsity skip, identical to the scalar kernel
+                    if bv == 0.0 {
+                        continue;
+                    }
+                    axpy(drow, a_row, alpha * bv);
+                }
+            }
+
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn add_bias_rows(out: &mut [f32], bias: &[f32]) {
+                if bias.is_empty() {
+                    return;
+                }
+                for row in out.chunks_exact_mut(bias.len()) {
+                    add_assign(row, bias);
+                }
+            }
+
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn sum_rows(acc: &mut [f32], rows: &[f32]) {
+                if acc.is_empty() {
+                    return;
+                }
+                for row in rows.chunks_exact(acc.len()) {
+                    add_assign(acc, row);
+                }
+            }
+
+            /// `andnot(x < 0, x)` zeroes exactly the lanes the scalar
+            /// branch zeroes: `-0.0` is not `< 0.0` (kept, like scalar)
+            /// and NaN compares false (kept bit-exactly, unlike `max`).
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn relu(xs: &mut [f32]) {
+                let n = xs.len();
+                let zero = $set1(0.0);
+                let mut i = 0usize;
+                while i + $w <= n {
+                    let x = $loadu(xs.as_ptr().add(i));
+                    let neg = $cmplt(x, zero);
+                    $storeu(xs.as_mut_ptr().add(i), $andnot(neg, x));
+                    i += $w;
+                }
+                for x in &mut xs[i..] {
+                    if *x < 0.0 {
+                        *x = 0.0;
+                    }
+                }
+            }
+
+            /// Multiply by an `and`-selected `{0.0, 1.0}` mask — the same
+            /// `d * 0.0` / `d * 1.0` the scalar branchless select
+            /// performs, so `±0.0` signs survive identically.
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn relu_mask(deltas: &mut [f32], ys: &[f32]) {
+                let n = deltas.len().min(ys.len());
+                let zero = $set1(0.0);
+                let one = $set1(1.0);
+                let mut i = 0usize;
+                while i + $w <= n {
+                    let d = $loadu(deltas.as_ptr().add(i));
+                    let y = $loadu(ys.as_ptr().add(i));
+                    let m = $and($cmpgt(y, zero), one);
+                    $storeu(deltas.as_mut_ptr().add(i), $mul(d, m));
+                    i += $w;
+                }
+                for (d, &y) in deltas[i..n].iter_mut().zip(&ys[i..n]) {
+                    *d *= if y > 0.0 { 1.0 } else { 0.0 };
+                }
+            }
+
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn tanh_mask(deltas: &mut [f32], ys: &[f32]) {
+                let n = deltas.len().min(ys.len());
+                let one = $set1(1.0);
+                let mut i = 0usize;
+                while i + $w <= n {
+                    let d = $loadu(deltas.as_ptr().add(i));
+                    let y = $loadu(ys.as_ptr().add(i));
+                    $storeu(deltas.as_mut_ptr().add(i), $mul(d, $sub(one, $mul(y, y))));
+                    i += $w;
+                }
+                for (d, &y) in deltas[i..n].iter_mut().zip(&ys[i..n]) {
+                    *d *= 1.0 - y * y;
+                }
+            }
+
+            #[target_feature(enable = $feature)]
+            pub(super) unsafe fn sigmoid_mask(deltas: &mut [f32], ys: &[f32]) {
+                let n = deltas.len().min(ys.len());
+                let one = $set1(1.0);
+                let mut i = 0usize;
+                while i + $w <= n {
+                    let d = $loadu(deltas.as_ptr().add(i));
+                    let y = $loadu(ys.as_ptr().add(i));
+                    $storeu(deltas.as_mut_ptr().add(i), $mul(d, $mul(y, $sub(one, y))));
+                    i += $w;
+                }
+                for (d, &y) in deltas[i..n].iter_mut().zip(&ys[i..n]) {
+                    *d *= y * (1.0 - y);
+                }
+            }
+        }
+    };
+}
+
+#[cfg(target_arch = "x86_64")]
+x86_kernel_set!(
+    avx2,
+    "avx2",
+    8,
+    _mm256_loadu_ps,
+    _mm256_storeu_ps,
+    _mm256_set1_ps,
+    _mm256_add_ps,
+    _mm256_mul_ps,
+    _mm256_sub_ps,
+    _mm256_and_ps,
+    _mm256_andnot_ps,
+    super::cmp256::gt,
+    super::cmp256::lt
+);
+
+#[cfg(target_arch = "x86_64")]
+x86_kernel_set!(
+    sse2,
+    "sse2",
+    4,
+    _mm_loadu_ps,
+    _mm_storeu_ps,
+    _mm_set1_ps,
+    _mm_add_ps,
+    _mm_mul_ps,
+    _mm_sub_ps,
+    _mm_and_ps,
+    _mm_andnot_ps,
+    _mm_cmpgt_ps,
+    _mm_cmplt_ps
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudorandom values with exact zeros and negative
+    /// zeros sprinkled in (the cases the sparsity skips and sign rules
+    /// care about).
+    fn vals(n: usize, seed: u32) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(2654435761).max(3);
+        (0..n)
+            .map(|i| {
+                s ^= s << 13;
+                s ^= s >> 17;
+                s ^= s << 5;
+                if i % 7 == 3 {
+                    0.0
+                } else if i % 11 == 5 {
+                    -0.0
+                } else {
+                    (s % 2000) as f32 / 100.0 - 10.0
+                }
+            })
+            .collect()
+    }
+
+    fn bits(xs: &[f32]) -> Vec<u32> {
+        xs.iter().map(|v| v.to_bits()).collect()
+    }
+
+    /// Lengths that exercise full vectors and every tail size for both
+    /// 4- and 8-wide backends.
+    const LENS: &[usize] = &[0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 64, 67];
+
+    fn non_scalar() -> impl Iterator<Item = KernelBackend> {
+        available()
+            .iter()
+            .copied()
+            .filter(|&b| b != KernelBackend::Scalar)
+    }
+
+    #[test]
+    fn name_parse_roundtrip() {
+        for b in [
+            KernelBackend::Avx2,
+            KernelBackend::Sse2,
+            KernelBackend::Scalar,
+        ] {
+            assert_eq!(KernelBackend::parse(b.name()), Some(b));
+            assert_eq!(KernelBackend::parse(&b.name().to_uppercase()), Some(b));
+            assert_eq!(format!("{b}"), b.name());
+        }
+        assert_eq!(KernelBackend::parse("avx512"), None);
+    }
+
+    #[test]
+    fn available_ends_with_scalar_and_contains_dispatched() {
+        let list = available();
+        assert_eq!(list.last(), Some(&KernelBackend::Scalar));
+        assert!(list.contains(&dispatched()));
+        assert!(list.iter().all(|b| b.is_available()));
+    }
+
+    #[test]
+    fn force_guard_nests_and_restores() {
+        assert_eq!(active(), dispatched());
+        {
+            let _outer = force(KernelBackend::Scalar);
+            assert_eq!(active(), KernelBackend::Scalar);
+            {
+                let best = available()[0];
+                let _inner = force(best);
+                assert_eq!(active(), best);
+            }
+            assert_eq!(active(), KernelBackend::Scalar);
+        }
+        assert_eq!(active(), dispatched());
+    }
+
+    #[test]
+    fn gemm_and_matvec_lanes_match_scalar_bitwise() {
+        for be in non_scalar() {
+            for &tl in LENS {
+                for k_dim in [0usize, 1, 2, 3, 5, 8] {
+                    let wrow = vals(k_dim, 1);
+                    let xt = vals(k_dim * tl, 2);
+                    let mut want = vals(tl, 3);
+                    let mut got = want.clone();
+                    scalar::gemm_lanes(&mut want, &wrow, &xt);
+                    super::gemm_lanes(be, &mut got, &wrow, &xt);
+                    assert_eq!(bits(&got), bits(&want), "{be} gemm tl={tl} k={k_dim}");
+
+                    let wt = vals(k_dim * tl, 4);
+                    let x = vals(k_dim, 5);
+                    let mut want = vec![9.0f32; tl];
+                    let mut got = want.clone();
+                    scalar::matvec_lanes(&mut want, &wt, &x);
+                    super::matvec_lanes(be, &mut got, &wt, &x);
+                    assert_eq!(bits(&got), bits(&want), "{be} matvec tl={tl} k={k_dim}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_t_and_outer_samples_match_scalar_bitwise() {
+        for be in non_scalar() {
+            for &cols in LENS {
+                for rows in [0usize, 1, 2, 3, 5, 8] {
+                    let w = vals(rows * cols, 6);
+                    let x = vals(rows, 7); // includes exact zeros → skip path
+                    let mut want = vec![1.0f32; cols];
+                    let mut got = want.clone();
+                    scalar::matvec_t_sample(&mut want, &w, &x);
+                    super::matvec_t_sample(be, &mut got, &w, &x);
+                    assert_eq!(bits(&got), bits(&want), "{be} matvec_t {rows}x{cols}");
+
+                    let a = vals(rows, 8);
+                    let b = vals(cols, 9);
+                    let mut want = vals(rows * cols, 10);
+                    let mut got = want.clone();
+                    scalar::outer_rows_sample(&mut want, &a, &b, 0.37);
+                    super::outer_rows_sample(be, &mut got, &a, &b, 0.37);
+                    assert_eq!(bits(&got), bits(&want), "{be} outer_rows {rows}x{cols}");
+
+                    let mut want = vals(rows * cols, 11);
+                    let mut got = want.clone();
+                    scalar::outer_lanes_sample(&mut want, &a, &b, -1.1);
+                    super::outer_lanes_sample(be, &mut got, &a, &b, -1.1);
+                    assert_eq!(bits(&got), bits(&want), "{be} outer_lanes {rows}x{cols}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bias_and_row_sums_match_scalar_bitwise() {
+        for be in non_scalar() {
+            for &n in LENS {
+                for samples in [0usize, 1, 3, 4] {
+                    let bias = vals(n, 12);
+                    let mut want = vals(samples * n, 13);
+                    let mut got = want.clone();
+                    scalar::add_bias_rows(&mut want, &bias);
+                    super::add_bias_rows(be, &mut got, &bias);
+                    assert_eq!(bits(&got), bits(&want), "{be} bias n={n} s={samples}");
+
+                    let rows = vals(samples * n, 14);
+                    let mut want = vals(n, 15);
+                    let mut got = want.clone();
+                    scalar::sum_rows(&mut want, &rows);
+                    super::sum_rows(be, &mut got, &rows);
+                    assert_eq!(bits(&got), bits(&want), "{be} sums n={n} s={samples}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn activations_match_scalar_bitwise_including_signed_zero_and_nan() {
+        for be in non_scalar() {
+            for &n in LENS {
+                let mut xs = vals(n, 16);
+                if n > 2 {
+                    xs[1] = f32::from_bits(0x7fc0_1234); // NaN with payload
+                }
+                let mut want = xs.clone();
+                let mut got = xs;
+                scalar::relu(&mut want);
+                super::relu(be, &mut got);
+                assert_eq!(bits(&got), bits(&want), "{be} relu n={n}");
+
+                let ys = vals(n, 17);
+                let mut want = vals(n, 18);
+                let mut got = want.clone();
+                scalar::relu_mask(&mut want, &ys);
+                super::relu_mask(be, &mut got, &ys);
+                assert_eq!(bits(&got), bits(&want), "{be} relu_mask n={n}");
+
+                let mut want = vals(n, 19);
+                let mut got = want.clone();
+                scalar::tanh_mask(&mut want, &ys);
+                super::tanh_mask(be, &mut got, &ys);
+                assert_eq!(bits(&got), bits(&want), "{be} tanh_mask n={n}");
+
+                let mut want = vals(n, 20);
+                let mut got = want.clone();
+                scalar::sigmoid_mask(&mut want, &ys);
+                super::sigmoid_mask(be, &mut got, &ys);
+                assert_eq!(bits(&got), bits(&want), "{be} sigmoid_mask n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn relu_keeps_negative_zero_and_clamps_to_positive_zero() {
+        for &be in available() {
+            let mut xs = vec![-0.0f32, -3.5, 0.0, 2.0, -1e-30, f32::NAN];
+            super::relu(be, &mut xs);
+            assert_eq!(xs[0].to_bits(), (-0.0f32).to_bits(), "{be}: -0.0 kept");
+            assert_eq!(xs[1].to_bits(), 0.0f32.to_bits(), "{be}: clamp is +0.0");
+            assert_eq!(xs[4].to_bits(), 0.0f32.to_bits(), "{be}: tiny negative");
+            assert!(xs[5].is_nan(), "{be}: NaN preserved");
+        }
+    }
+}

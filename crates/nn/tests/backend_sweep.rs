@@ -1,0 +1,110 @@
+//! Backend-sweep bit-equality property test.
+//!
+//! For random network shapes, batch sizes, activations, and inputs,
+//! every SIMD backend available on this host must produce byte-for-byte
+//! the same forward activations and backward gradient sums as the
+//! scalar fallback — the "bit-identical by construction" contract of
+//! `resemble_nn::simd`. Backends whose ISA the CPU lacks are skipped at
+//! runtime and logged once, so a green run on (say) a pre-AVX2 host is
+//! visibly narrower rather than silently complete.
+
+use proptest::prelude::*;
+use resemble_nn::simd::{self, KernelBackend};
+use resemble_nn::{Activation, Matrix, Mlp};
+use std::sync::Once;
+
+const ALL_BACKENDS: [KernelBackend; 3] = [
+    KernelBackend::Avx2,
+    KernelBackend::Sse2,
+    KernelBackend::Scalar,
+];
+
+/// Log once which backends this host cannot run, so CI output shows the
+/// sweep's actual coverage instead of silently passing a narrower test.
+fn log_coverage() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let avail = simd::available();
+        for be in ALL_BACKENDS {
+            if !avail.contains(&be) {
+                eprintln!("backend_sweep: SKIPPING {be} (not available on this host)");
+            }
+        }
+        eprintln!("backend_sweep: comparing backends {avail:?}");
+    });
+}
+
+/// One forward + backward minibatch pass under `backend`, returning the
+/// raw bit patterns of the batched outputs and of the accumulated
+/// gradient sums (flattened in parameter order).
+fn run_pass(
+    backend: KernelBackend,
+    sizes: &[usize],
+    act: Activation,
+    seed: u64,
+    xs: &Matrix,
+) -> (Vec<u32>, Vec<u32>) {
+    let _guard = simd::force(backend);
+    let net = Mlp::new(sizes, act, seed);
+    let mut scratch = net.make_batch_scratch(xs.rows());
+    let mut grads = net.make_grad_buffer();
+    let out = net.forward_batch(xs, &mut scratch).clone();
+    // L = 0.5 * sum(y^2) gives dL/dy = y: a deterministic out-grad that
+    // exercises backward with the full range of forward outputs.
+    net.backward_batch(&mut scratch, &out, &mut grads);
+    let out_bits = out.as_slice().iter().map(|v| v.to_bits()).collect();
+    let grad_bits = grads.flat_sums().iter().map(|v| v.to_bits()).collect();
+    (out_bits, grad_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every available backend matches scalar bitwise on forward and
+    /// backward, across random shapes, batch sizes, and activations.
+    #[test]
+    fn all_backends_match_scalar_bitwise(
+        input_dim in 1usize..20,
+        hidden in 1usize..48,
+        output_dim in 1usize..12,
+        batch in 1usize..24,
+        act_sel in 0u8..4,
+        seed in any::<u64>(),
+        data in proptest::collection::vec(-2.5f32..2.5, 20 * 24),
+    ) {
+        log_coverage();
+        let act = match act_sel {
+            0 => Activation::Relu,
+            1 => Activation::Tanh,
+            2 => Activation::Sigmoid,
+            _ => Activation::Identity,
+        };
+        let sizes = [input_dim, hidden, output_dim];
+        let xs = Matrix::from_fn(batch, input_dim, |r, c| data[r * input_dim + c]);
+        let reference = run_pass(KernelBackend::Scalar, &sizes, act, seed, &xs);
+        for &be in simd::available() {
+            if be == KernelBackend::Scalar {
+                continue;
+            }
+            let got = run_pass(be, &sizes, act, seed, &xs);
+            prop_assert_eq!(
+                &got.0,
+                &reference.0,
+                "{} forward bits differ from scalar ({:?}, act {:?}, batch {})",
+                be,
+                sizes,
+                act,
+                batch
+            );
+            prop_assert_eq!(
+                &got.1,
+                &reference.1,
+                "{} gradient bits differ from scalar ({:?}, act {:?}, batch {})",
+                be,
+                sizes,
+                act,
+                batch
+            );
+        }
+    }
+}

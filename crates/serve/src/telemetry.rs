@@ -183,6 +183,9 @@ impl Telemetry {
             })
             .collect();
         TelemetrySnapshot {
+            // `active()` never panics (dispatch falls back to scalar), so
+            // this stays within the no-panic hot-path contract.
+            kernel_backend: resemble_nn::simd::active().name().to_string(),
             sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
             sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
             decisions,
@@ -210,6 +213,10 @@ impl Telemetry {
 /// periodic snapshot.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TelemetrySnapshot {
+    /// SIMD kernel backend the snapshotting thread's decisions run on
+    /// (`avx2`/`sse2`/`scalar`), so latency and throughput numbers are
+    /// attributable to an ISA.
+    pub kernel_backend: String,
     /// Sessions accepted.
     pub sessions_opened: u64,
     /// Sessions finished.
@@ -303,6 +310,11 @@ mod tests {
     #[test]
     fn empty_telemetry_snapshots_cleanly() {
         let s = Telemetry::new().snapshot();
+        assert!(
+            ["avx2", "sse2", "scalar"].contains(&s.kernel_backend.as_str()),
+            "unknown backend {:?}",
+            s.kernel_backend
+        );
         assert_eq!(s.decisions, 0);
         assert_eq!(s.latency_us_p99, 0);
         assert_eq!(s.mean_batch, 0.0);
