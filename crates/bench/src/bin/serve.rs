@@ -3,8 +3,15 @@
 //!
 //! ```text
 //! serve --addr 127.0.0.1:7071 --shards 4 --max-batch 64 --queue-cap 256 \
+//!       --io-threads 2 --pool-rows 4096 --checkpoint-dir ckpts/ \
 //!       --snapshot telemetry.jsonl --snapshot-secs 5
 //! ```
+//!
+//! `--checkpoint-dir` enables warm restarts: every MLP session saves its
+//! learned state on Bye, and a later Hello with the same
+//! `(model, seed, fast)` resumes from the saved file. Cross-session
+//! batching of frozen same-key sessions is on by default; disable with
+//! `--no-cross-session`.
 //!
 //! The model names a client's Hello can request are the serve registry
 //! ("resemble", "resemble_frozen", ...) plus everything `factory::make`
@@ -40,6 +47,10 @@ fn main() {
         "queue-cap",
         "snapshot",
         "snapshot-secs",
+        "io-threads",
+        "no-cross-session",
+        "pool-rows",
+        "checkpoint-dir",
     ]);
     let cfg = ServeConfig {
         addr: opts.str("addr").unwrap_or("127.0.0.1:7071").to_string(),
@@ -48,6 +59,10 @@ fn main() {
         queue_cap: opts.usize("queue-cap", 256),
         snapshot_path: opts.str("snapshot").map(Into::into),
         snapshot_every: Duration::from_secs(opts.u64("snapshot-secs", 5)),
+        io_threads: opts.usize("io-threads", 2),
+        cross_session: !opts.flag("no-cross-session"),
+        pool_rows: opts.usize("pool-rows", 4096),
+        checkpoint_dir: opts.str("checkpoint-dir").map(Into::into),
     };
     signal::install();
     let server = match Server::start(cfg, full_builder()) {

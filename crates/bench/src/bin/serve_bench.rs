@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! serve_bench --sessions 8 --accesses 4000 --model resemble_frozen \
-//!             --json BENCH_serve.json
+//!             --hisess-sessions 1000 --json BENCH_serve.json
 //! ```
 //!
 //! The default model is `resemble_frozen` (inference-only serving, the
@@ -14,6 +14,15 @@
 //! batch-of-1 phase pays per decision. Decisions are bit-identical across
 //! the two phases (and to an offline run) — the loopback tests pin that;
 //! this binary measures what the batching buys.
+//!
+//! The high-session scenario (ISSUE 6) then opens ~1k concurrent
+//! closed-loop sessions that all Hello with the *same* frozen key and
+//! measures cross-session pooled decision windows against per-session
+//! batching. With one request in flight per session, per-session batches
+//! degenerate to single rows; pooling shares one `forward_batch` across
+//! every ready same-key session per shard visit. `--check` gates the
+//! microbatch speedup (≥1.5x), the pool speedup (≥1.5x), and the pooled
+//! p99 latency (≤250ms).
 
 use resemble_bench::cli::Options;
 use resemble_bench::runner::maybe_write_json;
@@ -22,6 +31,7 @@ use resemble_trace::gen::stream::StreamGen;
 use resemble_trace::gen::TraceSource;
 use resemble_trace::MemAccess;
 use serde::Serialize;
+use std::sync::{Barrier, OnceLock};
 use std::time::Instant;
 
 /// One measured serving phase.
@@ -48,6 +58,72 @@ struct BenchReport {
     batch_of_1: PhaseReport,
     /// Microbatched ÷ batch-of-1 decision throughput.
     speedup: f64,
+    high_session: HighSessionReport,
+}
+
+/// One high-session-count phase: many concurrent sessions sharing one
+/// frozen Hello key, each trickling a small request window.
+#[derive(Debug, Serialize)]
+struct HighSessionPhase {
+    cross_session: bool,
+    elapsed_s: f64,
+    decisions_per_s: f64,
+    latency_us_p99: u64,
+    snapshot: TelemetrySnapshot,
+}
+
+/// The high-session scenario (ISSUE 6): ~1k concurrent frozen sessions,
+/// measured once with cross-session pooled decision windows and once
+/// with per-session batching only. Same clients, same traces — the delta
+/// is what sharing one `forward_batch` across sessions buys.
+#[derive(Debug, Serialize)]
+struct HighSessionReport {
+    model: String,
+    sessions: usize,
+    accesses_per_session: usize,
+    /// Requests each session keeps in flight (small on purpose: a big
+    /// per-session window would let per-session batching catch up).
+    window: usize,
+    shards: usize,
+    io_threads: usize,
+    /// RLIMIT_NOFILE actually in effect (after the best-effort raise).
+    nofile_limit: u64,
+    pooled: HighSessionPhase,
+    per_session: HighSessionPhase,
+    /// Pooled ÷ per-session decision throughput.
+    pool_speedup: f64,
+}
+
+/// Best-effort raise of RLIMIT_NOFILE toward `target` (the scenario
+/// needs ~2 fds per session), returning the limit now in effect.
+fn raise_nofile_limit(target: u64) -> u64 {
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    unsafe {
+        let mut r = RLimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut r) != 0 {
+            return 1024;
+        }
+        if r.cur < target {
+            let want = RLimit {
+                cur: target.min(r.max),
+                max: r.max,
+            };
+            let _ = setrlimit(RLIMIT_NOFILE, &want);
+            if getrlimit(RLIMIT_NOFILE, &mut r) != 0 {
+                return 1024;
+            }
+        }
+        r.cur
+    }
 }
 
 fn session_trace(seed: u64, n: usize) -> Vec<(MemAccess, bool)> {
@@ -143,8 +219,137 @@ fn run_phase(
     }
 }
 
+/// The high-session scenario's shape, shared verbatim by the pooled and
+/// per-session runs (which differ only in `cross_session`).
+struct HighSessionSetup<'a> {
+    model: &'a str,
+    sessions: usize,
+    accesses: usize,
+    window: usize,
+    shards: usize,
+    io_threads: usize,
+    seed: u64,
+}
+
+/// Run the high-session scenario once. Every session Hellos with the
+/// *same* `(model, seed, fast)` key — the frozen weights are shared — but
+/// streams its own trace. Drivers are bulk-synchronous: each owns a block
+/// of sessions and per round sends `window` accesses on every one, then
+/// collects the replies, so ~`sessions` sessions are concurrently ready
+/// at all times.
+fn run_high_session_phase(setup: &HighSessionSetup, cross_session: bool) -> HighSessionPhase {
+    let &HighSessionSetup {
+        model,
+        sessions,
+        accesses,
+        window,
+        shards,
+        io_threads,
+        seed,
+    } = setup;
+    let server = Server::start(
+        ServeConfig {
+            shards,
+            max_batch: 64,
+            queue_cap: 256,
+            io_threads,
+            cross_session,
+            ..ServeConfig::default()
+        },
+        SessionModel::default_builder(),
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+    let drivers = 16usize.min(sessions.max(1));
+    let barrier = Barrier::new(drivers);
+    let t0: OnceLock<Instant> = OnceLock::new();
+    let served: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..drivers)
+            .map(|d| {
+                let barrier = &barrier;
+                let t0 = &t0;
+                s.spawn(move || {
+                    let lo = sessions * d / drivers;
+                    let hi = sessions * (d + 1) / drivers;
+                    let mut clients: Vec<ServeClient> = Vec::with_capacity(hi - lo);
+                    let mut traces: Vec<Vec<(MemAccess, bool)>> = Vec::with_capacity(hi - lo);
+                    for i in lo..hi {
+                        let mut c = ServeClient::connect(addr).expect("connect");
+                        c.hello(model, seed, true).expect("hello accepted");
+                        clients.push(c);
+                        traces.push(session_trace(seed + 1 + i as u64 * 7919, accesses));
+                    }
+                    // Setup (connects + per-session model builds) is
+                    // excluded from the measured window.
+                    barrier.wait();
+                    let _ = t0.set(Instant::now());
+                    let mut decisions = 0u64;
+                    let mut pos = 0usize;
+                    while pos < accesses {
+                        let take = window.min(accesses - pos);
+                        for (c, trace) in clients.iter_mut().zip(traces.iter()) {
+                            for k in 0..take {
+                                let (access, hit) = trace[pos + k];
+                                c.queue_access((pos + k) as u32, 0, access, hit);
+                            }
+                            c.flush().expect("flush");
+                        }
+                        for c in clients.iter_mut() {
+                            for _ in 0..take {
+                                match c.recv().expect("recv").expect("reply before EOF") {
+                                    Reply::Decision { .. } => decisions += 1,
+                                    Reply::Busy { .. } => {}
+                                    other => panic!("unexpected reply {other:?}"),
+                                }
+                            }
+                        }
+                        pos += take;
+                    }
+                    for c in clients.iter_mut() {
+                        c.queue_bye();
+                        c.flush().expect("flush bye");
+                        while let Some(reply) = c.recv().expect("recv goodbye") {
+                            if matches!(reply, Reply::Goodbye { .. }) {
+                                break;
+                            }
+                        }
+                    }
+                    decisions
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("driver")).sum()
+    });
+    let elapsed = t0
+        .get()
+        .map(|t| t.elapsed().as_secs_f64())
+        .unwrap_or(f64::MIN_POSITIVE);
+    let snapshot = server.shutdown();
+    assert_eq!(
+        snapshot.decisions, served,
+        "telemetry vs client decision count"
+    );
+    HighSessionPhase {
+        cross_session,
+        elapsed_s: elapsed,
+        decisions_per_s: served as f64 / elapsed.max(1e-9),
+        latency_us_p99: snapshot.latency_us_p99,
+        snapshot,
+    }
+}
+
 fn main() {
-    let opts = Options::from_env_checked(&["sessions", "model", "shards", "check"]);
+    let opts = Options::from_env_checked(&[
+        "sessions",
+        "model",
+        "shards",
+        "check",
+        "io-threads",
+        "hisess-sessions",
+        "hisess-accesses",
+        "hisess-window",
+        "hisess-model",
+    ]);
     let sessions = opts.usize("sessions", 8);
     let accesses = opts.usize("accesses", 4000);
     let shards = opts.usize("shards", 2);
@@ -159,6 +364,63 @@ fn main() {
     let microbatched = run_phase(&model, sessions, accesses, shards, seed, 64);
     let batch_of_1 = run_phase(&model, sessions, accesses, shards, seed, 1);
     let speedup = microbatched.decisions_per_s / batch_of_1.decisions_per_s.max(1e-9);
+
+    // High-session scenario: ~1k concurrent frozen sessions sharing one
+    // Hello key, pooled vs per-session batching.
+    let hisess_req = opts.usize("hisess-sessions", 1000);
+    let hisess_accesses = opts.usize("hisess-accesses", 32);
+    // Closed-loop clients: each session has one request in flight (it
+    // sends the next access only after receiving the decision), which is
+    // the realistic serving regime at high session counts — per-session
+    // batches degenerate to 1 row, cross-session pooling recovers the
+    // batched GEMM.
+    let hisess_window = opts.usize("hisess-window", 1).max(1);
+    let hisess_model = opts
+        .str("hisess-model")
+        .unwrap_or("resemble_frozen_wide")
+        .to_string();
+    // One shard and one I/O thread by default: sessions pool per shard,
+    // so a single worker gathering every ready session is the cleanest
+    // (and least scheduling-sensitive) pooled-vs-per-session comparison.
+    let io_threads = opts.usize("io-threads", 1);
+    let hisess_shards = 1;
+    let nofile_limit = raise_nofile_limit(hisess_req as u64 * 2 + 256);
+    let fd_budget = usize::try_from(nofile_limit.saturating_sub(128) / 2).unwrap_or(hisess_req);
+    let hisess_sessions = hisess_req.min(fd_budget).max(1);
+    if hisess_sessions < hisess_req {
+        eprintln!(
+            "serve_bench: RLIMIT_NOFILE={nofile_limit} caps the high-session scenario at \
+             {hisess_sessions} sessions (requested {hisess_req})"
+        );
+    }
+    eprintln!(
+        "serve_bench: high-session scenario: model={hisess_model} sessions={hisess_sessions} \
+         accesses={hisess_accesses} window={hisess_window} io_threads={io_threads}"
+    );
+    let setup = HighSessionSetup {
+        model: &hisess_model,
+        sessions: hisess_sessions,
+        accesses: hisess_accesses,
+        window: hisess_window,
+        shards: hisess_shards,
+        io_threads,
+        seed,
+    };
+    let pooled = run_high_session_phase(&setup, true);
+    let per_session = run_high_session_phase(&setup, false);
+    let pool_speedup = pooled.decisions_per_s / per_session.decisions_per_s.max(1e-9);
+    let high_session = HighSessionReport {
+        model: hisess_model,
+        sessions: hisess_sessions,
+        accesses_per_session: hisess_accesses,
+        window: hisess_window,
+        shards: hisess_shards,
+        io_threads,
+        nofile_limit,
+        pooled,
+        per_session,
+        pool_speedup,
+    };
 
     println!(
         "microbatched : {:>10.0} decisions/s  (mean batch {:.1}, p50/p95/p99 = {}/{}/{} us)",
@@ -177,6 +439,20 @@ fn main() {
         batch_of_1.snapshot.latency_us_p99,
     );
     println!("speedup      : {speedup:.2}x");
+    println!(
+        "pooled       : {:>10.0} decisions/s  ({} sessions, {} pool batches, mean pooled {:.1}, p99 = {} us)",
+        high_session.pooled.decisions_per_s,
+        high_session.sessions,
+        high_session.pooled.snapshot.pool_batches,
+        high_session.pooled.snapshot.pool_sessions as f64
+            / (high_session.pooled.snapshot.pool_batches.max(1)) as f64,
+        high_session.pooled.latency_us_p99,
+    );
+    println!(
+        "per-session  : {:>10.0} decisions/s  (p99 = {} us)",
+        high_session.per_session.decisions_per_s, high_session.per_session.latency_us_p99,
+    );
+    println!("pool speedup : {pool_speedup:.2}x");
 
     let report = BenchReport {
         kernel_backend,
@@ -188,11 +464,33 @@ fn main() {
         microbatched,
         batch_of_1,
         speedup,
+        high_session,
     };
     maybe_write_json(json.as_deref(), &report);
 
-    if opts.flag("check") && speedup < 1.5 {
-        eprintln!("FAIL: microbatch speedup {speedup:.2}x is below the 1.5x floor");
-        std::process::exit(1);
+    if opts.flag("check") {
+        let mut failed = false;
+        if speedup < 1.5 {
+            eprintln!("FAIL: microbatch speedup {speedup:.2}x is below the 1.5x floor");
+            failed = true;
+        }
+        let hs = &report.high_session;
+        if hs.pool_speedup < 1.5 {
+            eprintln!(
+                "FAIL: cross-session pool speedup {:.2}x is below the 1.5x floor",
+                hs.pool_speedup
+            );
+            failed = true;
+        }
+        if hs.pooled.latency_us_p99 > 250_000 {
+            eprintln!(
+                "FAIL: pooled high-session p99 {} us exceeds the 250ms bound",
+                hs.pooled.latency_us_p99
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
 }

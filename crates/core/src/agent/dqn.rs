@@ -19,7 +19,15 @@ use crate::config::ResembleConfig;
 use crate::replay::ReplayMemory;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use resemble_nn::checkpoint::{load_mlp_binary, save_mlp_binary};
 use resemble_nn::{Activation, BatchScratch, GradBuffer, Matrix, Mlp, Scratch, Sgd};
+use std::io::{self, Read, Write};
+
+/// Magic bytes opening a DQN agent checkpoint.
+pub const DQN_MAGIC: [u8; 8] = *b"RSMBDQN1";
+
+/// Agent checkpoint format version written by [`DqnAgent::save_checkpoint`].
+pub const DQN_VERSION: u32 = 1;
 
 /// Which `train_once` implementation the agent runs. Both produce
 /// bit-identical networks; `PerSample` exists as the measurement reference
@@ -145,6 +153,97 @@ impl DqnAgent {
     /// Q-values of the inference (target) network for a state.
     pub fn q_values(&mut self, state: &[f32]) -> &[f32] {
         self.target.forward(state, &mut self.scratch_t)
+    }
+
+    /// The network currently serving inference (the target net). Sessions
+    /// that share frozen weights are pooled by cloning this network once;
+    /// frozen agents never train or role-switch, so the clone stays
+    /// bit-identical to the original for the life of the pool entry.
+    pub fn inference_net(&self) -> &Mlp {
+        &self.target
+    }
+
+    /// Serialize the agent's learned state: both networks (policy then
+    /// target, in the [`resemble_nn::checkpoint`] binary format) plus the
+    /// exploration/training counters, behind a versioned header with the
+    /// architecture fingerprint. The byte stream is deterministic — a
+    /// function of the parameter bits and counters only.
+    ///
+    /// The ε-greedy RNG stream is *not* serialized: a restored agent
+    /// resumes the ε schedule exactly (from the saved `step`) but draws
+    /// fresh exploration randomness from its construction seed. Restores
+    /// into a freshly built agent are therefore deterministic given the
+    /// same `(seed, checkpoint)` pair, which is what the serve layer's
+    /// warm-resume test pins.
+    pub fn save_checkpoint<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&DQN_MAGIC)?;
+        w.write_all(&DQN_VERSION.to_le_bytes())?;
+        for dim in [
+            self.cfg.input_dim(),
+            self.cfg.hidden_dim,
+            self.cfg.action_dim,
+        ] {
+            let d = u32::try_from(dim)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "dimension overflow"))?;
+            w.write_all(&d.to_le_bytes())?;
+        }
+        w.write_all(&self.step.to_le_bytes())?;
+        w.write_all(&self.train_steps.to_le_bytes())?;
+        w.write_all(&self.role_switches.to_le_bytes())?;
+        w.write_all(&[u8::from(self.frozen), 0, 0, 0])?;
+        save_mlp_binary(w, &self.policy)?;
+        save_mlp_binary(w, &self.target)
+    }
+
+    /// Restore state written by [`DqnAgent::save_checkpoint`] into this
+    /// agent. The checkpoint's architecture fingerprint must match this
+    /// agent's configuration; parameters are loaded in place so every
+    /// scratch buffer stays valid. Returns `InvalidData` on any mismatch
+    /// without modifying the agent.
+    pub fn restore_checkpoint<R: Read>(&mut self, r: &mut R) -> io::Result<()> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if magic != DQN_MAGIC {
+            return Err(bad("not a DQN agent checkpoint (bad magic)"));
+        }
+        let mut b4 = [0u8; 4];
+        r.read_exact(&mut b4)?;
+        if u32::from_le_bytes(b4) != DQN_VERSION {
+            return Err(bad("unsupported agent checkpoint version"));
+        }
+        for expect in [
+            self.cfg.input_dim(),
+            self.cfg.hidden_dim,
+            self.cfg.action_dim,
+        ] {
+            r.read_exact(&mut b4)?;
+            if u32::from_le_bytes(b4) as usize != expect {
+                return Err(bad("checkpoint architecture does not match this agent"));
+            }
+        }
+        let mut b8 = [0u8; 8];
+        r.read_exact(&mut b8)?;
+        let step = u64::from_le_bytes(b8);
+        r.read_exact(&mut b8)?;
+        let train_steps = u64::from_le_bytes(b8);
+        r.read_exact(&mut b8)?;
+        let role_switches = u64::from_le_bytes(b8);
+        r.read_exact(&mut b4)?;
+        let frozen = b4[0] != 0;
+        let policy = load_mlp_binary(r)?;
+        let target = load_mlp_binary(r)?;
+        if policy.sizes() != self.policy.sizes() || target.sizes() != self.target.sizes() {
+            return Err(bad("checkpoint network shapes do not match this agent"));
+        }
+        self.policy.load_flat(&policy.flat_params());
+        self.target.load_flat(&target.flat_params());
+        self.step = step;
+        self.train_steps = train_steps;
+        self.role_switches = role_switches;
+        self.frozen = frozen;
+        self.grads.clear();
+        Ok(())
     }
 
     /// ε-greedy action selection on the inference network (Eq. 8 /
@@ -559,6 +658,57 @@ mod tests {
         }
         agent.frozen = true;
         assert_eq!(agent.decision_window_bound(), usize::MAX);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_restores_bit_identical_q_values() {
+        let mut trained = run_synthetic(Datapath::Batched, 800, 17);
+        let mut buf = Vec::new();
+        trained.save_checkpoint(&mut buf).expect("saves");
+        let mut fresh = DqnAgent::new(cfg2(), 17);
+        assert_ne!(fresh.param_bits(), trained.param_bits());
+        fresh
+            .restore_checkpoint(&mut buf.as_slice())
+            .expect("restores");
+        assert_eq!(fresh.param_bits(), trained.param_bits());
+        assert_eq!(fresh.train_steps, trained.train_steps);
+        assert_eq!(fresh.role_switches, trained.role_switches);
+        assert_eq!(fresh.epsilon(), trained.epsilon(), "ε schedule resumes");
+        let s = [0.42f32, -0.17];
+        let a: Vec<u32> = trained.q_values(&s).iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = fresh.q_values(&s).iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "restored Q-values diverged");
+    }
+
+    #[test]
+    fn checkpoint_serialization_is_deterministic() {
+        let agent = run_synthetic(Datapath::Batched, 300, 5);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        agent.save_checkpoint(&mut a).expect("saves");
+        agent.save_checkpoint(&mut b).expect("saves");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checkpoint_rejects_architecture_mismatch_without_modifying() {
+        let agent = DqnAgent::new(cfg2(), 1);
+        let mut buf = Vec::new();
+        agent.save_checkpoint(&mut buf).expect("saves");
+        // Paper dims (4-wide state) vs the test's 2-wide state.
+        let mut other = DqnAgent::new(ResembleConfig::default(), 9);
+        let before = other.param_bits();
+        assert!(other.restore_checkpoint(&mut buf.as_slice()).is_err());
+        assert_eq!(
+            other.param_bits(),
+            before,
+            "failed restore must not touch nets"
+        );
+
+        let mut corrupt = buf.clone();
+        corrupt[0] ^= 0xFF;
+        let mut same = DqnAgent::new(cfg2(), 1);
+        assert!(same.restore_checkpoint(&mut corrupt.as_slice()).is_err());
     }
 
     #[test]

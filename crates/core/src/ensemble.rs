@@ -209,30 +209,39 @@ impl ResembleMlp {
         while start < accesses.len() {
             let bound = self.agent.decision_window_bound().max(1);
             let m = (accesses.len() - start).min(bound);
-            self.window_chunk(start, &accesses[start..start + m], &mut emit);
+            let chunk = &accesses[start..start + m];
+            // Phase A, then phase B through this controller's own
+            // inference net, then phase C — the fused single-session path.
+            self.window_prepare(chunk);
+            let mut q = std::mem::take(&mut self.win_q);
+            self.agent.q_batch_into(&self.win_states, &mut q);
+            self.window_commit(chunk, &q, 0, |k, issued| emit(start + k, issued));
+            self.win_q = q;
             start += m;
         }
     }
 
-    /// One decision window: the inference network is constant across the
-    /// whole chunk (the caller bounded it by
-    /// [`DqnAgent::decision_window_bound`]).
-    fn window_chunk(
-        &mut self,
-        base: usize,
-        chunk: &[(MemAccess, bool)],
-        emit: &mut impl FnMut(usize, &[u64]),
-    ) {
-        let m = chunk.len();
+    /// Phase A of one decision window: per access, in order, run the bank
+    /// observation (members see every access exactly as in the sequential
+    /// path), capture each member's full suggestion list (the bank only
+    /// retains the latest access's lists), and preprocess the state row.
+    /// None of this depends on the actions still to be chosen, and none of
+    /// it touches the agent, replay, or RNG. Returns the window's state
+    /// matrix, one row per access.
+    ///
+    /// This is one half of [`ResembleMlp::on_access_window`], split out so
+    /// `resemble-serve` can pool phase B (the batched forward) across
+    /// sessions that share frozen inference weights. The contract: the
+    /// caller must follow with exactly one [`ResembleMlp::window_commit`]
+    /// over the same `chunk`, passing Q rows that are bit-identical to
+    /// this controller's inference net forward on the returned states,
+    /// before any other call that mutates this controller; `chunk.len()`
+    /// must not exceed [`DqnAgent::decision_window_bound`].
+    pub fn window_prepare(&mut self, chunk: &[(MemAccess, bool)]) -> &Matrix {
         let members = self.bank.len();
-        self.win_states.resize(m, self.cfg.input_dim());
+        self.win_states.resize(chunk.len(), self.cfg.input_dim());
         self.win_sugg.clear();
         self.win_spans.clear();
-        // Phase A — per access, in order: bank observation (members see
-        // every access exactly as in the sequential path), capture of each
-        // member's full suggestion list (the bank only retains the latest
-        // access's lists), and the preprocessed state row. None of this
-        // depends on the actions still to be chosen.
         for (k, (access, hit)) in chunk.iter().enumerate() {
             self.obs_buf.clear();
             self.obs_buf
@@ -253,13 +262,26 @@ impl ResembleMlp {
             );
             self.win_states.row_mut(k).copy_from_slice(&self.state_buf);
         }
-        // Phase B — one batched forward through the (constant) inference
-        // network for every state in the window.
-        self.agent.q_batch_into(&self.win_states, &mut self.win_q);
-        // Phase C — sequential bookkeeping in the exact per-access order:
-        // lazy rewards, next-state completion, ε-greedy selection off the
-        // precomputed Q row (same RNG draw order as the sequential path,
-        // since phase A/B draw nothing), replay push, and training tick.
+        &self.win_states
+    }
+
+    /// Phase C of one decision window: sequential per-access bookkeeping
+    /// in the exact sequential order — lazy rewards, next-state
+    /// completion, ε-greedy selection off the precomputed Q row (same RNG
+    /// draw order as the sequential path, since phase A/B draw nothing),
+    /// replay push, stats, and training tick. `q.row(row0 + k)` must hold
+    /// the inference net's Q-values for access `k` of the
+    /// [`ResembleMlp::window_prepare`]d `chunk`; `row0` lets pooled
+    /// callers pass a shared Q matrix covering several sessions' windows.
+    pub fn window_commit(
+        &mut self,
+        chunk: &[(MemAccess, bool)],
+        q: &Matrix,
+        row0: usize,
+        mut emit: impl FnMut(usize, &[u64]),
+    ) {
+        debug_assert!(row0 + chunk.len() <= q.rows(), "Q rows cover the chunk");
+        let members = self.bank.len();
         for (k, (access, _)) in chunk.iter().enumerate() {
             let block = block_of(access.addr);
             self.replay.on_access(block, &mut self.assigned);
@@ -267,7 +289,7 @@ impl ResembleMlp {
             if let Some(pid) = self.prev_id {
                 self.replay.set_next_state(pid, self.win_states.row(k));
             }
-            let action = self.agent.select_action_from_q(self.win_q.row(k));
+            let action = self.agent.select_action_from_q(q.row(row0 + k));
             self.blocks_buf.clear();
             let mut issued: &[u64] = &[];
             if action < members {
@@ -281,8 +303,41 @@ impl ResembleMlp {
             );
             self.stats.record(action, reward_sum);
             self.agent.train_tick(&mut self.replay);
-            emit(base + k, issued);
+            emit(k, issued);
         }
+    }
+
+    /// Phase B through this controller's *own* inference net: forward the
+    /// states captured by the last [`ResembleMlp::window_prepare`] into
+    /// `q`. This is the unpooled fallback between prepare and commit —
+    /// bit-identical to the shared-weight path because a frozen pooled net
+    /// is a clone of these same weights.
+    pub fn window_forward(&mut self, q: &mut Matrix) {
+        let states = std::mem::take(&mut self.win_states);
+        self.agent.q_batch_into(&states, q);
+        self.win_states = states;
+    }
+
+    /// `true` when the agent is frozen (inference only). Frozen
+    /// controllers with equal `(config, seed)` have bit-identical,
+    /// never-changing inference weights — the property the serve layer's
+    /// shared-weight session pool is keyed on.
+    pub fn is_frozen(&self) -> bool {
+        self.agent.frozen
+    }
+
+    /// Serialize the controller's learned state (see
+    /// [`DqnAgent::save_checkpoint`]). Bank and replay contents are *not*
+    /// included: a warm resume restores the networks and the ε/training
+    /// schedule, while prefetcher tables and replay refill online.
+    pub fn save_checkpoint<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        self.agent.save_checkpoint(w)
+    }
+
+    /// Restore state written by [`ResembleMlp::save_checkpoint`] (see
+    /// [`DqnAgent::restore_checkpoint`] for validation semantics).
+    pub fn load_checkpoint<R: std::io::Read>(&mut self, r: &mut R) -> std::io::Result<()> {
+        self.agent.restore_checkpoint(r)
     }
 }
 
@@ -651,6 +706,70 @@ mod tests {
                 .map(|r| r.to_bits())
                 .collect::<Vec<_>>(),
         );
+    }
+
+    #[test]
+    fn split_prepare_commit_through_shared_net_matches_fused_window() {
+        // The serve layer's cross-session pooled path: phase B runs
+        // through a *clone* of the frozen inference net (shared by many
+        // sessions, states packed into one matrix at arbitrary row
+        // offsets), phases A/C through the session's own controller. Must
+        // be bit-identical to the fused on_access_window path.
+        let mut fused = ResembleMlp::new(two_bank(), small_cfg(), 42);
+        fused.agent_mut().frozen = true;
+        let mut split = ResembleMlp::new(two_bank(), small_cfg(), 42);
+        split.agent_mut().frozen = true;
+        let shared = split.agent().inference_net().clone();
+        let mut scratch = resemble_nn::BatchScratch::default();
+
+        let mut src = StreamGen::new(3, 2, 4096, 0).with_write_ratio(0.1);
+        let accesses: Vec<(MemAccess, bool)> = (0..600)
+            .map(|i| (src.next_access().unwrap(), i % 4 == 0))
+            .collect();
+
+        let mut fused_out: Vec<Vec<u64>> = vec![Vec::new(); accesses.len()];
+        let mut split_out: Vec<Vec<u64>> = vec![Vec::new(); accesses.len()];
+        let row0 = 3usize; // simulate other sessions' rows packed ahead
+        for (c, chunk) in accesses.chunks(37).enumerate() {
+            let pos = c * 37;
+            fused.on_access_window(chunk, |k, issued| {
+                fused_out[pos + k] = issued.to_vec();
+            });
+            let states = split.window_prepare(chunk);
+            let mut padded = Matrix::zeros(row0 + chunk.len(), states.cols());
+            for r in 0..row0 {
+                padded.row_mut(r).fill(0.25); // junk rows from "other sessions"
+            }
+            for r in 0..chunk.len() {
+                padded.row_mut(row0 + r).copy_from_slice(states.row(r));
+            }
+            let q = shared.forward_batch(&padded, &mut scratch);
+            split.window_commit(chunk, q, row0, |k, issued| {
+                split_out[pos + k] = issued.to_vec();
+            });
+        }
+        assert_eq!(fused_out, split_out, "issued prefetches diverged");
+        assert_eq!(fused.agent().param_bits(), split.agent().param_bits());
+        assert_eq!(fused.stats.accesses(), split.stats.accesses());
+        assert_eq!(fused.stats.action_counts, split.stats.action_counts);
+    }
+
+    #[test]
+    fn controller_checkpoint_round_trip_is_bit_identical() {
+        let mut trained = ResembleMlp::new(two_bank(), small_cfg(), 21);
+        let mut src = StreamGen::new(2, 1, 2048, 0);
+        let mut out = Vec::new();
+        for _ in 0..800 {
+            let a = src.next_access().unwrap();
+            out.clear();
+            trained.on_access(&a, false, &mut out);
+        }
+        let mut buf = Vec::new();
+        trained.save_checkpoint(&mut buf).expect("saves");
+        let mut warm = ResembleMlp::new(two_bank(), small_cfg(), 21);
+        warm.load_checkpoint(&mut buf.as_slice()).expect("loads");
+        assert_eq!(warm.agent().param_bits(), trained.agent().param_bits());
+        assert!(!warm.is_frozen());
     }
 
     #[test]

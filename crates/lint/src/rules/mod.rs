@@ -57,6 +57,8 @@ pub const SERVE_HOT_FILES: &[&str] = &[
     "crates/serve/src/shard.rs",
     "crates/serve/src/batcher.rs",
     "crates/serve/src/telemetry.rs",
+    "crates/serve/src/event_loop.rs",
+    "crates/serve/src/pool.rs",
 ];
 
 /// The sanctioned narrowing-conversion boundary: lossy casts are migrated

@@ -23,6 +23,7 @@
 
 pub mod activation;
 pub mod align;
+pub mod checkpoint;
 pub mod io;
 pub mod matrix;
 pub mod mlp;
@@ -32,6 +33,7 @@ pub mod simd;
 
 pub use activation::Activation;
 pub use align::AlignedVec;
+pub use checkpoint::{load_mlp_binary, save_mlp_binary};
 pub use io::{load_mlp, save_mlp};
 pub use matrix::Matrix;
 pub use mlp::{BatchScratch, GradBuffer, Mlp, Scratch};

@@ -144,6 +144,21 @@ impl Mlp {
         self.sizes[0]
     }
 
+    /// The hidden-layer activation this network was constructed with (the
+    /// output layer is always linear). Networks without a hidden layer
+    /// report `Identity`. Checkpoint serialization records this so a load
+    /// can rebuild the exact architecture.
+    pub fn hidden_activation(&self) -> Activation {
+        if self.layers.len() >= 2 {
+            self.layers
+                .first()
+                .map(|l| l.act)
+                .unwrap_or(Activation::Identity)
+        } else {
+            Activation::Identity
+        }
+    }
+
     /// Output dimension.
     pub fn output_dim(&self) -> usize {
         *self.sizes.last().unwrap()

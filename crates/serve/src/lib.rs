@@ -3,14 +3,20 @@
 //! An online, batched prefetch-decision service over the ReSemble
 //! ensemble — the serving layer for the ROADMAP's production north star.
 //! Clients stream memory accesses over a length-prefixed binary protocol
-//! on plain TCP ([`protocol`]); each connection is one session with its
-//! own ensemble/prefetcher state ([`session`]), pinned to a sharded
-//! worker thread ([`shard`]). Workers microbatch whatever a session has
-//! queued — up to `max_batch` — into single `Mlp::forward_batch` decision
-//! windows ([`batcher`], `ResembleMlp::on_access_window`), which keeps
-//! the PR-3 GEMM kernels on the serving hot path while staying
-//! **bit-identical** to an offline sequential run of the same stream, no
-//! matter how sessions interleave.
+//! on plain TCP ([`protocol`]); a small pool of epoll I/O threads parses
+//! frames from nonblocking sockets (no thread per connection, and
+//! per-connection state is freed the moment the socket closes); each
+//! connection is one session with its own ensemble/prefetcher state
+//! ([`session`]), pinned to a sharded worker thread ([`shard`]). Workers
+//! microbatch whatever a session has queued — up to `max_batch` — into
+//! single `Mlp::forward_batch` decision windows ([`batcher`],
+//! `ResembleMlp::on_access_window`), and additionally pool frozen
+//! same-`(model, seed, fast)` sessions into one shared forward per visit
+//! ([`pool`]), which keeps the PR-3 GEMM kernels on the serving hot path
+//! while staying **bit-identical** to an offline sequential run of the
+//! same stream, no matter how sessions interleave. Session models can
+//! checkpoint to disk on `Bye` and warm-start the next same-key Hello
+//! (`ServeConfig::checkpoint_dir`).
 //!
 //! The production envelope: bounded per-session queues with explicit
 //! `Busy` backpressure, per-request deadlines answered with `TimedOut`,
@@ -34,6 +40,8 @@
 
 pub mod batcher;
 pub mod client;
+mod event_loop;
+pub mod pool;
 pub mod protocol;
 pub mod server;
 pub mod session;

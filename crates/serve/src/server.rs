@@ -1,25 +1,31 @@
-//! The server: accept loop, per-connection reader threads, shard worker
-//! threads, periodic telemetry snapshots, and graceful drain.
+//! The server: epoll I/O threads, shard worker threads, periodic
+//! telemetry snapshots, and graceful drain.
 //!
-//! Thread model (DESIGN.md §8): one acceptor polls a non-blocking
-//! listener; each connection gets a blocking reader thread that parses
-//! frames and enqueues commands onto the session's shard; one worker per
-//! shard executes batched decision windows. Shutdown is a drain, not an
-//! abort: stop accepting, unblock every reader (`shutdown(SHUT_RD)` on
-//! the sockets), let readers enqueue a final `Bye` per session, then let
+//! Thread model (DESIGN.md §8): a small fixed pool of I/O threads each
+//! runs a nonblocking epoll event loop ([`crate::event_loop`]); thread 0
+//! owns the listener and hands accepted connections round-robin to its
+//! peers through eventfd-backed mailboxes. Connection state (frame
+//! reassembly buffer, session binding) lives in a per-thread slab keyed
+//! by the epoll token, and is removed the moment the connection closes —
+//! there is no per-connection thread and no grow-only registry to leak.
+//! One worker per shard executes batched decision windows, pooling
+//! same-key frozen sessions through a single shared forward.
+//!
+//! Shutdown is a drain, not an abort: wake every I/O thread, which stops
+//! accepting, half-closes every connection (`shutdown(SHUT_RD)`), parses
+//! whatever already arrived, and enqueues a final `Bye` per session; then
 //! workers flush every queue — every in-flight request gets a `Decision`
 //! or `TimedOut` reply before the process exits with a final snapshot.
 
-use crate::batcher::{AccessReq, SessionCmd};
-use crate::protocol::{read_frame, Reply, Request};
+use crate::event_loop::{io_loop, IoCtx, IoMailbox};
 use crate::session::ModelBuilder;
-use crate::shard::{Conn, Enqueue, Shard};
+use crate::shard::{Shard, WorkerCfg};
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
-use std::io::{BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -40,6 +46,17 @@ pub struct ServeConfig {
     pub snapshot_path: Option<PathBuf>,
     /// Interval between periodic snapshots.
     pub snapshot_every: Duration,
+    /// Epoll I/O thread count (thread 0 additionally owns the listener).
+    pub io_threads: usize,
+    /// Batch decision windows across same-key frozen sessions into one
+    /// shared forward per shard visit.
+    pub cross_session: bool,
+    /// Row cap of one cross-session pooled window.
+    pub pool_rows: usize,
+    /// Directory for model checkpoints: sessions save on `Bye` and new
+    /// same-key sessions warm-start from the latest file (`None`
+    /// disables both).
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +68,10 @@ impl Default for ServeConfig {
             queue_cap: 256,
             snapshot_path: None,
             snapshot_every: Duration::from_secs(5),
+            io_threads: 2,
+            cross_session: true,
+            pool_rows: 4096,
+            checkpoint_dir: None,
         }
     }
 }
@@ -66,7 +87,8 @@ pub struct Server {
     snap_stop: Arc<AtomicBool>,
     telemetry: Arc<Telemetry>,
     shards: Vec<Arc<Shard>>,
-    acceptor: Option<JoinHandle<()>>,
+    mailboxes: Arc<Vec<IoMailbox>>,
+    io_threads: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     snapshotter: Option<JoinHandle<()>>,
 }
@@ -86,26 +108,49 @@ impl Server {
         let n_shards = cfg.shards.max(1);
         let shards: Vec<Arc<Shard>> = (0..n_shards).map(|_| Shard::new()).collect();
 
+        let worker_cfg = WorkerCfg {
+            max_batch: cfg.max_batch.max(1),
+            cross_session: cfg.cross_session,
+            pool_rows: cfg.pool_rows.max(1),
+            checkpoint_dir: cfg.checkpoint_dir.clone(),
+        };
         let workers = shards
             .iter()
             .map(|shard| {
                 let shard = Arc::clone(shard);
                 let input_closed = Arc::clone(&input_closed);
                 let telemetry = Arc::clone(&telemetry);
-                let max_batch = cfg.max_batch.max(1);
-                std::thread::spawn(move || shard.worker_loop(&input_closed, &telemetry, max_batch))
+                let worker_cfg = worker_cfg.clone();
+                std::thread::spawn(move || {
+                    shard.worker_loop(&input_closed, &telemetry, &worker_cfg)
+                })
             })
             .collect();
 
-        let acceptor = {
-            let shutdown = Arc::clone(&shutdown);
-            let telemetry = Arc::clone(&telemetry);
-            let shards = shards.clone();
-            let queue_cap = cfg.queue_cap.max(1);
-            std::thread::spawn(move || {
-                accept_loop(listener, shutdown, shards, builder, telemetry, queue_cap);
+        let n_io = cfg.io_threads.max(1);
+        let mailboxes: Arc<Vec<IoMailbox>> = Arc::new(
+            (0..n_io)
+                .map(|_| IoMailbox::new())
+                .collect::<std::io::Result<Vec<_>>>()?,
+        );
+        let ctx = Arc::new(IoCtx {
+            shards: shards.clone(),
+            builder,
+            telemetry: Arc::clone(&telemetry),
+            queue_cap: cfg.queue_cap.max(1),
+            next_session: AtomicU64::new(1),
+            shutdown: Arc::clone(&shutdown),
+            checkpoint_dir: cfg.checkpoint_dir.clone(),
+        });
+        let mut listener = Some(listener);
+        let io_threads = (0..n_io)
+            .map(|i| {
+                let l = if i == 0 { listener.take() } else { None };
+                let mailboxes = Arc::clone(&mailboxes);
+                let ctx = Arc::clone(&ctx);
+                std::thread::spawn(move || io_loop(i, l, mailboxes, ctx))
             })
-        };
+            .collect();
 
         let snapshotter = cfg.snapshot_path.clone().map(|path| {
             let telemetry = Arc::clone(&telemetry);
@@ -122,7 +167,8 @@ impl Server {
             snap_stop,
             telemetry,
             shards,
-            acceptor: Some(acceptor),
+            mailboxes,
+            io_threads,
             workers,
             snapshotter,
         })
@@ -139,9 +185,13 @@ impl Server {
     }
 
     /// Request shutdown from another thread (e.g. a signal handler watcher)
-    /// without consuming the server.
+    /// without consuming the server. Wakes every I/O thread so the flag is
+    /// observed immediately rather than at the next epoll timeout.
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
+        for mb in self.mailboxes.iter() {
+            mb.wake();
+        }
     }
 
     /// `true` once shutdown has been requested.
@@ -149,16 +199,17 @@ impl Server {
         self.shutdown.load(Ordering::Acquire)
     }
 
-    /// Graceful drain: stop accepting, unblock and join the readers (each
-    /// enqueues a final `Bye` for its session), flush every shard queue,
-    /// stop the snapshotter, and return the final telemetry snapshot
-    /// (also appended to the JSONL file when one is configured).
+    /// Graceful drain: wake and join the I/O threads (each half-closes its
+    /// connections, parses residual input, and enqueues a final `Bye` per
+    /// session), flush every shard queue, stop the snapshotter, and return
+    /// the final telemetry snapshot (also appended to the JSONL file when
+    /// one is configured).
     pub fn shutdown(mut self) -> TelemetrySnapshot {
-        self.shutdown.store(true, Ordering::Release);
-        if let Some(h) = self.acceptor.take() {
+        self.request_shutdown();
+        for h in self.io_threads.drain(..) {
             let _ = h.join();
         }
-        // All readers are gone: no more enqueues. Workers drain to empty.
+        // All I/O threads are gone: no more enqueues. Workers drain to empty.
         self.input_closed.store(true, Ordering::Release);
         for shard in &self.shards {
             shard.notify();
@@ -176,188 +227,6 @@ impl Server {
         }
         snap
     }
-}
-
-/// Accept connections until shutdown; then unblock every reader and join
-/// them so no enqueue can happen after the acceptor returns.
-fn accept_loop(
-    listener: TcpListener,
-    shutdown: Arc<AtomicBool>,
-    shards: Vec<Arc<Shard>>,
-    builder: ModelBuilder,
-    telemetry: Arc<Telemetry>,
-    queue_cap: usize,
-) {
-    let next_session = Arc::new(AtomicU64::new(1));
-    let live_streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
-    let mut readers: Vec<JoinHandle<()>> = Vec::new();
-    while !shutdown.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let _ = stream.set_nodelay(true);
-                if let Ok(clone) = stream.try_clone() {
-                    live_streams
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .push(clone);
-                }
-                let shards = shards.clone();
-                let builder = Arc::clone(&builder);
-                let telemetry = Arc::clone(&telemetry);
-                let next_session = Arc::clone(&next_session);
-                readers.push(std::thread::spawn(move || {
-                    reader_loop(
-                        stream,
-                        &shards,
-                        &builder,
-                        &telemetry,
-                        &next_session,
-                        queue_cap,
-                    );
-                }));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
-        }
-    }
-    // Unblock readers stuck in read(2): half-close the read side. Their
-    // next read sees EOF, they enqueue a final Bye, and exit.
-    for s in live_streams
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .iter()
-    {
-        let _ = s.shutdown(Shutdown::Read);
-    }
-    for h in readers {
-        let _ = h.join();
-    }
-}
-
-/// One connection: Hello handshake, then frames → session commands until
-/// Bye/EOF/error. Always enqueues a final `Bye` so the worker flushes and
-/// retires the session.
-fn reader_loop(
-    stream: TcpStream,
-    shards: &[Arc<Shard>],
-    builder: &ModelBuilder,
-    telemetry: &Telemetry,
-    next_session: &AtomicU64,
-    queue_cap: usize,
-) {
-    let conn = match stream.try_clone() {
-        Ok(w) => Conn::new(w),
-        Err(_) => return,
-    };
-    let mut r = BufReader::new(stream);
-    let mut payload: Vec<u8> = Vec::new();
-    let mut reply_buf: Vec<u8> = Vec::new();
-
-    // Handshake: the first frame must be Hello.
-    let (session_id, shard) = match read_frame(&mut r, &mut payload) {
-        Ok(Some(ty)) => match Request::decode(ty, &payload) {
-            Ok(Request::Hello { model, seed, fast }) => match builder(&model, seed, fast) {
-                Ok(m) => {
-                    let id = next_session.fetch_add(1, Ordering::Relaxed);
-                    let shard =
-                        match shards.get(usize::try_from(id % shards.len() as u64).unwrap_or(0)) {
-                            Some(s) => s,
-                            None => return,
-                        };
-                    shard.register(id, m, Arc::clone(&conn));
-                    telemetry.session_opened();
-                    send_reply(&conn, &mut reply_buf, &Reply::Accepted { session_id: id });
-                    (id, shard)
-                }
-                Err(message) => {
-                    telemetry.protocol_error();
-                    send_reply(&conn, &mut reply_buf, &Reply::Error { message });
-                    return;
-                }
-            },
-            Ok(_) | Err(_) => {
-                telemetry.protocol_error();
-                send_reply(
-                    &conn,
-                    &mut reply_buf,
-                    &Reply::Error {
-                        message: "expected Hello".to_string(),
-                    },
-                );
-                return;
-            }
-        },
-        _ => return,
-    };
-
-    loop {
-        match read_frame(&mut r, &mut payload) {
-            Ok(Some(ty)) => match Request::decode(ty, &payload) {
-                Ok(Request::Access {
-                    req_id,
-                    deadline_us,
-                    access,
-                    hit,
-                }) => {
-                    let enqueued = Instant::now();
-                    let deadline = (deadline_us > 0)
-                        .then(|| enqueued + Duration::from_micros(u64::from(deadline_us)));
-                    let cmd = SessionCmd::Access(AccessReq {
-                        req_id,
-                        access,
-                        hit,
-                        enqueued,
-                        deadline,
-                    });
-                    match shard.enqueue(session_id, cmd, queue_cap) {
-                        Enqueue::Busy => {
-                            telemetry.busy();
-                            send_reply(&conn, &mut reply_buf, &Reply::Busy { req_id });
-                        }
-                        Enqueue::SessionGone => break,
-                        _ => {}
-                    }
-                }
-                Ok(Request::Event { kind, addr }) => {
-                    match shard.enqueue(session_id, SessionCmd::Event { kind, addr }, queue_cap) {
-                        Enqueue::Dropped => telemetry.event_dropped(),
-                        Enqueue::SessionGone => break,
-                        _ => {}
-                    }
-                }
-                Ok(Request::Bye) => {
-                    let _ = shard.enqueue(session_id, SessionCmd::Bye, queue_cap);
-                    return; // Bye already enqueued: worker will flush + Goodbye.
-                }
-                Ok(Request::Hello { .. }) | Err(_) => {
-                    telemetry.protocol_error();
-                    send_reply(
-                        &conn,
-                        &mut reply_buf,
-                        &Reply::Error {
-                            message: "unexpected frame".to_string(),
-                        },
-                    );
-                    break;
-                }
-            },
-            Ok(None) => break, // clean EOF (client closed, or drain half-closed us)
-            Err(_) => {
-                telemetry.protocol_error();
-                break;
-            }
-        }
-    }
-    // Connection ended without an explicit Bye: flush and retire anyway.
-    let _ = shard.enqueue(session_id, SessionCmd::Bye, queue_cap);
-}
-
-fn send_reply(conn: &Conn, buf: &mut Vec<u8>, reply: &Reply) {
-    buf.clear();
-    reply.encode_into(buf);
-    let _ = conn.send(buf);
 }
 
 /// Append periodic snapshots to a JSONL file until told to stop.

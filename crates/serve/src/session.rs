@@ -11,8 +11,12 @@
 
 use crate::protocol::EventKind;
 use resemble_core::{ResembleConfig, ResembleMlp};
+use resemble_nn::{Matrix, Mlp};
 use resemble_prefetch::{paper_bank, BestOffset, Prefetcher, Spp, Streamer, StridePrefetcher};
 use resemble_trace::MemAccess;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// The model a session's requests are applied to.
@@ -44,6 +48,18 @@ impl SessionModel {
             "resemble_frozen" => {
                 // Deployment-style serving: inference only, no online
                 // training, so decision windows are unbounded.
+                let mut m = ResembleMlp::new(paper_bank(), cfg, seed);
+                m.agent_mut().frozen = true;
+                SessionModel::Mlp(Box::new(m))
+            }
+            "resemble_frozen_wide" => {
+                // Serving stress configuration: the frozen inference path
+                // with a Voyager-class 1024-wide hidden layer, so the
+                // per-decision cost is dominated by the forward GEMM
+                // (what cross-session pooling amortizes) rather than by
+                // the paper's hardware-scale 100-wide controller.
+                let mut cfg = cfg;
+                cfg.hidden_dim = 1024;
                 let mut m = ResembleMlp::new(paper_bank(), cfg, seed);
                 m.agent_mut().frozen = true;
                 SessionModel::Mlp(Box::new(m))
@@ -102,6 +118,146 @@ impl SessionModel {
             SessionModel::Boxed(_) => None,
         }
     }
+
+    /// `true` when this session can join a cross-session pooled window:
+    /// an MLP controller whose agent is frozen, so its inference weights
+    /// are a pure function of the Hello triple and never change.
+    pub fn pool_eligible(&self) -> bool {
+        matches!(self, SessionModel::Mlp(m) if m.is_frozen())
+    }
+
+    /// The controller's inference network, used to seed a shared-weight
+    /// pool entry. `None` for non-MLP sessions.
+    pub fn inference_net(&self) -> Option<&Mlp> {
+        match self {
+            SessionModel::Mlp(m) => Some(m.agent().inference_net()),
+            SessionModel::Boxed(_) => None,
+        }
+    }
+
+    /// Phase A of a pooled decision window: feed the run through the
+    /// prefetcher bank and capture per-access MLP states. Returns the
+    /// state matrix (one row per access), or `None` for non-MLP sessions.
+    /// Every `window_prepare` must be followed by exactly one
+    /// [`SessionModel::window_commit`] over the same run.
+    pub fn window_prepare(&mut self, accesses: &[(MemAccess, bool)]) -> Option<&Matrix> {
+        match self {
+            SessionModel::Mlp(m) => Some(m.window_prepare(accesses)),
+            SessionModel::Boxed(_) => None,
+        }
+    }
+
+    /// Phase B fallback: forward the states captured by the last
+    /// [`SessionModel::window_prepare`] through the session's *own*
+    /// inference net into `q` (bit-identical to the pooled forward).
+    pub fn window_forward(&mut self, q: &mut Matrix) {
+        if let SessionModel::Mlp(m) = self {
+            m.window_forward(q);
+        }
+    }
+
+    /// Phase C of a pooled decision window: consume Q rows
+    /// `row0..row0 + run.len()` of `q` and commit rewards, action
+    /// selection, replay, and emissions exactly as the fused
+    /// [`ResembleMlp::on_access_window`] would.
+    pub fn window_commit(
+        &mut self,
+        accesses: &[(MemAccess, bool)],
+        q: &Matrix,
+        row0: usize,
+        emit: impl FnMut(usize, &[u64]),
+    ) {
+        if let SessionModel::Mlp(m) = self {
+            m.window_commit(accesses, q, row0, emit);
+        }
+    }
+
+    /// Serialize the controller's learned state. Returns `Ok(false)` for
+    /// sessions with nothing to checkpoint (non-MLP models).
+    pub fn save_checkpoint<W: io::Write>(&self, w: &mut W) -> io::Result<bool> {
+        match self {
+            SessionModel::Mlp(m) => m.save_checkpoint(w).map(|()| true),
+            SessionModel::Boxed(_) => Ok(false),
+        }
+    }
+
+    /// Restore controller state written by
+    /// [`SessionModel::save_checkpoint`]. Returns `Ok(false)` for models
+    /// with nothing to restore.
+    pub fn load_checkpoint<R: io::Read>(&mut self, r: &mut R) -> io::Result<bool> {
+        match self {
+            SessionModel::Mlp(m) => m.load_checkpoint(r).map(|()| true),
+            SessionModel::Boxed(_) => Ok(false),
+        }
+    }
+}
+
+/// The checkpoint file a `(model, seed, fast)` session maps to under
+/// `dir`. The model name is sanitized to a filename-safe alphabet so an
+/// adversarial Hello cannot traverse out of the checkpoint directory.
+pub fn checkpoint_path(dir: &Path, model: &str, seed: u64, fast: bool) -> PathBuf {
+    let safe: String = model
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    dir.join(format!("{safe}-{seed}-{}.ckpt", u8::from(fast)))
+}
+
+/// Best-effort atomic save of a session's controller state under `dir`
+/// (temp file + rename, so readers never observe a torn checkpoint).
+/// `nonce` disambiguates concurrent writers of the same key — use the
+/// session id. Returns `true` only when a checkpoint was durably written.
+pub fn save_checkpoint_file(
+    dir: &Path,
+    model: &str,
+    seed: u64,
+    fast: bool,
+    nonce: u64,
+    session: &SessionModel,
+) -> bool {
+    let mut buf = Vec::new();
+    match session.save_checkpoint(&mut buf) {
+        Ok(true) => {}
+        _ => return false,
+    }
+    if fs::create_dir_all(dir).is_err() {
+        return false;
+    }
+    let path = checkpoint_path(dir, model, seed, fast);
+    let tmp = dir.join(format!(".{nonce}.ckpt.tmp"));
+    if fs::write(&tmp, &buf).is_err() {
+        let _ = fs::remove_file(&tmp);
+        return false;
+    }
+    if fs::rename(&tmp, &path).is_err() {
+        let _ = fs::remove_file(&tmp);
+        return false;
+    }
+    true
+}
+
+/// Warm-start a freshly built session from its checkpoint file, if one
+/// exists and matches the session's architecture. Returns `true` when
+/// state was restored; on any error the session is left cold (a fresh
+/// build), never half-restored.
+pub fn load_checkpoint_file(
+    dir: &Path,
+    model: &str,
+    seed: u64,
+    fast: bool,
+    session: &mut SessionModel,
+) -> bool {
+    let path = checkpoint_path(dir, model, seed, fast);
+    let Ok(bytes) = fs::read(&path) else {
+        return false;
+    };
+    matches!(session.load_checkpoint(&mut bytes.as_slice()), Ok(true))
 }
 
 /// Offline reference run: the plain sequential `Prefetcher::on_access`
@@ -193,5 +349,69 @@ mod tests {
         let mut issued = 0usize;
         m.on_run(&trace(5), |_, p| issued += p.len());
         let _ = issued;
+    }
+
+    #[test]
+    fn pool_eligibility_is_frozen_mlp_only() {
+        assert!(SessionModel::build("resemble_frozen", 1, true)
+            .expect("builds")
+            .pool_eligible());
+        assert!(!SessionModel::build("resemble", 1, true)
+            .expect("builds")
+            .pool_eligible());
+        assert!(!SessionModel::build("bo", 1, true)
+            .expect("builds")
+            .pool_eligible());
+    }
+
+    #[test]
+    fn checkpoint_file_round_trip_restores_learned_state() {
+        let dir = std::env::temp_dir().join(format!(
+            "resemble-ckpt-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = trace(400);
+        let mut trained = SessionModel::build("resemble", 21, true).expect("builds");
+        trained.on_run(&t, |_, _| {});
+        assert!(save_checkpoint_file(
+            &dir, "resemble", 21, true, 7, &trained
+        ));
+        let mut warm = SessionModel::build("resemble", 21, true).expect("builds");
+        assert!(load_checkpoint_file(&dir, "resemble", 21, true, &mut warm));
+        assert_eq!(warm.param_bits(), trained.param_bits());
+        // Missing file leaves a fresh session cold.
+        let mut cold = SessionModel::build("resemble", 22, true).expect("builds");
+        assert!(!load_checkpoint_file(&dir, "resemble", 22, true, &mut cold));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_path_sanitizes_model_names() {
+        let p = checkpoint_path(Path::new("/tmp/x"), "../evil/name", 3, false);
+        let name = p.file_name().and_then(|n| n.to_str()).expect("name");
+        assert_eq!(name, "___evil_name-3-0.ckpt");
+        assert_eq!(p.parent(), Some(Path::new("/tmp/x")));
+    }
+
+    #[test]
+    fn split_window_phases_match_fused_run() {
+        let t = trace(120);
+        let mut fused = SessionModel::build("resemble_frozen", 9, true).expect("builds");
+        let mut expect: Vec<Vec<u64>> = Vec::new();
+        for chunk in t.chunks(17) {
+            fused.on_run(chunk, |_, issued| expect.push(issued.to_vec()));
+        }
+        let mut split = SessionModel::build("resemble_frozen", 9, true).expect("builds");
+        let mut got: Vec<Vec<u64>> = Vec::new();
+        let mut q = Matrix::default();
+        for chunk in t.chunks(17) {
+            assert!(split.window_prepare(chunk).is_some());
+            split.window_forward(&mut q);
+            split.window_commit(chunk, &q, 0, |_, issued| got.push(issued.to_vec()));
+        }
+        assert_eq!(got, expect);
+        assert_eq!(split.param_bits(), fused.param_bits());
     }
 }

@@ -1,33 +1,60 @@
-//! Sharded session workers: per-session bounded queues, round-robin
-//! scheduling, and the decision loop that executes drain plans.
+//! Sharded session workers: slab-allocated sessions, a readiness queue,
+//! cross-session pooled decision windows, and checkpoint-on-retire.
 //!
 //! Sessions are assigned to a shard by `session_id % n_shards`; each
 //! shard has exactly one worker thread, which is what serializes all
 //! model access for a session (replies go out in stream order, no model
-//! locking). Reader threads enqueue commands under the shard lock and
-//! wake the worker; the worker drains up to `max_batch` requests per
-//! session visit, releases the lock, runs the batched decision windows,
-//! and writes all replies of the visit with a single socket write. This
-//! file is on the decision hot path (`panic-in-hot-path` scope): no
-//! panics, no literal indexing; poisoned locks are re-entered because a
-//! panicked peer thread must not take the server down.
+//! locking). Sessions live in a slab (`Vec<Option<Slot>>` plus a free
+//! list) addressed by slot index — enqueues are O(1) instead of a linear
+//! id scan, and retired slots are recycled immediately. A readiness
+//! queue replaces the round-robin cursor: a session is queued exactly
+//! when it has commands pending, so the worker never scans idle slots.
+//!
+//! A worker visit drains one ready session, and — when that session is
+//! *pool-eligible* (frozen MLP) and cross-session batching is on — steals
+//! every other ready session with the same [`SessionKey`] in the same
+//! pass. All their decision windows run phase A (`window_prepare`)
+//! per-session, then share **one** batched forward through the
+//! [`WeightPool`]'s copy of their common frozen weights, then commit
+//! phase C per-session. Because frozen same-key sessions have
+//! bit-identical never-changing weights and the batch kernels preserve
+//! per-row accumulation order, pooled decisions are bit-identical to
+//! serving each session alone. Sessions whose plans interleave events,
+//! and all non-frozen sessions, take the classic per-session path in the
+//! same visit.
+//!
+//! On a `Bye` the worker flushes the queue, answers `Goodbye`, optionally
+//! checkpoints the model (warm restart for the next same-key Hello), and
+//! frees the slot. This file is on the decision hot path
+//! (`panic-in-hot-path` scope): no panics, no literal indexing; poisoned
+//! locks are re-entered because a panicked peer thread must not take the
+//! server down.
 
 use crate::batcher::{drain_session, DrainPlan, PlanOp, SessionCmd};
+use crate::pool::{SessionKey, WeightPool};
 use crate::protocol::{encode_decision_into, Reply};
-use crate::session::SessionModel;
+use crate::session::{save_checkpoint_file, SessionModel};
 use crate::telemetry::Telemetry;
+use resemble_nn::Matrix;
 use resemble_trace::MemAccess;
 use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-/// The write half of a client connection, shared between the reader
+/// Consecutive `WouldBlock` stalls (at ~200µs each) tolerated on one
+/// `send` before the client is declared unresponsive (~5 s).
+const MAX_SEND_STALLS: u32 = 25_000;
+
+/// The write half of a client connection, shared between the event-loop
 /// thread (Accepted/Busy/Error replies) and the shard worker (Decision/
-/// TimedOut/Goodbye replies). Each `send` is one `write(2)` of a batch of
-/// pre-encoded frames, so reply syscalls amortize across a whole drain.
+/// TimedOut/Goodbye replies). Each `send` is one logical write of a batch
+/// of pre-encoded frames, so reply syscalls amortize across a whole
+/// drain. The underlying fd is a dup of the event loop's nonblocking
+/// socket, so short writes and `WouldBlock` are retried here.
 pub struct Conn {
     stream: Mutex<TcpStream>,
 }
@@ -41,13 +68,43 @@ impl Conn {
     }
 
     /// Write a batch of pre-encoded frames atomically with respect to
-    /// other senders on this connection.
+    /// other senders on this connection. Blocks (bounded) on a client
+    /// that has stopped reading; a client gone longer than ~5 s of
+    /// backpressure gets `TimedOut` and its session drains without it.
     pub fn send(&self, bytes: &[u8]) -> io::Result<()> {
         if bytes.is_empty() {
             return Ok(());
         }
         let mut g = self.stream.lock().unwrap_or_else(PoisonError::into_inner);
-        g.write_all(bytes)
+        let mut sent = 0usize;
+        let mut stalls = 0u32;
+        while sent < bytes.len() {
+            match g.write(bytes.get(sent..).unwrap_or(&[])) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "connection write returned 0",
+                    ))
+                }
+                Ok(n) => {
+                    sent += n;
+                    stalls = 0;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    stalls += 1;
+                    if stalls > MAX_SEND_STALLS {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "client not reading replies",
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 }
 
@@ -60,8 +117,32 @@ pub enum Enqueue {
     Busy,
     /// Queue full: the event was dropped (events carry no reply).
     Dropped,
-    /// No such session (already said goodbye).
+    /// No such session (already said goodbye, or the slot was recycled).
     SessionGone,
+}
+
+/// Worker tuning, shared by every shard worker of a server.
+#[derive(Debug, Clone)]
+pub struct WorkerCfg {
+    /// Maximum decision requests drained per session per visit.
+    pub max_batch: usize,
+    /// Batch decision windows across same-key frozen sessions.
+    pub cross_session: bool,
+    /// Row cap of one cross-session pooled window.
+    pub pool_rows: usize,
+    /// Where to checkpoint MLP sessions on retire (`None` disables).
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for WorkerCfg {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            cross_session: true,
+            pool_rows: 4096,
+            checkpoint_dir: None,
+        }
+    }
 }
 
 struct Slot {
@@ -71,18 +152,77 @@ struct Slot {
     queue: VecDeque<SessionCmd>,
     conn: Arc<Conn>,
     decisions: u64,
+    /// `true` while this slot index sits in the readiness queue.
+    in_ready: bool,
+    pool_eligible: bool,
+    key: SessionKey,
 }
 
 struct Inner {
-    slots: Vec<Slot>,
-    cursor: usize,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    /// Slot indices with pending commands, in arrival order. Invariant:
+    /// at worker-pick time, every slot with a non-empty queue is here.
+    ready: VecDeque<usize>,
 }
 
-/// One shard: its sessions, their queues, and the condvar its worker
-/// sleeps on.
+/// One shard: its session slab, the readiness queue, and the condvar its
+/// worker sleeps on.
 pub struct Shard {
     inner: Mutex<Inner>,
     cv: Condvar,
+}
+
+/// A session checked out of its slot for one worker visit.
+struct VisitEntry {
+    slot: usize,
+    id: u64,
+    conn: Arc<Conn>,
+    model: SessionModel,
+    prior: u64,
+    plan: DrainPlan,
+    /// This entry's run joins the cross-session pooled window.
+    pooled: bool,
+    /// First row of this entry's run inside the pooled state matrix.
+    row0: usize,
+    served: u64,
+    /// Set when retiring with checkpoints enabled.
+    ckpt_key: Option<SessionKey>,
+}
+
+/// A plan can join a pooled window iff it is a single uninterrupted run
+/// (events force the classic in-order path; timeouts and Bye are fine).
+fn plan_poolable(plan: &DrainPlan) -> bool {
+    plan.ops.len() <= 1 && plan.ops.iter().all(|op| matches!(op, PlanOp::Run { .. }))
+}
+
+/// Take a slot's model and drain its queue into a fresh plan, producing
+/// the visit entry. `None` if the slot is gone or already checked out.
+fn checkout(
+    g: &mut Inner,
+    idx: usize,
+    now: Instant,
+    cfg: &WorkerCfg,
+    spare: &mut Vec<DrainPlan>,
+) -> Option<VisitEntry> {
+    let slot = g.slots.get_mut(idx).and_then(|s| s.as_mut())?;
+    let model = slot.model.take()?;
+    let mut plan = spare.pop().unwrap_or_default();
+    drain_session(&mut slot.queue, cfg.max_batch.max(1), now, &mut plan);
+    let pooled = slot.pool_eligible && plan_poolable(&plan);
+    let ckpt_key = (plan.saw_bye && cfg.checkpoint_dir.is_some()).then(|| slot.key.clone());
+    Some(VisitEntry {
+        slot: idx,
+        id: slot.id,
+        conn: Arc::clone(&slot.conn),
+        model,
+        prior: slot.decisions,
+        plan,
+        pooled,
+        row0: 0,
+        served: 0,
+        ckpt_key,
+    })
 }
 
 impl Shard {
@@ -91,7 +231,8 @@ impl Shard {
         Arc::new(Shard {
             inner: Mutex::new(Inner {
                 slots: Vec::new(),
-                cursor: 0,
+                free: Vec::new(),
+                ready: VecDeque::new(),
             }),
             cv: Condvar::new(),
         })
@@ -101,38 +242,71 @@ impl Shard {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Add a session to this shard.
-    pub fn register(&self, id: u64, model: SessionModel, conn: Arc<Conn>) {
-        let mut g = self.lock();
-        g.slots.push(Slot {
+    /// Add a session to this shard, returning its slot index — the handle
+    /// all subsequent [`Shard::enqueue`] calls use (together with `id`,
+    /// which guards against a recycled slot).
+    pub fn register(
+        &self,
+        id: u64,
+        model: SessionModel,
+        conn: Arc<Conn>,
+        key: SessionKey,
+    ) -> usize {
+        let pool_eligible = model.pool_eligible();
+        let slot = Slot {
             id,
             model: Some(model),
             queue: VecDeque::new(),
             conn,
             decisions: 0,
-        });
-        drop(g);
-        self.cv.notify_one();
+            in_ready: false,
+            pool_eligible,
+            key,
+        };
+        let mut g = self.lock();
+        match g.free.pop() {
+            Some(i) => {
+                if let Some(s) = g.slots.get_mut(i) {
+                    *s = Some(slot);
+                }
+                i
+            }
+            None => {
+                g.slots.push(Some(slot));
+                g.slots.len() - 1
+            }
+        }
     }
 
     /// Enqueue a command for a session, enforcing the bounded queue: at
     /// `cap` queued commands, accesses bounce with [`Enqueue::Busy`] and
-    /// events are dropped; `Bye` is always accepted so a session can
-    /// always terminate.
-    pub fn enqueue(&self, id: u64, cmd: SessionCmd, cap: usize) -> Enqueue {
+    /// events are dropped. `Bye` always lands even on a full queue — a
+    /// bounced Bye would leak the slot (and its model) forever.
+    pub fn enqueue(&self, slot: usize, id: u64, cmd: SessionCmd, cap: usize) -> Enqueue {
         let mut g = self.lock();
-        let Some(slot) = g.slots.iter_mut().find(|s| s.id == id) else {
+        let Some(s) = g.slots.get_mut(slot).and_then(|s| s.as_mut()) else {
             return Enqueue::SessionGone;
         };
-        let full = slot.queue.len() >= cap.max(1);
+        if s.id != id {
+            return Enqueue::SessionGone;
+        }
+        let full = s.queue.len() >= cap.max(1);
+        let mut mark_ready = false;
         let verdict = match cmd {
             SessionCmd::Access(_) if full => Enqueue::Busy,
             SessionCmd::Event { .. } if full => Enqueue::Dropped,
             cmd => {
-                slot.queue.push_back(cmd);
+                s.queue.push_back(cmd);
+                if !s.in_ready {
+                    s.in_ready = true;
+                    mark_ready = true;
+                }
                 Enqueue::Accepted
             }
         };
+        if mark_ready {
+            g.ready.push_back(slot);
+        }
         drop(g);
         if verdict == Enqueue::Accepted {
             self.cv.notify_one();
@@ -145,41 +319,90 @@ impl Shard {
         self.cv.notify_all();
     }
 
-    /// The shard worker loop: runs until `input_closed` is set *and* every
-    /// queue is drained. Readers guarantee a `Bye` is enqueued for every
-    /// session before `input_closed`, so by exit all sessions have been
-    /// flushed and answered.
+    /// Pop the next ready slot that still exists and has pending work.
+    fn pop_ready(g: &mut Inner) -> Option<usize> {
+        loop {
+            let i = g.ready.pop_front()?;
+            let Some(slot) = g.slots.get_mut(i).and_then(|s| s.as_mut()) else {
+                continue; // retired while queued
+            };
+            slot.in_ready = false;
+            if slot.model.is_none() || slot.queue.is_empty() {
+                continue;
+            }
+            return Some(i);
+        }
+    }
+
+    /// Steal every other ready session with `key` into the visit (up to
+    /// `pool_rows` pooled rows), preserving the readiness order of the
+    /// sessions left behind.
+    fn gather_pooled(
+        g: &mut Inner,
+        key: &SessionKey,
+        now: Instant,
+        cfg: &WorkerCfg,
+        spare: &mut Vec<DrainPlan>,
+        entries: &mut Vec<VisitEntry>,
+        keep: &mut VecDeque<usize>,
+    ) {
+        let cap_rows = cfg.pool_rows.max(cfg.max_batch.max(1));
+        let mut rows: usize = entries.iter().map(|e| e.plan.run.len()).sum();
+        keep.clear();
+        while let Some(i) = g.ready.pop_front() {
+            if rows >= cap_rows {
+                keep.push_back(i);
+                continue;
+            }
+            let Some(slot) = g.slots.get_mut(i).and_then(|s| s.as_mut()) else {
+                continue; // retired: falls out of the readiness queue
+            };
+            let steal = slot.pool_eligible
+                && slot.key == *key
+                && slot.model.is_some()
+                && !slot.queue.is_empty();
+            if !steal {
+                keep.push_back(i);
+                continue;
+            }
+            slot.in_ready = false;
+            if let Some(e) = checkout(g, i, now, cfg, spare) {
+                if e.pooled {
+                    rows += e.plan.run.len();
+                }
+                entries.push(e);
+            }
+        }
+        std::mem::swap(&mut g.ready, keep);
+    }
+
+    /// The shard worker loop: runs until `input_closed` is set *and* the
+    /// readiness queue is drained. The event loop guarantees a `Bye` is
+    /// enqueued for every session before `input_closed`, so by exit all
+    /// sessions have been flushed, answered, and their slots freed.
     pub fn worker_loop(
         self: &Arc<Self>,
         input_closed: &AtomicBool,
         telemetry: &Telemetry,
-        max_batch: usize,
+        cfg: &WorkerCfg,
     ) {
-        let mut plan = DrainPlan::new();
+        let mut pool = WeightPool::new(8);
+        let mut entries: Vec<VisitEntry> = Vec::new();
+        let mut spare_plans: Vec<DrainPlan> = Vec::new();
+        let mut keep: VecDeque<usize> = VecDeque::new();
         let mut acc_buf: Vec<(MemAccess, bool)> = Vec::new();
         let mut counts: Vec<usize> = Vec::new();
         let mut out_buf: Vec<u8> = Vec::new();
+        let mut states = Matrix::default();
+        let mut q = Matrix::default();
+        let mut q_own = Matrix::default();
         loop {
-            // Pick the next session with queued work (round-robin) and
-            // drain its queue under the lock; all model work and socket
-            // I/O happen with the lock released.
+            // Pick and check out this visit's sessions under the lock;
+            // all model work and socket I/O happen with it released.
+            let now = Instant::now();
             let mut g = self.lock();
-            let n = g.slots.len();
-            let mut picked = None;
-            for off in 0..n {
-                let i = (g.cursor + off) % n;
-                let has_work = g
-                    .slots
-                    .get(i)
-                    .is_some_and(|s| s.model.is_some() && !s.queue.is_empty());
-                if has_work {
-                    picked = Some(i);
-                    break;
-                }
-            }
-            let Some(i) = picked else {
-                let idle = g.slots.iter().all(|s| s.queue.is_empty());
-                if idle && input_closed.load(Ordering::Acquire) {
+            let Some(first_idx) = Self::pop_ready(&mut g) else {
+                if input_closed.load(Ordering::Acquire) && g.ready.is_empty() {
                     return;
                 }
                 let (g, _) = match self.cv.wait_timeout(g, Duration::from_millis(20)) {
@@ -189,80 +412,208 @@ impl Shard {
                 drop(g);
                 continue;
             };
-            g.cursor = (i + 1) % n;
-            let Some(slot) = g.slots.get_mut(i) else {
+            let Some(first) = checkout(&mut g, first_idx, now, cfg, &mut spare_plans) else {
                 continue;
             };
-            let Some(mut model) = slot.model.take() else {
-                continue;
-            };
-            drain_session(&mut slot.queue, max_batch, Instant::now(), &mut plan);
-            let id = slot.id;
-            let conn = Arc::clone(&slot.conn);
-            let prior = slot.decisions;
+            entries.clear();
+            let pool_key = (cfg.cross_session && first.pooled)
+                .then(|| {
+                    g.slots
+                        .get(first_idx)
+                        .and_then(|s| s.as_ref())
+                        .map(|s| s.key.clone())
+                })
+                .flatten();
+            entries.push(first);
+            if let Some(key) = &pool_key {
+                Self::gather_pooled(
+                    &mut g,
+                    key,
+                    now,
+                    cfg,
+                    &mut spare_plans,
+                    &mut entries,
+                    &mut keep,
+                );
+            }
             drop(g);
 
-            // Execute the plan: runs become batched decision windows,
-            // events apply in stream order, expired requests answer
-            // TimedOut. Replies accumulate into one buffer.
-            out_buf.clear();
-            let mut served = 0u64;
-            for op in &plan.ops {
-                match *op {
-                    PlanOp::Event { kind, addr } => {
-                        model.on_event(kind, addr);
-                        telemetry.event();
-                    }
-                    PlanOp::Run { start, len } => {
-                        let reqs = plan.run.get(start..start + len).unwrap_or(&[]);
+            // Phase A + B of the pooled window: per-session prepare into
+            // one stacked state matrix, then a single shared forward.
+            let pooled_rows: usize = entries
+                .iter()
+                .filter(|e| e.pooled)
+                .map(|e| e.plan.run.len())
+                .sum();
+            let pooled_sessions = entries.iter().filter(|e| e.pooled).count();
+            let mut prepared = false;
+            let mut pooled_ok = false;
+            if pool_key.is_some() && pooled_rows > 0 {
+                let dim = entries
+                    .first()
+                    .and_then(|e| e.model.inference_net())
+                    .map(|n| n.input_dim())
+                    .unwrap_or(0);
+                if dim > 0 {
+                    prepared = true;
+                    states.resize(pooled_rows, dim);
+                    let mut row = 0usize;
+                    for e in entries.iter_mut().filter(|e| e.pooled) {
+                        e.row0 = row;
                         acc_buf.clear();
-                        acc_buf.extend(reqs.iter().map(|r| (r.access, r.hit)));
-                        counts.clear();
-                        model.on_run(&acc_buf, |k, issued| {
+                        acc_buf.extend(e.plan.run.iter().map(|r| (r.access, r.hit)));
+                        if let Some(st) = e.model.window_prepare(&acc_buf) {
+                            for k in 0..st.rows() {
+                                states.row_mut(row + k).copy_from_slice(st.row(k));
+                            }
+                        }
+                        row += e.plan.run.len();
+                    }
+                    pooled_ok = match (&pool_key, entries.first()) {
+                        (Some(key), Some(e)) => pool.forward_into(key, &e.model, &states, &mut q),
+                        _ => false,
+                    };
+                    if pooled_ok {
+                        telemetry.batch(pooled_rows);
+                        if pooled_sessions >= 2 {
+                            telemetry.pool_batch(pooled_sessions);
+                        }
+                    }
+                }
+            }
+            if !prepared {
+                // Nothing was prepared: the classic per-session path is
+                // still safe for everyone.
+                for e in entries.iter_mut() {
+                    e.pooled = false;
+                }
+            }
+
+            // Phase C / classic execution, replies, and one socket write
+            // per session.
+            for e in entries.iter_mut() {
+                let VisitEntry {
+                    id,
+                    conn,
+                    model,
+                    plan,
+                    pooled,
+                    row0,
+                    prior,
+                    served,
+                    ckpt_key,
+                    ..
+                } = e;
+                out_buf.clear();
+                let mut n_served = 0u64;
+                if *pooled {
+                    let reqs = &plan.run;
+                    acc_buf.clear();
+                    acc_buf.extend(reqs.iter().map(|r| (r.access, r.hit)));
+                    counts.clear();
+                    if pooled_ok {
+                        model.window_commit(&acc_buf, &q, *row0, |k, issued| {
                             if let Some(r) = reqs.get(k) {
                                 encode_decision_into(&mut out_buf, r.req_id, issued);
                             }
                             counts.push(issued.len());
                         });
-                        let done = Instant::now();
-                        for (r, c) in reqs.iter().zip(counts.iter()) {
-                            let us = done.saturating_duration_since(r.enqueued).as_micros();
-                            telemetry.decision(u64::try_from(us).unwrap_or(u64::MAX), *c);
-                        }
+                    } else {
+                        // Defensive fallback: forward through the
+                        // session's own (identical) frozen weights.
+                        model.window_forward(&mut q_own);
+                        model.window_commit(&acc_buf, &q_own, 0, |k, issued| {
+                            if let Some(r) = reqs.get(k) {
+                                encode_decision_into(&mut out_buf, r.req_id, issued);
+                            }
+                            counts.push(issued.len());
+                        });
                         telemetry.batch(reqs.len());
-                        served += reqs.len() as u64;
+                    }
+                    let done = Instant::now();
+                    for (r, c) in reqs.iter().zip(counts.iter()) {
+                        let us = done.saturating_duration_since(r.enqueued).as_micros();
+                        telemetry.decision(u64::try_from(us).unwrap_or(u64::MAX), *c);
+                    }
+                    n_served = reqs.len() as u64;
+                } else {
+                    // Classic path: events apply in stream order, each
+                    // run is its own batched decision window.
+                    for op in &plan.ops {
+                        match *op {
+                            PlanOp::Event { kind, addr } => {
+                                model.on_event(kind, addr);
+                                telemetry.event();
+                            }
+                            PlanOp::Run { start, len } => {
+                                let reqs = plan.run.get(start..start + len).unwrap_or(&[]);
+                                acc_buf.clear();
+                                acc_buf.extend(reqs.iter().map(|r| (r.access, r.hit)));
+                                counts.clear();
+                                model.on_run(&acc_buf, |k, issued| {
+                                    if let Some(r) = reqs.get(k) {
+                                        encode_decision_into(&mut out_buf, r.req_id, issued);
+                                    }
+                                    counts.push(issued.len());
+                                });
+                                let done = Instant::now();
+                                for (r, c) in reqs.iter().zip(counts.iter()) {
+                                    let us = done.saturating_duration_since(r.enqueued).as_micros();
+                                    telemetry.decision(u64::try_from(us).unwrap_or(u64::MAX), *c);
+                                }
+                                telemetry.batch(reqs.len());
+                                n_served += reqs.len() as u64;
+                            }
+                        }
                     }
                 }
-            }
-            for r in &plan.timed_out {
-                Reply::TimedOut { req_id: r.req_id }.encode_into(&mut out_buf);
-                telemetry.timeout();
-            }
-            if plan.saw_bye {
-                Reply::Goodbye {
-                    decisions: prior + served,
+                for r in &plan.timed_out {
+                    Reply::TimedOut { req_id: r.req_id }.encode_into(&mut out_buf);
+                    telemetry.timeout();
                 }
-                .encode_into(&mut out_buf);
-            }
-            // One socket write for the whole visit; a vanished client is
-            // the client's problem, the session still drains.
-            let _ = conn.send(&out_buf);
-
-            // Return the model (or retire the session on Bye).
-            let mut g = self.lock();
-            let at = if g.slots.get(i).is_some_and(|s| s.id == id) {
-                Some(i)
-            } else {
-                g.slots.iter().position(|s| s.id == id)
-            };
-            if let Some(at) = at {
                 if plan.saw_bye {
-                    g.slots.swap_remove(at);
-                    telemetry.session_closed();
-                } else if let Some(slot) = g.slots.get_mut(at) {
-                    slot.model = Some(model);
-                    slot.decisions = prior + served;
+                    Reply::Goodbye {
+                        decisions: *prior + n_served,
+                    }
+                    .encode_into(&mut out_buf);
                 }
+                // Checkpoint a retiring session *before* its Goodbye is
+                // visible: a client that reconnects the instant it sees
+                // the reply must find the file (file I/O stays outside
+                // the shard lock).
+                if let (Some(k), Some(dir)) = (ckpt_key.as_ref(), cfg.checkpoint_dir.as_deref()) {
+                    if save_checkpoint_file(dir, &k.model, k.seed, k.fast, *id, model) {
+                        telemetry.checkpoint_saved();
+                    }
+                }
+                // One socket write for the session's whole visit; a
+                // vanished client is the client's problem, the session
+                // still drains.
+                let _ = conn.send(&out_buf);
+                *served = n_served;
+            }
+
+            // Return models (or retire on Bye) and recycle plans.
+            let mut g = self.lock();
+            for mut e in entries.drain(..) {
+                let plan = std::mem::replace(&mut e.plan, DrainPlan::new());
+                if let Some(slot_opt) = g.slots.get_mut(e.slot) {
+                    if slot_opt.as_ref().is_some_and(|s| s.id == e.id) {
+                        if plan.saw_bye {
+                            *slot_opt = None;
+                            g.free.push(e.slot);
+                            telemetry.session_closed();
+                        } else if let Some(slot) = slot_opt.as_mut() {
+                            slot.model = Some(e.model);
+                            slot.decisions = e.prior + e.served;
+                            if !slot.queue.is_empty() && !slot.in_ready {
+                                slot.in_ready = true;
+                                g.ready.push_back(e.slot);
+                            }
+                        }
+                    }
+                }
+                spare_plans.push(plan);
             }
         }
     }
@@ -292,18 +643,27 @@ mod tests {
         })
     }
 
+    fn key(model: &str, seed: u64) -> SessionKey {
+        SessionKey {
+            model: model.to_string(),
+            seed,
+            fast: true,
+        }
+    }
+
     #[test]
     fn bounded_queue_bounces_accesses_and_drops_events() {
         let shard = Shard::new();
         let (conn, _client) = loopback_conn();
         let model = SessionModel::build("stride", 1, true).expect("builds");
-        shard.register(9, model, conn);
+        let slot = shard.register(9, model, conn, key("stride", 1));
         for i in 0..4 {
-            assert_eq!(shard.enqueue(9, access(i), 4), Enqueue::Accepted);
+            assert_eq!(shard.enqueue(slot, 9, access(i), 4), Enqueue::Accepted);
         }
-        assert_eq!(shard.enqueue(9, access(99), 4), Enqueue::Busy);
+        assert_eq!(shard.enqueue(slot, 9, access(99), 4), Enqueue::Busy);
         assert_eq!(
             shard.enqueue(
+                slot,
                 9,
                 SessionCmd::Event {
                     kind: crate::protocol::EventKind::DemandFill,
@@ -314,8 +674,16 @@ mod tests {
             Enqueue::Dropped
         );
         // Bye is always accepted so the session can terminate.
-        assert_eq!(shard.enqueue(9, SessionCmd::Bye, 4), Enqueue::Accepted);
-        assert_eq!(shard.enqueue(77, access(0), 4), Enqueue::SessionGone);
+        assert_eq!(
+            shard.enqueue(slot, 9, SessionCmd::Bye, 4),
+            Enqueue::Accepted
+        );
+        // Wrong id (recycled slot) and unknown slot both answer gone.
+        assert_eq!(shard.enqueue(slot, 77, access(0), 4), Enqueue::SessionGone);
+        assert_eq!(
+            shard.enqueue(slot + 17, 9, access(0), 4),
+            Enqueue::SessionGone
+        );
     }
 
     #[test]
@@ -323,19 +691,102 @@ mod tests {
         let shard = Shard::new();
         let (conn, client) = loopback_conn();
         let model = SessionModel::build("stride", 2, true).expect("builds");
-        shard.register(1, model, conn);
+        let slot = shard.register(1, model, conn, key("stride", 2));
         for i in 0..10 {
-            assert_eq!(shard.enqueue(1, access(i), 64), Enqueue::Accepted);
+            assert_eq!(shard.enqueue(slot, 1, access(i), 64), Enqueue::Accepted);
         }
-        assert_eq!(shard.enqueue(1, SessionCmd::Bye, 64), Enqueue::Accepted);
+        assert_eq!(
+            shard.enqueue(slot, 1, SessionCmd::Bye, 64),
+            Enqueue::Accepted
+        );
         let telemetry = Telemetry::new();
         let input_closed = AtomicBool::new(true);
+        let cfg = WorkerCfg {
+            max_batch: 4,
+            ..WorkerCfg::default()
+        };
         // Runs on this thread: must terminate once the queue is flushed.
-        shard.worker_loop(&input_closed, &telemetry, 4);
+        shard.worker_loop(&input_closed, &telemetry, &cfg);
         let s = telemetry.snapshot();
         assert_eq!(s.decisions, 10);
         assert_eq!(s.sessions_closed, 1);
         assert!(s.batches >= 3, "max_batch=4 over 10 requests");
         drop(client);
+    }
+
+    #[test]
+    fn bye_bypasses_full_queue_and_worker_retires_the_session() {
+        // Regression: fill a session's queue to capacity, lose the
+        // client, then deliver the final Bye. It must land despite the
+        // full queue (a bounced Bye would leak the slot forever), the
+        // worker must retire the session, and the slot must be recycled.
+        let shard = Shard::new();
+        let (conn, client) = loopback_conn();
+        let model = SessionModel::build("stride", 3, true).expect("builds");
+        let slot = shard.register(5, model, conn, key("stride", 3));
+        for i in 0..4 {
+            assert_eq!(shard.enqueue(slot, 5, access(i), 4), Enqueue::Accepted);
+        }
+        assert_eq!(shard.enqueue(slot, 5, access(99), 4), Enqueue::Busy);
+        drop(client); // replies now fail to send — the session still drains
+        assert_eq!(
+            shard.enqueue(slot, 5, SessionCmd::Bye, 4),
+            Enqueue::Accepted
+        );
+        let telemetry = Telemetry::new();
+        let input_closed = AtomicBool::new(true);
+        let cfg = WorkerCfg {
+            max_batch: 2,
+            ..WorkerCfg::default()
+        };
+        shard.worker_loop(&input_closed, &telemetry, &cfg);
+        let s = telemetry.snapshot();
+        assert_eq!(s.sessions_closed, 1);
+        assert_eq!(s.decisions, 4);
+        // The freed slot is reused by the next registration.
+        let (conn2, _client2) = loopback_conn();
+        let model2 = SessionModel::build("stride", 4, true).expect("builds");
+        let slot2 = shard.register(6, model2, conn2, key("stride", 4));
+        assert_eq!(slot2, slot, "retired slot is recycled via the free list");
+    }
+
+    #[test]
+    fn same_key_frozen_sessions_share_pooled_windows() {
+        let shard = Shard::new();
+        let (conn_a, client_a) = loopback_conn();
+        let (conn_b, client_b) = loopback_conn();
+        let k = key("resemble_frozen", 7);
+        let model_a = SessionModel::build("resemble_frozen", 7, true).expect("builds");
+        let model_b = SessionModel::build("resemble_frozen", 7, true).expect("builds");
+        let slot_a = shard.register(1, model_a, conn_a, k.clone());
+        let slot_b = shard.register(2, model_b, conn_b, k);
+        for i in 0..12 {
+            assert_eq!(shard.enqueue(slot_a, 1, access(i), 64), Enqueue::Accepted);
+            assert_eq!(
+                shard.enqueue(slot_b, 2, access(i + 100), 64),
+                Enqueue::Accepted
+            );
+        }
+        assert_eq!(
+            shard.enqueue(slot_a, 1, SessionCmd::Bye, 64),
+            Enqueue::Accepted
+        );
+        assert_eq!(
+            shard.enqueue(slot_b, 2, SessionCmd::Bye, 64),
+            Enqueue::Accepted
+        );
+        let telemetry = Telemetry::new();
+        let input_closed = AtomicBool::new(true);
+        shard.worker_loop(&input_closed, &telemetry, &WorkerCfg::default());
+        let s = telemetry.snapshot();
+        assert_eq!(s.decisions, 24);
+        assert_eq!(s.sessions_closed, 2);
+        assert!(
+            s.pool_batches >= 1,
+            "both sessions were ready: at least one cross-session window"
+        );
+        assert!(s.pool_sessions >= 2);
+        drop(client_a);
+        drop(client_b);
     }
 }

@@ -61,6 +61,12 @@ pub struct Telemetry {
     events_dropped: AtomicU64,
     protocol_errors: AtomicU64,
     batches: AtomicU64,
+    connections_opened: AtomicU64,
+    connections_closed: AtomicU64,
+    pool_batches: AtomicU64,
+    pool_sessions: AtomicU64,
+    checkpoints_saved: AtomicU64,
+    checkpoints_loaded: AtomicU64,
     latency: [AtomicU64; LAT_BUCKETS],
     batch_sizes: [AtomicU64; MAX_BATCH_TRACKED + 1],
 }
@@ -85,6 +91,12 @@ impl Telemetry {
             events_dropped: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            connections_opened: AtomicU64::new(0),
+            connections_closed: AtomicU64::new(0),
+            pool_batches: AtomicU64::new(0),
+            pool_sessions: AtomicU64::new(0),
+            checkpoints_saved: AtomicU64::new(0),
+            checkpoints_loaded: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
             batch_sizes: std::array::from_fn(|_| AtomicU64::new(0)),
         }
@@ -147,9 +159,42 @@ impl Telemetry {
         }
     }
 
+    /// A TCP connection entered the event loop.
+    pub fn conn_opened(&self) {
+        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A TCP connection was deregistered and its slot reclaimed.
+    pub fn conn_closed(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One cross-session pooled window ran: `sessions` sessions' decision
+    /// windows shared a single batched forward.
+    pub fn pool_batch(&self, sessions: usize) {
+        self.pool_batches.fetch_add(1, Ordering::Relaxed);
+        self.pool_sessions
+            .fetch_add(sessions as u64, Ordering::Relaxed);
+    }
+
+    /// A session checkpoint was written on retire.
+    pub fn checkpoint_saved(&self) {
+        self.checkpoints_saved.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A session warm-started from a checkpoint at Hello.
+    pub fn checkpoint_loaded(&self) {
+        self.checkpoints_loaded.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Decisions served so far.
     pub fn decisions_total(&self) -> u64 {
         self.decisions.load(Ordering::Relaxed)
+    }
+
+    /// Sessions closed so far.
+    pub fn sessions_closed_total(&self) -> u64 {
+        self.sessions_closed.load(Ordering::Relaxed)
     }
 
     fn percentile(&self, q: f64) -> u64 {
@@ -196,6 +241,12 @@ impl Telemetry {
             events_dropped: self.events_dropped.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             batches,
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            pool_batches: self.pool_batches.load(Ordering::Relaxed),
+            pool_sessions: self.pool_sessions.load(Ordering::Relaxed),
+            checkpoints_saved: self.checkpoints_saved.load(Ordering::Relaxed),
+            checkpoints_loaded: self.checkpoints_loaded.load(Ordering::Relaxed),
             mean_batch: if batches > 0 {
                 decisions as f64 / batches as f64
             } else {
@@ -237,6 +288,19 @@ pub struct TelemetrySnapshot {
     pub protocol_errors: u64,
     /// Decision batches processed (one `forward_batch` window each).
     pub batches: u64,
+    /// TCP connections accepted into the event loop.
+    pub connections_opened: u64,
+    /// TCP connections deregistered (every opened connection must be
+    /// closed by drain time — the leak-freedom invariant).
+    pub connections_closed: u64,
+    /// Cross-session pooled windows (many sessions, one forward).
+    pub pool_batches: u64,
+    /// Sessions summed across all pooled windows.
+    pub pool_sessions: u64,
+    /// Session checkpoints written on retire.
+    pub checkpoints_saved: u64,
+    /// Sessions warm-started from a checkpoint at Hello.
+    pub checkpoints_loaded: u64,
     /// Mean decisions per batch.
     pub mean_batch: f64,
     /// Median decision latency (enqueue → reply encoded), microseconds.

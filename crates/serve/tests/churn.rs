@@ -1,0 +1,278 @@
+//! Connection-churn and checkpoint integration tests (ISSUE 6): hundreds
+//! of short-lived concurrent sessions must leak neither sessions nor
+//! connection state, a full queue must never wedge a disconnecting
+//! session, cross-session pooled serving must stay bit-identical to the
+//! offline run, and checkpoints must warm-resume training state across
+//! server restarts.
+
+use resemble_serve::session::load_checkpoint_file;
+use resemble_serve::{offline_decisions, Reply, ServeClient, ServeConfig, Server, SessionModel};
+use resemble_trace::gen::stream::StreamGen;
+use resemble_trace::gen::TraceSource;
+use resemble_trace::MemAccess;
+
+/// A session's synthetic workload: accesses plus deterministic hit flags.
+fn session_trace(seed: u64, n: usize) -> Vec<(MemAccess, bool)> {
+    let mut gen = StreamGen::new(seed, 3, 256, 0).with_write_ratio(0.1);
+    gen.collect_n(n)
+        .into_iter()
+        .enumerate()
+        .map(|(i, a)| (a, i % 3 == 0))
+        .collect()
+}
+
+/// Stream a whole trace through a client with pipelining, returning the
+/// decision per access and asserting the Goodbye count.
+fn serve_trace(
+    addr: std::net::SocketAddr,
+    model: &str,
+    seed: u64,
+    trace: &[(MemAccess, bool)],
+    window: usize,
+) -> Vec<Vec<u64>> {
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client.hello(model, seed, true).expect("hello accepted");
+    let mut decisions: Vec<Vec<u64>> = vec![Vec::new(); trace.len()];
+    let mut next = 0usize;
+    let mut awaiting = 0usize;
+    while next < trace.len() || awaiting > 0 {
+        while next < trace.len() && awaiting < window {
+            let (access, hit) = trace[next];
+            client.queue_access(next as u32, 0, access, hit);
+            next += 1;
+            awaiting += 1;
+        }
+        client.flush().expect("flush");
+        match client.recv().expect("recv").expect("reply before EOF") {
+            Reply::Decision { req_id, prefetches } => {
+                decisions[req_id as usize] = prefetches;
+                awaiting -= 1;
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    client.queue_bye();
+    client.flush().expect("flush bye");
+    match client.recv().expect("recv goodbye") {
+        Some(Reply::Goodbye { decisions: n }) => {
+            assert_eq!(n, trace.len() as u64, "goodbye decision count");
+        }
+        other => panic!("expected Goodbye, got {other:?}"),
+    }
+    decisions
+}
+
+#[test]
+fn hundreds_of_churning_sessions_leak_nothing() {
+    // 8 driver threads × 40 sessions each, alternating graceful Bye and
+    // abrupt disconnect. The regression this guards: the old acceptor
+    // kept a grow-only clone of every connection and a grow-only reader
+    // JoinHandle per connection until shutdown. With the event loop,
+    // connection state dies with the socket: after the drain every
+    // opened connection is closed and every opened session is retired.
+    const THREADS: u64 = 8;
+    const SESSIONS_PER_THREAD: u64 = 40;
+    const ACCESSES: usize = 8;
+    let server = Server::start(
+        ServeConfig {
+            shards: 2,
+            io_threads: 2,
+            ..ServeConfig::default()
+        },
+        SessionModel::default_builder(),
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..SESSIONS_PER_THREAD {
+                    let seed = t * 1000 + i;
+                    let trace = session_trace(seed, ACCESSES);
+                    if i % 2 == 0 {
+                        // Graceful: every request gets a terminal reply.
+                        let got = serve_trace(addr, "stride", seed, &trace, 4);
+                        assert_eq!(got.len(), ACCESSES);
+                    } else {
+                        // Abrupt: flood and vanish without a Bye.
+                        let mut client = ServeClient::connect(addr).expect("connect");
+                        client.hello("stride", seed, true).expect("hello");
+                        for (k, (access, hit)) in trace.iter().enumerate() {
+                            client.queue_access(k as u32, 0, *access, *hit);
+                        }
+                        client.flush().expect("flood");
+                        drop(client);
+                    }
+                }
+            });
+        }
+    });
+
+    let snap = server.shutdown();
+    let total = THREADS * SESSIONS_PER_THREAD;
+    assert_eq!(snap.sessions_opened, total);
+    assert_eq!(
+        snap.sessions_closed, snap.sessions_opened,
+        "every opened session must be retired after the drain"
+    );
+    assert_eq!(snap.connections_opened, total);
+    assert_eq!(
+        snap.connections_closed, snap.connections_opened,
+        "every accepted connection must be released after the drain"
+    );
+    // Graceful sessions alone account for half the decisions; abrupt
+    // sessions may or may not have been drained before the FIN landed.
+    assert!(snap.decisions >= total / 2 * ACCESSES as u64);
+}
+
+#[test]
+fn full_queue_plus_disconnect_still_retires_the_session() {
+    // Regression for the Bye/queue-cap interaction: wedge a session's
+    // tiny queue behind slow training, then vanish. The implicit Bye
+    // must bypass the full queue — otherwise the slot (and its model)
+    // leaks forever and shutdown would hang on a non-empty shard.
+    let server = Server::start(
+        ServeConfig {
+            shards: 1,
+            max_batch: 4,
+            queue_cap: 2,
+            ..ServeConfig::default()
+        },
+        SessionModel::default_builder(),
+    )
+    .expect("server starts");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    client.hello("resemble", 21, false).expect("hello");
+    let trace = session_trace(21, 100);
+    for (i, (access, hit)) in trace.iter().enumerate() {
+        client.queue_access(i as u32, 0, *access, *hit);
+    }
+    client.flush().expect("flood");
+    // Wait until the flood has demonstrably overflowed the queue, then
+    // disconnect without reading a single reply.
+    while server.telemetry().snapshot().busy_rejections == 0 {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    drop(client);
+    let snap = server.shutdown();
+    assert_eq!(snap.sessions_opened, 1);
+    assert_eq!(
+        snap.sessions_closed, 1,
+        "session wedged instead of retiring"
+    );
+    assert_eq!(snap.connections_opened, 1);
+    assert_eq!(snap.connections_closed, 1);
+    assert!(snap.busy_rejections > 0);
+}
+
+#[test]
+fn pooled_frozen_sessions_stay_bit_identical_to_offline() {
+    // Six concurrent frozen sessions sharing one (model, seed, fast) key
+    // on a single shard: cross-session pooling batches their decision
+    // windows through one shared forward, and every session must still
+    // match the offline sequential run of its own trace, bit for bit.
+    const SESSIONS: u64 = 6;
+    const N: usize = 400;
+    let server = Server::start(
+        ServeConfig {
+            shards: 1,
+            max_batch: 32,
+            cross_session: true,
+            ..ServeConfig::default()
+        },
+        SessionModel::default_builder(),
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let offline: Vec<Vec<Vec<u64>>> = (0..SESSIONS)
+        .map(|i| {
+            let trace = session_trace(9000 + i * 7919, N);
+            let mut m = SessionModel::build("resemble_frozen", 55, true).expect("model");
+            offline_decisions(&mut m, &trace)
+        })
+        .collect();
+
+    let served: Vec<Vec<Vec<u64>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..SESSIONS)
+            .map(|i| {
+                s.spawn(move || {
+                    let trace = session_trace(9000 + i * 7919, N);
+                    serve_trace(addr, "resemble_frozen", 55, &trace, 32)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+
+    for (i, (expect, got)) in offline.iter().zip(served.iter()).enumerate() {
+        assert_eq!(expect, got, "session {i} diverged from offline");
+    }
+    let snap = server.shutdown();
+    assert_eq!(snap.decisions, SESSIONS * N as u64);
+    assert_eq!(snap.sessions_closed, SESSIONS);
+    assert!(
+        snap.pool_batches >= 1,
+        "6 same-key pipelined sessions on one shard never pooled a window"
+    );
+    assert!(snap.pool_sessions >= 2 * snap.pool_batches);
+}
+
+#[test]
+fn checkpoint_round_trip_warm_resumes_training_state() {
+    let dir = std::env::temp_dir().join(format!("resemble_ckpt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let trace1 = session_trace(31, 300);
+    let trace2 = session_trace(32, 300);
+
+    // Server A: train a session, Bye checkpoints it to disk.
+    let server_a = Server::start(
+        ServeConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        },
+        SessionModel::default_builder(),
+    )
+    .expect("server A starts");
+    let _ = serve_trace(server_a.local_addr(), "resemble", 11, &trace1, 16);
+    let snap_a = server_a.shutdown();
+    assert!(snap_a.checkpoints_saved >= 1, "Bye must save a checkpoint");
+
+    // Expected continuation: a fresh model warm-started from the exact
+    // file server A wrote (optimizer RNG restarts fresh by design).
+    let mut expect_model = SessionModel::build("resemble", 11, true).expect("model");
+    assert!(
+        load_checkpoint_file(&dir, "resemble", 11, true, &mut expect_model),
+        "checkpoint file must load"
+    );
+    let expect = offline_decisions(&mut expect_model, &trace2);
+
+    // Server B on the same directory: the same Hello warm-starts from
+    // the checkpoint, so its decisions continue the learned state.
+    let server_b = Server::start(
+        ServeConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        },
+        SessionModel::default_builder(),
+    )
+    .expect("server B starts");
+    let got = serve_trace(server_b.local_addr(), "resemble", 11, &trace2, 16);
+    let snap_b = server_b.shutdown();
+    assert_eq!(snap_b.checkpoints_loaded, 1, "Hello must warm-load");
+    assert_eq!(got, expect, "warm-resumed serving diverged from offline");
+
+    // A cold session (no checkpoint on disk for its key) must differ
+    // from nothing — just sanity that the warm path actually mattered.
+    let mut cold = SessionModel::build("resemble", 11, true).expect("model");
+    let cold_run = offline_decisions(&mut cold, &trace2);
+    assert_ne!(
+        cold_run, expect,
+        "trained checkpoint should change decisions vs a cold model"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
