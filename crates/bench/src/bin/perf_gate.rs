@@ -775,12 +775,19 @@ fn main() {
                     );
                     if measured < floor {
                         failures.push(format!(
-                            "{label} throughput regressed >10% vs baseline: {measured:.2}x < {floor:.2}x"
+                            "metric `{key}` ({label}) regressed vs baseline: measured \
+                             {measured:.2}x < floor {floor:.2}x (baseline {baseline_speedup:.2}x \
+                             - 10%), short by {:.2}x ({:.1}%)",
+                            floor - measured,
+                            (floor - measured) / floor * 100.0
                         ));
                     }
                     if measured < min_required {
                         failures.push(format!(
-                            "{label} speedup {measured:.2}x below required {min_required:.2}x"
+                            "metric `{key}` ({label}) below its absolute minimum: measured \
+                             {measured:.2}x < required {min_required:.2}x, short by {:.2}x ({:.1}%)",
+                            min_required - measured,
+                            (min_required - measured) / min_required * 100.0
                         ));
                     }
                 }

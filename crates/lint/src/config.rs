@@ -22,6 +22,18 @@ pub struct AllowEntry {
     pub line: u32,
 }
 
+/// One `[[unsafe-allowed]]` entry: a file sanctioned to contain `unsafe`,
+/// with the reason it needs to.
+#[derive(Debug, Clone)]
+pub struct UnsafeAllowedEntry {
+    /// Workspace-relative path of the allowlisted file.
+    pub file: String,
+    /// Why this file legitimately holds unsafe code (required).
+    pub reason: String,
+    /// Line in lint.toml (for diagnostics).
+    pub line: u32,
+}
+
 /// Parsed `lint.toml`.
 #[derive(Debug, Default)]
 pub struct LintConfig {
@@ -33,6 +45,12 @@ pub struct LintConfig {
     /// documents the exemption — the rule's scope table is authoritative,
     /// and validation flags a mismatch between the two).
     pub simd_kernel_file: String,
+    /// Files sanctioned to contain `unsafe` (`unsafe-undocumented`;
+    /// optional like the SIMD section — the rule's scope table
+    /// `rules::UNSAFE_ALLOWED_FILES` is authoritative, and when the
+    /// section is present validation requires exact agreement in both
+    /// directions).
+    pub unsafe_allowed: Vec<UnsafeAllowedEntry>,
     /// File-level rule exemptions.
     pub allows: Vec<AllowEntry>,
 }
@@ -91,6 +109,12 @@ impl LintConfig {
                         reason: String::new(),
                         line: line_no,
                     });
+                } else if name.trim() == "unsafe-allowed" {
+                    cfg.unsafe_allowed.push(UnsafeAllowedEntry {
+                        file: String::new(),
+                        reason: String::new(),
+                        line: line_no,
+                    });
                 }
                 continue;
             }
@@ -124,6 +148,21 @@ impl LintConfig {
                             path,
                             line_no,
                             format!("unknown [[allow]] key `{other}`"),
+                        )),
+                    }
+                }
+                ("[[unsafe-allowed]]", _) => {
+                    let Some(entry) = cfg.unsafe_allowed.last_mut() else {
+                        continue;
+                    };
+                    match k.as_str() {
+                        "file" => entry.file = v,
+                        "reason" => entry.reason = v,
+                        other => errors.push(Diagnostic::error(
+                            "lint-config",
+                            path,
+                            line_no,
+                            format!("unknown [[unsafe-allowed]] key `{other}`"),
                         )),
                     }
                 }
@@ -180,6 +219,62 @@ impl LintConfig {
                         self.simd_kernel_file
                     ),
                 ));
+            }
+        }
+        // [[unsafe-allowed]] is optional as a whole (scratch workspaces in
+        // the driver tests omit it), but once present it must agree with
+        // the rule's scope table exactly — in both directions — so the
+        // documented allowlist and the enforced one cannot drift.
+        if !self.unsafe_allowed.is_empty() {
+            for e in &self.unsafe_allowed {
+                if e.file.is_empty() || e.reason.is_empty() {
+                    out.push(Diagnostic::error(
+                        "lint-config",
+                        config_path,
+                        e.line,
+                        "[[unsafe-allowed]] entries need file and reason".to_string(),
+                    ));
+                    continue;
+                }
+                if !root.join(&e.file).is_file() {
+                    out.push(Diagnostic::error(
+                        "lint-config",
+                        config_path,
+                        e.line,
+                        format!(
+                            "stale [[unsafe-allowed]] entry: `{}` does not exist — \
+                             remove the entry or fix the path",
+                            e.file
+                        ),
+                    ));
+                }
+                if !crate::rules::UNSAFE_ALLOWED_FILES.contains(&e.file.as_str()) {
+                    out.push(Diagnostic::error(
+                        "lint-config",
+                        config_path,
+                        e.line,
+                        format!(
+                            "[[unsafe-allowed]] entry `{}` disagrees with the rule's scope \
+                             table (rules::UNSAFE_ALLOWED_FILES) — update both in the same \
+                             change",
+                            e.file
+                        ),
+                    ));
+                }
+            }
+            for f in crate::rules::UNSAFE_ALLOWED_FILES {
+                if !self.unsafe_allowed.iter().any(|e| e.file == *f) {
+                    out.push(Diagnostic::error(
+                        "lint-config",
+                        config_path,
+                        0,
+                        format!(
+                            "rules::UNSAFE_ALLOWED_FILES contains `{f}` but lint.toml has \
+                             no matching [[unsafe-allowed]] entry — add one with the \
+                             reason the file needs unsafe"
+                        ),
+                    ));
+                }
             }
         }
         for a in &self.allows {
@@ -270,6 +365,65 @@ mod tests {
         let diags = cfg.validate(&repo_root(), "lint.toml");
         assert!(
             diags.iter().any(|d| d.message.contains("disagrees")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unsafe_allowed_section_is_optional_but_must_match_the_scope_table() {
+        let base = "[reference-engine-frozen]\n\
+                    file = \"crates/sim/src/reference.rs\"\n\
+                    sha256 = \"abc\"\n";
+        // Absent: fine.
+        let cfg = LintConfig::parse(base, "lint.toml").unwrap();
+        assert!(cfg.unsafe_allowed.is_empty());
+
+        // Complete and matching: no unsafe-allowed findings.
+        let mut good = base.to_string();
+        for f in crate::rules::UNSAFE_ALLOWED_FILES {
+            good.push_str(&format!(
+                "[[unsafe-allowed]]\nfile = \"{f}\"\nreason = \"needed\"\n"
+            ));
+        }
+        let cfg = LintConfig::parse(&good, "lint.toml").unwrap();
+        let diags = cfg.validate(&repo_root(), "lint.toml");
+        assert!(
+            diags.iter().all(|d| !d.message.contains("unsafe-allowed")),
+            "{diags:?}"
+        );
+
+        // An entry outside the scope table disagrees loudly.
+        let bad = format!(
+            "{good}[[unsafe-allowed]]\nfile = \"crates/sim/src/engine.rs\"\nreason = \"nope\"\n"
+        );
+        let cfg = LintConfig::parse(&bad, "lint.toml").unwrap();
+        let diags = cfg.validate(&repo_root(), "lint.toml");
+        assert!(
+            diags.iter().any(|d| d.message.contains("disagrees")),
+            "{diags:?}"
+        );
+
+        // A partial list misses table files: loud in the other direction.
+        let partial = format!(
+            "{base}[[unsafe-allowed]]\nfile = \"crates/nn/src/simd.rs\"\nreason = \"kernels\"\n"
+        );
+        let cfg = LintConfig::parse(&partial, "lint.toml").unwrap();
+        let diags = cfg.validate(&repo_root(), "lint.toml");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("no matching [[unsafe-allowed]] entry")),
+            "{diags:?}"
+        );
+
+        // Entries without a reason are rejected.
+        let bare = format!("{base}[[unsafe-allowed]]\nfile = \"crates/nn/src/simd.rs\"\n");
+        let cfg = LintConfig::parse(&bare, "lint.toml").unwrap();
+        let diags = cfg.validate(&repo_root(), "lint.toml");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("need file and reason")),
             "{diags:?}"
         );
     }

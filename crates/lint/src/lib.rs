@@ -7,7 +7,15 @@
 //! Rules (see [`rules::RULES`] and CONTRIBUTING.md):
 //! `nondeterministic-iteration`, `wall-clock-in-sim`, `panic-in-hot-path`,
 //! `lossy-cast`, `float-eq`, `reference-engine-frozen`,
-//! `simd-outside-kernel`.
+//! `simd-outside-kernel`, `unsafe-undocumented`, `lock-order`,
+//! `blocking-in-event-loop`, `counter-pairing`.
+//!
+//! Analysis runs in two passes: per-file rules over each [`FileCtx`] in
+//! isolation, then the cross-file rules (`lock-order`,
+//! `counter-pairing`) over a workspace symbol/occurrence index built
+//! from every retained context ([`index`]). Both passes share one
+//! suppression path, so an inline escape at a cross-file diagnostic's
+//! witness line works exactly like a per-file one.
 //!
 //! Suppression happens in two places, both loud when stale:
 //! - inline `// lint:allow(rule): reason` escapes (reason required; an
@@ -18,6 +26,7 @@
 
 pub mod config;
 pub mod diag;
+pub mod index;
 pub mod lexer;
 pub mod rules;
 pub mod scanner;
@@ -117,9 +126,12 @@ pub fn lint_workspace(root: &Path) -> LintReport {
     };
     rules::reference_frozen::check(root, &cfg, &mut diags);
 
+    // Pass 1: lex and scan every file, run the per-file rules, and keep
+    // the contexts alive — the cross-file pass needs all of them at once.
     let files = collect_rs_files(root);
     let files_scanned = files.len();
-    let mut file_allow_used = vec![false; cfg.allows.len()];
+    let mut ctxs: Vec<FileCtx> = Vec::with_capacity(files.len());
+    let mut raw: Vec<Diagnostic> = Vec::new();
     for path in &files {
         let Ok(src) = std::fs::read_to_string(path) else {
             continue; // non-UTF-8 file: nothing for a Rust lexer to do
@@ -130,26 +142,40 @@ pub fn lint_workspace(root: &Path) -> LintReport {
             .to_string_lossy()
             .replace('\\', "/");
         let ctx = FileCtx::new(&rel, &src);
-        let mut raw = Vec::new();
         rules::check_file(&ctx, &mut raw);
-        'diags: for d in raw {
+        ctxs.push(ctx);
+    }
+
+    // Pass 2: cross-file rules over the workspace index.
+    rules::check_workspace(&ctxs, &mut raw);
+
+    // Suppression, shared by both passes: a diagnostic (wherever it came
+    // from) consults the inline escapes of the file it is anchored to,
+    // then the file-level allowlist.
+    let ctx_by_path: std::collections::BTreeMap<&str, &FileCtx> =
+        ctxs.iter().map(|c| (c.path.as_str(), c)).collect();
+    let mut file_allow_used = vec![false; cfg.allows.len()];
+    'diags: for d in raw {
+        if let Some(ctx) = ctx_by_path.get(d.path.as_str()) {
             if ctx.allowed(d.rule, d.line) {
                 continue; // inline escape, now marked used
             }
-            for (idx, a) in cfg.allows.iter().enumerate() {
-                if a.rule == d.rule && a.path == d.path {
-                    file_allow_used[idx] = true;
-                    continue 'diags;
-                }
-            }
-            diags.push(d);
         }
-        // Escapes nothing hit are stale: warn so they get cleaned up.
+        for (idx, a) in cfg.allows.iter().enumerate() {
+            if a.rule == d.rule && a.path == d.path {
+                file_allow_used[idx] = true;
+                continue 'diags;
+            }
+        }
+        diags.push(d);
+    }
+    // Escapes nothing hit are stale: warn so they get cleaned up.
+    for ctx in &ctxs {
         for a in &ctx.allows {
             if !*a.used.borrow() {
                 diags.push(Diagnostic::warn(
                     "lint-allow",
-                    &rel,
+                    &ctx.path,
                     a.line,
                     format!(
                         "unused lint:allow escape for `{}`: no diagnostic fires here",

@@ -1,0 +1,179 @@
+//! `counter-pairing`: resource telemetry counters come in pairs —
+//! `*_opened`/`*_closed` and `*_acquired`/`*_released` — and both sides
+//! must have at least one live `fetch_add` site. The serve churn tests
+//! assert leak invariants like `sessions_opened - sessions_closed ==
+//! live`, which silently rot the moment someone adds an open path
+//! without a close path (or vice versa). Cross-file by nature: the
+//! counter is declared in `telemetry.rs` and incremented wherever the
+//! resource is created or torn down, so the rule runs over the
+//! workspace index rather than one file.
+
+use crate::diag::Diagnostic;
+use crate::index::WorkspaceIndex;
+use std::collections::BTreeMap;
+
+/// Rule name.
+pub const RULE: &str = "counter-pairing";
+
+/// Counter-name suffixes that imply a paired twin.
+pub const PAIRED_SUFFIXES: &[(&str, &str)] = &[("_opened", "_closed"), ("_acquired", "_released")];
+
+/// Run the rule over the workspace index.
+pub fn check(idx: &WorkspaceIndex, out: &mut Vec<Diagnostic>) {
+    // First declaration / first increment site per counter name.
+    let mut decl: BTreeMap<&str, (&str, u32)> = BTreeMap::new();
+    for d in &idx.counter_decls {
+        decl.entry(&d.name).or_insert((&d.file, d.line));
+    }
+    let mut inc: BTreeMap<&str, (&str, u32)> = BTreeMap::new();
+    for a in &idx.fetch_adds {
+        inc.entry(&a.name).or_insert((&a.file, a.line));
+    }
+
+    for (suffix, twin_suffix) in PAIRED_SUFFIXES {
+        // Every stem seen with either suffix, declared or incremented.
+        let stems: std::collections::BTreeSet<String> = decl
+            .keys()
+            .chain(inc.keys())
+            .filter_map(|n| {
+                n.strip_suffix(suffix)
+                    .or_else(|| n.strip_suffix(twin_suffix))
+            })
+            .map(str::to_string)
+            .collect();
+        for stem in stems {
+            let a = format!("{stem}{suffix}");
+            let b = format!("{stem}{twin_suffix}");
+            report_unbalanced(&a, &b, &decl, &inc, out);
+            report_unbalanced(&b, &a, &decl, &inc, out);
+        }
+    }
+}
+
+/// If `present` is incremented somewhere but `missing` never is, report
+/// it — at `missing`'s declaration when there is one (the counter exists
+/// but nothing feeds it), else at `present`'s first increment (the twin
+/// does not even exist).
+fn report_unbalanced(
+    present: &str,
+    missing: &str,
+    decl: &BTreeMap<&str, (&str, u32)>,
+    inc: &BTreeMap<&str, (&str, u32)>,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !inc.contains_key(present) || inc.contains_key(missing) {
+        return;
+    }
+    match decl.get(missing) {
+        Some((file, line)) => out.push(Diagnostic::error(
+            RULE,
+            file,
+            *line,
+            format!(
+                "counter `{missing}` is declared but never incremented while its pair \
+                 `{present}` is: the churn leak invariant (`{present} - {missing}` bounds \
+                 live resources) can no longer hold — add the `fetch_add` on the \
+                 matching teardown/setup path"
+            ),
+        )),
+        None => {
+            let (file, line) = inc.get(present).copied().unwrap_or(("lint.toml", 1));
+            out.push(Diagnostic::error(
+                RULE,
+                file,
+                line,
+                format!(
+                    "counter `{present}` has no paired `{missing}` anywhere in the crate: \
+                     paired telemetry (`*_opened`/`*_closed`, `*_acquired`/`*_released`) \
+                     must count both directions or leaks become invisible"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index;
+    use crate::scanner::FileCtx;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let ctxs: Vec<FileCtx> = files.iter().map(|(p, s)| FileCtx::new(p, s)).collect();
+        let idx = index::build(&ctxs);
+        let mut out = Vec::new();
+        check(&idx, &mut out);
+        out
+    }
+
+    const DECLS: &str = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+        pub struct T { pub conns_opened: AtomicU64, pub conns_closed: AtomicU64 }\n";
+
+    #[test]
+    fn positive_declared_but_never_incremented() {
+        let src = format!(
+            "{DECLS}impl T {{ pub fn open(&self) {{ self.conns_opened.fetch_add(1, Ordering::Relaxed); }} }}\n"
+        );
+        let d = run(&[("crates/serve/src/telemetry.rs", &src)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0]
+            .message
+            .contains("`conns_closed` is declared but never incremented"));
+        assert_eq!(d[0].line, 2, "lands on the declaration");
+    }
+
+    #[test]
+    fn positive_missing_twin_entirely() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+            pub struct T { pub bufs_acquired: AtomicU64 }\n\
+            impl T { pub fn get(&self) { self.bufs_acquired.fetch_add(1, Ordering::Relaxed); } }\n";
+        let d = run(&[("crates/serve/src/telemetry.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("no paired `bufs_released`"), "{d:?}");
+        assert_eq!(d[0].line, 3, "lands on the unpaired increment");
+    }
+
+    #[test]
+    fn negative_both_sides_incremented_cross_file() {
+        let inc_open = "pub fn open(t: &crate::telemetry::T) { t.conns_opened.fetch_add(1, std::sync::atomic::Ordering::Relaxed); }\n";
+        let inc_close = "pub fn close(t: &crate::telemetry::T) { t.conns_closed.fetch_add(1, std::sync::atomic::Ordering::Relaxed); }\n";
+        let d = run(&[
+            ("crates/serve/src/telemetry.rs", DECLS),
+            ("crates/serve/src/session.rs", inc_open),
+            ("crates/serve/src/shard.rs", inc_close),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn negative_unpaired_suffixes_are_not_counters() {
+        // Plain counters without a paired suffix carry no invariant.
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+            pub struct T { pub requests: AtomicU64 }\n\
+            impl T { pub fn hit(&self) { self.requests.fetch_add(1, Ordering::Relaxed); } }\n";
+        assert!(run(&[("crates/serve/src/telemetry.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn negative_test_region_increment_does_not_satisfy_the_pair() {
+        let src = format!(
+            "{DECLS}impl T {{ pub fn open(&self) {{ self.conns_opened.fetch_add(1, Ordering::Relaxed); }} }}\n\
+             #[cfg(test)]\n\
+             mod tests {{ fn t(x: &super::T) {{ x.conns_closed.fetch_add(1, std::sync::atomic::Ordering::Relaxed); }} }}\n"
+        );
+        let d = run(&[("crates/serve/src/telemetry.rs", &src)]);
+        assert_eq!(
+            d.len(),
+            1,
+            "a test-only increment is not a close path: {d:?}"
+        );
+    }
+
+    #[test]
+    fn negative_out_of_scope_crate() {
+        let src = format!(
+            "{DECLS}impl T {{ pub fn open(&self) {{ self.conns_opened.fetch_add(1, Ordering::Relaxed); }} }}\n"
+        );
+        assert!(run(&[("crates/sim/src/x.rs", &src)]).is_empty());
+    }
+}

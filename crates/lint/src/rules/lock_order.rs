@@ -1,0 +1,328 @@
+//! `lock-order`: potential-deadlock detection for `crates/serve`.
+//!
+//! From the workspace index ([`crate::index`]) the rule builds the
+//! inter-lock acquisition graph: an edge `A → B` means some function
+//! acquires lock `B` — directly, or transitively through a call — while
+//! (lexically) holding lock `A`. Two findings come out of it:
+//!
+//! * **cycles** — `A → B` and `B → A` (or any longer ring) means two
+//!   threads can each hold one lock while waiting for the other: the
+//!   classic ordering deadlock. The diagnostic spells out the full chain
+//!   with one witness site (function, file, line, held lock) per edge.
+//! * **self-edges** — re-acquiring a lock already held; with
+//!   `std::sync::Mutex` (non-reentrant) that deadlocks a single thread
+//!   on its own.
+//!
+//! The graph is lexical and over-approximate (guard regions run to the
+//! last `drop`, call resolution is name-based — see DESIGN.md §8), so an
+//! edge can exist that no execution takes. That is the right bias for a
+//! deadlock lint: a false edge only surfaces if it completes a cycle,
+//! and then a `lint:allow(lock-order): <why the order is safe>` escape
+//! at the witness line records the argument.
+
+use crate::diag::Diagnostic;
+use crate::index::{resolve_call, WorkspaceIndex};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rule name.
+pub const RULE: &str = "lock-order";
+
+/// One acquired-while-holding observation backing a graph edge.
+#[derive(Debug, Clone)]
+struct Witness {
+    /// Function (qualified name) where the inner acquisition happens.
+    func: String,
+    /// File of the inner acquisition.
+    file: String,
+    /// Line of the inner acquisition (or the call that leads to it).
+    line: u32,
+    /// Whether the inner lock is taken via a call rather than directly.
+    via_call: Option<String>,
+}
+
+/// Run the rule over the workspace index.
+pub fn check(idx: &WorkspaceIndex, out: &mut Vec<Diagnostic>) {
+    // Edge map: (held, acquired) → first witness, in deterministic order.
+    let mut edges: BTreeMap<(String, String), Witness> = BTreeMap::new();
+
+    for (fi, f) in idx.fns.iter().enumerate() {
+        for a in &f.acquires {
+            // Events strictly inside the hold region of `a`.
+            for b in &f.acquires {
+                if b.tok <= a.tok || b.tok >= a.end {
+                    continue;
+                }
+                if b.lock == a.lock {
+                    out.push(Diagnostic::error(
+                        RULE,
+                        &f.file,
+                        b.line,
+                        format!(
+                            "lock `{}` re-acquired in `{}` while already held (acquired at \
+                             line {}): std::sync::Mutex is not reentrant — this deadlocks \
+                             the calling thread",
+                            a.lock, f.qual, a.line
+                        ),
+                    ));
+                    continue;
+                }
+                edges
+                    .entry((a.lock.clone(), b.lock.clone()))
+                    .or_insert_with(|| Witness {
+                        func: f.qual.clone(),
+                        file: f.file.clone(),
+                        line: b.line,
+                        via_call: None,
+                    });
+            }
+            for c in &f.calls {
+                if c.tok <= a.tok || c.tok >= a.end {
+                    continue;
+                }
+                let mut callee_locks: BTreeSet<&String> = BTreeSet::new();
+                for j in resolve_call(idx, fi, c) {
+                    callee_locks.extend(idx.locks_used[j].iter());
+                }
+                for lock in callee_locks {
+                    if *lock == a.lock {
+                        // Transitive re-acquisition: report at the call.
+                        out.push(Diagnostic::error(
+                            RULE,
+                            &f.file,
+                            c.line,
+                            format!(
+                                "call to `{}` may re-acquire `{}` which `{}` already holds \
+                                 (acquired at line {}): std::sync::Mutex is not reentrant \
+                                 — this deadlocks the calling thread",
+                                c.name, a.lock, f.qual, a.line
+                            ),
+                        ));
+                        continue;
+                    }
+                    edges
+                        .entry((a.lock.clone(), lock.clone()))
+                        .or_insert_with(|| Witness {
+                            func: f.qual.clone(),
+                            file: f.file.clone(),
+                            line: c.line,
+                            via_call: Some(c.name.clone()),
+                        });
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the edge set: BFS from each node back to
+    // itself, smallest cycle first; dedupe by the canonical rotation.
+    let mut adj: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
+    for (held, acquired) in edges.keys() {
+        adj.entry(held).or_default().push(acquired);
+    }
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in adj.keys().copied() {
+        let Some(cycle) = shortest_cycle_through(&adj, start) else {
+            continue;
+        };
+        if !reported.insert(canonical_rotation(&cycle)) {
+            continue;
+        }
+        // Describe every edge of the cycle with its witness.
+        let ring: Vec<String> = cycle.iter().map(|l| format!("`{l}`")).collect();
+        let mut msg = format!(
+            "potential deadlock: lock acquisition cycle {} -> {}",
+            ring.join(" -> "),
+            ring[0]
+        );
+        let mut first_site: Option<(&str, u32)> = None;
+        for w in 0..cycle.len() {
+            let held = &cycle[w];
+            let acquired = &cycle[(w + 1) % cycle.len()];
+            let Some(wit) = edges.get(&(held.clone(), acquired.clone())) else {
+                continue;
+            };
+            if first_site.is_none() {
+                first_site = Some((wit.file.as_str(), wit.line));
+            }
+            let how = match &wit.via_call {
+                Some(callee) => format!("via call to `{callee}`"),
+                None => "directly".to_string(),
+            };
+            msg.push_str(&format!(
+                "; `{acquired}` acquired {how} at {}:{} in `{}` while holding `{held}`",
+                wit.file, wit.line, wit.func
+            ));
+        }
+        let (file, line) = first_site.unwrap_or(("lint.toml", 1));
+        out.push(Diagnostic::error(RULE, file, line, msg));
+    }
+}
+
+/// Shortest cycle that starts and ends at `start`, as the node sequence
+/// without the repeated endpoint.
+fn shortest_cycle_through<'a>(
+    adj: &BTreeMap<&'a String, Vec<&'a String>>,
+    start: &'a String,
+) -> Option<Vec<String>> {
+    // BFS storing predecessor chains; first time we step back onto
+    // `start` we have a shortest ring through it.
+    let mut prev: BTreeMap<&String, &String> = BTreeMap::new();
+    let mut queue: Vec<&String> = vec![start];
+    let mut seen: BTreeSet<&String> = BTreeSet::new();
+    seen.insert(start);
+    let mut qi = 0;
+    while qi < queue.len() {
+        let node = queue[qi];
+        qi += 1;
+        for next in adj.get(node).into_iter().flatten() {
+            if *next == start {
+                // Unwind node → … → start.
+                let mut path = vec![node];
+                while let Some(p) = prev.get(*path.last().expect("nonempty")) {
+                    path.push(p);
+                }
+                path.reverse();
+                return Some(path.into_iter().cloned().collect());
+            }
+            if seen.insert(next) {
+                prev.insert(next, node);
+                queue.push(next);
+            }
+        }
+    }
+    None
+}
+
+/// Rotate the cycle so it starts at its smallest node — one canonical
+/// form per ring regardless of entry point.
+fn canonical_rotation(cycle: &[String]) -> Vec<String> {
+    let Some(min_at) = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, l)| l.as_str())
+        .map(|(i, _)| i)
+    else {
+        return Vec::new();
+    };
+    let mut rot = Vec::with_capacity(cycle.len());
+    for k in 0..cycle.len() {
+        rot.push(cycle[(min_at + k) % cycle.len()].clone());
+    }
+    rot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index;
+    use crate::scanner::FileCtx;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let ctxs: Vec<FileCtx> = files.iter().map(|(p, s)| FileCtx::new(p, s)).collect();
+        let idx = index::build(&ctxs);
+        let mut out = Vec::new();
+        check(&idx, &mut out);
+        out
+    }
+
+    const SEEDED_CYCLE: &str = "use std::sync::Mutex;\n\
+        struct A { m: Mutex<u32> }\n\
+        struct B { n: Mutex<u32> }\n\
+        fn ab(a: &A, b: &B) { let g = a.m.lock().unwrap(); let h = b.n.lock().unwrap(); drop(h); drop(g); }\n\
+        fn ba(a: &A, b: &B) { let h = b.n.lock().unwrap(); let g = a.m.lock().unwrap(); drop(g); drop(h); }\n";
+
+    #[test]
+    fn seeded_two_lock_cycle_is_detected() {
+        let d = run(&[("crates/serve/src/x.rs", SEEDED_CYCLE)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("potential deadlock"), "{d:?}");
+        assert!(d[0].message.contains("`A::m`") && d[0].message.contains("`B::n`"));
+        assert!(d[0].message.contains("while holding"), "{d:?}");
+        // Witness anchoring: the diagnostic lands on a real line so an
+        // inline escape can suppress it.
+        assert!(d[0].line > 0 && d[0].path == "crates/serve/src/x.rs");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "use std::sync::Mutex;\n\
+            struct A { m: Mutex<u32> }\n\
+            struct B { n: Mutex<u32> }\n\
+            fn ab(a: &A, b: &B) { let g = a.m.lock().unwrap(); let h = b.n.lock().unwrap(); drop(h); drop(g); }\n\
+            fn ab2(a: &A, b: &B) { let g = a.m.lock().unwrap(); let h = b.n.lock().unwrap(); drop(h); drop(g); }\n";
+        assert!(run(&[("crates/serve/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn drop_breaks_the_hold_region() {
+        // The first lock is dropped before the second is taken: no edge,
+        // no cycle, even with opposite orders.
+        let src = "use std::sync::Mutex;\n\
+            struct A { m: Mutex<u32> }\n\
+            struct B { n: Mutex<u32> }\n\
+            fn ab(a: &A, b: &B) { let g = a.m.lock().unwrap(); drop(g); let h = b.n.lock().unwrap(); drop(h); }\n\
+            fn ba(a: &A, b: &B) { let h = b.n.lock().unwrap(); drop(h); let g = a.m.lock().unwrap(); drop(g); }\n";
+        assert!(run(&[("crates/serve/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn cycle_through_a_call_is_detected() {
+        // `ab` holds A::m and calls helper(), which takes B::n; `ba` does
+        // the reverse directly.
+        let src = "use std::sync::Mutex;\n\
+            struct A { m: Mutex<u32> }\n\
+            struct B { n: Mutex<u32> }\n\
+            fn helper(b: &B) { let h = b.n.lock().unwrap(); drop(h); }\n\
+            fn ab(a: &A, b: &B) { let g = a.m.lock().unwrap(); helper(b); drop(g); }\n\
+            fn ba(a: &A, b: &B) { let h = b.n.lock().unwrap(); let g = a.m.lock().unwrap(); drop(g); drop(h); }\n";
+        let d = run(&[("crates/serve/src/x.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("via call to `helper`"), "{d:?}");
+    }
+
+    #[test]
+    fn cross_file_cycle_is_detected() {
+        let a = "use std::sync::Mutex;\n\
+            pub struct A { pub m: Mutex<u32> }\n\
+            pub struct B { pub n: Mutex<u32> }\n\
+            pub fn ab(a: &A, b: &B) { let g = a.m.lock().unwrap(); let h = b.n.lock().unwrap(); drop(h); drop(g); }\n";
+        let b = "use crate::a::{A, B};\n\
+            pub fn ba(a: &A, b: &B) { let h = b.n.lock().unwrap(); let g = a.m.lock().unwrap(); drop(g); drop(h); }\n";
+        let d = run(&[("crates/serve/src/a.rs", a), ("crates/serve/src/b.rs", b)]);
+        assert_eq!(d.len(), 1, "cross-file edge graph: {d:?}");
+    }
+
+    #[test]
+    fn self_reacquire_is_a_direct_deadlock() {
+        let src = "use std::sync::Mutex;\n\
+            struct A { m: Mutex<u32> }\n\
+            fn f(a: &A) { let g = a.m.lock().unwrap(); let h = a.m.lock().unwrap(); drop(h); drop(g); }\n";
+        let d = run(&[("crates/serve/src/x.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("not reentrant"), "{d:?}");
+    }
+
+    #[test]
+    fn guard_returning_helper_counts_at_call_sites() {
+        // `S::lock` returns the guard; callers that then take T::n create
+        // the edge S::m → T::n, and the reverse order elsewhere closes the
+        // cycle.
+        let src = "use std::sync::{Mutex, MutexGuard};\n\
+            struct S { m: Mutex<u32> }\n\
+            struct T { n: Mutex<u32> }\n\
+            impl S { fn lock(&self) -> MutexGuard<'_, u32> { self.m.lock().unwrap() } }\n\
+            fn ab(s: &S, t: &T) { let g = s.lock(); let h = t.n.lock().unwrap(); drop(h); drop(g); }\n\
+            fn ba(s: &S, t: &T) { let h = t.n.lock().unwrap(); let g = s.lock(); drop(g); drop(h); }\n";
+        let d = run(&[("crates/serve/src/x.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].message.contains("`S::m`") && d[0].message.contains("`T::n`"),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_scope_crate_is_ignored() {
+        let d = run(&[("crates/sim/src/x.rs", SEEDED_CYCLE)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -8,12 +8,16 @@
 use crate::diag::Diagnostic;
 use crate::scanner::FileCtx;
 
+pub mod blocking_event_loop;
+pub mod counter_pairing;
 pub mod float_eq;
+pub mod lock_order;
 pub mod lossy_cast;
 pub mod nondet_iteration;
 pub mod panic_hot_path;
 pub mod reference_frozen;
 pub mod simd_kernel;
+pub mod unsafe_undocumented;
 pub mod wall_clock;
 
 /// Crates whose code feeds simulated statistics, action selection, or
@@ -61,6 +65,29 @@ pub const SERVE_HOT_FILES: &[&str] = &[
     "crates/serve/src/pool.rs",
 ];
 
+/// The only files allowed to contain `unsafe` at all: raw epoll/eventfd
+/// syscalls in the event loop, `target_feature` SIMD kernels, and
+/// `AlignedVec`'s manual 32-byte-aligned allocation. Mirrored — with a
+/// reason per file — by the `[[unsafe-allowed]]` entries in `lint.toml`;
+/// the config loader cross-checks the two so neither can drift. Unsafe
+/// outside this set takes an inline `lint:allow(unsafe-undocumented)`
+/// escape with a reason (`unsafe-undocumented`).
+pub const UNSAFE_ALLOWED_FILES: &[&str] = &[
+    "crates/serve/src/event_loop.rs",
+    "crates/nn/src/simd.rs",
+    "crates/nn/src/align.rs",
+];
+
+/// Files the epoll thread executes: nothing here may block — no
+/// `.lock()`, `thread::sleep`, blocking `recv()`, or unbounded
+/// `write_all` (`blocking-in-event-loop`).
+pub const EVENT_LOOP_HOT_FILES: &[&str] = &["crates/serve/src/event_loop.rs"];
+
+/// Crates covered by the cross-file concurrency rules (`lock-order`,
+/// `counter-pairing`): the serving stack is the only place the workspace
+/// takes real locks or counts real resources.
+pub const LOCK_ORDER_CRATES: &[&str] = &["serve"];
+
 /// The sanctioned narrowing-conversion boundary: lossy casts are migrated
 /// to the checked helpers defined here, so the module itself is exempt.
 pub const CONVERT_FILE: &str = "crates/sim/src/convert.rs";
@@ -107,6 +134,22 @@ pub const RULES: &[(&str, &str)] = &[
         "simd-outside-kernel",
         "std::arch/core::arch intrinsics, target_feature, or is_x86_feature_detected! outside crates/nn/src/simd.rs; use the resemble_nn::simd wrappers",
     ),
+    (
+        "unsafe-undocumented",
+        "`unsafe` without a `// SAFETY:` comment directly above, or outside the [[unsafe-allowed]] file set in lint.toml",
+    ),
+    (
+        "lock-order",
+        "Mutex/RwLock acquisition cycles or re-acquisition across crates/serve: the inter-lock graph must stay acyclic (potential deadlock)",
+    ),
+    (
+        "blocking-in-event-loop",
+        ".lock()/thread::sleep/blocking recv()/write_all in the event-loop hot files; the epoll thread must never block",
+    ),
+    (
+        "counter-pairing",
+        "*_opened/*_closed and *_acquired/*_released telemetry counters must both have a live fetch_add site (churn leak invariants)",
+    ),
 ];
 
 /// Run every per-file rule over one file.
@@ -117,4 +160,14 @@ pub fn check_file(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     lossy_cast::check(ctx, out);
     float_eq::check(ctx, out);
     simd_kernel::check(ctx, out);
+    unsafe_undocumented::check(ctx, out);
+    blocking_event_loop::check(ctx, out);
+}
+
+/// Run the cross-file rules over the whole workspace: build the symbol /
+/// occurrence index once, then hand it to each workspace-scoped rule.
+pub fn check_workspace(ctxs: &[FileCtx], out: &mut Vec<Diagnostic>) {
+    let idx = crate::index::build(ctxs);
+    lock_order::check(&idx, out);
+    counter_pairing::check(&idx, out);
 }

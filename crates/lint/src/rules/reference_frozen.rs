@@ -71,6 +71,7 @@ mod tests {
             reference_file: file.to_string(),
             reference_sha256: sha.to_string(),
             simd_kernel_file: String::new(),
+            unsafe_allowed: Vec::new(),
             allows: Vec::new(),
         }
     }

@@ -4,7 +4,7 @@
 //! `std::collections` map types. Rules consume a [`FileCtx`] and emit
 //! diagnostics; everything here is shared between rules.
 
-use crate::lexer::{lex, Lexed, TokKind, Token};
+use crate::lexer::{lex, Comment, Lexed, TokKind, Token};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::RangeInclusive;
@@ -31,6 +31,9 @@ pub struct FileCtx {
     pub test_path: bool,
     /// Token stream.
     pub tokens: Vec<Token>,
+    /// Comments in source order (rules such as `unsafe-undocumented`
+    /// inspect them for `// SAFETY:` documentation).
+    pub comments: Vec<Comment>,
     /// `lint:allow` escapes found in comments.
     pub allows: Vec<AllowEscape>,
     /// Line ranges covered by `#[cfg(test)]` / `#[test]` items.
@@ -71,6 +74,7 @@ impl FileCtx {
             crate_name: crate_of(rel_path),
             test_path: is_test_path(rel_path),
             tokens: Vec::new(),
+            comments: Vec::new(),
             allows: Vec::new(),
             test_regions: Vec::new(),
             uses: BTreeMap::new(),
@@ -78,6 +82,7 @@ impl FileCtx {
         };
         ctx.scan_allows(&lexed);
         ctx.tokens = lexed.tokens;
+        ctx.comments = lexed.comments;
         ctx.scan_test_regions();
         ctx.scan_uses();
         ctx.scan_std_map_bindings();

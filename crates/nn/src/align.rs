@@ -32,8 +32,10 @@ pub struct AlignedVec {
 }
 
 // SAFETY: AlignedVec owns its allocation exclusively (no interior
-// sharing), exactly like Vec<f32>.
+// sharing), exactly like Vec<f32>, so it can move between threads.
 unsafe impl Send for AlignedVec {}
+// SAFETY: shared references only expose &[f32] reads with no interior
+// mutability, so concurrent shared access is race-free, like Vec<f32>.
 unsafe impl Sync for AlignedVec {}
 
 impl AlignedVec {

@@ -219,8 +219,13 @@ impl Drop for BackendGuard {
 macro_rules! dispatch {
     ($be:expr, $name:ident ( $($arg:expr),* $(,)? )) => {
         match $be {
+            // SAFETY: this arm is reached only when runtime detection
+            // produced `Avx2` (module invariant — see `KernelBackend`),
+            // so the target_feature fn's CPU requirement holds.
             #[cfg(target_arch = "x86_64")]
             KernelBackend::Avx2 => unsafe { avx2::$name($($arg),*) },
+            // SAFETY: `Sse2` is only constructed on x86_64, where SSE2 is
+            // architecturally guaranteed.
             #[cfg(target_arch = "x86_64")]
             KernelBackend::Sse2 => unsafe { sse2::$name($($arg),*) },
             _ => scalar::$name($($arg),*),
@@ -510,12 +515,16 @@ mod scalar {
 mod cmp256 {
     use core::arch::x86_64::*;
 
+    // SAFETY: target_feature-only unsafety — called exclusively from the
+    // avx2 kernel set, which itself runs only after runtime detection.
     #[inline]
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn gt(a: __m256, b: __m256) -> __m256 {
         _mm256_cmp_ps::<_CMP_GT_OQ>(a, b)
     }
 
+    // SAFETY: target_feature-only unsafety — called exclusively from the
+    // avx2 kernel set, which itself runs only after runtime detection.
     #[inline]
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn lt(a: __m256, b: __m256) -> __m256 {
@@ -544,6 +553,9 @@ macro_rules! x86_kernel_set {
             #[allow(unused_imports)]
             use core::arch::x86_64::*;
 
+            // SAFETY: target_feature-only unsafety — reachable solely via
+            // `dispatch!` after runtime detection of `$feature`; pointer
+            // offsets stay below the `i + $w <= n` slice bound.
             #[target_feature(enable = $feature)]
             pub(super) unsafe fn axpy(acc: &mut [f32], xs: &[f32], w: f32) {
                 let n = acc.len().min(xs.len());
@@ -560,6 +572,9 @@ macro_rules! x86_kernel_set {
                 }
             }
 
+            // SAFETY: target_feature-only unsafety — reachable solely via
+            // `dispatch!` after runtime detection of `$feature`; pointer
+            // offsets stay below the `i + $w <= n` slice bound.
             #[target_feature(enable = $feature)]
             pub(super) unsafe fn axpy2(acc: &mut [f32], x0: &[f32], w0: f32, x1: &[f32], w1: f32) {
                 let n = acc.len().min(x0.len()).min(x1.len());
@@ -584,6 +599,9 @@ macro_rules! x86_kernel_set {
             /// `y[i] += ws[i] · x` — weight vector times splatted scalar;
             /// operand order matches `matvec_transpose_into`'s
             /// `*yc += wv * xv`.
+            // SAFETY: target_feature-only unsafety — reachable solely via
+            // `dispatch!` after runtime detection of `$feature`; pointer
+            // offsets stay below the `i + $w <= n` slice bound.
             #[target_feature(enable = $feature)]
             pub(super) unsafe fn axpy_wx(y: &mut [f32], ws: &[f32], x: f32) {
                 let n = y.len().min(ws.len());
@@ -601,6 +619,9 @@ macro_rules! x86_kernel_set {
             }
 
             /// `acc[i] += xs[i]` over the overlapping prefix.
+            // SAFETY: target_feature-only unsafety — reachable solely via
+            // `dispatch!` after runtime detection of `$feature`; pointer
+            // offsets stay below the `i + $w <= n` slice bound.
             #[target_feature(enable = $feature)]
             pub(super) unsafe fn add_assign(acc: &mut [f32], xs: &[f32]) {
                 let n = acc.len().min(xs.len());
@@ -616,6 +637,9 @@ macro_rules! x86_kernel_set {
                 }
             }
 
+            // SAFETY: target_feature-only unsafety — reachable solely via
+            // `dispatch!` after runtime detection of `$feature`; pointer
+            // offsets stay below the `i + $w <= n` slice bound.
             #[target_feature(enable = $feature)]
             pub(super) unsafe fn gemm_lanes(acc: &mut [f32], wrow: &[f32], xt: &[f32]) {
                 let tl = acc.len();
@@ -633,6 +657,9 @@ macro_rules! x86_kernel_set {
                 }
             }
 
+            // SAFETY: target_feature-only unsafety — reachable solely via
+            // `dispatch!` after runtime detection of `$feature`; pointer
+            // offsets stay below the `i + $w <= n` slice bound.
             #[target_feature(enable = $feature)]
             pub(super) unsafe fn matvec_lanes(y: &mut [f32], wt: &[f32], x: &[f32]) {
                 let r_dim = y.len();
@@ -655,6 +682,9 @@ macro_rules! x86_kernel_set {
                 }
             }
 
+            // SAFETY: target_feature-only unsafety — reachable solely via
+            // `dispatch!` after runtime detection of `$feature`; pointer
+            // offsets stay below the `i + $w <= n` slice bound.
             #[target_feature(enable = $feature)]
             pub(super) unsafe fn matvec_t_sample(y: &mut [f32], w: &[f32], x: &[f32]) {
                 y.fill(0.0);
@@ -671,6 +701,9 @@ macro_rules! x86_kernel_set {
                 }
             }
 
+            // SAFETY: target_feature-only unsafety — reachable solely via
+            // `dispatch!` after runtime detection of `$feature`; pointer
+            // offsets stay below the `i + $w <= n` slice bound.
             #[target_feature(enable = $feature)]
             pub(super) unsafe fn outer_rows_sample(
                 dw: &mut [f32],
@@ -691,6 +724,9 @@ macro_rules! x86_kernel_set {
                 }
             }
 
+            // SAFETY: target_feature-only unsafety — reachable solely via
+            // `dispatch!` after runtime detection of `$feature`; pointer
+            // offsets stay below the `i + $w <= n` slice bound.
             #[target_feature(enable = $feature)]
             pub(super) unsafe fn outer_lanes_sample(
                 dwt: &mut [f32],
@@ -711,6 +747,9 @@ macro_rules! x86_kernel_set {
                 }
             }
 
+            // SAFETY: target_feature-only unsafety — reachable solely via
+            // `dispatch!` after runtime detection of `$feature`; pointer
+            // offsets stay below the `i + $w <= n` slice bound.
             #[target_feature(enable = $feature)]
             pub(super) unsafe fn add_bias_rows(out: &mut [f32], bias: &[f32]) {
                 if bias.is_empty() {
@@ -721,6 +760,9 @@ macro_rules! x86_kernel_set {
                 }
             }
 
+            // SAFETY: target_feature-only unsafety — reachable solely via
+            // `dispatch!` after runtime detection of `$feature`; pointer
+            // offsets stay below the `i + $w <= n` slice bound.
             #[target_feature(enable = $feature)]
             pub(super) unsafe fn sum_rows(acc: &mut [f32], rows: &[f32]) {
                 if acc.is_empty() {
@@ -734,6 +776,9 @@ macro_rules! x86_kernel_set {
             /// `andnot(x < 0, x)` zeroes exactly the lanes the scalar
             /// branch zeroes: `-0.0` is not `< 0.0` (kept, like scalar)
             /// and NaN compares false (kept bit-exactly, unlike `max`).
+            // SAFETY: target_feature-only unsafety — reachable solely via
+            // `dispatch!` after runtime detection of `$feature`; pointer
+            // offsets stay below the `i + $w <= n` slice bound.
             #[target_feature(enable = $feature)]
             pub(super) unsafe fn relu(xs: &mut [f32]) {
                 let n = xs.len();
@@ -755,6 +800,9 @@ macro_rules! x86_kernel_set {
             /// Multiply by an `and`-selected `{0.0, 1.0}` mask — the same
             /// `d * 0.0` / `d * 1.0` the scalar branchless select
             /// performs, so `±0.0` signs survive identically.
+            // SAFETY: target_feature-only unsafety — reachable solely via
+            // `dispatch!` after runtime detection of `$feature`; pointer
+            // offsets stay below the `i + $w <= n` slice bound.
             #[target_feature(enable = $feature)]
             pub(super) unsafe fn relu_mask(deltas: &mut [f32], ys: &[f32]) {
                 let n = deltas.len().min(ys.len());
@@ -773,6 +821,9 @@ macro_rules! x86_kernel_set {
                 }
             }
 
+            // SAFETY: target_feature-only unsafety — reachable solely via
+            // `dispatch!` after runtime detection of `$feature`; pointer
+            // offsets stay below the `i + $w <= n` slice bound.
             #[target_feature(enable = $feature)]
             pub(super) unsafe fn tanh_mask(deltas: &mut [f32], ys: &[f32]) {
                 let n = deltas.len().min(ys.len());
@@ -789,6 +840,9 @@ macro_rules! x86_kernel_set {
                 }
             }
 
+            // SAFETY: target_feature-only unsafety — reachable solely via
+            // `dispatch!` after runtime detection of `$feature`; pointer
+            // offsets stay below the `i + $w <= n` slice bound.
             #[target_feature(enable = $feature)]
             pub(super) unsafe fn sigmoid_mask(deltas: &mut [f32], ys: &[f32]) {
                 let n = deltas.len().min(ys.len());

@@ -95,6 +95,8 @@ mod sys {
 
     impl Epoll {
         pub fn new() -> io::Result<Epoll> {
+            // SAFETY: epoll_create1 takes no pointers; a negative return
+            // (checked below) is the only failure mode.
             let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
             if fd < 0 {
                 return Err(io::Error::last_os_error());
@@ -104,6 +106,9 @@ mod sys {
 
         pub fn add(&self, fd: i32, token: u64, events: u32) -> io::Result<()> {
             let mut ev = EpollEvent::new(events, token);
+            // SAFETY: `ev` is a live, properly laid-out (#[repr(C,
+            // packed)]) EpollEvent for the duration of the call; the
+            // kernel copies it before returning.
             let rc = unsafe { epoll_ctl(self.fd, EPOLL_CTL_ADD, fd, &mut ev) };
             if rc < 0 {
                 return Err(io::Error::last_os_error());
@@ -114,12 +119,17 @@ mod sys {
         pub fn del(&self, fd: i32) {
             // A pre-2.6.9 quirk requires a non-null event even for DEL.
             let mut ev = EpollEvent::default();
+            // SAFETY: `ev` outlives the call; DEL ignores its contents
+            // but the pointer must be valid (the quirk above).
             let _ = unsafe { epoll_ctl(self.fd, EPOLL_CTL_DEL, fd, &mut ev) };
         }
 
         /// Wait for readiness; EINTR and errors report as an empty wake.
         pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> usize {
             let cap = i32::try_from(events.len()).unwrap_or(i32::MAX).max(1);
+            // SAFETY: `events.as_mut_ptr()` points at `events.len()`
+            // writable EpollEvent slots and `cap` never exceeds that
+            // length, so the kernel writes only into the slice.
             let n = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), cap, timeout_ms) };
             usize::try_from(n).unwrap_or(0)
         }
@@ -127,6 +137,8 @@ mod sys {
 
     impl Drop for Epoll {
         fn drop(&mut self) {
+            // SAFETY: `self.fd` is a valid descriptor this struct owns
+            // exclusively, closed exactly once (drop runs once).
             unsafe {
                 close(self.fd);
             }
@@ -141,6 +153,8 @@ mod sys {
 
     impl EventFd {
         pub fn new() -> io::Result<EventFd> {
+            // SAFETY: eventfd takes no pointers; a negative return
+            // (checked below) is the only failure mode.
             let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
             if fd < 0 {
                 return Err(io::Error::last_os_error());
@@ -156,18 +170,24 @@ mod sys {
         pub fn signal(&self) {
             let one: u64 = 1;
             let p = std::ptr::addr_of!(one).cast::<u8>();
+            // SAFETY: `p` points at the 8 readable bytes of the local
+            // `one`, which outlives the call.
             let _ = unsafe { write(self.fd, p, 8) };
         }
 
         /// Consume pending wakeups so level-triggered epoll quiesces.
         pub fn drain(&self) {
             let mut buf = [0u8; 8];
+            // SAFETY: `buf` provides exactly the 8 writable bytes the
+            // kernel may fill.
             let _ = unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
         }
     }
 
     impl Drop for EventFd {
         fn drop(&mut self) {
+            // SAFETY: `self.fd` is a valid descriptor this struct owns
+            // exclusively, closed exactly once (drop runs once).
             unsafe {
                 close(self.fd);
             }
@@ -212,10 +232,12 @@ impl IoMailbox {
 
     /// Park an accepted stream for the owning thread and wake it.
     fn deliver(&self, stream: TcpStream) {
-        self.inbox
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push(stream);
+        // The critical section only pushes onto a Vec; no I/O or model
+        // work ever runs under this lock.
+        // lint:allow(blocking-in-event-loop): bounded mailbox handoff
+        let mut g = self.inbox.lock().unwrap_or_else(PoisonError::into_inner);
+        g.push(stream);
+        drop(g);
         self.wake.signal();
     }
 
@@ -226,6 +248,7 @@ impl IoMailbox {
 
     fn collect(&self, into: &mut Vec<TcpStream>) {
         self.wake.drain();
+        // lint:allow(blocking-in-event-loop): bounded mailbox handoff — the critical section only appends one Vec into another
         let mut g = self.inbox.lock().unwrap_or_else(PoisonError::into_inner);
         into.append(&mut g);
     }
