@@ -11,7 +11,9 @@
 //! learned state on Bye, and a later Hello with the same
 //! `(model, seed, fast)` resumes from the saved file. Cross-session
 //! batching of frozen same-key sessions is on by default; disable with
-//! `--no-cross-session`.
+//! `--no-cross-session`. `--quantize-frozen` opts pooled frozen windows
+//! into the int8 quantized datapath: deterministic (bit-identical across
+//! backends and reruns) but not bit-identical to f32 decisions.
 //!
 //! The model names a client's Hello can request are the serve registry
 //! ("resemble", "resemble_frozen", ...) plus everything `factory::make`
@@ -51,6 +53,7 @@ fn main() {
         "no-cross-session",
         "pool-rows",
         "checkpoint-dir",
+        "quantize-frozen",
     ]);
     let cfg = ServeConfig {
         addr: opts.str("addr").unwrap_or("127.0.0.1:7071").to_string(),
@@ -63,6 +66,7 @@ fn main() {
         cross_session: !opts.flag("no-cross-session"),
         pool_rows: opts.usize("pool-rows", 4096),
         checkpoint_dir: opts.str("checkpoint-dir").map(Into::into),
+        quantize_frozen: opts.flag("quantize-frozen"),
     };
     signal::install();
     let server = match Server::start(cfg, full_builder()) {

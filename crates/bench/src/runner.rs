@@ -85,40 +85,73 @@ impl SweepParams {
     }
 }
 
+/// One no-prefetch baseline simulation. The result depends only on
+/// `(app, p.seed, p.sim, p.warmup, p.measure)` — never on the
+/// prefetcher — which is what lets [`run_matrix`] compute it once per
+/// app and share it across the whole matrix row.
+fn run_baseline(app: &str, p: &SweepParams) -> SimStats {
+    let mut src = app_by_name(app, p.seed).expect("valid app name").source;
+    let mut engine = Engine::new(p.sim);
+    engine.run(&mut *src, None, p.warmup, p.measure)
+}
+
+/// One measured simulation with `pf` active, on the identical trace
+/// window as [`run_baseline`].
+fn run_with_pf(app: &str, pf: &str, p: &SweepParams) -> SimStats {
+    let mut src = app_by_name(app, p.seed).expect("valid app name").source;
+    let mut engine = Engine::new(p.sim);
+    let mut pref = factory::make(pf, p.seed, p.fast);
+    engine.run(&mut *src, Some(&mut *pref), p.warmup, p.measure)
+}
+
 /// Run one (app, prefetcher) pair: identical traces for baseline and
 /// prefetcher runs.
 pub fn run_one(app: &str, pf: &str, p: &SweepParams) -> RunResult {
-    let baseline = {
-        let mut src = app_by_name(app, p.seed).expect("valid app name").source;
-        let mut engine = Engine::new(p.sim);
-        engine.run(&mut *src, None, p.warmup, p.measure)
-    };
-    let with_pf = {
-        let mut src = app_by_name(app, p.seed).expect("valid app name").source;
-        let mut engine = Engine::new(p.sim);
-        let mut pref = factory::make(pf, p.seed, p.fast);
-        engine.run(&mut *src, Some(&mut *pref), p.warmup, p.measure)
-    };
     RunResult {
         app: app.to_string(),
         pf: pf.to_string(),
-        baseline,
-        with_pf,
+        baseline: run_baseline(app, p),
+        with_pf: run_with_pf(app, pf, p),
     }
 }
 
 /// Run the full `apps × pfs` matrix in parallel; results are returned in
 /// `(app-major, pf-minor)` order regardless of completion order.
+///
+/// The no-prefetch baseline is computed **once per app** (not once per
+/// job): whichever worker reaches an app's first job initializes that
+/// app's `OnceLock`, and every other job for the same app reuses the
+/// stored stats. The engine is deterministic, so the shared baseline is
+/// bit-identical to what each job would have computed on its own.
 pub fn run_matrix(apps: &[String], pfs: &[&str], p: &SweepParams) -> Vec<RunResult> {
-    let jobs: Vec<(usize, String, String)> = apps
+    run_matrix_counted(apps, pfs, p, None)
+}
+
+/// [`run_matrix`] with an optional observer counting how many baseline
+/// simulations actually execute. Test-only observability for the
+/// once-per-app dedup; not part of the public API.
+#[doc(hidden)]
+pub fn run_matrix_counted(
+    apps: &[String],
+    pfs: &[&str],
+    p: &SweepParams,
+    baseline_runs: Option<&std::sync::atomic::AtomicUsize>,
+) -> Vec<RunResult> {
+    let jobs: Vec<(usize, usize, String, String)> = apps
         .iter()
-        .flat_map(|a| pfs.iter().map(move |&f| (a.clone(), f.to_string())))
         .enumerate()
-        .map(|(i, (a, f))| (i, a, f))
+        .flat_map(|(ai, a)| pfs.iter().map(move |&f| (ai, a.clone(), f.to_string())))
+        .enumerate()
+        .map(|(i, (ai, a, f))| (i, ai, a, f))
         .collect();
     if jobs.is_empty() {
         return Vec::new();
     }
+    // One cell per app: the first worker to need an app's baseline runs
+    // it; concurrent claimants for the same app block on `get_or_init`
+    // rather than duplicating the simulation.
+    let baselines: Vec<std::sync::OnceLock<SimStats>> =
+        apps.iter().map(|_| std::sync::OnceLock::new()).collect();
     let n_threads = p.n_threads(jobs.len());
     // mpsc receivers are not cloneable, so workers claim jobs through a
     // shared atomic cursor over the job list instead of a job channel.
@@ -129,13 +162,25 @@ pub fn run_matrix(apps: &[String], pfs: &[&str], p: &SweepParams) -> Vec<RunResu
             let res_tx = res_tx.clone();
             let jobs = &jobs;
             let next_job = &next_job;
+            let baselines = &baselines;
             let p = *p;
             s.spawn(move || loop {
                 let k = next_job.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some((i, app, pf)) = jobs.get(k) else {
+                let Some((i, ai, app, pf)) = jobs.get(k) else {
                     break;
                 };
-                let r = run_one(app, pf, &p);
+                let baseline = *baselines[*ai].get_or_init(|| {
+                    if let Some(c) = baseline_runs {
+                        c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    run_baseline(app, &p)
+                });
+                let r = RunResult {
+                    app: app.clone(),
+                    pf: pf.clone(),
+                    baseline,
+                    with_pf: run_with_pf(app, pf, &p),
+                };
                 res_tx.send((*i, r)).expect("result channel open");
             });
         }
@@ -149,7 +194,7 @@ pub fn run_matrix(apps: &[String], pfs: &[&str], p: &SweepParams) -> Vec<RunResu
         // on an anonymous unwrap.
         let mut results = Vec::with_capacity(jobs.len());
         let mut dead: Vec<String> = Vec::new();
-        for (r, (_, app, pf)) in out.into_iter().zip(&jobs) {
+        for (r, (_, _, app, pf)) in out.into_iter().zip(&jobs) {
             match r {
                 Some(r) => results.push(r),
                 None => dead.push(format!("({app}, {pf})")),
@@ -223,6 +268,31 @@ mod tests {
     fn matrix_names_the_job_that_killed_its_worker() {
         let apps = vec!["no_such_app".to_string()];
         let _ = run_matrix(&apps, &["bo"], &tiny());
+    }
+
+    #[test]
+    fn matrix_computes_each_baseline_once_with_identical_results() {
+        let apps = vec!["433.milc".to_string(), "471.omnetpp".to_string()];
+        let n = std::sync::atomic::AtomicUsize::new(0);
+        let rs = run_matrix_counted(&apps, &["bo", "isb"], &tiny(), Some(&n));
+        assert_eq!(
+            n.load(std::sync::atomic::Ordering::Relaxed),
+            apps.len(),
+            "baseline must run exactly once per app, not once per job"
+        );
+        for r in &rs {
+            let ser = run_one(&r.app, &r.pf, &tiny());
+            assert_eq!(
+                format!("{:?}", r.baseline),
+                format!("{:?}", ser.baseline),
+                "shared baseline must be bit-identical to a per-job run"
+            );
+            assert_eq!(
+                format!("{:?}", r.with_pf),
+                format!("{:?}", ser.with_pf),
+                "dedup must not perturb the measured run"
+            );
+        }
     }
 
     #[test]

@@ -45,14 +45,18 @@ pub const NN_KERNEL_FILES: &[&str] = &[
     "crates/nn/src/mlp.rs",
     "crates/nn/src/activation.rs",
     "crates/nn/src/simd.rs",
+    "crates/nn/src/quant.rs",
 ];
 
-/// The one module allowed to contain `std::arch`/`core::arch` intrinsics
-/// and `target_feature` dispatch: every vectorized loop lives here, next
-/// to its scalar twin and the bitwise tests, behind the runtime-selected
-/// `KernelBackend`. Everything else goes through the safe wrappers
+/// The modules allowed to contain `std::arch`/`core::arch` intrinsics
+/// and `target_feature` dispatch: every vectorized loop lives in
+/// `simd.rs`, next to its scalar twin and the bitwise tests, behind the
+/// runtime-selected `KernelBackend`; `quant.rs` is the int8 datapath
+/// built directly on those kernels (it holds no intrinsics today, but
+/// its packing/layout helpers are kernel-shaped and reviewed under the
+/// same rules). Everything else goes through the safe wrappers
 /// (`simd-outside-kernel`).
-pub const SIMD_KERNEL_FILES: &[&str] = &["crates/nn/src/simd.rs"];
+pub const SIMD_KERNEL_FILES: &[&str] = &["crates/nn/src/simd.rs", "crates/nn/src/quant.rs"];
 
 /// The serving datapath: files every decision request crosses. A panic
 /// here takes down the whole server, not just one session, so
@@ -132,7 +136,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "simd-outside-kernel",
-        "std::arch/core::arch intrinsics, target_feature, or is_x86_feature_detected! outside crates/nn/src/simd.rs; use the resemble_nn::simd wrappers",
+        "std::arch/core::arch intrinsics, target_feature, or is_x86_feature_detected! outside the SIMD kernel set (crates/nn/src/{simd,quant}.rs); use the resemble_nn::simd wrappers",
     ),
     (
         "unsafe-undocumented",

@@ -38,5 +38,5 @@ pub use io::{load_mlp, save_mlp};
 pub use matrix::Matrix;
 pub use mlp::{BatchScratch, GradBuffer, Mlp, Scratch};
 pub use optim::{Adam, Optimizer, Sgd};
-pub use quant::{argmax_agreement, quantize_mlp, QuantSpec};
-pub use simd::KernelBackend;
+pub use quant::{argmax_agreement, quantize_mlp, QuantSpec, QuantizedMlp};
+pub use simd::{CpuCaps, KernelBackend};

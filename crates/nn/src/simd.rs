@@ -40,6 +40,42 @@
 //! which the backend-sweep proptest (`crates/nn/tests/backend_sweep.rs`)
 //! and this module's unit tests pin.
 //!
+//! # Int8 kernels: exactness, not order
+//!
+//! The int8 GEMM ([`gemm_i8_i32`]) obeys a *different* — and simpler —
+//! determinism argument. Every product of two i8 values and every partial
+//! sum fits an i32 exactly (|Σ| ≤ k·127², and the wrapper asserts `k ≤
+//! 130_000` so that bound stays below `i32::MAX`), and exact integer
+//! addition is associative, so *any* summation order — including the
+//! horizontal reductions the float kernels must avoid — yields the same
+//! i32. Backends therefore agree byte-for-byte by arithmetic exactness
+//! rather than by matching accumulation order; the cross-backend sweep in
+//! `crates/nn/tests/int8_sweep.rs` pins it. [`gemm_i8p_lanes`] applies
+//! the same argument to the small-`k`, wide-`fan_out` layer shape (the
+//! wide frozen controller's input layer): the weights are pre-staged as
+//! i16 `(k, k+1)` pairs interleaved across outputs so one `madd` yields
+//! eight exact i32 partial sums, and again any accumulation order gives
+//! identical bytes.
+//!
+//! The elementwise int8 helpers ([`max_abs_f32`] and [`quantize_i8`])
+//! are dispatched too, with a third determinism argument: `max` over a
+//! set is order-free, and a per-element map has no accumulation at all —
+//! every backend evaluates the identical IEEE expression per element
+//! (multiply by the reciprocal scale, round half away from zero computed
+//! as exact truncate-plus-fraction-compare, clamp, narrow). The one
+//! caveat, documented on [`quantize_i8`], is non-finite input: scalar
+//! Rust saturating casts and x86 `cvttps2dq` disagree on NaN/±inf, so
+//! cross-backend identity is promised for finite inputs only. The
+//! dequant/bias/activation epilogue stays in `quant.rs` as shared
+//! non-dispatched code, so the full quantized forward pass inherits the
+//! same guarantee.
+//!
+//! [`capabilities`] additionally reports the wider-ISA feature bits
+//! (`avx512f`, `avx512-vnni`, `avx-vnni`) so future VNNI/AVX-512 int8
+//! lanes can slot in behind the same dispatch; those features are
+//! *reported* but not yet dispatched to — [`KernelBackend`] stays
+//! AVX2/SSE2/scalar.
+//!
 //! The `simd-outside-kernel` lint rule keeps all `std::arch` usage inside
 //! this file; add new kernels here (see CONTRIBUTING.md).
 
@@ -170,6 +206,132 @@ pub fn dispatched() -> KernelBackend {
             }
         }
     })
+}
+
+/// CPU feature bits relevant to current and planned kernel lanes,
+/// detected once per process. [`KernelBackend`] dispatch only uses
+/// SSE2/AVX2 today; the wider bits (`avx512f`, `avx512_vnni`, `avx_vnni`)
+/// are reported so telemetry/benchmarks can show what a host *could* run
+/// and so future VNNI/AVX-512 int8 lanes can gate on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuCaps {
+    /// Baseline 128-bit SIMD (architecturally guaranteed on x86-64).
+    pub sse2: bool,
+    /// 256-bit integer/float SIMD — the widest lane currently dispatched.
+    pub avx2: bool,
+    /// AVX-512 foundation, including the OS having enabled zmm state
+    /// (XCR0 opmask/zmm bits) — false if the CPU has it but the OS
+    /// doesn't save the registers.
+    pub avx512f: bool,
+    /// AVX-512 VNNI int8 dot-product instructions (`vpdpbusd` in EVEX
+    /// form); implies usable AVX-512 state.
+    pub avx512_vnni: bool,
+    /// AVX-VNNI: the VEX-encoded (256-bit) int8 dot-product subset, for
+    /// CPUs without full AVX-512.
+    pub avx_vnni: bool,
+}
+
+impl CpuCaps {
+    /// Space-separated list of the detected feature names, stable order,
+    /// `"none"` when nothing beyond portable scalar is present — for
+    /// telemetry snapshots and benchmark reports.
+    pub fn summary(self) -> String {
+        let mut names = Vec::new();
+        if self.sse2 {
+            names.push("sse2");
+        }
+        if self.avx2 {
+            names.push("avx2");
+        }
+        if self.avx512f {
+            names.push("avx512f");
+        }
+        if self.avx512_vnni {
+            names.push("avx512-vnni");
+        }
+        if self.avx_vnni {
+            names.push("avx-vnni");
+        }
+        if names.is_empty() {
+            "none".to_owned()
+        } else {
+            names.join(" ")
+        }
+    }
+}
+
+/// The host's CPU feature bits, detected once (see [`CpuCaps`]).
+pub fn capabilities() -> CpuCaps {
+    static CAPS: OnceLock<CpuCaps> = OnceLock::new();
+    *CAPS.get_or_init(detect_caps)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_caps() -> CpuCaps {
+    use core::arch::x86_64::{__cpuid, __cpuid_count, _xgetbv};
+
+    /// `xgetbv(0)` reads XCR0, the OS-enabled extended-state mask.
+    ///
+    /// SAFETY: caller only invokes this after CPUID leaf 1 ECX reports
+    /// both XSAVE (bit 26) and OSXSAVE (bit 27) — OSXSAVE set means the
+    /// OS enabled CR4.OSXSAVE, which architecturally makes XGETBV(0)
+    /// legal.
+    #[target_feature(enable = "xsave")]
+    unsafe fn xcr0() -> u64 {
+        // SAFETY: target_feature-only unsafety; the caller contract above
+        // guarantees the instruction is enabled.
+        unsafe { _xgetbv(0) }
+    }
+
+    // CPUID leaf 0 is valid on every x86-64 CPU (the ISA guarantees the
+    // instruction, leaf 0 reports the max leaf) and the intrinsic is safe
+    // on this target; leaf 1 predates the 64-bit ISA.
+    let max_leaf = __cpuid(0).eax;
+    let leaf1 = __cpuid(1);
+    let osxsave = leaf1.ecx & (1 << 26) != 0 && leaf1.ecx & (1 << 27) != 0;
+    // SAFETY: xcr0() is guarded on XSAVE+OSXSAVE per its contract.
+    let xcr0 = if osxsave { unsafe { xcr0() } } else { 0 };
+    // AVX needs xmm+ymm state (XCR0 bits 1-2); AVX-512 additionally needs
+    // opmask+zmm state (bits 5-7).
+    let os_avx = xcr0 & 0x6 == 0x6;
+    let os_avx512 = os_avx && xcr0 & 0xe0 == 0xe0;
+
+    let (l7_0, l7_max_sub) = if max_leaf >= 7 {
+        // Guarded on max_leaf >= 7, so leaf 7 subleaf 0 is valid.
+        let r = __cpuid_count(7, 0);
+        (Some(r), r.eax)
+    } else {
+        (None, 0)
+    };
+    let l7_1 = if max_leaf >= 7 && l7_max_sub >= 1 {
+        // Guarded on leaf 7 existing and its EAX (max subleaf) covering
+        // subleaf 1.
+        Some(__cpuid_count(7, 1))
+    } else {
+        None
+    };
+
+    let ebx7 = l7_0.map_or(0, |r| r.ebx);
+    let ecx7 = l7_0.map_or(0, |r| r.ecx);
+    let eax7_1 = l7_1.map_or(0, |r| r.eax);
+    CpuCaps {
+        sse2: std::arch::is_x86_feature_detected!("sse2"),
+        avx2: std::arch::is_x86_feature_detected!("avx2"),
+        avx512f: os_avx512 && ebx7 & (1 << 16) != 0,
+        avx512_vnni: os_avx512 && ecx7 & (1 << 11) != 0,
+        avx_vnni: os_avx && eax7_1 & (1 << 4) != 0,
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_caps() -> CpuCaps {
+    CpuCaps {
+        sse2: false,
+        avx2: false,
+        avx512f: false,
+        avx512_vnni: false,
+        avx_vnni: false,
+    }
 }
 
 thread_local! {
@@ -310,6 +472,160 @@ pub(crate) fn tanh_mask(be: KernelBackend, deltas: &mut [f32], ys: &[f32]) {
 /// Batched sigmoid chain-rule step: `d *= y · (1.0 - y)`.
 pub(crate) fn sigmoid_mask(be: KernelBackend, deltas: &mut [f32], ys: &[f32]) {
     dispatch!(be, sigmoid_mask(deltas, ys));
+}
+
+/// Int8 GEMM with exact i32 accumulation: `acc[r·cols + c] = Σ_k
+/// x[r·k_dim + k] · w[c·k_dim + k]` where `rows = x.len() / k_dim` and
+/// `cols = w.len() / k_dim` (both operands row-major with the shared
+/// inner dimension contiguous — `w` rows are output neurons).
+///
+/// Bit-identity across backends holds by *exactness*, not order: with
+/// inputs in `[-127, 127]` and `k_dim ≤ 130_000` (asserted), every
+/// partial sum fits an i32 exactly and integer addition is associative,
+/// so the vector lanes may reduce horizontally and still match the
+/// scalar reference byte-for-byte (see the module docs).
+pub(crate) fn gemm_i8_i32(be: KernelBackend, acc: &mut [i32], x: &[i8], w: &[i8], k_dim: usize) {
+    assert!(
+        k_dim <= 130_000,
+        "gemm_i8_i32: k_dim {k_dim} exceeds the exact-i32 headroom (k·127² must stay below i32::MAX)"
+    );
+    if k_dim == 0 {
+        acc.fill(0);
+        return;
+    }
+    assert!(
+        x.len().is_multiple_of(k_dim) && w.len().is_multiple_of(k_dim),
+        "gemm_i8_i32: operand lengths {}/{} not multiples of k_dim {k_dim}",
+        x.len(),
+        w.len()
+    );
+    assert_eq!(
+        acc.len(),
+        (x.len() / k_dim) * (w.len() / k_dim),
+        "gemm_i8_i32: acc length mismatch"
+    );
+    match be {
+        // SAFETY: `Avx2` only reaches the wrappers after runtime
+        // detection (module invariant — see `KernelBackend`), so the
+        // target_feature fn's CPU requirement holds.
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 => unsafe { i8x86::avx2_gemm_i8_i32(acc, x, w, k_dim) },
+        // SAFETY: `Sse2` is only constructed on x86_64, where SSE2 is
+        // architecturally guaranteed.
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Sse2 => unsafe { i8x86::sse2_gemm_i8_i32(acc, x, w, k_dim) },
+        _ => scalar::gemm_i8_i32(acc, x, w, k_dim),
+    }
+}
+
+/// Pair-interleaved int8 matvec for small-`k`, wide-`fan_out` layers:
+/// `acc[r] = Σ_p x0_p · wt[(p·fan_out + r)·2] + x1_p ·
+/// wt[(p·fan_out + r)·2 + 1]`, overwriting `acc`.
+///
+/// `xpairs[p]` packs the quantized input pair `(x[2p], x[2p+1])` as two
+/// little-endian i16 lanes of one i32 (see [`pack_i8_pairs`]); `wt` holds
+/// the matching weight pairs interleaved across outputs so the vector
+/// backends read eight consecutive outputs per 256-bit load and one
+/// `madd` produces eight exact i32 pair-sums. Exactness, not order: each
+/// i16·i16 pair-product sum is ≤ 2·127² and the wrapper bounds the pair
+/// count, so any accumulation order matches the scalar reference
+/// byte-for-byte.
+pub(crate) fn gemm_i8p_lanes(
+    be: KernelBackend,
+    acc: &mut [i32],
+    xpairs: &[i32],
+    wt: &[i16],
+    fan_out: usize,
+) {
+    assert!(
+        xpairs.len() <= 65_000,
+        "gemm_i8p_lanes: pair count {} exceeds the exact-i32 headroom",
+        xpairs.len()
+    );
+    assert_eq!(acc.len(), fan_out, "gemm_i8p_lanes: acc length mismatch");
+    assert_eq!(
+        wt.len(),
+        xpairs.len() * fan_out * 2,
+        "gemm_i8p_lanes: weight layout mismatch"
+    );
+    if xpairs.is_empty() || fan_out == 0 {
+        acc.fill(0);
+        return;
+    }
+    match be {
+        // SAFETY: `Avx2` only reaches the wrappers after runtime
+        // detection (module invariant — see `KernelBackend`), so the
+        // target_feature fn's CPU requirement holds.
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 => unsafe { i8x86::avx2_gemm_i8p_lanes(acc, xpairs, wt, fan_out) },
+        // SAFETY: `Sse2` is only constructed on x86_64, where SSE2 is
+        // architecturally guaranteed.
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Sse2 => unsafe { i8x86::sse2_gemm_i8p_lanes(acc, xpairs, wt, fan_out) },
+        _ => scalar::gemm_i8p_lanes(acc, xpairs, wt, fan_out),
+    }
+}
+
+/// Pack a quantized row into the little-endian i16-pair format
+/// [`gemm_i8p_lanes`] consumes: `out[p]` holds `(x[2p], x[2p+1])` with an
+/// implicit zero for the odd tail. Shared (non-dispatched) by
+/// construction — it is pure bit shuffling.
+pub(crate) fn pack_i8_pairs(x: &[i8], out: &mut Vec<i32>) {
+    out.clear();
+    let mut it = x.chunks_exact(2);
+    for pair in &mut it {
+        // lint:allow(lossy-cast): i16->u16 bit reinterpret packs the sign-extended lane
+        let (l0, l1) = (i16::from(pair[0]) as u16, i16::from(pair[1]) as u16);
+        out.push(i32::from(l0) | (i32::from(l1) << 16));
+    }
+    if let Some(&x0) = it.remainder().first() {
+        // lint:allow(lossy-cast): i16->u16 bit reinterpret packs the sign-extended lane
+        out.push(i32::from(i16::from(x0) as u16));
+    }
+}
+
+/// Maximum absolute value of `x` (`0.0` when empty). `max` over a set is
+/// order-free — every reduction tree yields the same f32 for finite
+/// inputs — so the vector backends match the scalar fold byte-for-byte.
+pub(crate) fn max_abs_f32(be: KernelBackend, x: &[f32]) -> f32 {
+    match be {
+        // SAFETY: `Avx2` only reaches the wrappers after runtime
+        // detection (module invariant — see `KernelBackend`).
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 => unsafe { i8x86::avx2_max_abs_f32(x) },
+        // SAFETY: `Sse2` is only constructed on x86_64, where SSE2 is
+        // architecturally guaranteed.
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Sse2 => unsafe { i8x86::sse2_max_abs_f32(x) },
+        _ => scalar::max_abs_f32(x),
+    }
+}
+
+/// Elementwise int8 quantization: `dst[i] =
+/// clamp(round_half_away(src[i] · inv), -127, 127)` with round-half-away
+/// computed as exact truncation plus a fraction compare (`t = trunc(x)`,
+/// `r = x - t`, add ±1 when `|r| ≥ 0.5`) — both steps exact in f32 for
+/// the `|x| ≲ 127` domain the reciprocal scale guarantees, so every
+/// backend produces identical codes without needing a vector `round`.
+///
+/// Non-finite inputs are the one documented gap: Rust's saturating
+/// float→int cast and x86 `cvttps2dq` disagree on NaN/±inf, so the
+/// cross-backend byte-identity promise holds for finite `src` only
+/// (callers in `quant.rs` derive `inv` from the same row, which keeps
+/// finite rows in-domain).
+pub(crate) fn quantize_i8(be: KernelBackend, src: &[f32], dst: &mut [i8], inv: f32) {
+    assert_eq!(src.len(), dst.len(), "quantize_i8: length mismatch");
+    match be {
+        // SAFETY: `Avx2` only reaches the wrappers after runtime
+        // detection (module invariant — see `KernelBackend`).
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 => unsafe { i8x86::avx2_quantize_i8(src, dst, inv) },
+        // SAFETY: `Sse2` is only constructed on x86_64, where SSE2 is
+        // architecturally guaranteed.
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Sse2 => unsafe { i8x86::sse2_quantize_i8(src, dst, inv) },
+        _ => scalar::quantize_i8(src, dst, inv),
+    }
 }
 
 /// The portable fallback: the original scalar kernels, moved here
@@ -503,6 +819,81 @@ mod scalar {
     pub(super) fn sigmoid_mask(deltas: &mut [f32], ys: &[f32]) {
         for (d, &y) in deltas.iter_mut().zip(ys) {
             *d *= y * (1.0 - y);
+        }
+    }
+
+    /// See [`super::gemm_i8_i32`] — the exact-i32 reference. Widening
+    /// through `i32::from` (infallible), no `as` casts.
+    #[inline(never)]
+    pub(super) fn gemm_i8_i32(acc: &mut [i32], x: &[i8], w: &[i8], k_dim: usize) {
+        if k_dim == 0 {
+            acc.fill(0);
+            return;
+        }
+        let mut out = acc.iter_mut();
+        for xrow in x.chunks_exact(k_dim) {
+            for wrow in w.chunks_exact(k_dim) {
+                let mut s = 0i32;
+                for (&xv, &wv) in xrow.iter().zip(wrow) {
+                    s += i32::from(xv) * i32::from(wv);
+                }
+                if let Some(slot) = out.next() {
+                    *slot = s;
+                }
+            }
+        }
+    }
+
+    /// See [`super::gemm_i8p_lanes`] — the exact-i32 reference over the
+    /// pair-interleaved layout. Unpacks each packed i32 back into its two
+    /// i16 lanes with infallible conversions.
+    #[inline(never)]
+    pub(super) fn gemm_i8p_lanes(acc: &mut [i32], xpairs: &[i32], wt: &[i16], fan_out: usize) {
+        acc.fill(0);
+        for (p, &xp) in xpairs.iter().enumerate() {
+            // lint:allow(lossy-cast): exact lane unpack of the 16-bit halves
+            let x0 = i32::from((xp & 0xFFFF) as u16 as i16);
+            // lint:allow(lossy-cast): exact lane unpack of the 16-bit halves
+            let x1 = i32::from((xp >> 16) as u16 as i16);
+            let row = &wt[p * fan_out * 2..(p + 1) * fan_out * 2];
+            for (slot, wp) in acc.iter_mut().zip(row.chunks_exact(2)) {
+                *slot += x0 * i32::from(wp[0]) + x1 * i32::from(wp[1]);
+            }
+        }
+    }
+
+    /// See [`super::max_abs_f32`].
+    #[inline(never)]
+    pub(super) fn max_abs_f32(x: &[f32]) -> f32 {
+        let mut m = 0.0f32;
+        for &v in x {
+            let a = v.abs();
+            if a > m {
+                m = a;
+            }
+        }
+        m
+    }
+
+    /// One element of [`super::quantize_i8`]: truncate, compare the exact
+    /// fraction against ±0.5, clamp. Shared with the vector remainder
+    /// loops so tails are identical by construction.
+    #[inline]
+    pub(super) fn quantize_one_i8(v: f32, inv: f32) -> i8 {
+        let x = v * inv;
+        // lint:allow(lossy-cast): saturating truncation is the documented rounding primitive
+        let t = x as i32;
+        let r = x - t as f32;
+        let q = t + i32::from(r >= 0.5) - i32::from(r <= -0.5);
+        // lint:allow(lossy-cast): clamped to the i8 range on the previous step
+        q.clamp(-127, 127) as i8
+    }
+
+    /// See [`super::quantize_i8`].
+    #[inline(never)]
+    pub(super) fn quantize_i8(src: &[f32], dst: &mut [i8], inv: f32) {
+        for (d, &v) in dst.iter_mut().zip(src) {
+            *d = quantize_one_i8(v, inv);
         }
     }
 }
@@ -896,6 +1287,336 @@ x86_kernel_set!(
     _mm_cmplt_ps
 );
 
+/// Vector int8 dot-product kernels. Unlike the float kernel sets these
+/// *do* reduce horizontally — exact i32 arithmetic makes any summation
+/// order bit-identical (see the module docs), so the layout is chosen for
+/// speed, not to mirror the scalar loop.
+///
+/// The AVX2 lane follows the `maddubs`-style two-step shape without the
+/// u8×i8 saturation hazard: sign-extend 16 i8 to 16 i16
+/// (`vpmovsxbw`), then `vpmaddwd` pairs into 8 exact i32 partials —
+/// exact because i8-range products are ≤ 16129 and a pair sum ≤ 32258
+/// can't overflow the *i32* madd output (i16 saturation inside madd only
+/// occurs for both inputs = -32768, unreachable from i8). A future VNNI
+/// lane (`vpdpbusd`, see [`super::capabilities`]) collapses the same
+/// reduction into one instruction behind this same dispatch point.
+#[cfg(target_arch = "x86_64")]
+mod i8x86 {
+    use core::arch::x86_64::*;
+
+    /// Exact i32 dot product of two i8 slices (overlapping prefix).
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `gemm_i8_i32` dispatcher after runtime detection of AVX2; pointer
+    // offsets stay below the `i + 16 <= n` slice bound.
+    #[target_feature(enable = "avx2")]
+    unsafe fn avx2_dot_i8(x: &[i8], w: &[i8]) -> i32 {
+        let n = x.len().min(w.len());
+        let mut accv = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let xv = _mm_loadu_si128(x.as_ptr().add(i).cast());
+            let wv = _mm_loadu_si128(w.as_ptr().add(i).cast());
+            let xw = _mm256_cvtepi8_epi16(xv);
+            let ww = _mm256_cvtepi8_epi16(wv);
+            accv = _mm256_add_epi32(accv, _mm256_madd_epi16(xw, ww));
+            i += 16;
+        }
+        let lo = _mm256_castsi256_si128(accv);
+        let hi = _mm256_extracti128_si256::<1>(accv);
+        let s4 = _mm_add_epi32(lo, hi);
+        let s2 = _mm_add_epi32(s4, _mm_unpackhi_epi64(s4, s4));
+        let s1 = _mm_add_epi32(s2, _mm_shuffle_epi32::<1>(s2));
+        let mut sum = _mm_cvtsi128_si32(s1);
+        for (&xv, &wv) in x[i..n].iter().zip(&w[i..n]) {
+            sum += i32::from(xv) * i32::from(wv);
+        }
+        sum
+    }
+
+    /// Exact i32 dot product, SSE2 lane: sign-extension via the
+    /// unpack-with-self + arithmetic-shift idiom (no `pmovsx` before
+    /// SSE4.1), then the same exact `pmaddwd` reduction.
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `gemm_i8_i32` dispatcher (SSE2 is baseline on x86-64); pointer
+    // offsets stay below the `i + 16 <= n` slice bound.
+    #[target_feature(enable = "sse2")]
+    unsafe fn sse2_dot_i8(x: &[i8], w: &[i8]) -> i32 {
+        let n = x.len().min(w.len());
+        let mut accv = _mm_setzero_si128();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let xv = _mm_loadu_si128(x.as_ptr().add(i).cast());
+            let wv = _mm_loadu_si128(w.as_ptr().add(i).cast());
+            let xlo = _mm_srai_epi16::<8>(_mm_unpacklo_epi8(xv, xv));
+            let xhi = _mm_srai_epi16::<8>(_mm_unpackhi_epi8(xv, xv));
+            let wlo = _mm_srai_epi16::<8>(_mm_unpacklo_epi8(wv, wv));
+            let whi = _mm_srai_epi16::<8>(_mm_unpackhi_epi8(wv, wv));
+            accv = _mm_add_epi32(accv, _mm_madd_epi16(xlo, wlo));
+            accv = _mm_add_epi32(accv, _mm_madd_epi16(xhi, whi));
+            i += 16;
+        }
+        let s2 = _mm_add_epi32(accv, _mm_unpackhi_epi64(accv, accv));
+        let s1 = _mm_add_epi32(s2, _mm_shuffle_epi32::<1>(s2));
+        let mut sum = _mm_cvtsi128_si32(s1);
+        for (&xv, &wv) in x[i..n].iter().zip(&w[i..n]) {
+            sum += i32::from(xv) * i32::from(wv);
+        }
+        sum
+    }
+
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `gemm_i8_i32` dispatcher after runtime detection of AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn avx2_gemm_i8_i32(acc: &mut [i32], x: &[i8], w: &[i8], k_dim: usize) {
+        if k_dim == 0 {
+            acc.fill(0);
+            return;
+        }
+        let mut out = acc.iter_mut();
+        for xrow in x.chunks_exact(k_dim) {
+            for wrow in w.chunks_exact(k_dim) {
+                let s = avx2_dot_i8(xrow, wrow);
+                if let Some(slot) = out.next() {
+                    *slot = s;
+                }
+            }
+        }
+    }
+
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `gemm_i8_i32` dispatcher (SSE2 is baseline on x86-64).
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn sse2_gemm_i8_i32(acc: &mut [i32], x: &[i8], w: &[i8], k_dim: usize) {
+        if k_dim == 0 {
+            acc.fill(0);
+            return;
+        }
+        let mut out = acc.iter_mut();
+        for xrow in x.chunks_exact(k_dim) {
+            for wrow in w.chunks_exact(k_dim) {
+                let s = sse2_dot_i8(xrow, wrow);
+                if let Some(slot) = out.next() {
+                    *slot = s;
+                }
+            }
+        }
+    }
+
+    /// Pair-interleaved matvec, AVX2 lane: broadcast one packed input
+    /// pair, `pmaddwd` it against eight consecutive outputs' weight pairs
+    /// per load. Each `madd` lane is one exact pair-sum (≤ 2·127²), so
+    /// the i32 adds are the same integers the scalar reference computes.
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `gemm_i8p_lanes` dispatcher after runtime detection of AVX2; the
+    // wrapper's length asserts guarantee every pointer offset below is
+    // in bounds.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn avx2_gemm_i8p_lanes(
+        acc: &mut [i32],
+        xpairs: &[i32],
+        wt: &[i16],
+        fan_out: usize,
+    ) {
+        let mut r = 0usize;
+        while r + 8 <= fan_out {
+            let mut accv = _mm256_setzero_si256();
+            for (p, &xp) in xpairs.iter().enumerate() {
+                let xv = _mm256_set1_epi32(xp);
+                let wv = _mm256_loadu_si256(wt.as_ptr().add((p * fan_out + r) * 2).cast());
+                accv = _mm256_add_epi32(accv, _mm256_madd_epi16(xv, wv));
+            }
+            _mm256_storeu_si256(acc.as_mut_ptr().add(r).cast(), accv);
+            r += 8;
+        }
+        lanes_tail_i8p(&mut acc[r..], xpairs, wt, fan_out, r);
+    }
+
+    /// Pair-interleaved matvec, SSE2 lane: identical structure 4-wide.
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `gemm_i8p_lanes` dispatcher (SSE2 is baseline on x86-64); the
+    // wrapper's length asserts keep every offset in bounds.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn sse2_gemm_i8p_lanes(
+        acc: &mut [i32],
+        xpairs: &[i32],
+        wt: &[i16],
+        fan_out: usize,
+    ) {
+        let mut r = 0usize;
+        while r + 4 <= fan_out {
+            let mut accv = _mm_setzero_si128();
+            for (p, &xp) in xpairs.iter().enumerate() {
+                let xv = _mm_set1_epi32(xp);
+                let wv = _mm_loadu_si128(wt.as_ptr().add((p * fan_out + r) * 2).cast());
+                accv = _mm_add_epi32(accv, _mm_madd_epi16(xv, wv));
+            }
+            _mm_storeu_si128(acc.as_mut_ptr().add(r).cast(), accv);
+            r += 4;
+        }
+        lanes_tail_i8p(&mut acc[r..], xpairs, wt, fan_out, r);
+    }
+
+    /// Shared scalar remainder for the pair-interleaved kernels: the
+    /// outputs past the last full vector, computed with the reference
+    /// expressions so tails match `mod scalar` by construction.
+    fn lanes_tail_i8p(tail: &mut [i32], xpairs: &[i32], wt: &[i16], fan_out: usize, base: usize) {
+        for (j, slot) in tail.iter_mut().enumerate() {
+            let r = base + j;
+            let mut s = 0i32;
+            for (p, &xp) in xpairs.iter().enumerate() {
+                // lint:allow(lossy-cast): exact lane unpack of the 16-bit halves
+                let x0 = i32::from((xp & 0xFFFF) as u16 as i16);
+                // lint:allow(lossy-cast): exact lane unpack of the 16-bit halves
+                let x1 = i32::from((xp >> 16) as u16 as i16);
+                let w0 = i32::from(wt[(p * fan_out + r) * 2]);
+                let w1 = i32::from(wt[(p * fan_out + r) * 2 + 1]);
+                s += x0 * w0 + x1 * w1;
+            }
+            *slot = s;
+        }
+    }
+
+    /// Max-|x| fold, AVX2 lane: abs via sign-bit mask, `maxps` fold,
+    /// horizontal max, scalar tail. `max` is order-free over finite
+    /// floats, so the tree reduction equals the scalar left fold.
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `max_abs_f32` dispatcher after runtime detection of AVX2; offsets
+    // stay below the `i + 8 <= n` bound.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn avx2_max_abs_f32(x: &[f32]) -> f32 {
+        let n = x.len();
+        let mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFF_FFFF));
+        let mut mv = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let v = _mm256_and_ps(mask, _mm256_loadu_ps(x.as_ptr().add(i)));
+            mv = _mm256_max_ps(mv, v);
+            i += 8;
+        }
+        let lo = _mm256_castps256_ps128(mv);
+        let hi = _mm256_extractf128_ps::<1>(mv);
+        let m4 = _mm_max_ps(lo, hi);
+        let m2 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+        let m1 = _mm_max_ss(m2, _mm_shuffle_ps::<1>(m2, m2));
+        let mut m = _mm_cvtss_f32(m1);
+        for &v in &x[i..] {
+            let a = v.abs();
+            if a > m {
+                m = a;
+            }
+        }
+        m
+    }
+
+    /// Max-|x| fold, SSE2 lane: identical structure 4-wide.
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `max_abs_f32` dispatcher (SSE2 is baseline on x86-64); offsets
+    // stay below the `i + 4 <= n` bound.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn sse2_max_abs_f32(x: &[f32]) -> f32 {
+        let n = x.len();
+        let mask = _mm_castsi128_ps(_mm_set1_epi32(0x7FFF_FFFF));
+        let mut mv = _mm_setzero_ps();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let v = _mm_and_ps(mask, _mm_loadu_ps(x.as_ptr().add(i)));
+            mv = _mm_max_ps(mv, v);
+            i += 4;
+        }
+        let m2 = _mm_max_ps(mv, _mm_movehl_ps(mv, mv));
+        let m1 = _mm_max_ss(m2, _mm_shuffle_ps::<1>(m2, m2));
+        let mut m = _mm_cvtss_f32(m1);
+        for &v in &x[i..] {
+            let a = v.abs();
+            if a > m {
+                m = a;
+            }
+        }
+        m
+    }
+
+    /// Elementwise quantize, AVX2 lane: multiply by the reciprocal scale,
+    /// truncate (`cvttps2dq`), recover the exact fraction, adjust by the
+    /// ±0.5 compares (`_OQ`: false on NaN, matching the scalar compare),
+    /// clamp in i32, then pack 8 lanes down to i8.
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `quantize_i8` dispatcher after runtime detection of AVX2; the
+    // wrapper asserts `src.len() == dst.len()` and offsets stay below the
+    // `i + 8 <= n` bound.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn avx2_quantize_i8(src: &[f32], dst: &mut [i8], inv: f32) {
+        let n = src.len();
+        let invv = _mm256_set1_ps(inv);
+        let half = _mm256_set1_ps(0.5);
+        let nhalf = _mm256_set1_ps(-0.5);
+        let lo = _mm256_set1_epi32(-127);
+        let hi = _mm256_set1_epi32(127);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let x = _mm256_mul_ps(_mm256_loadu_ps(src.as_ptr().add(i)), invv);
+            let t = _mm256_cvttps_epi32(x);
+            let r = _mm256_sub_ps(x, _mm256_cvtepi32_ps(t));
+            let ge = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_GE_OQ>(r, half));
+            let le = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_LE_OQ>(r, nhalf));
+            // Masks are all-ones (-1) where true: subtracting `ge` adds 1,
+            // adding `le` subtracts 1 — the round-half-away adjustment.
+            let q = _mm256_add_epi32(_mm256_sub_epi32(t, ge), le);
+            let q = _mm256_max_epi32(lo, _mm256_min_epi32(hi, q));
+            let qlo = _mm256_castsi256_si128(q);
+            let qhi = _mm256_extracti128_si256::<1>(q);
+            let w = _mm_packs_epi32(qlo, qhi);
+            let b = _mm_packs_epi16(w, w);
+            _mm_storel_epi64(dst.as_mut_ptr().add(i).cast(), b);
+            i += 8;
+        }
+        for (d, &v) in dst[i..].iter_mut().zip(&src[i..]) {
+            *d = super::scalar::quantize_one_i8(v, inv);
+        }
+    }
+
+    /// Elementwise quantize, SSE2 lane: same structure 4-wide; the i32
+    /// clamp is a compare-and-blend (SSE2 has no `pminsd`/`pmaxsd`).
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `quantize_i8` dispatcher (SSE2 is baseline on x86-64); the wrapper
+    // asserts `src.len() == dst.len()` and offsets stay below the
+    // `i + 4 <= n` bound.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn sse2_quantize_i8(src: &[f32], dst: &mut [i8], inv: f32) {
+        let n = src.len();
+        let invv = _mm_set1_ps(inv);
+        let half = _mm_set1_ps(0.5);
+        let nhalf = _mm_set1_ps(-0.5);
+        let lo = _mm_set1_epi32(-127);
+        let hi = _mm_set1_epi32(127);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let x = _mm_mul_ps(_mm_loadu_ps(src.as_ptr().add(i)), invv);
+            let t = _mm_cvttps_epi32(x);
+            let r = _mm_sub_ps(x, _mm_cvtepi32_ps(t));
+            let ge = _mm_castps_si128(_mm_cmpge_ps(r, half));
+            let le = _mm_castps_si128(_mm_cmple_ps(r, nhalf));
+            // Masks are all-ones (-1) where true: subtracting `ge` adds 1,
+            // adding `le` subtracts 1 — the round-half-away adjustment.
+            let q = _mm_add_epi32(_mm_sub_epi32(t, ge), le);
+            // min(hi, q): keep q where q < hi, else hi; then max(lo, ·).
+            let qlt = _mm_cmplt_epi32(q, hi);
+            let q = _mm_or_si128(_mm_and_si128(qlt, q), _mm_andnot_si128(qlt, hi));
+            let qgt = _mm_cmpgt_epi32(q, lo);
+            let q = _mm_or_si128(_mm_and_si128(qgt, q), _mm_andnot_si128(qgt, lo));
+            let w = _mm_packs_epi32(q, q);
+            let b = _mm_packs_epi16(w, w);
+            // Four bytes of `b` are live; store via a scalar lane move to
+            // avoid writing past `dst`.
+            let quad = _mm_cvtsi128_si32(b);
+            dst.as_mut_ptr().add(i).cast::<i32>().write_unaligned(quad);
+            i += 4;
+        }
+        for (d, &v) in dst[i..].iter_mut().zip(&src[i..]) {
+            *d = super::scalar::quantize_one_i8(v, inv);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1099,5 +1820,185 @@ mod tests {
             assert_eq!(xs[4].to_bits(), 0.0f32.to_bits(), "{be}: tiny negative");
             assert!(xs[5].is_nan(), "{be}: NaN preserved");
         }
+    }
+
+    /// Deterministic pseudorandom i8 values covering the full ±127 range
+    /// (and never -128 — the quantizer's symmetric range).
+    fn i8_vals(n: usize, seed: u32) -> Vec<i8> {
+        let mut s = seed.wrapping_mul(2654435761).max(3);
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 17;
+                s ^= s << 5;
+                ((s % 255) as i16 - 127) as i8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gemm_i8_matches_scalar_exactly_across_backends() {
+        // Tail sizes around the 16-wide vector body, plus degenerate dims.
+        for be in non_scalar() {
+            for &k in &[0usize, 1, 2, 7, 15, 16, 17, 31, 32, 33, 48, 100] {
+                for (rows, cols) in [(0usize, 3usize), (1, 1), (2, 3), (3, 5), (4, 8)] {
+                    let x = i8_vals(rows * k, 21);
+                    let w = i8_vals(cols * k, 22);
+                    let mut want = vec![7i32; rows * cols];
+                    let mut got = want.clone();
+                    scalar::gemm_i8_i32(&mut want, &x, &w, k);
+                    super::gemm_i8_i32(be, &mut got, &x, &w, k);
+                    assert_eq!(got, want, "{be} i8 gemm {rows}x{cols} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_i8_extreme_magnitudes_do_not_overflow() {
+        // All-|127| operands at a length big enough to cross the vector
+        // body: partial sums reach k·127² and must remain exact.
+        let k = 1024usize;
+        let x = vec![127i8; k];
+        let w = vec![-127i8; k];
+        let mut want = vec![0i32; 1];
+        scalar::gemm_i8_i32(&mut want, &x, &w, k);
+        assert_eq!(want[0], -(k as i32) * 127 * 127);
+        for be in non_scalar() {
+            let mut got = vec![0i32; 1];
+            super::gemm_i8_i32(be, &mut got, &x, &w, k);
+            assert_eq!(got, want, "{be} extreme i8 gemm");
+        }
+    }
+
+    #[test]
+    fn pack_i8_pairs_round_trips_and_pads_odd_tails() {
+        let x = i8_vals(17, 31);
+        let mut packed = Vec::new();
+        super::pack_i8_pairs(&x, &mut packed);
+        assert_eq!(packed.len(), 9);
+        for (p, &xp) in packed.iter().enumerate() {
+            let x0 = (xp & 0xFFFF) as u16 as i16;
+            let x1 = (xp >> 16) as u16 as i16;
+            assert_eq!(x0, i16::from(x[2 * p]));
+            let want1 = x.get(2 * p + 1).copied().map_or(0, i16::from);
+            assert_eq!(x1, want1, "pair {p}");
+        }
+        // Reuse clears previous contents.
+        super::pack_i8_pairs(&[], &mut packed);
+        assert!(packed.is_empty());
+    }
+
+    #[test]
+    fn gemm_i8p_lanes_matches_scalar_exactly_across_backends() {
+        // fan_out values around the 4- and 8-wide vector bodies, and
+        // fan_in values crossing the odd-tail padding.
+        for be in non_scalar() {
+            for &k in &[0usize, 1, 2, 3, 4, 5, 8, 64] {
+                for &fan_out in &[0usize, 1, 3, 4, 5, 7, 8, 9, 16, 17, 33, 64] {
+                    let x = i8_vals(k, 41);
+                    let mut xpairs = Vec::new();
+                    super::pack_i8_pairs(&x, &mut xpairs);
+                    let wt = i8_vals(xpairs.len() * fan_out * 2, 42)
+                        .into_iter()
+                        .map(i16::from)
+                        .collect::<Vec<_>>();
+                    let mut want = vec![7i32; fan_out];
+                    let mut got = vec![-7i32; fan_out];
+                    scalar::gemm_i8p_lanes(&mut want, &xpairs, &wt, fan_out);
+                    super::gemm_i8p_lanes(be, &mut got, &xpairs, &wt, fan_out);
+                    assert_eq!(got, want, "{be} i8p lanes k={k} fan_out={fan_out}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_i8p_lanes_extreme_magnitudes_stay_exact() {
+        // All-|127| pairs at the documented pair bound's working size:
+        // per-output sums reach pairs·2·127² and must remain exact i32.
+        let pairs = 32usize;
+        let fan_out = 9usize;
+        let xpairs = vec![
+            {
+                let b = i32::from(127u16);
+                b | (b << 16)
+            };
+            pairs
+        ];
+        let wt = vec![-127i16; pairs * fan_out * 2];
+        let mut want = vec![0i32; fan_out];
+        scalar::gemm_i8p_lanes(&mut want, &xpairs, &wt, fan_out);
+        assert!(want.iter().all(|&v| v == -(pairs as i32) * 2 * 127 * 127));
+        for be in non_scalar() {
+            let mut got = vec![0i32; fan_out];
+            super::gemm_i8p_lanes(be, &mut got, &xpairs, &wt, fan_out);
+            assert_eq!(got, want, "{be} extreme i8p lanes");
+        }
+    }
+
+    #[test]
+    fn max_abs_matches_scalar_across_backends() {
+        for be in non_scalar() {
+            for &n in LENS {
+                let x = vals(n, 51);
+                let want = scalar::max_abs_f32(&x);
+                let got = super::max_abs_f32(be, &x);
+                assert_eq!(got.to_bits(), want.to_bits(), "{be} max_abs n={n}");
+            }
+        }
+        assert_eq!(scalar::max_abs_f32(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantize_i8_matches_scalar_across_backends() {
+        // Exact ties (x.5 products), clamp-range extremes, and negative
+        // zeros all land in `vals`-derived rows once scaled.
+        for be in non_scalar() {
+            for &n in LENS {
+                let x = vals(n, 61);
+                for &inv in &[12.7f32, 0.5, 1.0, 127.0 / 10.0] {
+                    let mut want = vec![3i8; n];
+                    let mut got = vec![-3i8; n];
+                    scalar::quantize_i8(&x, &mut want, inv);
+                    super::quantize_i8(be, &x, &mut got, inv);
+                    assert_eq!(got, want, "{be} quantize n={n} inv={inv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_rounds_half_away_and_clamps() {
+        // Hand-picked points: exact ties both signs, the clamp edges, and
+        // the largest f32 strictly below 0.5 (the naive +0.5 trick fails
+        // there; the fraction-compare formulation must not).
+        let below_half = 0.5f32 - 2.0f32.powi(-25);
+        let src = [0.5f32, -0.5, 1.5, -2.5, 126.6, -300.0, below_half, 0.0];
+        let want: [i8; 8] = [1, -1, 2, -3, 127, -127, 0, 0];
+        for &be in available() {
+            let mut got = [0i8; 8];
+            super::quantize_i8(be, &src, &mut got, 1.0);
+            assert_eq!(got, want, "{be} rounding/clamp table");
+        }
+    }
+
+    #[test]
+    fn capabilities_are_consistent_with_dispatch() {
+        let caps = capabilities();
+        // The dispatched backends must agree with the reported bits.
+        assert_eq!(caps.avx2, KernelBackend::Avx2.is_available());
+        assert_eq!(caps.sse2, KernelBackend::Sse2.is_available());
+        // VNNI forms imply the matching OS-enabled vector state chain.
+        if caps.avx512_vnni {
+            assert!(caps.avx512f, "avx512-vnni without avx512f state");
+        }
+        let summary = caps.summary();
+        assert!(!summary.is_empty());
+        if caps.avx2 {
+            assert!(summary.contains("avx2"), "summary={summary}");
+        }
+        // Detection is cached and stable.
+        assert_eq!(capabilities(), caps);
     }
 }

@@ -1,0 +1,131 @@
+//! Int8 cross-backend byte-equality sweep.
+//!
+//! The quantized serving datapath promises the same determinism contract
+//! as the float kernels, but by a different argument: the int8 GEMM
+//! accumulates in exact i32 arithmetic, so any summation order gives the
+//! same bytes (see `resemble_nn::simd` docs). This sweep pins it: for
+//! random network shapes, batches, activations, and inputs, the
+//! `QuantizedMlp` forward pass must produce byte-for-byte identical
+//! output on every available backend, across reruns, and across
+//! independently re-quantized copies of the same network — plus a
+//! round-trip property on the per-row quantizer itself.
+
+use proptest::prelude::*;
+use resemble_nn::quant::{fit_scale_i8, quantize_row_i8};
+use resemble_nn::simd::{self, KernelBackend};
+use resemble_nn::{Activation, Matrix, Mlp, QuantizedMlp};
+use std::sync::Once;
+
+const ALL_BACKENDS: [KernelBackend; 3] = [
+    KernelBackend::Avx2,
+    KernelBackend::Sse2,
+    KernelBackend::Scalar,
+];
+
+/// Log once which backends this host cannot run, so CI output shows the
+/// sweep's actual coverage instead of silently passing a narrower test.
+fn log_coverage() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let avail = simd::available();
+        for be in ALL_BACKENDS {
+            if !avail.contains(&be) {
+                eprintln!("int8_sweep: SKIPPING {be} (not available on this host)");
+            }
+        }
+        eprintln!(
+            "int8_sweep: comparing backends {avail:?}; caps: {}",
+            simd::capabilities().summary()
+        );
+    });
+}
+
+/// Quantize the net and run one forward batch under `backend`, returning
+/// the output bit patterns.
+fn run_quantized(backend: KernelBackend, net: &Mlp, xs: &Matrix) -> Vec<u32> {
+    let _guard = simd::force(backend);
+    let mut qnet = QuantizedMlp::from_mlp(net);
+    let mut out = Matrix::zeros(0, 0);
+    qnet.forward_into(xs, &mut out);
+    out.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every available backend matches the scalar int8 reference bitwise
+    /// on the quantized forward pass, including on a rerun with the same
+    /// (reused-scratch) instance.
+    #[test]
+    fn quantized_forward_matches_scalar_bitwise(
+        input_dim in 1usize..20,
+        hidden in 1usize..48,
+        output_dim in 1usize..12,
+        batch in 1usize..24,
+        act_sel in 0u8..4,
+        seed in any::<u64>(),
+        data in proptest::collection::vec(-2.5f32..2.5, 20 * 24),
+    ) {
+        log_coverage();
+        let act = match act_sel {
+            0 => Activation::Relu,
+            1 => Activation::Tanh,
+            2 => Activation::Sigmoid,
+            _ => Activation::Identity,
+        };
+        let sizes = [input_dim, hidden, output_dim];
+        let net = Mlp::new(&sizes, act, seed);
+        let xs = Matrix::from_fn(batch, input_dim, |r, c| data[r * input_dim + c]);
+        let reference = run_quantized(KernelBackend::Scalar, &net, &xs);
+        for &be in simd::available() {
+            let got = run_quantized(be, &net, &xs);
+            prop_assert_eq!(
+                &got,
+                &reference,
+                "{} int8 forward bits differ from scalar ({:?}, act {:?}, batch {})",
+                be, sizes, act, batch
+            );
+            // Rerun on one instance: scratch reuse must not leak state.
+            let _guard = simd::force(be);
+            let mut qnet = QuantizedMlp::from_mlp(&net);
+            let mut out = Matrix::zeros(0, 0);
+            qnet.forward_into(&xs, &mut out);
+            qnet.forward_into(&xs, &mut out);
+            let rerun: Vec<u32> = out.as_slice().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(
+                &rerun,
+                &reference,
+                "{} int8 rerun bits differ ({:?}, act {:?}, batch {})",
+                be, sizes, act, batch
+            );
+        }
+    }
+
+    /// Per-row int8 round trip: codes stay in the symmetric range
+    /// [-127, 127], dequantization lands within half a scale step of the
+    /// input, and quantizing the dequantized row reproduces the codes
+    /// exactly (idempotence of the fully-specified rule).
+    #[test]
+    fn row_quantizer_round_trips(
+        data in proptest::collection::vec(-8.0f32..8.0, 1..200),
+    ) {
+        let mut q = vec![0i8; data.len()];
+        let scale = quantize_row_i8(&data, &mut q);
+        let max_abs = data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        prop_assert_eq!(scale, fit_scale_i8(max_abs));
+        let mut back = vec![0.0f32; data.len()];
+        for ((b, &qi), &v) in back.iter_mut().zip(&q).zip(&data) {
+            prop_assert!((-127..=127).contains(&i32::from(qi)));
+            *b = f32::from(qi) * scale;
+            prop_assert!(
+                (v - *b).abs() <= scale * 0.5 + 1e-6,
+                "v={} back={} scale={}", v, *b, scale
+            );
+        }
+        // Idempotence: the dequantized row has the same max_abs bound and
+        // re-quantizes to identical codes.
+        let mut q2 = vec![0i8; data.len()];
+        let scale2 = quantize_row_i8(&back, &mut q2);
+        prop_assert_eq!(&q, &q2, "requantization changed codes (scale {} -> {})", scale, scale2);
+    }
+}

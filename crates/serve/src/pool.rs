@@ -19,7 +19,7 @@
 //! panics, no literal indexing.
 
 use crate::session::SessionModel;
-use resemble_nn::{BatchScratch, Matrix, Mlp};
+use resemble_nn::{BatchScratch, Matrix, Mlp, QuantizedMlp};
 
 /// How a session's model was constructed: the Hello triple. Frozen
 /// sessions with equal keys have bit-identical, never-changing inference
@@ -38,15 +38,26 @@ struct PoolEntry {
     key: SessionKey,
     net: Mlp,
     scratch: BatchScratch,
+    /// Int8 copy of `net`, built once per entry when the pool runs in
+    /// quantized mode (`--quantize-frozen`); `None` in f32 mode.
+    qnet: Option<QuantizedMlp>,
     last_used: u64,
 }
 
 /// A worker-local cache of frozen inference networks keyed by
 /// [`SessionKey`], evicting least-recently-used entries beyond `cap`.
+///
+/// In quantized mode each entry additionally caches a per-row symmetric
+/// int8 copy of the frozen weights ([`QuantizedMlp`]) and pooled windows
+/// forward through it — the opt-in `--quantize-frozen` serving datapath.
+/// Quantized decisions are deterministic (bit-identical across backends
+/// and reruns) but are *not* bit-identical to the f32 path; the measured
+/// decision-agreement delta is reported by `serve_bench`.
 pub struct WeightPool {
     entries: Vec<PoolEntry>,
     tick: u64,
     cap: usize,
+    quantize: bool,
 }
 
 impl WeightPool {
@@ -56,7 +67,21 @@ impl WeightPool {
             entries: Vec::new(),
             tick: 0,
             cap: cap.max(1),
+            quantize: false,
         }
+    }
+
+    /// Switch the pool into (or out of) int8 quantized mode. Existing
+    /// entries are dropped so every cached network matches the mode.
+    pub fn quantized(mut self, on: bool) -> Self {
+        self.quantize = on;
+        self.entries.clear();
+        self
+    }
+
+    /// `true` when pooled forwards run through the int8 datapath.
+    pub fn quantize_enabled(&self) -> bool {
+        self.quantize
     }
 
     /// Distinct networks currently pooled.
@@ -105,6 +130,7 @@ impl WeightPool {
                     key: key.clone(),
                     net: net.clone(),
                     scratch: BatchScratch::default(),
+                    qnet: self.quantize.then(|| QuantizedMlp::from_mlp(net)),
                     last_used: 0,
                 });
                 self.entries.len() - 1
@@ -115,8 +141,16 @@ impl WeightPool {
             return false;
         };
         entry.last_used = self.tick;
+        // Checked before forwarding: `QuantizedMlp::forward_into` (like
+        // `forward_batch`) asserts the input width, and this file's
+        // no-panic contract routes mismatches to the per-session
+        // fallback instead.
         if entry.net.input_dim() != states.cols() {
             return false;
+        }
+        if let Some(qnet) = entry.qnet.as_mut() {
+            qnet.forward_into(states, q);
+            return true;
         }
         let out = entry.net.forward_batch(states, &mut entry.scratch);
         q.resize(out.rows(), out.cols());
@@ -184,6 +218,67 @@ mod tests {
         let mut q = Matrix::default();
         assert!(!pool.forward_into(&key("bo", 1), &template, &states, &mut q));
         assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn quantized_pool_is_deterministic_and_tracks_f32_decisions() {
+        let template = frozen_session(11);
+        let own = template.inference_net().expect("frozen mlp");
+        let dim = own.input_dim();
+        let states = Matrix::from_fn(16, dim, |r, c| ((r * dim + c) as f32 * 0.21).cos());
+        let k = key("resemble_frozen", 11);
+
+        let mut f32_pool = WeightPool::new(4);
+        let mut qf = Matrix::default();
+        assert!(f32_pool.forward_into(&k, &template, &states, &mut qf));
+
+        let mut qpool = WeightPool::new(4).quantized(true);
+        assert!(qpool.quantize_enabled());
+        let mut q1 = Matrix::default();
+        assert!(qpool.forward_into(&k, &template, &states, &mut q1));
+        assert_eq!(q1.rows(), qf.rows());
+        assert_eq!(q1.cols(), qf.cols());
+
+        // Deterministic: a second pooled call reproduces the bytes.
+        let mut q2 = Matrix::default();
+        assert!(qpool.forward_into(&k, &template, &states, &mut q2));
+        let b1: Vec<u32> = q1.as_slice().iter().map(|v| v.to_bits()).collect();
+        let b2: Vec<u32> = q2.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(b1, b2, "quantized pooled forward is not deterministic");
+
+        // Decisions track the f32 path closely (quantization noise may
+        // flip rare near-ties; on these stock weights it should not).
+        let argmax = |m: &Matrix, r: usize| {
+            let row = m.row(r);
+            let mut best = 0;
+            for (i, v) in row.iter().enumerate() {
+                if *v > row[best] {
+                    best = i;
+                }
+            }
+            best
+        };
+        let agree = (0..qf.rows())
+            .filter(|&r| argmax(&qf, r) == argmax(&q1, r))
+            .count();
+        assert!(
+            agree * 10 >= qf.rows() * 9,
+            "quantized decisions agree on only {agree}/{} rows",
+            qf.rows()
+        );
+    }
+
+    #[test]
+    fn quantized_builder_clears_cached_entries() {
+        let template = frozen_session(3);
+        let dim = template.inference_net().expect("mlp").input_dim();
+        let states = Matrix::from_fn(2, dim, |_, c| c as f32 * 0.05);
+        let mut pool = WeightPool::new(4);
+        let mut q = Matrix::default();
+        assert!(pool.forward_into(&key("resemble_frozen", 3), &template, &states, &mut q));
+        assert_eq!(pool.len(), 1);
+        let pool = pool.quantized(true);
+        assert!(pool.is_empty(), "mode switch must drop stale-mode entries");
     }
 
     #[test]

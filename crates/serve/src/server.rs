@@ -57,6 +57,10 @@ pub struct ServeConfig {
     /// same-key sessions warm-start from the latest file (`None`
     /// disables both).
     pub checkpoint_dir: Option<PathBuf>,
+    /// Serve pooled frozen windows through the int8 quantized datapath
+    /// (`--quantize-frozen`). Deterministic, but not bit-identical to the
+    /// default f32 path; off by default.
+    pub quantize_frozen: bool,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +76,7 @@ impl Default for ServeConfig {
             cross_session: true,
             pool_rows: 4096,
             checkpoint_dir: None,
+            quantize_frozen: false,
         }
     }
 }
@@ -113,6 +118,7 @@ impl Server {
             cross_session: cfg.cross_session,
             pool_rows: cfg.pool_rows.max(1),
             checkpoint_dir: cfg.checkpoint_dir.clone(),
+            quantize_frozen: cfg.quantize_frozen,
         };
         let workers = shards
             .iter()

@@ -132,6 +132,10 @@ pub struct WorkerCfg {
     pub pool_rows: usize,
     /// Where to checkpoint MLP sessions on retire (`None` disables).
     pub checkpoint_dir: Option<PathBuf>,
+    /// Run pooled frozen windows through the int8 quantized datapath
+    /// (`--quantize-frozen`). Off by default: quantized decisions are
+    /// deterministic but not bit-identical to f32.
+    pub quantize_frozen: bool,
 }
 
 impl Default for WorkerCfg {
@@ -141,6 +145,7 @@ impl Default for WorkerCfg {
             cross_session: true,
             pool_rows: 4096,
             checkpoint_dir: None,
+            quantize_frozen: false,
         }
     }
 }
@@ -386,7 +391,7 @@ impl Shard {
         telemetry: &Telemetry,
         cfg: &WorkerCfg,
     ) {
-        let mut pool = WeightPool::new(8);
+        let mut pool = WeightPool::new(8).quantized(cfg.quantize_frozen);
         let mut entries: Vec<VisitEntry> = Vec::new();
         let mut spare_plans: Vec<DrainPlan> = Vec::new();
         let mut keep: VecDeque<usize> = VecDeque::new();
@@ -477,6 +482,9 @@ impl Shard {
                         telemetry.batch(pooled_rows);
                         if pooled_sessions >= 2 {
                             telemetry.pool_batch(pooled_sessions);
+                        }
+                        if pool.quantize_enabled() {
+                            telemetry.quantized_window(pooled_sessions);
                         }
                     }
                 }
@@ -786,6 +794,50 @@ mod tests {
             "both sessions were ready: at least one cross-session window"
         );
         assert!(s.pool_sessions >= 2);
+        drop(client_a);
+        drop(client_b);
+    }
+
+    #[test]
+    fn quantized_frozen_windows_serve_and_count() {
+        let shard = Shard::new();
+        let (conn_a, client_a) = loopback_conn();
+        let (conn_b, client_b) = loopback_conn();
+        let k = key("resemble_frozen", 13);
+        let model_a = SessionModel::build("resemble_frozen", 13, true).expect("builds");
+        let model_b = SessionModel::build("resemble_frozen", 13, true).expect("builds");
+        let slot_a = shard.register(1, model_a, conn_a, k.clone());
+        let slot_b = shard.register(2, model_b, conn_b, k);
+        for i in 0..12 {
+            assert_eq!(shard.enqueue(slot_a, 1, access(i), 64), Enqueue::Accepted);
+            assert_eq!(
+                shard.enqueue(slot_b, 2, access(i + 100), 64),
+                Enqueue::Accepted
+            );
+        }
+        assert_eq!(
+            shard.enqueue(slot_a, 1, SessionCmd::Bye, 64),
+            Enqueue::Accepted
+        );
+        assert_eq!(
+            shard.enqueue(slot_b, 2, SessionCmd::Bye, 64),
+            Enqueue::Accepted
+        );
+        let telemetry = Telemetry::new();
+        let input_closed = AtomicBool::new(true);
+        let cfg = WorkerCfg {
+            quantize_frozen: true,
+            ..WorkerCfg::default()
+        };
+        shard.worker_loop(&input_closed, &telemetry, &cfg);
+        let s = telemetry.snapshot();
+        assert_eq!(s.decisions, 24, "every request is answered via int8");
+        assert_eq!(s.sessions_closed, 2);
+        assert!(
+            s.quantized_windows >= 1,
+            "quantized pooled path must have run"
+        );
+        assert!(s.quantized_sessions >= 2);
         drop(client_a);
         drop(client_b);
     }

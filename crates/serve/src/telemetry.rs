@@ -65,6 +65,8 @@ pub struct Telemetry {
     connections_closed: AtomicU64,
     pool_batches: AtomicU64,
     pool_sessions: AtomicU64,
+    quantized_windows: AtomicU64,
+    quantized_sessions: AtomicU64,
     checkpoints_saved: AtomicU64,
     checkpoints_loaded: AtomicU64,
     latency: [AtomicU64; LAT_BUCKETS],
@@ -95,6 +97,8 @@ impl Telemetry {
             connections_closed: AtomicU64::new(0),
             pool_batches: AtomicU64::new(0),
             pool_sessions: AtomicU64::new(0),
+            quantized_windows: AtomicU64::new(0),
+            quantized_sessions: AtomicU64::new(0),
             checkpoints_saved: AtomicU64::new(0),
             checkpoints_loaded: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -177,6 +181,14 @@ impl Telemetry {
             .fetch_add(sessions as u64, Ordering::Relaxed);
     }
 
+    /// One pooled window ran through the int8 quantized datapath
+    /// (`--quantize-frozen`), covering `sessions` sessions' decisions.
+    pub fn quantized_window(&self, sessions: usize) {
+        self.quantized_windows.fetch_add(1, Ordering::Relaxed);
+        self.quantized_sessions
+            .fetch_add(sessions as u64, Ordering::Relaxed);
+    }
+
     /// A session checkpoint was written on retire.
     pub fn checkpoint_saved(&self) {
         self.checkpoints_saved.fetch_add(1, Ordering::Relaxed);
@@ -231,6 +243,7 @@ impl Telemetry {
             // `active()` never panics (dispatch falls back to scalar), so
             // this stays within the no-panic hot-path contract.
             kernel_backend: resemble_nn::simd::active().name().to_string(),
+            cpu_caps: resemble_nn::simd::capabilities().summary(),
             sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
             sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
             decisions,
@@ -245,6 +258,8 @@ impl Telemetry {
             connections_closed: self.connections_closed.load(Ordering::Relaxed),
             pool_batches: self.pool_batches.load(Ordering::Relaxed),
             pool_sessions: self.pool_sessions.load(Ordering::Relaxed),
+            quantized_windows: self.quantized_windows.load(Ordering::Relaxed),
+            quantized_sessions: self.quantized_sessions.load(Ordering::Relaxed),
             checkpoints_saved: self.checkpoints_saved.load(Ordering::Relaxed),
             checkpoints_loaded: self.checkpoints_loaded.load(Ordering::Relaxed),
             mean_batch: if batches > 0 {
@@ -268,6 +283,11 @@ pub struct TelemetrySnapshot {
     /// (`avx2`/`sse2`/`scalar`), so latency and throughput numbers are
     /// attributable to an ISA.
     pub kernel_backend: String,
+    /// Detected CPU SIMD capability bits (space-separated feature names,
+    /// e.g. `"sse2 avx2 avx512f avx512-vnni"`, or `"none"`), including the
+    /// wider-ISA bits the int8 datapath can target but dispatch does not
+    /// use yet.
+    pub cpu_caps: String,
     /// Sessions accepted.
     pub sessions_opened: u64,
     /// Sessions finished.
@@ -297,6 +317,10 @@ pub struct TelemetrySnapshot {
     pub pool_batches: u64,
     /// Sessions summed across all pooled windows.
     pub pool_sessions: u64,
+    /// Pooled windows that ran through the int8 quantized datapath.
+    pub quantized_windows: u64,
+    /// Sessions summed across all quantized pooled windows.
+    pub quantized_sessions: u64,
     /// Session checkpoints written on retire.
     pub checkpoints_saved: u64,
     /// Sessions warm-started from a checkpoint at Hello.
@@ -379,7 +403,9 @@ mod tests {
             "unknown backend {:?}",
             s.kernel_backend
         );
+        assert!(!s.cpu_caps.is_empty(), "cpu_caps must never be blank");
         assert_eq!(s.decisions, 0);
+        assert_eq!(s.quantized_windows, 0);
         assert_eq!(s.latency_us_p99, 0);
         assert_eq!(s.mean_batch, 0.0);
         assert!(s.batch_size_hist.is_empty());
