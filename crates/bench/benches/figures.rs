@@ -19,7 +19,7 @@ fn tiny() -> SweepParams {
         warmup: 300,
         measure: 1500,
         sim: SimConfig::test_small(),
-        threads: 1,
+        jobs: 1,
         ..Default::default()
     }
 }

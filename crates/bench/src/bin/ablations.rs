@@ -4,12 +4,18 @@
 //! controller and reports mean window reward plus IPC improvement on a
 //! two-app probe (one spatial-friendly, one temporal-friendly).
 //!
+//! Every (study, variant, probe app) simulation is one job on the
+//! deterministic executor (DESIGN.md §9); each variant is a reduce group
+//! averaging its probe apps, so the tables print bit-identically at any
+//! `--jobs N`.
+//!
 //! Usage: `cargo run --release -p resemble-bench --bin ablations`
 //! (`--only hashbits|lazy|roleswitch|replay|window|epsilon`).
 
 use resemble_bench::{report, Options};
 use resemble_core::{ResembleConfig, ResembleMlp};
 use resemble_prefetch::{paper_bank, Prefetcher};
+use resemble_runtime::Sweep;
 use resemble_sim::{Engine, SimConfig};
 use resemble_stats::{mean, Table};
 use resemble_trace::gen::app_by_name;
@@ -21,57 +27,39 @@ struct Outcome {
     ipc_improvement: f64,
 }
 
-fn run_cfg(cfg: ResembleConfig, accesses: usize, seed: u64) -> Outcome {
-    let mut rewards = Vec::new();
-    let mut ipcs = Vec::new();
-    for &app in PROBE_APPS {
-        let baseline = {
-            let mut engine = Engine::new(SimConfig::harness());
-            let mut src = app_by_name(app, seed).expect("known app").source;
-            engine.run(&mut *src, None, accesses / 3, accesses)
-        };
-        let mut ctl = ResembleMlp::new(paper_bank(), cfg, seed);
+/// One probe app under one variant config: (window reward, IPC improvement).
+fn run_cfg_app(cfg: ResembleConfig, app: &str, accesses: usize, seed: u64) -> (f64, f64) {
+    let baseline = {
         let mut engine = Engine::new(SimConfig::harness());
         let mut src = app_by_name(app, seed).expect("known app").source;
-        let stats = engine.run(
-            &mut *src,
-            Some(&mut ctl as &mut dyn Prefetcher),
-            accesses / 3,
-            accesses,
-        );
-        rewards.push(ctl.stats.mean_window_reward());
-        ipcs.push(stats.ipc_improvement_over(&baseline));
-    }
-    Outcome {
-        reward: mean(&rewards),
-        ipc_improvement: mean(&ipcs),
-    }
+        engine.run(&mut *src, None, accesses / 3, accesses)
+    };
+    let mut ctl = ResembleMlp::new(paper_bank(), cfg, seed);
+    let mut engine = Engine::new(SimConfig::harness());
+    let mut src = app_by_name(app, seed).expect("known app").source;
+    let stats = engine.run(
+        &mut *src,
+        Some(&mut ctl as &mut dyn Prefetcher),
+        accesses / 3,
+        accesses,
+    );
+    (
+        ctl.stats.mean_window_reward(),
+        stats.ipc_improvement_over(&baseline),
+    )
 }
 
-fn study(
-    name: &str,
-    header: &str,
+struct Study {
+    name: &'static str,
+    header: &'static str,
     variants: Vec<(String, ResembleConfig)>,
-    accesses: usize,
-    seed: u64,
-) {
-    println!("--- ablation: {name} ---");
-    let mut t = Table::new(vec![header, "mean window reward", "IPC improvement"]);
-    for (label, cfg) in variants {
-        let o = run_cfg(cfg, accesses, seed);
-        t.row(vec![
-            label,
-            format!("{:.1}", o.reward),
-            format!("{:.2}%", o.ipc_improvement),
-        ]);
-    }
-    println!("{}", t.render());
 }
 
 fn main() {
     let opts = Options::from_env_checked(&["only"]);
     let accesses = opts.usize("accesses", 45_000);
     let seed = opts.u64("seed", 42);
+    let jobs = opts.usize("jobs", 0);
     let only = opts.str("only").map(str::to_string);
     let run = |n: &str| only.is_none() || only.as_deref() == Some(n);
     report::banner(
@@ -80,11 +68,12 @@ fn main() {
     );
     let base = ResembleConfig::fast();
 
+    let mut studies: Vec<Study> = Vec::new();
     if run("hashbits") {
-        study(
-            "MLP preprocessing hash bits",
-            "hash bits",
-            [8u32, 16, 24]
+        studies.push(Study {
+            name: "MLP preprocessing hash bits",
+            header: "hash bits",
+            variants: [8u32, 16, 24]
                 .iter()
                 .map(|&b| {
                     (
@@ -96,34 +85,30 @@ fn main() {
                     )
                 })
                 .collect(),
-            accesses,
-            seed,
-        );
+        });
     }
     if run("lazy") {
         // "No lazy sampling" approximated by a 1-access reward window:
         // rewards finalize almost immediately (usually as −1), so training
         // consumes unreliable feedback — the failure mode lazy sampling
         // prevents.
-        study(
-            "lazy sampling (reward window honored) vs immediate finalization",
-            "variant",
-            vec![
+        studies.push(Study {
+            name: "lazy sampling (reward window honored) vs immediate finalization",
+            header: "variant",
+            variants: vec![
                 ("lazy (W=256)".to_string(), base),
                 (
                     "immediate (W=1)".to_string(),
                     ResembleConfig { window: 1, ..base },
                 ),
             ],
-            accesses,
-            seed,
-        );
+        });
     }
     if run("roleswitch") {
-        study(
-            "target-net role-switch interval I_t",
-            "I_t",
-            [5u64, 20, 100, 1000]
+        studies.push(Study {
+            name: "target-net role-switch interval I_t",
+            header: "I_t",
+            variants: [5u64, 20, 100, 1000]
                 .iter()
                 .map(|&it| {
                     (
@@ -135,15 +120,13 @@ fn main() {
                     )
                 })
                 .collect(),
-            accesses,
-            seed,
-        );
+        });
     }
     if run("replay") {
-        study(
-            "replay capacity / batch size",
-            "R / batch",
-            vec![
+        studies.push(Study {
+            name: "replay capacity / batch size",
+            header: "R / batch",
+            variants: vec![
                 ("R=2000 batch=32 (fast)".to_string(), base),
                 (
                     "R=2000 batch=256 (paper)".to_string(),
@@ -167,27 +150,23 @@ fn main() {
                     },
                 ),
             ],
-            accesses,
-            seed,
-        );
+        });
     }
     if run("window") {
-        study(
-            "reward window W",
-            "W",
-            [32usize, 128, 256, 1024]
+        studies.push(Study {
+            name: "reward window W",
+            header: "W",
+            variants: [32usize, 128, 256, 1024]
                 .iter()
                 .map(|&w| (format!("{w}"), ResembleConfig { window: w, ..base }))
                 .collect(),
-            accesses,
-            seed,
-        );
+        });
     }
     if run("epsilon") {
-        study(
-            "ε decay constant",
-            "decay",
-            [20.0f64, 80.0, 400.0, 4000.0]
+        studies.push(Study {
+            name: "ε decay constant",
+            header: "decay",
+            variants: [20.0f64, 80.0, 400.0, 4000.0]
                 .iter()
                 .map(|&d| {
                     (
@@ -199,8 +178,44 @@ fn main() {
                     )
                 })
                 .collect(),
-            accesses,
-            seed,
-        );
+        });
+    }
+
+    // One reduce group per (study, variant), pushed in print order so the
+    // streamed reduce hands back outcomes exactly as the tables need them.
+    let mut sweep = Sweep::for_bin("ablations", jobs).base_seed(seed);
+    for (si, st) in studies.iter().enumerate() {
+        for (vi, (label, cfg)) in st.variants.iter().enumerate() {
+            for &app in PROBE_APPS {
+                let cfg = *cfg;
+                sweep.push_in(
+                    format!("{si}/{vi}"),
+                    format!("{}/{label}/{app}", st.name),
+                    move |_| run_cfg_app(cfg, app, accesses, seed),
+                );
+            }
+        }
+    }
+    let outcomes = sweep.run_reduced(|_, parts| {
+        let (rewards, ipcs): (Vec<f64>, Vec<f64>) = parts.into_iter().unzip();
+        Outcome {
+            reward: mean(&rewards),
+            ipc_improvement: mean(&ipcs),
+        }
+    });
+
+    let mut outcomes = outcomes.into_iter();
+    for st in &studies {
+        println!("--- ablation: {} ---", st.name);
+        let mut t = Table::new(vec![st.header, "mean window reward", "IPC improvement"]);
+        for (label, _) in &st.variants {
+            let o = outcomes.next().expect("one outcome per variant");
+            t.row(vec![
+                label.clone(),
+                format!("{:.1}", o.reward),
+                format!("{:.2}%", o.ipc_improvement),
+            ]);
+        }
+        println!("{}", t.render());
     }
 }

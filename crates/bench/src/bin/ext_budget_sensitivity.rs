@@ -2,10 +2,15 @@
 //! Sweeps the input prefetchers' table capacities — ISB AMC entries,
 //! Domino correlation entries, SPP pattern-table entries — and measures
 //! how the ensemble's performance degrades as its inputs get weaker.
+//!
+//! Every (budget point, app) simulation is one job on the deterministic
+//! executor (DESIGN.md §9); each point is a reduce group averaging its
+//! apps, so both tables print bit-identically at any `--jobs N`.
 
 use resemble_bench::{report, Options};
 use resemble_core::{ResembleConfig, ResembleMlp};
 use resemble_prefetch::{BestOffset, Domino, Isb, Prefetcher, PrefetcherBank, Spp};
+use resemble_runtime::Sweep;
 use resemble_sim::{Engine, SimConfig};
 use resemble_stats::{mean, Table};
 use resemble_trace::gen::app_by_name;
@@ -21,7 +26,9 @@ fn bank_with_budget(isb_entries: usize, domino_entries: usize, spp_pt: usize) ->
     ])
 }
 
-fn run_point(
+/// One app at one budget point: (IPC improvement, coverage %).
+fn run_point_app(
+    app: &str,
     isb_entries: usize,
     domino_entries: usize,
     spp_pt: usize,
@@ -29,29 +36,23 @@ fn run_point(
     measure: usize,
     seed: u64,
 ) -> (f64, f64) {
-    let mut ipcs = Vec::new();
-    let mut covs = Vec::new();
-    for &app in APPS {
-        let mut engine = Engine::new(SimConfig::harness());
-        let mut src = app_by_name(app, seed).expect("known app").source;
-        let base = engine.run(&mut *src, None, warmup, measure);
-        let mut ctl = ResembleMlp::new(
-            bank_with_budget(isb_entries, domino_entries, spp_pt),
-            ResembleConfig::fast(),
-            seed,
-        );
-        let mut engine = Engine::new(SimConfig::harness());
-        let mut src = app_by_name(app, seed).expect("known app").source;
-        let s = engine.run(
-            &mut *src,
-            Some(&mut ctl as &mut dyn Prefetcher),
-            warmup,
-            measure,
-        );
-        ipcs.push(s.ipc_improvement_over(&base));
-        covs.push(s.coverage() * 100.0);
-    }
-    (mean(&ipcs), mean(&covs))
+    let mut engine = Engine::new(SimConfig::harness());
+    let mut src = app_by_name(app, seed).expect("known app").source;
+    let base = engine.run(&mut *src, None, warmup, measure);
+    let mut ctl = ResembleMlp::new(
+        bank_with_budget(isb_entries, domino_entries, spp_pt),
+        ResembleConfig::fast(),
+        seed,
+    );
+    let mut engine = Engine::new(SimConfig::harness());
+    let mut src = app_by_name(app, seed).expect("known app").source;
+    let s = engine.run(
+        &mut *src,
+        Some(&mut ctl as &mut dyn Prefetcher),
+        warmup,
+        measure,
+    );
+    (s.ipc_improvement_over(&base), s.coverage() * 100.0)
 }
 
 fn main() {
@@ -59,16 +60,47 @@ fn main() {
     let warmup = opts.usize("warmup", 15_000);
     let measure = opts.usize("accesses", 40_000);
     let seed = opts.u64("seed", 42);
+    let jobs = opts.usize("jobs", 0);
     report::banner(
         "Extension: budget sensitivity",
         "ReSemble performance vs input-prefetcher table budgets",
     );
 
+    // (group key, isb/domino entries, spp PT entries), temporal sweep
+    // first, then the SPP sweep — print order below matches push order.
+    let temporal_shifts = [11usize, 13, 15, 17, 19];
+    let spp_points = [64usize, 256, 512, 2048];
+    let mut sweep = Sweep::for_bin("ext_budget_sensitivity", jobs).base_seed(seed);
+    for &shift in &temporal_shifts {
+        let n = 1 << shift;
+        for &app in APPS {
+            sweep.push_in(
+                format!("temporal/2^{shift}"),
+                format!("temporal/2^{shift}/{app}"),
+                move |_| run_point_app(app, n, n, 512, warmup, measure, seed),
+            );
+        }
+    }
+    for &pt in &spp_points {
+        for &app in APPS {
+            sweep.push_in(
+                format!("spp_pt/{pt}"),
+                format!("spp_pt/{pt}/{app}"),
+                move |_| run_point_app(app, 1 << 19, 1 << 19, pt, warmup, measure, seed),
+            );
+        }
+    }
+    let points = sweep.run_reduced(|_, parts| {
+        let (ipcs, covs): (Vec<f64>, Vec<f64>) = parts.into_iter().unzip();
+        (mean(&ipcs), mean(&covs))
+    });
+    let mut points = points.into_iter();
+
     println!("--- temporal metadata budget (ISB AMC / Domino entries) ---");
     let mut t = Table::new(vec!["entries", "coverage", "IPC improvement"]);
-    for shift in [11usize, 13, 15, 17, 19] {
-        let n = 1 << shift;
-        let (ipc, cov) = run_point(n, n, 512, warmup, measure, seed);
+    for &shift in &temporal_shifts {
+        let n = 1usize << shift;
+        let (ipc, cov) = points.next().expect("one point per temporal budget");
         t.row(vec![
             format!("2^{shift} = {n}"),
             format!("{cov:.1}%"),
@@ -79,8 +111,8 @@ fn main() {
 
     println!("--- SPP pattern-table entries (Table II default 512) ---");
     let mut t = Table::new(vec!["PT entries", "coverage", "IPC improvement"]);
-    for pt in [64usize, 256, 512, 2048] {
-        let (ipc, cov) = run_point(1 << 19, 1 << 19, pt, warmup, measure, seed);
+    for &pt in &spp_points {
+        let (ipc, cov) = points.next().expect("one point per PT size");
         t.row(vec![pt.to_string(), format!("{cov:.1}%"), report::pct(ipc)]);
     }
     println!("{}", t.render());

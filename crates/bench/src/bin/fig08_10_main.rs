@@ -15,7 +15,7 @@ fn main() {
         warmup: opts.usize("warmup", 20_000),
         measure: opts.usize("accesses", 80_000),
         seed: opts.u64("seed", 42),
-        threads: opts.usize("threads", 0),
+        jobs: opts.usize("jobs", 0),
         ..Default::default()
     };
     let apps: Vec<String> = opts

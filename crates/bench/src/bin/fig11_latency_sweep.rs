@@ -2,8 +2,14 @@
 //! coverage and IPC improvement with inference latency 0–40 cycles, under
 //! a pipelined controller ("High TP", one inference per cycle) and an
 //! unpipelined one ("Low TP", one inference per `latency` cycles).
+//!
+//! All (sweep point × app) simulations run as one job graph on the
+//! deterministic executor (DESIGN.md §9): each point is a reduce group
+//! whose per-app results average as soon as the group's last job commits,
+//! so the printed tables are bit-identical at any `--jobs N`.
 
 use resemble_bench::{report, runner, Options};
+use resemble_runtime::Sweep;
 use resemble_sim::{PrefetchTiming, SimConfig};
 use resemble_stats::{mean, Table};
 use serde::Serialize;
@@ -24,22 +30,25 @@ fn main() {
     let measure = opts.usize("accesses", 40_000);
     let warmup = opts.usize("warmup", 20_000);
     let seed = opts.u64("seed", 42);
+    let jobs = opts.usize("jobs", 0);
     report::banner(
         "Figure 11",
         "ReSemble performance vs controller latency (high/low throughput)",
     );
 
-    let apps: Vec<String> = APPS.iter().map(|s| s.to_string()).collect();
-    let mut points = Vec::new();
-    let mut t = Table::new(vec![
-        "latency",
-        "TP",
-        "accuracy",
-        "coverage",
-        "IPC improvement",
-    ]);
+    let mut specs: Vec<(u64, bool)> = Vec::new();
     for &high_tp in &[true, false] {
         for latency in [0u64, 10, 20, 30, 40] {
+            specs.push((latency, high_tp));
+        }
+    }
+
+    // One job per (sweep point, app); one reduce group per sweep point,
+    // plus a final group for the paper's SBP(E) zero-latency reference.
+    let mut sweep = Sweep::for_bin("fig11_latency_sweep", jobs).base_seed(seed);
+    for &(latency, high_tp) in &specs {
+        let group = format!("lat{latency}_{}", if high_tp { "high" } else { "low" });
+        for &app in APPS {
             let mut sim = SimConfig::harness();
             sim.prefetch_timing = PrefetchTiming {
                 latency,
@@ -52,46 +61,62 @@ fn main() {
                 sim,
                 ..Default::default()
             };
-            let results = runner::run_matrix(&apps, &["resemble"], &params);
-            let acc = mean(&results.iter().map(|r| r.accuracy_pct()).collect::<Vec<_>>());
-            let cov = mean(&results.iter().map(|r| r.coverage_pct()).collect::<Vec<_>>());
-            let ipc = mean(
+            sweep.push_in(group.clone(), format!("{group}/{app}"), move |_| {
+                runner::run_one(app, "resemble", &params)
+            });
+        }
+    }
+    for &app in APPS {
+        let params = runner::SweepParams {
+            warmup,
+            measure,
+            seed,
+            ..Default::default()
+        };
+        sweep.push_in("sbp_e_ref", format!("sbp_e_ref/{app}"), move |_| {
+            runner::run_one(app, "sbp_e", &params)
+        });
+    }
+    let mut groups = sweep.run_reduced(|_, results| {
+        (
+            mean(&results.iter().map(|r| r.accuracy_pct()).collect::<Vec<_>>()),
+            mean(&results.iter().map(|r| r.coverage_pct()).collect::<Vec<_>>()),
+            mean(
                 &results
                     .iter()
                     .map(|r| r.ipc_improvement_pct())
                     .collect::<Vec<_>>(),
-            );
-            t.row(vec![
-                format!("{latency} cyc"),
-                if high_tp { "high" } else { "low" }.to_string(),
-                report::pct(acc),
-                report::pct(cov),
-                report::pct(ipc),
-            ]);
-            points.push(SweepPoint {
-                latency,
-                high_tp,
-                accuracy: acc,
-                coverage: cov,
-                ipc_improvement: ipc,
-            });
-        }
+            ),
+        )
+    });
+    let (_, _, sbp_ipc) = groups.pop().expect("sbp_e reference group");
+
+    let mut points = Vec::new();
+    let mut t = Table::new(vec![
+        "latency",
+        "TP",
+        "accuracy",
+        "coverage",
+        "IPC improvement",
+    ]);
+    for (&(latency, high_tp), &(acc, cov, ipc)) in specs.iter().zip(&groups) {
+        t.row(vec![
+            format!("{latency} cyc"),
+            if high_tp { "high" } else { "low" }.to_string(),
+            report::pct(acc),
+            report::pct(cov),
+            report::pct(ipc),
+        ]);
+        points.push(SweepPoint {
+            latency,
+            high_tp,
+            accuracy: acc,
+            coverage: cov,
+            ipc_improvement: ipc,
+        });
     }
     println!("{}", t.render());
 
-    // SBP(E) reference at zero latency (the paper's comparison line).
-    let params = runner::SweepParams {
-        warmup,
-        measure,
-        seed,
-        ..Default::default()
-    };
-    let sbp = runner::run_matrix(&apps, &["sbp_e"], &params);
-    let sbp_ipc = mean(
-        &sbp.iter()
-            .map(|r| r.ipc_improvement_pct())
-            .collect::<Vec<_>>(),
-    );
     println!("SBP(E) reference IPC improvement: {}", report::pct(sbp_ipc));
 
     let hi: Vec<&SweepPoint> = points.iter().filter(|p| p.high_tp).collect();

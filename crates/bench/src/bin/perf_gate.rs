@@ -38,7 +38,13 @@
 //! both sides of each ratio see the same hardware and the ratio isolates
 //! the code, not the host.
 //!
-//! Two metrics are **gated**:
+//! After the kernel section, a **parallel-sweep** section times the
+//! identical `run_matrix` workload serially (`jobs = 1`) and in parallel
+//! (auto worker count) on the `resemble-runtime` executor, and checks the
+//! two result sets for byte identity — the DESIGN.md §9 determinism
+//! contract, enforced on real simulation jobs at every gate run.
+//!
+//! The **gated** metrics:
 //! * `engine_core_speedup` — geo-mean speedup of the no-prefetcher
 //!   ("none") jobs, optimized [`Engine`] vs seed [`ReferenceEngine`]:
 //!   single-core accesses/sec of the simulator itself. RL-controller
@@ -53,17 +59,25 @@
 //!   1.3). Gated only when the dispatched backend is not already
 //!   scalar, so the gate stays green on hosts without SSE2/AVX2 and
 //!   under `RESEMBLE_SIMD=scalar`.
+//! * `matrix_speedup` — parallel over serial `run_matrix` wall-clock
+//!   (`--min-matrix-speedup`, default 2.0). Gated only on hosts with at
+//!   least 4 cores (auto-skipped below: the ratio would measure
+//!   scheduling overhead, not parallelism); the serial/parallel
+//!   byte-identity check runs at any core count.
 //!
 //! Usage: `cargo run --release -p resemble-bench --bin perf_gate --
 //! [--check] [--write-baseline] [--accesses N] [--warmup N] [--reps N]
 //! [--apps a,b] [--json PATH] [--baseline PATH] [--min-speedup X]
 //! [--controller-apps a,b] [--controller-warmup N]
 //! [--controller-accesses N] [--min-controller-speedup X]
-//! [--no-controller] [--kernel-steps N] [--min-kernel-speedup X]`
+//! [--no-controller] [--kernel-steps N] [--min-kernel-speedup X]
+//! [--no-matrix] [--matrix-accesses N] [--matrix-warmup N]
+//! [--min-matrix-speedup X]`
 
-use resemble_bench::{factory, report, Options};
+use resemble_bench::{factory, report, runner, Options};
 use resemble_nn::simd;
 use resemble_nn::{Activation, Matrix, Mlp};
+use resemble_runtime::{host_parallelism, resolve_jobs};
 use resemble_sim::{Engine, ReferenceEngine, SimConfig, SimStats};
 use resemble_stats::{geo_mean, Table};
 use resemble_trace::gen::spec_like::APP_NAMES;
@@ -123,6 +137,29 @@ struct KernelReport {
     speedup: f64,
 }
 
+/// The parallel-sweep section: the identical `run_matrix` workload timed
+/// serially (`jobs = 1`) and in parallel (`jobs = 0`, auto worker count)
+/// on the `resemble-runtime` executor, with the two result sets checked
+/// for byte identity (DESIGN.md §9).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MatrixReport {
+    apps: usize,
+    pfs: usize,
+    /// Host logical cores (`available_parallelism`).
+    host_cores: usize,
+    /// Worker count the parallel leg resolved to.
+    workers: usize,
+    /// Per-job trace length (warmup + measure).
+    accesses: usize,
+    serial_secs: f64,
+    parallel_secs: f64,
+    /// Serial wall-clock over parallel wall-clock: the fourth gated
+    /// metric, on hosts with >= 4 cores (auto-skipped below).
+    speedup: f64,
+    /// Serialized results byte-identical between the two legs.
+    results_match: bool,
+}
+
 /// The full machine-readable report (`BENCH_sim.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct GateReport {
@@ -153,6 +190,9 @@ struct GateReport {
     /// gated metric ("dispatched SIMD backend vs scalar on the raw
     /// batched kernel path").
     kernel: KernelReport,
+    /// Parallel-sweep timing; `matrix.speedup` is the fourth gated
+    /// metric. `None` under `--no-matrix`.
+    matrix: Option<MatrixReport>,
 }
 
 /// The committed regression baseline (speedups only: machine-portable).
@@ -161,6 +201,7 @@ struct Baseline {
     engine_core_speedup: f64,
     controller_speedup: f64,
     kernel_speedup: f64,
+    matrix_speedup: f64,
     aggregate_speedup: f64,
     geo_mean_speedup: f64,
 }
@@ -266,6 +307,48 @@ fn measure_kernels(reps: usize, steps: usize) -> KernelReport {
     }
 }
 
+/// Time the identical `run_matrix` workload serially and in parallel.
+/// Legs alternate within each rep so host-speed drift hits both alike
+/// and cancels out of the best-of ratio, and the serialized results are
+/// compared for byte identity — the executor's determinism contract,
+/// checked on real simulation jobs every gate run.
+fn measure_matrix(reps: usize, warmup: usize, measure: usize, seed: u64) -> MatrixReport {
+    let apps: Vec<String> = APP_NAMES.iter().map(|s| s.to_string()).collect();
+    let pfs = ["bo"];
+    let params = |jobs: usize| runner::SweepParams {
+        warmup,
+        measure,
+        seed,
+        jobs,
+        ..Default::default()
+    };
+    let mut serial_secs = f64::INFINITY;
+    let mut parallel_secs = f64::INFINITY;
+    let mut serial_out = String::new();
+    let mut parallel_out = String::new();
+    for _ in 0..reps.max(2) {
+        let t0 = Instant::now();
+        let rs = runner::run_matrix(&apps, &pfs, &params(1));
+        serial_secs = serial_secs.min(t0.elapsed().as_secs_f64());
+        serial_out = serde_json::to_string(&rs).expect("results serialize");
+        let t0 = Instant::now();
+        let rp = runner::run_matrix(&apps, &pfs, &params(0));
+        parallel_secs = parallel_secs.min(t0.elapsed().as_secs_f64());
+        parallel_out = serde_json::to_string(&rp).expect("results serialize");
+    }
+    MatrixReport {
+        apps: apps.len(),
+        pfs: pfs.len(),
+        host_cores: host_parallelism(),
+        workers: resolve_jobs(0),
+        accesses: warmup + measure,
+        serial_secs,
+        parallel_secs,
+        speedup: serial_secs / parallel_secs,
+        results_match: serial_out == parallel_out,
+    }
+}
+
 fn main() {
     let opts = Options::from_env_checked(&[
         "check",
@@ -281,6 +364,10 @@ fn main() {
         "reps",
         "kernel-steps",
         "min-kernel-speedup",
+        "no-matrix",
+        "matrix-accesses",
+        "matrix-warmup",
+        "min-matrix-speedup",
     ]);
     let warmup = opts.usize("warmup", 10_000);
     let measure = opts.usize("accesses", 40_000);
@@ -299,6 +386,13 @@ fn main() {
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(1.3);
     let kernel_steps = opts.usize("kernel-steps", 200).max(1);
+    let min_matrix_speedup = opts
+        .str("min-matrix-speedup")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(2.0);
+    let matrix_warmup = opts.usize("matrix-warmup", 2_000);
+    let matrix_measure = opts.usize("matrix-accesses", 10_000);
+    let no_matrix = opts.flag("no-matrix");
     let controller_warmup = opts.usize("controller-warmup", 1_000);
     let controller_measure = opts.usize("controller-accesses", 5_000);
     let no_controller = opts.flag("no-controller");
@@ -496,6 +590,14 @@ fn main() {
     // available backend, on the now-warm host.
     let kernel = measure_kernels(reps, kernel_steps);
 
+    // Parallel-sweep section: run_matrix serial vs parallel on the
+    // now-warm host, plus the byte-identity check of the two result sets.
+    let matrix = if no_matrix {
+        None
+    } else {
+        Some(measure_matrix(reps, matrix_warmup, matrix_measure, seed))
+    };
+
     let total_accesses: usize = jobs.iter().map(|j| j.accesses).sum();
     let engine_secs: f64 = jobs.iter().map(|j| j.engine_secs).sum();
     let reference_secs: f64 = jobs.iter().map(|j| j.reference_secs).sum();
@@ -535,6 +637,7 @@ fn main() {
         controller_jobs,
         jobs,
         kernel,
+        matrix,
     };
 
     // Per-app table: accesses/sec (engine), speedup per prefetcher column.
@@ -661,6 +764,31 @@ fn main() {
         );
     }
 
+    if let Some(m) = &rep.matrix {
+        println!(
+            "\nparallel sweep (run_matrix, {} apps x {} pfs, {} accesses/job, {} workers on {} cores):",
+            m.apps, m.pfs, m.accesses, m.workers, m.host_cores
+        );
+        println!(
+            "  serial {:.2}s vs parallel {:.2}s -> {:.2}x{}",
+            m.serial_secs,
+            m.parallel_secs,
+            m.speedup,
+            if m.results_match { "" } else { " !RESULTS" }
+        );
+        if m.host_cores >= 4 {
+            println!(
+                "matrix speedup (gated): {:.2}x parallel vs serial (target >= {min_matrix_speedup:.2}x)",
+                m.speedup
+            );
+        } else {
+            println!(
+                "matrix speedup: {:.2}x — not gated on a {}-core host (gate needs >= 4 cores)",
+                m.speedup, m.host_cores
+            );
+        }
+    }
+
     if let Err(e) = std::fs::write(
         &json_path,
         serde_json::to_string_pretty(&rep).expect("report serializes"),
@@ -695,6 +823,18 @@ fn main() {
             dp_mismatches.join(", ")
         ));
     }
+    // Byte identity between the serial and parallel sweep is an
+    // unconditional invariant (DESIGN.md §9) — checked at any core
+    // count, even where the speedup itself is not gated.
+    if let Some(m) = &rep.matrix {
+        if !m.results_match {
+            failures.push(
+                "parallel run_matrix results diverged from the serial run \
+                 (the executor's ordered merge must make worker count invisible)"
+                    .to_string(),
+            );
+        }
+    }
 
     if write_baseline {
         if rep.controller_jobs.is_empty() {
@@ -709,10 +849,32 @@ fn main() {
             );
             std::process::exit(2);
         }
+        // Below 4 cores the parallel/serial ratio measures scheduling
+        // overhead, not parallelism, so keep the committed value (or the
+        // absolute floor on a first write) instead of freezing a
+        // meaningless number into the baseline.
+        let matrix_speedup = match &rep.matrix {
+            Some(m) if m.host_cores >= 4 => m.speedup,
+            _ => {
+                let kept = std::fs::read_to_string(&baseline_path)
+                    .ok()
+                    .and_then(|s| serde_json::from_str(&s).ok())
+                    .and_then(|v: serde_json::Value| {
+                        v.get("matrix_speedup").and_then(|x| x.as_f64())
+                    })
+                    .unwrap_or(min_matrix_speedup);
+                eprintln!(
+                    "warning: matrix_speedup not measurable here (<4 cores or \
+                     --no-matrix); keeping {kept:.2}x in the baseline"
+                );
+                kept
+            }
+        };
         let b = Baseline {
             engine_core_speedup: rep.engine_core_speedup,
             controller_speedup: rep.controller_speedup,
             kernel_speedup: rep.kernel.speedup,
+            matrix_speedup,
             aggregate_speedup: rep.aggregate_speedup,
             geo_mean_speedup: rep.geo_mean_speedup,
         };
@@ -730,37 +892,50 @@ fn main() {
             .ok()
             .and_then(|s| serde_json::from_str(&s).ok());
         // (metric label, baseline key, measured value, required minimum,
-        //  measured?) — each gated metric fails independently on either a
-        // >10% drop below its committed baseline or its absolute minimum.
+        //  skip reason) — each gated metric fails independently on either
+        // a >10% drop below its committed baseline or its absolute
+        // minimum; a `Some` skip reason exempts it on this host.
+        let matrix_skip = match &rep.matrix {
+            None => Some("--no-matrix".to_string()),
+            Some(m) if m.host_cores < 4 => {
+                Some(format!("host has {} cores, gate needs >= 4", m.host_cores))
+            }
+            Some(_) => None,
+        };
         let gated = [
             (
                 "engine-core",
                 "engine_core_speedup",
                 rep.engine_core_speedup,
                 min_speedup,
-                true,
+                None::<String>,
             ),
             (
                 "controller",
                 "controller_speedup",
                 rep.controller_speedup,
                 min_controller_speedup,
-                !no_controller,
+                no_controller.then(|| "--no-controller".to_string()),
             ),
             (
                 "kernel",
                 "kernel_speedup",
                 rep.kernel.speedup,
                 min_kernel_speedup,
-                rep.kernel.dispatched != "scalar",
+                (rep.kernel.dispatched == "scalar")
+                    .then(|| "scalar-dispatched kernels".to_string()),
+            ),
+            (
+                "matrix",
+                "matrix_speedup",
+                rep.matrix.as_ref().map_or(0.0, |m| m.speedup),
+                min_matrix_speedup,
+                matrix_skip,
             ),
         ];
-        for (label, key, measured, min_required, was_measured) in gated {
-            if !was_measured {
-                eprintln!(
-                    "warning: {label} speedup not measured (--no-controller or \
-                     scalar-dispatched kernels); not gated"
-                );
+        for (label, key, measured, min_required, skip) in gated {
+            if let Some(reason) = skip {
+                eprintln!("warning: {label} speedup not gated ({reason})");
                 continue;
             }
             match baseline

@@ -5,17 +5,21 @@
 //!
 //! One binary covers all five (they share no workload); the per-table
 //! binaries `table02_budgets` … `table08_storage` named in DESIGN.md are
-//! provided as thin aliases via the `--only` flag.
+//! provided as thin aliases via the `--only` flag. Each table renders as
+//! one job on the deterministic executor (DESIGN.md §9) and is printed in
+//! commit order, so stdout is bit-identical at any `--jobs N`.
 
 use resemble_bench::{report, Options};
 use resemble_core::overhead::{LatencyEstimate, StorageEstimate};
 use resemble_core::ResembleConfig;
 use resemble_prefetch::paper_bank;
+use resemble_runtime::Sweep;
 use resemble_sim::SimConfig;
 use resemble_stats::Table;
+use std::fmt::Write;
 
-fn table02() {
-    println!("--- Table II: input prefetcher budgets ---");
+fn table02() -> String {
+    let mut out = String::from("--- Table II: input prefetcher budgets ---\n");
     let bank = paper_bank();
     let mut t = Table::new(vec![
         "Prefetcher",
@@ -35,37 +39,45 @@ fn table02() {
         "19.7KB".to_string(),
         format!("{:.1}KB", bank.budget_bytes() as f64 / 1024.0),
     ]);
-    println!("{}", t.render());
+    writeln!(out, "{}", t.render()).unwrap();
+    out
 }
 
-fn table03() {
-    println!("--- Table III: ReSemble framework configuration ---");
+fn table03() -> String {
+    let mut out = String::from("--- Table III: ReSemble framework configuration ---\n");
     let cfg = ResembleConfig::default();
     let mut t = Table::new(vec!["Configuration", "Value"]);
     for (k, v) in cfg.table_iii_rows() {
         t.row(vec![k, v]);
     }
-    println!("{}", t.render());
-    println!("(α = 0.05 from our grid search; the paper grid-searches but does not report α)\n");
+    writeln!(out, "{}", t.render()).unwrap();
+    writeln!(
+        out,
+        "(α = 0.05 from our grid search; the paper grid-searches but does not report α)\n"
+    )
+    .unwrap();
+    out
 }
 
-fn table05() {
-    println!("--- Table V: simulation parameters (paper-scale and harness-scale) ---");
+fn table05() -> String {
+    let mut out =
+        String::from("--- Table V: simulation parameters (paper-scale and harness-scale) ---\n");
     for (label, cfg) in [
         ("Table V (paper)", SimConfig::default()),
         ("harness (8x scaled)", SimConfig::harness()),
     ] {
-        println!("[{label}]");
+        writeln!(out, "[{label}]").unwrap();
         let mut t = Table::new(vec!["Parameter", "Value"]);
         for (k, v) in cfg.table_v_rows() {
             t.row(vec![k, v]);
         }
-        println!("{}", t.render());
+        writeln!(out, "{}", t.render()).unwrap();
     }
+    out
 }
 
-fn table07() {
-    println!("--- Table VII: inference latency estimate (Eq. 14) ---");
+fn table07() -> String {
+    let mut out = String::from("--- Table VII: inference latency estimate (Eq. 14) ---\n");
     let est = LatencyEstimate::for_config(&ResembleConfig::default());
     let mut t = Table::new(vec!["Phase", "Cycles (Eq. 14)", "Cycles (paper)"]);
     t.row(vec![
@@ -103,13 +115,22 @@ fn table07() {
         est.total().to_string(),
         "22".into(),
     ]);
-    println!("{}", t.render());
-    println!("(the paper's per-phase matrix-multiply cycles include fixed-point multiplier");
-    println!(" stages beyond the printed ⌈1+log2·⌉ adder-tree formula; see EXPERIMENTS.md)\n");
+    writeln!(out, "{}", t.render()).unwrap();
+    writeln!(
+        out,
+        "(the paper's per-phase matrix-multiply cycles include fixed-point multiplier"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        " stages beyond the printed ⌈1+log2·⌉ adder-tree formula; see EXPERIMENTS.md)\n"
+    )
+    .unwrap();
+    out
 }
 
-fn table08() {
-    println!("--- Table VIII: storage overhead ---");
+fn table08() -> String {
+    let mut out = String::from("--- Table VIII: storage overhead ---\n");
     let est = StorageEstimate::for_config(&ResembleConfig::default());
     let mut t = Table::new(vec!["Structure", "Size (measured)", "Size (paper)"]);
     t.row(vec![
@@ -127,8 +148,12 @@ fn table08() {
         format!("{:.2}KB", est.total() as f64 / 1024.0),
         "39.0KB".into(),
     ]);
-    println!("{}", t.render());
+    writeln!(out, "{}", t.render()).unwrap();
+    out
 }
+
+/// A table renderer: returns the fully formatted table text.
+type TableFn = fn() -> String;
 
 fn main() {
     let opts = Options::from_env_checked(&["only"]);
@@ -136,21 +161,22 @@ fn main() {
         "Tables II / III / V / VII / VIII",
         "Configuration and analytic-overhead tables",
     );
-    let only = opts.str("only");
-    let run = |name: &str| only.is_none() || only == Some(name);
-    if run("table02") {
-        table02();
+    let only = opts.str("only").map(str::to_string);
+    let run = |name: &str| only.is_none() || only.as_deref() == Some(name);
+    let tables: &[(&str, TableFn)] = &[
+        ("table02", table02),
+        ("table03", table03),
+        ("table05", table05),
+        ("table07", table07),
+        ("table08", table08),
+    ];
+    let mut sweep = Sweep::for_bin("tables_static", opts.usize("jobs", 0));
+    for &(name, render) in tables {
+        if run(name) {
+            sweep.push(name, move |_| render());
+        }
     }
-    if run("table03") {
-        table03();
-    }
-    if run("table05") {
-        table05();
-    }
-    if run("table07") {
-        table07();
-    }
-    if run("table08") {
-        table08();
+    for rendered in sweep.run() {
+        print!("{rendered}");
     }
 }

@@ -3,14 +3,16 @@
 //! Every figure/table binary accepts:
 //! `--accesses N` (measurement accesses), `--warmup N`, `--seed S`,
 //! `--apps a,b,c` (subset of app names), `--json PATH` (machine-readable
-//! dump), `--threads N`.
+//! dump), `--jobs N` (sweep worker count; 0/unset falls back to
+//! `RESEMBLE_JOBS`, then host cores — results are bit-identical at any
+//! value, see DESIGN.md §9).
 
 use std::collections::HashMap;
 
 /// Flags every harness binary understands (see the module docs). Binaries
 /// with extra flags pass them to [`Options::from_env_checked`] /
 /// [`Options::warn_unknown`] on top of this set.
-pub const COMMON_FLAGS: &[&str] = &["accesses", "warmup", "seed", "apps", "json", "threads"];
+pub const COMMON_FLAGS: &[&str] = &["accesses", "warmup", "seed", "apps", "json", "jobs"];
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]

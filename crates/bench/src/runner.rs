@@ -1,8 +1,10 @@
-//! Parallel sweep runner: (application × prefetcher) simulation jobs over
-//! a scoped thread pool (no rayon — std scoped threads, an atomic work
-//! index, and `std::sync::mpsc` for result collection per DESIGN.md §4).
+//! Parallel sweep runner: (application × prefetcher) simulation jobs on
+//! the deterministic `resemble-runtime` executor (DESIGN.md §9) — fixed
+//! worker pool, ordered merge, panic isolation that names the failing
+//! job, and results bit-identical to a serial run at any `--jobs N`.
 
 use crate::factory;
+use resemble_runtime::Sweep;
 use resemble_sim::{Engine, SimConfig, SimStats};
 use resemble_trace::gen::app_by_name;
 use serde::{Deserialize, Serialize};
@@ -55,8 +57,9 @@ pub struct SweepParams {
     pub fast: bool,
     /// Simulator configuration.
     pub sim: SimConfig,
-    /// Worker threads (0 = available parallelism).
-    pub threads: usize,
+    /// Worker count (0 = `--jobs` unset: `RESEMBLE_JOBS`, then host
+    /// cores — see `resemble_runtime::resolve_jobs`).
+    pub jobs: usize,
 }
 
 impl Default for SweepParams {
@@ -67,21 +70,8 @@ impl Default for SweepParams {
             seed: 42,
             fast: true,
             sim: SimConfig::harness(),
-            threads: 0,
+            jobs: 0,
         }
-    }
-}
-
-impl SweepParams {
-    fn n_threads(&self, jobs: usize) -> usize {
-        let avail = if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        };
-        avail.min(jobs).max(1)
     }
 }
 
@@ -137,14 +127,7 @@ pub fn run_matrix_counted(
     p: &SweepParams,
     baseline_runs: Option<&std::sync::atomic::AtomicUsize>,
 ) -> Vec<RunResult> {
-    let jobs: Vec<(usize, usize, String, String)> = apps
-        .iter()
-        .enumerate()
-        .flat_map(|(ai, a)| pfs.iter().map(move |&f| (ai, a.clone(), f.to_string())))
-        .enumerate()
-        .map(|(i, (ai, a, f))| (i, ai, a, f))
-        .collect();
-    if jobs.is_empty() {
+    if apps.is_empty() || pfs.is_empty() {
         return Vec::new();
     }
     // One cell per app: the first worker to need an app's baseline runs
@@ -152,64 +135,52 @@ pub fn run_matrix_counted(
     // rather than duplicating the simulation.
     let baselines: Vec<std::sync::OnceLock<SimStats>> =
         apps.iter().map(|_| std::sync::OnceLock::new()).collect();
-    let n_threads = p.n_threads(jobs.len());
-    // mpsc receivers are not cloneable, so workers claim jobs through a
-    // shared atomic cursor over the job list instead of a job channel.
-    let next_job = std::sync::atomic::AtomicUsize::new(0);
-    let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, RunResult)>();
-    std::thread::scope(|s| {
-        for _ in 0..n_threads {
-            let res_tx = res_tx.clone();
-            let jobs = &jobs;
-            let next_job = &next_job;
+    let mut sweep = Sweep::for_bin("run_matrix", p.jobs).base_seed(p.seed);
+    for (ai, app) in apps.iter().enumerate() {
+        for &pf in pfs {
             let baselines = &baselines;
-            let p = *p;
-            s.spawn(move || loop {
-                let k = next_job.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some((i, ai, app, pf)) = jobs.get(k) else {
-                    break;
-                };
-                let baseline = *baselines[*ai].get_or_init(|| {
+            sweep.push(format!("{app}/{pf}"), move |_ctx| {
+                let baseline = *baselines[ai].get_or_init(|| {
                     if let Some(c) = baseline_runs {
                         c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     }
-                    run_baseline(app, &p)
+                    run_baseline(app, p)
                 });
-                let r = RunResult {
+                RunResult {
                     app: app.clone(),
-                    pf: pf.clone(),
+                    pf: pf.to_string(),
                     baseline,
-                    with_pf: run_with_pf(app, pf, &p),
-                };
-                res_tx.send((*i, r)).expect("result channel open");
+                    with_pf: run_with_pf(app, pf, p),
+                }
             });
         }
-        drop(res_tx);
-        let mut out: Vec<Option<RunResult>> = (0..jobs.len()).map(|_| None).collect();
-        while let Ok((i, r)) = res_rx.recv() {
-            out[i] = Some(r);
-        }
-        // A worker that panicked drops its sender without reporting its
-        // claimed job; name the missing (app, pf) pairs instead of dying
-        // on an anonymous unwrap.
-        let mut results = Vec::with_capacity(jobs.len());
-        let mut dead: Vec<String> = Vec::new();
-        for (r, (_, _, app, pf)) in out.into_iter().zip(&jobs) {
-            match r {
-                Some(r) => results.push(r),
-                None => dead.push(format!("({app}, {pf})")),
-            }
-        }
-        if !dead.is_empty() {
-            panic!(
-                "sweep worker panicked; no result for {} of {} jobs: {}",
-                dead.len(),
-                jobs.len(),
-                dead.join(", ")
-            );
-        }
-        results
-    })
+    }
+    let n = sweep.len();
+    let outcome = sweep.try_run();
+    // Panic isolation in the executor means every sibling still ran;
+    // name the dead (app, pf) pairs instead of dying on an anonymous
+    // unwrap.
+    let dead: Vec<String> = outcome
+        .failures()
+        .iter()
+        .map(|e| {
+            let (app, pf) = e.key.split_once('/').unwrap_or((e.key.as_str(), "?"));
+            format!("({app}, {pf})")
+        })
+        .collect();
+    if !dead.is_empty() {
+        panic!(
+            "sweep worker panicked; no result for {} of {} jobs: {}",
+            dead.len(),
+            n,
+            dead.join(", ")
+        );
+    }
+    outcome
+        .results
+        .into_iter()
+        .map(|r| r.expect("failures handled above"))
+        .collect()
 }
 
 /// Write results as JSON when `--json PATH` was given.
@@ -237,7 +208,7 @@ mod tests {
             warmup: 500,
             measure: 2000,
             sim: SimConfig::test_small(),
-            threads: 2,
+            jobs: 2,
             ..Default::default()
         }
     }
@@ -273,25 +244,30 @@ mod tests {
     #[test]
     fn matrix_computes_each_baseline_once_with_identical_results() {
         let apps = vec!["433.milc".to_string(), "471.omnetpp".to_string()];
-        let n = std::sync::atomic::AtomicUsize::new(0);
-        let rs = run_matrix_counted(&apps, &["bo", "isb"], &tiny(), Some(&n));
-        assert_eq!(
-            n.load(std::sync::atomic::Ordering::Relaxed),
-            apps.len(),
-            "baseline must run exactly once per app, not once per job"
-        );
-        for r in &rs {
-            let ser = run_one(&r.app, &r.pf, &tiny());
+        // Once-per-app must hold at every worker count, including heavy
+        // oversubscription where all four jobs race the two cells.
+        for jobs in [2usize, 8] {
+            let p = SweepParams { jobs, ..tiny() };
+            let n = std::sync::atomic::AtomicUsize::new(0);
+            let rs = run_matrix_counted(&apps, &["bo", "isb"], &p, Some(&n));
             assert_eq!(
-                format!("{:?}", r.baseline),
-                format!("{:?}", ser.baseline),
-                "shared baseline must be bit-identical to a per-job run"
+                n.load(std::sync::atomic::Ordering::Relaxed),
+                apps.len(),
+                "baseline must run exactly once per app, not once per job (jobs={jobs})"
             );
-            assert_eq!(
-                format!("{:?}", r.with_pf),
-                format!("{:?}", ser.with_pf),
-                "dedup must not perturb the measured run"
-            );
+            for r in &rs {
+                let ser = run_one(&r.app, &r.pf, &tiny());
+                assert_eq!(
+                    format!("{:?}", r.baseline),
+                    format!("{:?}", ser.baseline),
+                    "shared baseline must be bit-identical to a per-job run"
+                );
+                assert_eq!(
+                    format!("{:?}", r.with_pf),
+                    format!("{:?}", ser.with_pf),
+                    "dedup must not perturb the measured run"
+                );
+            }
         }
     }
 

@@ -1,0 +1,80 @@
+//! The DESIGN.md §9 contract, end to end: every byte a sweep emits —
+//! serialized results, derived CSV rows — is identical at `--jobs 1`,
+//! `--jobs 2`, and `--jobs 8`. Worker count is a throughput knob, never
+//! an output knob.
+
+use resemble_bench::runner::{run_matrix, RunResult, SweepParams};
+use resemble_sim::SimConfig;
+
+fn params(jobs: usize) -> SweepParams {
+    SweepParams {
+        warmup: 500,
+        measure: 2500,
+        sim: SimConfig::test_small(),
+        jobs,
+        ..Default::default()
+    }
+}
+
+fn sweep_at(jobs: usize) -> Vec<RunResult> {
+    let apps = vec![
+        "433.milc".to_string(),
+        "471.omnetpp".to_string(),
+        "623.xalancbmk".to_string(),
+    ];
+    run_matrix(&apps, &["bo", "isb", "resemble_t"], &params(jobs))
+}
+
+/// The CSV shape the figure bins derive from a matrix: one row per
+/// (app, pf) with the headline metrics at full float precision, so any
+/// drift — reordering or numeric — flips bytes.
+fn to_csv(results: &[RunResult]) -> String {
+    let mut out = String::from("app,pf,accuracy,coverage,ipc_improvement,mpki_reduction\n");
+    for r in results {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            r.app,
+            r.pf,
+            r.accuracy_pct(),
+            r.coverage_pct(),
+            r.ipc_improvement_pct(),
+            r.mpki_reduction_pct()
+        ));
+    }
+    out
+}
+
+#[test]
+fn json_and_csv_outputs_are_byte_identical_across_jobs_1_2_8() {
+    let serial = sweep_at(1);
+    let serial_json = serde_json::to_string_pretty(&serial).unwrap();
+    let serial_csv = to_csv(&serial);
+    for jobs in [2usize, 8] {
+        let par = sweep_at(jobs);
+        assert_eq!(
+            serial_json,
+            serde_json::to_string_pretty(&par).unwrap(),
+            "JSON bytes must not depend on worker count (jobs={jobs})"
+        );
+        assert_eq!(
+            serial_csv,
+            to_csv(&par),
+            "CSV bytes must not depend on worker count (jobs={jobs})"
+        );
+    }
+}
+
+#[test]
+fn env_override_matches_explicit_jobs() {
+    // `jobs: 0` defers to RESEMBLE_JOBS; the bytes still must not move.
+    // Env mutation is process-global, so keep it inside this one test.
+    let serial = sweep_at(1);
+    std::env::set_var("RESEMBLE_JOBS", "3");
+    let via_env = sweep_at(0);
+    std::env::remove_var("RESEMBLE_JOBS");
+    assert_eq!(
+        serde_json::to_string_pretty(&serial).unwrap(),
+        serde_json::to_string_pretty(&via_env).unwrap(),
+        "RESEMBLE_JOBS must change throughput only, never bytes"
+    );
+}

@@ -34,6 +34,18 @@ pub struct UnsafeAllowedEntry {
     pub line: u32,
 }
 
+/// One `[[thread-allowed]]` entry: a file outside the thread-owning
+/// crates sanctioned to create raw threads, with the reason it needs to.
+#[derive(Debug, Clone)]
+pub struct ThreadAllowedEntry {
+    /// Workspace-relative path of the allowlisted file.
+    pub file: String,
+    /// Why this file legitimately creates threads (required).
+    pub reason: String,
+    /// Line in lint.toml (for diagnostics).
+    pub line: u32,
+}
+
 /// Parsed `lint.toml`.
 #[derive(Debug, Default)]
 pub struct LintConfig {
@@ -51,6 +63,12 @@ pub struct LintConfig {
     /// section is present validation requires exact agreement in both
     /// directions).
     pub unsafe_allowed: Vec<UnsafeAllowedEntry>,
+    /// Files outside crates/runtime and crates/serve sanctioned to create
+    /// raw threads (`thread-outside-runtime`; optional like the unsafe
+    /// section — the rule's scope table `rules::THREAD_ALLOWED_FILES` is
+    /// authoritative, and when the section is present validation requires
+    /// exact agreement in both directions).
+    pub thread_allowed: Vec<ThreadAllowedEntry>,
     /// File-level rule exemptions.
     pub allows: Vec<AllowEntry>,
 }
@@ -115,6 +133,12 @@ impl LintConfig {
                         reason: String::new(),
                         line: line_no,
                     });
+                } else if name.trim() == "thread-allowed" {
+                    cfg.thread_allowed.push(ThreadAllowedEntry {
+                        file: String::new(),
+                        reason: String::new(),
+                        line: line_no,
+                    });
                 }
                 continue;
             }
@@ -163,6 +187,21 @@ impl LintConfig {
                             path,
                             line_no,
                             format!("unknown [[unsafe-allowed]] key `{other}`"),
+                        )),
+                    }
+                }
+                ("[[thread-allowed]]", _) => {
+                    let Some(entry) = cfg.thread_allowed.last_mut() else {
+                        continue;
+                    };
+                    match k.as_str() {
+                        "file" => entry.file = v,
+                        "reason" => entry.reason = v,
+                        other => errors.push(Diagnostic::error(
+                            "lint-config",
+                            path,
+                            line_no,
+                            format!("unknown [[thread-allowed]] key `{other}`"),
                         )),
                     }
                 }
@@ -272,6 +311,61 @@ impl LintConfig {
                             "rules::UNSAFE_ALLOWED_FILES contains `{f}` but lint.toml has \
                              no matching [[unsafe-allowed]] entry — add one with the \
                              reason the file needs unsafe"
+                        ),
+                    ));
+                }
+            }
+        }
+        // [[thread-allowed]] follows the same contract as
+        // [[unsafe-allowed]]: optional as a whole, but once present it
+        // must mirror rules::THREAD_ALLOWED_FILES exactly.
+        if !self.thread_allowed.is_empty() {
+            for e in &self.thread_allowed {
+                if e.file.is_empty() || e.reason.is_empty() {
+                    out.push(Diagnostic::error(
+                        "lint-config",
+                        config_path,
+                        e.line,
+                        "[[thread-allowed]] entries need file and reason".to_string(),
+                    ));
+                    continue;
+                }
+                if !root.join(&e.file).is_file() {
+                    out.push(Diagnostic::error(
+                        "lint-config",
+                        config_path,
+                        e.line,
+                        format!(
+                            "stale [[thread-allowed]] entry: `{}` does not exist — \
+                             remove the entry or fix the path",
+                            e.file
+                        ),
+                    ));
+                }
+                if !crate::rules::THREAD_ALLOWED_FILES.contains(&e.file.as_str()) {
+                    out.push(Diagnostic::error(
+                        "lint-config",
+                        config_path,
+                        e.line,
+                        format!(
+                            "[[thread-allowed]] entry `{}` disagrees with the rule's scope \
+                             table (rules::THREAD_ALLOWED_FILES) — update both in the same \
+                             change",
+                            e.file
+                        ),
+                    ));
+                }
+            }
+            for f in crate::rules::THREAD_ALLOWED_FILES {
+                if !self.thread_allowed.iter().any(|e| e.file == *f) {
+                    out.push(Diagnostic::error(
+                        "lint-config",
+                        config_path,
+                        0,
+                        format!(
+                            "rules::THREAD_ALLOWED_FILES contains `{f}` but lint.toml has \
+                             no matching [[thread-allowed]] entry — add one with the \
+                             reason the file creates threads"
                         ),
                     ));
                 }
@@ -418,6 +512,66 @@ mod tests {
 
         // Entries without a reason are rejected.
         let bare = format!("{base}[[unsafe-allowed]]\nfile = \"crates/nn/src/simd.rs\"\n");
+        let cfg = LintConfig::parse(&bare, "lint.toml").unwrap();
+        let diags = cfg.validate(&repo_root(), "lint.toml");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("need file and reason")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn thread_allowed_section_is_optional_but_must_match_the_scope_table() {
+        let base = "[reference-engine-frozen]\n\
+                    file = \"crates/sim/src/reference.rs\"\n\
+                    sha256 = \"abc\"\n";
+        // Absent: fine.
+        let cfg = LintConfig::parse(base, "lint.toml").unwrap();
+        assert!(cfg.thread_allowed.is_empty());
+
+        // Complete and matching: no thread-allowed findings.
+        let mut good = base.to_string();
+        for f in crate::rules::THREAD_ALLOWED_FILES {
+            good.push_str(&format!(
+                "[[thread-allowed]]\nfile = \"{f}\"\nreason = \"load driver\"\n"
+            ));
+        }
+        let cfg = LintConfig::parse(&good, "lint.toml").unwrap();
+        let diags = cfg.validate(&repo_root(), "lint.toml");
+        assert!(
+            diags.iter().all(|d| !d.message.contains("thread-allowed")),
+            "{diags:?}"
+        );
+
+        // An entry outside the scope table disagrees loudly.
+        let bad = format!(
+            "{good}[[thread-allowed]]\nfile = \"crates/sim/src/engine.rs\"\nreason = \"nope\"\n"
+        );
+        let cfg = LintConfig::parse(&bad, "lint.toml").unwrap();
+        let diags = cfg.validate(&repo_root(), "lint.toml");
+        assert!(
+            diags.iter().any(|d| d.message.contains("disagrees")),
+            "{diags:?}"
+        );
+
+        // A partial list misses table files: loud in the other direction.
+        let partial = format!(
+            "{base}[[thread-allowed]]\nfile = \"crates/bench/src/bin/serve.rs\"\n\
+             reason = \"probe client threads\"\n"
+        );
+        let cfg = LintConfig::parse(&partial, "lint.toml").unwrap();
+        let diags = cfg.validate(&repo_root(), "lint.toml");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("no matching [[thread-allowed]] entry")),
+            "{diags:?}"
+        );
+
+        // Entries without a reason are rejected.
+        let bare = format!("{base}[[thread-allowed]]\nfile = \"crates/bench/src/bin/serve.rs\"\n");
         let cfg = LintConfig::parse(&bare, "lint.toml").unwrap();
         let diags = cfg.validate(&repo_root(), "lint.toml");
         assert!(

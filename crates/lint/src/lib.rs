@@ -8,7 +8,7 @@
 //! `nondeterministic-iteration`, `wall-clock-in-sim`, `panic-in-hot-path`,
 //! `lossy-cast`, `float-eq`, `reference-engine-frozen`,
 //! `simd-outside-kernel`, `unsafe-undocumented`, `lock-order`,
-//! `blocking-in-event-loop`, `counter-pairing`.
+//! `blocking-in-event-loop`, `counter-pairing`, `thread-outside-runtime`.
 //!
 //! Analysis runs in two passes: per-file rules over each [`FileCtx`] in
 //! isolation, then the cross-file rules (`lock-order`,

@@ -17,6 +17,7 @@ pub mod nondet_iteration;
 pub mod panic_hot_path;
 pub mod reference_frozen;
 pub mod simd_kernel;
+pub mod thread_outside_runtime;
 pub mod unsafe_undocumented;
 pub mod wall_clock;
 
@@ -97,9 +98,29 @@ pub const LOCK_ORDER_CRATES: &[&str] = &["serve"];
 pub const CONVERT_FILE: &str = "crates/sim/src/convert.rs";
 
 /// The crates allowed to read wall-clock time: `bench` measures the host,
-/// and `serve` handles real deadlines and latency telemetry for live
-/// clients. Neither feeds simulated statistics.
-pub const WALL_CLOCK_CRATES: &[&str] = &["bench", "serve"];
+/// `serve` handles real deadlines and latency telemetry for live clients,
+/// and `runtime` stamps job durations into the run journal and progress
+/// line. None of the three feeds simulated statistics.
+pub const WALL_CLOCK_CRATES: &[&str] = &["bench", "serve", "runtime"];
+
+/// The crates whose *job* is thread management — the only places raw
+/// `std::thread::{spawn, scope, Builder}` may appear
+/// (`thread-outside-runtime`): `runtime` is the deterministic sweep
+/// executor (ordered merge, per-key seeds, panic isolation — DESIGN.md
+/// §9) and `serve` owns the epoll I/O + shard worker pools (§8).
+/// Everything else fans work out through `resemble_runtime::Sweep`.
+pub const THREAD_ALLOWED_CRATES: &[&str] = &["runtime", "serve"];
+
+/// Individual files outside [`THREAD_ALLOWED_CRATES`] sanctioned to
+/// create threads: the serve-stack bench binaries, whose load-driver
+/// client threads are real-time workload generators with no determinism
+/// contract to protect. Mirrored — with a reason per file — by the
+/// `[[thread-allowed]]` entries in `lint.toml`; the config loader
+/// cross-checks the two so neither can drift.
+pub const THREAD_ALLOWED_FILES: &[&str] = &[
+    "crates/bench/src/bin/serve.rs",
+    "crates/bench/src/bin/serve_bench.rs",
+];
 
 /// Paths where `==`/`!=` on floats is flagged (learning math: silent
 /// NaN/rounding surprises change Q-values).
@@ -116,7 +137,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "wall-clock-in-sim",
-        "std::time::{Instant, SystemTime} outside crates/bench and crates/serve; simulated time must come from the engine",
+        "std::time::{Instant, SystemTime} outside crates/bench, crates/serve, and crates/runtime; simulated time must come from the engine",
     ),
     (
         "panic-in-hot-path",
@@ -154,6 +175,10 @@ pub const RULES: &[(&str, &str)] = &[
         "counter-pairing",
         "*_opened/*_closed and *_acquired/*_released telemetry counters must both have a live fetch_add site (churn leak invariants)",
     ),
+    (
+        "thread-outside-runtime",
+        "std::thread::{spawn, scope, Builder} outside crates/runtime, crates/serve, and the [[thread-allowed]] bench binaries; fan out through resemble_runtime::Sweep",
+    ),
 ];
 
 /// Run every per-file rule over one file.
@@ -164,6 +189,7 @@ pub fn check_file(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     lossy_cast::check(ctx, out);
     float_eq::check(ctx, out);
     simd_kernel::check(ctx, out);
+    thread_outside_runtime::check(ctx, out);
     unsafe_undocumented::check(ctx, out);
     blocking_event_loop::check(ctx, out);
 }

@@ -72,6 +72,7 @@ mod tests {
             reference_sha256: sha.to_string(),
             simd_kernel_file: String::new(),
             unsafe_allowed: Vec::new(),
+            thread_allowed: Vec::new(),
             allows: Vec::new(),
         }
     }

@@ -1,15 +1,17 @@
 //! `wall-clock-in-sim`: `std::time::Instant` / `SystemTime` anywhere
-//! outside the exempt crates (`bench`, `serve`).
+//! outside the exempt crates (`bench`, `serve`, `runtime`).
 //!
 //! The simulator has exactly one notion of time — the engine's cycle
 //! counter. Wall-clock reads in simulation, learning, or stats code are
 //! either dead weight or, worse, leak host timing into results (e.g. a
 //! time-boxed training loop), which destroys reproducibility. Host time
-//! legitimately exists in exactly two places: `crates/bench` measures the
-//! host, and `crates/serve` tracks real request deadlines and latency
-//! telemetry for live clients. Neither feeds simulated statistics, and
-//! the serve bit-identity tests pin that wall time never reaches a model
-//! decision.
+//! legitimately exists in exactly three places: `crates/bench` measures
+//! the host, `crates/serve` tracks real request deadlines and latency
+//! telemetry for live clients, and `crates/runtime` stamps sweep-job
+//! durations into the run journal and progress line. None of the three
+//! feeds simulated statistics — the serve bit-identity tests pin that
+//! wall time never reaches a model decision, and the sweep determinism
+//! tests pin that journal timestamps never reach output bytes.
 
 use super::WALL_CLOCK_CRATES;
 use crate::diag::Diagnostic;
@@ -68,9 +70,10 @@ pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
                 &ctx.path,
                 t.line,
                 format!(
-                    "std::time::{name} outside crates/bench and crates/serve: simulated \
-                     time must come from the engine's cycle counter; host timing belongs \
-                     in bench (measurement) or serve (deadlines/telemetry)"
+                    "std::time::{name} outside crates/bench, crates/serve, and \
+                     crates/runtime: simulated time must come from the engine's cycle \
+                     counter; host timing belongs in bench (measurement), serve \
+                     (deadlines/telemetry), or runtime (sweep journal/progress)"
                 ),
             ));
         }
@@ -126,6 +129,15 @@ mod tests {
         let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n";
         assert!(run("crates/serve/src/shard.rs", src).is_empty());
         assert!(run("crates/serve/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn negative_runtime_is_exempt() {
+        // The sweep executor stamps job durations into the run journal
+        // and progress line; none of it feeds simulated statistics.
+        let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n";
+        assert!(run("crates/runtime/src/journal.rs", src).is_empty());
+        assert!(run("crates/runtime/src/progress.rs", src).is_empty());
     }
 
     #[test]

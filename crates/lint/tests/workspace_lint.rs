@@ -129,6 +129,11 @@ fn every_rule_catches_an_injected_violation() {
              pub struct T { pub conns_opened: AtomicU64, pub conns_closed: AtomicU64 }\n\
              impl T { pub fn open(&self) { self.conns_opened.fetch_add(1, Ordering::Relaxed); } }\n",
         ),
+        (
+            "thread-outside-runtime",
+            "crates/bench/src/runner.rs",
+            "pub fn f() { let h = std::thread::spawn(|| 1); let _ = h.join(); }\n",
+        ),
     ];
     for (rule, rel, body) in cases {
         let root = scratch_with_reference(rule);
@@ -176,6 +181,7 @@ fn rule_registry_matches_the_rule_modules() {
         rules::lock_order::RULE,
         rules::blocking_event_loop::RULE,
         rules::counter_pairing::RULE,
+        rules::thread_outside_runtime::RULE,
     ] {
         assert!(
             names.contains(&expected),

@@ -1,0 +1,356 @@
+//! The deterministic parallel executor: fixed worker pool, key-ordered
+//! result commit, panic isolation, bounded event channel.
+//!
+//! ## Scheduling model
+//!
+//! Jobs are materialized up front in a `Vec` — the job list *is* the
+//! schedule. Workers claim indices through a shared atomic cursor (so
+//! claiming is contention-cheap and in list order), run the job's
+//! closure under `catch_unwind`, and report `Start`/`Finish` events over
+//! a **bounded** channel back to the merge thread (the caller's thread).
+//! The bound gives backpressure: if the merge thread stalls (slow
+//! journal disk, huge results), workers block on `send` instead of
+//! buffering unbounded result memory.
+//!
+//! ## Ordered merge
+//!
+//! The merge thread buffers out-of-order completions in a `BTreeMap` and
+//! commits results strictly in job-list order via the `on_commit`
+//! callback — the callback runs on the caller's thread, so downstream
+//! aggregation (file writes, table rows, reduce stages) needs no
+//! synchronization and sees exactly the serial order. This is why output
+//! bytes cannot depend on the worker count.
+//!
+//! ## Panic isolation
+//!
+//! A panicking job is caught at the worker, converted into a [`JobError`]
+//! naming the job key, and committed in order like any other result;
+//! sibling jobs keep running and the pool is never poisoned. Callers
+//! decide whether a failed job is fatal ([`RunOutcome::expect_all`]) or
+//! recoverable.
+
+use crate::journal::Journal;
+use crate::progress::{Mode, Progress};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Per-job context handed to the job closure.
+#[derive(Debug, Clone)]
+pub struct JobCtx {
+    /// Position in the job list (also the commit position).
+    pub index: usize,
+    /// The job's name; seeds and diagnostics derive from it.
+    pub key: String,
+    /// Deterministic RNG seed: `seed::derive(base_seed, key)`. Never a
+    /// function of worker id or completion order.
+    pub seed: u64,
+}
+
+/// The boxed body of a [`Job`].
+type JobFn<'env, T> = Box<dyn FnOnce(&JobCtx) -> T + Send + 'env>;
+
+/// A claimable work slot: the job's context plus its body, taken exactly
+/// once by whichever worker's cursor claim lands on it.
+type Slot<'env, T> = Mutex<Option<(JobCtx, JobFn<'env, T>)>>;
+
+/// One schedulable unit: a key plus the closure that computes it.
+pub struct Job<'env, T> {
+    /// Job name, unique within a sweep (e.g. `"433.milc/bo"`).
+    pub key: String,
+    run: JobFn<'env, T>,
+}
+
+impl<'env, T> Job<'env, T> {
+    /// Build a job from a key and its work closure.
+    pub fn new(key: impl Into<String>, run: impl FnOnce(&JobCtx) -> T + Send + 'env) -> Self {
+        Self {
+            key: key.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// A job that panicked (or was lost to a dying worker).
+#[derive(Debug, Clone)]
+pub struct JobError {
+    /// Position in the job list.
+    pub index: usize,
+    /// The job's key.
+    pub key: String,
+    /// The panic payload (stringified) or a lost-worker note.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job '{}' panicked: {}", self.key, self.message)
+    }
+}
+
+/// Options for one sweep run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker count; 0 resolves via `RESEMBLE_JOBS` then host cores
+    /// ([`crate::resolve_jobs`]).
+    pub jobs: usize,
+    /// Base seed mixed into every job's derived seed.
+    pub base_seed: u64,
+    /// Whether the live progress line defaults on (bins) or off
+    /// (library/tests); `RESEMBLE_PROGRESS` overrides either way.
+    pub progress: bool,
+    /// JSONL journal path; `None` consults `RESEMBLE_RUN_JOURNAL`.
+    pub journal: Option<PathBuf>,
+    /// Run label for progress and journal records.
+    pub label: String,
+}
+
+impl RunOptions {
+    /// Library defaults: auto worker count, no progress, journal only if
+    /// `RESEMBLE_RUN_JOURNAL` is set.
+    pub fn new(label: &str) -> Self {
+        Self {
+            jobs: 0,
+            base_seed: 0,
+            progress: false,
+            journal: None,
+            label: label.to_string(),
+        }
+    }
+
+    /// Bin defaults: progress on, worker count from the `--jobs` flag
+    /// value (0 = auto).
+    pub fn for_bin(label: &str, cli_jobs: usize) -> Self {
+        Self {
+            jobs: cli_jobs,
+            progress: true,
+            ..Self::new(label)
+        }
+    }
+
+    /// Set the worker count (0 = auto).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Set the base seed for per-job seed derivation.
+    pub fn with_base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    fn open_journal(&self) -> Journal {
+        match &self.journal {
+            Some(p) => Journal::open(p),
+            None => match std::env::var_os("RESEMBLE_RUN_JOURNAL") {
+                Some(p) if !p.is_empty() => Journal::open(std::path::Path::new(&p)),
+                _ => Journal::disabled(),
+            },
+        }
+    }
+}
+
+/// The completed sweep: one `Result` per job, in job-list order.
+#[derive(Debug)]
+pub struct RunOutcome<T> {
+    /// Per-job results in job-list (key) order.
+    pub results: Vec<Result<T, JobError>>,
+}
+
+impl<T> RunOutcome<T> {
+    /// The failed jobs, in job order.
+    pub fn failures(&self) -> Vec<&JobError> {
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .collect()
+    }
+
+    /// Unwrap all results, panicking with every failed job's key if any
+    /// job died — the panic names jobs, not workers.
+    pub fn expect_all(self, what: &str) -> Vec<T> {
+        let n = self.results.len();
+        let mut out = Vec::with_capacity(n);
+        let mut failed: Vec<String> = Vec::new();
+        for r in self.results {
+            match r {
+                Ok(v) => out.push(v),
+                Err(e) => failed.push(format!("'{}' ({})", e.key, e.message)),
+            }
+        }
+        if !failed.is_empty() {
+            panic!(
+                "{what}: {} of {} jobs panicked: {}",
+                failed.len(),
+                n,
+                failed.join(", ")
+            );
+        }
+        out
+    }
+}
+
+enum Event<T> {
+    Started {
+        index: usize,
+    },
+    Finished {
+        index: usize,
+        out: Result<T, String>,
+        ms: u128,
+    },
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `jobs` on a fixed worker pool and commit results **in job-list
+/// order** through `on_commit(index, key, result)` on the caller's
+/// thread. See the module docs for the scheduling and determinism model.
+pub fn run_with<'env, T, F>(jobs: Vec<Job<'env, T>>, opts: &RunOptions, mut on_commit: F)
+where
+    T: Send + 'env,
+    F: FnMut(usize, &str, Result<T, JobError>),
+{
+    let n = jobs.len();
+    if n == 0 {
+        return;
+    }
+    let workers = crate::resolve_jobs(opts.jobs).min(n).max(1);
+    let keys: Vec<String> = jobs.iter().map(|j| j.key.clone()).collect();
+    // Claimable slots: the cursor hands out indices in list order; the
+    // mutex only guards the `take` (never held while the job runs).
+    let slots: Vec<Slot<'env, T>> = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(index, job)| {
+            let ctx = JobCtx {
+                index,
+                seed: crate::seed::derive(opts.base_seed, &job.key),
+                key: job.key,
+            };
+            Mutex::new(Some((ctx, job.run)))
+        })
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    // Bounded event channel: backpressure instead of unbounded result
+    // buffering when the merge thread is slower than the workers.
+    let (tx, rx) = sync_channel::<Event<T>>(workers * 2 + 2);
+
+    let mut journal = opts.open_journal();
+    let mut progress = Progress::new(Mode::resolve(opts.progress), &opts.label, n);
+    let run_t0 = Instant::now();
+    journal.run_start(&opts.label, n, workers);
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let slots = &slots;
+            let cursor = &cursor;
+            s.spawn(move || loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= slots.len() {
+                    break;
+                }
+                let Some((ctx, f)) = slots[k]
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .take()
+                else {
+                    continue;
+                };
+                if tx.send(Event::Started { index: k }).is_err() {
+                    break; // merge thread gone: nothing to report to
+                }
+                let t0 = Instant::now();
+                let out = catch_unwind(AssertUnwindSafe(|| f(&ctx))).map_err(panic_message);
+                let ms = t0.elapsed().as_millis();
+                if tx.send(Event::Finished { index: k, out, ms }).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        // Ordered merge on the caller's thread: buffer out-of-order
+        // completions, release strictly in index order.
+        let mut pending: BTreeMap<usize, Result<T, JobError>> = BTreeMap::new();
+        let mut next = 0usize;
+        let mut finished = 0usize;
+        let mut failed = 0usize;
+        while finished < n {
+            let Ok(ev) = rx.recv() else {
+                break; // every sender gone with jobs missing (worker died
+                       // outside catch_unwind); fall through to backfill
+            };
+            match ev {
+                Event::Started { index } => {
+                    journal.job_start(&opts.label, index, &keys[index]);
+                }
+                Event::Finished { index, out, ms } => {
+                    finished += 1;
+                    let ok = out.is_ok();
+                    if !ok {
+                        failed += 1;
+                    }
+                    journal.job_finish(
+                        &opts.label,
+                        index,
+                        &keys[index],
+                        if ok { "ok" } else { "panic" },
+                        ms,
+                    );
+                    progress.finished(&keys[index], ok, ms);
+                    pending.insert(
+                        index,
+                        out.map_err(|message| JobError {
+                            index,
+                            key: keys[index].clone(),
+                            message,
+                        }),
+                    );
+                    while let Some(r) = pending.remove(&next) {
+                        on_commit(next, &keys[next], r);
+                        next += 1;
+                    }
+                }
+            }
+        }
+        // Backfill: a worker that died outside catch_unwind (e.g. an
+        // abort-on-double-panic) leaves holes; report them as errors in
+        // order rather than hanging or dropping results on the floor.
+        while next < n {
+            let r = pending.remove(&next).unwrap_or_else(|| {
+                failed += 1;
+                Err(JobError {
+                    index: next,
+                    key: keys[next].clone(),
+                    message: "worker died without reporting a result".to_string(),
+                })
+            });
+            on_commit(next, &keys[next], r);
+            next += 1;
+        }
+        journal.run_end(&opts.label, n, failed, run_t0.elapsed().as_millis());
+        progress.close();
+    });
+}
+
+/// [`run_with`] collecting into a [`RunOutcome`].
+pub fn run<'env, T: Send + 'env>(jobs: Vec<Job<'env, T>>, opts: &RunOptions) -> RunOutcome<T> {
+    let mut results = Vec::with_capacity(jobs.len());
+    run_with(jobs, opts, |_, _, r| results.push(r));
+    RunOutcome { results }
+}

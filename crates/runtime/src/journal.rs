@@ -1,0 +1,185 @@
+//! Append-only JSONL run journal for post-hoc profiling.
+//!
+//! One line per event, written from the merge thread only (workers hand
+//! events over the bounded result channel, so the journal needs no
+//! locking). The journal is pure telemetry: wall-clock timestamps and
+//! completion order are recorded for profiling, and none of it feeds
+//! results — the determinism guarantee covers result bytes, not the
+//! journal.
+//!
+//! Enable by passing a path in [`RunOptions::journal`](crate::RunOptions)
+//! or setting `RESEMBLE_RUN_JOURNAL=path`; a process that runs several
+//! sweeps appends them all, each bracketed by `run_start` / `run_end`
+//! records carrying the run label.
+
+use std::io::Write;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Minimal JSON string escaping (quotes, backslash, control chars) —
+/// enough for job keys and run labels.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is broken).
+fn now_ms() -> u128 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+/// An open journal. Write failures are reported once and then the
+/// journal goes quiet — telemetry must never abort a sweep.
+pub struct Journal {
+    out: Option<std::io::BufWriter<std::fs::File>>,
+    warned: bool,
+}
+
+impl Journal {
+    /// Open (append) the journal at `path`.
+    pub fn open(path: &Path) -> Self {
+        let out = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path);
+        match out {
+            Ok(f) => Self {
+                out: Some(std::io::BufWriter::new(f)),
+                warned: false,
+            },
+            Err(e) => {
+                eprintln!("warning: cannot open run journal {}: {e}", path.display());
+                Self {
+                    out: None,
+                    warned: true,
+                }
+            }
+        }
+    }
+
+    /// A disabled journal (no path configured): every write is a no-op.
+    pub fn disabled() -> Self {
+        Self {
+            out: None,
+            warned: true,
+        }
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if let Some(w) = self.out.as_mut() {
+            if writeln!(w, "{line}").is_err() && !self.warned {
+                eprintln!("warning: run journal write failed; journaling disabled for this run");
+                self.warned = true;
+                self.out = None;
+            }
+        }
+    }
+
+    /// Record the start of a run: label, job count, worker count.
+    pub fn run_start(&mut self, label: &str, total: usize, workers: usize) {
+        self.write_line(&format!(
+            "{{\"ev\":\"run_start\",\"run\":\"{}\",\"jobs\":{},\"workers\":{},\"t_ms\":{}}}",
+            escape(label),
+            total,
+            workers,
+            now_ms()
+        ));
+    }
+
+    /// Record a job's dispatch to a worker.
+    pub fn job_start(&mut self, label: &str, index: usize, key: &str) {
+        self.write_line(&format!(
+            "{{\"ev\":\"start\",\"run\":\"{}\",\"index\":{},\"job\":\"{}\",\"t_ms\":{}}}",
+            escape(label),
+            index,
+            escape(key),
+            now_ms()
+        ));
+    }
+
+    /// Record a job's completion (`outcome` is `"ok"` or `"panic"`).
+    pub fn job_finish(&mut self, label: &str, index: usize, key: &str, outcome: &str, ms: u128) {
+        self.write_line(&format!(
+            "{{\"ev\":\"finish\",\"run\":\"{}\",\"index\":{},\"job\":\"{}\",\"outcome\":\"{}\",\"job_ms\":{},\"t_ms\":{}}}",
+            escape(label),
+            index,
+            escape(key),
+            escape(outcome),
+            ms,
+            now_ms()
+        ));
+    }
+
+    /// Record the end of a run with its failure count and wall time.
+    pub fn run_end(&mut self, label: &str, total: usize, failed: usize, ms: u128) {
+        self.write_line(&format!(
+            "{{\"ev\":\"run_end\",\"run\":\"{}\",\"jobs\":{},\"failed\":{},\"run_ms\":{},\"t_ms\":{}}}",
+            escape(label),
+            total,
+            failed,
+            ms,
+            now_ms()
+        ));
+        if let Some(w) = self.out.as_mut() {
+            let _ = w.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_json_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("tab\tok"), "tab\\tok");
+        assert_eq!(escape("ctl\u{01}"), "ctl\\u0001");
+    }
+
+    #[test]
+    fn journal_appends_valid_jsonl() {
+        let path = std::env::temp_dir().join("resemble_runtime_journal_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path);
+        j.run_start("t", 2, 1);
+        j.job_start("t", 0, "a/\"quoted\"");
+        j.job_finish("t", 0, "a/\"quoted\"", "ok", 3);
+        j.run_end("t", 2, 0, 7);
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"ev\":\"run_start\""));
+        assert!(lines[1].contains("a/\\\"quoted\\\""));
+        assert!(lines[3].contains("\"failed\":0"));
+        // Each line round-trips through a JSON parser-ish sanity check:
+        // balanced braces, starts/ends correctly.
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn disabled_journal_is_silent() {
+        let mut j = Journal::disabled();
+        j.run_start("t", 1, 1);
+        j.job_finish("t", 0, "k", "ok", 1);
+        j.run_end("t", 1, 0, 1);
+    }
+}

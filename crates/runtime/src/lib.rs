@@ -1,0 +1,86 @@
+//! # resemble-runtime
+//!
+//! Deterministic parallel job executor for the sweep harness (DESIGN.md
+//! §9). Every figure/table bin and `run_matrix` schedules its
+//! (app, prefetcher, config) simulations through this crate instead of
+//! hand-rolled thread loops, and gets the same guarantee everywhere:
+//! **output bytes cannot depend on the worker count.**
+//!
+//! The guarantee rests on three rules:
+//!
+//! 1. **Jobs are pure functions of their key.** A [`Job`] closure receives
+//!    a [`JobCtx`] whose RNG seed is derived from the job *key* and the
+//!    run's base seed ([`seed::derive`]) — never from submission order,
+//!    completion order, or a thread id. Two runs with the same job list
+//!    produce the same per-job inputs at any `--jobs N`.
+//! 2. **Shared state is write-once.** Cross-job caches (e.g. the per-app
+//!    no-prefetch baselines in `run_matrix`) live in `OnceLock` cells, so
+//!    whichever worker arrives first computes the value and everyone else
+//!    reuses the identical bits.
+//! 3. **Results commit in key order.** The ordered-merge stage
+//!    ([`executor::run_with`]) buffers out-of-order completions and
+//!    releases them strictly in job-list order, so files, tables, and
+//!    aggregate stats are assembled in the same sequence a serial run
+//!    would produce.
+//!
+//! Worker-count resolution is uniform across the harness: an explicit
+//! `--jobs N` flag wins, then the `RESEMBLE_JOBS` environment variable,
+//! then the host's available parallelism ([`resolve_jobs`]).
+//!
+//! Telemetry is side-channel only (it never feeds results): per-job
+//! start/finish events, a live `jobs done/total` progress line on stderr
+//! ([`progress`]), and an append-only JSONL run journal for post-hoc
+//! profiling ([`journal`], enabled with `RESEMBLE_RUN_JOURNAL=path`).
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod journal;
+pub mod progress;
+pub mod seed;
+pub mod sweep;
+
+pub use executor::{run, run_with, Job, JobCtx, JobError, RunOptions, RunOutcome};
+pub use sweep::Sweep;
+
+/// Resolve the worker count for a sweep: an explicit CLI value (`> 0`)
+/// wins, then `RESEMBLE_JOBS`, then the host's available parallelism.
+/// Always returns at least 1.
+pub fn resolve_jobs(cli: usize) -> usize {
+    if cli > 0 {
+        return cli;
+    }
+    if let Ok(v) = std::env::var("RESEMBLE_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+        eprintln!("warning: ignoring unparseable RESEMBLE_JOBS={v:?} (want a positive integer)");
+    }
+    host_parallelism()
+}
+
+/// The host's available parallelism (1 if the query fails).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cli_value_wins() {
+        assert_eq!(resolve_jobs(3), 3);
+    }
+
+    #[test]
+    fn zero_falls_back_to_host() {
+        // RESEMBLE_JOBS may or may not be set in the environment running
+        // this test; either way the result is a positive worker count.
+        assert!(resolve_jobs(0) >= 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Live sweep progress on stderr.
+//!
+//! One updating `jobs done/total` line per sweep, written only from the
+//! merge thread. Progress is stderr-only telemetry: stdout stays clean
+//! for the bins' tables and JSON, and disabling progress cannot change
+//! any result byte.
+//!
+//! Enabled by default in the bins; `RESEMBLE_PROGRESS=0` silences it
+//! (tests and CI logs), `RESEMBLE_PROGRESS=lines` switches the
+//! carriage-return ticker to one plain line per job for dumb consoles.
+
+use std::io::Write;
+use std::time::Instant;
+
+/// How progress is rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// No output.
+    Off,
+    /// A single in-place line updated with `\r` (interactive default).
+    Ticker,
+    /// One appended line per finished job (log-friendly).
+    Lines,
+}
+
+impl Mode {
+    /// Resolve the mode: `enabled` is the caller's default (bins pass
+    /// `true`, library users `false`), then `RESEMBLE_PROGRESS`
+    /// overrides (`0`/`off` silences, `lines` selects line mode).
+    pub fn resolve(enabled: bool) -> Mode {
+        match std::env::var("RESEMBLE_PROGRESS").ok().as_deref() {
+            Some("0") | Some("off") => Mode::Off,
+            Some("lines") => Mode::Lines,
+            Some(_) => Mode::Ticker,
+            None => {
+                if enabled {
+                    Mode::Ticker
+                } else {
+                    Mode::Off
+                }
+            }
+        }
+    }
+}
+
+/// Progress reporter for one sweep.
+pub struct Progress {
+    mode: Mode,
+    label: String,
+    total: usize,
+    done: usize,
+    failed: usize,
+    started: Instant,
+}
+
+impl Progress {
+    /// Start reporting a sweep of `total` jobs.
+    pub fn new(mode: Mode, label: &str, total: usize) -> Self {
+        Self {
+            mode,
+            label: label.to_string(),
+            total,
+            done: 0,
+            failed: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// Record one finished job and repaint.
+    pub fn finished(&mut self, key: &str, ok: bool, job_ms: u128) {
+        self.done += 1;
+        if !ok {
+            self.failed += 1;
+        }
+        match self.mode {
+            Mode::Off => {}
+            Mode::Ticker => {
+                eprint!(
+                    "\r[{}] {}/{} jobs done{} — last: {} ({} ms)   ",
+                    self.label,
+                    self.done,
+                    self.total,
+                    if self.failed > 0 {
+                        format!(" ({} failed)", self.failed)
+                    } else {
+                        String::new()
+                    },
+                    key,
+                    job_ms
+                );
+                let _ = std::io::stderr().flush();
+            }
+            Mode::Lines => {
+                eprintln!(
+                    "[{}] {}/{} {} {} ({} ms)",
+                    self.label,
+                    self.done,
+                    self.total,
+                    if ok { "ok" } else { "PANIC" },
+                    key,
+                    job_ms
+                );
+            }
+        }
+    }
+
+    /// Finish the sweep: terminate the ticker line with a summary.
+    pub fn close(self) {
+        if self.mode == Mode::Ticker && self.total > 0 {
+            eprintln!(
+                "\r[{}] {}/{} jobs done{} in {:.2} s                          ",
+                self.label,
+                self.done,
+                self.total,
+                if self.failed > 0 {
+                    format!(" ({} failed)", self.failed)
+                } else {
+                    String::new()
+                },
+                self.started.elapsed().as_secs_f64()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_mode_counts_without_printing() {
+        let mut p = Progress::new(Mode::Off, "t", 3);
+        p.finished("a", true, 1);
+        p.finished("b", false, 2);
+        assert_eq!(p.done, 2);
+        assert_eq!(p.failed, 1);
+        p.close();
+    }
+
+    #[test]
+    fn mode_resolution_honors_caller_default() {
+        // The env var may be set by the harness; only assert the
+        // caller-default path when it is absent.
+        if std::env::var("RESEMBLE_PROGRESS").is_err() {
+            assert_eq!(Mode::resolve(false), Mode::Off);
+            assert_eq!(Mode::resolve(true), Mode::Ticker);
+        }
+    }
+}

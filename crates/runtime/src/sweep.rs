@@ -1,0 +1,184 @@
+//! Shared sweep scaffolding for the figure/table bins.
+//!
+//! Every bin used to hand-roll the same loop: build (app, config) work
+//! items, run them, stitch results back into tables in input order.
+//! [`Sweep`] is that loop, once: push named jobs (optionally grouped),
+//! run them on the deterministic executor, and get results — or reduced
+//! group values — back **in push order** regardless of `--jobs N`.
+//!
+//! Grouped sweeps model the keyed-reduce stage of the job graph: jobs
+//! pushed under the same group key are reduced together as soon as the
+//! group's last job commits, while later groups are still executing.
+//! Groups must be contiguous in push order (bins naturally push them
+//! that way); the reduce callback runs on the caller's thread.
+
+use crate::executor::{run, run_with, Job, JobCtx, RunOptions, RunOutcome};
+
+/// A sweep under construction: named jobs plus run options.
+pub struct Sweep<'env, T> {
+    opts: RunOptions,
+    jobs: Vec<Job<'env, T>>,
+    groups: Vec<String>,
+}
+
+impl<'env, T: Send + 'env> Sweep<'env, T> {
+    /// Start a sweep for a bin: progress on (unless `RESEMBLE_PROGRESS`
+    /// silences it), worker count from the `--jobs` flag value
+    /// (0 = `RESEMBLE_JOBS`, then host cores).
+    pub fn for_bin(label: &str, cli_jobs: usize) -> Self {
+        Self {
+            opts: RunOptions::for_bin(label, cli_jobs),
+            jobs: Vec::new(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Start a quiet sweep (tests/library callers): no progress line.
+    pub fn quiet(label: &str, jobs: usize) -> Self {
+        Self {
+            opts: RunOptions::new(label).with_jobs(jobs),
+            jobs: Vec::new(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Set the base seed mixed into each job's derived seed.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.opts = self.opts.with_base_seed(seed);
+        self
+    }
+
+    /// Push an ungrouped job.
+    pub fn push(&mut self, key: impl Into<String>, f: impl FnOnce(&JobCtx) -> T + Send + 'env) {
+        self.push_in("", key, f);
+    }
+
+    /// Push a job under a group key (for [`run_reduced`](Self::run_reduced)).
+    /// Jobs of one group must be pushed contiguously.
+    pub fn push_in(
+        &mut self,
+        group: impl Into<String>,
+        key: impl Into<String>,
+        f: impl FnOnce(&JobCtx) -> T + Send + 'env,
+    ) {
+        let group = group.into();
+        debug_assert!(
+            self.groups.last() == Some(&group) || !self.groups.contains(&group),
+            "sweep groups must be contiguous in push order (group '{group}' reopened)"
+        );
+        self.groups.push(group);
+        self.jobs.push(Job::new(key, f));
+    }
+
+    /// Number of jobs pushed so far.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Run and return every job's result in push order; panics naming
+    /// each failed job (panic isolation means all siblings still ran).
+    pub fn run(self) -> Vec<T> {
+        let label = self.opts.label.clone();
+        run(self.jobs, &self.opts).expect_all(&label)
+    }
+
+    /// Run and return the raw per-job outcome (callers that tolerate
+    /// failed jobs).
+    pub fn try_run(self) -> RunOutcome<T> {
+        run(self.jobs, &self.opts)
+    }
+
+    /// Run the jobs, then reduce each contiguous group with
+    /// `reduce(group_key, results_in_push_order)` — streamed: a group
+    /// reduces as soon as its last job commits, while later groups are
+    /// still in flight. Returns reduced values in group push order.
+    /// Panics naming each failed job.
+    pub fn run_reduced<R>(self, mut reduce: impl FnMut(&str, Vec<T>) -> R) -> Vec<R> {
+        let Sweep { opts, jobs, groups } = self;
+        let n = jobs.len();
+        let mut out = Vec::new();
+        let mut buf: Vec<T> = Vec::new();
+        let mut failed: Vec<String> = Vec::new();
+        run_with(jobs, &opts, |i, _key, r| {
+            match r {
+                Ok(v) => buf.push(v),
+                Err(e) => failed.push(format!("'{}' ({})", e.key, e.message)),
+            }
+            let last_of_group = i + 1 == n || groups[i + 1] != groups[i];
+            if last_of_group && failed.is_empty() {
+                out.push(reduce(&groups[i], std::mem::take(&mut buf)));
+            }
+        });
+        if !failed.is_empty() {
+            panic!(
+                "{}: {} of {} jobs panicked: {}",
+                opts.label,
+                failed.len(),
+                n,
+                failed.join(", ")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_push_order() {
+        let mut sw = Sweep::quiet("t", 4);
+        for i in 0..16usize {
+            // Reverse the natural finish order: early jobs sleep longest.
+            sw.push(format!("job{i}"), move |_| {
+                std::thread::sleep(std::time::Duration::from_millis((16 - i) as u64));
+                i * 10
+            });
+        }
+        assert_eq!(sw.run(), (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn grouped_reduce_sees_contiguous_groups_in_order() {
+        let mut sw = Sweep::quiet("t", 8);
+        for g in 0..4 {
+            for i in 0..3 {
+                sw.push_in(format!("g{g}"), format!("g{g}/j{i}"), move |_| g * 100 + i);
+            }
+        }
+        let sums = sw.run_reduced(|key, vals| (key.to_string(), vals.iter().sum::<i32>()));
+        assert_eq!(
+            sums,
+            vec![
+                ("g0".to_string(), 3),
+                ("g1".to_string(), 303),
+                ("g2".to_string(), 603),
+                ("g3".to_string(), 903),
+            ]
+        );
+    }
+
+    #[test]
+    fn job_seed_depends_on_key_not_order() {
+        let seed_of = |jobs: usize, key_filter: &'static str| -> u64 {
+            let mut sw = Sweep::quiet("t", jobs).base_seed(7);
+            for k in ["a", "b", "c", "d"] {
+                sw.push(k, move |ctx| (ctx.key.clone(), ctx.seed));
+            }
+            sw.run()
+                .into_iter()
+                .find(|(k, _)| k == key_filter)
+                .unwrap()
+                .1
+        };
+        // Same key, different worker counts: same seed.
+        assert_eq!(seed_of(1, "c"), seed_of(8, "c"));
+        assert_ne!(seed_of(1, "c"), seed_of(1, "d"));
+    }
+}

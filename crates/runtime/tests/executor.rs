@@ -1,0 +1,184 @@
+//! Executor invariants: ordered merge at any worker count, panic
+//! isolation that names the failing job without aborting siblings,
+//! bounded-channel backpressure, and journal/event accounting.
+
+use resemble_runtime::{run, run_with, Job, JobError, RunOptions, Sweep};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn quiet(label: &str, jobs: usize) -> RunOptions {
+    RunOptions::new(label).with_jobs(jobs)
+}
+
+#[test]
+fn commit_order_is_job_order_at_every_worker_count() {
+    for workers in [1usize, 2, 3, 8, 32] {
+        let jobs: Vec<Job<usize>> = (0..24)
+            .map(|i| {
+                Job::new(format!("j{i}"), move |_ctx| {
+                    // Stagger finishes adversarially: highest index first.
+                    std::thread::sleep(std::time::Duration::from_micros(((24 - i) * 200) as u64));
+                    i * 7
+                })
+            })
+            .collect();
+        let mut committed = Vec::new();
+        run_with(jobs, &quiet("order", workers), |i, key, r| {
+            assert_eq!(key, format!("j{i}"));
+            committed.push(r.unwrap());
+        });
+        assert_eq!(
+            committed,
+            (0..24).map(|i| i * 7).collect::<Vec<_>>(),
+            "workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn results_are_identical_across_worker_counts() {
+    let run_at = |workers: usize| -> Vec<u64> {
+        let jobs: Vec<Job<u64>> = (0..12)
+            .map(|i| Job::new(format!("app{i}/pf"), move |ctx| ctx.seed ^ (i as u64)))
+            .collect();
+        run(jobs, &quiet("det", workers).with_base_seed(42)).expect_all("det")
+    };
+    let serial = run_at(1);
+    for workers in [2usize, 8] {
+        assert_eq!(serial, run_at(workers), "workers={workers}");
+    }
+}
+
+#[test]
+fn panicking_job_names_itself_and_spares_siblings() {
+    let survivors = AtomicUsize::new(0);
+    let jobs: Vec<Job<u32>> = (0..10)
+        .map(|i| {
+            let survivors = &survivors;
+            Job::new(format!("job{i}"), move |_| {
+                if i == 4 {
+                    panic!("injected failure in job 4");
+                }
+                survivors.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        })
+        .collect();
+    let outcome = run(jobs, &quiet("panic", 4));
+    // Every sibling ran to completion despite the mid-list panic.
+    assert_eq!(survivors.load(Ordering::Relaxed), 9);
+    assert_eq!(outcome.results.len(), 10);
+    let failures: Vec<&JobError> = outcome.failures();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].key, "job4");
+    assert_eq!(failures[0].index, 4);
+    assert!(
+        failures[0].message.contains("injected failure in job 4"),
+        "panic payload must survive: {}",
+        failures[0].message
+    );
+    // Ordered commit still holds around the hole.
+    for (i, r) in outcome.results.iter().enumerate() {
+        match r {
+            Ok(v) => assert_eq!(*v as usize, i),
+            Err(e) => assert_eq!(e.index, 4),
+        }
+    }
+}
+
+#[test]
+fn expect_all_panics_with_the_job_name() {
+    let jobs = vec![
+        Job::new("fine", |_| 1u8),
+        Job::new("doomed", |_| -> u8 { panic!("boom") }),
+    ];
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run(jobs, &quiet("expect", 2)).expect_all("expect")
+    }))
+    .expect_err("must propagate");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("'doomed'"), "panic must name the job: {msg}");
+    assert!(msg.contains("1 of 2 jobs"), "{msg}");
+}
+
+#[test]
+fn backpressure_bounds_inflight_results_without_deadlock() {
+    // Many fast jobs against a deliberately slow merge thread: the
+    // bounded event channel forces workers to stall rather than buffer
+    // all results; everything still commits in order.
+    let jobs: Vec<Job<Vec<u8>>> = (0..200)
+        .map(|i| Job::new(format!("j{i}"), move |_| vec![i as u8; 1024]))
+        .collect();
+    let mut seen = 0usize;
+    run_with(jobs, &quiet("bp", 8), |i, _, r| {
+        if i % 50 == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(r.unwrap()[0], i as u8);
+        seen += 1;
+    });
+    assert_eq!(seen, 200);
+}
+
+#[test]
+fn journal_records_start_finish_and_run_bracket() {
+    let path = std::env::temp_dir().join("resemble_runtime_exec_journal.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let mut opts = quiet("journaled", 2);
+    opts.journal = Some(path.clone());
+    let jobs: Vec<Job<u32>> = (0..3)
+        .map(|i| {
+            Job::new(format!("j{i}"), move |_| {
+                if i == 1 {
+                    panic!("die");
+                }
+                i
+            })
+        })
+        .collect();
+    let outcome = run(jobs, &opts);
+    assert_eq!(outcome.failures().len(), 1);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let count = |needle: &str| text.lines().filter(|l| l.contains(needle)).count();
+    assert_eq!(count("\"ev\":\"run_start\""), 1);
+    assert_eq!(count("\"ev\":\"start\""), 3);
+    assert_eq!(count("\"ev\":\"finish\""), 3);
+    assert_eq!(count("\"outcome\":\"panic\""), 1);
+    assert_eq!(count("\"ev\":\"run_end\""), 1);
+    assert!(text.contains("\"failed\":1"));
+    // A second run appends rather than truncating.
+    let outcome = run(
+        vec![Job::new("again", |_| 0u32)],
+        &RunOptions {
+            journal: Some(path.clone()),
+            ..quiet("journaled", 1)
+        },
+    );
+    assert!(outcome.failures().is_empty());
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(
+        text.lines()
+            .filter(|l| l.contains("\"ev\":\"run_start\""))
+            .count(),
+        2
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn empty_sweep_is_a_no_op() {
+    let outcome = run(Vec::<Job<u8>>::new(), &quiet("empty", 4));
+    assert!(outcome.results.is_empty());
+    let sw: Sweep<u8> = Sweep::quiet("empty", 4);
+    assert!(sw.is_empty());
+    assert!(sw.run().is_empty());
+}
+
+#[test]
+fn worker_count_never_exceeds_jobs_and_floor_is_one() {
+    // Degenerate requests must not hang: more workers than jobs, and a
+    // single job at jobs=0 (auto).
+    let r = run(vec![Job::new("solo", |_| 9u8)], &quiet("clamp", 64));
+    assert_eq!(r.results.len(), 1);
+    let r = run(vec![Job::new("auto", |_| 1u8)], &quiet("auto", 0));
+    assert!(r.failures().is_empty());
+}
