@@ -4,10 +4,15 @@
 //! per-core SPP, and per-core ReSemble, on a heterogeneous app mix (one
 //! pattern class per core) — the setting where ensemble selection should
 //! matter most, since each core needs a *different* prefetcher.
+//!
+//! Each prefetcher configuration (none / SPP / ReSemble) is one job on the
+//! deterministic executor (DESIGN.md §9), so the three 4-core simulations
+//! run concurrently and the table prints bit-identically at any `--jobs N`.
 
 use resemble_bench::{report, Options};
 use resemble_core::{ResembleConfig, ResembleMlp};
 use resemble_prefetch::{paper_bank, Prefetcher, Spp};
+use resemble_runtime::Sweep;
 use resemble_sim::{MultiCoreEngine, SimConfig};
 use resemble_stats::{mean, Table};
 use resemble_trace::gen::{app_by_name, TraceSource};
@@ -21,15 +26,31 @@ fn sources(seed: u64) -> Vec<Box<dyn TraceSource + Send>> {
         .collect()
 }
 
-fn run(
-    prefetchers: &mut [Option<Box<dyn Prefetcher + Send>>],
+fn run_variant(
+    variant: &str,
     seed: u64,
     warmup: usize,
     measure: usize,
 ) -> Vec<resemble_sim::SimStats> {
-    let mut mc = MultiCoreEngine::new(SimConfig::harness(), CORE_APPS.len());
+    let n = CORE_APPS.len();
+    let mut prefetchers: Vec<Option<Box<dyn Prefetcher + Send>>> = match variant {
+        "none" => (0..n).map(|_| None).collect(),
+        "spp" => (0..n)
+            .map(|_| Some(Box::new(Spp::new()) as Box<dyn Prefetcher + Send>))
+            .collect(),
+        _ => (0..n)
+            .map(|i| {
+                Some(Box::new(ResembleMlp::new(
+                    paper_bank(),
+                    ResembleConfig::fast(),
+                    seed + i as u64,
+                )) as Box<dyn Prefetcher + Send>)
+            })
+            .collect(),
+    };
+    let mut mc = MultiCoreEngine::new(SimConfig::harness(), n);
     let mut srcs = sources(seed);
-    mc.run(&mut srcs, prefetchers, warmup, measure)
+    mc.run(&mut srcs, &mut prefetchers, warmup, measure)
 }
 
 fn main() {
@@ -37,30 +58,22 @@ fn main() {
     let warmup = opts.usize("warmup", 15_000);
     let measure = opts.usize("accesses", 40_000);
     let seed = opts.u64("seed", 42);
+    let jobs = opts.usize("jobs", 0);
     report::banner(
         "Extension: multi-core",
         "4 cores (one app each) sharing LLC+DRAM; per-core controllers",
     );
 
-    let n = CORE_APPS.len();
-    let mut none: Vec<Option<Box<dyn Prefetcher + Send>>> = (0..n).map(|_| None).collect();
-    let base = run(&mut none, seed, warmup, measure);
-
-    let mut spp: Vec<Option<Box<dyn Prefetcher + Send>>> = (0..n)
-        .map(|_| Some(Box::new(Spp::new()) as Box<dyn Prefetcher + Send>))
-        .collect();
-    let spp_stats = run(&mut spp, seed, warmup, measure);
-
-    let mut res: Vec<Option<Box<dyn Prefetcher + Send>>> = (0..n)
-        .map(|i| {
-            Some(Box::new(ResembleMlp::new(
-                paper_bank(),
-                ResembleConfig::fast(),
-                seed + i as u64,
-            )) as Box<dyn Prefetcher + Send>)
-        })
-        .collect();
-    let res_stats = run(&mut res, seed, warmup, measure);
+    let mut sweep = Sweep::for_bin("ext_multicore", jobs).base_seed(seed);
+    for variant in ["none", "spp", "resemble"] {
+        sweep.push(variant, move |_| {
+            run_variant(variant, seed, warmup, measure)
+        });
+    }
+    let mut results = sweep.run().into_iter();
+    let base = results.next().expect("none variant");
+    let spp_stats = results.next().expect("spp variant");
+    let res_stats = results.next().expect("resemble variant");
 
     let mut t = Table::new(vec![
         "core / app",

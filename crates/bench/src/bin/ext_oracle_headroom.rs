@@ -4,10 +4,14 @@
 //! member's top-1 hits within W — an upper bound no realizable controller
 //! can exceed), and (c) ReSemble's achieved top-1 hit rate, all over the
 //! same trace and window.
+//!
+//! Each app is one job on the deterministic executor (DESIGN.md §9), so
+//! the table prints bit-identically at any `--jobs N`.
 
 use resemble_bench::{report, Options};
 use resemble_core::{oracle_selection, ResembleConfig, ResembleMlp};
 use resemble_prefetch::{paper_bank, Prefetcher};
+use resemble_runtime::Sweep;
 use resemble_stats::Table;
 use resemble_trace::gen::app_by_name;
 use resemble_trace::record::block_of;
@@ -21,15 +25,67 @@ const APPS: &[&str] = &[
     "623.xalancbmk",
 ];
 
+/// One app: (best-static, oracle, achieved) top-1 hit rates.
+fn run_app(app: &str, accesses: usize, window: usize, seed: u64) -> (f64, f64, f64) {
+    let trace = app_by_name(app, seed)
+        .expect("known app")
+        .source
+        .collect_n(accesses);
+    // Oracle over a cold bank.
+    let mut bank = paper_bank();
+    let oracle = oracle_selection(&trace, &mut bank, window);
+
+    // ReSemble over the identical trace (controller-level, no timing).
+    let mut positions: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    for (i, a) in trace.iter().enumerate() {
+        positions
+            .entry(block_of(a.addr))
+            .or_default()
+            .push(i as u32);
+    }
+    let hits_within = |block: u64, after: usize| -> bool {
+        let Some(ps) = positions.get(&block) else {
+            return false;
+        };
+        let idx = ps.partition_point(|&p| p as usize <= after);
+        ps.get(idx)
+            .map(|&p| (p as usize) <= after + window)
+            .unwrap_or(false)
+    };
+    let mut ctl = ResembleMlp::new(paper_bank(), ResembleConfig::fast(), seed);
+    let mut out = Vec::new();
+    let mut achieved = 0u64;
+    for (i, a) in trace.iter().enumerate() {
+        out.clear();
+        ctl.on_access(a, false, &mut out);
+        if let Some(&p) = out.first() {
+            if hits_within(block_of(p), i) {
+                achieved += 1;
+            }
+        }
+    }
+    let best = oracle.best_static_hits() as f64 / oracle.accesses as f64;
+    let orc = oracle.oracle_hit_rate();
+    let ach = achieved as f64 / oracle.accesses as f64;
+    (best, orc, ach)
+}
+
 fn main() {
     let opts = Options::from_env_checked(&["window"]);
     let accesses = opts.usize("accesses", 50_000);
     let seed = opts.u64("seed", 42);
     let window = opts.usize("window", 256);
+    let jobs = opts.usize("jobs", 0);
     report::banner(
         "Extension: oracle headroom",
         "Best-static vs per-access-oracle vs learned-controller hit rates",
     );
+
+    let mut sweep = Sweep::for_bin("ext_oracle_headroom", jobs).base_seed(seed);
+    for &app in APPS {
+        sweep.push(app, move |_| run_app(app, accesses, window, seed));
+    }
+    let rates = sweep.run();
 
     let mut t = Table::new(vec![
         "app",
@@ -38,47 +94,7 @@ fn main() {
         "ReSemble achieved",
         "headroom captured",
     ]);
-    for &app in APPS {
-        let trace = app_by_name(app, seed)
-            .expect("known app")
-            .source
-            .collect_n(accesses);
-        // Oracle over a cold bank.
-        let mut bank = paper_bank();
-        let oracle = oracle_selection(&trace, &mut bank, window);
-
-        // ReSemble over the identical trace (controller-level, no timing).
-        let mut positions: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
-        for (i, a) in trace.iter().enumerate() {
-            positions
-                .entry(block_of(a.addr))
-                .or_default()
-                .push(i as u32);
-        }
-        let hits_within = |block: u64, after: usize| -> bool {
-            let Some(ps) = positions.get(&block) else {
-                return false;
-            };
-            let idx = ps.partition_point(|&p| p as usize <= after);
-            ps.get(idx)
-                .map(|&p| (p as usize) <= after + window)
-                .unwrap_or(false)
-        };
-        let mut ctl = ResembleMlp::new(paper_bank(), ResembleConfig::fast(), seed);
-        let mut out = Vec::new();
-        let mut achieved = 0u64;
-        for (i, a) in trace.iter().enumerate() {
-            out.clear();
-            ctl.on_access(a, false, &mut out);
-            if let Some(&p) = out.first() {
-                if hits_within(block_of(p), i) {
-                    achieved += 1;
-                }
-            }
-        }
-        let best = oracle.best_static_hits() as f64 / oracle.accesses as f64;
-        let orc = oracle.oracle_hit_rate();
-        let ach = achieved as f64 / oracle.accesses as f64;
+    for (&app, (best, orc, ach)) in APPS.iter().zip(rates) {
         // With <1% headroom the ratio is numerically meaningless.
         let captured = if orc - best > 0.01 {
             format!(

@@ -4,70 +4,89 @@
 //! deployment at each precision affects rewards and IPC. Table VIII
 //! assumes 16-bit weights; this sweep shows how much lower the datapath
 //! could go.
+//!
+//! Every (precision, app) simulation is one job on the deterministic
+//! executor (DESIGN.md §9); each precision is a reduce group averaging
+//! its probe apps, so the table prints bit-identically at any `--jobs N`.
 
 use resemble_bench::{report, Options};
 use resemble_core::{ResembleConfig, ResembleMlp};
 use resemble_prefetch::{paper_bank, Prefetcher};
+use resemble_runtime::Sweep;
 use resemble_sim::{Engine, SimConfig};
 use resemble_stats::{mean, Table};
 use resemble_trace::gen::app_by_name;
 
 const APPS: &[&str] = &["433.milc", "623.xalancbmk"];
 
-/// Train for `train` accesses, quantize+freeze at `bits`, then measure.
-/// `bits == 0` means "leave full precision and keep training" (reference).
-fn run(bits: u32, train: usize, measure: usize, seed: u64) -> (f64, f64) {
-    let mut ipcs = Vec::new();
-    let mut rewards = Vec::new();
-    for &app in APPS {
-        let mut engine = Engine::new(SimConfig::harness());
-        let mut src = app_by_name(app, seed).expect("known app").source;
-        let base = engine.run(&mut *src, None, train, measure);
+/// One probe app: train for `train` accesses, quantize+freeze at `bits`,
+/// then measure. `bits == 0` means "leave full precision and keep
+/// training" (reference). Returns (IPC improvement, late mean reward).
+fn run_one(bits: u32, app: &str, train: usize, measure: usize, seed: u64) -> (f64, f64) {
+    let mut engine = Engine::new(SimConfig::harness());
+    let mut src = app_by_name(app, seed).expect("known app").source;
+    let base = engine.run(&mut *src, None, train, measure);
 
-        let mut ctl = ResembleMlp::new(paper_bank(), ResembleConfig::fast(), seed);
-        let mut engine = Engine::new(SimConfig::harness());
-        let mut src = app_by_name(app, seed).expect("known app").source;
-        // Training phase (warmup window).
-        {
-            let pf: &mut dyn Prefetcher = &mut ctl;
-            let _ = engine.run(&mut *src, Some(pf), 0, train);
-        }
-        if bits > 0 {
-            ctl.quantize_and_freeze(bits);
-        }
-        let windows_before = ctl.stats.window_rewards.len();
-        // Measurement phase: engine.run re-marks the boundary itself.
-        let s = {
-            let pf: &mut dyn Prefetcher = &mut ctl;
-            engine.run(&mut *src, Some(pf), 0, measure)
-        };
-        ipcs.push(s.ipc_improvement_over(&base));
-        let late = &ctl.stats.window_rewards[windows_before..];
-        rewards.push(late.iter().sum::<f64>() / late.len().max(1) as f64);
+    let mut ctl = ResembleMlp::new(paper_bank(), ResembleConfig::fast(), seed);
+    let mut engine = Engine::new(SimConfig::harness());
+    let mut src = app_by_name(app, seed).expect("known app").source;
+    // Training phase (warmup window).
+    {
+        let pf: &mut dyn Prefetcher = &mut ctl;
+        let _ = engine.run(&mut *src, Some(pf), 0, train);
     }
-    (mean(&ipcs), mean(&rewards))
+    if bits > 0 {
+        ctl.quantize_and_freeze(bits);
+    }
+    let windows_before = ctl.stats.window_rewards.len();
+    // Measurement phase: engine.run re-marks the boundary itself.
+    let s = {
+        let pf: &mut dyn Prefetcher = &mut ctl;
+        engine.run(&mut *src, Some(pf), 0, measure)
+    };
+    let late = &ctl.stats.window_rewards[windows_before..];
+    let reward = late.iter().sum::<f64>() / late.len().max(1) as f64;
+    (s.ipc_improvement_over(&base), reward)
 }
+
+const PRECISIONS: &[u32] = &[0, 16, 12, 8, 6, 4];
 
 fn main() {
     let opts = Options::from_env_checked(&[]);
     let train = opts.usize("warmup", 20_000);
     let measure = opts.usize("accesses", 40_000);
     let seed = opts.u64("seed", 42);
+    let jobs = opts.usize("jobs", 0);
     report::banner(
         "Extension: controller quantization",
         "Train online at f32, deploy frozen at n-bit fixed point",
     );
 
+    // One reduce group per precision, averaging its probe apps.
+    let mut sweep = Sweep::for_bin("ext_quantization", jobs).base_seed(seed);
+    for &bits in PRECISIONS {
+        for &app in APPS {
+            sweep.push_in(format!("{bits}"), format!("{bits}bit/{app}"), move |_| {
+                run_one(bits, app, train, measure, seed)
+            });
+        }
+    }
+    let reduced = sweep.run_reduced(|_, parts| {
+        let (ipcs, rewards): (Vec<f64>, Vec<f64>) = parts.into_iter().unzip();
+        (mean(&ipcs), mean(&rewards))
+    });
+    let mut reduced = reduced.into_iter();
+
     let mut t = Table::new(vec!["precision", "mean window reward", "IPC improvement"]);
-    let (ipc_ref, rew_ref) = run(0, train, measure, seed);
+    let (ipc_ref, rew_ref) = reduced.next().expect("reference row");
     t.row(vec![
         "f32 + online training (reference)".to_string(),
         format!("{rew_ref:.1}"),
         report::pct(ipc_ref),
     ]);
     let mut results = Vec::new();
-    for bits in [16u32, 12, 8, 6, 4] {
-        let (ipc, rew) = run(bits, train, measure, seed);
+    for &bits in &PRECISIONS[1..] {
+        let (ipc, rew) = reduced.next().expect("one row per precision");
         results.push((bits, ipc));
         t.row(vec![
             format!("{bits}-bit frozen"),

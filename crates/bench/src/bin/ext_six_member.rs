@@ -4,12 +4,17 @@
 //! adding VLDP, STMS, and STeMS (completing the Table I taxonomy) to the
 //! paper's four — and measures how controller quality scales with the
 //! action space.
+//!
+//! Every (ensemble width, app) simulation is one job on the deterministic
+//! executor (DESIGN.md §9); each width is a reduce group averaging its
+//! apps, so the table prints bit-identically at any `--jobs N`.
 
 use resemble_bench::{report, Options};
 use resemble_core::{ResembleConfig, ResembleMlp};
 use resemble_prefetch::{
     BestOffset, Domino, Isb, Prefetcher, PrefetcherBank, Spp, Stems, Stms, Vldp,
 };
+use resemble_runtime::Sweep;
 use resemble_sim::{Engine, SimConfig};
 use resemble_stats::{mean, Table};
 use resemble_trace::gen::app_by_name;
@@ -36,15 +41,54 @@ fn bank_of(n: usize) -> PrefetcherBank {
     PrefetcherBank::new(members)
 }
 
+/// One (ensemble width, app) cell: (accuracy %, IPC improvement).
+fn run_cell(n: usize, app: &str, warmup: usize, measure: usize, seed: u64) -> (f64, f64) {
+    let mut engine = Engine::new(SimConfig::harness());
+    let mut src = app_by_name(app, seed).expect("known app").source;
+    let base = engine.run(&mut *src, None, warmup, measure);
+    let mut ctl = ResembleMlp::new(
+        bank_of(n),
+        ResembleConfig {
+            batch_size: 32,
+            ..ResembleConfig::for_inputs(n)
+        },
+        seed,
+    );
+    let mut engine = Engine::new(SimConfig::harness());
+    let mut src = app_by_name(app, seed).expect("known app").source;
+    let s = engine.run(
+        &mut *src,
+        Some(&mut ctl as &mut dyn Prefetcher),
+        warmup,
+        measure,
+    );
+    (s.accuracy() * 100.0, s.ipc_improvement_over(&base))
+}
+
 fn main() {
     let opts = Options::from_env_checked(&[]);
     let warmup = opts.usize("warmup", 15_000);
     let measure = opts.usize("accesses", 40_000);
     let seed = opts.u64("seed", 42);
+    let jobs = opts.usize("jobs", 0);
     report::banner(
         "Extension: ensemble width",
         "ReSemble with 2..7 input prefetchers (BO, ISB, +SPP, +Domino, +VLDP, +STMS, +STeMS)",
     );
+
+    // One reduce group per ensemble width, averaging its apps.
+    let mut sweep = Sweep::for_bin("ext_six_member", jobs).base_seed(seed);
+    for n in 2..=7usize {
+        for &app in APPS {
+            sweep.push_in(format!("n{n}"), format!("n{n}/{app}"), move |_| {
+                run_cell(n, app, warmup, measure, seed)
+            });
+        }
+    }
+    let rows = sweep.run_reduced(|_, parts| {
+        let (accs, ipcs): (Vec<f64>, Vec<f64>) = parts.into_iter().unzip();
+        (mean(&accs), mean(&ipcs))
+    });
 
     let mut t = Table::new(vec![
         "members",
@@ -52,41 +96,12 @@ fn main() {
         "mean accuracy",
         "mean IPC improvement",
     ]);
-    for n in 2..=7 {
-        let mut accs = Vec::new();
-        let mut ipcs = Vec::new();
-        for &app in APPS {
-            let mut engine = Engine::new(SimConfig::harness());
-            let mut src = app_by_name(app, seed).expect("known app").source;
-            let base = engine.run(&mut *src, None, warmup, measure);
-            let bank = bank_of(n);
-            let names = bank.names().join("+");
-            let _ = names;
-            let mut ctl = ResembleMlp::new(
-                bank,
-                ResembleConfig {
-                    batch_size: 32,
-                    ..ResembleConfig::for_inputs(n)
-                },
-                seed,
-            );
-            let mut engine = Engine::new(SimConfig::harness());
-            let mut src = app_by_name(app, seed).expect("known app").source;
-            let s = engine.run(
-                &mut *src,
-                Some(&mut ctl as &mut dyn Prefetcher),
-                warmup,
-                measure,
-            );
-            accs.push(s.accuracy() * 100.0);
-            ipcs.push(s.ipc_improvement_over(&base));
-        }
-        let bank_names = bank_of(n).names().join("+");
+    for (n, (acc, ipc)) in (2..=7usize).zip(rows) {
         t.row(vec![
             n.to_string(),
-            bank_names,
-            format!("{:.1}%", mean(&accs)),
-            report::pct(mean(&ipcs)),
+            bank_of(n).names().join("+"),
+            format!("{acc:.1}%"),
+            report::pct(ipc),
         ]);
     }
     println!("{}", t.render());

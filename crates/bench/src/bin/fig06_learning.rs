@@ -2,15 +2,20 @@
 //! reward curves over the first 400K accesses (scaled to the harness trace
 //! length) for the MLP-based controller and the tabular variants, on the
 //! four case-study applications.
+//!
+//! Every (app, model) simulation is one job on the deterministic executor
+//! (DESIGN.md §9), so the curves print bit-identically at any `--jobs N`.
 
 use resemble_bench::{report, Options};
 use resemble_core::{ResembleConfig, ResembleMlp, ResembleTabular};
 use resemble_prefetch::{paper_bank, Prefetcher};
+use resemble_runtime::Sweep;
 use resemble_sim::{Engine, SimConfig};
 use resemble_stats::{render_series, smooth};
 use serde::Serialize;
 
 const APPS: &[&str] = &["433.lbm", "471.omnetpp", "621.wrf", "623.xalancbmk"];
+const MODELS: &[&str] = &["mlp", "table8", "table4"];
 
 #[derive(Serialize)]
 struct Curve {
@@ -19,57 +24,62 @@ struct Curve {
     window_rewards: Vec<f64>,
 }
 
+/// One (app, model) run: the per-1K-window reward curve.
+fn run_model(app: &str, model: &str, accesses: usize, seed: u64) -> Vec<f64> {
+    let mut engine = Engine::new(SimConfig::harness());
+    let mut src = resemble_trace::gen::app_by_name(app, seed)
+        .expect("known app")
+        .source;
+    match model {
+        "mlp" => {
+            let mut ctl = ResembleMlp::new(paper_bank(), ResembleConfig::fast(), seed);
+            engine.run(
+                &mut *src,
+                Some(&mut ctl as &mut dyn Prefetcher),
+                0,
+                accesses,
+            );
+            ctl.stats.window_rewards.clone()
+        }
+        _ => {
+            let bits = if model == "table8" { 8 } else { 4 };
+            let mut ctl = ResembleTabular::new(paper_bank(), ResembleConfig::fast(), bits, seed);
+            engine.run(
+                &mut *src,
+                Some(&mut ctl as &mut dyn Prefetcher),
+                0,
+                accesses,
+            );
+            ctl.stats.window_rewards.clone()
+        }
+    }
+}
+
 fn main() {
     let opts = Options::from_env_checked(&[]);
     let accesses = opts.usize("accesses", 60_000);
     let seed = opts.u64("seed", 42);
+    let jobs = opts.usize("jobs", 0);
     report::banner(
         "Figure 6",
         "Learning curves: per-1K-window rewards (smoothed by 10)",
     );
 
+    let mut sweep = Sweep::for_bin("fig06_learning", jobs).base_seed(seed);
+    for &app in APPS {
+        for &model in MODELS {
+            sweep.push(format!("{app}/{model}"), move |_| {
+                run_model(app, model, accesses, seed)
+            });
+        }
+    }
+    let mut results = sweep.run().into_iter();
+
     let mut curves: Vec<Curve> = Vec::new();
     for &app in APPS {
         println!("=== {app} ===");
-        for model in ["mlp", "table8", "table4"] {
-            let mut engine = Engine::new(SimConfig::harness());
-            let mut src = resemble_trace::gen::app_by_name(app, seed)
-                .expect("known app")
-                .source;
-            let rewards: Vec<f64> = match model {
-                "mlp" => {
-                    let mut ctl = ResembleMlp::new(paper_bank(), ResembleConfig::fast(), seed);
-                    engine.run(
-                        &mut *src,
-                        Some(&mut ctl as &mut dyn Prefetcher),
-                        0,
-                        accesses,
-                    );
-                    ctl.stats.window_rewards.clone()
-                }
-                "table8" => {
-                    let mut ctl =
-                        ResembleTabular::new(paper_bank(), ResembleConfig::fast(), 8, seed);
-                    engine.run(
-                        &mut *src,
-                        Some(&mut ctl as &mut dyn Prefetcher),
-                        0,
-                        accesses,
-                    );
-                    ctl.stats.window_rewards.clone()
-                }
-                _ => {
-                    let mut ctl =
-                        ResembleTabular::new(paper_bank(), ResembleConfig::fast(), 4, seed);
-                    engine.run(
-                        &mut *src,
-                        Some(&mut ctl as &mut dyn Prefetcher),
-                        0,
-                        accesses,
-                    );
-                    ctl.stats.window_rewards.clone()
-                }
-            };
+        for &model in MODELS {
+            let rewards = results.next().expect("one curve per job");
             let smoothed = smooth(&rewards, 10);
             println!("{}", render_series(&format!("{model:7}"), &smoothed, 25));
             let late = &rewards[rewards.len().saturating_sub(10)..];

@@ -1,15 +1,20 @@
 //! Figure 7 — case study of the controllers' actions: per-1K-window action
 //! distributions (which input prefetcher was selected, or NP) for the
 //! MLP-based and tabular controllers.
+//!
+//! Every (app, model) simulation is one job on the deterministic executor
+//! (DESIGN.md §9), so the tables print bit-identically at any `--jobs N`.
 
 use resemble_bench::{report, Options};
 use resemble_core::{ResembleConfig, ResembleMlp, ResembleTabular};
 use resemble_prefetch::{paper_bank, Prefetcher};
+use resemble_runtime::Sweep;
 use resemble_sim::{Engine, SimConfig};
 use resemble_stats::Table;
 use serde::Serialize;
 
 const APPS: &[&str] = &["433.lbm", "471.omnetpp", "621.wrf", "623.xalancbmk"];
+const MODELS: &[&str] = &["mlp", "table8"];
 const ACTIONS: &[&str] = &["BO", "SPP", "ISB", "Domino", "NP"];
 
 #[derive(Serialize)]
@@ -49,16 +54,27 @@ fn main() {
     let opts = Options::from_env_checked(&[]);
     let accesses = opts.usize("accesses", 60_000);
     let seed = opts.u64("seed", 42);
+    let jobs = opts.usize("jobs", 0);
     report::banner(
         "Figure 7",
         "Per-window action distributions of MLP vs tabular controllers",
     );
 
+    let mut sweep = Sweep::for_bin("fig07_actions", jobs).base_seed(seed);
+    for &app in APPS {
+        for &model in MODELS {
+            sweep.push(format!("{app}/{model}"), move |_| {
+                run(model, app, accesses, seed)
+            });
+        }
+    }
+    let mut results = sweep.run().into_iter();
+
     let mut logs = Vec::new();
     for &app in APPS {
         println!("=== {app} ===");
-        for model in ["mlp", "table8"] {
-            let windows = run(model, app, accesses, seed);
+        for &model in MODELS {
+            let windows = results.next().expect("one action log per job");
             logs.push(ActionLog {
                 app: app.to_string(),
                 model: model.to_string(),

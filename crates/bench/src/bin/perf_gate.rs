@@ -57,8 +57,17 @@
 //! * `kernel_speedup` — dispatched-backend over scalar-backend steps/s
 //!   on the raw batched kernel path (`--min-kernel-speedup`, default
 //!   1.3). Gated only when the dispatched backend is not already
-//!   scalar, so the gate stays green on hosts without SSE2/AVX2 and
-//!   under `RESEMBLE_SIMD=scalar`.
+//!   scalar (so the gate stays green on hosts without SSE2/AVX2 and
+//!   under `RESEMBLE_SIMD=scalar`) and the host has at least 2 cores
+//!   (below that, background load lands entirely on the measured core
+//!   and the ratio wobbles across the floor; `--write-baseline`
+//!   preserves the committed value there).
+//! * `kernel_avx512_speedup` — Avx512-tier over scalar steps/s
+//!   (`--min-avx512-speedup`, default 1.1). Auto-skipped with a named
+//!   warning on hosts without avx512f+avx512bw, and below 2 cores like
+//!   the kernel metric; measured independently of the dispatched
+//!   backend so a `RESEMBLE_SIMD` override cannot hide a wide-lane
+//!   regression on a capable host.
 //! * `matrix_speedup` — parallel over serial `run_matrix` wall-clock
 //!   (`--min-matrix-speedup`, default 2.0). Gated only on hosts with at
 //!   least 4 cores (auto-skipped below: the ratio would measure
@@ -71,6 +80,7 @@
 //! [--controller-apps a,b] [--controller-warmup N]
 //! [--controller-accesses N] [--min-controller-speedup X]
 //! [--no-controller] [--kernel-steps N] [--min-kernel-speedup X]
+//! [--min-avx512-speedup X]
 //! [--no-matrix] [--matrix-accesses N] [--matrix-warmup N]
 //! [--min-matrix-speedup X]`
 
@@ -135,6 +145,11 @@ struct KernelReport {
     /// Dispatched-backend steps/s over scalar steps/s; 1.0 by definition
     /// when scalar *is* the dispatched backend.
     speedup: f64,
+    /// Avx512-tier steps/s over scalar steps/s; 0.0 when the host lacks
+    /// the tier (avx512f+avx512bw). Gated independently of `speedup` so
+    /// the wide lanes can't silently rot back to AVX2 rates — and so a
+    /// host whose dispatch was overridden still measures the tier.
+    avx512_speedup: f64,
 }
 
 /// The parallel-sweep section: the identical `run_matrix` workload timed
@@ -201,6 +216,7 @@ struct Baseline {
     engine_core_speedup: f64,
     controller_speedup: f64,
     kernel_speedup: f64,
+    kernel_avx512_speedup: f64,
     matrix_speedup: f64,
     aggregate_speedup: f64,
     geo_mean_speedup: f64,
@@ -297,6 +313,11 @@ fn measure_kernels(reps: usize, steps: usize) -> KernelReport {
     } else {
         0.0
     };
+    let avx512_speedup = if scalar_rate > 0.0 {
+        rate("avx512") / scalar_rate
+    } else {
+        0.0
+    };
     KernelReport {
         dispatched,
         sizes,
@@ -304,6 +325,7 @@ fn measure_kernels(reps: usize, steps: usize) -> KernelReport {
         steps,
         backends,
         speedup,
+        avx512_speedup,
     }
 }
 
@@ -364,6 +386,7 @@ fn main() {
         "reps",
         "kernel-steps",
         "min-kernel-speedup",
+        "min-avx512-speedup",
         "no-matrix",
         "matrix-accesses",
         "matrix-warmup",
@@ -385,6 +408,10 @@ fn main() {
         .str("min-kernel-speedup")
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(1.3);
+    let min_avx512_speedup = opts
+        .str("min-avx512-speedup")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.1);
     let kernel_steps = opts.usize("kernel-steps", 200).max(1);
     let min_matrix_speedup = opts
         .str("min-matrix-speedup")
@@ -762,6 +789,17 @@ fn main() {
             "kernel speedup (gated when dispatched != scalar): {:.2}x dispatched ({}) vs scalar (target >= {min_kernel_speedup:.2}x)",
             rep.kernel.speedup, rep.kernel.dispatched
         );
+        if rep.kernel.avx512_speedup > 0.0 {
+            println!(
+                "avx512 kernel speedup (gated on avx512 hosts): {:.2}x vs scalar (target >= {min_avx512_speedup:.2}x)",
+                rep.kernel.avx512_speedup
+            );
+        } else {
+            println!(
+                "avx512 kernel tier not available on this host (detected features: {})",
+                simd::capabilities().summary()
+            );
+        }
     }
 
     if let Some(m) = &rep.matrix {
@@ -836,6 +874,23 @@ fn main() {
         }
     }
 
+    // A 1-core host cannot hold the kernel ratio steady: every burst of
+    // background load lands on the measured core, and the interleaved
+    // best-of has been observed wobbling ~1.24-1.33x against a 1.32x
+    // baseline. Below 2 cores the kernel metrics are reported but not
+    // gated, and --write-baseline preserves the committed values —
+    // the same treatment the matrix metric gets below 4 cores.
+    let kernel_cores_skip = (host_parallelism() < 2)
+        .then(|| format!("host has {} core, gate needs >= 2", host_parallelism()));
+    let avx512_skip = if simd::KernelBackend::Avx512.is_available() {
+        kernel_cores_skip.clone()
+    } else {
+        Some(format!(
+            "host lacks the avx512 tier (needs avx512f+avx512bw; detected features: {})",
+            simd::capabilities().summary()
+        ))
+    };
+
     if write_baseline {
         if rep.controller_jobs.is_empty() {
             eprintln!("error: cannot write a baseline from a --no-controller run");
@@ -849,31 +904,41 @@ fn main() {
             );
             std::process::exit(2);
         }
+        // Where a metric is not measurable on this host, keep the
+        // committed value (or the absolute floor on a first write)
+        // instead of freezing a meaningless number into the baseline.
+        let kept_or = |key: &str, fallback: f64| {
+            let kept = std::fs::read_to_string(&baseline_path)
+                .ok()
+                .and_then(|s| serde_json::from_str(&s).ok())
+                .and_then(|v: serde_json::Value| v.get(key).and_then(|x| x.as_f64()))
+                .unwrap_or(fallback);
+            eprintln!(
+                "warning: {key} not measurable on this host; keeping {kept:.2}x in the baseline"
+            );
+            kept
+        };
         // Below 4 cores the parallel/serial ratio measures scheduling
-        // overhead, not parallelism, so keep the committed value (or the
-        // absolute floor on a first write) instead of freezing a
-        // meaningless number into the baseline.
+        // overhead, not parallelism.
         let matrix_speedup = match &rep.matrix {
             Some(m) if m.host_cores >= 4 => m.speedup,
-            _ => {
-                let kept = std::fs::read_to_string(&baseline_path)
-                    .ok()
-                    .and_then(|s| serde_json::from_str(&s).ok())
-                    .and_then(|v: serde_json::Value| {
-                        v.get("matrix_speedup").and_then(|x| x.as_f64())
-                    })
-                    .unwrap_or(min_matrix_speedup);
-                eprintln!(
-                    "warning: matrix_speedup not measurable here (<4 cores or \
-                     --no-matrix); keeping {kept:.2}x in the baseline"
-                );
-                kept
-            }
+            _ => kept_or("matrix_speedup", min_matrix_speedup),
+        };
+        let kernel_speedup = if kernel_cores_skip.is_none() {
+            rep.kernel.speedup
+        } else {
+            kept_or("kernel_speedup", min_kernel_speedup)
+        };
+        let kernel_avx512_speedup = if avx512_skip.is_none() {
+            rep.kernel.avx512_speedup
+        } else {
+            kept_or("kernel_avx512_speedup", min_avx512_speedup)
         };
         let b = Baseline {
             engine_core_speedup: rep.engine_core_speedup,
             controller_speedup: rep.controller_speedup,
-            kernel_speedup: rep.kernel.speedup,
+            kernel_speedup,
+            kernel_avx512_speedup,
             matrix_speedup,
             aggregate_speedup: rep.aggregate_speedup,
             geo_mean_speedup: rep.geo_mean_speedup,
@@ -923,7 +988,15 @@ fn main() {
                 rep.kernel.speedup,
                 min_kernel_speedup,
                 (rep.kernel.dispatched == "scalar")
-                    .then(|| "scalar-dispatched kernels".to_string()),
+                    .then(|| "scalar-dispatched kernels".to_string())
+                    .or(kernel_cores_skip),
+            ),
+            (
+                "kernel-avx512",
+                "kernel_avx512_speedup",
+                rep.kernel.avx512_speedup,
+                min_avx512_speedup,
+                avx512_skip,
             ),
             (
                 "matrix",

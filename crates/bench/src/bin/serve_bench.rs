@@ -30,9 +30,12 @@
 //!
 //! `--check` gates every serving metric with `perf_gate`-style messages:
 //! the microbatch speedup (≥1.5x), the pool speedup (≥1.5x), the pooled
-//! p99 latency (≤250ms), and the int8 pooled-forward speedup (≥1.5x,
+//! p99 latency (≤250ms), the int8 pooled-forward speedup (≥1.5x,
 //! skipped with a warning when the kernels dispatched scalar — int8 wins
-//! come from the vector GEMM, so a scalar host would gate noise).
+//! come from the vector GEMM, so a scalar host would gate noise), and
+//! the int8 wide-tier speedup (Avx512 tier forced vs scalar forced on
+//! the same int8 pooled forward, ≥2.0x, skipped with a named warning on
+//! hosts without avx512f+avx512bw).
 
 use resemble_bench::cli::Options;
 use resemble_bench::runner::maybe_write_json;
@@ -93,6 +96,19 @@ struct Int8Report {
     /// Whether `--check` gates the speedup: false when the kernels
     /// dispatched scalar, where int8 has no vector GEMM to win with.
     gated: bool,
+    /// Int8 pooled forward rows/s with the Avx512 tier forced; 0.0 when
+    /// the host lacks the tier (avx512f+avx512bw).
+    avx512_rows_per_s: f64,
+    /// Int8 pooled forward rows/s with the scalar backend forced — the
+    /// denominator of `avx512_vs_scalar`, measured in the same process.
+    scalar_rows_per_s: f64,
+    /// Avx512-tier over scalar int8 pooled forward throughput: what the
+    /// wide int8 lanes (VNNI where detected) buy the serving hot path.
+    /// 0.0 when the tier is unavailable.
+    avx512_vs_scalar: f64,
+    /// `Some(reason)` when `avx512_vs_scalar` is skipped on this host —
+    /// named in the `--check` warning, `perf_gate`-style.
+    avx512_skip: Option<String>,
 }
 
 /// Run the int8 scenario: one warm `WeightPool` per datapath, `iters`
@@ -137,6 +153,45 @@ fn run_int8_scenario(model: &str, rows: usize, iters: usize, seed: u64) -> Int8R
     }
     let int8_s = t.elapsed().as_secs_f64().max(1e-9);
     let total_rows = (rows * iters) as f64;
+    // Wide-tier leg: the same int8 pooled forward under the forced
+    // Avx512 tier vs forced scalar (outputs are byte-identical across
+    // backends, so only the clock differs). Forcing — rather than
+    // reading the ambient dispatch — means a `RESEMBLE_SIMD` override
+    // cannot hide a wide-lane regression on a capable host.
+    use resemble_nn::simd::{self, KernelBackend};
+    let (avx512_rows_per_s, scalar_rows_per_s, avx512_vs_scalar, avx512_skip) =
+        if KernelBackend::Avx512.is_available() {
+            let mut timed = |be: KernelBackend| {
+                let _guard = simd::force(be);
+                // Warm outside the timed window: the pool re-quantizes on
+                // first touch after a backend switch only if evicted; the
+                // forward itself is the thing being timed.
+                int8_pool.forward_into(&key, &template, &states, &mut qi);
+                let t = Instant::now();
+                for _ in 0..iters {
+                    int8_pool.forward_into(&key, &template, &states, &mut qi);
+                }
+                total_rows / t.elapsed().as_secs_f64().max(1e-9)
+            };
+            let scalar_rate = timed(KernelBackend::Scalar);
+            let avx512_rate = timed(KernelBackend::Avx512);
+            (
+                avx512_rate,
+                scalar_rate,
+                avx512_rate / scalar_rate.max(1e-9),
+                None,
+            )
+        } else {
+            (
+                0.0,
+                0.0,
+                0.0,
+                Some(format!(
+                    "host lacks the avx512 tier (needs avx512f+avx512bw; detected features: {})",
+                    simd::capabilities().summary()
+                )),
+            )
+        };
     Int8Report {
         model: model.to_string(),
         rows,
@@ -146,6 +201,10 @@ fn run_int8_scenario(model: &str, rows: usize, iters: usize, seed: u64) -> Int8R
         int8_speedup: f32_s / int8_s,
         decision_agreement: agree as f64 / rows.max(1) as f64,
         gated: resemble_nn::simd::dispatched().name() != "scalar",
+        avx512_rows_per_s,
+        scalar_rows_per_s,
+        avx512_vs_scalar,
+        avx512_skip,
     }
 }
 
@@ -561,6 +620,13 @@ fn main() {
         int8.rows,
         int8.iters,
     );
+    match &int8.avx512_skip {
+        None => println!(
+            "int8 avx512  : {:>10.0} rows/s vs scalar {:>10.0} rows/s = {:.2}x",
+            int8.avx512_rows_per_s, int8.scalar_rows_per_s, int8.avx512_vs_scalar,
+        ),
+        Some(reason) => println!("int8 avx512  : not measured ({reason})"),
+    }
 
     let report = BenchReport {
         kernel_backend,
@@ -581,30 +647,35 @@ fn main() {
         let mut failures: Vec<String> = Vec::new();
         let hs = &report.high_session;
         // (metric label, report key, measured value, required minimum,
-        //  measured?) — the same shape (and failure phrasing) as
+        //  skip reason) — the same shape (and failure phrasing) as
         // perf_gate's `--check`, so one grep pattern covers both gates.
         let gated = [
-            ("microbatch", "speedup", report.speedup, 1.5, true),
+            ("microbatch", "speedup", report.speedup, 1.5, None::<String>),
             (
                 "cross-session pool",
                 "pool_speedup",
                 hs.pool_speedup,
                 1.5,
-                true,
+                None,
             ),
             (
                 "int8 pooled forward",
                 "int8_speedup",
                 report.int8.int8_speedup,
                 1.5,
-                report.int8.gated,
+                (!report.int8.gated).then(|| "scalar-dispatched kernels".to_string()),
+            ),
+            (
+                "int8 avx512 pooled forward",
+                "avx512_vs_scalar",
+                report.int8.avx512_vs_scalar,
+                2.0,
+                report.int8.avx512_skip.clone(),
             ),
         ];
-        for (label, key, measured, min_required, was_measured) in gated {
-            if !was_measured {
-                eprintln!(
-                    "warning: {label} speedup not measured (scalar-dispatched kernels); not gated"
-                );
+        for (label, key, measured, min_required, skip) in gated {
+            if let Some(reason) = skip {
+                eprintln!("warning: {label} speedup not measured ({reason}); not gated");
                 continue;
             }
             println!("check [{label}]: required {min_required:.2}x, measured {measured:.2}x");

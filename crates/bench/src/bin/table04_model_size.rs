@@ -3,42 +3,56 @@
 //! *measured* unique-state counts from running the tabular controller over
 //! the benchmark suite, exactly as the paper measured its 37.3K / 592K
 //! entries.
+//!
+//! Every (hash bits, probe app) run is one job on the deterministic
+//! executor (DESIGN.md §9); each hash width is a reduce group averaging
+//! its apps, so the table prints bit-identically at any `--jobs N`.
 
 use resemble_bench::{report, Options};
 use resemble_core::overhead::{mlp_param_count, table_direct_entries, table_token_entries};
 use resemble_core::{ResembleConfig, ResembleTabular};
 use resemble_prefetch::{paper_bank, Prefetcher};
+use resemble_runtime::Sweep;
 use resemble_sim::{Engine, SimConfig};
 use resemble_stats::Table;
 use resemble_trace::gen::app_by_name;
 
-fn measured_unique_states(hash_bits: u32, accesses: usize, seed: u64) -> usize {
-    // Run the tabular controller across a representative app mix and count
-    // the union of tokenized states.
-    let mut total = 0;
-    for app in ["433.milc", "471.omnetpp", "gap.pr"] {
-        let mut ctl = ResembleTabular::new(paper_bank(), ResembleConfig::fast(), hash_bits, seed);
-        let mut engine = Engine::new(SimConfig::harness());
-        let mut src = app_by_name(app, seed).expect("known app").source;
-        let _ = engine.run(
-            &mut *src,
-            Some(&mut ctl as &mut dyn Prefetcher),
-            0,
-            accesses,
-        );
-        total += ctl.agent().unique_states();
-    }
-    total / 3
+/// The representative app mix whose tokenized-state counts are averaged.
+const PROBE_APPS: &[&str] = &["433.milc", "471.omnetpp", "gap.pr"];
+
+fn unique_states_on(app: &str, hash_bits: u32, accesses: usize, seed: u64) -> usize {
+    let mut ctl = ResembleTabular::new(paper_bank(), ResembleConfig::fast(), hash_bits, seed);
+    let mut engine = Engine::new(SimConfig::harness());
+    let mut src = app_by_name(app, seed).expect("known app").source;
+    let _ = engine.run(
+        &mut *src,
+        Some(&mut ctl as &mut dyn Prefetcher),
+        0,
+        accesses,
+    );
+    ctl.agent().unique_states()
 }
 
 fn main() {
     let opts = Options::from_env_checked(&[]);
     let accesses = opts.usize("accesses", 40_000);
     let seed = opts.u64("seed", 42);
+    let jobs = opts.usize("jobs", 0);
     report::banner(
         "Table IV",
         "Model size: MLP vs direct and tokenized Q-tables",
     );
+
+    // One reduce group per hash width, averaging the probe apps' counts.
+    let mut sweep = Sweep::for_bin("table04_model_size", jobs).base_seed(seed);
+    for bits in [4u32, 8] {
+        for &app in PROBE_APPS {
+            sweep.push_in(format!("B{bits}"), format!("B{bits}/{app}"), move |_| {
+                unique_states_on(app, bits, accesses, seed)
+            });
+        }
+    }
+    let uniques = sweep.run_reduced(|_, parts| parts.iter().sum::<usize>() / parts.len());
     let cfg = ResembleConfig::default();
     let (s, h, a) = (cfg.state_dim, cfg.hidden_dim, cfg.action_dim);
 
@@ -62,8 +76,7 @@ fn main() {
             paper.into(),
         ]);
     }
-    for (bits, paper) in [(4u32, "37.3K"), (8, "592K")] {
-        let unique = measured_unique_states(bits, accesses, seed);
+    for ((bits, paper), unique) in [(4u32, "37.3K"), (8, "592K")].into_iter().zip(uniques) {
         t.row(vec![
             "Table (token)".to_string(),
             format!("B={bits}, {unique} unique states over {accesses} accesses"),

@@ -1,13 +1,21 @@
 //! Table VI — average rewards of 1K-access windows for six controller
 //! configurations (tabular 4-bit / 8-bit / MLP, each with and without the
 //! PC feature) across the three benchmark suites.
+//!
+//! Every (configuration, suite, app) simulation is one job on the
+//! deterministic executor (DESIGN.md §9); each (configuration, suite)
+//! cell is a reduce group averaging its apps, so the table prints
+//! bit-identically at any `--jobs N`.
 
 use resemble_bench::{report, Options};
 use resemble_core::{EnsembleStats, ResembleConfig, ResembleMlp, ResembleTabular};
 use resemble_prefetch::{paper_bank, Prefetcher};
+use resemble_runtime::Sweep;
 use resemble_sim::{Engine, SimConfig};
 use resemble_stats::{mean, Table};
 use resemble_trace::gen::suite::SUITES;
+
+const MODELS: &[&str] = &["table4", "table8", "mlp"];
 
 /// Run one controller configuration over one app; returns the mean
 /// per-1K-window reward.
@@ -60,6 +68,7 @@ fn main() {
     let opts = Options::from_env_checked(&[]);
     let accesses = opts.usize("accesses", 60_000);
     let seed = opts.u64("seed", 42);
+    let jobs = opts.usize("jobs", 0);
     report::banner(
         "Table VI",
         "Average rewards of 1K-access windows, six configurations x three suites",
@@ -67,19 +76,30 @@ fn main() {
     println!("(rewards here credit every issued-prefetch hit; see DESIGN.md §1 on the");
     println!(" multi-suggestion reward generalization — compare orderings, not magnitudes)\n");
 
+    // One reduce group per (configuration, suite) table cell.
+    let mut sweep = Sweep::for_bin("table06_rewards", jobs).base_seed(seed);
+    for &with_pc in &[false, true] {
+        for &model in MODELS {
+            for suite in SUITES {
+                for &app in suite.apps {
+                    sweep.push_in(
+                        format!("{model}/pc={with_pc}/{}", suite.name),
+                        format!("{model}/pc={with_pc}/{}/{app}", suite.name),
+                        move |_| run_app(model, with_pc, app, accesses, seed),
+                    );
+                }
+            }
+        }
+    }
+    let mut cells = sweep.run_reduced(|_, vals| mean(&vals)).into_iter();
+
     let mut t = Table::new(vec!["Model", "PC", "SPEC 06", "SPEC 17", "GAP"]);
     let mut measured: Vec<(String, bool, Vec<f64>)> = Vec::new();
     for &with_pc in &[false, true] {
-        for model in ["table4", "table8", "mlp"] {
-            let mut row_vals = Vec::new();
-            for suite in SUITES {
-                let vals: Vec<f64> = suite
-                    .apps
-                    .iter()
-                    .map(|app| run_app(model, with_pc, app, accesses, seed))
-                    .collect();
-                row_vals.push(mean(&vals));
-            }
+        for &model in MODELS {
+            let row_vals: Vec<f64> = (0..SUITES.len())
+                .map(|_| cells.next().expect("one cell per (config, suite)"))
+                .collect();
             let label = match model {
                 "table4" => "Table: 4-bit hash",
                 "table8" => "Table: 8-bit hash",

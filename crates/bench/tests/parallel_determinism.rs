@@ -4,7 +4,9 @@
 //! an output knob.
 
 use resemble_bench::runner::{run_matrix, RunResult, SweepParams};
-use resemble_sim::SimConfig;
+use resemble_prefetch::{Prefetcher, Spp};
+use resemble_runtime::Sweep;
+use resemble_sim::{Engine, SimConfig};
 
 fn params(jobs: usize) -> SweepParams {
     SweepParams {
@@ -60,6 +62,59 @@ fn json_and_csv_outputs_are_byte_identical_across_jobs_1_2_8() {
             serial_csv,
             to_csv(&par),
             "CSV bytes must not depend on worker count (jobs={jobs})"
+        );
+    }
+}
+
+/// One engine run of the kind the Sweep-ported bins push as jobs
+/// (ext_six_member, ext_quantization, table06_rewards): deterministic
+/// given (app, pf, seed) only.
+fn sweep_cell(app: &str, with_pf: bool, seed: u64) -> (f64, f64) {
+    let mut engine = Engine::new(SimConfig::test_small());
+    let mut src = resemble_trace::gen::app_by_name(app, seed)
+        .expect("known app")
+        .source;
+    let stats = if with_pf {
+        let mut pf = Spp::new();
+        engine.run(&mut *src, Some(&mut pf as &mut dyn Prefetcher), 300, 1500)
+    } else {
+        engine.run(&mut *src, None, 300, 1500)
+    };
+    (stats.ipc(), stats.accuracy())
+}
+
+/// Mirrors the grouped shape the ported bins use: contiguous groups of
+/// engine-run jobs, each group reduced to a table row as it completes.
+fn grouped_sweep_at(jobs: usize) -> String {
+    let apps = ["433.milc", "471.omnetpp"];
+    let mut sweep = Sweep::quiet("determinism-grouped", jobs).base_seed(42);
+    for with_pf in [false, true] {
+        for &app in &apps {
+            sweep.push_in(
+                format!("pf={with_pf}"),
+                format!("pf={with_pf}/{app}"),
+                move |_| sweep_cell(app, with_pf, 42),
+            );
+        }
+    }
+    let rows = sweep.run_reduced(|group, parts| {
+        let cells: Vec<String> = parts
+            .iter()
+            .map(|(ipc, acc)| format!("{ipc},{acc}"))
+            .collect();
+        format!("{group}:{}", cells.join(";"))
+    });
+    rows.join("\n")
+}
+
+#[test]
+fn grouped_sweep_rows_are_byte_identical_across_jobs_1_2_8() {
+    let serial = grouped_sweep_at(1);
+    for jobs in [2usize, 8] {
+        assert_eq!(
+            serial,
+            grouped_sweep_at(jobs),
+            "grouped-reduce bytes must not depend on worker count (jobs={jobs})"
         );
     }
 }

@@ -1,7 +1,7 @@
 //! `simd-outside-kernel`: `std::arch`/`core::arch` intrinsics,
-//! `target_feature` attributes/cfgs, and `is_x86_feature_detected!`
-//! probes anywhere except the sanctioned kernel module
-//! (`crates/nn/src/simd.rs`).
+//! `target_feature` attributes/cfgs, and `is_x86_feature_detected!` /
+//! `is_aarch64_feature_detected!` probes anywhere except the sanctioned
+//! kernel module (`crates/nn/src/simd.rs`).
 //!
 //! The workspace's bit-identity story depends on every vectorized loop
 //! living in one file, next to its scalar twin and its bitwise tests,
@@ -19,6 +19,19 @@ use crate::scanner::FileCtx;
 /// Rule name.
 pub const RULE: &str = "simd-outside-kernel";
 
+/// Whether `name` is shaped like a NEON intrinsic (`vaddq_f32`,
+/// `vld1q_s8`, `vreinterpretq_s32_u32`, …): a `v`-prefixed identifier
+/// ending in a NEON element-type suffix. Only consulted when the file
+/// glob-imports an arch module, so ordinary `v…_f32`-style locals in
+/// other files never match.
+fn is_neon_intrinsic_name(name: &str) -> bool {
+    const ELEM: &[&str] = &[
+        "_s8", "_u8", "_s16", "_u16", "_s32", "_u32", "_s64", "_u64", "_f32", "_f64", "_p8",
+        "_p16", "_p64",
+    ];
+    name.starts_with('v') && ELEM.iter().any(|s| name.ends_with(s))
+}
+
 /// Run the rule over one file.
 pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     if SIMD_KERNEL_FILES.contains(&ctx.path.as_str()) {
@@ -33,8 +46,8 @@ pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
         let after_path_sep = i >= 1 && toks[i - 1].is_punct("::");
         let what: Option<String> = if name == "target_feature" {
             Some("`target_feature` attribute/cfg".to_string())
-        } else if name == "is_x86_feature_detected" {
-            Some("`is_x86_feature_detected!` probe".to_string())
+        } else if name == "is_x86_feature_detected" || name == "is_aarch64_feature_detected" {
+            Some(format!("`{name}!` probe"))
         } else if name == "arch"
             && after_path_sep
             && i >= 2
@@ -51,7 +64,7 @@ pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
                 .filter(|p| p.starts_with("std::arch") || p.starts_with("core::arch"))
                 .map(|p| format!("`{p}` (imported intrinsic)"))
                 .or_else(|| {
-                    (glob_of_arch && name.starts_with("_mm"))
+                    (glob_of_arch && (name.starts_with("_mm") || is_neon_intrinsic_name(name)))
                         .then(|| format!("`{name}` (glob-imported intrinsic)"))
                 })
         } else {
@@ -129,6 +142,32 @@ mod tests {
                 .any(|x| x.line == 3 && x.message.contains("is_x86_feature_detected")),
             "{d:?}"
         );
+    }
+
+    #[test]
+    fn positive_aarch64_detect_and_glob_neon() {
+        let src = "use std::arch::aarch64::*;\n\
+                   fn h() -> bool { std::arch::is_aarch64_feature_detected!(\"neon\") }\n\
+                   unsafe fn k(a: float32x4_t) -> float32x4_t { vaddq_f32(a, a) }\n";
+        let d = run("crates/sim/src/dram.rs", src);
+        assert!(
+            d.iter()
+                .any(|x| x.line == 2 && x.message.contains("is_aarch64_feature_detected")),
+            "{d:?}"
+        );
+        assert!(
+            d.iter().any(|x| x.line == 3
+                && x.message.contains("`vaddq_f32` (glob-imported intrinsic)")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn negative_neon_shaped_names_without_arch_glob() {
+        // `v…_f32`-style locals only count as intrinsics when the file
+        // glob-imports an arch module.
+        let src = "fn f() { let vals_f32 = [0.0f32]; let _ = vals_f32; }\n";
+        assert!(run("crates/sim/src/engine.rs", src).is_empty());
     }
 
     #[test]

@@ -118,12 +118,21 @@ pub fn dequantize_acc(acc: i32, sx: f32, sw: f32, bias: f32) -> f32 {
 
 /// `dst[r][c] = dequantize_acc(acc[r][c], x_scales[r], w_scales[c],
 /// bias[c])` over a `batch × fan_out` block — the shared non-dispatched
-/// epilogue of every quantized layer.
-fn dequantize_rows(dst: &mut [f32], acc: &[i32], x_scales: &[f32], w_scales: &[f32], bias: &[f32]) {
+/// epilogue of every quantized layer. `acc_stride` is the accumulator's
+/// row stride: `fan_out` for the dot-form GEMM, the lane-padded width
+/// for the pair-interleaved form (padding columns are skipped).
+fn dequantize_rows(
+    dst: &mut [f32],
+    acc: &[i32],
+    acc_stride: usize,
+    x_scales: &[f32],
+    w_scales: &[f32],
+    bias: &[f32],
+) {
     let fan_out = w_scales.len();
     for ((drow, arow), &sx) in dst
         .chunks_exact_mut(fan_out)
-        .zip(acc.chunks_exact(fan_out))
+        .zip(acc.chunks_exact(acc_stride))
         .zip(x_scales)
     {
         for ((d, &a), (&sw, &b)) in drow.iter_mut().zip(arow).zip(w_scales.iter().zip(bias)) {
@@ -143,6 +152,16 @@ const LANES_MAX_FAN_IN: usize = 64;
 /// See [`LANES_MAX_FAN_IN`].
 const LANES_MIN_FAN_OUT: usize = 16;
 
+/// The widest int8 pair-lanes vector body across backends — AVX-512's
+/// 16 outputs per iteration (AVX2: 8, SSE2/NEON: 4). The interleaved
+/// layout pads `fan_out` up to a multiple of this with zero weights so
+/// *every* tier's vector body covers the whole output row and no
+/// backend falls into the scalar lanes tail. Zero weights contribute
+/// exact zeros to the i32 accumulator, so the padding never changes a
+/// real output byte on any backend; the padded accumulator columns are
+/// skipped by the dequantize epilogue.
+const LANES_PAD_TO: usize = 16;
+
 /// Batch-tile height for [`QuantizedMlp::forward_into`]: at 32 rows a
 /// 1024-wide hidden layer's tile scratch (f32 stage, i32 accumulator,
 /// i8 codes) totals ~300 KiB — inside L2 on every x86-64 serving target
@@ -155,12 +174,15 @@ const TILE_ROWS: usize = 32;
 /// One dense layer with int8 weights: `fan_out × fan_in` row-major
 /// (each row is one output neuron, quantized with its own scale).
 /// `wt_lanes` is the optional pair-interleaved copy (layout
-/// `wt[(p·fan_out + r)·2 + {0,1}] = qw[r][2p + {0,1}]`, odd tail
-/// zero-padded) for the small-fan-in fast path.
+/// `wt[(p·lanes_out + r)·2 + {0,1}] = qw[r][2p + {0,1}]`, odd fan-in
+/// tail zero-padded) for the small-fan-in fast path; `lanes_out` is
+/// `fan_out` rounded up to [`LANES_PAD_TO`] (the interleaved row
+/// stride; the padding rows hold zero weights).
 #[derive(Debug, Clone)]
 struct QuantLayer {
     qw: Vec<i8>,
     wt_lanes: Option<Vec<i16>>,
+    lanes_out: usize,
     w_scales: Vec<f32>,
     bias: Vec<f32>,
     act: Activation,
@@ -169,15 +191,16 @@ struct QuantLayer {
 }
 
 /// Build the pair-interleaved i16 weight copy from row-major int8
-/// weights (see [`QuantLayer::wt_lanes`]).
-fn interleave_weight_pairs(qw: &[i8], fan_in: usize, fan_out: usize) -> Vec<i16> {
+/// weights (see [`QuantLayer::wt_lanes`]); `lanes_out` is the padded
+/// output stride, `>= fan_out` (the row count `qw.len() / fan_in`).
+fn interleave_weight_pairs(qw: &[i8], fan_in: usize, lanes_out: usize) -> Vec<i16> {
     let pairs = fan_in.div_ceil(2);
-    let mut wt = vec![0i16; pairs * fan_out * 2];
+    let mut wt = vec![0i16; pairs * lanes_out * 2];
     for (r, row) in qw.chunks_exact(fan_in).enumerate() {
         for p in 0..pairs {
-            wt[(p * fan_out + r) * 2] = i16::from(row[2 * p]);
+            wt[(p * lanes_out + r) * 2] = i16::from(row[2 * p]);
             if let Some(&w1) = row.get(2 * p + 1) {
-                wt[(p * fan_out + r) * 2 + 1] = i16::from(w1);
+                wt[(p * lanes_out + r) * 2 + 1] = i16::from(w1);
             }
         }
     }
@@ -241,11 +264,13 @@ impl QuantizedMlp {
             } else {
                 hidden_act
             };
+            let lanes_out = fan_out.div_ceil(LANES_PAD_TO) * LANES_PAD_TO;
             let wt_lanes = (fan_in <= LANES_MAX_FAN_IN && fan_out >= LANES_MIN_FAN_OUT)
-                .then(|| interleave_weight_pairs(&qw, fan_in, fan_out));
+                .then(|| interleave_weight_pairs(&qw, fan_in, lanes_out));
             layers.push(QuantLayer {
                 qw,
                 wt_lanes,
+                lanes_out,
                 w_scales,
                 bias,
                 act,
@@ -301,7 +326,9 @@ impl QuantizedMlp {
         // Scratch buffers only ever grow (to the largest layer's needs)
         // and are addressed through per-layer slices below: shrinking
         // between layers would re-zero megabytes per call on wide models.
-        let max_fan = self.layers.iter().map(|l| l.fan_in.max(l.fan_out));
+        // `lanes_out >= fan_out`, so sizing by it also covers the
+        // pair-lanes form's padded accumulator rows.
+        let max_fan = self.layers.iter().map(|l| l.fan_in.max(l.lanes_out));
         let max_fan = max_fan.max().unwrap_or(0);
         grow(&mut self.qx, TILE_ROWS * max_fan, 0);
         grow(&mut self.acc, TILE_ROWS * max_fan, 0);
@@ -336,7 +363,6 @@ impl QuantizedMlp {
         for (l, layer) in self.layers.iter().enumerate() {
             let (fan_in, fan_out) = (layer.fan_in, layer.fan_out);
             let qx = &mut self.qx[..rows * fan_in];
-            let acc = &mut self.acc[..rows * fan_out];
             for ((srow, qrow), sc) in self.stage[..rows * fan_in]
                 .chunks_exact(fan_in)
                 .zip(qx.chunks_exact_mut(fan_in))
@@ -344,10 +370,22 @@ impl QuantizedMlp {
             {
                 *sc = quantize_row_i8_be(be, srow, qrow);
             }
+            // The pair-lanes form runs at the padded stride so every
+            // backend's vector body covers the whole row (see
+            // [`LANES_PAD_TO`]); the dot form is unpadded.
+            let acc_stride = if layer.wt_lanes.is_some() {
+                layer.lanes_out
+            } else {
+                fan_out
+            };
+            let acc = &mut self.acc[..rows * acc_stride];
             if let Some(wt) = layer.wt_lanes.as_deref() {
-                for (qrow, arow) in qx.chunks_exact(fan_in).zip(acc.chunks_exact_mut(fan_out)) {
+                for (qrow, arow) in qx
+                    .chunks_exact(fan_in)
+                    .zip(acc.chunks_exact_mut(layer.lanes_out))
+                {
                     simd::pack_i8_pairs(qrow, &mut self.xpairs);
-                    simd::gemm_i8p_lanes(be, arow, &self.xpairs, wt, fan_out);
+                    simd::gemm_i8p_lanes(be, arow, &self.xpairs, wt, layer.lanes_out);
                 }
             } else {
                 simd::gemm_i8_i32(be, acc, qx, &layer.qw, fan_in);
@@ -357,7 +395,14 @@ impl QuantizedMlp {
             } else {
                 &mut self.stage_out[..rows * fan_out]
             };
-            dequantize_rows(dst, acc, &self.x_scales, &layer.w_scales, &layer.bias);
+            dequantize_rows(
+                dst,
+                acc,
+                acc_stride,
+                &self.x_scales,
+                &layer.w_scales,
+                &layer.bias,
+            );
             // ReLU goes through the branchless dispatched kernel — the
             // scalar `apply` loop's data-dependent branch mispredicts on
             // every other element of a random-signed hidden row. The two

@@ -1,14 +1,15 @@
 //! Runtime-dispatched SIMD kernels for the batched controller datapath,
 //! bit-identical across backends *by construction*.
 //!
-//! Every batched kernel in this crate funnels through this module. Three
-//! backends implement each kernel: explicit AVX2 and SSE2 `std::arch`
-//! intrinsics, and the portable scalar code (the former `matrix.rs` /
-//! `mlp.rs` / `activation.rs` loops, moved here verbatim). The backend is
-//! chosen once at startup by [`dispatched`] via
-//! `is_x86_feature_detected!`, overridable with
-//! `RESEMBLE_SIMD={avx2,sse2,scalar}`; tests and benches can pin a
-//! backend per thread with [`force`].
+//! Every batched kernel in this crate funnels through this module. Five
+//! backends implement each kernel: explicit AVX-512 (16-lane), AVX2
+//! (8-lane), and SSE2 (4-lane) `std::arch` intrinsics on x86-64, NEON
+//! (4-lane) intrinsics on aarch64, and the portable scalar code (the
+//! former `matrix.rs` / `mlp.rs` / `activation.rs` loops, moved here
+//! verbatim). The backend is chosen once at startup by [`dispatched`]
+//! via runtime feature detection, overridable with
+//! `RESEMBLE_SIMD={avx512,avx2,sse2,neon,scalar}`; tests and benches can
+//! pin a backend per thread with [`force`].
 //!
 //! # Bit-identity by construction
 //!
@@ -70,11 +71,34 @@
 //! non-dispatched code, so the full quantized forward pass inherits the
 //! same guarantee.
 //!
-//! [`capabilities`] additionally reports the wider-ISA feature bits
-//! (`avx512f`, `avx512-vnni`, `avx-vnni`) so future VNNI/AVX-512 int8
-//! lanes can slot in behind the same dispatch; those features are
-//! *reported* but not yet dispatched to — [`KernelBackend`] stays
-//! AVX2/SSE2/scalar.
+//! # VNNI dot-product forms
+//!
+//! On VNNI-capable hosts the int8 GEMMs upgrade themselves within their
+//! tier — the [`KernelBackend`] stays `Avx512`/`Avx2`, [`capabilities`]
+//! picks the instruction form:
+//!
+//! - `avx512_vnni` (EVEX): [`gemm_i8_i32`] uses `vpdpbusd` — one fused
+//!   u8×i8 dot per 64 bytes, made signed-exact by the classic offset
+//!   trick (`x + 128` via sign-bit XOR, then subtract `128·Σw`, with the
+//!   correction's `Σw` recovered from a `vpsadbw` running sum). The
+//!   accumulator lanes may wrap in i32, but all arithmetic is mod 2³²
+//!   and the true dot is bounded by the wrapper's `k ≤ 130_000` assert,
+//!   so the corrected result is the exact i32 — the same exactness
+//!   argument as above, extended to modular form. [`gemm_i8p_lanes`]
+//!   uses `vpdpwssd`, which fuses the `madd`+`add` pair-sum step into
+//!   one instruction with identical i32 results.
+//! - `avx_vnni` (VEX, 256-bit): the same `vpdpwssd` fusion at AVX2
+//!   width (`_mm256_dpwssd_avx_epi32`) for hosts with VNNI but no
+//!   AVX-512 state.
+//!
+//! Because every form computes the identical exact i32s, VNNI needs no
+//! new byte-equality argument — the existing int8 sweeps pin it.
+//!
+//! [`capabilities`] reports the feature bits backing this selection
+//! (`avx512f`, `avx512bw`, `avx512-vnni`, `avx-vnni`, `neon`); the
+//! `Avx512` tier requires `avx512f` *and* `avx512bw` (byte/word ops in
+//! the int8 kernels), which every AVX-512 server core since Skylake-SP
+//! provides.
 //!
 //! The `simd-outside-kernel` lint rule keeps all `std::arch` usage inside
 //! this file; add new kernels here (see CONTRIBUTING.md).
@@ -89,28 +113,47 @@ pub const BACKEND_ENV: &str = "RESEMBLE_SIMD";
 
 /// A kernel implementation the dispatcher can route to.
 ///
-/// Safety invariant: `Avx2`/`Sse2` values are only handed to the kernel
+/// Safety invariant: non-`Scalar` values are only handed to the kernel
 /// wrappers after the corresponding ISA was confirmed present —
 /// [`dispatched`] detects before selecting, [`force`] asserts
 /// [`KernelBackend::is_available`], and [`available`] lists only detected
 /// backends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelBackend {
+    /// 16-lane f32 vectors via AVX-512F intrinsics (int8 kernels also
+    /// need AVX-512BW, so availability requires both).
+    Avx512,
     /// 8-lane f32 vectors via AVX2 intrinsics.
     Avx2,
     /// 4-lane f32 vectors via SSE2 intrinsics (x86-64 baseline).
     Sse2,
+    /// 4-lane f32 vectors via NEON intrinsics (aarch64 baseline).
+    Neon,
     /// The portable scalar fallback (always available).
     Scalar,
 }
 
 impl KernelBackend {
+    /// Every backend the crate knows, widest first, scalar last. Names
+    /// parse on every architecture (so `RESEMBLE_SIMD=neon` on x86 warns
+    /// and clamps rather than reading as a typo); availability is what
+    /// gates actual dispatch. Tests iterate this to log skipped ISAs.
+    pub const ALL: [KernelBackend; 5] = [
+        KernelBackend::Avx512,
+        KernelBackend::Avx2,
+        KernelBackend::Sse2,
+        KernelBackend::Neon,
+        KernelBackend::Scalar,
+    ];
+
     /// Stable lowercase name, as accepted by [`BACKEND_ENV`] and reported
     /// in benchmark/telemetry output.
     pub fn name(self) -> &'static str {
         match self {
+            KernelBackend::Avx512 => "avx512",
             KernelBackend::Avx2 => "avx2",
             KernelBackend::Sse2 => "sse2",
+            KernelBackend::Neon => "neon",
             KernelBackend::Scalar => "scalar",
         }
     }
@@ -118,13 +161,9 @@ impl KernelBackend {
     /// Parse a [`KernelBackend::name`] string (ASCII case-insensitive).
     pub fn parse(s: &str) -> Option<Self> {
         let s = s.trim();
-        [
-            KernelBackend::Avx2,
-            KernelBackend::Sse2,
-            KernelBackend::Scalar,
-        ]
-        .into_iter()
-        .find(|b| s.eq_ignore_ascii_case(b.name()))
+        Self::ALL
+            .into_iter()
+            .find(|b| s.eq_ignore_ascii_case(b.name()))
     }
 
     /// Whether this backend's ISA is present on the current host.
@@ -132,10 +171,16 @@ impl KernelBackend {
         match self {
             KernelBackend::Scalar => true,
             #[cfg(target_arch = "x86_64")]
+            KernelBackend::Avx512 => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512bw")
+            }
+            #[cfg(target_arch = "x86_64")]
             KernelBackend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
             #[cfg(target_arch = "x86_64")]
             KernelBackend::Sse2 => std::arch::is_x86_feature_detected!("sse2"),
-            #[cfg(not(target_arch = "x86_64"))]
+            #[cfg(target_arch = "aarch64")]
+            KernelBackend::Neon => std::arch::is_aarch64_feature_detected!("neon"),
             _ => false,
         }
     }
@@ -147,18 +192,13 @@ impl std::fmt::Display for KernelBackend {
     }
 }
 
-/// Best backend the host supports, ignoring the environment override.
+/// Best backend the host supports, ignoring the environment override:
+/// the first available entry of [`KernelBackend::ALL`] (widest first).
 fn detect_best() -> KernelBackend {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if KernelBackend::Avx2.is_available() {
-            return KernelBackend::Avx2;
-        }
-        if KernelBackend::Sse2.is_available() {
-            return KernelBackend::Sse2;
-        }
-    }
-    KernelBackend::Scalar
+    KernelBackend::ALL
+        .into_iter()
+        .find(|b| b.is_available())
+        .unwrap_or(KernelBackend::Scalar)
 }
 
 /// All backends available on this host, best first (scalar is always
@@ -166,14 +206,10 @@ fn detect_best() -> KernelBackend {
 pub fn available() -> &'static [KernelBackend] {
     static LIST: OnceLock<Vec<KernelBackend>> = OnceLock::new();
     LIST.get_or_init(|| {
-        [
-            KernelBackend::Avx2,
-            KernelBackend::Sse2,
-            KernelBackend::Scalar,
-        ]
-        .into_iter()
-        .filter(|b| b.is_available())
-        .collect()
+        KernelBackend::ALL
+            .into_iter()
+            .filter(|b| b.is_available())
+            .collect()
     })
 }
 
@@ -190,16 +226,19 @@ pub fn dispatched() -> KernelBackend {
             Some(b) if b.is_available() => b,
             Some(b) => {
                 eprintln!(
-                    "resemble-nn: {BACKEND_ENV}={} is not available on this host; using {}",
+                    "resemble-nn: {BACKEND_ENV}={} is not available on this host \
+                     (detected features: {}); using {}",
                     b.name(),
+                    capabilities().summary(),
                     best.name()
                 );
                 best
             }
             None => {
+                let expected = KernelBackend::ALL.map(KernelBackend::name).join("|");
                 eprintln!(
                     "resemble-nn: unrecognized {BACKEND_ENV} value {req:?} \
-                     (expected avx2|sse2|scalar); using {}",
+                     (expected {expected}); using {}",
                     best.name()
                 );
                 best
@@ -208,27 +247,33 @@ pub fn dispatched() -> KernelBackend {
     })
 }
 
-/// CPU feature bits relevant to current and planned kernel lanes,
-/// detected once per process. [`KernelBackend`] dispatch only uses
-/// SSE2/AVX2 today; the wider bits (`avx512f`, `avx512_vnni`, `avx_vnni`)
-/// are reported so telemetry/benchmarks can show what a host *could* run
-/// and so future VNNI/AVX-512 int8 lanes can gate on them.
+/// CPU feature bits backing kernel-lane selection, detected once per
+/// process. The `Avx512` tier gates on `avx512f && avx512bw`; within a
+/// tier the int8 GEMMs pick their VNNI instruction form from
+/// `avx512_vnni`/`avx_vnni` (see the module docs). Telemetry and
+/// benchmark reports echo [`CpuCaps::summary`] so skipped metrics can
+/// name what the host lacks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CpuCaps {
     /// Baseline 128-bit SIMD (architecturally guaranteed on x86-64).
     pub sse2: bool,
-    /// 256-bit integer/float SIMD — the widest lane currently dispatched.
+    /// 256-bit integer/float SIMD.
     pub avx2: bool,
     /// AVX-512 foundation, including the OS having enabled zmm state
     /// (XCR0 opmask/zmm bits) — false if the CPU has it but the OS
     /// doesn't save the registers.
     pub avx512f: bool,
-    /// AVX-512 VNNI int8 dot-product instructions (`vpdpbusd` in EVEX
-    /// form); implies usable AVX-512 state.
+    /// AVX-512 byte/word instructions — required alongside `avx512f` for
+    /// the `Avx512` tier's int8 kernels (sign-extends, `vpsadbw`).
+    pub avx512bw: bool,
+    /// AVX-512 VNNI int8 dot-product instructions (`vpdpbusd`/`vpdpwssd`
+    /// in EVEX form); implies usable AVX-512 state.
     pub avx512_vnni: bool,
-    /// AVX-VNNI: the VEX-encoded (256-bit) int8 dot-product subset, for
-    /// CPUs without full AVX-512.
+    /// AVX-VNNI: the VEX-encoded (256-bit) dot-product subset, for CPUs
+    /// with VNNI but without full AVX-512.
     pub avx_vnni: bool,
+    /// aarch64 Advanced SIMD (architecturally baseline on aarch64).
+    pub neon: bool,
 }
 
 impl CpuCaps {
@@ -246,11 +291,17 @@ impl CpuCaps {
         if self.avx512f {
             names.push("avx512f");
         }
+        if self.avx512bw {
+            names.push("avx512bw");
+        }
         if self.avx512_vnni {
             names.push("avx512-vnni");
         }
         if self.avx_vnni {
             names.push("avx-vnni");
+        }
+        if self.neon {
+            names.push("neon");
         }
         if names.is_empty() {
             "none".to_owned()
@@ -318,8 +369,10 @@ fn detect_caps() -> CpuCaps {
         sse2: std::arch::is_x86_feature_detected!("sse2"),
         avx2: std::arch::is_x86_feature_detected!("avx2"),
         avx512f: os_avx512 && ebx7 & (1 << 16) != 0,
+        avx512bw: os_avx512 && ebx7 & (1 << 30) != 0,
         avx512_vnni: os_avx512 && ecx7 & (1 << 11) != 0,
         avx_vnni: os_avx && eax7_1 & (1 << 4) != 0,
+        neon: false,
     }
 }
 
@@ -329,8 +382,13 @@ fn detect_caps() -> CpuCaps {
         sse2: false,
         avx2: false,
         avx512f: false,
+        avx512bw: false,
         avx512_vnni: false,
         avx_vnni: false,
+        #[cfg(target_arch = "aarch64")]
+        neon: std::arch::is_aarch64_feature_detected!("neon"),
+        #[cfg(not(target_arch = "aarch64"))]
+        neon: false,
     }
 }
 
@@ -382,6 +440,11 @@ macro_rules! dispatch {
     ($be:expr, $name:ident ( $($arg:expr),* $(,)? )) => {
         match $be {
             // SAFETY: this arm is reached only when runtime detection
+            // produced `Avx512` (module invariant — see `KernelBackend`),
+            // so the target_feature fn's CPU requirement holds.
+            #[cfg(target_arch = "x86_64")]
+            KernelBackend::Avx512 => unsafe { avx512::$name($($arg),*) },
+            // SAFETY: this arm is reached only when runtime detection
             // produced `Avx2` (module invariant — see `KernelBackend`),
             // so the target_feature fn's CPU requirement holds.
             #[cfg(target_arch = "x86_64")]
@@ -390,6 +453,10 @@ macro_rules! dispatch {
             // architecturally guaranteed.
             #[cfg(target_arch = "x86_64")]
             KernelBackend::Sse2 => unsafe { sse2::$name($($arg),*) },
+            // SAFETY: `Neon` is only constructed after runtime detection
+            // on aarch64, where NEON is architecturally baseline.
+            #[cfg(target_arch = "aarch64")]
+            KernelBackend::Neon => unsafe { neon::$name($($arg),*) },
             _ => scalar::$name($($arg),*),
         }
     };
@@ -505,15 +572,38 @@ pub(crate) fn gemm_i8_i32(be: KernelBackend, acc: &mut [i32], x: &[i8], w: &[i8]
         "gemm_i8_i32: acc length mismatch"
     );
     match be {
+        // SAFETY: `Avx512` only reaches the wrappers after runtime
+        // detection of avx512f+avx512bw (module invariant — see
+        // `KernelBackend`); the VNNI form additionally gates on the
+        // detected `avx512_vnni` capability bit.
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx512 => unsafe {
+            if capabilities().avx512_vnni {
+                i8x86::avx512vnni_gemm_i8_i32(acc, x, w, k_dim)
+            } else {
+                i8x86::avx512_gemm_i8_i32(acc, x, w, k_dim)
+            }
+        },
         // SAFETY: `Avx2` only reaches the wrappers after runtime
         // detection (module invariant — see `KernelBackend`), so the
-        // target_feature fn's CPU requirement holds.
+        // target_feature fn's CPU requirement holds; the VEX-VNNI form
+        // additionally gates on the detected `avx_vnni` capability bit.
         #[cfg(target_arch = "x86_64")]
-        KernelBackend::Avx2 => unsafe { i8x86::avx2_gemm_i8_i32(acc, x, w, k_dim) },
+        KernelBackend::Avx2 => unsafe {
+            if capabilities().avx_vnni {
+                i8x86::avxvnni_gemm_i8_i32(acc, x, w, k_dim)
+            } else {
+                i8x86::avx2_gemm_i8_i32(acc, x, w, k_dim)
+            }
+        },
         // SAFETY: `Sse2` is only constructed on x86_64, where SSE2 is
         // architecturally guaranteed.
         #[cfg(target_arch = "x86_64")]
         KernelBackend::Sse2 => unsafe { i8x86::sse2_gemm_i8_i32(acc, x, w, k_dim) },
+        // SAFETY: `Neon` is only constructed after runtime detection on
+        // aarch64, where NEON is architecturally baseline.
+        #[cfg(target_arch = "aarch64")]
+        KernelBackend::Neon => unsafe { neon::neon_gemm_i8_i32(acc, x, w, k_dim) },
         _ => scalar::gemm_i8_i32(acc, x, w, k_dim),
     }
 }
@@ -553,15 +643,38 @@ pub(crate) fn gemm_i8p_lanes(
         return;
     }
     match be {
+        // SAFETY: `Avx512` only reaches the wrappers after runtime
+        // detection of avx512f+avx512bw (module invariant — see
+        // `KernelBackend`); the VNNI form additionally gates on the
+        // detected `avx512_vnni` capability bit.
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx512 => unsafe {
+            if capabilities().avx512_vnni {
+                i8x86::avx512vnni_gemm_i8p_lanes(acc, xpairs, wt, fan_out)
+            } else {
+                i8x86::avx512_gemm_i8p_lanes(acc, xpairs, wt, fan_out)
+            }
+        },
         // SAFETY: `Avx2` only reaches the wrappers after runtime
         // detection (module invariant — see `KernelBackend`), so the
-        // target_feature fn's CPU requirement holds.
+        // target_feature fn's CPU requirement holds; the VEX-VNNI form
+        // additionally gates on the detected `avx_vnni` capability bit.
         #[cfg(target_arch = "x86_64")]
-        KernelBackend::Avx2 => unsafe { i8x86::avx2_gemm_i8p_lanes(acc, xpairs, wt, fan_out) },
+        KernelBackend::Avx2 => unsafe {
+            if capabilities().avx_vnni {
+                i8x86::avxvnni_gemm_i8p_lanes(acc, xpairs, wt, fan_out)
+            } else {
+                i8x86::avx2_gemm_i8p_lanes(acc, xpairs, wt, fan_out)
+            }
+        },
         // SAFETY: `Sse2` is only constructed on x86_64, where SSE2 is
         // architecturally guaranteed.
         #[cfg(target_arch = "x86_64")]
         KernelBackend::Sse2 => unsafe { i8x86::sse2_gemm_i8p_lanes(acc, xpairs, wt, fan_out) },
+        // SAFETY: `Neon` is only constructed after runtime detection on
+        // aarch64, where NEON is architecturally baseline.
+        #[cfg(target_arch = "aarch64")]
+        KernelBackend::Neon => unsafe { neon::neon_gemm_i8p_lanes(acc, xpairs, wt, fan_out) },
         _ => scalar::gemm_i8p_lanes(acc, xpairs, wt, fan_out),
     }
 }
@@ -589,6 +702,11 @@ pub(crate) fn pack_i8_pairs(x: &[i8], out: &mut Vec<i32>) {
 /// inputs — so the vector backends match the scalar fold byte-for-byte.
 pub(crate) fn max_abs_f32(be: KernelBackend, x: &[f32]) -> f32 {
     match be {
+        // SAFETY: `Avx512` only reaches the wrappers after runtime
+        // detection of avx512f+avx512bw (module invariant — see
+        // `KernelBackend`).
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx512 => unsafe { i8x86::avx512_max_abs_f32(x) },
         // SAFETY: `Avx2` only reaches the wrappers after runtime
         // detection (module invariant — see `KernelBackend`).
         #[cfg(target_arch = "x86_64")]
@@ -597,6 +715,10 @@ pub(crate) fn max_abs_f32(be: KernelBackend, x: &[f32]) -> f32 {
         // architecturally guaranteed.
         #[cfg(target_arch = "x86_64")]
         KernelBackend::Sse2 => unsafe { i8x86::sse2_max_abs_f32(x) },
+        // SAFETY: `Neon` is only constructed after runtime detection on
+        // aarch64, where NEON is architecturally baseline.
+        #[cfg(target_arch = "aarch64")]
+        KernelBackend::Neon => unsafe { neon::neon_max_abs_f32(x) },
         _ => scalar::max_abs_f32(x),
     }
 }
@@ -616,6 +738,11 @@ pub(crate) fn max_abs_f32(be: KernelBackend, x: &[f32]) -> f32 {
 pub(crate) fn quantize_i8(be: KernelBackend, src: &[f32], dst: &mut [i8], inv: f32) {
     assert_eq!(src.len(), dst.len(), "quantize_i8: length mismatch");
     match be {
+        // SAFETY: `Avx512` only reaches the wrappers after runtime
+        // detection of avx512f+avx512bw (module invariant — see
+        // `KernelBackend`).
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx512 => unsafe { i8x86::avx512_quantize_i8(src, dst, inv) },
         // SAFETY: `Avx2` only reaches the wrappers after runtime
         // detection (module invariant — see `KernelBackend`).
         #[cfg(target_arch = "x86_64")]
@@ -624,6 +751,10 @@ pub(crate) fn quantize_i8(be: KernelBackend, src: &[f32], dst: &mut [i8], inv: f
         // architecturally guaranteed.
         #[cfg(target_arch = "x86_64")]
         KernelBackend::Sse2 => unsafe { i8x86::sse2_quantize_i8(src, dst, inv) },
+        // SAFETY: `Neon` is only constructed after runtime detection on
+        // aarch64, where NEON is architecturally baseline.
+        #[cfg(target_arch = "aarch64")]
+        KernelBackend::Neon => unsafe { neon::neon_quantize_i8(src, dst, inv) },
         _ => scalar::quantize_i8(src, dst, inv),
     }
 }
@@ -923,6 +1054,70 @@ mod cmp256 {
     }
 }
 
+/// AVX-512 compares produce opmask registers (`__mmask16`) rather than
+/// vector masks, and AVX-512F has no float bitwise ops (`_mm512_and_ps`
+/// is AVX-512DQ); these shims re-express both in the all-ones-lane vector
+/// shape the kernel-set macro expects, so the 16-wide instantiation reads
+/// identically to the 8- and 4-wide ones. `maskz_set1(-1)` expands an
+/// opmask to the exact all-ones/all-zeros lanes a vector compare would
+/// produce, and the bitwise ops round-trip through `si512` — both are
+/// pure bit moves, so the established `andnot(x < 0, x)` /
+/// `and(mask, 1.0)` identities keep their scalar semantics unchanged.
+/// `_OQ` predicates as in [`cmp256`]: false on NaN, matching scalar
+/// `<` / `>`.
+#[cfg(target_arch = "x86_64")]
+mod m512 {
+    use core::arch::x86_64::*;
+
+    // SAFETY: target_feature-only unsafety — called exclusively from the
+    // avx512 kernel set, which itself runs only after runtime detection.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn mask_lanes(m: __mmask16) -> __m512 {
+        _mm512_castsi512_ps(_mm512_maskz_set1_epi32(m, -1))
+    }
+
+    // SAFETY: target_feature-only unsafety — called exclusively from the
+    // avx512 kernel set, which itself runs only after runtime detection.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn gt(a: __m512, b: __m512) -> __m512 {
+        mask_lanes(_mm512_cmp_ps_mask::<_CMP_GT_OQ>(a, b))
+    }
+
+    // SAFETY: target_feature-only unsafety — called exclusively from the
+    // avx512 kernel set, which itself runs only after runtime detection.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn lt(a: __m512, b: __m512) -> __m512 {
+        mask_lanes(_mm512_cmp_ps_mask::<_CMP_LT_OQ>(a, b))
+    }
+
+    // SAFETY: target_feature-only unsafety — called exclusively from the
+    // avx512 kernel set, which itself runs only after runtime detection.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn and(a: __m512, b: __m512) -> __m512 {
+        _mm512_castsi512_ps(_mm512_and_si512(
+            _mm512_castps_si512(a),
+            _mm512_castps_si512(b),
+        ))
+    }
+
+    /// `(!a) & b`, matching `_mm_andnot_ps` / `_mm256_andnot_ps` operand
+    /// order.
+    // SAFETY: target_feature-only unsafety — called exclusively from the
+    // avx512 kernel set, which itself runs only after runtime detection.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn andnot(a: __m512, b: __m512) -> __m512 {
+        _mm512_castsi512_ps(_mm512_andnot_si512(
+            _mm512_castps_si512(a),
+            _mm512_castps_si512(b),
+        ))
+    }
+}
+
 /// One vector backend. Each kernel mirrors its scalar counterpart
 /// statement for statement: the vector body processes `$w`-wide groups of
 /// *independent lanes* with non-fused `$mul` + `$add`, and the remainder
@@ -939,7 +1134,7 @@ mod cmp256 {
 macro_rules! x86_kernel_set {
     ($modname:ident, $feature:literal, $w:literal,
      $loadu:ident, $storeu:ident, $set1:ident, $add:ident, $mul:ident, $sub:ident,
-     $and:ident, $andnot:ident, $cmpgt:path, $cmplt:path) => {
+     $and:path, $andnot:path, $cmpgt:path, $cmplt:path) => {
         mod $modname {
             #[allow(unused_imports)]
             use core::arch::x86_64::*;
@@ -1255,6 +1450,23 @@ macro_rules! x86_kernel_set {
 
 #[cfg(target_arch = "x86_64")]
 x86_kernel_set!(
+    avx512,
+    "avx512f",
+    16,
+    _mm512_loadu_ps,
+    _mm512_storeu_ps,
+    _mm512_set1_ps,
+    _mm512_add_ps,
+    _mm512_mul_ps,
+    _mm512_sub_ps,
+    super::m512::and,
+    super::m512::andnot,
+    super::m512::gt,
+    super::m512::lt
+);
+
+#[cfg(target_arch = "x86_64")]
+x86_kernel_set!(
     avx2,
     "avx2",
     8,
@@ -1287,6 +1499,27 @@ x86_kernel_set!(
     _mm_cmplt_ps
 );
 
+/// Shared scalar remainder for the pair-interleaved kernels: the
+/// outputs past the last full vector, computed with the reference
+/// expressions so tails match `mod scalar` by construction.
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+fn lanes_tail_i8p(tail: &mut [i32], xpairs: &[i32], wt: &[i16], fan_out: usize, base: usize) {
+    for (j, slot) in tail.iter_mut().enumerate() {
+        let r = base + j;
+        let mut s = 0i32;
+        for (p, &xp) in xpairs.iter().enumerate() {
+            // lint:allow(lossy-cast): exact lane unpack of the 16-bit halves
+            let x0 = i32::from((xp & 0xFFFF) as u16 as i16);
+            // lint:allow(lossy-cast): exact lane unpack of the 16-bit halves
+            let x1 = i32::from((xp >> 16) as u16 as i16);
+            let w0 = i32::from(wt[(p * fan_out + r) * 2]);
+            let w1 = i32::from(wt[(p * fan_out + r) * 2 + 1]);
+            s += x0 * w0 + x1 * w1;
+        }
+        *slot = s;
+    }
+}
+
 /// Vector int8 dot-product kernels. Unlike the float kernel sets these
 /// *do* reduce horizontally — exact i32 arithmetic makes any summation
 /// order bit-identical (see the module docs), so the layout is chosen for
@@ -1297,9 +1530,10 @@ x86_kernel_set!(
 /// (`vpmovsxbw`), then `vpmaddwd` pairs into 8 exact i32 partials —
 /// exact because i8-range products are ≤ 16129 and a pair sum ≤ 32258
 /// can't overflow the *i32* madd output (i16 saturation inside madd only
-/// occurs for both inputs = -32768, unreachable from i8). A future VNNI
-/// lane (`vpdpbusd`, see [`super::capabilities`]) collapses the same
-/// reduction into one instruction behind this same dispatch point.
+/// occurs for both inputs = -32768, unreachable from i8). The AVX-512
+/// lane doubles that to 32 bytes per `madd`; on VNNI hosts the dot
+/// collapses further into `vpdpbusd`/`vpdpwssd` forms (see the module
+/// docs for the offset-corrected exactness argument).
 #[cfg(target_arch = "x86_64")]
 mod i8x86 {
     use core::arch::x86_64::*;
@@ -1402,6 +1636,173 @@ mod i8x86 {
         }
     }
 
+    /// Exact i32 dot product, AVX-512BW lane: sign-extend 32 i8 to one
+    /// zmm of i16 (`vpmovsxbw`), `vpmaddwd` into 16 exact i32 partials,
+    /// lane-reduce — the AVX2 shape at twice the width.
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `gemm_i8_i32` dispatcher after runtime detection of
+    // avx512f+avx512bw; pointer offsets stay below the `i + 32 <= n`
+    // slice bound.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn avx512_dot_i8(x: &[i8], w: &[i8]) -> i32 {
+        let n = x.len().min(w.len());
+        let mut accv = _mm512_setzero_si512();
+        let mut i = 0usize;
+        while i + 32 <= n {
+            let xv = _mm256_loadu_si256(x.as_ptr().add(i).cast());
+            let wv = _mm256_loadu_si256(w.as_ptr().add(i).cast());
+            let xw = _mm512_cvtepi8_epi16(xv);
+            let ww = _mm512_cvtepi8_epi16(wv);
+            accv = _mm512_add_epi32(accv, _mm512_madd_epi16(xw, ww));
+            i += 32;
+        }
+        let mut sum = _mm512_reduce_add_epi32(accv);
+        for (&xv, &wv) in x[i..n].iter().zip(&w[i..n]) {
+            sum += i32::from(xv) * i32::from(wv);
+        }
+        sum
+    }
+
+    /// Exact i32 dot product, AVX-512 VNNI lane: one `vpdpbusd` per 64
+    /// bytes, signed-exact via the offset trick. `vpdpbusd` multiplies
+    /// *unsigned* bytes by signed bytes, so the x operand is biased by
+    /// +128 (a sign-bit XOR): the accumulator then holds `Σ (x+128)·w =
+    /// dot + 128·Σw`, and `Σw` over the same prefix is recovered from a
+    /// `vpsadbw` running sum of the biased w bytes (`Σ(w+128) − 128·len`,
+    /// exact in u64). The i32 accumulator lanes may wrap, but every step
+    /// is arithmetic mod 2³² and the true dot is within i32 by the
+    /// wrapper's `k ≤ 130_000` bound, so the corrected difference is the
+    /// exact dot — see the module docs.
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `gemm_i8_i32` dispatcher after runtime detection of
+    // avx512f+avx512bw and the `avx512_vnni` capability bit; pointer
+    // offsets stay below the `i + 64 <= n` slice bound.
+    #[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+    unsafe fn avx512vnni_dot_i8(x: &[i8], w: &[i8]) -> i32 {
+        let n = x.len().min(w.len());
+        let sign = _mm512_set1_epi8(-128i8);
+        let zero = _mm512_setzero_si512();
+        let mut dp = _mm512_setzero_si512();
+        let mut wu_acc = _mm512_setzero_si512();
+        let mut chunks = 0i64;
+        let mut i = 0usize;
+        while i + 64 <= n {
+            let xv = _mm512_loadu_si512(x.as_ptr().add(i).cast());
+            let wv = _mm512_loadu_si512(w.as_ptr().add(i).cast());
+            let xu = _mm512_xor_si512(xv, sign);
+            dp = _mm512_dpbusd_epi32(dp, xu, wv);
+            let wu = _mm512_xor_si512(wv, sign);
+            wu_acc = _mm512_add_epi64(wu_acc, _mm512_sad_epu8(wu, zero));
+            chunks += 1;
+            i += 64;
+        }
+        let dpsum = _mm512_reduce_add_epi32(dp);
+        // Σ(w+128) over the vector prefix, exact in i64; the correction
+        // `128·Σw` is then applied mod 2³² (the truncation below is the
+        // intended modular step, not a range assumption).
+        let wu_total = _mm512_reduce_add_epi64(wu_acc);
+        let w_signed_sum = wu_total - 128 * 64 * chunks;
+        // lint:allow(lossy-cast): intentional mod-2^32 truncation of the correction term
+        let corr = (128i64 * w_signed_sum) as i32;
+        let mut sum = dpsum.wrapping_sub(corr);
+        for (&xv, &wv) in x[i..n].iter().zip(&w[i..n]) {
+            sum += i32::from(xv) * i32::from(wv);
+        }
+        sum
+    }
+
+    /// Exact i32 dot product, AVX-VNNI (VEX) lane: the AVX2 shape with
+    /// `vpdpwssd` fusing the `madd`+`add` pair into one instruction —
+    /// identical exact i32 lane sums, one fewer op per 16 bytes.
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `gemm_i8_i32` dispatcher after runtime detection of AVX2 and the
+    // `avx_vnni` capability bit; pointer offsets stay below the
+    // `i + 16 <= n` slice bound.
+    #[target_feature(enable = "avx2,avxvnni")]
+    unsafe fn avxvnni_dot_i8(x: &[i8], w: &[i8]) -> i32 {
+        let n = x.len().min(w.len());
+        let mut accv = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let xv = _mm_loadu_si128(x.as_ptr().add(i).cast());
+            let wv = _mm_loadu_si128(w.as_ptr().add(i).cast());
+            let xw = _mm256_cvtepi8_epi16(xv);
+            let ww = _mm256_cvtepi8_epi16(wv);
+            accv = _mm256_dpwssd_avx_epi32(accv, xw, ww);
+            i += 16;
+        }
+        let lo = _mm256_castsi256_si128(accv);
+        let hi = _mm256_extracti128_si256::<1>(accv);
+        let s4 = _mm_add_epi32(lo, hi);
+        let s2 = _mm_add_epi32(s4, _mm_unpackhi_epi64(s4, s4));
+        let s1 = _mm_add_epi32(s2, _mm_shuffle_epi32::<1>(s2));
+        let mut sum = _mm_cvtsi128_si32(s1);
+        for (&xv, &wv) in x[i..n].iter().zip(&w[i..n]) {
+            sum += i32::from(xv) * i32::from(wv);
+        }
+        sum
+    }
+
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `gemm_i8_i32` dispatcher after runtime detection of
+    // avx512f+avx512bw.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub(super) unsafe fn avx512_gemm_i8_i32(acc: &mut [i32], x: &[i8], w: &[i8], k_dim: usize) {
+        if k_dim == 0 {
+            acc.fill(0);
+            return;
+        }
+        let mut out = acc.iter_mut();
+        for xrow in x.chunks_exact(k_dim) {
+            for wrow in w.chunks_exact(k_dim) {
+                let s = avx512_dot_i8(xrow, wrow);
+                if let Some(slot) = out.next() {
+                    *slot = s;
+                }
+            }
+        }
+    }
+
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `gemm_i8_i32` dispatcher after runtime detection of
+    // avx512f+avx512bw and the `avx512_vnni` capability bit.
+    #[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+    pub(super) unsafe fn avx512vnni_gemm_i8_i32(acc: &mut [i32], x: &[i8], w: &[i8], k_dim: usize) {
+        if k_dim == 0 {
+            acc.fill(0);
+            return;
+        }
+        let mut out = acc.iter_mut();
+        for xrow in x.chunks_exact(k_dim) {
+            for wrow in w.chunks_exact(k_dim) {
+                let s = avx512vnni_dot_i8(xrow, wrow);
+                if let Some(slot) = out.next() {
+                    *slot = s;
+                }
+            }
+        }
+    }
+
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `gemm_i8_i32` dispatcher after runtime detection of AVX2 and the
+    // `avx_vnni` capability bit.
+    #[target_feature(enable = "avx2,avxvnni")]
+    pub(super) unsafe fn avxvnni_gemm_i8_i32(acc: &mut [i32], x: &[i8], w: &[i8], k_dim: usize) {
+        if k_dim == 0 {
+            acc.fill(0);
+            return;
+        }
+        let mut out = acc.iter_mut();
+        for xrow in x.chunks_exact(k_dim) {
+            for wrow in w.chunks_exact(k_dim) {
+                let s = avxvnni_dot_i8(xrow, wrow);
+                if let Some(slot) = out.next() {
+                    *slot = s;
+                }
+            }
+        }
+    }
+
     /// Pair-interleaved matvec, AVX2 lane: broadcast one packed input
     /// pair, `pmaddwd` it against eight consecutive outputs' weight pairs
     /// per load. Each `madd` lane is one exact pair-sum (≤ 2·127²), so
@@ -1428,7 +1829,7 @@ mod i8x86 {
             _mm256_storeu_si256(acc.as_mut_ptr().add(r).cast(), accv);
             r += 8;
         }
-        lanes_tail_i8p(&mut acc[r..], xpairs, wt, fan_out, r);
+        super::lanes_tail_i8p(&mut acc[r..], xpairs, wt, fan_out, r);
     }
 
     /// Pair-interleaved matvec, SSE2 lane: identical structure 4-wide.
@@ -1453,26 +1854,155 @@ mod i8x86 {
             _mm_storeu_si128(acc.as_mut_ptr().add(r).cast(), accv);
             r += 4;
         }
-        lanes_tail_i8p(&mut acc[r..], xpairs, wt, fan_out, r);
+        super::lanes_tail_i8p(&mut acc[r..], xpairs, wt, fan_out, r);
     }
 
-    /// Shared scalar remainder for the pair-interleaved kernels: the
-    /// outputs past the last full vector, computed with the reference
-    /// expressions so tails match `mod scalar` by construction.
-    fn lanes_tail_i8p(tail: &mut [i32], xpairs: &[i32], wt: &[i16], fan_out: usize, base: usize) {
-        for (j, slot) in tail.iter_mut().enumerate() {
-            let r = base + j;
-            let mut s = 0i32;
+    /// Pair-interleaved matvec, AVX-512BW lane: identical structure
+    /// 16-wide — one `madd` covers sixteen consecutive outputs' weight
+    /// pairs.
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `gemm_i8p_lanes` dispatcher after runtime detection of
+    // avx512f+avx512bw; the wrapper's length asserts keep every offset
+    // in bounds.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub(super) unsafe fn avx512_gemm_i8p_lanes(
+        acc: &mut [i32],
+        xpairs: &[i32],
+        wt: &[i16],
+        fan_out: usize,
+    ) {
+        let mut r = 0usize;
+        while r + 16 <= fan_out {
+            let mut accv = _mm512_setzero_si512();
             for (p, &xp) in xpairs.iter().enumerate() {
-                // lint:allow(lossy-cast): exact lane unpack of the 16-bit halves
-                let x0 = i32::from((xp & 0xFFFF) as u16 as i16);
-                // lint:allow(lossy-cast): exact lane unpack of the 16-bit halves
-                let x1 = i32::from((xp >> 16) as u16 as i16);
-                let w0 = i32::from(wt[(p * fan_out + r) * 2]);
-                let w1 = i32::from(wt[(p * fan_out + r) * 2 + 1]);
-                s += x0 * w0 + x1 * w1;
+                let xv = _mm512_set1_epi32(xp);
+                let wv = _mm512_loadu_si512(wt.as_ptr().add((p * fan_out + r) * 2).cast());
+                accv = _mm512_add_epi32(accv, _mm512_madd_epi16(xv, wv));
             }
-            *slot = s;
+            _mm512_storeu_si512(acc.as_mut_ptr().add(r).cast(), accv);
+            r += 16;
+        }
+        super::lanes_tail_i8p(&mut acc[r..], xpairs, wt, fan_out, r);
+    }
+
+    /// Pair-interleaved matvec, AVX-512 VNNI lane: `vpdpwssd` fuses the
+    /// `madd`+`add` pair into one instruction per sixteen outputs — the
+    /// i16-pair layout is exactly the shape VNNI's word form consumes.
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `gemm_i8p_lanes` dispatcher after runtime detection of
+    // avx512f+avx512bw and the `avx512_vnni` capability bit; the
+    // wrapper's length asserts keep every offset in bounds.
+    #[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+    pub(super) unsafe fn avx512vnni_gemm_i8p_lanes(
+        acc: &mut [i32],
+        xpairs: &[i32],
+        wt: &[i16],
+        fan_out: usize,
+    ) {
+        let mut r = 0usize;
+        while r + 16 <= fan_out {
+            let mut accv = _mm512_setzero_si512();
+            for (p, &xp) in xpairs.iter().enumerate() {
+                let xv = _mm512_set1_epi32(xp);
+                let wv = _mm512_loadu_si512(wt.as_ptr().add((p * fan_out + r) * 2).cast());
+                accv = _mm512_dpwssd_epi32(accv, xv, wv);
+            }
+            _mm512_storeu_si512(acc.as_mut_ptr().add(r).cast(), accv);
+            r += 16;
+        }
+        super::lanes_tail_i8p(&mut acc[r..], xpairs, wt, fan_out, r);
+    }
+
+    /// Pair-interleaved matvec, AVX-VNNI (VEX) lane: the AVX2 structure
+    /// with the fused `vpdpwssd` accumulate.
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `gemm_i8p_lanes` dispatcher after runtime detection of AVX2 and
+    // the `avx_vnni` capability bit; the wrapper's length asserts keep
+    // every offset in bounds.
+    #[target_feature(enable = "avx2,avxvnni")]
+    pub(super) unsafe fn avxvnni_gemm_i8p_lanes(
+        acc: &mut [i32],
+        xpairs: &[i32],
+        wt: &[i16],
+        fan_out: usize,
+    ) {
+        let mut r = 0usize;
+        while r + 8 <= fan_out {
+            let mut accv = _mm256_setzero_si256();
+            for (p, &xp) in xpairs.iter().enumerate() {
+                let xv = _mm256_set1_epi32(xp);
+                let wv = _mm256_loadu_si256(wt.as_ptr().add((p * fan_out + r) * 2).cast());
+                accv = _mm256_dpwssd_avx_epi32(accv, xv, wv);
+            }
+            _mm256_storeu_si256(acc.as_mut_ptr().add(r).cast(), accv);
+            r += 8;
+        }
+        super::lanes_tail_i8p(&mut acc[r..], xpairs, wt, fan_out, r);
+    }
+
+    /// Max-|x| fold, AVX-512 lane: bitwise abs (`_mm512_abs_ps` clears
+    /// the sign bit, exactly like the and-mask below), `maxps` fold,
+    /// order-free horizontal reduce, scalar tail.
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `max_abs_f32` dispatcher after runtime detection of
+    // avx512f+avx512bw; offsets stay below the `i + 16 <= n` bound.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn avx512_max_abs_f32(x: &[f32]) -> f32 {
+        let n = x.len();
+        let mut mv = _mm512_setzero_ps();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let v = _mm512_abs_ps(_mm512_loadu_ps(x.as_ptr().add(i)));
+            mv = _mm512_max_ps(mv, v);
+            i += 16;
+        }
+        let mut m = _mm512_reduce_max_ps(mv);
+        for &v in &x[i..] {
+            let a = v.abs();
+            if a > m {
+                m = a;
+            }
+        }
+        m
+    }
+
+    /// Elementwise quantize, AVX-512 lane: same structure 16-wide; the
+    /// ±0.5 compares land in opmask registers, so the adjustment uses
+    /// mask-predicated add/sub of −1 instead of subtracting an all-ones
+    /// vector mask — the resulting i32s are identical. After the
+    /// [-127, 127] clamp the saturating narrow (`vpmovsdb`) is a plain
+    /// truncation.
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `quantize_i8` dispatcher after runtime detection of
+    // avx512f+avx512bw; the wrapper asserts `src.len() == dst.len()` and
+    // offsets stay below the `i + 16 <= n` bound.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn avx512_quantize_i8(src: &[f32], dst: &mut [i8], inv: f32) {
+        let n = src.len();
+        let invv = _mm512_set1_ps(inv);
+        let half = _mm512_set1_ps(0.5);
+        let nhalf = _mm512_set1_ps(-0.5);
+        let lo = _mm512_set1_epi32(-127);
+        let hi = _mm512_set1_epi32(127);
+        let negone = _mm512_set1_epi32(-1);
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let x = _mm512_mul_ps(_mm512_loadu_ps(src.as_ptr().add(i)), invv);
+            let t = _mm512_cvttps_epi32(x);
+            let r = _mm512_sub_ps(x, _mm512_cvtepi32_ps(t));
+            let ge = _mm512_cmp_ps_mask::<_CMP_GE_OQ>(r, half);
+            let le = _mm512_cmp_ps_mask::<_CMP_LE_OQ>(r, nhalf);
+            // Subtracting -1 where `ge` adds 1; adding -1 where `le`
+            // subtracts 1 — the round-half-away adjustment.
+            let q = _mm512_mask_sub_epi32(t, ge, t, negone);
+            let q = _mm512_mask_add_epi32(q, le, q, negone);
+            let q = _mm512_max_epi32(lo, _mm512_min_epi32(hi, q));
+            let b = _mm512_cvtsepi32_epi8(q);
+            _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), b);
+            i += 16;
+        }
+        for (d, &v) in dst[i..].iter_mut().zip(&src[i..]) {
+            *d = super::scalar::quantize_one_i8(v, inv);
         }
     }
 
@@ -1617,6 +2147,472 @@ mod i8x86 {
     }
 }
 
+/// The aarch64/NEON backend: the complete kernel set — f32 and int8 — at
+/// 128-bit width, mirroring the x86 kernel-set macro statement for
+/// statement so the same bit-identity-by-construction argument applies:
+/// independent 4-wide lanes, inner dimension ascending, separate
+/// `vmulq`+`vaddq` (never `vfmaq` — no fusion), compares producing
+/// all-ones `u32` lane masks combined with `vbicq`/`vandq` exactly like
+/// the x86 `andnot`/`and` selects, and scalar tails running the reference
+/// expressions. The int8 kernels use the exactness argument instead:
+/// `vmull_s8` products pair-accumulated by `vpadalq_s16` are exact i32s,
+/// so horizontal order is free (see the module docs).
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use core::arch::aarch64::*;
+
+    // SAFETY: target_feature-only unsafety — reachable solely via
+    // `dispatch!` after runtime detection of NEON; pointer offsets stay
+    // below the `i + 4 <= n` slice bound.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn axpy(acc: &mut [f32], xs: &[f32], w: f32) {
+        let n = acc.len().min(xs.len());
+        let wv = vdupq_n_f32(w);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let x = vld1q_f32(xs.as_ptr().add(i));
+            let a = vld1q_f32(acc.as_ptr().add(i));
+            vst1q_f32(acc.as_mut_ptr().add(i), vaddq_f32(a, vmulq_f32(wv, x)));
+            i += 4;
+        }
+        for (a, &v) in acc[i..n].iter_mut().zip(&xs[i..n]) {
+            *a += w * v;
+        }
+    }
+
+    // SAFETY: target_feature-only unsafety — reachable solely via
+    // `dispatch!` after runtime detection of NEON; pointer offsets stay
+    // below the `i + 4 <= n` slice bound.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn axpy2(acc: &mut [f32], x0: &[f32], w0: f32, x1: &[f32], w1: f32) {
+        let n = acc.len().min(x0.len()).min(x1.len());
+        let w0v = vdupq_n_f32(w0);
+        let w1v = vdupq_n_f32(w1);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let a = vld1q_f32(acc.as_ptr().add(i));
+            let v0 = vld1q_f32(x0.as_ptr().add(i));
+            let v1 = vld1q_f32(x1.as_ptr().add(i));
+            vst1q_f32(
+                acc.as_mut_ptr().add(i),
+                vaddq_f32(vaddq_f32(a, vmulq_f32(w0v, v0)), vmulq_f32(w1v, v1)),
+            );
+            i += 4;
+        }
+        for ((a, &v0), &v1) in acc[i..n].iter_mut().zip(&x0[i..n]).zip(&x1[i..n]) {
+            *a = (*a + w0 * v0) + w1 * v1;
+        }
+    }
+
+    /// `y[i] += ws[i] · x` — weight vector times splatted scalar.
+    // SAFETY: target_feature-only unsafety — reachable solely via
+    // `dispatch!` after runtime detection of NEON; pointer offsets stay
+    // below the `i + 4 <= n` slice bound.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn axpy_wx(y: &mut [f32], ws: &[f32], x: f32) {
+        let n = y.len().min(ws.len());
+        let xv = vdupq_n_f32(x);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let wv = vld1q_f32(ws.as_ptr().add(i));
+            let a = vld1q_f32(y.as_ptr().add(i));
+            vst1q_f32(y.as_mut_ptr().add(i), vaddq_f32(a, vmulq_f32(wv, xv)));
+            i += 4;
+        }
+        for (a, &wv) in y[i..n].iter_mut().zip(&ws[i..n]) {
+            *a += wv * x;
+        }
+    }
+
+    /// `acc[i] += xs[i]` over the overlapping prefix.
+    // SAFETY: target_feature-only unsafety — reachable solely via
+    // `dispatch!` after runtime detection of NEON; pointer offsets stay
+    // below the `i + 4 <= n` slice bound.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn add_assign(acc: &mut [f32], xs: &[f32]) {
+        let n = acc.len().min(xs.len());
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let a = vld1q_f32(acc.as_ptr().add(i));
+            let x = vld1q_f32(xs.as_ptr().add(i));
+            vst1q_f32(acc.as_mut_ptr().add(i), vaddq_f32(a, x));
+            i += 4;
+        }
+        for (a, &v) in acc[i..n].iter_mut().zip(&xs[i..n]) {
+            *a += v;
+        }
+    }
+
+    // SAFETY: target_feature-only unsafety — reachable solely via
+    // `dispatch!` after runtime detection of NEON.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn gemm_lanes(acc: &mut [f32], wrow: &[f32], xt: &[f32]) {
+        let tl = acc.len();
+        if tl == 0 {
+            return;
+        }
+        let mut ws = wrow.chunks_exact(2);
+        let mut cols = xt.chunks_exact(2 * tl);
+        for (wp, cp) in ws.by_ref().zip(cols.by_ref()) {
+            let (c0, c1) = cp.split_at(tl);
+            axpy2(acc, c0, wp[0], c1, wp[1]);
+        }
+        for (&w, col) in ws.remainder().iter().zip(cols.remainder().chunks_exact(tl)) {
+            axpy(acc, col, w);
+        }
+    }
+
+    // SAFETY: target_feature-only unsafety — reachable solely via
+    // `dispatch!` after runtime detection of NEON.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn matvec_lanes(y: &mut [f32], wt: &[f32], x: &[f32]) {
+        let r_dim = y.len();
+        if r_dim == 0 {
+            return;
+        }
+        y.fill(0.0);
+        let mut xs = x.chunks_exact(2);
+        let mut ws = wt.chunks_exact(2 * r_dim);
+        for (xp, wp) in xs.by_ref().zip(ws.by_ref()) {
+            let (w0, w1) = wp.split_at(r_dim);
+            axpy2(y, w0, xp[0], w1, xp[1]);
+        }
+        for (&xv, wrow) in xs
+            .remainder()
+            .iter()
+            .zip(ws.remainder().chunks_exact(r_dim))
+        {
+            axpy(y, wrow, xv);
+        }
+    }
+
+    // SAFETY: target_feature-only unsafety — reachable solely via
+    // `dispatch!` after runtime detection of NEON.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn matvec_t_sample(y: &mut [f32], w: &[f32], x: &[f32]) {
+        y.fill(0.0);
+        let cols = y.len();
+        if cols == 0 {
+            return;
+        }
+        for (&xv, row) in x.iter().zip(w.chunks_exact(cols)) {
+            // lint:allow(float-eq): exact-zero sparsity skip, identical to the scalar kernel
+            if xv == 0.0 {
+                continue;
+            }
+            axpy_wx(y, row, xv);
+        }
+    }
+
+    // SAFETY: target_feature-only unsafety — reachable solely via
+    // `dispatch!` after runtime detection of NEON.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn outer_rows_sample(
+        dw: &mut [f32],
+        a_row: &[f32],
+        b_row: &[f32],
+        alpha: f32,
+    ) {
+        let cols = b_row.len();
+        if cols == 0 {
+            return;
+        }
+        for (&av, row) in a_row.iter().zip(dw.chunks_exact_mut(cols)) {
+            // lint:allow(float-eq): exact-zero sparsity skip, identical to the scalar kernel
+            if av == 0.0 {
+                continue;
+            }
+            axpy(row, b_row, alpha * av);
+        }
+    }
+
+    // SAFETY: target_feature-only unsafety — reachable solely via
+    // `dispatch!` after runtime detection of NEON.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn outer_lanes_sample(
+        dwt: &mut [f32],
+        a_row: &[f32],
+        b_row: &[f32],
+        alpha: f32,
+    ) {
+        let rows = a_row.len();
+        if rows == 0 {
+            return;
+        }
+        for (&bv, drow) in b_row.iter().zip(dwt.chunks_exact_mut(rows)) {
+            // lint:allow(float-eq): exact-zero sparsity skip, identical to the scalar kernel
+            if bv == 0.0 {
+                continue;
+            }
+            axpy(drow, a_row, alpha * bv);
+        }
+    }
+
+    // SAFETY: target_feature-only unsafety — reachable solely via
+    // `dispatch!` after runtime detection of NEON.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn add_bias_rows(out: &mut [f32], bias: &[f32]) {
+        if bias.is_empty() {
+            return;
+        }
+        for row in out.chunks_exact_mut(bias.len()) {
+            add_assign(row, bias);
+        }
+    }
+
+    // SAFETY: target_feature-only unsafety — reachable solely via
+    // `dispatch!` after runtime detection of NEON.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn sum_rows(acc: &mut [f32], rows: &[f32]) {
+        if acc.is_empty() {
+            return;
+        }
+        for row in rows.chunks_exact(acc.len()) {
+            add_assign(acc, row);
+        }
+    }
+
+    /// `bic(x, x < 0)` zeroes exactly the lanes the scalar branch zeroes:
+    /// `-0.0` is not `< 0.0` (kept) and NaN compares false (kept
+    /// bit-exactly) — `vbicq_u32(a, m)` is `a & !m`, the NEON spelling of
+    /// the x86 `andnot(m, a)` select.
+    // SAFETY: target_feature-only unsafety — reachable solely via
+    // `dispatch!` after runtime detection of NEON; pointer offsets stay
+    // below the `i + 4 <= n` slice bound.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn relu(xs: &mut [f32]) {
+        let n = xs.len();
+        let zero = vdupq_n_f32(0.0);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let x = vld1q_f32(xs.as_ptr().add(i));
+            let neg = vcltq_f32(x, zero);
+            let kept = vreinterpretq_f32_u32(vbicq_u32(vreinterpretq_u32_f32(x), neg));
+            vst1q_f32(xs.as_mut_ptr().add(i), kept);
+            i += 4;
+        }
+        for x in &mut xs[i..] {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+        }
+    }
+
+    /// Multiply by an `and`-selected `{0.0, 1.0}` mask — the same
+    /// `d * 0.0` / `d * 1.0` the scalar branchless select performs.
+    // SAFETY: target_feature-only unsafety — reachable solely via
+    // `dispatch!` after runtime detection of NEON; pointer offsets stay
+    // below the `i + 4 <= n` slice bound.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn relu_mask(deltas: &mut [f32], ys: &[f32]) {
+        let n = deltas.len().min(ys.len());
+        let zero = vdupq_n_f32(0.0);
+        let one = vdupq_n_f32(1.0);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let d = vld1q_f32(deltas.as_ptr().add(i));
+            let y = vld1q_f32(ys.as_ptr().add(i));
+            let pos = vcgtq_f32(y, zero);
+            let m = vreinterpretq_f32_u32(vandq_u32(vreinterpretq_u32_f32(one), pos));
+            vst1q_f32(deltas.as_mut_ptr().add(i), vmulq_f32(d, m));
+            i += 4;
+        }
+        for (d, &y) in deltas[i..n].iter_mut().zip(&ys[i..n]) {
+            *d *= if y > 0.0 { 1.0 } else { 0.0 };
+        }
+    }
+
+    // SAFETY: target_feature-only unsafety — reachable solely via
+    // `dispatch!` after runtime detection of NEON; pointer offsets stay
+    // below the `i + 4 <= n` slice bound.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn tanh_mask(deltas: &mut [f32], ys: &[f32]) {
+        let n = deltas.len().min(ys.len());
+        let one = vdupq_n_f32(1.0);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let d = vld1q_f32(deltas.as_ptr().add(i));
+            let y = vld1q_f32(ys.as_ptr().add(i));
+            let m = vsubq_f32(one, vmulq_f32(y, y));
+            vst1q_f32(deltas.as_mut_ptr().add(i), vmulq_f32(d, m));
+            i += 4;
+        }
+        for (d, &y) in deltas[i..n].iter_mut().zip(&ys[i..n]) {
+            *d *= 1.0 - y * y;
+        }
+    }
+
+    // SAFETY: target_feature-only unsafety — reachable solely via
+    // `dispatch!` after runtime detection of NEON; pointer offsets stay
+    // below the `i + 4 <= n` slice bound.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn sigmoid_mask(deltas: &mut [f32], ys: &[f32]) {
+        let n = deltas.len().min(ys.len());
+        let one = vdupq_n_f32(1.0);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let d = vld1q_f32(deltas.as_ptr().add(i));
+            let y = vld1q_f32(ys.as_ptr().add(i));
+            let m = vmulq_f32(y, vsubq_f32(one, y));
+            vst1q_f32(deltas.as_mut_ptr().add(i), vmulq_f32(d, m));
+            i += 4;
+        }
+        for (d, &y) in deltas[i..n].iter_mut().zip(&ys[i..n]) {
+            *d *= y * (1.0 - y);
+        }
+    }
+
+    /// Exact i32 dot product: `vmull_s8` widens i8×i8 to i16 products
+    /// (exact, ≤ 127²), `vpadalq_s16` pair-accumulates them into i32
+    /// lanes (exact), and `vaddvq_s32` reduces — order-free by the
+    /// exactness argument.
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `gemm_i8_i32` dispatcher after runtime detection of NEON; pointer
+    // offsets stay below the `i + 16 <= n` slice bound.
+    #[target_feature(enable = "neon")]
+    unsafe fn neon_dot_i8(x: &[i8], w: &[i8]) -> i32 {
+        let n = x.len().min(w.len());
+        let mut accv = vdupq_n_s32(0);
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let xv = vld1q_s8(x.as_ptr().add(i));
+            let wv = vld1q_s8(w.as_ptr().add(i));
+            let plo = vmull_s8(vget_low_s8(xv), vget_low_s8(wv));
+            let phi = vmull_s8(vget_high_s8(xv), vget_high_s8(wv));
+            accv = vpadalq_s16(accv, plo);
+            accv = vpadalq_s16(accv, phi);
+            i += 16;
+        }
+        let mut sum = vaddvq_s32(accv);
+        for (&xv, &wv) in x[i..n].iter().zip(&w[i..n]) {
+            sum += i32::from(xv) * i32::from(wv);
+        }
+        sum
+    }
+
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `gemm_i8_i32` dispatcher after runtime detection of NEON.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn neon_gemm_i8_i32(acc: &mut [i32], x: &[i8], w: &[i8], k_dim: usize) {
+        if k_dim == 0 {
+            acc.fill(0);
+            return;
+        }
+        let mut out = acc.iter_mut();
+        for xrow in x.chunks_exact(k_dim) {
+            for wrow in w.chunks_exact(k_dim) {
+                let s = neon_dot_i8(xrow, wrow);
+                if let Some(slot) = out.next() {
+                    *slot = s;
+                }
+            }
+        }
+    }
+
+    /// Pair-interleaved matvec, NEON lane: broadcast one packed input
+    /// pair as four i16 `(x0, x1)` copies, `vmull_s16` against four
+    /// consecutive outputs' weight pairs, then `vpaddq_s32` folds
+    /// adjacent products into the four exact pair-sums.
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `gemm_i8p_lanes` dispatcher after runtime detection of NEON; the
+    // wrapper's length asserts keep every offset in bounds.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn neon_gemm_i8p_lanes(
+        acc: &mut [i32],
+        xpairs: &[i32],
+        wt: &[i16],
+        fan_out: usize,
+    ) {
+        let mut r = 0usize;
+        while r + 4 <= fan_out {
+            let mut accv = vdupq_n_s32(0);
+            for (p, &xp) in xpairs.iter().enumerate() {
+                let xv = vreinterpretq_s16_s32(vdupq_n_s32(xp));
+                let wv = vld1q_s16(wt.as_ptr().add((p * fan_out + r) * 2));
+                let plo = vmull_s16(vget_low_s16(xv), vget_low_s16(wv));
+                let phi = vmull_s16(vget_high_s16(xv), vget_high_s16(wv));
+                accv = vaddq_s32(accv, vpaddq_s32(plo, phi));
+            }
+            vst1q_s32(acc.as_mut_ptr().add(r), accv);
+            r += 4;
+        }
+        super::lanes_tail_i8p(&mut acc[r..], xpairs, wt, fan_out, r);
+    }
+
+    /// Max-|x| fold: `vabsq` + `vmaxq` lanes, order-free horizontal
+    /// `vmaxvq`, scalar tail.
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `max_abs_f32` dispatcher after runtime detection of NEON; offsets
+    // stay below the `i + 4 <= n` bound.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn neon_max_abs_f32(x: &[f32]) -> f32 {
+        let n = x.len();
+        let mut mv = vdupq_n_f32(0.0);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            mv = vmaxq_f32(mv, vabsq_f32(vld1q_f32(x.as_ptr().add(i))));
+            i += 4;
+        }
+        let mut m = vmaxvq_f32(mv);
+        for &v in &x[i..] {
+            let a = v.abs();
+            if a > m {
+                m = a;
+            }
+        }
+        m
+    }
+
+    /// Round-half-away core of the NEON quantizer: truncate
+    /// (`vcvtq_s32_f32` rounds toward zero, like the scalar `as i32`),
+    /// recover the exact fraction, adjust via the ±0.5 compare masks
+    /// (all-ones = −1 as i32, so subtracting the `ge` mask adds 1 and
+    /// adding the `le` mask subtracts 1), clamp in i32.
+    // SAFETY: target_feature-only unsafety — called exclusively from
+    // `neon_quantize_i8` below, itself gated on runtime NEON detection.
+    #[target_feature(enable = "neon")]
+    unsafe fn quantize_lane_i32(x: float32x4_t) -> int32x4_t {
+        let half = vdupq_n_f32(0.5);
+        let nhalf = vdupq_n_f32(-0.5);
+        let lo = vdupq_n_s32(-127);
+        let hi = vdupq_n_s32(127);
+        let t = vcvtq_s32_f32(x);
+        let r = vsubq_f32(x, vcvtq_f32_s32(t));
+        let ge = vcgeq_f32(r, half);
+        let le = vcleq_f32(r, nhalf);
+        let q = vsubq_s32(t, vreinterpretq_s32_u32(ge));
+        let q = vaddq_s32(q, vreinterpretq_s32_u32(le));
+        vmaxq_s32(lo, vminq_s32(hi, q))
+    }
+
+    /// Elementwise quantize, NEON lane: two 4-wide groups per iteration
+    /// so the narrow chain (`vmovn_s32` → `vmovn_s16`) emits eight i8
+    /// codes per store; values are clamped to [-127, 127] first, so the
+    /// truncating narrows are exact.
+    // SAFETY: target_feature-only unsafety — reachable solely via the
+    // `quantize_i8` dispatcher after runtime detection of NEON; the
+    // wrapper asserts `src.len() == dst.len()` and offsets stay below
+    // the `i + 8 <= n` bound.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn neon_quantize_i8(src: &[f32], dst: &mut [i8], inv: f32) {
+        let n = src.len();
+        let invv = vdupq_n_f32(inv);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let x0 = vmulq_f32(vld1q_f32(src.as_ptr().add(i)), invv);
+            let x1 = vmulq_f32(vld1q_f32(src.as_ptr().add(i + 4)), invv);
+            let q0 = quantize_lane_i32(x0);
+            let q1 = quantize_lane_i32(x1);
+            let w = vcombine_s16(vmovn_s32(q0), vmovn_s32(q1));
+            vst1_s8(dst.as_mut_ptr().add(i), vmovn_s16(w));
+            i += 8;
+        }
+        for (d, &v) in dst[i..].iter_mut().zip(&src[i..]) {
+            *d = super::scalar::quantize_one_i8(v, inv);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1659,16 +2655,26 @@ mod tests {
 
     #[test]
     fn name_parse_roundtrip() {
-        for b in [
-            KernelBackend::Avx2,
-            KernelBackend::Sse2,
-            KernelBackend::Scalar,
-        ] {
+        for b in KernelBackend::ALL {
             assert_eq!(KernelBackend::parse(b.name()), Some(b));
             assert_eq!(KernelBackend::parse(&b.name().to_uppercase()), Some(b));
             assert_eq!(format!("{b}"), b.name());
         }
-        assert_eq!(KernelBackend::parse("avx512"), None);
+        assert_eq!(KernelBackend::parse("avx1024"), None);
+        assert_eq!(KernelBackend::parse(""), None);
+    }
+
+    #[test]
+    fn all_is_ordered_widest_first_and_ends_with_scalar() {
+        assert_eq!(KernelBackend::ALL.last(), Some(&KernelBackend::Scalar));
+        assert!(KernelBackend::Scalar.is_available());
+        // `available()` preserves ALL's preference order.
+        let avail = available();
+        let order: Vec<usize> = avail
+            .iter()
+            .map(|b| KernelBackend::ALL.iter().position(|a| a == b).unwrap())
+            .collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "order={order:?}");
     }
 
     #[test]
@@ -1937,6 +2943,110 @@ mod tests {
         }
     }
 
+    /// The backend dispatchers pick the VNNI instruction form whenever
+    /// the host has it, which would leave the plain madd forms untested
+    /// on VNNI hosts (and vice versa). Pin every compiled-in x86 int8
+    /// form directly against scalar, gated on its own ISA bits.
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn every_x86_int8_form_matches_scalar_exactly() {
+        type GemmFn = unsafe fn(&mut [i32], &[i8], &[i8], usize);
+        type LanesFn = unsafe fn(&mut [i32], &[i32], &[i16], usize);
+        let caps = capabilities();
+        let avx512 = KernelBackend::Avx512.is_available();
+        let gemms: &[(&str, bool, GemmFn)] = &[
+            ("sse2", caps.sse2, i8x86::sse2_gemm_i8_i32),
+            ("avx2", caps.avx2, i8x86::avx2_gemm_i8_i32),
+            (
+                "avx-vnni",
+                caps.avx2 && caps.avx_vnni,
+                i8x86::avxvnni_gemm_i8_i32,
+            ),
+            ("avx512", avx512, i8x86::avx512_gemm_i8_i32),
+            (
+                "avx512-vnni",
+                avx512 && caps.avx512_vnni,
+                i8x86::avx512vnni_gemm_i8_i32,
+            ),
+        ];
+        for &(label, ok, f) in gemms {
+            if !ok {
+                continue;
+            }
+            for &k in &[0usize, 1, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100, 129] {
+                let x = i8_vals(2 * k, 71);
+                let w = i8_vals(3 * k, 72);
+                let mut want = vec![7i32; 6];
+                let mut got = want.clone();
+                scalar::gemm_i8_i32(&mut want, &x, &w, k);
+                // SAFETY: gated on the runtime ISA bits checked above.
+                unsafe { f(&mut got, &x, &w, k) };
+                assert_eq!(got, want, "{label} gemm form k={k}");
+            }
+        }
+        let lanes: &[(&str, bool, LanesFn)] = &[
+            ("sse2", caps.sse2, i8x86::sse2_gemm_i8p_lanes),
+            ("avx2", caps.avx2, i8x86::avx2_gemm_i8p_lanes),
+            (
+                "avx-vnni",
+                caps.avx2 && caps.avx_vnni,
+                i8x86::avxvnni_gemm_i8p_lanes,
+            ),
+            ("avx512", avx512, i8x86::avx512_gemm_i8p_lanes),
+            (
+                "avx512-vnni",
+                avx512 && caps.avx512_vnni,
+                i8x86::avx512vnni_gemm_i8p_lanes,
+            ),
+        ];
+        for &(label, ok, f) in lanes {
+            if !ok {
+                continue;
+            }
+            for &k in &[0usize, 1, 4, 64, 130] {
+                for &fan_out in &[0usize, 1, 7, 8, 15, 16, 17, 33] {
+                    let x = i8_vals(k, 73);
+                    let mut xpairs = Vec::new();
+                    super::pack_i8_pairs(&x, &mut xpairs);
+                    let wt = i8_vals(xpairs.len() * fan_out * 2, 74)
+                        .into_iter()
+                        .map(i16::from)
+                        .collect::<Vec<_>>();
+                    let mut want = vec![7i32; fan_out];
+                    let mut got = vec![-7i32; fan_out];
+                    scalar::gemm_i8p_lanes(&mut want, &xpairs, &wt, fan_out);
+                    // SAFETY: gated on the runtime ISA bits checked above.
+                    unsafe { f(&mut got, &xpairs, &wt, fan_out) };
+                    assert_eq!(got, want, "{label} lanes form k={k} fan_out={fan_out}");
+                }
+            }
+        }
+    }
+
+    /// The vpdpbusd offset-corrected form relies on mod-2³² wrapping:
+    /// hammer it with the extreme magnitudes the k ≤ 130_000 bound
+    /// allows, where the biased intermediate genuinely wraps i32.
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn vpdpbusd_offset_correction_survives_wrapping() {
+        let caps = capabilities();
+        if !(KernelBackend::Avx512.is_available() && caps.avx512_vnni) {
+            return;
+        }
+        for &k in &[4096usize, 65_536, 130_000] {
+            for (xv, wv) in [(127i8, 127i8), (127, -127), (-127, 127), (-127, -127)] {
+                let x = vec![xv; k];
+                let w = vec![wv; k];
+                let mut want = vec![0i32; 1];
+                let mut got = vec![0i32; 1];
+                scalar::gemm_i8_i32(&mut want, &x, &w, k);
+                // SAFETY: gated on avx512f+bw+vnni runtime detection above.
+                unsafe { i8x86::avx512vnni_gemm_i8_i32(&mut got, &x, &w, k) };
+                assert_eq!(got, want, "vnni wrap k={k} x={xv} w={wv}");
+            }
+        }
+    }
+
     #[test]
     fn max_abs_matches_scalar_across_backends() {
         for be in non_scalar() {
@@ -1989,6 +3099,11 @@ mod tests {
         // The dispatched backends must agree with the reported bits.
         assert_eq!(caps.avx2, KernelBackend::Avx2.is_available());
         assert_eq!(caps.sse2, KernelBackend::Sse2.is_available());
+        assert_eq!(
+            caps.avx512f && caps.avx512bw,
+            KernelBackend::Avx512.is_available()
+        );
+        assert_eq!(caps.neon, KernelBackend::Neon.is_available());
         // VNNI forms imply the matching OS-enabled vector state chain.
         if caps.avx512_vnni {
             assert!(caps.avx512f, "avx512-vnni without avx512f state");

@@ -16,19 +16,15 @@ use resemble_nn::simd::{self, KernelBackend};
 use resemble_nn::{Activation, Matrix, Mlp, QuantizedMlp};
 use std::sync::Once;
 
-const ALL_BACKENDS: [KernelBackend; 3] = [
-    KernelBackend::Avx2,
-    KernelBackend::Sse2,
-    KernelBackend::Scalar,
-];
-
 /// Log once which backends this host cannot run, so CI output shows the
 /// sweep's actual coverage instead of silently passing a narrower test.
+/// Iterates `KernelBackend::ALL` so a newly added tier is reported
+/// without touching this test.
 fn log_coverage() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let avail = simd::available();
-        for be in ALL_BACKENDS {
+        for be in KernelBackend::ALL {
             if !avail.contains(&be) {
                 eprintln!("int8_sweep: SKIPPING {be} (not available on this host)");
             }

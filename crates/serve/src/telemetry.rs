@@ -280,13 +280,13 @@ impl Telemetry {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TelemetrySnapshot {
     /// SIMD kernel backend the snapshotting thread's decisions run on
-    /// (`avx2`/`sse2`/`scalar`), so latency and throughput numbers are
-    /// attributable to an ISA.
+    /// (`avx512`/`avx2`/`sse2`/`neon`/`scalar`), so latency and
+    /// throughput numbers are attributable to an ISA.
     pub kernel_backend: String,
     /// Detected CPU SIMD capability bits (space-separated feature names,
-    /// e.g. `"sse2 avx2 avx512f avx512-vnni"`, or `"none"`), including the
-    /// wider-ISA bits the int8 datapath can target but dispatch does not
-    /// use yet.
+    /// e.g. `"sse2 avx2 avx512f avx512bw avx512-vnni"`, or `"none"`) —
+    /// the bits backend selection and the VNNI int8 instruction forms
+    /// gate on.
     pub cpu_caps: String,
     /// Sessions accepted.
     pub sessions_opened: u64,
@@ -399,7 +399,7 @@ mod tests {
     fn empty_telemetry_snapshots_cleanly() {
         let s = Telemetry::new().snapshot();
         assert!(
-            ["avx2", "sse2", "scalar"].contains(&s.kernel_backend.as_str()),
+            ["avx512", "avx2", "sse2", "neon", "scalar"].contains(&s.kernel_backend.as_str()),
             "unknown backend {:?}",
             s.kernel_backend
         );
